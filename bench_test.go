@@ -1,0 +1,426 @@
+// Benchmarks regenerating the paper's evaluation artifacts in testing.B
+// form, one benchmark family per table and figure, plus the ablations
+// listed in DESIGN.md section 6. The cmd/rgmlbench harness produces the
+// full weak-scaling sweeps; these benches keep workloads small so
+// `go test -bench=.` finishes quickly while preserving the comparisons
+// (resilient vs non-resilient, mode vs mode, with vs without an
+// optimization).
+package rgml_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/rgml/rgml/internal/apgas"
+	"github.com/rgml/rgml/internal/apps"
+	"github.com/rgml/rgml/internal/bench"
+	"github.com/rgml/rgml/internal/block"
+	"github.com/rgml/rgml/internal/core"
+	"github.com/rgml/rgml/internal/dist"
+	"github.com/rgml/rgml/internal/snapshot"
+)
+
+// --- Table II -------------------------------------------------------------
+
+func BenchmarkTable2LOC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.LOCTable()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 3 {
+			b.Fatal("wrong row count")
+		}
+	}
+}
+
+// --- Figures 2-4: resilient finish overhead -------------------------------
+
+// stepBench measures one application iteration under resilient vs
+// non-resilient finish (the per-point measurement of Figures 2-4).
+func stepBench(b *testing.B, app bench.AppName, places int, resilient bool) {
+	rt, err := apgas.NewRuntime(apgas.Config{Places: places, Resilient: resilient})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Shutdown()
+	const perPlace = 200
+	var stepper interface{ Step() error }
+	switch app {
+	case bench.LinReg:
+		a, err := apps.NewLinRegNonResilient(rt, apps.LinRegConfig{
+			Examples: perPlace * places, Features: 32, Iterations: 1 << 30, Seed: 1,
+		}, rt.World())
+		if err != nil {
+			b.Fatal(err)
+		}
+		stepper = a
+	case bench.LogReg:
+		a, err := apps.NewLogRegNonResilient(rt, apps.LogRegConfig{
+			Examples: perPlace * places, Features: 32, Iterations: 1 << 30, Seed: 1,
+		}, rt.World())
+		if err != nil {
+			b.Fatal(err)
+		}
+		stepper = a
+	case bench.PageRank:
+		a, err := apps.NewPageRankNonResilient(rt, apps.PageRankConfig{
+			Nodes: perPlace * places, OutDegree: 8, Iterations: 1 << 30, Seed: 1,
+		}, rt.World())
+		if err != nil {
+			b.Fatal(err)
+		}
+		stepper = a
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := stepper.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func finishOverheadBench(b *testing.B, app bench.AppName) {
+	for _, places := range []int{2, 8} {
+		for _, resilient := range []bool{false, true} {
+			name := fmt.Sprintf("places=%d/resilient=%v", places, resilient)
+			b.Run(name, func(b *testing.B) { stepBench(b, app, places, resilient) })
+		}
+	}
+}
+
+func BenchmarkFig2LinRegFinish(b *testing.B)   { finishOverheadBench(b, bench.LinReg) }
+func BenchmarkFig3LogRegFinish(b *testing.B)   { finishOverheadBench(b, bench.LogReg) }
+func BenchmarkFig4PageRankFinish(b *testing.B) { finishOverheadBench(b, bench.PageRank) }
+
+// --- Table III: checkpoint cost -------------------------------------------
+
+func BenchmarkTable3Checkpoint(b *testing.B) {
+	const places = 8
+	for _, appName := range bench.Apps {
+		b.Run(string(appName), func(b *testing.B) {
+			rt := benchRT(b, places, true)
+			app := makeResilientApp(b, rt, appName, places, 1<<30)
+			store := core.NewAppResilientStore()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				store.SetIteration(int64(i))
+				if err := app.Checkpoint(store); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Figures 5-7: restore modes --------------------------------------------
+
+func restoreBench(b *testing.B, appName bench.AppName) {
+	for _, mode := range []core.RestoreMode{core.Shrink, core.ShrinkRebalance, core.ReplaceRedundant, core.ReplaceElastic} {
+		b.Run(mode.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runWithFailure(b, appName, mode)
+			}
+		})
+	}
+}
+
+func BenchmarkFig5LinRegRestore(b *testing.B)   { restoreBench(b, bench.LinReg) }
+func BenchmarkFig6LogRegRestore(b *testing.B)   { restoreBench(b, bench.LogReg) }
+func BenchmarkFig7PageRankRestore(b *testing.B) { restoreBench(b, bench.PageRank) }
+
+// --- Table IV: checkpoint/restore share ------------------------------------
+
+func BenchmarkTable4Percentages(b *testing.B) {
+	cfg := bench.Config{Scale: bench.SmokeScale()}
+	var rows []bench.PercentRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = cfg.PercentTable()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(rows) == 3 {
+		// Surface the shrink-rebalance restore share of the last run as a
+		// custom metric (the paper's headline Table IV comparison).
+		b.ReportMetric(rows[0].Pct["shrink-rebalance"][1], "rebalanceR%")
+	}
+}
+
+// --- Ablations (DESIGN.md section 6) ----------------------------------------
+
+// BenchmarkAblationLedgerCost isolates the resilient-finish ledger's
+// serialized processing cost: identical fan-outs with and without ledger
+// busy work, against the non-resilient baseline.
+func BenchmarkAblationLedgerCost(b *testing.B) {
+	fanout := func(b *testing.B, rt *apgas.Runtime) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			if err := apgas.ForEachPlace(rt, rt.World(), func(*apgas.Ctx, int) {}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("non-resilient", func(b *testing.B) {
+		rt := benchRT(b, 8, false)
+		b.ResetTimer()
+		fanout(b, rt)
+	})
+	b.Run("resilient/ledger-free", func(b *testing.B) {
+		rt := benchRT(b, 8, true)
+		b.ResetTimer()
+		fanout(b, rt)
+	})
+	b.Run("resilient/ledger-work", func(b *testing.B) {
+		cost := bench.Config{LedgerWork: 400}
+		rt, err := apgas.NewRuntime(apgas.Config{
+			Places: 8, Resilient: true, LedgerCost: cost.LedgerCostFunc(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(rt.Shutdown)
+		b.ResetTimer()
+		fanout(b, rt)
+	})
+}
+
+// BenchmarkAblationBackupCopy measures the price of the snapshot's second
+// (next-place) copy — the double in-memory storage of section IV-B.
+func BenchmarkAblationBackupCopy(b *testing.B) {
+	for _, backup := range []bool{true, false} {
+		name := "double-storage"
+		if !backup {
+			name = "local-only"
+		}
+		b.Run(name, func(b *testing.B) {
+			rt := benchRT(b, 8, true)
+			pg := rt.World()
+			v, err := dist.MakeDistVector(rt, 8*2000, pg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := v.Init(func(i int) float64 { return float64(i) }); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s, err := snapshotDistVector(rt, v, pg, backup)
+				if err != nil {
+					b.Fatal(err)
+				}
+				s.Destroy()
+			}
+		})
+	}
+}
+
+// snapshotDistVector saves every segment of v into a fresh snapshot with
+// or without the backup copy.
+func snapshotDistVector(rt *apgas.Runtime, v *dist.DistVector, pg apgas.PlaceGroup, backup bool) (*snapshot.Snapshot, error) {
+	s, err := snapshot.NewWithOptions(rt, pg, snapshot.Options{DisableBackup: !backup})
+	if err != nil {
+		return nil, err
+	}
+	err = apgas.ForEachPlace(rt, pg, func(ctx *apgas.Ctx, idx int) {
+		seg := v.Local(ctx)
+		buf := make([]byte, 8*len(seg))
+		s.Save(ctx, idx, buf)
+	})
+	if err != nil {
+		s.Destroy()
+		return nil, err
+	}
+	return s, nil
+}
+
+// BenchmarkAblationReadOnly compares checkpointing the big input matrix
+// with Save (re-serialized every checkpoint) vs SaveReadOnly (serialized
+// once) — why Table III stays flat across checkpoints.
+func BenchmarkAblationReadOnly(b *testing.B) {
+	for _, readOnly := range []bool{true, false} {
+		name := "saveReadOnly"
+		if !readOnly {
+			name = "save"
+		}
+		b.Run(name, func(b *testing.B) {
+			rt := benchRT(b, 4, true)
+			pg := rt.World()
+			m, err := dist.MakeDistBlockMatrix(rt, block.Dense, 2000, 64, 4, 1, 4, 1, pg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := m.InitDense(func(i, j int) float64 { return float64(i ^ j) }); err != nil {
+				b.Fatal(err)
+			}
+			store := core.NewAppResilientStore()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := store.StartNewSnapshot(); err != nil {
+					b.Fatal(err)
+				}
+				if readOnly {
+					err = store.SaveReadOnly(m)
+				} else {
+					err = store.Save(m)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := store.Commit(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRegridSparse compares the block-by-block restore (same
+// grid) with the re-grid overlap restore, which must additionally count
+// nonzeros before allocating (section IV-B2).
+func BenchmarkAblationRegridSparse(b *testing.B) {
+	for _, regrid := range []bool{false, true} {
+		name := "same-grid"
+		if regrid {
+			name = "re-grid"
+		}
+		b.Run(name, func(b *testing.B) {
+			rt := benchRT(b, 8, true)
+			pg := rt.World()
+			n := 4000
+			m, err := dist.MakeDistBlockMatrix(rt, block.Sparse, n, n, 8, 1, 8, 1, pg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			link := apps.LinkData{Seed: 3, Nodes: n, OutDegree: 8}
+			if err := m.InitSparseColumns(link.Column); err != nil {
+				b.Fatal(err)
+			}
+			s, err := m.MakeSnapshot()
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Destroy()
+			if err := rt.Kill(rt.Place(5)); err != nil {
+				b.Fatal(err)
+			}
+			if err := m.Remake(rt.World(), !regrid); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := m.RestoreSnapshot(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- shared helpers ---------------------------------------------------------
+
+func benchRT(b *testing.B, places int, resilient bool) *apgas.Runtime {
+	b.Helper()
+	rt, err := apgas.NewRuntime(apgas.Config{Places: places, Resilient: resilient})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(rt.Shutdown)
+	return rt
+}
+
+// makeResilientApp builds a small resilient app with effectively unbounded
+// iterations for per-operation benchmarks.
+func makeResilientApp(b *testing.B, rt *apgas.Runtime, appName bench.AppName, places int, iters int) core.IterativeApp {
+	b.Helper()
+	const perPlace = 200
+	var (
+		app core.IterativeApp
+		err error
+	)
+	switch appName {
+	case bench.LinReg:
+		app, err = apps.NewLinReg(rt, apps.LinRegConfig{
+			Examples: perPlace * places, Features: 32, Iterations: iters, Seed: 1,
+		}, rt.World())
+	case bench.LogReg:
+		app, err = apps.NewLogReg(rt, apps.LogRegConfig{
+			Examples: perPlace * places, Features: 32, Iterations: iters, Seed: 1,
+		}, rt.World())
+	case bench.PageRank:
+		app, err = apps.NewPageRank(rt, apps.PageRankConfig{
+			Nodes: perPlace * places, OutDegree: 8, Iterations: iters, Seed: 1,
+		}, rt.World())
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	return app
+}
+
+// runWithFailure executes one small failure-and-recovery run (the
+// per-point measurement of Figures 5-7).
+func runWithFailure(b *testing.B, appName bench.AppName, mode core.RestoreMode) {
+	b.Helper()
+	const places = 6
+	total, spares := places, 0
+	if mode == core.ReplaceRedundant {
+		total, spares = places+1, 1
+	}
+	rt, err := apgas.NewRuntime(apgas.Config{Places: total, Resilient: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Shutdown()
+	killed := false
+	exec, err := core.NewExecutor(rt, core.Config{
+		CheckpointInterval: 4,
+		Mode:               mode,
+		Spares:             spares,
+		AfterStep: func(iter int64) {
+			if !killed && iter == 6 {
+				killed = true
+				_ = rt.Kill(rt.Place(places / 2))
+			}
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	app := makeResilientAppOn(b, rt, exec.ActiveGroup(), appName, places, 12)
+	if err := exec.Run(app); err != nil {
+		b.Fatal(err)
+	}
+	if exec.Metrics().Restores == 0 {
+		b.Fatal("no restore happened")
+	}
+}
+
+// makeResilientAppOn is makeResilientApp over an explicit group.
+func makeResilientAppOn(b *testing.B, rt *apgas.Runtime, pg apgas.PlaceGroup, appName bench.AppName, places, iters int) core.IterativeApp {
+	b.Helper()
+	const perPlace = 200
+	var (
+		app core.IterativeApp
+		err error
+	)
+	switch appName {
+	case bench.LinReg:
+		app, err = apps.NewLinReg(rt, apps.LinRegConfig{
+			Examples: perPlace * places, Features: 32, Iterations: iters, Seed: 1,
+		}, pg)
+	case bench.LogReg:
+		app, err = apps.NewLogReg(rt, apps.LogRegConfig{
+			Examples: perPlace * places, Features: 32, Iterations: iters, Seed: 1,
+		}, pg)
+	case bench.PageRank:
+		app, err = apps.NewPageRank(rt, apps.PageRankConfig{
+			Nodes: perPlace * places, OutDegree: 8, Iterations: iters, Seed: 1,
+		}, pg)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	return app
+}

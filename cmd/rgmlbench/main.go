@@ -1,0 +1,206 @@
+// Command rgmlbench regenerates the tables and figures of the paper's
+// evaluation (section VII). Each experiment writes an aligned text table
+// to stdout and, with -out, to <out>/<id>.txt.
+//
+// Usage:
+//
+//	rgmlbench [flags] <experiment>...
+//	rgmlbench all
+//
+// Experiments: table2, fig2, fig3, fig4, table3, fig5, fig6, fig7, table4.
+//
+// The workload sizes default to laptop scale (see -scale and the
+// per-workload flags); EXPERIMENTS.md records how they map to the paper's
+// cluster-scale parameters.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"github.com/rgml/rgml/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rgmlbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rgmlbench", flag.ContinueOnError)
+	var (
+		outDir     = fs.String("out", "", "directory for result files (empty: stdout only)")
+		placesCSV  = fs.String("places", "", "comma-separated place counts (default 2,4,8,...,44)")
+		iters      = fs.Int("iters", 0, "iterations per run (default 30)")
+		runs       = fs.Int("runs", 0, "runs to average (default 3)")
+		ckpt       = fs.Int("ckpt", 0, "checkpoint interval (default 10)")
+		failIter   = fs.Int("fail-iter", 0, "failure iteration for fig5-7 (default 15)")
+		scale      = fs.Float64("scale", 1, "multiplier on the per-place workload sizes")
+		latency    = fs.Duration("latency", 0, "simulated per-message latency (sleep-based; leave 0 on hosts with coarse timers)")
+		bytePeriod = fs.Duration("byte-period", 0, "simulated per-byte transfer time")
+		ledgerWork = fs.Int("ledger-work", bench.DefaultConfig().LedgerWork, "resilient-finish ledger work units per event")
+		quiet      = fs.Bool("q", false, "suppress progress output")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return fmt.Errorf("no experiments given (try: rgmlbench all)")
+	}
+
+	cfg := bench.DefaultConfig()
+	cfg.Latency = *latency
+	cfg.BytePeriod = *bytePeriod
+	cfg.LedgerWork = *ledgerWork
+	if !*quiet {
+		cfg.Progress = os.Stderr
+	}
+	s := &cfg.Scale
+	if *placesCSV != "" {
+		counts, err := parseInts(*placesCSV)
+		if err != nil {
+			return fmt.Errorf("-places: %w", err)
+		}
+		s.PlaceCounts = counts
+	}
+	if *iters > 0 {
+		s.Iterations = *iters
+	}
+	if *runs > 0 {
+		s.Runs = *runs
+	}
+	if *ckpt > 0 {
+		s.CheckpointInterval = *ckpt
+	}
+	if *failIter > 0 {
+		s.FailureIteration = *failIter
+	}
+	if *scale != 1 {
+		s.LinRegExamplesPerPlace = int(float64(s.LinRegExamplesPerPlace) * *scale)
+		s.LogRegExamplesPerPlace = int(float64(s.LogRegExamplesPerPlace) * *scale)
+		s.PageRankNodesPerPlace = int(float64(s.PageRankNodesPerPlace) * *scale)
+	}
+
+	experiments := fs.Args()
+	if len(experiments) == 1 && experiments[0] == "all" {
+		experiments = []string{"table2", "fig2", "fig3", "fig4", "table3", "fig5", "fig6", "fig7", "table4", "ablations"}
+	}
+	for _, exp := range experiments {
+		if err := runExperiment(cfg, exp, *outDir); err != nil {
+			return fmt.Errorf("%s: %w", exp, err)
+		}
+	}
+	return nil
+}
+
+// output tees an experiment's rendering to stdout and the result file.
+func output(outDir, id string, render func(w io.Writer) error) error {
+	writers := []io.Writer{os.Stdout}
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(outDir, id+".txt"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		writers = append(writers, f)
+	}
+	if err := render(io.MultiWriter(writers...)); err != nil {
+		return err
+	}
+	fmt.Println()
+	return nil
+}
+
+func runExperiment(cfg bench.Config, exp, outDir string) error {
+	figApp := map[string]bench.AppName{
+		"fig2": bench.LinReg, "fig3": bench.LogReg, "fig4": bench.PageRank,
+		"fig5": bench.LinReg, "fig6": bench.LogReg, "fig7": bench.PageRank,
+	}
+	switch exp {
+	case "table2":
+		rows, err := bench.LOCTable()
+		if err != nil {
+			return err
+		}
+		return output(outDir, "table2", func(w io.Writer) error {
+			return bench.WriteLOCTable(w, rows)
+		})
+	case "fig2", "fig3", "fig4":
+		fig, err := cfg.FinishOverheadFigure(figApp[exp])
+		if err != nil {
+			return err
+		}
+		return output(outDir, exp, func(w io.Writer) error {
+			if err := bench.WriteFigure(w, fig); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+			return bench.WriteFigureChart(w, fig)
+		})
+	case "table3":
+		rows, err := cfg.CheckpointTable()
+		if err != nil {
+			return err
+		}
+		return output(outDir, "table3", func(w io.Writer) error {
+			return bench.WriteCheckpointTable(w, rows)
+		})
+	case "fig5", "fig6", "fig7":
+		fig, _, err := cfg.RestoreFigure(figApp[exp])
+		if err != nil {
+			return err
+		}
+		return output(outDir, exp, func(w io.Writer) error {
+			if err := bench.WriteFigure(w, fig); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+			return bench.WriteFigureChart(w, fig)
+		})
+	case "table4":
+		rows, err := cfg.PercentTable()
+		if err != nil {
+			return err
+		}
+		places := cfg.Scale.PlaceCounts[len(cfg.Scale.PlaceCounts)-1]
+		return output(outDir, "table4", func(w io.Writer) error {
+			return bench.WritePercentTable(w, rows, places)
+		})
+	case "ablations":
+		rows, err := cfg.Ablations()
+		if err != nil {
+			return err
+		}
+		return output(outDir, "ablations", func(w io.Writer) error {
+			return bench.WriteAblations(w, rows)
+		})
+	default:
+		return fmt.Errorf("unknown experiment (want table2, fig2-7, table3, table4, ablations, all)")
+	}
+}
+
+func parseInts(csv string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(csv, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("place count %d out of range", n)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -1,0 +1,64 @@
+// Logistic regression under the replace-elastic restoration mode — the
+// paper's future-work fourth mode, built on dynamic place creation
+// (Elastic X10): instead of reserving spares up front, a brand-new place
+// is created to take each failed place's position.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/rgml/rgml"
+)
+
+func main() {
+	const (
+		places   = 6
+		examples = 3000
+		features = 32
+		iters    = 25
+	)
+	rt, err := rgml.NewRuntime(rgml.RuntimeConfig{Places: places, Resilient: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Shutdown()
+
+	killed := 0
+	exec, err := rgml.NewExecutor(rt, rgml.ExecutorConfig{
+		CheckpointInterval: 5,
+		Mode:               rgml.ReplaceElastic,
+		AfterStep: func(iter int64) {
+			// Two separate failures: both victims are replaced by places
+			// created on the fly.
+			if (iter == 8 && killed == 0) || (iter == 17 && killed == 1) {
+				victim := rt.Place(1 + killed*2)
+				killed++
+				fmt.Printf("iteration %d: killing %v\n", iter, victim)
+				if err := rt.Kill(victim); err != nil {
+					log.Fatal(err)
+				}
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	app, err := rgml.NewLogReg(rt, rgml.LogRegConfig{
+		Examples: examples, Features: features, Iterations: iters, Seed: 99,
+	}, exec.ActiveGroup())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := exec.Run(app); err != nil {
+		log.Fatal(err)
+	}
+
+	m := exec.Metrics()
+	st := rt.Stats()
+	fmt.Printf("finished on %v\n", exec.ActiveGroup())
+	fmt.Printf("failures: %d, elastic places created: %d, restores: %d\n",
+		st.PlacesKilled, st.PlacesAdded, m.Restores)
+	fmt.Printf("final training loss: %.4f\n", app.Loss())
+}

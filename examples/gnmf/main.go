@@ -1,0 +1,71 @@
+// Non-negative matrix factorization under checkpoint/restart — a fourth
+// GML-style application on top of the framework, exercising the
+// distributed matrix-matrix operations (WᵀV reductions, V·Hᵀ local
+// products, element-wise multiplicative updates). A place dies mid-run;
+// the factorization rolls back, recovers, and the objective keeps
+// decreasing monotonically as Lee-Seung updates must.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/rgml/rgml"
+)
+
+func main() {
+	const places = 6
+	rt, err := rgml.NewRuntime(rgml.RuntimeConfig{Places: places, Resilient: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Shutdown()
+
+	killed := false
+	exec, err := rgml.NewExecutor(rt, rgml.ExecutorConfig{
+		CheckpointInterval: 5,
+		Mode:               rgml.Shrink,
+		AfterStep: func(iter int64) {
+			if !killed && iter == 8 {
+				killed = true
+				victim := rt.Place(3)
+				fmt.Printf("iteration %d: killing %v\n", iter, victim)
+				if err := rt.Kill(victim); err != nil {
+					log.Fatal(err)
+				}
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	app, err := rgml.NewGNMF(rt, rgml.GNMFConfig{
+		Rows: 1200, Cols: 300, NNZPerCol: 12, Rank: 8,
+		Iterations: 20, Seed: 7,
+	}, exec.ActiveGroup())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	before, err := app.Objective()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("initial ‖V−WH‖² = %.2f\n", before)
+
+	if err := exec.Run(app); err != nil {
+		log.Fatal(err)
+	}
+	after, err := app.Objective()
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := exec.Metrics()
+	fmt.Printf("final   ‖V−WH‖² = %.2f  (%.1f%% of initial)\n", after, 100*after/before)
+	fmt.Printf("recovered from %d failure(s), %d iterations replayed, finished on %v\n",
+		m.Restores, m.ReplayedSteps, exec.ActiveGroup())
+	if after >= before {
+		log.Fatal("objective did not decrease")
+	}
+}

@@ -1,0 +1,71 @@
+// Linear regression with a hot spare: the replace-redundant restoration
+// mode (paper section V-B3). One extra place is reserved at start; when an
+// active place dies, the spare takes its position in the group, the data
+// distribution stays unchanged, and training continues at full width.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/rgml/rgml"
+)
+
+func main() {
+	const (
+		activePlaces = 6
+		spares       = 1
+		examples     = 3000
+		features     = 32
+		iters        = 25
+	)
+	rt, err := rgml.NewRuntime(rgml.RuntimeConfig{
+		Places:    activePlaces + spares,
+		Resilient: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Shutdown()
+
+	killed := false
+	exec, err := rgml.NewExecutor(rt, rgml.ExecutorConfig{
+		CheckpointInterval: 5,
+		Mode:               rgml.ReplaceRedundant,
+		Spares:             spares,
+		AfterStep: func(iter int64) {
+			if !killed && iter == 12 {
+				killed = true
+				victim := rt.Place(3)
+				fmt.Printf("iteration %d: killing %v\n", iter, victim)
+				if err := rt.Kill(victim); err != nil {
+					log.Fatal(err)
+				}
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("active: %v  (1 spare reserved)\n", exec.ActiveGroup())
+
+	app, err := rgml.NewLinReg(rt, rgml.LinRegConfig{
+		Examples: examples, Features: features, Iterations: iters, Seed: 7,
+	}, exec.ActiveGroup())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := exec.Run(app); err != nil {
+		log.Fatal(err)
+	}
+
+	m := exec.Metrics()
+	fmt.Printf("finished on %v — group size unchanged, no rebalancing needed\n", exec.ActiveGroup())
+	fmt.Printf("restores: %d, iterations replayed: %d\n", m.Restores, m.ReplayedSteps)
+
+	w, err := app.Weights()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("first trained weights:", w[:4])
+}

@@ -1,0 +1,3 @@
+module github.com/rgml/rgml
+
+go 1.22

@@ -1,0 +1,200 @@
+package apgas
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestThrowNilIsNoop(t *testing.T) {
+	rt := newTestRuntime(t, 2, true)
+	err := rt.Finish(func(ctx *Ctx) {
+		ctx.AsyncAt(rt.Place(1), func(*Ctx) {
+			Throw(nil) // must not abort the task
+		})
+	})
+	if err != nil {
+		t.Fatalf("Finish = %v", err)
+	}
+}
+
+func TestThrowCustomError(t *testing.T) {
+	rt := newTestRuntime(t, 2, true)
+	custom := errors.New("app-level failure")
+	err := rt.Finish(func(ctx *Ctx) {
+		ctx.AsyncAt(rt.Place(1), func(*Ctx) { Throw(custom) })
+	})
+	if !errors.Is(err, custom) {
+		t.Fatalf("Finish = %v, want custom error", err)
+	}
+	if IsDeadPlace(err) {
+		t.Error("custom error misreported as dead place")
+	}
+}
+
+func TestNestedEval(t *testing.T) {
+	rt := newTestRuntime(t, 3, false)
+	err := rt.Finish(func(ctx *Ctx) {
+		got := Eval(ctx, rt.Place(1), func(c1 *Ctx) int {
+			// Hop again from place 1 to place 2.
+			return Eval(c1, rt.Place(2), func(c2 *Ctx) int {
+				return c2.Here.ID * 100
+			}) + c1.Here.ID
+		})
+		if got != 201 {
+			Throw(errors.New("nested Eval result wrong"))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFinishFromNonZeroPlace(t *testing.T) {
+	rt := newTestRuntime(t, 3, true)
+	var ran atomic.Bool
+	err := rt.Finish(func(ctx *Ctx) {
+		ctx.AsyncAt(rt.Place(2), func(c *Ctx) {
+			// A finish whose main activity runs at place 2.
+			err := c.FinishFrom(func(ic *Ctx) {
+				if ic.Here.ID != 2 {
+					Throw(errors.New("inner finish not at place 2"))
+				}
+				ic.AsyncAt(rt.Place(1), func(*Ctx) { ran.Store(true) })
+			})
+			if err != nil {
+				Throw(err)
+			}
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ran.Load() {
+		t.Fatal("inner task never ran")
+	}
+}
+
+func TestPlaceLocalHandleInitFailureCleansUp(t *testing.T) {
+	rt := newTestRuntime(t, 3, true)
+	boom := errors.New("init failed")
+	_, err := NewPlaceLocalHandle(rt, rt.World(), func(ctx *Ctx, idx int) int {
+		if idx == 1 {
+			Throw(boom)
+		}
+		return idx
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTaskPanicWithNonError(t *testing.T) {
+	rt := newTestRuntime(t, 2, true)
+	err := rt.Finish(func(ctx *Ctx) {
+		ctx.AsyncAt(rt.Place(1), func(*Ctx) { panic(42) })
+	})
+	if err == nil {
+		t.Fatal("panic swallowed")
+	}
+	if IsDeadPlace(err) {
+		t.Error("plain panic misreported as dead place")
+	}
+}
+
+func TestTransferSamePlaceFree(t *testing.T) {
+	rt := newTestRuntime(t, 2, false)
+	before := rt.Stats()
+	err := rt.Finish(func(ctx *Ctx) {
+		ctx.Transfer(ctx.Here, 1<<20) // local move: no message, no bytes
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := rt.Stats().Sub(before)
+	if d.Messages != 0 || d.Bytes != 0 {
+		t.Fatalf("local transfer counted: %+v", d)
+	}
+}
+
+func TestGlobalRefFreeAndMissing(t *testing.T) {
+	rt := newTestRuntime(t, 2, false)
+	err := rt.Finish(func(ctx *Ctx) {
+		gr := NewGlobalRef(ctx, "x")
+		gr.Free()
+		defer func() {
+			if recover() == nil {
+				Throw(errors.New("expected panic on freed ref"))
+			}
+		}()
+		_ = gr.Get(ctx)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Freeing a zero ref is safe.
+	var zero GlobalRef[int]
+	zero.Free()
+}
+
+func TestRuntimeStringers(t *testing.T) {
+	p := Place{ID: 5}
+	if p.String() != "place(5)" {
+		t.Errorf("Place.String = %q", p.String())
+	}
+}
+
+func TestKillDuringAt(t *testing.T) {
+	// A synchronous At to a place that dies mid-execution throws on the
+	// post-execution liveness check.
+	rt := newTestRuntime(t, 3, true)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- rt.Finish(func(ctx *Ctx) {
+			ctx.At(rt.Place(1), func(c *Ctx) {
+				close(started)
+				<-release
+			})
+		})
+	}()
+	<-started
+	if err := rt.Kill(rt.Place(1)); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	if err := <-done; !IsDeadPlace(err) {
+		t.Fatalf("Finish = %v, want DeadPlaceError", err)
+	}
+}
+
+func TestManyConcurrentFinishes(t *testing.T) {
+	// Stress the ledger with overlapping finishes.
+	rt := newTestRuntime(t, 4, true)
+	var total atomic.Int64
+	outer := rt.Finish(func(ctx *Ctx) {
+		for i := 0; i < 8; i++ {
+			ctx.AsyncAt(rt.Place(i%4), func(c *Ctx) {
+				err := c.FinishFrom(func(ic *Ctx) {
+					for j := 0; j < 4; j++ {
+						ic.AsyncAt(rt.Place(j), func(*Ctx) {
+							total.Add(1)
+							time.Sleep(time.Millisecond)
+						})
+					}
+				})
+				if err != nil {
+					Throw(err)
+				}
+			})
+		}
+	})
+	if outer != nil {
+		t.Fatal(outer)
+	}
+	if total.Load() != 32 {
+		t.Fatalf("ran %d tasks, want 32", total.Load())
+	}
+}

@@ -1,0 +1,161 @@
+package apgas
+
+import (
+	"sync"
+)
+
+// Finish is the synchronization scope created by Runtime.Finish. It collects
+// the exceptions of the tasks spawned within it and blocks the creating
+// activity until all of them (transitively) have terminated — X10's finish
+// construct.
+//
+// Two implementations hide behind the one type, selected by Config.Resilient:
+//
+//   - non-resilient: a plain local barrier (WaitGroup semantics). This is
+//     the cheap mode whose per-iteration times form the lower curves in the
+//     paper's Figures 2-4.
+//
+//   - resilient: every task fork and join is an event processed serially by
+//     the place-zero ledger, which detects place death, terminates orphan
+//     tasks, and delivers DeadPlaceError to the affected finishes. The
+//     bookkeeping traffic is the overhead measured in Figures 2-4.
+type Finish struct {
+	rt   *Runtime
+	id   uint64
+	home Place
+
+	mu   sync.Mutex
+	errs []error
+
+	// Non-resilient barrier.
+	wg sync.WaitGroup
+
+	// Resilient release signal, closed by the ledger when the finish is
+	// waiting and its last live task has joined.
+	release chan struct{}
+}
+
+func (rt *Runtime) newFinish(home Place) *Finish {
+	f := &Finish{
+		rt:   rt,
+		id:   rt.nextFinish.Add(1),
+		home: home,
+	}
+	if rt.cfg.Resilient {
+		f.release = make(chan struct{})
+	}
+	return f
+}
+
+// record appends an exception to the finish's collection.
+func (f *Finish) record(err error) {
+	if err == nil {
+		return
+	}
+	f.mu.Lock()
+	f.errs = append(f.errs, err)
+	f.mu.Unlock()
+}
+
+// wait blocks until the finish quiesces and returns its combined exceptions.
+func (f *Finish) wait() error {
+	if f.rt.cfg.Resilient {
+		// Ask the ledger to release us once our live-task set drains. The
+		// round trip through the serialized ledger is part of the resilient
+		// finish cost.
+		f.rt.ledger.send(ledgerEvent{kind: evWait, fin: f})
+		<-f.release
+	} else {
+		f.wg.Wait()
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return combineErrors(f.errs)
+}
+
+// task identifies one spawned activity for the resilient ledger.
+type task struct {
+	id    uint64
+	fin   *Finish
+	place Place
+}
+
+// AsyncAt spawns fn as a new task at place p, registered with the task's
+// dynamically enclosing finish (X10: "at (p) async S"). It returns
+// immediately; the enclosing finish waits for the task.
+func (c *Ctx) AsyncAt(p Place, fn func(ctx *Ctx)) {
+	f := c.fin
+	if f == nil {
+		panic("apgas: AsyncAt outside a finish scope")
+	}
+	rt := c.rt
+	rt.stats.TasksSpawned.Add(1)
+	rt.stats.countMessage(c.Here, p, 0)
+	rt.cfg.Net.charge(c.Here, p, 0)
+
+	if !rt.cfg.Resilient {
+		// Non-resilient places never fail (Kill is rejected), so no
+		// liveness bookkeeping is needed: just a local barrier.
+		f.wg.Add(1)
+		go func() {
+			defer f.wg.Done()
+			runTask(rt, p, f, fn)
+		}()
+		return
+	}
+
+	t := &task{id: rt.nextTask.Add(1), fin: f, place: p}
+	// FORK is enqueued before the task starts, so the ledger always sees
+	// FORK before the task's JOIN (the event channel is FIFO).
+	rt.ledger.send(ledgerEvent{kind: evFork, task: t, from: c.Here})
+	go func() {
+		err := runTaskErr(rt, p, f, fn)
+		rt.ledger.send(ledgerEvent{kind: evJoin, task: t, err: err, from: p})
+	}()
+}
+
+// runTask executes fn at place p under panic-to-exception conversion and
+// records any failure directly on the finish (non-resilient path).
+func runTask(rt *Runtime, p Place, f *Finish, fn func(ctx *Ctx)) {
+	if err := runTaskErr(rt, p, f, fn); err != nil {
+		f.record(err)
+	}
+}
+
+// runTaskErr executes fn at place p and returns its failure, if any.
+func runTaskErr(rt *Runtime, p Place, f *Finish, fn func(ctx *Ctx)) (err error) {
+	defer func() {
+		if e := recoverTaskError(recover()); e != nil {
+			err = e
+		}
+	}()
+	pl := rt.placeState(p)
+	pl.checkAlive()
+	fn(&Ctx{rt: rt, Here: p, fin: f})
+	return nil
+}
+
+// taskError carries an application error thrown by Throw through the panic
+// unwinding machinery.
+type taskError struct{ err error }
+
+// Throw aborts the current task with err; the enclosing finish collects it.
+// It is the emulation's equivalent of throwing an exception in X10.
+func Throw(err error) {
+	if err == nil {
+		return
+	}
+	panic(taskError{err: err})
+}
+
+// ForEachPlace runs fn concurrently at every place of g under a fresh
+// finish, passing each place's index within the group. It is the workhorse
+// collective of the GML layer ("execute on all places of the group").
+func ForEachPlace(rt *Runtime, g PlaceGroup, fn func(ctx *Ctx, idx int)) error {
+	return rt.Finish(func(ctx *Ctx) {
+		for i, p := range g {
+			i, p := i, p
+			ctx.AsyncAt(p, func(c *Ctx) { fn(c, i) })
+		}
+	})
+}

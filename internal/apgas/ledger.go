@@ -1,0 +1,201 @@
+package apgas
+
+// The resilient-finish ledger.
+//
+// Resilient X10 (Cunningham et al., PPoPP 2014) implements failure-aware
+// finish by recording every task fork and join at place zero. The paper
+// reproduced here measures that design's cost directly: "The increasing
+// cost of resilient X10 with number of places is due to communication with
+// place 0 for activity bookkeeping, which has previously been identified as
+// a scalability bottleneck for place-zero-based resilient finish."
+//
+// This ledger reproduces the design faithfully at emulation scale: a single
+// goroutine (logically at place zero) processes FORK / JOIN / WAIT /
+// PLACE-DIED events one at a time. Because the processing is serialized,
+// bookkeeping cost grows with the total number of spawned tasks — which
+// under weak scaling grows with the number of places — and sits on the
+// application's critical path at every finish barrier, just as in the
+// measured system.
+
+type ledgerEventKind uint8
+
+const (
+	evFork ledgerEventKind = iota
+	evJoin
+	evWait
+	evPlaceDied
+	evStop
+)
+
+type ledgerEvent struct {
+	kind ledgerEventKind
+	task *task
+	fin  *Finish
+	err  error
+	from Place
+	dead Place
+}
+
+type ledger struct {
+	rt *Runtime
+	ch chan ledgerEvent
+	// finDone is closed when the ledger goroutine exits.
+	done chan struct{}
+
+	// All state below is owned by the ledger goroutine; no locking needed.
+
+	// liveByFinish tracks, per finish, the tasks forked but not yet joined.
+	liveByFinish map[uint64]map[uint64]*task
+	// liveByPlace indexes the same live tasks by the place they run at, so
+	// a place death can terminate exactly its orphans.
+	liveByPlace map[int]map[uint64]*task
+	// waiting holds the finishes whose main activity has reached wait().
+	waiting map[uint64]*Finish
+	// deadPlaces remembers failures so late FORKs to a dead place fail fast.
+	deadPlaces map[int]bool
+	// live is the total number of live tasks, passed to the LedgerCost
+	// congestion model.
+	live int
+}
+
+func newLedger(rt *Runtime) *ledger {
+	l := &ledger{
+		rt:           rt,
+		ch:           make(chan ledgerEvent, 4096),
+		done:         make(chan struct{}),
+		liveByFinish: make(map[uint64]map[uint64]*task),
+		liveByPlace:  make(map[int]map[uint64]*task),
+		waiting:      make(map[uint64]*Finish),
+		deadPlaces:   make(map[int]bool),
+	}
+	go l.run()
+	return l
+}
+
+// send delivers a bookkeeping event to the ledger, charging the network
+// model for the hop to place zero.
+func (l *ledger) send(ev ledgerEvent) {
+	l.rt.cfg.Net.charge(ev.from, Place{ID: 0}, 0)
+	l.rt.stats.countMessage(ev.from, Place{ID: 0}, 0)
+	l.ch <- ev
+}
+
+// placeDied notifies the ledger that p has failed (failure detection).
+func (l *ledger) placeDied(p Place) {
+	l.ch <- ledgerEvent{kind: evPlaceDied, dead: p, from: p}
+}
+
+func (l *ledger) stop() {
+	l.ch <- ledgerEvent{kind: evStop}
+	<-l.done
+}
+
+func (l *ledger) run() {
+	defer close(l.done)
+	for ev := range l.ch {
+		if ev.kind == evStop {
+			return
+		}
+		l.rt.stats.LedgerEvents.Add(1)
+		if cost := l.rt.cfg.LedgerCost; cost != nil {
+			cost(l.live)
+		}
+		switch ev.kind {
+		case evFork:
+			l.fork(ev.task)
+		case evJoin:
+			l.join(ev.task, ev.err)
+		case evWait:
+			l.waitReq(ev.fin)
+		case evPlaceDied:
+			l.died(ev.dead)
+		}
+	}
+}
+
+func (l *ledger) fork(t *task) {
+	if l.deadPlaces[t.place.ID] || l.rt.placeState(t.place).isDead() {
+		// The task will never run usefully; report it dead immediately.
+		// Its eventual JOIN (the goroutine still executes and aborts on
+		// first store access) is ignored because the task was never live.
+		t.fin.record(&DeadPlaceError{Place: t.place})
+		return
+	}
+	byFin := l.liveByFinish[t.fin.id]
+	if byFin == nil {
+		byFin = make(map[uint64]*task)
+		l.liveByFinish[t.fin.id] = byFin
+	}
+	byFin[t.id] = t
+	byPlace := l.liveByPlace[t.place.ID]
+	if byPlace == nil {
+		byPlace = make(map[uint64]*task)
+		l.liveByPlace[t.place.ID] = byPlace
+	}
+	byPlace[t.id] = t
+	l.live++
+}
+
+func (l *ledger) join(t *task, err error) {
+	byFin := l.liveByFinish[t.fin.id]
+	if byFin == nil || byFin[t.id] == nil {
+		// Already terminated by a place death (or the fork was refused);
+		// the forced termination's DeadPlaceError stands.
+		return
+	}
+	t.fin.record(err)
+	l.remove(t)
+	l.maybeRelease(t.fin)
+}
+
+// died terminates every live task at p with a DeadPlaceError and releases
+// any finish that was only waiting on p's orphans.
+func (l *ledger) died(p Place) {
+	l.deadPlaces[p.ID] = true
+	orphans := l.liveByPlace[p.ID]
+	delete(l.liveByPlace, p.ID)
+	for _, t := range orphans {
+		l.live--
+		t.fin.record(&DeadPlaceError{Place: p})
+		if byFin := l.liveByFinish[t.fin.id]; byFin != nil {
+			delete(byFin, t.id)
+			if len(byFin) == 0 {
+				delete(l.liveByFinish, t.fin.id)
+			}
+		}
+		l.maybeRelease(t.fin)
+	}
+}
+
+func (l *ledger) waitReq(f *Finish) {
+	l.waiting[f.id] = f
+	l.maybeRelease(f)
+}
+
+func (l *ledger) remove(t *task) {
+	l.live--
+	if byFin := l.liveByFinish[t.fin.id]; byFin != nil {
+		delete(byFin, t.id)
+		if len(byFin) == 0 {
+			delete(l.liveByFinish, t.fin.id)
+		}
+	}
+	if byPlace := l.liveByPlace[t.place.ID]; byPlace != nil {
+		delete(byPlace, t.id)
+		if len(byPlace) == 0 {
+			delete(l.liveByPlace, t.place.ID)
+		}
+	}
+}
+
+// maybeRelease releases a waiting finish whose live-task set has drained.
+func (l *ledger) maybeRelease(f *Finish) {
+	if _, ok := l.waiting[f.id]; !ok {
+		return
+	}
+	if len(l.liveByFinish[f.id]) > 0 {
+		return
+	}
+	delete(l.waiting, f.id)
+	close(f.release)
+}

@@ -1,0 +1,92 @@
+package apgas
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Place identifies a place in the partitioned global address space. It is a
+// small value type, like x10.lang.Place; the runtime state backing it lives
+// inside the Runtime.
+type Place struct {
+	// ID is the place's identifier. IDs are dense at startup (0..n-1) and
+	// grow monotonically as elastic places are added; they are never reused.
+	ID int
+}
+
+// String implements fmt.Stringer.
+func (p Place) String() string { return fmt.Sprintf("place(%d)", p.ID) }
+
+// place is the runtime-internal state of a place: an isolated object store.
+// Task execution is carried by goroutines tagged with a Ctx; the store is
+// the only channel through which multi-place data structures keep state at
+// a place, so dropping it on failure makes the loss of data real.
+type place struct {
+	id   int
+	mu   sync.RWMutex
+	dead bool
+	// store maps handle IDs (PlaceLocalHandle / GlobalRef) to this place's
+	// fragment of the corresponding global object.
+	store map[uint64]any
+}
+
+func newPlace(id int) *place {
+	return &place{id: id, store: make(map[uint64]any)}
+}
+
+// get returns the stored value for handle id, throwing DeadPlaceError if the
+// place has failed. ok is false when the handle has no value here.
+func (pl *place) get(id uint64) (v any, ok bool) {
+	pl.mu.RLock()
+	defer pl.mu.RUnlock()
+	if pl.dead {
+		throwDead(Place{ID: pl.id})
+	}
+	v, ok = pl.store[id]
+	return v, ok
+}
+
+// set stores a value for handle id, throwing DeadPlaceError if the place has
+// failed.
+func (pl *place) set(id uint64, v any) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if pl.dead {
+		throwDead(Place{ID: pl.id})
+	}
+	pl.store[id] = v
+}
+
+// remove deletes the value for handle id. Removing from a dead place is a
+// no-op: the data is already gone.
+func (pl *place) remove(id uint64) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if pl.dead {
+		return
+	}
+	delete(pl.store, id)
+}
+
+// kill marks the place dead and drops its store, making every object
+// fragment it held unreachable. Idempotent.
+func (pl *place) kill() {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	pl.dead = true
+	pl.store = nil
+}
+
+// isDead reports whether the place has failed.
+func (pl *place) isDead() bool {
+	pl.mu.RLock()
+	defer pl.mu.RUnlock()
+	return pl.dead
+}
+
+// checkAlive throws DeadPlaceError if the place has failed.
+func (pl *place) checkAlive() {
+	if pl.isDead() {
+		throwDead(Place{ID: pl.id})
+	}
+}

@@ -1,0 +1,104 @@
+package apgas
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PlaceGroup is an ordered collection of places, mirroring
+// x10.lang.PlaceGroup. Multi-place GML objects are distributed over a
+// PlaceGroup; the *index* of a place within the group (not its ID) is the
+// key used for data placement and for snapshot storage, which is what lets
+// an object be restored onto a different group after a failure (paper
+// section IV-B1: "the identifiers of the remaining places will remain
+// unchanged, but the index of some places will be shifted").
+type PlaceGroup []Place
+
+// Size returns the number of places in the group.
+func (g PlaceGroup) Size() int { return len(g) }
+
+// Contains reports whether p is a member of the group.
+func (g PlaceGroup) Contains(p Place) bool { return g.IndexOf(p) >= 0 }
+
+// IndexOf returns the index of p within the group, or -1.
+func (g PlaceGroup) IndexOf(p Place) int {
+	for i, q := range g {
+		if q.ID == p.ID {
+			return i
+		}
+	}
+	return -1
+}
+
+// Clone returns an independent copy of the group.
+func (g PlaceGroup) Clone() PlaceGroup {
+	out := make(PlaceGroup, len(g))
+	copy(out, g)
+	return out
+}
+
+// Without returns a new group with every place in dead filtered out,
+// preserving the order of the survivors. This is the "shrink" group
+// computation used by the restoration modes.
+func (g PlaceGroup) Without(dead ...Place) PlaceGroup {
+	isDead := make(map[int]bool, len(dead))
+	for _, d := range dead {
+		isDead[d.ID] = true
+	}
+	out := make(PlaceGroup, 0, len(g))
+	for _, p := range g {
+		if !isDead[p.ID] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Replace returns a new group where each place in dead has been substituted
+// in-position by the corresponding place in spares. It returns an error if
+// fewer spares than dead places are supplied. This is the "replace-redundant"
+// group computation: the group keeps its size, so the data distribution is
+// unchanged after the failure.
+func (g PlaceGroup) Replace(dead []Place, spares []Place) (PlaceGroup, error) {
+	if len(spares) < len(dead) {
+		return nil, fmt.Errorf("apgas: %d dead places but only %d spares", len(dead), len(spares))
+	}
+	isDead := make(map[int]bool, len(dead))
+	for _, d := range dead {
+		isDead[d.ID] = true
+	}
+	out := g.Clone()
+	next := 0
+	for i, p := range out {
+		if isDead[p.ID] {
+			out[i] = spares[next]
+			next++
+		}
+	}
+	if next < len(dead) {
+		return nil, fmt.Errorf("apgas: %d dead places are not members of the group", len(dead)-next)
+	}
+	return out, nil
+}
+
+// Equal reports whether g and h contain the same places in the same order.
+func (g PlaceGroup) Equal(h PlaceGroup) bool {
+	if len(g) != len(h) {
+		return false
+	}
+	for i := range g {
+		if g[i].ID != h[i].ID {
+			return false
+		}
+	}
+	return true
+}
+
+// String implements fmt.Stringer.
+func (g PlaceGroup) String() string {
+	ids := make([]string, len(g))
+	for i, p := range g {
+		ids[i] = fmt.Sprint(p.ID)
+	}
+	return "places[" + strings.Join(ids, ",") + "]"
+}

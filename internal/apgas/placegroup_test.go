@@ -1,0 +1,215 @@
+package apgas
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func pg(ids ...int) PlaceGroup {
+	g := make(PlaceGroup, len(ids))
+	for i, id := range ids {
+		g[i] = Place{ID: id}
+	}
+	return g
+}
+
+func TestPlaceGroupBasics(t *testing.T) {
+	g := pg(0, 1, 2, 3)
+	if g.Size() != 4 {
+		t.Errorf("Size = %d", g.Size())
+	}
+	if !g.Contains(Place{ID: 2}) || g.Contains(Place{ID: 9}) {
+		t.Error("Contains wrong")
+	}
+	if g.IndexOf(Place{ID: 3}) != 3 || g.IndexOf(Place{ID: 7}) != -1 {
+		t.Error("IndexOf wrong")
+	}
+	c := g.Clone()
+	c[0] = Place{ID: 99}
+	if g[0].ID == 99 {
+		t.Error("Clone is not independent")
+	}
+	if g.String() != "places[0,1,2,3]" {
+		t.Errorf("String = %q", g.String())
+	}
+}
+
+func TestPlaceGroupWithout(t *testing.T) {
+	g := pg(0, 1, 2, 3, 4)
+	got := g.Without(Place{ID: 1}, Place{ID: 3})
+	if !got.Equal(pg(0, 2, 4)) {
+		t.Errorf("Without = %v", got)
+	}
+	// Removing an absent place is a no-op.
+	if !g.Without(Place{ID: 42}).Equal(g) {
+		t.Error("Without(absent) changed the group")
+	}
+	// Original untouched.
+	if !g.Equal(pg(0, 1, 2, 3, 4)) {
+		t.Error("Without mutated receiver")
+	}
+}
+
+func TestPlaceGroupReplace(t *testing.T) {
+	g := pg(0, 1, 2, 3)
+	got, err := g.Replace([]Place{{ID: 1}, {ID: 3}}, []Place{{ID: 8}, {ID: 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(pg(0, 8, 2, 9)) {
+		t.Errorf("Replace = %v", got)
+	}
+	// Not enough spares.
+	if _, err := g.Replace([]Place{{ID: 1}, {ID: 2}}, []Place{{ID: 8}}); err == nil {
+		t.Error("expected error for insufficient spares")
+	}
+	// Dead place not in group.
+	if _, err := g.Replace([]Place{{ID: 42}}, []Place{{ID: 8}}); err == nil {
+		t.Error("expected error for non-member dead place")
+	}
+}
+
+func TestPlaceGroupEqual(t *testing.T) {
+	if !pg(1, 2).Equal(pg(1, 2)) {
+		t.Error("equal groups reported unequal")
+	}
+	if pg(1, 2).Equal(pg(2, 1)) {
+		t.Error("order must matter")
+	}
+	if pg(1).Equal(pg(1, 2)) {
+		t.Error("length must matter")
+	}
+}
+
+// Property: for any subset of members removed, Without yields a group that
+// excludes exactly those members and preserves relative order.
+func TestPlaceGroupWithoutProperty(t *testing.T) {
+	f := func(n uint8, mask uint16) bool {
+		size := int(n%12) + 1
+		g := make(PlaceGroup, size)
+		for i := range g {
+			g[i] = Place{ID: i}
+		}
+		var dead []Place
+		for i := 0; i < size; i++ {
+			if mask&(1<<i) != 0 {
+				dead = append(dead, Place{ID: i})
+			}
+		}
+		got := g.Without(dead...)
+		if got.Size() != size-len(dead) {
+			return false
+		}
+		prev := -1
+		for _, p := range got {
+			for _, d := range dead {
+				if p.ID == d.ID {
+					return false
+				}
+			}
+			if p.ID <= prev {
+				return false
+			}
+			prev = p.ID
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Replace preserves group size and replaces dead members
+// in-position with spares, in order.
+func TestPlaceGroupReplaceProperty(t *testing.T) {
+	f := func(n uint8, mask uint16) bool {
+		size := int(n%12) + 1
+		g := make(PlaceGroup, size)
+		for i := range g {
+			g[i] = Place{ID: i}
+		}
+		var dead []Place
+		for i := 0; i < size; i++ {
+			if mask&(1<<i) != 0 {
+				dead = append(dead, Place{ID: i})
+			}
+		}
+		spares := make([]Place, len(dead))
+		for i := range spares {
+			spares[i] = Place{ID: 100 + i}
+		}
+		got, err := g.Replace(dead, spares)
+		if err != nil {
+			return false
+		}
+		if got.Size() != size {
+			return false
+		}
+		next := 0
+		for i, p := range g {
+			isDead := false
+			for _, d := range dead {
+				if p.ID == d.ID {
+					isDead = true
+				}
+			}
+			if isDead {
+				if got[i].ID != 100+next {
+					return false
+				}
+				next++
+			} else if got[i].ID != p.ID {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeadPlacesExtraction(t *testing.T) {
+	err := combineErrors([]error{
+		&DeadPlaceError{Place: Place{ID: 3}},
+		&DeadPlaceError{Place: Place{ID: 1}},
+		&DeadPlaceError{Place: Place{ID: 3}},
+	})
+	got := DeadPlaces(err)
+	if len(got) != 2 || got[0].ID != 1 || got[1].ID != 3 {
+		t.Fatalf("DeadPlaces = %v, want [1 3]", got)
+	}
+	if DeadPlaces(nil) != nil && len(DeadPlaces(nil)) != 0 {
+		t.Error("DeadPlaces(nil) should be empty")
+	}
+	if len(DeadPlaces(ErrShutdown)) != 0 {
+		t.Error("unrelated error should yield no dead places")
+	}
+}
+
+func TestCombineErrors(t *testing.T) {
+	if combineErrors(nil) != nil {
+		t.Error("empty combine should be nil")
+	}
+	e := &DeadPlaceError{Place: Place{ID: 1}}
+	if combineErrors([]error{e}) != e {
+		t.Error("single error should pass through")
+	}
+	m := combineErrors([]error{e, e})
+	if _, ok := m.(*MultiError); !ok {
+		t.Errorf("want MultiError, got %T", m)
+	}
+	if m.Error() == "" {
+		t.Error("empty message")
+	}
+}
+
+func TestDeadPlaceErrorMessage(t *testing.T) {
+	e := &DeadPlaceError{Place: Place{ID: 7}}
+	if e.Error() != "apgas: dead place 7" {
+		t.Errorf("Error = %q", e.Error())
+	}
+	if !IsDeadPlace(e) {
+		t.Error("IsDeadPlace(e) = false")
+	}
+}

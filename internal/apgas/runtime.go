@@ -1,0 +1,288 @@
+package apgas
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Config parameterizes a Runtime.
+type Config struct {
+	// Places is the number of places to create, at least 1. Place IDs are
+	// 0..Places-1.
+	Places int
+	// Resilient selects resilient finish semantics: task forks and joins
+	// are recorded by a ledger at place zero, place failures are detected,
+	// and affected finishes observe DeadPlaceError. Without it, finishes are
+	// plain local barriers and failure injection is rejected (matching
+	// non-resilient X10, where a crash takes the whole application down).
+	Resilient bool
+	// Net is the simulated interconnect. The zero value is a free network.
+	Net NetModel
+	// LedgerCost is extra processing work performed by the place-zero
+	// ledger for each bookkeeping event, on top of the real map
+	// maintenance. It receives the ledger's current live-task count:
+	// resilient X10's place-zero finish maintains per-finish, per-place
+	// transit state whose upkeep grows with the amount of outstanding
+	// activity, which is why the paper identifies place-zero bookkeeping
+	// as the scalability bottleneck. Events are processed serially, so
+	// this cost is not parallelizable.
+	LedgerCost func(liveTasks int)
+}
+
+// Runtime is the emulated APGAS runtime: a fixed-at-startup (but elastically
+// growable) set of places, a failure injector, and the finish machinery.
+type Runtime struct {
+	cfg Config
+
+	mu     sync.RWMutex
+	places []*place // indexed by place ID; never shrinks
+	down   bool
+
+	ledger *ledger // non-nil iff cfg.Resilient
+
+	nextHandle atomic.Uint64
+	nextTask   atomic.Uint64
+	nextFinish atomic.Uint64
+
+	stats Stats
+}
+
+// NewRuntime creates a runtime with cfg.Places live places.
+func NewRuntime(cfg Config) (*Runtime, error) {
+	if cfg.Places < 1 {
+		return nil, fmt.Errorf("apgas: Config.Places must be >= 1, got %d", cfg.Places)
+	}
+	rt := &Runtime{cfg: cfg}
+	rt.places = make([]*place, cfg.Places)
+	for i := range rt.places {
+		rt.places[i] = newPlace(i)
+	}
+	if cfg.Resilient {
+		rt.ledger = newLedger(rt)
+	}
+	return rt, nil
+}
+
+// Resilient reports whether the runtime uses resilient finish semantics.
+func (rt *Runtime) Resilient() bool { return rt.cfg.Resilient }
+
+// Net returns the runtime's network model.
+func (rt *Runtime) Net() NetModel { return rt.cfg.Net }
+
+// Shutdown stops the runtime. Outstanding finishes must have completed.
+func (rt *Runtime) Shutdown() {
+	rt.mu.Lock()
+	if rt.down {
+		rt.mu.Unlock()
+		return
+	}
+	rt.down = true
+	rt.mu.Unlock()
+	if rt.ledger != nil {
+		rt.ledger.stop()
+	}
+}
+
+// NumPlaces returns the total number of places ever created (live or dead).
+func (rt *Runtime) NumPlaces() int {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return len(rt.places)
+}
+
+// World returns the group of all currently live places, in ID order.
+// At startup this is places 0..Places-1.
+func (rt *Runtime) World() PlaceGroup {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	g := make(PlaceGroup, 0, len(rt.places))
+	for _, pl := range rt.places {
+		if !pl.isDead() {
+			g = append(g, Place{ID: pl.id})
+		}
+	}
+	return g
+}
+
+// Place returns the place with the given ID. It panics on an out-of-range
+// ID; dead places are still returned (operations on them throw
+// DeadPlaceError).
+func (rt *Runtime) Place(id int) Place {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	if id < 0 || id >= len(rt.places) {
+		panic(fmt.Sprintf("apgas: no such place %d", id))
+	}
+	return Place{ID: id}
+}
+
+// IsDead reports whether place p has failed.
+func (rt *Runtime) IsDead(p Place) bool {
+	return rt.placeState(p).isDead()
+}
+
+// Live filters g down to its surviving members, preserving order.
+func (rt *Runtime) Live(g PlaceGroup) PlaceGroup {
+	out := make(PlaceGroup, 0, len(g))
+	for _, p := range g {
+		if !rt.IsDead(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// placeState returns the internal state for p, panicking on bad IDs
+// (a bad ID is a programming error, not a runtime failure).
+func (rt *Runtime) placeState(p Place) *place {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	if p.ID < 0 || p.ID >= len(rt.places) {
+		panic(fmt.Sprintf("apgas: no such place %d", p.ID))
+	}
+	return rt.places[p.ID]
+}
+
+// AddPlaces elastically creates n new places and returns them. This is the
+// "Elastic X10" capability (X10 2.5.1) that the paper's future-work
+// Replace-Elastic restoration mode builds on.
+func (rt *Runtime) AddPlaces(n int) (PlaceGroup, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("apgas: AddPlaces(%d): negative count", n)
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.down {
+		return nil, ErrShutdown
+	}
+	added := make(PlaceGroup, 0, n)
+	for i := 0; i < n; i++ {
+		id := len(rt.places)
+		rt.places = append(rt.places, newPlace(id))
+		added = append(added, Place{ID: id})
+	}
+	rt.stats.PlacesAdded.Add(int64(n))
+	return added, nil
+}
+
+// Kill fail-stops place p: its store is dropped and the resilient-finish
+// ledger terminates its orphaned tasks, delivering DeadPlaceError to their
+// enclosing finishes. Place zero is immortal. Kill is rejected on a
+// non-resilient runtime.
+func (rt *Runtime) Kill(p Place) error {
+	if !rt.cfg.Resilient {
+		return ErrNotResilient
+	}
+	if p.ID == 0 {
+		return ErrPlaceZeroImmortal
+	}
+	pl := rt.placeState(p)
+	if pl.isDead() {
+		return nil
+	}
+	pl.kill()
+	rt.stats.PlacesKilled.Add(1)
+	// The failure detector notifies the ledger, which adopts and terminates
+	// the dead place's tasks.
+	rt.ledger.placeDied(p)
+	return nil
+}
+
+// Ctx is the execution context of a task: where it runs and which finish
+// governs it. Task bodies receive a Ctx and must do all place-local data
+// access through it (via PlaceLocalHandle / GlobalRef), which is what
+// enforces place isolation in the emulation.
+type Ctx struct {
+	rt *Runtime
+	// Here is the place the task is executing at.
+	Here Place
+	// fin is the dynamically enclosing finish, used by nested AsyncAt.
+	fin *Finish
+}
+
+// Runtime returns the runtime the task is executing on.
+func (c *Ctx) Runtime() *Runtime { return c.rt }
+
+// Finish returns the dynamically enclosing finish of the task, which nested
+// asyncs register with (X10 semantics: async registers with the innermost
+// enclosing finish).
+func (c *Ctx) Finish() *Finish { return c.fin }
+
+// CheckAlive throws DeadPlaceError if the task's own place has died. Long
+// compute loops call this at convenient points so that a task on a killed
+// place aborts promptly instead of wasting work (real process failure would
+// have stopped it instantly; cooperative abortion is the emulation's
+// equivalent).
+func (c *Ctx) CheckAlive() {
+	c.rt.placeState(c.Here).checkAlive()
+}
+
+// Transfer charges the network model for moving a payload of the given size
+// from the task's place to place to. GML collective operations call this
+// around bulk data movement so the simulated interconnect sees realistic
+// volumes.
+func (c *Ctx) Transfer(to Place, bytes int) {
+	c.rt.stats.countMessage(c.Here, to, bytes)
+	c.rt.cfg.Net.charge(c.Here, to, bytes)
+}
+
+// At runs fn synchronously at place p, like X10's "at (p) S" executed from
+// a task. The calling task blocks until fn returns. A DeadPlaceError is
+// thrown (as a panic unwinding the calling task) if p is already dead or
+// dies while fn runs; use Runtime.Finish to convert it into an error.
+func (c *Ctx) At(p Place, fn func(ctx *Ctx)) {
+	rt := c.rt
+	pl := rt.placeState(p)
+	rt.stats.countMessage(c.Here, p, 0)
+	rt.cfg.Net.charge(c.Here, p, 0)
+	pl.checkAlive()
+	sub := &Ctx{rt: rt, Here: p, fin: c.fin}
+	fn(sub)
+	// Returning from "at" is itself a message back to the origin.
+	rt.cfg.Net.charge(p, c.Here, 0)
+	pl.checkAlive()
+}
+
+// Eval runs fn at place p and copies its result back, like
+// "val v = at (p) expr".
+func Eval[T any](c *Ctx, p Place, fn func(ctx *Ctx) T) T {
+	var out T
+	c.At(p, func(ctx *Ctx) { out = fn(ctx) })
+	return out
+}
+
+// root returns a Ctx representing the main activity, which X10 defines to
+// run at place zero.
+func (rt *Runtime) root() *Ctx {
+	return &Ctx{rt: rt, Here: Place{ID: 0}}
+}
+
+// Finish runs body as the main activity of a new finish scope at place zero
+// and blocks until the finish quiesces: body has returned and every task
+// spawned inside it (transitively) has terminated. It returns the combined
+// exceptions of the scope, with place failures surfacing as DeadPlaceError
+// values (possibly inside a MultiError).
+func (rt *Runtime) Finish(body func(ctx *Ctx)) error {
+	return rt.finishFrom(rt.root(), body)
+}
+
+// FinishFrom is like Finish but runs body at an arbitrary place. It is the
+// entry point used by nested finishes inside tasks.
+func (c *Ctx) FinishFrom(body func(ctx *Ctx)) error {
+	return c.rt.finishFrom(c, body)
+}
+
+func (rt *Runtime) finishFrom(parent *Ctx, body func(ctx *Ctx)) error {
+	f := rt.newFinish(parent.Here)
+	ctx := &Ctx{rt: rt, Here: parent.Here, fin: f}
+	func() {
+		defer func() {
+			if err := recoverTaskError(recover()); err != nil {
+				f.record(err)
+			}
+		}()
+		body(ctx)
+	}()
+	return f.wait()
+}

@@ -1,0 +1,67 @@
+package apgas
+
+import "sync/atomic"
+
+// Stats accumulates runtime activity counters. They power the benchmark
+// harness's reporting (e.g. isolating how much of the resilient overhead is
+// ledger traffic) and the ablation benches.
+type Stats struct {
+	// Messages counts place-crossing messages (task spawns, at-hops,
+	// ledger events, data transfers).
+	Messages atomic.Int64
+	// Bytes counts payload bytes declared to Ctx.Transfer.
+	Bytes atomic.Int64
+	// LedgerEvents counts bookkeeping events processed by the resilient
+	// finish ledger.
+	LedgerEvents atomic.Int64
+	// TasksSpawned counts AsyncAt invocations.
+	TasksSpawned atomic.Int64
+	// PlacesKilled counts injected failures.
+	PlacesKilled atomic.Int64
+	// PlacesAdded counts elastically created places.
+	PlacesAdded atomic.Int64
+}
+
+func (s *Stats) countMessage(from, to Place, bytes int) {
+	if from.ID == to.ID {
+		return
+	}
+	s.Messages.Add(1)
+	if bytes > 0 {
+		s.Bytes.Add(int64(bytes))
+	}
+}
+
+// StatsSnapshot is a point-in-time copy of the runtime counters.
+type StatsSnapshot struct {
+	Messages     int64
+	Bytes        int64
+	LedgerEvents int64
+	TasksSpawned int64
+	PlacesKilled int64
+	PlacesAdded  int64
+}
+
+// Stats returns a snapshot of the runtime's activity counters.
+func (rt *Runtime) Stats() StatsSnapshot {
+	return StatsSnapshot{
+		Messages:     rt.stats.Messages.Load(),
+		Bytes:        rt.stats.Bytes.Load(),
+		LedgerEvents: rt.stats.LedgerEvents.Load(),
+		TasksSpawned: rt.stats.TasksSpawned.Load(),
+		PlacesKilled: rt.stats.PlacesKilled.Load(),
+		PlacesAdded:  rt.stats.PlacesAdded.Load(),
+	}
+}
+
+// Sub returns the delta s - prev, for measuring an interval.
+func (s StatsSnapshot) Sub(prev StatsSnapshot) StatsSnapshot {
+	return StatsSnapshot{
+		Messages:     s.Messages - prev.Messages,
+		Bytes:        s.Bytes - prev.Bytes,
+		LedgerEvents: s.LedgerEvents - prev.LedgerEvents,
+		TasksSpawned: s.TasksSpawned - prev.TasksSpawned,
+		PlacesKilled: s.PlacesKilled - prev.PlacesKilled,
+		PlacesAdded:  s.PlacesAdded - prev.PlacesAdded,
+	}
+}

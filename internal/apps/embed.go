@@ -1,0 +1,11 @@
+package apps
+
+import "embed"
+
+// Sources embeds this package's own source files so the benchmark harness
+// can regenerate the paper's Table II (lines-of-code comparison between
+// the non-resilient and resilient application variants) by static
+// analysis, without depending on a source checkout at run time.
+//
+//go:embed *.go
+var Sources embed.FS

@@ -1,0 +1,178 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"github.com/rgml/rgml/internal/core"
+	"github.com/rgml/rgml/internal/la"
+)
+
+func lrCfg(iters int) LinRegConfig {
+	return LinRegConfig{Examples: 120, Features: 8, Iterations: iters, Seed: 7}
+}
+
+func TestLinRegConverges(t *testing.T) {
+	rt := newRT(t, 4)
+	app, err := NewLinReg(rt, lrCfg(25), rt.World())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !app.IsFinished() {
+		if err := app.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w, err := app.Weights()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With tiny label noise, CG on the normal equations should recover the
+	// planted weights closely.
+	data := RegressionData{Seed: 7, Examples: 120, Features: 8}
+	var maxErr float64
+	for j := 0; j < 8; j++ {
+		maxErr = math.Max(maxErr, math.Abs(w[j]-data.TrueWeight(j)))
+	}
+	if maxErr > 0.05 {
+		t.Fatalf("weight error %v too large; w=%v", maxErr, w)
+	}
+}
+
+func TestLinRegResidualDecreases(t *testing.T) {
+	rt := newRT(t, 3)
+	app, err := NewLinReg(rt, lrCfg(10), rt.World())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := app.rsOld
+	for !app.IsFinished() {
+		if err := app.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if app.rsOld >= prev {
+		t.Fatalf("residual did not decrease: %v -> %v", prev, app.rsOld)
+	}
+}
+
+func TestLinRegNonResilientMatchesResilient(t *testing.T) {
+	rt := newRT(t, 3)
+	res, err := NewLinReg(rt, lrCfg(8), rt.World())
+	if err != nil {
+		t.Fatal(err)
+	}
+	non, err := NewLinRegNonResilient(rt, lrCfg(8), rt.World())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !res.IsFinished() {
+		if err := res.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := non.Run(); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := res.Weights()
+	b, _ := non.Weights()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("weight %d differs bitwise", i)
+		}
+	}
+}
+
+// failureFreeLinRegWeights runs LinReg to completion without failures.
+func failureFreeLinRegWeights(t *testing.T, places, iters int) la.Vector {
+	t.Helper()
+	rt := newRT(t, places)
+	app, err := NewLinReg(rt, lrCfg(iters), rt.World())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !app.IsFinished() {
+		if err := app.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w, err := app.Weights()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestLinRegRecoveryGridPreservingModesBitwise(t *testing.T) {
+	want := failureFreeLinRegWeights(t, 4, 12)
+	for _, mode := range []core.RestoreMode{core.Shrink, core.ReplaceRedundant, core.ReplaceElastic} {
+		t.Run(mode.String(), func(t *testing.T) {
+			rt := newRT(t, 5)
+			spares := 1
+			if mode != core.ReplaceRedundant {
+				spares = 1 // keep the active group at 4 places in all runs
+			}
+			exec, err := core.NewExecutor(rt, core.Config{
+				CheckpointInterval: 4,
+				Mode:               mode,
+				Spares:             spares,
+				AfterStep:          killOnceAt(t, rt, rt.Place(2), 6),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			app, err := NewLinReg(rt, lrCfg(12), exec.ActiveGroup())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := exec.Run(app); err != nil {
+				t.Fatal(err)
+			}
+			got, err := app.Weights()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Grid-preserving recovery keeps the reduction tree, so the
+			// recovered run reproduces the failure-free weights bit for
+			// bit.
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("mode %v: weight %d differs (%v vs %v)", mode, i, got[i], want[i])
+				}
+			}
+			if exec.Metrics().Restores == 0 {
+				t.Fatal("no restore happened")
+			}
+		})
+	}
+}
+
+func TestLinRegRecoveryRebalanceApprox(t *testing.T) {
+	want := failureFreeLinRegWeights(t, 4, 12)
+	rt := newRT(t, 5)
+	exec, err := core.NewExecutor(rt, core.Config{
+		CheckpointInterval: 4,
+		Mode:               core.ShrinkRebalance,
+		Spares:             1, // active group of 4, matching the reference run
+		AfterStep:          killOnceAt(t, rt, rt.Place(2), 6),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := NewLinReg(rt, lrCfg(12), exec.ActiveGroup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exec.Run(app); err != nil {
+		t.Fatal(err)
+	}
+	got, err := app.Weights()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebalancing changes the row-block decomposition, so the Xᵀv
+	// reduction order differs: results agree to rounding, not bitwise.
+	if !got.EqualApprox(want, 1e-6) {
+		t.Fatalf("rebalanced weights diverge: %v vs %v", got, want)
+	}
+}

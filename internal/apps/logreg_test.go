@@ -1,0 +1,159 @@
+package apps
+
+import (
+	"testing"
+
+	"github.com/rgml/rgml/internal/core"
+	"github.com/rgml/rgml/internal/la"
+)
+
+func lgCfg(iters int) LogRegConfig {
+	return LogRegConfig{Examples: 100, Features: 6, Iterations: iters, Seed: 13}
+}
+
+func TestLogRegLossDecreases(t *testing.T) {
+	rt := newRT(t, 3)
+	app, err := NewLogReg(rt, lgCfg(15), rt.World())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var losses []float64
+	for !app.IsFinished() {
+		if err := app.Step(); err != nil {
+			t.Fatal(err)
+		}
+		losses = append(losses, app.Loss())
+	}
+	if losses[len(losses)-1] >= losses[0] {
+		t.Fatalf("loss did not decrease: %v -> %v", losses[0], losses[len(losses)-1])
+	}
+}
+
+func TestLogRegTrainsAccurateModel(t *testing.T) {
+	rt := newRT(t, 4)
+	cfg := lgCfg(60)
+	app, err := NewLogReg(rt, cfg, rt.World())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !app.IsFinished() {
+		if err := app.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w, err := app.Weights()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evaluate training accuracy against the generator.
+	data := RegressionData{Seed: cfg.Seed, Examples: cfg.Examples, Features: cfg.Features}
+	correct := 0
+	for i := 0; i < cfg.Examples; i++ {
+		var score float64
+		for j := 0; j < cfg.Features; j++ {
+			score += data.Feature(i, j) * w[j]
+		}
+		pred := 0.0
+		if la.Sigmoid(score) > 0.5 {
+			pred = 1
+		}
+		if pred == data.BinaryLabel(i) {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(cfg.Examples); acc < 0.8 {
+		t.Fatalf("training accuracy %.2f too low", acc)
+	}
+}
+
+func TestLogRegNonResilientMatchesResilient(t *testing.T) {
+	rt := newRT(t, 3)
+	res, err := NewLogReg(rt, lgCfg(6), rt.World())
+	if err != nil {
+		t.Fatal(err)
+	}
+	non, err := NewLogRegNonResilient(rt, lgCfg(6), rt.World())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !res.IsFinished() {
+		if err := res.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := non.Run(); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := res.Weights()
+	b, _ := non.Weights()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("weight %d differs bitwise", i)
+		}
+	}
+	if res.Loss() != non.Loss() {
+		t.Fatal("losses differ")
+	}
+}
+
+func TestLogRegRecoveryShrinkBitwise(t *testing.T) {
+	// Failure-free reference on 4 places.
+	refRT := newRT(t, 4)
+	ref, err := NewLogReg(refRT, lgCfg(10), refRT.World())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !ref.IsFinished() {
+		if err := ref.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, _ := ref.Weights()
+
+	rt := newRT(t, 5)
+	exec, err := core.NewExecutor(rt, core.Config{
+		CheckpointInterval: 3,
+		Mode:               core.ReplaceRedundant,
+		Spares:             1,
+		AfterStep:          killOnceAt(t, rt, rt.Place(1), 5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := NewLogReg(rt, lgCfg(10), exec.ActiveGroup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exec.Run(app); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := app.Weights()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("weight %d differs after recovery", i)
+		}
+	}
+	if exec.Metrics().Restores != 1 {
+		t.Fatalf("Restores = %d", exec.Metrics().Restores)
+	}
+}
+
+func TestSourcesEmbedded(t *testing.T) {
+	entries, err := Sources.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]bool{}
+	for _, e := range entries {
+		found[e.Name()] = true
+	}
+	for _, want := range []string{
+		"linreg.go", "linreg_nonresilient.go",
+		"logreg.go", "logreg_nonresilient.go",
+		"pagerank.go", "pagerank_nonresilient.go",
+	} {
+		if !found[want] {
+			t.Errorf("source %s not embedded", want)
+		}
+	}
+}

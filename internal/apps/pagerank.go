@@ -1,0 +1,164 @@
+package apps
+
+import (
+	"fmt"
+
+	"github.com/rgml/rgml/internal/apgas"
+	"github.com/rgml/rgml/internal/block"
+	"github.com/rgml/rgml/internal/core"
+	"github.com/rgml/rgml/internal/dist"
+	"github.com/rgml/rgml/internal/la"
+)
+
+// PageRankConfig parameterizes the PageRank benchmark.
+type PageRankConfig struct {
+	// Nodes is the network size; OutDegree the out-links per node (so the
+	// network has Nodes×OutDegree edges).
+	Nodes, OutDegree int
+	// Alpha is the damping factor (paper pseudocode: P = αGP + (1−α)EuᵀP).
+	Alpha float64
+	// Iterations is the fixed iteration count (the paper runs 30).
+	Iterations int
+	// Seed selects the synthetic network.
+	Seed uint64
+	// RowBlocksPerPlace sets the data-grid granularity (1 gives one
+	// row-stripe block per place).
+	RowBlocksPerPlace int
+}
+
+func (c *PageRankConfig) setDefaults() {
+	if c.Alpha == 0 {
+		c.Alpha = 0.85
+	}
+	if c.RowBlocksPerPlace == 0 {
+		c.RowBlocksPerPlace = 1
+	}
+}
+
+// PageRank is the resilient PageRank application (paper Listing 2 plus the
+// checkpoint/restore methods of Listing 5). Its mutable state is the rank
+// vector P; the link matrix G and the personalization vector U never
+// change and are checkpointed with SaveReadOnly.
+type PageRank struct {
+	rt   *apgas.Runtime
+	cfg  PageRankConfig
+	pg   apgas.PlaceGroup
+	iter int64
+
+	g  *dist.DistBlockMatrix // sparse N×N link matrix (read-only)
+	p  *dist.DupVector       // rank vector (mutable)
+	u  *dist.DistVector      // personalization vector (read-only)
+	gp *dist.DistVector      // temporary: G·P
+}
+
+// NewPageRank builds the PageRank application over pg, generating the
+// network deterministically from cfg.Seed.
+func NewPageRank(rt *apgas.Runtime, cfg PageRankConfig, pg apgas.PlaceGroup) (*PageRank, error) {
+	cfg.setDefaults()
+	a := &PageRank{rt: rt, cfg: cfg, pg: pg.Clone()}
+	n := cfg.Nodes
+	var err error
+	rowBlocks := cfg.RowBlocksPerPlace * pg.Size()
+	if a.g, err = dist.MakeDistBlockMatrix(rt, block.Sparse, n, n, rowBlocks, 1, pg.Size(), 1, pg); err != nil {
+		return nil, fmt.Errorf("apps: pagerank G: %w", err)
+	}
+	link := LinkData{Seed: cfg.Seed, Nodes: n, OutDegree: cfg.OutDegree}
+	if err = a.g.InitSparseColumns(link.Column); err != nil {
+		return nil, err
+	}
+	if a.p, err = dist.MakeDupVector(rt, n, pg); err != nil {
+		return nil, err
+	}
+	if err = a.p.Init(func(int) float64 { return 1 / float64(n) }); err != nil {
+		return nil, err
+	}
+	if a.u, err = dist.MakeDistVector(rt, n, pg); err != nil {
+		return nil, err
+	}
+	if err = a.u.Init(func(int) float64 { return 1 / float64(n) }); err != nil {
+		return nil, err
+	}
+	if a.gp, err = dist.MakeDistVector(rt, n, pg); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// IsFinished implements core.IterativeApp.
+func (a *PageRank) IsFinished() bool { return a.iter >= int64(a.cfg.Iterations) }
+
+// Iteration returns the number of completed iterations.
+func (a *PageRank) Iteration() int64 { return a.iter }
+
+// Step implements core.IterativeApp: one power iteration
+// P = αG·P + (1−α)·E·uᵀP (paper Listing 2, lines 13-17).
+func (a *PageRank) Step() error {
+	if err := a.g.MultVec(a.p, a.gp); err != nil { // GP = G·P
+		return err
+	}
+	if err := a.gp.Scale(a.cfg.Alpha); err != nil { // GP *= α
+		return err
+	}
+	utp, err := a.u.DotDup(a.p) // uᵀP
+	if err != nil {
+		return err
+	}
+	utp1a := utp * (1 - a.cfg.Alpha)
+	if err := a.gp.GatherTo(a.p); err != nil { // gather
+		return err
+	}
+	err = a.p.RootApply(func(local la.Vector) { local.CellAdd(utp1a) })
+	if err != nil {
+		return err
+	}
+	if err := a.p.Sync(); err != nil { // broadcast
+		return err
+	}
+	a.iter++
+	return nil
+}
+
+// Checkpoint implements core.IterativeApp (paper Listing 5, lines 3-7).
+func (a *PageRank) Checkpoint(store *core.AppResilientStore) error {
+	if err := store.StartNewSnapshot(); err != nil {
+		return err
+	}
+	if err := store.SaveReadOnly(a.g); err != nil {
+		return err
+	}
+	if err := store.SaveReadOnly(a.u); err != nil {
+		return err
+	}
+	if err := store.Save(a.p); err != nil {
+		return err
+	}
+	return store.Commit()
+}
+
+// Restore implements core.IterativeApp (paper Listing 5, lines 9-14).
+func (a *PageRank) Restore(newPG apgas.PlaceGroup, store *core.AppResilientStore, snapshotIter int64, rebalance bool) error {
+	if err := a.g.Remake(newPG, !rebalance); err != nil {
+		return err
+	}
+	if err := a.u.Remake(newPG); err != nil {
+		return err
+	}
+	if err := a.p.Remake(newPG); err != nil {
+		return err
+	}
+	if err := a.gp.Remake(newPG); err != nil {
+		return err
+	}
+	if err := store.Restore(); err != nil {
+		return err
+	}
+	a.pg = newPG.Clone()
+	a.iter = snapshotIter
+	return nil
+}
+
+// Ranks returns the current rank vector.
+func (a *PageRank) Ranks() (la.Vector, error) { return a.p.Root() }
+
+// Group returns the application's current place group.
+func (a *PageRank) Group() apgas.PlaceGroup { return a.pg.Clone() }

@@ -1,0 +1,101 @@
+package apps
+
+import (
+	"fmt"
+
+	"github.com/rgml/rgml/internal/apgas"
+	"github.com/rgml/rgml/internal/block"
+	"github.com/rgml/rgml/internal/dist"
+	"github.com/rgml/rgml/internal/la"
+)
+
+// PageRankNonResilient is the plain PageRank program without
+// checkpoint/restore support — the "non-resilient" column of the paper's
+// Table II and the baseline curve of Figures 4 and 7. Its step body is
+// identical to the resilient variant's.
+type PageRankNonResilient struct {
+	rt   *apgas.Runtime
+	cfg  PageRankConfig
+	pg   apgas.PlaceGroup
+	iter int64
+
+	g  *dist.DistBlockMatrix
+	p  *dist.DupVector
+	u  *dist.DistVector
+	gp *dist.DistVector
+}
+
+// NewPageRankNonResilient builds the non-resilient PageRank program.
+func NewPageRankNonResilient(rt *apgas.Runtime, cfg PageRankConfig, pg apgas.PlaceGroup) (*PageRankNonResilient, error) {
+	cfg.setDefaults()
+	a := &PageRankNonResilient{rt: rt, cfg: cfg, pg: pg.Clone()}
+	n := cfg.Nodes
+	var err error
+	rowBlocks := cfg.RowBlocksPerPlace * pg.Size()
+	if a.g, err = dist.MakeDistBlockMatrix(rt, block.Sparse, n, n, rowBlocks, 1, pg.Size(), 1, pg); err != nil {
+		return nil, fmt.Errorf("apps: pagerank G: %w", err)
+	}
+	link := LinkData{Seed: cfg.Seed, Nodes: n, OutDegree: cfg.OutDegree}
+	if err = a.g.InitSparseColumns(link.Column); err != nil {
+		return nil, err
+	}
+	if a.p, err = dist.MakeDupVector(rt, n, pg); err != nil {
+		return nil, err
+	}
+	if err = a.p.Init(func(int) float64 { return 1 / float64(n) }); err != nil {
+		return nil, err
+	}
+	if a.u, err = dist.MakeDistVector(rt, n, pg); err != nil {
+		return nil, err
+	}
+	if err = a.u.Init(func(int) float64 { return 1 / float64(n) }); err != nil {
+		return nil, err
+	}
+	if a.gp, err = dist.MakeDistVector(rt, n, pg); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// IsFinished reports whether all iterations have completed.
+func (a *PageRankNonResilient) IsFinished() bool { return a.iter >= int64(a.cfg.Iterations) }
+
+// Step performs one power iteration (identical to the resilient Step).
+func (a *PageRankNonResilient) Step() error {
+	if err := a.g.MultVec(a.p, a.gp); err != nil {
+		return err
+	}
+	if err := a.gp.Scale(a.cfg.Alpha); err != nil {
+		return err
+	}
+	utp, err := a.u.DotDup(a.p)
+	if err != nil {
+		return err
+	}
+	utp1a := utp * (1 - a.cfg.Alpha)
+	if err := a.gp.GatherTo(a.p); err != nil {
+		return err
+	}
+	err = a.p.RootApply(func(local la.Vector) { local.CellAdd(utp1a) })
+	if err != nil {
+		return err
+	}
+	if err := a.p.Sync(); err != nil {
+		return err
+	}
+	a.iter++
+	return nil
+}
+
+// Run executes the full iteration loop.
+func (a *PageRankNonResilient) Run() error {
+	for !a.IsFinished() {
+		if err := a.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Ranks returns the current rank vector.
+func (a *PageRankNonResilient) Ranks() (la.Vector, error) { return a.p.Root() }

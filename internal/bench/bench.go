@@ -1,0 +1,233 @@
+// Package bench is the experiment harness that regenerates every table and
+// figure of the paper's evaluation (section VII):
+//
+//	Table II  — lines-of-code comparison (static analysis of internal/apps)
+//	Fig. 2-4  — per-iteration time, resilient vs non-resilient finish,
+//	            weak scaling over place counts (LinReg, LogReg, PageRank)
+//	Table III — mean checkpoint time vs places
+//	Fig. 5-7  — total runtime with one injected failure under the three
+//	            restoration modes, plus the non-resilient baseline
+//	Table IV  — % of total time in checkpoint and restore at the largest
+//	            place count, per mode
+//
+// Absolute numbers depend on the host (the emulation multiplexes places
+// onto one process); the harness is tuned so the paper's *shapes* — who
+// wins, how overheads scale — reproduce. EXPERIMENTS.md records both.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/rgml/rgml/internal/apgas"
+	"github.com/rgml/rgml/internal/apps"
+	"github.com/rgml/rgml/internal/core"
+)
+
+// Scale sets the workload sizes. The paper's sizes (50 000 examples/place
+// × 500 features; 2M edges/place) target an 11-node cluster; DefaultScale
+// shrinks them to laptop size while preserving weak scaling (per-place
+// work constant as places grow).
+type Scale struct {
+	// LinRegExamplesPerPlace and Features size the LinReg training set
+	// (paper: 50 000 and 500).
+	LinRegExamplesPerPlace, LinRegFeatures int
+	// LogRegExamplesPerPlace and Features size the LogReg training set.
+	LogRegExamplesPerPlace, LogRegFeatures int
+	// PageRankNodesPerPlace and OutDegree size the network:
+	// edges/place = nodes/place × out-degree (paper: 2M edges per place).
+	PageRankNodesPerPlace, PageRankOutDegree int
+	// Iterations per run (paper: 30).
+	Iterations int
+	// Runs to average per configuration (paper: 30).
+	Runs int
+	// CheckpointInterval in iterations (paper: 10).
+	CheckpointInterval int
+	// FailureIteration is when the failure is injected in the restore
+	// experiments (paper: 15).
+	FailureIteration int
+	// PlaceCounts is the weak-scaling sweep (paper: 2..44 on 11 nodes).
+	PlaceCounts []int
+	// Seed selects all synthetic datasets.
+	Seed uint64
+}
+
+// DefaultScale returns the laptop-sized configuration used by the checked
+// in experiment outputs.
+func DefaultScale() Scale {
+	return Scale{
+		LinRegExamplesPerPlace: 1500,
+		LinRegFeatures:         64,
+		LogRegExamplesPerPlace: 1500,
+		LogRegFeatures:         64,
+		PageRankNodesPerPlace:  4000,
+		PageRankOutDegree:      32,
+		Iterations:             30,
+		Runs:                   3,
+		CheckpointInterval:     10,
+		FailureIteration:       15,
+		PlaceCounts:            []int{2, 4, 8, 12, 16, 20, 24, 28, 32, 36, 40, 44},
+		Seed:                   20150525, // IPDPS workshops 2015
+	}
+}
+
+// SmokeScale returns a tiny configuration for tests.
+func SmokeScale() Scale {
+	return Scale{
+		LinRegExamplesPerPlace: 40,
+		LinRegFeatures:         8,
+		LogRegExamplesPerPlace: 40,
+		LogRegFeatures:         8,
+		PageRankNodesPerPlace:  40,
+		PageRankOutDegree:      4,
+		Iterations:             6,
+		Runs:                   1,
+		CheckpointInterval:     2,
+		FailureIteration:       3,
+		PlaceCounts:            []int{2, 4},
+		Seed:                   1,
+	}
+}
+
+// Config drives the harness.
+type Config struct {
+	Scale Scale
+	// Latency and BytePeriod parameterize the simulated interconnect.
+	// They default to zero: this host's sleep granularity (~1 ms) is far
+	// coarser than a cluster fabric, so injecting sleep-based latency
+	// would distort rather than model it. All modeled costs are real CPU
+	// work instead (bookkeeping, serialization, copies).
+	Latency    time.Duration
+	BytePeriod time.Duration
+	// LedgerWork scales the busy work the place-zero ledger performs per
+	// bookkeeping event. The work grows with the ledger's live-task count
+	// (per-finish, per-place transit state upkeep — the congestion that
+	// makes place-zero resilient finish the paper's scalability
+	// bottleneck). Zero disables the modeled work (the ablation).
+	LedgerWork int
+	// Progress, when non-nil, receives progress lines.
+	Progress io.Writer
+}
+
+// DefaultConfig returns the configuration used for the checked-in outputs.
+func DefaultConfig() Config {
+	return Config{
+		Scale:      DefaultScale(),
+		LedgerWork: 250,
+	}
+}
+
+// LedgerCostFunc returns the ledger's per-event work function (nil when
+// LedgerWork is zero), for callers wiring a runtime by hand.
+func (c Config) LedgerCostFunc() func(live int) { return c.ledgerCost() }
+
+// ledgerCost returns the ledger's per-event work function.
+func (c Config) ledgerCost() func(live int) {
+	n := c.LedgerWork
+	if n <= 0 {
+		return nil
+	}
+	return func(live int) {
+		// Real serialized work (not a sleep): the ledger is a bottleneck
+		// precisely because its processing cannot overlap. The cost grows
+		// with outstanding activity, as the protocol's per-finish
+		// per-place state does.
+		z := uint64(0x9e3779b97f4a7c15)
+		for i := 0; i < n*(live+1); i++ {
+			z ^= z >> 30
+			z *= 0xbf58476d1ce4e5b9
+		}
+		ledgerSink = z
+	}
+}
+
+// ledgerSink defeats dead-code elimination of the busy work.
+var ledgerSink uint64
+
+// newRuntime builds a runtime for one experiment run.
+func (c Config) newRuntime(places int, resilient bool) (*apgas.Runtime, error) {
+	return apgas.NewRuntime(apgas.Config{
+		Places:    places,
+		Resilient: resilient,
+		Net:       apgas.NetModel{Latency: c.Latency, BytePeriod: c.BytePeriod},
+		LedgerCost: func() func(live int) {
+			if !resilient {
+				return nil
+			}
+			return c.ledgerCost()
+		}(),
+	})
+}
+
+// progressf writes a progress line if configured.
+func (c Config) progressf(format string, args ...any) {
+	if c.Progress != nil {
+		fmt.Fprintf(c.Progress, format+"\n", args...)
+	}
+}
+
+// AppName identifies one of the three benchmark applications.
+type AppName string
+
+// The three benchmark applications.
+const (
+	LinReg   AppName = "LinReg"
+	LogReg   AppName = "LogReg"
+	PageRank AppName = "PageRank"
+)
+
+// Apps lists the benchmark applications in paper order.
+var Apps = []AppName{LinReg, LogReg, PageRank}
+
+// stepper is the common surface of the non-resilient app variants.
+type stepper interface {
+	IsFinished() bool
+	Step() error
+}
+
+// newNonResilient builds the plain (step-loop) variant of app for p places.
+func (c Config) newNonResilient(app AppName, rt *apgas.Runtime, pg apgas.PlaceGroup, places int) (stepper, error) {
+	s := c.Scale
+	switch app {
+	case LinReg:
+		return apps.NewLinRegNonResilient(rt, apps.LinRegConfig{
+			Examples: s.LinRegExamplesPerPlace * places, Features: s.LinRegFeatures,
+			Iterations: s.Iterations, Seed: s.Seed,
+		}, pg)
+	case LogReg:
+		return apps.NewLogRegNonResilient(rt, apps.LogRegConfig{
+			Examples: s.LogRegExamplesPerPlace * places, Features: s.LogRegFeatures,
+			Iterations: s.Iterations, Seed: s.Seed,
+		}, pg)
+	case PageRank:
+		return apps.NewPageRankNonResilient(rt, apps.PageRankConfig{
+			Nodes: s.PageRankNodesPerPlace * places, OutDegree: s.PageRankOutDegree,
+			Iterations: s.Iterations, Seed: s.Seed,
+		}, pg)
+	}
+	return nil, fmt.Errorf("bench: unknown app %q", app)
+}
+
+// newResilient builds the framework (IterativeApp) variant of app.
+func (c Config) newResilient(app AppName, rt *apgas.Runtime, pg apgas.PlaceGroup, places int) (core.IterativeApp, error) {
+	s := c.Scale
+	switch app {
+	case LinReg:
+		return apps.NewLinReg(rt, apps.LinRegConfig{
+			Examples: s.LinRegExamplesPerPlace * places, Features: s.LinRegFeatures,
+			Iterations: s.Iterations, Seed: s.Seed,
+		}, pg)
+	case LogReg:
+		return apps.NewLogReg(rt, apps.LogRegConfig{
+			Examples: s.LogRegExamplesPerPlace * places, Features: s.LogRegFeatures,
+			Iterations: s.Iterations, Seed: s.Seed,
+		}, pg)
+	case PageRank:
+		return apps.NewPageRank(rt, apps.PageRankConfig{
+			Nodes: s.PageRankNodesPerPlace * places, OutDegree: s.PageRankOutDegree,
+			Iterations: s.Iterations, Seed: s.Seed,
+		}, pg)
+	}
+	return nil, fmt.Errorf("bench: unknown app %q", app)
+}

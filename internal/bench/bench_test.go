@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// smokeConfig is a fast harness configuration for tests (no simulated
+// latency, tiny workloads).
+func smokeConfig() Config {
+	return Config{Scale: SmokeScale()}
+}
+
+func TestFinishOverheadFigureSmoke(t *testing.T) {
+	for _, app := range Apps {
+		app := app
+		t.Run(string(app), func(t *testing.T) {
+			fig, err := smokeConfig().FinishOverheadFigure(app)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(fig.Series) != 2 {
+				t.Fatalf("series = %d", len(fig.Series))
+			}
+			for _, s := range fig.Series {
+				if len(s.Points) != 2 {
+					t.Fatalf("points = %d", len(s.Points))
+				}
+				for _, p := range s.Points {
+					if p.Mean <= 0 || p.Min > p.Mean || p.Max < p.Mean {
+						t.Fatalf("bad point %+v", p)
+					}
+				}
+			}
+			var buf bytes.Buffer
+			if err := WriteFigure(&buf, fig); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(buf.String(), "places") {
+				t.Error("render missing header")
+			}
+		})
+	}
+}
+
+func TestRestoreFigureSmoke(t *testing.T) {
+	fig, details, err := smokeConfig().RestoreFigure(PageRank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 modes + baseline.
+	if len(fig.Series) != 4 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	if len(details) != 2*3 { // 2 place counts × 3 modes
+		t.Fatalf("details = %d", len(details))
+	}
+	for _, d := range details {
+		if d.TotalMS <= 0 {
+			t.Fatalf("bad detail %+v", d)
+		}
+		if d.CheckpointPct < 0 || d.CheckpointPct > 100 || d.RestorePct < 0 || d.RestorePct > 100 {
+			t.Fatalf("bad percentages %+v", d)
+		}
+	}
+	// The failure runs must cost at least as much as... they include
+	// checkpoint+restore, so they should exceed the baseline.
+	base := fig.Series[3].Points[0].Mean
+	for si := 0; si < 3; si++ {
+		if fig.Series[si].Points[0].Mean < base {
+			t.Logf("warning: mode %s cheaper than baseline (noise at smoke scale)", fig.Series[si].Name)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteFigure(&buf, fig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointTableSmoke(t *testing.T) {
+	rows, err := smokeConfig().CheckpointTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		for _, app := range Apps {
+			if r.MeanMS[app] <= 0 {
+				t.Fatalf("places %d app %s: zero checkpoint time", r.Places, app)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteCheckpointTable(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentTableSmoke(t *testing.T) {
+	rows, err := smokeConfig().PercentTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.Pct) != 3 {
+			t.Fatalf("modes = %d", len(r.Pct))
+		}
+	}
+	var buf bytes.Buffer
+	if err := WritePercentTable(&buf, rows, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLOCTable(t *testing.T) {
+	rows, err := LOCTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// The paper's Table II core claim: the resilient version adds only
+		// a modest amount of code — the checkpoint and restore methods —
+		// on top of the non-resilient program.
+		if r.ResilientTotal <= r.NonResilientTotal {
+			t.Errorf("%s: resilient (%d) should exceed non-resilient (%d)",
+				r.App, r.ResilientTotal, r.NonResilientTotal)
+		}
+		if r.CheckpointLOC <= 0 || r.RestoreLOC <= 0 || r.IsFinishedLOC <= 0 {
+			t.Errorf("%s: zero method LOC: %+v", r.App, r)
+		}
+		added := r.ResilientTotal - r.NonResilientTotal
+		if added > r.NonResilientTotal {
+			t.Errorf("%s: resilience added %d lines, more than the whole program", r.App, added)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteLOCTable(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "LinReg") {
+		t.Error("render missing app names")
+	}
+}
+
+func TestLedgerCostHook(t *testing.T) {
+	c := Config{LedgerWork: 10}
+	fn := c.ledgerCost()
+	if fn == nil {
+		t.Fatal("ledgerCost nil with work set")
+	}
+	fn(3) // must not panic
+	c.LedgerWork = 0
+	if c.ledgerCost() != nil {
+		t.Fatal("ledgerCost should be nil with zero work")
+	}
+}
+
+func TestNewRuntimeRespectsResilience(t *testing.T) {
+	c := smokeConfig()
+	rt, err := c.newRuntime(2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	if !rt.Resilient() {
+		t.Error("expected resilient runtime")
+	}
+	nrt, err := c.newRuntime(2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nrt.Shutdown()
+	if nrt.Resilient() {
+		t.Error("expected non-resilient runtime")
+	}
+}

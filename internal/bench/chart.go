@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// seriesMarks are the plot symbols, in series order.
+var seriesMarks = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// WriteFigureChart renders the figure as an ASCII line chart — a quick
+// visual check of the curve shapes against the paper's plots.
+func WriteFigureChart(w io.Writer, f *Figure) error {
+	const width, height = 60, 18
+	if len(f.Series) == 0 || len(f.Series[0].Points) == 0 {
+		return nil
+	}
+	maxY := 0.0
+	maxX := 0
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if p.Mean > maxY {
+				maxY = p.Mean
+			}
+			if p.Places > maxX {
+				maxX = p.Places
+			}
+		}
+	}
+	if maxY <= 0 || maxX <= 0 {
+		return nil
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range f.Series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for _, p := range s.Points {
+			x := int(float64(p.Places) / float64(maxX) * float64(width-1))
+			y := height - 1 - int(p.Mean/maxY*float64(height-1))
+			if y < 0 {
+				y = 0
+			}
+			if grid[y][x] == ' ' {
+				grid[y][x] = mark
+			} else if grid[y][x] != mark {
+				grid[y][x] = '%' // overlapping series
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# %s — %s (x: places 0..%d)\n", f.ID, f.YLabel, maxX); err != nil {
+		return err
+	}
+	for i, row := range grid {
+		label := "        "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%7.1f ", maxY)
+		case height - 1:
+			label = fmt.Sprintf("%7.1f ", 0.0)
+		}
+		if _, err := fmt.Fprintf(w, "%s|%s\n", label, row); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "        +%s\n", strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	for si, s := range f.Series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		if _, err := fmt.Fprintf(w, "        %c %s\n", mark, s.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}

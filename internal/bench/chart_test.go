@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteFigureChart(t *testing.T) {
+	fig := &Figure{
+		ID:     "figX",
+		YLabel: "ms",
+		Series: []Series{
+			{Name: "up", Points: []Point{{Places: 2, Mean: 1}, {Places: 44, Mean: 10}}},
+			{Name: "flat", Points: []Point{{Places: 2, Mean: 5}, {Places: 44, Mean: 5}}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteFigureChart(&buf, fig); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"figX", "* up", "+ flat", "10.0", "0.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// Both marks appear somewhere on the canvas.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Error("marks missing from canvas")
+	}
+}
+
+func TestWriteFigureChartDegenerate(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFigureChart(&buf, &Figure{ID: "e"}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Error("empty figure should render nothing")
+	}
+	zero := &Figure{ID: "z", Series: []Series{{Name: "s", Points: []Point{{Places: 0, Mean: 0}}}}}
+	buf.Reset()
+	if err := WriteFigureChart(&buf, zero); err != nil {
+		t.Fatal(err)
+	}
+}

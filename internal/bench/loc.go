@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/scanner"
+	"go/token"
+
+	"github.com/rgml/rgml/internal/apps"
+)
+
+// LOCRow is one row of Table II: the lines-of-code comparison between the
+// non-resilient and resilient versions of a benchmark application,
+// including the size of the resilience-specific methods.
+type LOCRow struct {
+	App               AppName
+	NonResilientTotal int
+	ResilientTotal    int
+	CheckpointLOC     int
+	RestoreLOC        int
+	IsFinishedLOC     int
+}
+
+// locSources maps each application to its source files inside
+// internal/apps.
+var locSources = map[AppName][2]string{
+	// [non-resilient file, resilient file]
+	LinReg:   {"linreg_nonresilient.go", "linreg.go"},
+	LogReg:   {"logreg_nonresilient.go", "logreg.go"},
+	PageRank: {"pagerank_nonresilient.go", "pagerank.go"},
+}
+
+// LOCTable regenerates Table II by static analysis of the embedded
+// application sources: total code lines (excluding comments and blanks) of
+// each variant, plus the lines of the Checkpoint, Restore and IsFinished
+// methods that resilience adds.
+func LOCTable() ([]LOCRow, error) {
+	var rows []LOCRow
+	for _, app := range Apps {
+		files := locSources[app]
+		nonRes, err := countFileLOC(files[0])
+		if err != nil {
+			return nil, err
+		}
+		res, err := countFileLOC(files[1])
+		if err != nil {
+			return nil, err
+		}
+		ckpt, err := countMethodLOC(files[1], "Checkpoint")
+		if err != nil {
+			return nil, err
+		}
+		restore, err := countMethodLOC(files[1], "Restore")
+		if err != nil {
+			return nil, err
+		}
+		fin, err := countMethodLOC(files[1], "IsFinished")
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, LOCRow{
+			App:               app,
+			NonResilientTotal: nonRes,
+			ResilientTotal:    res,
+			CheckpointLOC:     ckpt,
+			RestoreLOC:        restore,
+			IsFinishedLOC:     fin,
+		})
+	}
+	return rows, nil
+}
+
+// codeLines returns the set of 1-based line numbers of src that carry at
+// least one non-comment token.
+func codeLines(name string, src []byte) (map[int]bool, *token.File, error) {
+	fset := token.NewFileSet()
+	file := fset.AddFile(name, -1, len(src))
+	var sc scanner.Scanner
+	var scanErr error
+	sc.Init(file, src, func(pos token.Position, msg string) {
+		scanErr = fmt.Errorf("bench: scanning %s: %s at %v", name, msg, pos)
+	}, 0)
+	lines := make(map[int]bool)
+	for {
+		pos, tok, lit := sc.Scan()
+		if tok == token.EOF {
+			break
+		}
+		if tok == token.SEMICOLON && lit == "\n" {
+			// Auto-inserted semicolon: not a source token.
+			continue
+		}
+		lines[file.Line(pos)] = true
+	}
+	if scanErr != nil {
+		return nil, nil, scanErr
+	}
+	return lines, file, nil
+}
+
+// countFileLOC counts the code lines of one embedded apps source file.
+func countFileLOC(name string) (int, error) {
+	src, err := apps.Sources.ReadFile(name)
+	if err != nil {
+		return 0, fmt.Errorf("bench: reading %s: %w", name, err)
+	}
+	lines, _, err := codeLines(name, src)
+	if err != nil {
+		return 0, err
+	}
+	return len(lines), nil
+}
+
+// countMethodLOC counts the code lines of the named method (including its
+// signature and braces) in one embedded apps source file.
+func countMethodLOC(name, method string) (int, error) {
+	src, err := apps.Sources.ReadFile(name)
+	if err != nil {
+		return 0, fmt.Errorf("bench: reading %s: %w", name, err)
+	}
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, name, src, 0)
+	if err != nil {
+		return 0, fmt.Errorf("bench: parsing %s: %w", name, err)
+	}
+	var startLine, endLine int
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Recv == nil || fd.Name.Name != method {
+			continue
+		}
+		startLine = fset.Position(fd.Pos()).Line
+		endLine = fset.Position(fd.End()).Line
+		break
+	}
+	if startLine == 0 {
+		return 0, fmt.Errorf("bench: method %s not found in %s", method, name)
+	}
+	lines, _, err := codeLines(name, src)
+	if err != nil {
+		return 0, err
+	}
+	count := 0
+	for l := startLine; l <= endLine; l++ {
+		if lines[l] {
+			count++
+		}
+	}
+	return count, nil
+}

@@ -1,0 +1,222 @@
+// Package block implements matrix blocks and per-place block containers
+// (the counterpart of x10.matrix.block.MatrixBlock and
+// x10.matrix.distblock.BlockSet). A DistBlockMatrix assigns one or more
+// blocks to each place; letting a place hold a *set* of blocks is what
+// enables the shrink restoration mode to remap existing blocks onto the
+// surviving places without repartitioning the matrix (paper section III-A).
+package block
+
+import (
+	"fmt"
+
+	"github.com/rgml/rgml/internal/codec"
+	"github.com/rgml/rgml/internal/grid"
+	"github.com/rgml/rgml/internal/la"
+)
+
+// Kind discriminates a block's storage format.
+type Kind uint8
+
+const (
+	// Dense blocks store a column-major la.DenseMatrix.
+	Dense Kind = iota
+	// Sparse blocks store a compressed-sparse-column la.SparseCSC.
+	Sparse
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Dense:
+		return "dense"
+	case Sparse:
+		return "sparse"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// MatrixBlock is one rectangular tile of a distributed matrix: its
+// position in the data grid, its origin in absolute matrix coordinates,
+// and its payload in dense or sparse form.
+type MatrixBlock struct {
+	RB, CB     int // block coordinates in the data grid
+	Row0, Col0 int // origin in matrix coordinates
+	Rows, Cols int
+
+	// Exactly one of Dense / Sparse is non-nil, per Kind.
+	Dense  *la.DenseMatrix
+	Sparse *la.SparseCSC
+}
+
+// NewDenseBlock allocates a zeroed dense block for grid position (rb, cb)
+// of g.
+func NewDenseBlock(g *grid.Grid, rb, cb int) *MatrixBlock {
+	r0, c0 := g.BlockOrigin(rb, cb)
+	rows, cols := g.BlockDims(rb, cb)
+	return &MatrixBlock{
+		RB: rb, CB: cb, Row0: r0, Col0: c0, Rows: rows, Cols: cols,
+		Dense: la.NewDense(rows, cols),
+	}
+}
+
+// NewSparseBlock allocates an empty sparse block for grid position (rb, cb)
+// of g.
+func NewSparseBlock(g *grid.Grid, rb, cb int) *MatrixBlock {
+	r0, c0 := g.BlockOrigin(rb, cb)
+	rows, cols := g.BlockDims(rb, cb)
+	return &MatrixBlock{
+		RB: rb, CB: cb, Row0: r0, Col0: c0, Rows: rows, Cols: cols,
+		Sparse: la.NewSparseCSC(rows, cols),
+	}
+}
+
+// Kind returns the block's storage format.
+func (b *MatrixBlock) Kind() Kind {
+	if b.Dense != nil {
+		return Dense
+	}
+	return Sparse
+}
+
+// Clone returns an independent deep copy.
+func (b *MatrixBlock) Clone() *MatrixBlock {
+	out := *b
+	if b.Dense != nil {
+		out.Dense = b.Dense.Clone()
+	}
+	if b.Sparse != nil {
+		out.Sparse = b.Sparse.Clone()
+	}
+	return &out
+}
+
+// Bytes returns the payload size for network-cost accounting.
+func (b *MatrixBlock) Bytes() int {
+	if b.Dense != nil {
+		return b.Dense.Bytes()
+	}
+	return b.Sparse.Bytes()
+}
+
+// At returns element (i, j) in block-local coordinates.
+func (b *MatrixBlock) At(i, j int) float64 {
+	if b.Dense != nil {
+		return b.Dense.At(i, j)
+	}
+	return b.Sparse.At(i, j)
+}
+
+// MultVecInto accumulates this block's contribution to y = M·x for the
+// whole distributed matrix M: y[Row0:Row0+Rows] += B · x[Col0:Col0+Cols].
+// x is indexed in global column coordinates and yLocal in coordinates
+// local to the place's row range, offset by yOffset.
+func (b *MatrixBlock) MultVecInto(x la.Vector, yLocal la.Vector, yOffset int) {
+	xSeg := x[b.Col0 : b.Col0+b.Cols]
+	ySeg := yLocal[b.Row0-yOffset : b.Row0-yOffset+b.Rows]
+	tmp := la.NewVector(b.Rows)
+	if b.Dense != nil {
+		b.Dense.MultVec(xSeg, tmp)
+	} else {
+		b.Sparse.MultVec(xSeg, tmp)
+	}
+	ySeg.Add(tmp)
+}
+
+// TransMultVecInto accumulates this block's contribution to y = Mᵀ·x:
+// y[Col0:Col0+Cols] += Bᵀ · x[Row0:Row0+Rows]. x is indexed in global row
+// coordinates; yLocal covers the full column dimension (callers reduce the
+// per-place partials afterwards).
+func (b *MatrixBlock) TransMultVecInto(x la.Vector, yLocal la.Vector) {
+	xSeg := x[b.Row0 : b.Row0+b.Rows]
+	ySeg := yLocal[b.Col0 : b.Col0+b.Cols]
+	tmp := la.NewVector(b.Cols)
+	if b.Dense != nil {
+		b.Dense.TransMultVec(xSeg, tmp)
+	} else {
+		b.Sparse.TransMultVec(xSeg, tmp)
+	}
+	ySeg.Add(tmp)
+}
+
+// Scale multiplies the block's payload by a.
+func (b *MatrixBlock) Scale(a float64) {
+	if b.Dense != nil {
+		b.Dense.Scale(a)
+	} else {
+		b.Sparse.Scale(a)
+	}
+}
+
+// String implements fmt.Stringer.
+func (b *MatrixBlock) String() string {
+	return fmt.Sprintf("block(%d,%d %dx%d@%d,%d %s)", b.RB, b.CB, b.Rows, b.Cols, b.Row0, b.Col0, b.Kind())
+}
+
+// Encode serializes the block to the snapshot wire format.
+func (b *MatrixBlock) Encode() []byte {
+	size := 7*8 + 8 + b.Bytes() + 3*8
+	out := make([]byte, 0, size)
+	out = codec.AppendInt(out, int(b.Kind()))
+	out = codec.AppendInt(out, b.RB)
+	out = codec.AppendInt(out, b.CB)
+	out = codec.AppendInt(out, b.Row0)
+	out = codec.AppendInt(out, b.Col0)
+	out = codec.AppendInt(out, b.Rows)
+	out = codec.AppendInt(out, b.Cols)
+	if b.Dense != nil {
+		out = codec.AppendFloat64s(out, b.Dense.Data)
+	} else {
+		out = codec.AppendInts(out, b.Sparse.ColPtr)
+		out = codec.AppendInts(out, b.Sparse.RowIdx)
+		out = codec.AppendFloat64s(out, b.Sparse.Vals)
+	}
+	return out
+}
+
+// Decode deserializes a block from the snapshot wire format.
+func Decode(data []byte) (*MatrixBlock, error) {
+	var (
+		b    MatrixBlock
+		kind int
+		err  error
+	)
+	rd := data
+	for _, dst := range []*int{&kind, &b.RB, &b.CB, &b.Row0, &b.Col0, &b.Rows, &b.Cols} {
+		if *dst, rd, err = codec.Int(rd); err != nil {
+			return nil, fmt.Errorf("block: decode header: %w", err)
+		}
+	}
+	switch Kind(kind) {
+	case Dense:
+		data, rd, err := codec.Float64s(rd)
+		if err != nil {
+			return nil, fmt.Errorf("block: decode dense payload: %w", err)
+		}
+		if len(data) != b.Rows*b.Cols {
+			return nil, fmt.Errorf("block: dense payload %d for %dx%d", len(data), b.Rows, b.Cols)
+		}
+		_ = rd
+		b.Dense = la.NewDenseFrom(b.Rows, b.Cols, data)
+	case Sparse:
+		colPtr, rd, err := codec.Ints(rd)
+		if err != nil {
+			return nil, fmt.Errorf("block: decode colptr: %w", err)
+		}
+		rowIdx, rd, err := codec.Ints(rd)
+		if err != nil {
+			return nil, fmt.Errorf("block: decode rowidx: %w", err)
+		}
+		vals, _, err := codec.Float64s(rd)
+		if err != nil {
+			return nil, fmt.Errorf("block: decode vals: %w", err)
+		}
+		if len(colPtr) != b.Cols+1 || len(rowIdx) != len(vals) {
+			return nil, fmt.Errorf("block: inconsistent sparse payload")
+		}
+		b.Sparse = &la.SparseCSC{Rows: b.Rows, Cols: b.Cols, ColPtr: colPtr, RowIdx: rowIdx, Vals: vals}
+	default:
+		return nil, fmt.Errorf("block: unknown kind %d", kind)
+	}
+	return &b, nil
+}

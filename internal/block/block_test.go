@@ -1,0 +1,242 @@
+package block
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/rgml/rgml/internal/grid"
+	"github.com/rgml/rgml/internal/la"
+)
+
+func testGrid(t *testing.T) *grid.Grid {
+	t.Helper()
+	g, err := grid.New(10, 8, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewBlocksGeometry(t *testing.T) {
+	g := testGrid(t)
+	d := NewDenseBlock(g, 1, 1)
+	// Rows split 4,3,3; cols split 4,4. Block (1,1): 3x4 at (4,4).
+	if d.Rows != 3 || d.Cols != 4 || d.Row0 != 4 || d.Col0 != 4 {
+		t.Fatalf("dense block geometry: %v", d)
+	}
+	if d.Kind() != Dense || d.Dense == nil || d.Sparse != nil {
+		t.Error("dense block kind wrong")
+	}
+	s := NewSparseBlock(g, 2, 0)
+	if s.Rows != 3 || s.Cols != 4 || s.Row0 != 7 || s.Col0 != 0 {
+		t.Fatalf("sparse block geometry: %v", s)
+	}
+	if s.Kind() != Sparse {
+		t.Error("sparse block kind wrong")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Dense.String() != "dense" || Sparse.String() != "sparse" {
+		t.Error("Kind.String wrong")
+	}
+	if !strings.HasPrefix(Kind(9).String(), "Kind(") {
+		t.Error("unknown kind string")
+	}
+}
+
+func TestBlockCloneIndependent(t *testing.T) {
+	g := testGrid(t)
+	d := NewDenseBlock(g, 0, 0)
+	d.Dense.Set(0, 0, 5)
+	c := d.Clone()
+	c.Dense.Set(0, 0, 9)
+	if d.Dense.At(0, 0) != 5 {
+		t.Error("dense clone shares storage")
+	}
+	s := NewSparseBlock(g, 0, 0)
+	s.Sparse.PasteSub(0, 0, la.NewSparseCSCFromTriplets(4, 4, []la.Triplet{{Row: 1, Col: 1, Val: 3}}))
+	cs := s.Clone()
+	cs.Sparse.Vals[0] = 7
+	if s.Sparse.Vals[0] != 3 {
+		t.Error("sparse clone shares storage")
+	}
+}
+
+func TestMultVecInto(t *testing.T) {
+	g := testGrid(t)
+	rng := la.NewRNG(1)
+	b := NewDenseBlock(g, 1, 1)
+	copy(b.Dense.Data, la.RandomDense(3, 4, rng).Data)
+
+	x := la.RandomVector(8, rng)
+	// Place owns row range [4, 7); compute block contribution.
+	yLocal := la.NewVector(3)
+	b.MultVecInto(x, yLocal, 4)
+	want := la.NewVector(3)
+	b.Dense.MultVec(x[4:8], want)
+	if !yLocal.EqualApprox(want, 1e-14) {
+		t.Errorf("MultVecInto = %v, want %v", yLocal, want)
+	}
+	// Accumulation: calling twice doubles.
+	b.MultVecInto(x, yLocal, 4)
+	if !yLocal.EqualApprox(want.Scale(2), 1e-14) {
+		t.Error("MultVecInto does not accumulate")
+	}
+}
+
+func TestTransMultVecInto(t *testing.T) {
+	g := testGrid(t)
+	rng := la.NewRNG(2)
+	b := NewSparseBlock(g, 1, 0)
+	b.Sparse.PasteSub(0, 0, la.RandomSparseCSC(3, 4, 2, rng))
+
+	x := la.RandomVector(10, rng)
+	yLocal := la.NewVector(8)
+	b.TransMultVecInto(x, yLocal)
+	want := la.NewVector(4)
+	b.Sparse.TransMultVec(x[4:7], want)
+	for j := 0; j < 4; j++ {
+		if yLocal[j] != want[j] {
+			t.Fatalf("TransMultVecInto col %d = %v, want %v", j, yLocal[j], want[j])
+		}
+	}
+	for j := 4; j < 8; j++ {
+		if yLocal[j] != 0 {
+			t.Fatal("columns outside block touched")
+		}
+	}
+}
+
+func TestBlockScale(t *testing.T) {
+	g := testGrid(t)
+	d := NewDenseBlock(g, 0, 0)
+	d.Dense.Set(1, 1, 2)
+	d.Scale(3)
+	if d.Dense.At(1, 1) != 6 {
+		t.Error("dense Scale failed")
+	}
+}
+
+func TestEncodeDecodeDense(t *testing.T) {
+	g := testGrid(t)
+	rng := la.NewRNG(3)
+	b := NewDenseBlock(g, 2, 1)
+	copy(b.Dense.Data, la.RandomDense(b.Rows, b.Cols, rng).Data)
+	got, err := Decode(b.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RB != b.RB || got.CB != b.CB || got.Row0 != b.Row0 || got.Col0 != b.Col0 {
+		t.Fatal("header mismatch")
+	}
+	if !got.Dense.EqualApprox(b.Dense, 0) {
+		t.Fatal("payload mismatch")
+	}
+}
+
+func TestEncodeDecodeSparse(t *testing.T) {
+	g := testGrid(t)
+	rng := la.NewRNG(4)
+	b := NewSparseBlock(g, 0, 1)
+	b.Sparse.PasteSub(0, 0, la.RandomSparseCSC(b.Rows, b.Cols, 2, rng))
+	got, err := Decode(b.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind() != Sparse || !got.Sparse.EqualApprox(b.Sparse, 0) {
+		t.Fatal("sparse roundtrip mismatch")
+	}
+}
+
+// Property: encode/decode is the identity for random dense blocks.
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := la.NewRNG(seed)
+		rows := 1 + rng.Intn(8)
+		cols := 1 + rng.Intn(8)
+		g, err := grid.New(rows*2, cols*2, 2, 2)
+		if err != nil {
+			return true
+		}
+		b := NewDenseBlock(g, rng.Intn(2), rng.Intn(2))
+		for i := range b.Dense.Data {
+			b.Dense.Data[i] = rng.Float64()
+		}
+		got, err := Decode(b.Encode())
+		return err == nil && got.Dense.EqualApprox(b.Dense, 0) && got.Bytes() == b.Bytes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Error("empty decode should fail")
+	}
+	g := testGrid(t)
+	b := NewDenseBlock(g, 0, 0)
+	enc := b.Encode()
+	if _, err := Decode(enc[:len(enc)-4]); err == nil {
+		t.Error("truncated decode should fail")
+	}
+	// Corrupt the kind field.
+	bad := append([]byte(nil), enc...)
+	bad[0] = 99
+	if _, err := Decode(bad); err == nil {
+		t.Error("unknown kind should fail")
+	}
+}
+
+func TestBlockSetOrderAndFind(t *testing.T) {
+	g := testGrid(t)
+	s := NewBlockSet()
+	for _, id := range []int{4, 1, 3} {
+		rb, cb := g.BlockCoords(id)
+		s.Add(id, NewDenseBlock(g, rb, cb))
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	ids := s.IDs()
+	if ids[0] != 1 || ids[1] != 3 || ids[2] != 4 {
+		t.Fatalf("IDs = %v", ids)
+	}
+	if s.Find(3) == nil || s.Find(2) != nil {
+		t.Error("Find wrong")
+	}
+	var seen []int
+	s.Each(func(id int, b *MatrixBlock) { seen = append(seen, id) })
+	if len(seen) != 3 || seen[0] != 1 || seen[2] != 4 {
+		t.Errorf("Each order = %v", seen)
+	}
+}
+
+func TestBlockSetDuplicatePanics(t *testing.T) {
+	g := testGrid(t)
+	s := NewBlockSet()
+	s.Add(1, NewDenseBlock(g, 0, 0))
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Add should panic")
+		}
+	}()
+	s.Add(1, NewDenseBlock(g, 0, 0))
+}
+
+func TestBlockSetCloneAndBytes(t *testing.T) {
+	g := testGrid(t)
+	s := NewBlockSet()
+	s.Add(0, NewDenseBlock(g, 0, 0))
+	s.Add(5, NewSparseBlock(g, 2, 1))
+	c := s.Clone()
+	c.Find(0).Dense.Set(0, 0, 9)
+	if s.Find(0).Dense.At(0, 0) != 0 {
+		t.Error("Clone shares storage")
+	}
+	if s.Bytes() != s.Find(0).Bytes()+s.Find(5).Bytes() {
+		t.Error("Bytes wrong")
+	}
+}

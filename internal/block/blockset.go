@@ -1,0 +1,74 @@
+package block
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BlockSet is the container for the blocks a single place holds, the
+// counterpart of x10.matrix.distblock.BlockSet. Blocks are kept ordered by
+// block ID for deterministic iteration (the resilience tests require that
+// replayed computations reproduce results exactly).
+type BlockSet struct {
+	blocks []*MatrixBlock
+	// ids mirrors blocks with each block's linear ID for ordering.
+	ids []int
+}
+
+// NewBlockSet returns an empty set.
+func NewBlockSet() *BlockSet { return &BlockSet{} }
+
+// Add inserts b with linear id, keeping the set ordered. Adding a duplicate
+// id panics: the distribution logic must never assign a block twice.
+func (s *BlockSet) Add(id int, b *MatrixBlock) {
+	i := sort.SearchInts(s.ids, id)
+	if i < len(s.ids) && s.ids[i] == id {
+		panic(fmt.Sprintf("block: duplicate block id %d", id))
+	}
+	s.ids = append(s.ids, 0)
+	copy(s.ids[i+1:], s.ids[i:])
+	s.ids[i] = id
+	s.blocks = append(s.blocks, nil)
+	copy(s.blocks[i+1:], s.blocks[i:])
+	s.blocks[i] = b
+}
+
+// Len returns the number of blocks in the set.
+func (s *BlockSet) Len() int { return len(s.blocks) }
+
+// Find returns the block with linear id, or nil.
+func (s *BlockSet) Find(id int) *MatrixBlock {
+	i := sort.SearchInts(s.ids, id)
+	if i < len(s.ids) && s.ids[i] == id {
+		return s.blocks[i]
+	}
+	return nil
+}
+
+// Each calls fn for every block in ascending ID order.
+func (s *BlockSet) Each(fn func(id int, b *MatrixBlock)) {
+	for i, b := range s.blocks {
+		fn(s.ids[i], b)
+	}
+}
+
+// IDs returns the block IDs in ascending order.
+func (s *BlockSet) IDs() []int {
+	return append([]int(nil), s.ids...)
+}
+
+// Bytes returns the total payload size of the set.
+func (s *BlockSet) Bytes() int {
+	n := 0
+	for _, b := range s.blocks {
+		n += b.Bytes()
+	}
+	return n
+}
+
+// Clone returns a deep copy of the set.
+func (s *BlockSet) Clone() *BlockSet {
+	out := NewBlockSet()
+	s.Each(func(id int, b *MatrixBlock) { out.Add(id, b.Clone()) })
+	return out
+}

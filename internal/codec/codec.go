@@ -1,0 +1,100 @@
+// Package codec provides the compact little-endian binary encoding used to
+// serialize matrix and vector fragments into snapshot storage. Checkpoint
+// cost in the paper is dominated by copying real data to the local and
+// backup stores; serializing to bytes here keeps that cost physical in the
+// emulation instead of a pointer swap.
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// ErrShortBuffer is returned when a decode runs past the end of its input.
+var ErrShortBuffer = errors.New("codec: short buffer")
+
+// AppendUint64 appends v in little-endian order.
+func AppendUint64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+// AppendInt appends an int as a uint64.
+func AppendInt(b []byte, v int) []byte {
+	return AppendUint64(b, uint64(int64(v)))
+}
+
+// AppendFloat64 appends the IEEE-754 bits of v.
+func AppendFloat64(b []byte, v float64) []byte {
+	return AppendUint64(b, math.Float64bits(v))
+}
+
+// AppendFloat64s appends a length header followed by the raw values.
+func AppendFloat64s(b []byte, vs []float64) []byte {
+	b = AppendInt(b, len(vs))
+	for _, v := range vs {
+		b = AppendFloat64(b, v)
+	}
+	return b
+}
+
+// AppendInts appends a length header followed by the values.
+func AppendInts(b []byte, vs []int) []byte {
+	b = AppendInt(b, len(vs))
+	for _, v := range vs {
+		b = AppendInt(b, v)
+	}
+	return b
+}
+
+// Uint64 decodes a uint64, returning the remaining input.
+func Uint64(b []byte) (uint64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, ErrShortBuffer
+	}
+	return binary.LittleEndian.Uint64(b), b[8:], nil
+}
+
+// Int decodes an int, returning the remaining input.
+func Int(b []byte) (int, []byte, error) {
+	v, rest, err := Uint64(b)
+	return int(int64(v)), rest, err
+}
+
+// Float64 decodes a float64, returning the remaining input.
+func Float64(b []byte) (float64, []byte, error) {
+	v, rest, err := Uint64(b)
+	return math.Float64frombits(v), rest, err
+}
+
+// Float64s decodes a length-prefixed float slice.
+func Float64s(b []byte) ([]float64, []byte, error) {
+	n, b, err := Int(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n < 0 || len(b) < 8*n {
+		return nil, nil, ErrShortBuffer
+	}
+	vs := make([]float64, n)
+	for i := range vs {
+		vs[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return vs, b[8*n:], nil
+}
+
+// Ints decodes a length-prefixed int slice.
+func Ints(b []byte) ([]int, []byte, error) {
+	n, b, err := Int(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n < 0 || len(b) < 8*n {
+		return nil, nil, ErrShortBuffer
+	}
+	vs := make([]int, n)
+	for i := range vs {
+		vs[i] = int(int64(binary.LittleEndian.Uint64(b[8*i:])))
+	}
+	return vs, b[8*n:], nil
+}

@@ -1,0 +1,81 @@
+package codec
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestScalarRoundtrip(t *testing.T) {
+	b := AppendInt(nil, -42)
+	b = AppendUint64(b, 7)
+	b = AppendFloat64(b, 3.25)
+	i, b2, err := Int(b)
+	if err != nil || i != -42 {
+		t.Fatalf("Int = %d, %v", i, err)
+	}
+	u, b3, err := Uint64(b2)
+	if err != nil || u != 7 {
+		t.Fatalf("Uint64 = %d, %v", u, err)
+	}
+	f, rest, err := Float64(b3)
+	if err != nil || f != 3.25 {
+		t.Fatalf("Float64 = %v, %v", f, err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("rest = %d bytes", len(rest))
+	}
+}
+
+func TestSliceRoundtrip(t *testing.T) {
+	f := func(fs []float64, is []int) bool {
+		b := AppendFloat64s(nil, fs)
+		b = AppendInts(b, is)
+		gotF, b2, err := Float64s(b)
+		if err != nil || len(gotF) != len(fs) {
+			return false
+		}
+		for i := range fs {
+			if gotF[i] != fs[i] && !(math.IsNaN(gotF[i]) && math.IsNaN(fs[i])) {
+				return false
+			}
+		}
+		gotI, rest, err := Ints(b2)
+		if err != nil || len(gotI) != len(is) || len(rest) != 0 {
+			return false
+		}
+		for i := range is {
+			if gotI[i] != is[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShortBuffers(t *testing.T) {
+	if _, _, err := Uint64([]byte{1, 2}); !errors.Is(err, ErrShortBuffer) {
+		t.Error("Uint64 short buffer not detected")
+	}
+	if _, _, err := Float64s(AppendInt(nil, 5)); !errors.Is(err, ErrShortBuffer) {
+		t.Error("Float64s truncated payload not detected")
+	}
+	if _, _, err := Ints(AppendInt(nil, -1)); !errors.Is(err, ErrShortBuffer) {
+		t.Error("Ints negative length not rejected")
+	}
+	if _, _, err := Float64s(nil); !errors.Is(err, ErrShortBuffer) {
+		t.Error("empty input not rejected")
+	}
+}
+
+func TestEmptySlices(t *testing.T) {
+	b := AppendFloat64s(nil, nil)
+	vs, rest, err := Float64s(b)
+	if err != nil || len(vs) != 0 || len(rest) != 0 {
+		t.Fatalf("empty roundtrip: %v %v %v", vs, rest, err)
+	}
+}

@@ -1,0 +1,56 @@
+// Package core implements the paper's primary contribution: the resilient
+// iterative application framework (section V). It consists of
+//
+//   - AppResilientStore: atomic, coordinated application checkpoints built
+//     from per-object Snapshots (Listing 4) with saveReadOnly reuse;
+//   - the IterativeApp programming model: IsFinished / Step / Checkpoint /
+//     Restore (section V-A2);
+//   - the resilient Executor that drives the step loop, takes periodic
+//     checkpoints, detects place failures through resilient finish, and
+//     restores the application under one of the restoration modes
+//     (section V-B): Shrink, ShrinkRebalance, ReplaceRedundant, and the
+//     future-work ReplaceElastic mode built on dynamic place creation;
+//   - Young's checkpoint-interval formula (section V).
+package core
+
+import (
+	"math"
+	"time"
+
+	"github.com/rgml/rgml/internal/apgas"
+)
+
+// IterativeApp is the programming model a resilient iterative application
+// implements (paper section V-A2). The framework calls Step in a loop until
+// IsFinished reports true, takes checkpoints through Checkpoint at the
+// configured interval, and rolls the application back through Restore when
+// a place failure is detected.
+type IterativeApp interface {
+	// IsFinished evaluates the algorithm's termination condition (e.g. a
+	// completed-iterations count or a convergence test).
+	IsFinished() bool
+	// Step executes one iteration of the algorithm. A place failure during
+	// the step surfaces as an error containing apgas.DeadPlaceError.
+	Step() error
+	// Checkpoint saves the states of the application's GML objects into
+	// store: StartNewSnapshot, then Save/SaveReadOnly per object, then
+	// Commit (paper Listing 5, lines 3-7).
+	Checkpoint(store *AppResilientStore) error
+	// Restore rolls the application back to the state of the snapshot
+	// iteration: Remake every GML object over newPG (repartitioning when
+	// rebalance is set, keeping the partitioning otherwise), then call
+	// store.Restore, and reset the application's own iteration counter to
+	// snapshotIter (paper Listing 5, lines 9-14).
+	Restore(newPG apgas.PlaceGroup, store *AppResilientStore, snapshotIter int64, rebalance bool) error
+}
+
+// YoungInterval returns the checkpoint interval suggested by Young's
+// first-order approximation, sqrt(2 · checkpointCost · MTTF) (paper
+// section V, citing Young 1974).
+func YoungInterval(checkpointCost, mttf time.Duration) time.Duration {
+	if checkpointCost <= 0 || mttf <= 0 {
+		return 0
+	}
+	prod := 2 * checkpointCost.Seconds() * mttf.Seconds()
+	return time.Duration(math.Sqrt(prod) * float64(time.Second))
+}

@@ -1,0 +1,322 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/rgml/rgml/internal/apgas"
+)
+
+// RestoreMode selects how the executor adapts the application to the loss
+// of places (paper section V-B).
+type RestoreMode int
+
+const (
+	// Shrink restores onto the surviving places, keeping the existing
+	// data partitioning: the fast block-by-block restore, at the cost of
+	// possible load imbalance (Fig. 1-b).
+	Shrink RestoreMode = iota
+	// ShrinkRebalance restores onto the surviving places and repartitions
+	// for even load, paying the sub-block overlap restore (Fig. 1-c).
+	ShrinkRebalance
+	// ReplaceRedundant substitutes each failed place with a spare place
+	// reserved at start time, keeping both the group size and the data
+	// distribution unchanged. When failures exceed the spares, the
+	// executor falls back to Shrink or ShrinkRebalance per
+	// Config.Fallback.
+	ReplaceRedundant
+	// ReplaceElastic substitutes each failed place with a freshly created
+	// place (Elastic X10) — the paper's future-work fourth mode.
+	ReplaceElastic
+)
+
+// String implements fmt.Stringer.
+func (m RestoreMode) String() string {
+	switch m {
+	case Shrink:
+		return "shrink"
+	case ShrinkRebalance:
+		return "shrink-rebalance"
+	case ReplaceRedundant:
+		return "replace-redundant"
+	case ReplaceElastic:
+		return "replace-elastic"
+	default:
+		return fmt.Sprintf("RestoreMode(%d)", int(m))
+	}
+}
+
+// Config parameterizes an Executor.
+type Config struct {
+	// CheckpointInterval is the number of iterations between checkpoints;
+	// a checkpoint is taken before iterations 0, k, 2k, …. When zero and
+	// MTTF is set, the interval is derived automatically; when both are
+	// zero, checkpointing is disabled (the application then cannot
+	// recover from failures).
+	CheckpointInterval int
+	// MTTF, when set (and CheckpointInterval is zero), enables automatic
+	// checkpoint intervals from Young's formula: after each checkpoint
+	// the executor recomputes sqrt(2·checkpointCost·MTTF) from the
+	// measured mean checkpoint and step times and converts it to an
+	// iteration count (paper section V: "Young's formula may be used to
+	// determine the checkpointing interval").
+	MTTF time.Duration
+	// Mode is the restoration mode applied on failure.
+	Mode RestoreMode
+	// Fallback is applied by ReplaceRedundant when the spare pool is
+	// exhausted; it must be Shrink or ShrinkRebalance.
+	Fallback RestoreMode
+	// Spares reserves the last Spares places of the runtime's initial
+	// world as replacements for ReplaceRedundant; they are excluded from
+	// the active group the application starts on.
+	Spares int
+	// MaxRestores bounds recovery attempts per Run (guarding against
+	// failure storms); 0 means 16.
+	MaxRestores int
+	// AfterStep, when non-nil, runs after each successful iteration with
+	// the 1-based count of completed iterations. Benchmarks use it to
+	// inject failures at a chosen iteration.
+	AfterStep func(iter int64)
+}
+
+// Metrics accumulates where the executor spent its time; the benchmark
+// harness derives Table IV's checkpoint/restore percentages from it.
+type Metrics struct {
+	Steps       int64
+	Checkpoints int64
+	Restores    int64
+	// ReplayedSteps counts iterations re-executed after rollbacks.
+	ReplayedSteps  int64
+	StepTime       time.Duration
+	CheckpointTime time.Duration
+	RestoreTime    time.Duration
+	Total          time.Duration
+}
+
+// Executor runs an IterativeApp under the resilient framework (paper
+// section V-A3): it executes Step in a loop, takes periodic checkpoints,
+// and restores from the latest checkpoint when a place failure is
+// detected.
+type Executor struct {
+	rt      *apgas.Runtime
+	cfg     Config
+	store   *AppResilientStore
+	active  apgas.PlaceGroup
+	spares  apgas.PlaceGroup
+	iter    int64
+	metrics Metrics
+	// lastCkpt and autoIters drive the Young-formula automatic interval.
+	lastCkpt  int64
+	autoIters int64
+}
+
+// NewExecutor builds an executor over rt's initial world, reserving
+// cfg.Spares places for ReplaceRedundant.
+func NewExecutor(rt *apgas.Runtime, cfg Config) (*Executor, error) {
+	world := rt.World()
+	if cfg.Spares < 0 || cfg.Spares >= world.Size() {
+		return nil, fmt.Errorf("core: %d spares of %d places", cfg.Spares, world.Size())
+	}
+	if cfg.CheckpointInterval < 0 {
+		return nil, fmt.Errorf("core: negative checkpoint interval")
+	}
+	switch cfg.Fallback {
+	case Shrink, ShrinkRebalance:
+	default:
+		return nil, fmt.Errorf("core: fallback mode must be shrink or shrink-rebalance, got %v", cfg.Fallback)
+	}
+	if cfg.MaxRestores == 0 {
+		cfg.MaxRestores = 16
+	}
+	split := world.Size() - cfg.Spares
+	return &Executor{
+		rt:     rt,
+		cfg:    cfg,
+		store:  NewAppResilientStore(),
+		active: apgas.PlaceGroup(world[:split]).Clone(),
+		spares: apgas.PlaceGroup(world[split:]).Clone(),
+	}, nil
+}
+
+// ActiveGroup returns the places the application currently runs on.
+// Applications call this at construction time to build their GML objects.
+func (e *Executor) ActiveGroup() apgas.PlaceGroup { return e.active.Clone() }
+
+// Store returns the executor's application resilient store.
+func (e *Executor) Store() *AppResilientStore { return e.store }
+
+// Metrics returns a copy of the executor's accumulated timings.
+func (e *Executor) Metrics() Metrics { return e.metrics }
+
+// Run drives app until IsFinished, surviving place failures when
+// checkpointing is enabled. It returns the first unrecoverable error.
+func (e *Executor) Run(app IterativeApp) error {
+	start := time.Now()
+	defer func() { e.metrics.Total = time.Since(start) }()
+	restores := 0
+	for !app.IsFinished() {
+		if e.shouldCheckpoint() {
+			if err := e.checkpoint(app); err != nil {
+				if !apgas.IsDeadPlace(err) {
+					return fmt.Errorf("core: checkpoint at iteration %d: %w", e.iter, err)
+				}
+				restores++
+				if err := e.recover(app, restores); err != nil {
+					return err
+				}
+				continue
+			}
+		}
+		t0 := time.Now()
+		err := app.Step()
+		e.metrics.StepTime += time.Since(t0)
+		if err != nil {
+			if !apgas.IsDeadPlace(err) {
+				return fmt.Errorf("core: step at iteration %d: %w", e.iter, err)
+			}
+			restores++
+			if err := e.recover(app, restores); err != nil {
+				return err
+			}
+			continue
+		}
+		e.iter++
+		e.metrics.Steps++
+		if e.cfg.AfterStep != nil {
+			e.cfg.AfterStep(e.iter)
+		}
+	}
+	return nil
+}
+
+// shouldCheckpoint decides whether to checkpoint before the next step:
+// the fixed schedule when CheckpointInterval is set, the Young-derived
+// schedule when MTTF is set, no checkpoints otherwise.
+func (e *Executor) shouldCheckpoint() bool {
+	if k := int64(e.cfg.CheckpointInterval); k > 0 {
+		return e.iter%k == 0
+	}
+	if e.cfg.MTTF <= 0 {
+		return false
+	}
+	if e.metrics.Checkpoints == 0 {
+		return true // always secure an initial recovery point
+	}
+	// Recalibrate at decision time, once step timings exist.
+	e.updateAutoInterval()
+	return e.iter-e.lastCkpt >= e.autoIters
+}
+
+// AutoInterval reports the current Young-derived checkpoint interval in
+// iterations (0 when the automatic mode is off or not yet calibrated).
+func (e *Executor) AutoInterval() int64 { return e.autoIters }
+
+// updateAutoInterval recalibrates the Young interval from the measured
+// mean checkpoint and step costs.
+func (e *Executor) updateAutoInterval() {
+	if e.cfg.MTTF <= 0 || e.metrics.Steps == 0 || e.metrics.Checkpoints == 0 {
+		e.autoIters = 1
+		return
+	}
+	avgStep := e.metrics.StepTime / time.Duration(e.metrics.Steps)
+	avgCkpt := e.metrics.CheckpointTime / time.Duration(e.metrics.Checkpoints)
+	opt := YoungInterval(avgCkpt, e.cfg.MTTF)
+	if avgStep <= 0 {
+		e.autoIters = 1
+		return
+	}
+	iters := int64(opt / avgStep)
+	if iters < 1 {
+		iters = 1
+	}
+	e.autoIters = iters
+}
+
+// checkpoint takes one application checkpoint, cancelling it on failure.
+func (e *Executor) checkpoint(app IterativeApp) error {
+	t0 := time.Now()
+	defer func() { e.metrics.CheckpointTime += time.Since(t0) }()
+	e.store.SetIteration(e.iter)
+	if err := app.Checkpoint(e.store); err != nil {
+		e.store.CancelSnapshot()
+		return err
+	}
+	e.metrics.Checkpoints++
+	e.lastCkpt = e.iter
+	return nil
+}
+
+// recover rolls the application back to the committed checkpoint on a new
+// place group chosen by the restoration mode. Additional failures during
+// recovery trigger further attempts up to MaxRestores.
+func (e *Executor) recover(app IterativeApp, attempt int) error {
+	if attempt > e.cfg.MaxRestores {
+		return fmt.Errorf("core: giving up after %d restore attempts", e.cfg.MaxRestores)
+	}
+	if !e.store.HasSnapshot() {
+		return ErrNoSnapshot
+	}
+	t0 := time.Now()
+	defer func() { e.metrics.RestoreTime += time.Since(t0) }()
+
+	newPG, rebalance, err := e.nextGroup()
+	if err != nil {
+		return err
+	}
+	snapIter := e.store.SnapshotIter()
+	if err := app.Restore(newPG, e.store, snapIter, rebalance); err != nil {
+		if apgas.IsDeadPlace(err) {
+			// Another place died during recovery: try again.
+			return e.recover(app, attempt+1)
+		}
+		return fmt.Errorf("core: restore at iteration %d: %w", snapIter, err)
+	}
+	e.active = newPG
+	e.metrics.ReplayedSteps += e.iter - snapIter
+	e.iter = snapIter
+	e.lastCkpt = snapIter
+	e.metrics.Restores++
+	return nil
+}
+
+// nextGroup computes the new active group per the restoration mode and
+// reports whether the application should repartition for even load.
+func (e *Executor) nextGroup() (apgas.PlaceGroup, bool, error) {
+	dead := make([]apgas.Place, 0, 1)
+	for _, p := range e.active {
+		if e.rt.IsDead(p) {
+			dead = append(dead, p)
+		}
+	}
+	if len(dead) == 0 {
+		// The failure hit a place outside the active group (e.g. a spare):
+		// the data distribution is unaffected; restore in place.
+		return e.active.Clone(), false, nil
+	}
+	mode := e.cfg.Mode
+	switch mode {
+	case ReplaceRedundant:
+		alive := e.rt.Live(e.spares)
+		if len(alive) >= len(dead) {
+			taken := alive[:len(dead)]
+			e.spares = alive[len(dead):]
+			newPG, err := e.active.Replace(dead, taken)
+			return newPG, false, err
+		}
+		// Spare pool exhausted: fall back (paper section V-B3).
+		mode = e.cfg.Fallback
+	case ReplaceElastic:
+		added, err := e.rt.AddPlaces(len(dead))
+		if err != nil {
+			return nil, false, fmt.Errorf("core: elastic place creation: %w", err)
+		}
+		newPG, err := e.active.Replace(dead, added)
+		return newPG, false, err
+	}
+	survivors := e.active.Without(dead...)
+	if survivors.Size() == 0 {
+		return nil, false, errors.New("core: no surviving places")
+	}
+	return survivors, mode == ShrinkRebalance, nil
+}

@@ -1,0 +1,133 @@
+package core_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/rgml/rgml/internal/core"
+)
+
+// TestExecutorFailureDuringCheckpoint kills a place so that the *next*
+// scheduled checkpoint (not a step) observes the failure; the executor
+// must cancel the broken checkpoint, keep the previous one valid, and
+// recover from it.
+func TestExecutorFailureDuringCheckpoint(t *testing.T) {
+	rt := newRT(t, 4)
+	var once sync.Once
+	exec, err := core.NewExecutor(rt, core.Config{
+		CheckpointInterval: 5,
+		Mode:               core.Shrink,
+		AfterStep: func(iter int64) {
+			// Fires after iteration 5 completes; the checkpoint before
+			// iteration 5 already committed, so the one before iteration
+			// 10 is the first operation to hit the dead place... unless a
+			// step notices first — either path must recover.
+			if iter == 5 {
+				once.Do(func() { _ = rt.Kill(rt.Place(3)) })
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := newCounterApp(t, rt, exec.ActiveGroup(), 12, 12)
+	if err := exec.Run(app); err != nil {
+		t.Fatal(err)
+	}
+	verify(t, app)
+	m := exec.Metrics()
+	if m.Restores != 1 {
+		t.Fatalf("Restores = %d", m.Restores)
+	}
+	// The snapshot at iteration 5 must have been the recovery point.
+	if exec.Store().SnapshotIter() < 5 {
+		t.Fatalf("recovered from iteration %d, want >= 5", exec.Store().SnapshotIter())
+	}
+}
+
+// TestExecutorImmediateFailureRecoversFromInitialCheckpoint kills a place
+// during the very first iteration: recovery must come from the checkpoint
+// taken before iteration 0.
+func TestExecutorImmediateFailureRecoversFromInitialCheckpoint(t *testing.T) {
+	rt := newRT(t, 3)
+	var once sync.Once
+	exec, err := core.NewExecutor(rt, core.Config{
+		CheckpointInterval: 10,
+		AfterStep: func(iter int64) {
+			if iter == 1 {
+				once.Do(func() { _ = rt.Kill(rt.Place(1)) })
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := newCounterApp(t, rt, exec.ActiveGroup(), 9, 6)
+	if err := exec.Run(app); err != nil {
+		t.Fatal(err)
+	}
+	verify(t, app)
+	if exec.Store().SnapshotIter() != 0 {
+		t.Fatalf("recovered from iteration %d, want 0", exec.Store().SnapshotIter())
+	}
+}
+
+// TestExecutorGiveUpAfterMaxRestores verifies the failure-storm guard.
+func TestExecutorGiveUpAfterMaxRestores(t *testing.T) {
+	rt := newRT(t, 6)
+	next := 1
+	exec, err := core.NewExecutor(rt, core.Config{
+		CheckpointInterval: 2,
+		Mode:               core.Shrink,
+		MaxRestores:        2,
+		AfterStep: func(iter int64) {
+			// Kill another place after every iteration: recovery can never
+			// outrun the failures.
+			if next < 5 {
+				_ = rt.Kill(rt.Place(next))
+				next++
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := newCounterApp(t, rt, exec.ActiveGroup(), 12, 40)
+	err = exec.Run(app)
+	if err == nil {
+		t.Fatal("expected the executor to give up")
+	}
+	if !strings.Contains(err.Error(), "giving up") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestExecutorMetricsTimings sanity-checks the time accounting the
+// Table IV percentages are derived from.
+func TestExecutorMetricsTimings(t *testing.T) {
+	rt := newRT(t, 3)
+	var once sync.Once
+	exec, err := core.NewExecutor(rt, core.Config{
+		CheckpointInterval: 3,
+		AfterStep: func(iter int64) {
+			if iter == 4 {
+				once.Do(func() { _ = rt.Kill(rt.Place(2)) })
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := newCounterApp(t, rt, exec.ActiveGroup(), 9, 9)
+	if err := exec.Run(app); err != nil {
+		t.Fatal(err)
+	}
+	m := exec.Metrics()
+	if m.Total <= 0 || m.StepTime <= 0 || m.CheckpointTime <= 0 || m.RestoreTime <= 0 {
+		t.Fatalf("missing timings: %+v", m)
+	}
+	if m.StepTime+m.CheckpointTime+m.RestoreTime > m.Total {
+		t.Fatalf("component times exceed total: %+v", m)
+	}
+}

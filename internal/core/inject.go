@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/rgml/rgml/internal/apgas"
+)
+
+// FailurePlan schedules fail-stop place failures against an executor run —
+// the structured form of the ad-hoc kill-at-iteration hooks used
+// throughout the paper's experiments ("a single place failure occurs at
+// iteration 15"). A plan is attached with Executor Config.AfterStep =
+// plan.AfterStep(rt).
+type FailurePlan struct {
+	mu     sync.Mutex
+	events []FailureEvent
+	killed int
+	errs   []error
+}
+
+// FailureEvent kills one place after the given completed iteration.
+type FailureEvent struct {
+	// AfterIteration triggers the kill when this many iterations have
+	// completed (1-based, matching Executor.Config.AfterStep).
+	AfterIteration int64
+	// Place is the victim.
+	Place apgas.Place
+}
+
+// NewFailurePlan builds a plan from events; they are sorted by iteration.
+func NewFailurePlan(events ...FailureEvent) *FailurePlan {
+	sorted := append([]FailureEvent(nil), events...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return sorted[i].AfterIteration < sorted[j].AfterIteration
+	})
+	return &FailurePlan{events: sorted}
+}
+
+// AfterStep returns the hook to install as Config.AfterStep. Each event
+// fires exactly once, even though the iteration counter rolls back past
+// its trigger point during recovery (otherwise a restored run would kill
+// the same place count again on replay).
+func (p *FailurePlan) AfterStep(rt *apgas.Runtime) func(iter int64) {
+	return func(iter int64) {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		for p.killed < len(p.events) && p.events[p.killed].AfterIteration <= iter {
+			ev := p.events[p.killed]
+			p.killed++
+			if err := rt.Kill(ev.Place); err != nil {
+				p.errs = append(p.errs, fmt.Errorf("core: failure plan at iteration %d: %w", iter, err))
+			}
+		}
+	}
+}
+
+// Fired returns how many scheduled failures have been injected.
+func (p *FailurePlan) Fired() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.killed
+}
+
+// Err returns the injection errors, if any (e.g. a plan that targets
+// place zero).
+func (p *FailurePlan) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch len(p.errs) {
+	case 0:
+		return nil
+	case 1:
+		return p.errs[0]
+	default:
+		return fmt.Errorf("core: %d injection errors, first: %w", len(p.errs), p.errs[0])
+	}
+}

@@ -1,0 +1,125 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/rgml/rgml/internal/apgas"
+	"github.com/rgml/rgml/internal/core"
+)
+
+func TestFailurePlanInjectsOnceEach(t *testing.T) {
+	rt := newRT(t, 6)
+	plan := core.NewFailurePlan(
+		core.FailureEvent{AfterIteration: 4, Place: rt.Place(2)},
+		core.FailureEvent{AfterIteration: 9, Place: rt.Place(4)},
+	)
+	exec, err := core.NewExecutor(rt, core.Config{
+		CheckpointInterval: 3,
+		Mode:               core.Shrink,
+		AfterStep:          plan.AfterStep(rt),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := newCounterApp(t, rt, exec.ActiveGroup(), 18, 14)
+	if err := exec.Run(app); err != nil {
+		t.Fatal(err)
+	}
+	verify(t, app)
+	if plan.Fired() != 2 {
+		t.Fatalf("Fired = %d", plan.Fired())
+	}
+	if err := plan.Err(); err != nil {
+		t.Fatalf("Err = %v", err)
+	}
+	if exec.Metrics().Restores != 2 {
+		t.Fatalf("Restores = %d", exec.Metrics().Restores)
+	}
+	if app.pg.Size() != 4 {
+		t.Fatalf("final group = %v", app.pg)
+	}
+}
+
+func TestFailurePlanRecordsKillErrors(t *testing.T) {
+	rt := newRT(t, 2)
+	plan := core.NewFailurePlan(
+		core.FailureEvent{AfterIteration: 1, Place: rt.Place(0)}, // immortal
+	)
+	hook := plan.AfterStep(rt)
+	hook(1)
+	if plan.Fired() != 1 {
+		t.Fatalf("Fired = %d", plan.Fired())
+	}
+	if !errors.Is(plan.Err(), apgas.ErrPlaceZeroImmortal) {
+		t.Fatalf("Err = %v", plan.Err())
+	}
+}
+
+func TestFailurePlanSortsEvents(t *testing.T) {
+	rt := newRT(t, 4)
+	plan := core.NewFailurePlan(
+		core.FailureEvent{AfterIteration: 9, Place: rt.Place(2)},
+		core.FailureEvent{AfterIteration: 3, Place: rt.Place(1)},
+	)
+	hook := plan.AfterStep(rt)
+	hook(3)
+	if plan.Fired() != 1 {
+		t.Fatalf("after iter 3 Fired = %d", plan.Fired())
+	}
+	if rt.IsDead(rt.Place(2)) || !rt.IsDead(rt.Place(1)) {
+		t.Fatal("wrong victim killed first")
+	}
+}
+
+func TestYoungAutoInterval(t *testing.T) {
+	rt := newRT(t, 4)
+	plan := core.NewFailurePlan(core.FailureEvent{AfterIteration: 10, Place: rt.Place(3)})
+	exec, err := core.NewExecutor(rt, core.Config{
+		// No fixed interval: Young's formula drives the schedule. A short
+		// MTTF forces frequent checkpoints so the run exercises the
+		// recalibration path.
+		MTTF:      50 * time.Millisecond,
+		Mode:      core.Shrink,
+		AfterStep: plan.AfterStep(rt),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := newCounterApp(t, rt, exec.ActiveGroup(), 16, 20)
+	if err := exec.Run(app); err != nil {
+		t.Fatal(err)
+	}
+	verify(t, app)
+	m := exec.Metrics()
+	if m.Checkpoints < 1 {
+		t.Fatal("no checkpoints taken in auto mode")
+	}
+	if m.Restores != 1 {
+		t.Fatalf("Restores = %d", m.Restores)
+	}
+	if exec.AutoInterval() < 1 {
+		t.Fatalf("AutoInterval = %d", exec.AutoInterval())
+	}
+}
+
+func TestYoungAutoIntervalGrowsWithMTTF(t *testing.T) {
+	// With an enormous MTTF the optimal interval is huge: after the
+	// initial checkpoint the executor should not checkpoint again.
+	rt := newRT(t, 3)
+	exec, err := core.NewExecutor(rt, core.Config{MTTF: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := newCounterApp(t, rt, exec.ActiveGroup(), 9, 25)
+	if err := exec.Run(app); err != nil {
+		t.Fatal(err)
+	}
+	if got := exec.Metrics().Checkpoints; got != 1 {
+		t.Fatalf("Checkpoints = %d, want only the initial one", got)
+	}
+	if exec.AutoInterval() <= 25 {
+		t.Fatalf("AutoInterval = %d, expected far beyond the run length", exec.AutoInterval())
+	}
+}

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/rgml/rgml/internal/snapshot"
+)
+
+// AppResilientStore creates consistent application-level checkpoints out of
+// per-object Snapshots (paper Listing 4). A checkpoint is atomic: the
+// snapshots taken between StartNewSnapshot and Commit only become the
+// application's recovery point when Commit succeeds; a failure in between
+// is discarded by CancelSnapshot and the previous checkpoint remains valid.
+// Coordinated checkpointing needs only one live checkpoint, so Commit
+// destroys the storage of the superseded one (except snapshots shared via
+// SaveReadOnly).
+type AppResilientStore struct {
+	mu sync.Mutex
+
+	// committed is the application's current recovery point.
+	committed map[snapshot.Snapshottable]*snapshot.Snapshot
+	// committedIter is the iteration the committed checkpoint captured.
+	committedIter int64
+
+	// pending accumulates the snapshot under construction.
+	pending     map[snapshot.Snapshottable]*snapshot.Snapshot
+	pendingIter int64
+	inProgress  bool
+
+	// readOnly caches SaveReadOnly snapshots for reuse across checkpoints
+	// ("if there is an existing snapshot for a read-only object,
+	// saveReadOnly will reuse this snapshot").
+	readOnly map[snapshot.Snapshottable]*snapshot.Snapshot
+}
+
+// NewAppResilientStore returns an empty store.
+func NewAppResilientStore() *AppResilientStore {
+	return &AppResilientStore{
+		readOnly: make(map[snapshot.Snapshottable]*snapshot.Snapshot),
+	}
+}
+
+// ErrNoSnapshot is returned by Restore when no checkpoint has been
+// committed yet.
+var ErrNoSnapshot = errors.New("core: no committed application snapshot")
+
+// ErrSnapshotInProgress is returned when StartNewSnapshot is called twice
+// without an intervening Commit or CancelSnapshot.
+var ErrSnapshotInProgress = errors.New("core: a snapshot is already in progress")
+
+// ErrNoSnapshotStarted is returned by Save/SaveReadOnly/Commit outside a
+// StartNewSnapshot..Commit window.
+var ErrNoSnapshotStarted = errors.New("core: StartNewSnapshot has not been called")
+
+// SetIteration records the application iteration the next checkpoint will
+// capture. The executor calls it before invoking the application's
+// Checkpoint method.
+func (s *AppResilientStore) SetIteration(iter int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pendingIter = iter
+}
+
+// SnapshotIter returns the iteration of the committed checkpoint.
+func (s *AppResilientStore) SnapshotIter() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.committedIter
+}
+
+// StartNewSnapshot begins a new application checkpoint.
+func (s *AppResilientStore) StartNewSnapshot() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inProgress {
+		return ErrSnapshotInProgress
+	}
+	s.inProgress = true
+	s.pending = make(map[snapshot.Snapshottable]*snapshot.Snapshot)
+	return nil
+}
+
+// Save captures obj's state into the pending checkpoint.
+func (s *AppResilientStore) Save(obj snapshot.Snapshottable) error {
+	s.mu.Lock()
+	if !s.inProgress {
+		s.mu.Unlock()
+		return ErrNoSnapshotStarted
+	}
+	s.mu.Unlock()
+	snap, err := obj.MakeSnapshot()
+	if err != nil {
+		return fmt.Errorf("core: saving object: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pending[obj] = snap
+	return nil
+}
+
+// SaveReadOnly captures obj's state once and reuses the same snapshot in
+// every later checkpoint, avoiding repeated serialization of inputs that
+// never change (the optimization behind Table III's flat checkpoint
+// times).
+func (s *AppResilientStore) SaveReadOnly(obj snapshot.Snapshottable) error {
+	s.mu.Lock()
+	if !s.inProgress {
+		s.mu.Unlock()
+		return ErrNoSnapshotStarted
+	}
+	cached := s.readOnly[obj]
+	s.mu.Unlock()
+	if cached == nil {
+		snap, err := obj.MakeSnapshot()
+		if err != nil {
+			return fmt.Errorf("core: saving read-only object: %w", err)
+		}
+		s.mu.Lock()
+		if existing := s.readOnly[obj]; existing != nil {
+			// Another goroutine raced us; keep the first snapshot.
+			s.mu.Unlock()
+			snap.Destroy()
+			cached = existing
+		} else {
+			s.readOnly[obj] = snap
+			s.mu.Unlock()
+			cached = snap
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.inProgress {
+		return ErrNoSnapshotStarted
+	}
+	s.pending[obj] = cached
+	return nil
+}
+
+// Commit atomically promotes the pending checkpoint to the recovery point
+// and destroys the storage of the superseded one (read-only snapshots are
+// shared between checkpoints and survive).
+func (s *AppResilientStore) Commit() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.inProgress {
+		return ErrNoSnapshotStarted
+	}
+	old := s.committed
+	s.committed = s.pending
+	s.committedIter = s.pendingIter
+	s.pending = nil
+	s.inProgress = false
+	s.destroyUnshared(old)
+	return nil
+}
+
+// CancelSnapshot discards a failed in-progress checkpoint, releasing its
+// storage; the previous recovery point remains valid.
+func (s *AppResilientStore) CancelSnapshot() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.inProgress {
+		return
+	}
+	s.destroyUnshared(s.pending)
+	s.pending = nil
+	s.inProgress = false
+}
+
+// destroyUnshared releases the snapshots of set that are not read-only
+// caches and not part of the committed checkpoint. Callers hold s.mu.
+func (s *AppResilientStore) destroyUnshared(set map[snapshot.Snapshottable]*snapshot.Snapshot) {
+	for obj, snap := range set {
+		if s.readOnly[obj] == snap {
+			continue
+		}
+		if s.committed != nil && s.committed[obj] == snap {
+			continue
+		}
+		snap.Destroy()
+	}
+}
+
+// Restore restores every object of the committed checkpoint in parallel
+// (paper Listing 5, line 14: one restore() call recovers all saved
+// objects). Each object must already have been remade over the new place
+// group by the application's Restore method.
+func (s *AppResilientStore) Restore() error {
+	s.mu.Lock()
+	committed := s.committed
+	s.mu.Unlock()
+	if committed == nil {
+		return ErrNoSnapshot
+	}
+	var (
+		wg   sync.WaitGroup
+		emu  sync.Mutex
+		errs []error
+	)
+	for obj, snap := range committed {
+		obj, snap := obj, snap
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := obj.RestoreSnapshot(snap); err != nil {
+				emu.Lock()
+				errs = append(errs, err)
+				emu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return fmt.Errorf("core: restore: %w", errors.Join(errs...))
+	}
+	return nil
+}
+
+// HasSnapshot reports whether a checkpoint has been committed.
+func (s *AppResilientStore) HasSnapshot() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.committed != nil
+}

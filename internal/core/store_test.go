@@ -1,0 +1,167 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/rgml/rgml/internal/snapshot"
+)
+
+// fakeObj is a Snapshottable that records calls; its snapshots are nil-safe
+// stand-ins (Snapshot.Destroy on a zero-value snapshot is a no-op).
+type fakeObj struct {
+	mu         sync.Mutex
+	makes      int
+	restores   int
+	restoreErr error
+}
+
+func (f *fakeObj) MakeSnapshot() (*snapshot.Snapshot, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.makes++
+	return &snapshot.Snapshot{}, nil
+}
+
+func (f *fakeObj) RestoreSnapshot(*snapshot.Snapshot) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.restores++
+	return f.restoreErr
+}
+
+func TestStoreLifecycle(t *testing.T) {
+	s := NewAppResilientStore()
+	obj := &fakeObj{}
+	if s.HasSnapshot() {
+		t.Fatal("fresh store has a snapshot")
+	}
+	if err := s.Save(obj); !errors.Is(err, ErrNoSnapshotStarted) {
+		t.Fatalf("Save before start = %v", err)
+	}
+	if err := s.Commit(); !errors.Is(err, ErrNoSnapshotStarted) {
+		t.Fatalf("Commit before start = %v", err)
+	}
+	s.SetIteration(7)
+	if err := s.StartNewSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.StartNewSnapshot(); !errors.Is(err, ErrSnapshotInProgress) {
+		t.Fatalf("double start = %v", err)
+	}
+	if err := s.Save(obj); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.HasSnapshot() || s.SnapshotIter() != 7 {
+		t.Fatalf("committed iter = %d", s.SnapshotIter())
+	}
+	if obj.makes != 1 {
+		t.Fatalf("makes = %d", obj.makes)
+	}
+	if err := s.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	if obj.restores != 1 {
+		t.Fatalf("restores = %d", obj.restores)
+	}
+}
+
+func TestStoreRestoreWithoutCommit(t *testing.T) {
+	s := NewAppResilientStore()
+	if err := s.Restore(); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("Restore = %v", err)
+	}
+}
+
+func TestStoreCancel(t *testing.T) {
+	s := NewAppResilientStore()
+	obj := &fakeObj{}
+	_ = s.StartNewSnapshot()
+	_ = s.Save(obj)
+	s.CancelSnapshot()
+	if s.HasSnapshot() {
+		t.Fatal("cancelled snapshot became committed")
+	}
+	// Cancelling with nothing pending is a no-op.
+	s.CancelSnapshot()
+	// A new snapshot can start after cancel.
+	if err := s.StartNewSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreReadOnlyReuse(t *testing.T) {
+	s := NewAppResilientStore()
+	ro := &fakeObj{}
+	mut := &fakeObj{}
+	for i := 0; i < 3; i++ {
+		s.SetIteration(int64(i))
+		if err := s.StartNewSnapshot(); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SaveReadOnly(ro); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Save(mut); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The read-only object was serialized exactly once; the mutable one
+	// every checkpoint.
+	if ro.makes != 1 {
+		t.Errorf("read-only makes = %d, want 1", ro.makes)
+	}
+	if mut.makes != 3 {
+		t.Errorf("mutable makes = %d, want 3", mut.makes)
+	}
+}
+
+func TestStoreRestoreAggregatesErrors(t *testing.T) {
+	s := NewAppResilientStore()
+	bad := &fakeObj{restoreErr: errors.New("broken")}
+	good := &fakeObj{}
+	_ = s.StartNewSnapshot()
+	_ = s.Save(bad)
+	_ = s.Save(good)
+	_ = s.Commit()
+	if err := s.Restore(); err == nil {
+		t.Fatal("expected restore error")
+	}
+	if good.restores != 1 {
+		t.Error("good object not restored")
+	}
+}
+
+func TestYoungInterval(t *testing.T) {
+	// sqrt(2 * 1s * 50s) = 10s.
+	got := YoungInterval(time.Second, 50*time.Second)
+	if got < 9999*time.Millisecond || got > 10001*time.Millisecond {
+		t.Errorf("YoungInterval = %v, want 10s", got)
+	}
+	if YoungInterval(0, time.Second) != 0 || YoungInterval(time.Second, 0) != 0 {
+		t.Error("degenerate inputs should yield 0")
+	}
+}
+
+func TestRestoreModeString(t *testing.T) {
+	want := map[RestoreMode]string{
+		Shrink:           "shrink",
+		ShrinkRebalance:  "shrink-rebalance",
+		ReplaceRedundant: "replace-redundant",
+		ReplaceElastic:   "replace-elastic",
+		RestoreMode(9):   "RestoreMode(9)",
+	}
+	for m, s := range want {
+		if m.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(m), m.String(), s)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+// Package dist implements GML's multi-place vector and matrix classes over
+// the apgas substrate (paper Table I):
+//
+//	           Duplicated        Distributed
+//	Vectors    DupVector         DistVector
+//	Matrices   DupDenseMatrix    DistDenseMatrix
+//	           DupSparseMatrix   DistSparseMatrix
+//	                             DistBlockMatrix
+//
+// Every class supports construction over an arbitrary PlaceGroup, dynamic
+// redistribution via Remake (paper section IV-A), and the Snapshottable
+// snapshot/restore protocol (section IV-B), including the block-by-block
+// fast path when the partitioning is unchanged and the overlap-based
+// sub-block path (with the extra nonzero-counting pass for sparse data)
+// when the data grid changed.
+//
+// Collective operations are deterministic: reductions combine per-place
+// contributions in place-group order, so a computation replayed after a
+// failure reproduces the failure-free result exactly. The resilience tests
+// rely on this.
+package dist
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/rgml/rgml/internal/apgas"
+	"github.com/rgml/rgml/internal/codec"
+	"github.com/rgml/rgml/internal/la"
+)
+
+// ErrGroupMismatch reports an operation between objects distributed over
+// different place groups.
+var ErrGroupMismatch = errors.New("dist: objects distributed over different place groups")
+
+// ErrShapeMismatch reports an operation between objects of incompatible
+// dimensions.
+var ErrShapeMismatch = errors.New("dist: shape mismatch")
+
+// encodeVector serializes a vector fragment for snapshot storage.
+func encodeVector(v la.Vector) []byte {
+	return codec.AppendFloat64s(make([]byte, 0, 8+v.Bytes()), v)
+}
+
+// decodeVector deserializes a vector fragment.
+func decodeVector(b []byte) (la.Vector, error) {
+	vs, _, err := codec.Float64s(b)
+	if err != nil {
+		return nil, fmt.Errorf("dist: decode vector: %w", err)
+	}
+	return vs, nil
+}
+
+// sameGroups reports whether two objects share a place group.
+func sameGroups(a, b apgas.PlaceGroup) bool { return a.Equal(b) }

@@ -1,0 +1,609 @@
+package dist
+
+import (
+	"testing"
+
+	"github.com/rgml/rgml/internal/apgas"
+	"github.com/rgml/rgml/internal/block"
+	"github.com/rgml/rgml/internal/la"
+)
+
+// denseInit is a distribution-independent element generator.
+func denseInit(i, j int) float64 {
+	return float64(i*31+j*17%13) + 0.25
+}
+
+// sparseColInit deterministically generates a few nonzeros per column.
+func sparseColInit(n int) func(j int) ([]int, []float64) {
+	return func(j int) ([]int, []float64) {
+		rng := la.NewRNG(uint64(j)*0x9e37 + 11)
+		d := 1 + rng.Intn(3)
+		rows := make([]int, 0, d)
+		seen := map[int]bool{}
+		for len(rows) < d {
+			r := rng.Intn(n)
+			if !seen[r] {
+				seen[r] = true
+				rows = append(rows, r)
+			}
+		}
+		vals := make([]float64, d)
+		for k := range vals {
+			vals[k] = rng.Float64() + 0.1
+		}
+		return rows, vals
+	}
+}
+
+func makeDenseDBM(t *testing.T, rt *apgas.Runtime, rows, cols, rb, cb, rp, cp int, pg apgas.PlaceGroup) *DistBlockMatrix {
+	t.Helper()
+	m, err := MakeDistBlockMatrix(rt, block.Dense, rows, cols, rb, cb, rp, cp, pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InitDense(denseInit); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMakeValidation(t *testing.T) {
+	rt := newRT(t, 4)
+	pg := rt.World()
+	// Place grid must cover the group exactly.
+	if _, err := MakeDistBlockMatrix(rt, block.Dense, 8, 8, 4, 1, 2, 1, pg); err == nil {
+		t.Error("place grid smaller than group accepted")
+	}
+	// Blocks must divide evenly among places.
+	if _, err := MakeDistBlockMatrix(rt, block.Dense, 9, 8, 3, 2, 4, 1, pg); err == nil {
+		t.Error("non-divisible block grid accepted")
+	}
+	// Invalid grid.
+	if _, err := MakeDistBlockMatrix(rt, block.Dense, 2, 2, 4, 1, 4, 1, pg); err == nil {
+		t.Error("more blocks than rows accepted")
+	}
+}
+
+func TestInitDenseAndToDense(t *testing.T) {
+	rt := newRT(t, 4)
+	m := makeDenseDBM(t, rt, 10, 6, 4, 2, 2, 2, rt.World())
+	got, err := m.ToDense()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 6; j++ {
+			if got.At(i, j) != denseInit(i, j) {
+				t.Fatalf("(%d,%d) = %v, want %v", i, j, got.At(i, j), denseInit(i, j))
+			}
+		}
+	}
+	if m.Kind() != block.Dense || m.Rows() != 10 || m.Cols() != 6 {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestInitDenseOnSparseRejected(t *testing.T) {
+	rt := newRT(t, 2)
+	m, err := MakeDistBlockMatrix(rt, block.Sparse, 8, 8, 2, 1, 2, 1, rt.World())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InitDense(denseInit); err == nil {
+		t.Error("InitDense on sparse accepted")
+	}
+	d, err := MakeDistBlockMatrix(rt, block.Dense, 8, 8, 2, 1, 2, 1, rt.World())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.InitSparseColumns(sparseColInit(8)); err == nil {
+		t.Error("InitSparseColumns on dense accepted")
+	}
+}
+
+func TestInitSparseColumns(t *testing.T) {
+	rt := newRT(t, 4)
+	n := 12
+	m, err := MakeDistBlockMatrix(rt, block.Sparse, n, n, 4, 2, 2, 2, rt.World())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := sparseColInit(n)
+	if err := m.InitSparseColumns(gen); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ToDense()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := la.NewDense(n, n)
+	for j := 0; j < n; j++ {
+		rows, vals := gen(j)
+		for k, i := range rows {
+			want.Set(i, j, vals[k])
+		}
+	}
+	if !got.EqualApprox(want, 0) {
+		t.Fatal("sparse init disagrees with generator")
+	}
+}
+
+func TestMultVecAgainstReference(t *testing.T) {
+	for _, cfg := range []struct {
+		name               string
+		rows, cols, rb, cb int
+		rp, cp             int
+	}{
+		{"row-striped", 20, 8, 4, 1, 4, 1},
+		{"2d-grid", 18, 10, 4, 2, 2, 2},
+		{"multi-block", 24, 9, 8, 3, 4, 1},
+	} {
+		t.Run(cfg.name, func(t *testing.T) {
+			rt := newRT(t, 4)
+			pg := rt.World()
+			m := makeDenseDBM(t, rt, cfg.rows, cfg.cols, cfg.rb, cfg.cb, cfg.rp, cfg.cp, pg)
+			x, err := MakeDupVector(rt, cfg.cols, pg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_ = x.Init(func(i int) float64 { return float64(i)*0.5 + 1 })
+			y, err := MakeDistVector(rt, cfg.rows, pg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.MultVec(x, y); err != nil {
+				t.Fatal(err)
+			}
+			got, err := y.ToVector()
+			if err != nil {
+				t.Fatal(err)
+			}
+			dense, _ := m.ToDense()
+			xv := la.NewVector(cfg.cols)
+			for i := range xv {
+				xv[i] = float64(i)*0.5 + 1
+			}
+			want := la.NewVector(cfg.rows)
+			dense.MultVec(xv, want)
+			if !got.EqualApprox(want, 1e-9) {
+				t.Fatalf("MultVec mismatch: got %v want %v", got[:4], want[:4])
+			}
+		})
+	}
+}
+
+func TestMultVecSparse(t *testing.T) {
+	rt := newRT(t, 4)
+	pg := rt.World()
+	n := 16
+	m, err := MakeDistBlockMatrix(rt, block.Sparse, n, n, 4, 2, 2, 2, pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InitSparseColumns(sparseColInit(n)); err != nil {
+		t.Fatal(err)
+	}
+	x, _ := MakeDupVector(rt, n, pg)
+	_ = x.Init(func(i int) float64 { return float64(i%5) + 1 })
+	y, _ := MakeDistVector(rt, n, pg)
+	if err := m.MultVec(x, y); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := y.ToVector()
+	dense, _ := m.ToDense()
+	xv := la.NewVector(n)
+	for i := range xv {
+		xv[i] = float64(i%5) + 1
+	}
+	want := la.NewVector(n)
+	dense.MultVec(xv, want)
+	if !got.EqualApprox(want, 1e-9) {
+		t.Fatal("sparse MultVec mismatch")
+	}
+}
+
+func TestTransMultVecAgainstReference(t *testing.T) {
+	for _, cfg := range []struct {
+		name               string
+		rows, cols, rb, cb int
+		rp, cp             int
+	}{
+		{"row-striped", 20, 6, 4, 1, 4, 1},
+		{"2d-grid", 16, 10, 4, 2, 2, 2},
+	} {
+		t.Run(cfg.name, func(t *testing.T) {
+			rt := newRT(t, 4)
+			pg := rt.World()
+			m := makeDenseDBM(t, rt, cfg.rows, cfg.cols, cfg.rb, cfg.cb, cfg.rp, cfg.cp, pg)
+			x, _ := MakeDistVector(rt, cfg.rows, pg)
+			_ = x.Init(func(i int) float64 { return float64(i%7) - 3 })
+			z, _ := MakeDupVector(rt, cfg.cols, pg)
+			if err := m.TransMultVec(x, z); err != nil {
+				t.Fatal(err)
+			}
+			dense, _ := m.ToDense()
+			xv := la.NewVector(cfg.rows)
+			for i := range xv {
+				xv[i] = float64(i%7) - 3
+			}
+			want := la.NewVector(cfg.cols)
+			dense.TransMultVec(xv, want)
+			// Every duplicate must hold the result (TransMultVec syncs).
+			for idx := 0; idx < pg.Size(); idx++ {
+				if got := readDupAt(t, z, idx); !got.EqualApprox(want, 1e-9) {
+					t.Fatalf("duplicate %d mismatch", idx)
+				}
+			}
+		})
+	}
+}
+
+func TestOpsShapeAndGroupChecks(t *testing.T) {
+	rt := newRT(t, 2)
+	pg := rt.World()
+	m := makeDenseDBM(t, rt, 8, 4, 2, 1, 2, 1, pg)
+	xBad, _ := MakeDupVector(rt, 5, pg)
+	y, _ := MakeDistVector(rt, 8, pg)
+	if err := m.MultVec(xBad, y); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+	x, _ := MakeDupVector(rt, 4, pg)
+	yBad, _ := MakeDistVector(rt, 8, apgas.PlaceGroup{rt.Place(0)})
+	if err := m.MultVec(x, yBad); err == nil {
+		t.Error("group mismatch accepted")
+	}
+	zBad, _ := MakeDupVector(rt, 9, pg)
+	xd, _ := MakeDistVector(rt, 8, pg)
+	if err := m.TransMultVec(xd, zBad); err == nil {
+		t.Error("TransMultVec shape mismatch accepted")
+	}
+}
+
+func TestScaleAndBytes(t *testing.T) {
+	rt := newRT(t, 2)
+	m := makeDenseDBM(t, rt, 6, 4, 2, 1, 2, 1, rt.World())
+	if err := m.Scale(2); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.ToDense()
+	if got.At(1, 1) != 2*denseInit(1, 1) {
+		t.Error("Scale failed")
+	}
+	n, err := m.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 6*4*8 {
+		t.Errorf("Bytes = %d", n)
+	}
+}
+
+func TestRemakeKeepGridShrink(t *testing.T) {
+	rt := newRT(t, 4)
+	m := makeDenseDBM(t, rt, 16, 8, 8, 1, 4, 1, rt.World())
+	oldGrid := m.Grid()
+	if err := rt.Kill(rt.Place(3)); err != nil {
+		t.Fatal(err)
+	}
+	newPG := rt.World() // 3 places
+	if err := m.Remake(newPG, true); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Grid().Equal(oldGrid) {
+		t.Fatal("keepGrid changed the data grid")
+	}
+	if !m.Group().Equal(newPG) {
+		t.Fatal("group not updated")
+	}
+	// 8 blocks round-robin over 3 places: 3,3,2.
+	if len(m.Dist().BlocksOf(0)) != 3 || len(m.Dist().BlocksOf(2)) != 2 {
+		t.Fatalf("block distribution: %v %v %v",
+			m.Dist().BlocksOf(0), m.Dist().BlocksOf(1), m.Dist().BlocksOf(2))
+	}
+}
+
+func TestRemakeRebalance(t *testing.T) {
+	rt := newRT(t, 4)
+	// bppRow = 8/4 = 2.
+	m := makeDenseDBM(t, rt, 16, 8, 8, 1, 4, 1, rt.World())
+	if err := rt.Kill(rt.Place(3)); err != nil {
+		t.Fatal(err)
+	}
+	newPG := rt.World()
+	if err := m.Remake(newPG, false); err != nil {
+		t.Fatal(err)
+	}
+	// Rebalanced: 2 blocks per place × 3 places = 6 row blocks.
+	if m.Grid().RowBlocks != 6 {
+		t.Fatalf("rebalanced RowBlocks = %d, want 6", m.Grid().RowBlocks)
+	}
+	for p := 0; p < 3; p++ {
+		if len(m.Dist().BlocksOf(p)) != 2 {
+			t.Fatalf("place %d owns %d blocks", p, len(m.Dist().BlocksOf(p)))
+		}
+	}
+	// 16 rows over 3 places cannot be perfectly even; the best possible
+	// max is ceil(16/3) = 6 rows (×8 cols) on one place.
+	counts := m.Dist().ElementsPerPlace(m.Grid())
+	for p, c := range counts {
+		if c > 6*8 {
+			t.Errorf("place %d owns %d elements, want <= 48", p, c)
+		}
+	}
+}
+
+func TestSnapshotRestoreSameGrid(t *testing.T) {
+	rt := newRT(t, 4)
+	m := makeDenseDBM(t, rt, 12, 6, 4, 2, 2, 2, rt.World())
+	want, _ := m.ToDense()
+	s, err := m.MakeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Destroy()
+	_ = m.Scale(0)
+	if err := m.RestoreSnapshot(s); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.ToDense()
+	if !got.EqualApprox(want, 0) {
+		t.Fatal("same-grid restore mismatch")
+	}
+}
+
+func TestSnapshotRestoreAfterShrinkKeepGrid(t *testing.T) {
+	rt := newRT(t, 4)
+	m := makeDenseDBM(t, rt, 16, 8, 8, 1, 4, 1, rt.World())
+	want, _ := m.ToDense()
+	s, err := m.MakeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Destroy()
+	if err := rt.Kill(rt.Place(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remake(rt.World(), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RestoreSnapshot(s); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.ToDense()
+	if !got.EqualApprox(want, 0) {
+		t.Fatal("shrink keep-grid restore mismatch")
+	}
+}
+
+func TestSnapshotRestoreAfterRebalanceDense(t *testing.T) {
+	rt := newRT(t, 4)
+	m := makeDenseDBM(t, rt, 17, 9, 8, 1, 4, 1, rt.World())
+	want, _ := m.ToDense()
+	s, err := m.MakeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Destroy()
+	if err := rt.Kill(rt.Place(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Rebalance: new grid (6 row blocks) differs from old (8) — overlap path.
+	if err := m.Remake(rt.World(), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RestoreSnapshot(s); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.ToDense()
+	if !got.EqualApprox(want, 0) {
+		t.Fatal("regrid dense restore mismatch")
+	}
+}
+
+func TestSnapshotRestoreAfterRebalanceSparse(t *testing.T) {
+	rt := newRT(t, 4)
+	n := 19
+	m, err := MakeDistBlockMatrix(rt, block.Sparse, n, n, 8, 1, 4, 1, rt.World())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InitSparseColumns(sparseColInit(n)); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := m.ToDense()
+	s, err := m.MakeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Destroy()
+	if err := rt.Kill(rt.Place(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remake(rt.World(), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RestoreSnapshot(s); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.ToDense()
+	if !got.EqualApprox(want, 0) {
+		t.Fatal("regrid sparse restore mismatch")
+	}
+}
+
+func TestSnapshotRestoreReplaceRedundant(t *testing.T) {
+	// 5 places: 4 active + 1 spare. Kill an active, replace in-position.
+	rt := newRT(t, 5)
+	world := rt.World()
+	active := apgas.PlaceGroup(world[:4])
+	spare := world[4]
+	m := makeDenseDBM(t, rt, 16, 4, 8, 1, 4, 1, active)
+	want, _ := m.ToDense()
+	s, err := m.MakeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Destroy()
+	victim := rt.Place(2)
+	if err := rt.Kill(victim); err != nil {
+		t.Fatal(err)
+	}
+	newPG, err := active.Replace([]apgas.Place{victim}, []apgas.Place{spare})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same group size: grid unchanged, block-by-block restore.
+	if err := m.Remake(newPG, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RestoreSnapshot(s); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.ToDense()
+	if !got.EqualApprox(want, 0) {
+		t.Fatal("replace-redundant restore mismatch")
+	}
+}
+
+// The central determinism guarantee: MultVec results are bit-identical
+// before and after any redistribution, because reductions run in canonical
+// block order.
+func TestMultVecDeterministicAcrossRedistribution(t *testing.T) {
+	rt := newRT(t, 4)
+	pg := rt.World()
+	n, d := 24, 10
+	m := makeDenseDBM(t, rt, n, d, 8, 1, 4, 1, pg)
+	x, _ := MakeDupVector(rt, d, pg)
+	_ = x.Init(func(i int) float64 { return 1 / float64(i+3) })
+	y, _ := MakeDistVector(rt, n, pg)
+	if err := m.MultVec(x, y); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := y.ToVector()
+
+	s, err := m.MakeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Destroy()
+	_ = rt.Kill(rt.Place(3))
+	newPG := rt.World()
+	if err := m.Remake(newPG, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RestoreSnapshot(s); err != nil {
+		t.Fatal(err)
+	}
+	_ = x.Remake(newPG)
+	_ = x.Init(func(i int) float64 { return 1 / float64(i+3) })
+	_ = y.Remake(newPG)
+	if err := m.MultVec(x, y); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := y.ToVector()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("element %d differs bitwise: %v vs %v", i, before[i], after[i])
+		}
+	}
+}
+
+func TestFrobNorm(t *testing.T) {
+	rt := newRT(t, 4)
+	m := makeDenseDBM(t, rt, 12, 6, 4, 2, 2, 2, rt.World())
+	got, err := m.FrobNorm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, _ := m.ToDense()
+	if want := dense.FrobNorm(); got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("FrobNorm = %v, want %v", got, want)
+	}
+	// Sparse path.
+	n := 16
+	sp, err := MakeDistBlockMatrix(rt, block.Sparse, n, n, 4, 1, 4, 1, rt.World())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.InitSparseColumns(sparseColInit(n)); err != nil {
+		t.Fatal(err)
+	}
+	gotSp, err := sp.FrobNorm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsp, _ := sp.ToDense()
+	if want := dsp.FrobNorm(); gotSp < want-1e-9 || gotSp > want+1e-9 {
+		t.Fatalf("sparse FrobNorm = %v, want %v", gotSp, want)
+	}
+}
+
+func TestScratchReuseAcrossOps(t *testing.T) {
+	// Two MultVecs and a TransMultVec share the cached scratch; a Remake
+	// invalidates it and the next op still works.
+	rt := newRT(t, 3)
+	pg := rt.World()
+	m := makeDenseDBM(t, rt, 12, 6, 3, 1, 3, 1, pg)
+	x, _ := MakeDupVector(rt, 6, pg)
+	_ = x.Init(func(i int) float64 { return float64(i) })
+	y, _ := MakeDistVector(rt, 12, pg)
+	if err := m.MultVec(x, y); err != nil {
+		t.Fatal(err)
+	}
+	first, _ := y.ToVector()
+	if err := m.MultVec(x, y); err != nil {
+		t.Fatal(err)
+	}
+	second, _ := y.ToVector()
+	if !first.EqualApprox(second, 0) {
+		t.Fatal("repeated MultVec with cached scratch differs")
+	}
+	z, _ := MakeDupVector(rt, 6, pg)
+	xd, _ := MakeDistVector(rt, 12, pg)
+	_ = xd.Init(func(i int) float64 { return 1 })
+	if err := m.TransMultVec(xd, z); err != nil {
+		t.Fatal(err)
+	}
+	// Shrink and reuse.
+	if err := rt.Kill(rt.Place(2)); err != nil {
+		t.Fatal(err)
+	}
+	newPG := rt.World()
+	if err := m.Remake(newPG, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InitDense(denseInit); err != nil {
+		t.Fatal(err)
+	}
+	_ = x.Remake(newPG)
+	_ = x.Init(func(i int) float64 { return float64(i) })
+	_ = y.Remake(newPG)
+	if err := m.MultVec(x, y); err != nil {
+		t.Fatal(err)
+	}
+	third, _ := y.ToVector()
+	if !third.EqualApprox(first, 0) {
+		t.Fatal("MultVec after Remake differs")
+	}
+}
+
+func TestRestoreShapeMismatchRejected(t *testing.T) {
+	rt := newRT(t, 2)
+	m := makeDenseDBM(t, rt, 8, 4, 2, 1, 2, 1, rt.World())
+	s, err := m.MakeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Destroy()
+	other := makeDenseDBM(t, rt, 8, 6, 2, 1, 2, 1, rt.World())
+	if err := other.RestoreSnapshot(s); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+	sp, err := MakeDistBlockMatrix(rt, block.Sparse, 8, 4, 2, 1, 2, 1, rt.World())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.RestoreSnapshot(s); err == nil {
+		t.Fatal("kind mismatch accepted")
+	}
+}

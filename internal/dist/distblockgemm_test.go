@@ -1,0 +1,211 @@
+package dist
+
+import (
+	"testing"
+
+	"github.com/rgml/rgml/internal/apgas"
+	"github.com/rgml/rgml/internal/block"
+	"github.com/rgml/rgml/internal/la"
+)
+
+// gemmFixture builds a conformal trio: V sparse N×M, W dense N×K, both
+// row-striped over the world, plus the duplicated H K×M.
+func gemmFixture(t *testing.T, rt *apgas.Runtime, n, mcols, k int) (v, w *DistBlockMatrix, h *DupDenseMatrix) {
+	t.Helper()
+	pg := rt.World()
+	p := pg.Size()
+	var err error
+	v, err = MakeDistBlockMatrix(rt, block.Sparse, n, mcols, p, 1, p, 1, pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.InitSparseColumns(sparseColInit(n)); err != nil {
+		t.Fatal(err)
+	}
+	w, err = MakeDistBlockMatrix(rt, block.Dense, n, k, p, 1, p, 1, pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.InitDense(func(i, j int) float64 { return denseInit(i, j) / 10 }); err != nil {
+		t.Fatal(err)
+	}
+	h, err = MakeDupDenseMatrix(rt, k, mcols, pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Init(func(i, j int) float64 { return float64(i+j)/7 + 0.1 }); err != nil {
+		t.Fatal(err)
+	}
+	return v, w, h
+}
+
+func TestTransMultMatrixAgainstDense(t *testing.T) {
+	rt := newRT(t, 4)
+	n, mcols, k := 20, 9, 3
+	v, w, _ := gemmFixture(t, rt, n, mcols, k)
+	out, err := MakeDupDenseMatrix(rt, k, mcols, rt.World())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.TransMultMatrix(v, out); err != nil {
+		t.Fatal(err)
+	}
+	wd, _ := w.ToDense()
+	vd, _ := v.ToDense()
+	want := la.NewDense(k, mcols)
+	la.AccumTransDenseDense(wd, vd, want)
+	root, err := out.Root()
+	_ = root
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every duplicate must hold the broadcast result.
+	err = apgas.ForEachPlace(rt, rt.World(), func(ctx *apgas.Ctx, idx int) {
+		if !out.Local(ctx).EqualApprox(want, 1e-9) {
+			apgas.Throw(errShape("TransMultMatrix duplicate mismatch"))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransMultMatrixGram(t *testing.T) {
+	rt := newRT(t, 3)
+	n, k := 15, 4
+	_, w, _ := gemmFixture(t, rt, n, 6, k)
+	gram, err := MakeDupDenseMatrix(rt, k, k, rt.World())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.TransMultMatrix(w, gram); err != nil {
+		t.Fatal(err)
+	}
+	wd, _ := w.ToDense()
+	want := la.NewDense(k, k)
+	la.AccumTransDenseDense(wd, wd, want)
+	got, err := gram.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualApprox(want, 1e-9) {
+		t.Fatal("Gram mismatch")
+	}
+}
+
+func TestMultDupMatrixAgainstDense(t *testing.T) {
+	rt := newRT(t, 4)
+	n, mcols, k := 16, 5, 3
+	_, w, _ := gemmFixture(t, rt, n, mcols, k)
+	hh, err := MakeDupDenseMatrix(rt, k, k, rt.World())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hh.Init(func(i, j int) float64 { return float64(i*j + 1) }); err != nil {
+		t.Fatal(err)
+	}
+	out, err := MakeDistBlockMatrix(rt, block.Dense, n, k, 4, 1, 4, 1, rt.World())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.MultDupMatrix(hh, out); err != nil {
+		t.Fatal(err)
+	}
+	wd, _ := w.ToDense()
+	hhRoot, _ := hh.Root()
+	want := la.NewDense(n, k)
+	wd.Mult(hhRoot, want)
+	got, _ := out.ToDense()
+	if !got.EqualApprox(want, 1e-9) {
+		t.Fatal("MultDupMatrix mismatch")
+	}
+}
+
+func TestMultDupTransposeAgainstDense(t *testing.T) {
+	rt := newRT(t, 4)
+	n, mcols, k := 16, 7, 3
+	v, _, h := gemmFixture(t, rt, n, mcols, k)
+	out, err := MakeDistBlockMatrix(rt, block.Dense, n, k, 4, 1, 4, 1, rt.World())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.MultDupTranspose(h, out); err != nil {
+		t.Fatal(err)
+	}
+	vd, _ := v.ToDense()
+	hRoot, _ := h.Root()
+	want := la.NewDense(n, k)
+	for i := 0; i < n; i++ {
+		for kk := 0; kk < k; kk++ {
+			var sum float64
+			for j := 0; j < mcols; j++ {
+				sum += vd.At(i, j) * hRoot.At(kk, j)
+			}
+			want.Set(i, kk, sum)
+		}
+	}
+	got, _ := out.ToDense()
+	if !got.EqualApprox(want, 1e-9) {
+		t.Fatal("MultDupTranspose mismatch")
+	}
+}
+
+func TestZipBlocks(t *testing.T) {
+	rt := newRT(t, 3)
+	pg := rt.World()
+	mk := func() *DistBlockMatrix {
+		m, err := MakeDistBlockMatrix(rt, block.Dense, 9, 4, 3, 1, 3, 1, pg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	dst, a, b := mk(), mk(), mk()
+	_ = a.InitDense(func(i, j int) float64 { return 2 })
+	_ = b.InitDense(func(i, j int) float64 { return 3 })
+	_ = dst.InitDense(func(i, j int) float64 { return 1 })
+	err := ZipBlocks(dst, a, b, func(d, x, y *block.MatrixBlock) {
+		for i := range d.Dense.Data {
+			d.Dense.Data[i] = d.Dense.Data[i]*x.Dense.Data[i] + y.Dense.Data[i]
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := dst.ToDense()
+	for _, v := range got.Data {
+		if v != 5 {
+			t.Fatalf("ZipBlocks element = %v, want 5", v)
+		}
+	}
+}
+
+func TestGemmValidation(t *testing.T) {
+	rt := newRT(t, 4)
+	pg := rt.World()
+	v, w, h := gemmFixture(t, rt, 16, 6, 3)
+	// Sparse left operand rejected for TransMultMatrix.
+	out, _ := MakeDupDenseMatrix(rt, 6, 6, pg)
+	if err := v.TransMultMatrix(v, out); err == nil {
+		t.Error("sparse left operand accepted")
+	}
+	// Wrong out shape.
+	bad, _ := MakeDupDenseMatrix(rt, 2, 2, pg)
+	if err := w.TransMultMatrix(v, bad); err == nil {
+		t.Error("wrong out shape accepted")
+	}
+	// Non-conformal (different row-block count).
+	other, err := MakeDistBlockMatrix(rt, block.Sparse, 16, 6, 8, 1, 4, 1, pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	okOut, _ := MakeDupDenseMatrix(rt, 3, 6, pg)
+	if err := w.TransMultMatrix(other, okOut); err == nil {
+		t.Error("non-conformal operand accepted")
+	}
+	// MultDupTranspose wants sparse·denseᵀ.
+	dOut, _ := MakeDistBlockMatrix(rt, block.Dense, 16, 3, 4, 1, 4, 1, pg)
+	if err := w.MultDupTranspose(h, dOut); err == nil {
+		t.Error("dense left operand accepted for MultDupTranspose")
+	}
+}

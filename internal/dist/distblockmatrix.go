@@ -1,0 +1,333 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/rgml/rgml/internal/apgas"
+	"github.com/rgml/rgml/internal/block"
+	"github.com/rgml/rgml/internal/grid"
+	"github.com/rgml/rgml/internal/la"
+)
+
+// DistBlockMatrix partitions a matrix into a data grid of blocks and
+// assigns one or more blocks to each place of a group
+// (x10.matrix.distblock.DistBlockMatrix). Holding a *set* of blocks per
+// place is what allows the shrink restoration mode to remap existing
+// blocks onto surviving places without repartitioning (paper section
+// III-A); the trade-off against repartitioning is Fig. 1-b vs 1-c.
+type DistBlockMatrix struct {
+	rt         *apgas.Runtime
+	kind       block.Kind
+	rows, cols int
+	g          *grid.Grid
+	dg         *grid.DistGrid
+	pg         apgas.PlaceGroup
+	// bppRow is the make-time row-blocks-per-place-row ratio; the
+	// rebalance policy preserves it when repartitioning for a new group
+	// size (Fig. 1-c keeps two blocks per place as places shrink).
+	bppRow int
+	plh    apgas.PlaceLocalHandle[*block.BlockSet]
+
+	// scratch holds the per-place, per-block partial vectors reused by
+	// MultVec / TransMultVec, allocated lazily and rebuilt on Remake.
+	// Collective operations on one matrix must not overlap (GML's
+	// sequential-style programming model guarantees this).
+	scratch   apgas.PlaceLocalHandle[map[int]la.Vector]
+	scratchOK bool
+	// matScratchH is the matrix-product analogue used by TransMultMatrix.
+	matScratchH  apgas.PlaceLocalHandle[map[int]*la.DenseMatrix]
+	matScratchOK bool
+}
+
+// MakeDistBlockMatrix creates a zeroed rows×cols matrix cut into
+// rowBlocks×colBlocks blocks, distributed over a rowPlaces×colPlaces place
+// grid drawn from pg (the factory DistBlockMatrix.make of paper Listing 2,
+// extended with an arbitrary place group per section IV-A). rowBlocks must
+// be divisible by rowPlaces and colBlocks by colPlaces so that every place
+// receives the same number of blocks.
+func MakeDistBlockMatrix(rt *apgas.Runtime, kind block.Kind, rows, cols, rowBlocks, colBlocks, rowPlaces, colPlaces int, pg apgas.PlaceGroup) (*DistBlockMatrix, error) {
+	if rowPlaces*colPlaces != pg.Size() {
+		return nil, fmt.Errorf("dist: place grid %dx%d does not cover %d places",
+			rowPlaces, colPlaces, pg.Size())
+	}
+	if rowPlaces < 1 || colPlaces < 1 || rowBlocks%rowPlaces != 0 || colBlocks%colPlaces != 0 {
+		return nil, fmt.Errorf("dist: block grid %dx%d not divisible by place grid %dx%d",
+			rowBlocks, colBlocks, rowPlaces, colPlaces)
+	}
+	g, err := grid.New(rows, cols, rowBlocks, colBlocks)
+	if err != nil {
+		return nil, err
+	}
+	dg, err := grid.NewDistGrid(g, rowPlaces, colPlaces)
+	if err != nil {
+		return nil, err
+	}
+	m := &DistBlockMatrix{
+		rt: rt, kind: kind, rows: rows, cols: cols,
+		g: g, dg: dg, pg: pg.Clone(),
+		bppRow: rowBlocks / rowPlaces,
+	}
+	if err := m.alloc(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// alloc (re)allocates the per-place block sets for the current grid and
+// distribution.
+func (m *DistBlockMatrix) alloc() error {
+	plh, err := apgas.NewPlaceLocalHandle(m.rt, m.pg, func(ctx *apgas.Ctx, idx int) *block.BlockSet {
+		bs := block.NewBlockSet()
+		for _, id := range m.dg.BlocksOf(idx) {
+			rb, cb := m.g.BlockCoords(id)
+			if m.kind == block.Dense {
+				bs.Add(id, block.NewDenseBlock(m.g, rb, cb))
+			} else {
+				bs.Add(id, block.NewSparseBlock(m.g, rb, cb))
+			}
+		}
+		return bs
+	})
+	if err != nil {
+		return err
+	}
+	m.plh = plh
+	return nil
+}
+
+// Rows returns the matrix row count.
+func (m *DistBlockMatrix) Rows() int { return m.rows }
+
+// Cols returns the matrix column count.
+func (m *DistBlockMatrix) Cols() int { return m.cols }
+
+// Kind returns the block storage format.
+func (m *DistBlockMatrix) Kind() block.Kind { return m.kind }
+
+// Grid returns the current data grid.
+func (m *DistBlockMatrix) Grid() *grid.Grid { return m.g }
+
+// Dist returns the current block→place mapping.
+func (m *DistBlockMatrix) Dist() *grid.DistGrid { return m.dg }
+
+// Group returns the place group the matrix is distributed over.
+func (m *DistBlockMatrix) Group() apgas.PlaceGroup { return m.pg }
+
+// LocalBlocks returns the calling place's block set.
+func (m *DistBlockMatrix) LocalBlocks(ctx *apgas.Ctx) *block.BlockSet { return m.plh.Local(ctx) }
+
+// Bytes returns the total payload bytes of all blocks (via the grid, not a
+// collective: dense payloads are fully determined by geometry; for sparse
+// matrices it sums the current nonzeros and requires a collective).
+func (m *DistBlockMatrix) Bytes() (int, error) {
+	total := 0
+	counts := make([]int, m.pg.Size())
+	err := apgas.ForEachPlace(m.rt, m.pg, func(ctx *apgas.Ctx, idx int) {
+		counts[idx] = m.plh.Local(ctx).Bytes()
+	})
+	if err != nil {
+		return 0, err
+	}
+	for _, c := range counts {
+		total += c
+	}
+	return total, nil
+}
+
+// InitDense fills a dense matrix with fn(i, j) evaluated at global
+// coordinates by each owning place. Because fn sees global coordinates,
+// the matrix content is independent of the distribution — a property the
+// redistribution tests rely on.
+func (m *DistBlockMatrix) InitDense(fn func(i, j int) float64) error {
+	if m.kind != block.Dense {
+		return fmt.Errorf("dist: InitDense on a %v matrix", m.kind)
+	}
+	return apgas.ForEachPlace(m.rt, m.pg, func(ctx *apgas.Ctx, idx int) {
+		m.plh.Local(ctx).Each(func(id int, b *block.MatrixBlock) {
+			for j := 0; j < b.Cols; j++ {
+				for i := 0; i < b.Rows; i++ {
+					b.Dense.Set(i, j, fn(b.Row0+i, b.Col0+j))
+				}
+			}
+		})
+	})
+}
+
+// InitSparseColumns fills a sparse matrix column by column: fn(j) returns
+// the global row indices and values of column j's nonzeros. Each place
+// evaluates fn for the columns of its blocks and keeps the entries falling
+// into its row ranges, so the content is again distribution-independent.
+func (m *DistBlockMatrix) InitSparseColumns(fn func(j int) (rows []int, vals []float64)) error {
+	if m.kind != block.Sparse {
+		return fmt.Errorf("dist: InitSparseColumns on a %v matrix", m.kind)
+	}
+	return apgas.ForEachPlace(m.rt, m.pg, func(ctx *apgas.Ctx, idx int) {
+		bs := m.plh.Local(ctx)
+		// Group this place's blocks by column-block to evaluate fn once
+		// per (column-block, column) pair.
+		byCB := make(map[int][]*block.MatrixBlock)
+		bs.Each(func(id int, b *block.MatrixBlock) {
+			byCB[b.CB] = append(byCB[b.CB], b)
+		})
+		for cb, blocks := range byCB {
+			c0 := m.g.ColOffsets[cb]
+			c1 := m.g.ColOffsets[cb+1]
+			triplets := make(map[*block.MatrixBlock][]la.Triplet)
+			for j := c0; j < c1; j++ {
+				rows, vals := fn(j)
+				if len(rows) != len(vals) {
+					apgas.Throw(fmt.Errorf("dist: InitSparseColumns(%d): %d rows, %d vals", j, len(rows), len(vals)))
+				}
+				for k, i := range rows {
+					for _, b := range blocks {
+						if i >= b.Row0 && i < b.Row0+b.Rows {
+							triplets[b] = append(triplets[b], la.Triplet{
+								Row: i - b.Row0, Col: j - b.Col0, Val: vals[k],
+							})
+							break
+						}
+					}
+				}
+			}
+			for _, b := range blocks {
+				b.Sparse = la.NewSparseCSCFromTriplets(b.Rows, b.Cols, triplets[b])
+			}
+		}
+	})
+}
+
+// Scale multiplies every element by a.
+func (m *DistBlockMatrix) Scale(a float64) error {
+	return apgas.ForEachPlace(m.rt, m.pg, func(ctx *apgas.Ctx, idx int) {
+		m.plh.Local(ctx).Each(func(id int, b *block.MatrixBlock) { b.Scale(a) })
+	})
+}
+
+// ToDense gathers the whole matrix into one local dense matrix at the main
+// activity (for verification and tests; not a scalable operation).
+func (m *DistBlockMatrix) ToDense() (*la.DenseMatrix, error) {
+	out := la.NewDense(m.rows, m.cols)
+	err := m.rt.Finish(func(ctx *apgas.Ctx) {
+		for idx := 0; idx < m.pg.Size(); idx++ {
+			encoded := apgas.Eval(ctx, m.pg[idx], func(c *apgas.Ctx) [][]byte {
+				var out [][]byte
+				m.plh.Local(c).Each(func(id int, b *block.MatrixBlock) {
+					out = append(out, b.Encode())
+				})
+				return out
+			})
+			for _, enc := range encoded {
+				b, err := block.Decode(enc)
+				if err != nil {
+					apgas.Throw(err)
+				}
+				if b.Dense != nil {
+					out.PasteSub(b.Row0, b.Col0, b.Dense)
+				} else {
+					out.PasteSub(b.Row0, b.Col0, b.Sparse.ToDense())
+				}
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// scratchPartials returns the cached per-place partial-vector maps,
+// allocating them on first use.
+func (m *DistBlockMatrix) scratchPartials() (apgas.PlaceLocalHandle[map[int]la.Vector], error) {
+	if !m.scratchOK {
+		plh, err := apgas.NewPlaceLocalHandle(m.rt, m.pg, func(ctx *apgas.Ctx, idx int) map[int]la.Vector {
+			return make(map[int]la.Vector)
+		})
+		if err != nil {
+			return apgas.PlaceLocalHandle[map[int]la.Vector]{}, err
+		}
+		m.scratch = plh
+		m.scratchOK = true
+	}
+	return m.scratch, nil
+}
+
+// FrobNorm returns the Frobenius norm, with per-block partial sums reduced
+// in canonical block order (deterministic across redistributions).
+func (m *DistBlockMatrix) FrobNorm() (float64, error) {
+	partials := make([]float64, m.g.NumBlocks())
+	err := apgas.ForEachPlace(m.rt, m.pg, func(ctx *apgas.Ctx, idx int) {
+		m.plh.Local(ctx).Each(func(id int, b *block.MatrixBlock) {
+			var s float64
+			if b.Dense != nil {
+				for _, v := range b.Dense.Data {
+					s += v * v
+				}
+			} else {
+				for _, v := range b.Sparse.Vals {
+					s += v * v
+				}
+			}
+			partials[id] = s
+			ctx.Transfer(m.pg[0], 8)
+		})
+	})
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for _, p := range partials {
+		sum += p
+	}
+	return math.Sqrt(sum), nil
+}
+
+// Remake redistributes the matrix (zeroed) over a new place group (paper
+// section IV-A). With keepGrid the data grid is preserved and the existing
+// blocks are remapped round-robin onto the new group — the fast path that
+// can leave load imbalance (Fig. 1-b, shrink mode). Without keepGrid the
+// matrix is repartitioned: the row-block count is rescaled to keep the
+// make-time blocks-per-place ratio and blocks are assigned contiguously —
+// even load, but restores must then reassemble blocks from overlaps
+// (Fig. 1-c, shrink-rebalance mode).
+func (m *DistBlockMatrix) Remake(newPG apgas.PlaceGroup, keepGrid bool) error {
+	if newPG.Size() == 0 {
+		return fmt.Errorf("dist: DistBlockMatrix.Remake: empty place group")
+	}
+	m.plh.Destroy(m.pg)
+	if m.scratchOK {
+		m.scratch.Destroy(m.pg)
+		m.scratchOK = false
+	}
+	if m.matScratchOK {
+		m.matScratchH.Destroy(m.pg)
+		m.matScratchOK = false
+	}
+	if keepGrid {
+		dg, err := grid.Remap(m.g, newPG.Size())
+		if err != nil {
+			return err
+		}
+		m.dg = dg
+	} else {
+		rowBlocks := m.bppRow * newPG.Size()
+		if rowBlocks > m.rows {
+			rowBlocks = m.rows
+		}
+		if rowBlocks < newPG.Size() {
+			rowBlocks = newPG.Size()
+		}
+		g, err := grid.New(m.rows, m.cols, rowBlocks, m.g.ColBlocks)
+		if err != nil {
+			return err
+		}
+		dg, err := grid.NewDistGrid(g, newPG.Size(), 1)
+		if err != nil {
+			return err
+		}
+		m.g = g
+		m.dg = dg
+	}
+	m.pg = newPG.Clone()
+	return m.alloc()
+}

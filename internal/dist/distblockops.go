@@ -1,0 +1,185 @@
+package dist
+
+import (
+	"fmt"
+
+	"github.com/rgml/rgml/internal/apgas"
+	"github.com/rgml/rgml/internal/block"
+	"github.com/rgml/rgml/internal/la"
+)
+
+// Collective matrix-vector operations.
+//
+// Both operations are two-phase: every place first computes one partial
+// vector per *block* it owns, then the consumers combine the per-block
+// partials in canonical block order (ascending row-block, then ascending
+// column-block). Reducing per block — rather than per place — makes the
+// floating-point summation order independent of the block→place mapping,
+// so a matrix redistributed by any restoration mode still produces
+// bit-identical results. The recovery tests verify exactly that.
+
+// MultVec computes y = M·x where x is duplicated and y is distributed over
+// the same group (paper Listing 2: GP.mult(G, P)).
+func (m *DistBlockMatrix) MultVec(x *DupVector, y *DistVector) error {
+	if x.Size() != m.cols || y.Size() != m.rows {
+		return fmt.Errorf("dist: MultVec (%dx%d)·%d -> %d: %w", m.rows, m.cols, x.Size(), y.Size(), ErrShapeMismatch)
+	}
+	if !sameGroups(m.pg, x.Group()) || !sameGroups(m.pg, y.Group()) {
+		return fmt.Errorf("dist: MultVec: %w", ErrGroupMismatch)
+	}
+	scratch, err := m.scratchPartials()
+	if err != nil {
+		return err
+	}
+
+	// Phase 1: per-block partials B_{rb,cb} · x[cols(cb)] at each owner.
+	err = apgas.ForEachPlace(m.rt, m.pg, func(ctx *apgas.Ctx, idx int) {
+		xloc := x.Local(ctx)
+		part := scratch.Local(ctx)
+		m.plh.Local(ctx).Each(func(id int, b *block.MatrixBlock) {
+			pv := la.NewVector(b.Rows)
+			b.MultVecInto(xloc, pv, b.Row0)
+			part[id] = pv
+		})
+	})
+	if err != nil {
+		return err
+	}
+
+	// Phase 2: each y owner combines the overlapping block partials in
+	// canonical order.
+	g := m.g
+	return apgas.ForEachPlace(m.rt, y.pg, func(ctx *apgas.Ctx, idx int) {
+		seg := y.Local(ctx).Zero()
+		off, size := y.SegmentOf(idx)
+		end := off + size
+		firstRB := g.FindRowBlock(off)
+		lastRB := g.FindRowBlock(end - 1)
+		for rb := firstRB; rb <= lastRB; rb++ {
+			rbOff := g.RowOffsets[rb]
+			lo := max(off, rbOff)
+			hi := min(end, g.RowOffsets[rb+1])
+			for cb := 0; cb < g.ColBlocks; cb++ {
+				id := g.BlockID(rb, cb)
+				ownerIdx := m.dg.PlaceOf[id]
+				owner := m.pg[ownerIdx]
+				origin := ctx.Here
+				var slice la.Vector
+				if owner.ID == ctx.Here.ID {
+					slice = scratch.Local(ctx)[id][lo-rbOff : hi-rbOff]
+				} else {
+					slice = apgas.Eval(ctx, owner, func(c *apgas.Ctx) la.Vector {
+						s := scratch.Local(c)[id][lo-rbOff : hi-rbOff].Clone()
+						c.Transfer(origin, s.Bytes())
+						return s
+					})
+				}
+				seg[lo-off : hi-off].Add(slice)
+			}
+		}
+	})
+}
+
+// TransMultVec computes z = Mᵀ·x where x is distributed and z is
+// duplicated over the same group (the X·w / Xᵀ·r pattern of the LinReg and
+// LogReg benchmarks). The per-block partials are reduced at the group root
+// in canonical order and the result is broadcast, leaving every duplicate
+// of z consistent.
+func (m *DistBlockMatrix) TransMultVec(x *DistVector, z *DupVector) error {
+	if x.Size() != m.rows || z.Size() != m.cols {
+		return fmt.Errorf("dist: TransMultVec (%dx%d)ᵀ·%d -> %d: %w", m.rows, m.cols, x.Size(), z.Size(), ErrShapeMismatch)
+	}
+	if !sameGroups(m.pg, x.Group()) || !sameGroups(m.pg, z.Group()) {
+		return fmt.Errorf("dist: TransMultVec: %w", ErrGroupMismatch)
+	}
+	scratch, err := m.scratchPartials()
+	if err != nil {
+		return err
+	}
+
+	// Phase 1: gather the needed x rows, then compute per-block partials
+	// B_{rb,cb}ᵀ · x[rows(rb)].
+	err = apgas.ForEachPlace(m.rt, m.pg, func(ctx *apgas.Ctx, idx int) {
+		bs := m.plh.Local(ctx)
+		if bs.Len() == 0 {
+			return
+		}
+		// Bounding row range of this place's blocks.
+		minR, maxR := m.rows, 0
+		bs.Each(func(id int, b *block.MatrixBlock) {
+			if b.Row0 < minR {
+				minR = b.Row0
+			}
+			if b.Row0+b.Rows > maxR {
+				maxR = b.Row0 + b.Rows
+			}
+		})
+		xbuf := la.NewVector(m.rows)
+		for segIdx := 0; segIdx < x.Group().Size(); segIdx++ {
+			s0, sz := x.SegmentOf(segIdx)
+			lo, hi := max(s0, minR), min(s0+sz, maxR)
+			if hi <= lo {
+				continue
+			}
+			owner := x.Group()[segIdx]
+			origin := ctx.Here
+			var part la.Vector
+			if owner.ID == ctx.Here.ID {
+				part = x.Local(ctx)[lo-s0 : hi-s0]
+			} else {
+				part = apgas.Eval(ctx, owner, func(c *apgas.Ctx) la.Vector {
+					s := x.Local(c)[lo-s0 : hi-s0].Clone()
+					c.Transfer(origin, s.Bytes())
+					return s
+				})
+			}
+			copy(xbuf[lo:hi], part)
+		}
+		part := scratch.Local(ctx)
+		bs.Each(func(id int, b *block.MatrixBlock) {
+			pv := la.NewVector(b.Cols)
+			xSeg := xbuf[b.Row0 : b.Row0+b.Rows]
+			if b.Dense != nil {
+				b.Dense.TransMultVec(xSeg, pv)
+			} else {
+				b.Sparse.TransMultVec(xSeg, pv)
+			}
+			part[id] = pv
+		})
+	})
+	if err != nil {
+		return err
+	}
+
+	// Phase 2: canonical-order reduction at the group root, then broadcast.
+	g := m.g
+	err = m.rt.Finish(func(ctx *apgas.Ctx) {
+		ctx.At(m.pg[0], func(root *apgas.Ctx) {
+			dst := z.Local(root).Zero()
+			for cb := 0; cb < g.ColBlocks; cb++ {
+				cOff := g.ColOffsets[cb]
+				cSz := g.ColSizes[cb]
+				for rb := 0; rb < g.RowBlocks; rb++ {
+					id := g.BlockID(rb, cb)
+					ownerIdx := m.dg.PlaceOf[id]
+					owner := m.pg[ownerIdx]
+					var pv la.Vector
+					if owner.ID == root.Here.ID {
+						pv = scratch.Local(root)[id]
+					} else {
+						pv = apgas.Eval(root, owner, func(c *apgas.Ctx) la.Vector {
+							s := scratch.Local(c)[id].Clone()
+							c.Transfer(m.pg[0], s.Bytes())
+							return s
+						})
+					}
+					dst[cOff : cOff+cSz].Add(pv)
+				}
+			}
+		})
+	})
+	if err != nil {
+		return err
+	}
+	return z.Sync()
+}

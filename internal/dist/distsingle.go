@@ -1,0 +1,53 @@
+package dist
+
+import (
+	"github.com/rgml/rgml/internal/apgas"
+	"github.com/rgml/rgml/internal/block"
+)
+
+// DistDenseMatrix is the one-block-per-place dense distributed matrix
+// (x10.matrix.dist.DistDenseMatrix): the data grid always has exactly as
+// many blocks as places, so redistributing over a different group size
+// *must* recalculate the data grid (paper section IV-A2) — there is no
+// keep-grid fast path, unlike DistBlockMatrix.
+type DistDenseMatrix struct {
+	*DistBlockMatrix
+}
+
+// MakeDistDenseMatrix creates a zeroed rows×cols dense matrix with one
+// row-stripe block per place of pg.
+func MakeDistDenseMatrix(rt *apgas.Runtime, rows, cols int, pg apgas.PlaceGroup) (*DistDenseMatrix, error) {
+	m, err := MakeDistBlockMatrix(rt, block.Dense, rows, cols, pg.Size(), 1, pg.Size(), 1, pg)
+	if err != nil {
+		return nil, err
+	}
+	return &DistDenseMatrix{DistBlockMatrix: m}, nil
+}
+
+// Remake redistributes the matrix over a new group, recalculating the data
+// grid so each place again holds exactly one block.
+func (m *DistDenseMatrix) Remake(newPG apgas.PlaceGroup) error {
+	return m.DistBlockMatrix.Remake(newPG, false)
+}
+
+// DistSparseMatrix is the one-block-per-place sparse distributed matrix
+// (x10.matrix.dist.DistSparseMatrix).
+type DistSparseMatrix struct {
+	*DistBlockMatrix
+}
+
+// MakeDistSparseMatrix creates an empty rows×cols sparse matrix with one
+// row-stripe block per place of pg.
+func MakeDistSparseMatrix(rt *apgas.Runtime, rows, cols int, pg apgas.PlaceGroup) (*DistSparseMatrix, error) {
+	m, err := MakeDistBlockMatrix(rt, block.Sparse, rows, cols, pg.Size(), 1, pg.Size(), 1, pg)
+	if err != nil {
+		return nil, err
+	}
+	return &DistSparseMatrix{DistBlockMatrix: m}, nil
+}
+
+// Remake redistributes the matrix over a new group, recalculating the data
+// grid so each place again holds exactly one block.
+func (m *DistSparseMatrix) Remake(newPG apgas.PlaceGroup) error {
+	return m.DistBlockMatrix.Remake(newPG, false)
+}

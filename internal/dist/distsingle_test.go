@@ -1,0 +1,153 @@
+package dist
+
+import (
+	"testing"
+
+	"github.com/rgml/rgml/internal/apgas"
+	"github.com/rgml/rgml/internal/la"
+)
+
+func TestDistDenseMatrixOneBlockPerPlace(t *testing.T) {
+	rt := newRT(t, 4)
+	m, err := MakeDistDenseMatrix(rt, 16, 6, rt.World())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One block per place: 4 row blocks over 4 places.
+	if m.Grid().RowBlocks != 4 || m.Grid().ColBlocks != 1 {
+		t.Fatalf("grid = %v", m.Grid())
+	}
+	for p := 0; p < 4; p++ {
+		if got := len(m.Dist().BlocksOf(p)); got != 1 {
+			t.Fatalf("place %d owns %d blocks", p, got)
+		}
+	}
+	if err := m.InitDense(denseInit); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ToDense()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.At(7, 3) != denseInit(7, 3) {
+		t.Fatal("content wrong")
+	}
+}
+
+func TestDistDenseMatrixRemakeAlwaysRegrids(t *testing.T) {
+	rt := newRT(t, 4)
+	m, err := MakeDistDenseMatrix(rt, 16, 6, rt.World())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InitDense(denseInit); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := m.ToDense()
+	s, err := m.MakeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Destroy()
+	if err := rt.Kill(rt.Place(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remake(rt.World()); err != nil {
+		t.Fatal(err)
+	}
+	// Still exactly one block per place after shrinking: the data grid was
+	// recalculated (there is no keep-grid option for this class).
+	if m.Grid().RowBlocks != 3 {
+		t.Fatalf("regrid RowBlocks = %d, want 3", m.Grid().RowBlocks)
+	}
+	for p := 0; p < 3; p++ {
+		if got := len(m.Dist().BlocksOf(p)); got != 1 {
+			t.Fatalf("place %d owns %d blocks", p, got)
+		}
+	}
+	// The overlap restore path reassembles the data.
+	if err := m.RestoreSnapshot(s); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.ToDense()
+	if !got.EqualApprox(want, 0) {
+		t.Fatal("restore after regrid mismatch")
+	}
+}
+
+func TestDistSparseMatrixLifecycle(t *testing.T) {
+	rt := newRT(t, 4)
+	n := 20
+	m, err := MakeDistSparseMatrix(rt, n, n, rt.World())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := sparseColInit(n)
+	if err := m.InitSparseColumns(gen); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := m.ToDense()
+
+	// MultVec works through the embedded DistBlockMatrix.
+	x, _ := MakeDupVector(rt, n, rt.World())
+	_ = x.Init(func(i int) float64 { return 1 })
+	y, _ := MakeDistVector(rt, n, rt.World())
+	if err := m.MultVec(x, y); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := y.ToVector()
+	ref := la.NewVector(n)
+	want.MultVec(la.NewVector(n).Fill(1), ref)
+	if !got.EqualApprox(ref, 1e-10) {
+		t.Fatal("DistSparseMatrix MultVec mismatch")
+	}
+
+	// Snapshot / kill / remake (always regrids) / restore.
+	s, err := m.MakeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Destroy()
+	if err := rt.Kill(rt.Place(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remake(rt.World()); err != nil {
+		t.Fatal(err)
+	}
+	if m.Grid().RowBlocks != 3 {
+		t.Fatalf("regrid RowBlocks = %d", m.Grid().RowBlocks)
+	}
+	if err := m.RestoreSnapshot(s); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := m.ToDense()
+	if !after.EqualApprox(want, 0) {
+		t.Fatal("sparse one-block restore mismatch")
+	}
+}
+
+func TestDistSingleValidation(t *testing.T) {
+	rt := newRT(t, 3)
+	// Fewer rows than places: the one-block-per-place grid is impossible.
+	if _, err := MakeDistDenseMatrix(rt, 2, 5, rt.World()); err == nil {
+		t.Error("2 rows over 3 places accepted")
+	}
+	if _, err := MakeDistSparseMatrix(rt, 2, 5, rt.World()); err == nil {
+		t.Error("2 rows over 3 places accepted")
+	}
+}
+
+func TestDistBlockRemakeEmptyGroup(t *testing.T) {
+	rt := newRT(t, 2)
+	m := makeDenseDBM(t, rt, 8, 4, 2, 1, 2, 1, rt.World())
+	if err := m.Remake(nil, true); err == nil {
+		t.Error("empty group accepted")
+	}
+	d, err := MakeDistDenseMatrix(rt, 8, 4, rt.World())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Remake(apgas.PlaceGroup{}); err == nil {
+		t.Error("empty group accepted")
+	}
+}

@@ -1,0 +1,358 @@
+package dist
+
+import (
+	"fmt"
+
+	"github.com/rgml/rgml/internal/apgas"
+	"github.com/rgml/rgml/internal/codec"
+	"github.com/rgml/rgml/internal/grid"
+	"github.com/rgml/rgml/internal/la"
+	"github.com/rgml/rgml/internal/snapshot"
+)
+
+// DistVector partitions a length-n vector into contiguous segments, one
+// per place of a group (x10.matrix.dist.DistVector). Segment sizes follow
+// the near-even Split rule, so redistributing over a different group size
+// re-segments the vector.
+type DistVector struct {
+	rt       *apgas.Runtime
+	n        int
+	pg       apgas.PlaceGroup
+	segSizes []int
+	segOffs  []int // len = pg.Size()+1
+	plh      apgas.PlaceLocalHandle[la.Vector]
+}
+
+// MakeDistVector creates a zeroed distributed vector of length n over pg.
+func MakeDistVector(rt *apgas.Runtime, n int, pg apgas.PlaceGroup) (*DistVector, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dist: MakeDistVector(%d): %w", n, ErrShapeMismatch)
+	}
+	if pg.Size() == 0 || pg.Size() > n {
+		return nil, fmt.Errorf("dist: MakeDistVector(%d) over %d places", n, pg.Size())
+	}
+	v := &DistVector{rt: rt, n: n, pg: pg.Clone()}
+	v.segSizes = grid.Split(n, pg.Size())
+	v.segOffs = grid.Offsets(v.segSizes)
+	plh, err := apgas.NewPlaceLocalHandle(rt, pg, func(ctx *apgas.Ctx, idx int) la.Vector {
+		return la.NewVector(v.segSizes[idx])
+	})
+	if err != nil {
+		return nil, err
+	}
+	v.plh = plh
+	return v, nil
+}
+
+// Size returns the vector length.
+func (v *DistVector) Size() int { return v.n }
+
+// Group returns the place group the vector is distributed over.
+func (v *DistVector) Group() apgas.PlaceGroup { return v.pg }
+
+// SegmentOf returns the offset and size of the segment owned by group
+// index idx.
+func (v *DistVector) SegmentOf(idx int) (off, size int) {
+	return v.segOffs[idx], v.segSizes[idx]
+}
+
+// Local returns the calling place's segment.
+func (v *DistVector) Local(ctx *apgas.Ctx) la.Vector { return v.plh.Local(ctx) }
+
+// Init sets element i to fn(i) at its owning place.
+func (v *DistVector) Init(fn func(i int) float64) error {
+	return apgas.ForEachPlace(v.rt, v.pg, func(ctx *apgas.Ctx, idx int) {
+		seg := v.plh.Local(ctx)
+		off := v.segOffs[idx]
+		for i := range seg {
+			seg[i] = fn(off + i)
+		}
+	})
+}
+
+// ApplyLocal runs fn on every segment in parallel, passing the segment's
+// global offset.
+func (v *DistVector) ApplyLocal(fn func(seg la.Vector, off int)) error {
+	return apgas.ForEachPlace(v.rt, v.pg, func(ctx *apgas.Ctx, idx int) {
+		fn(v.plh.Local(ctx), v.segOffs[idx])
+	})
+}
+
+// Scale multiplies every element by a.
+func (v *DistVector) Scale(a float64) error {
+	return v.ApplyLocal(func(seg la.Vector, _ int) { seg.Scale(a) })
+}
+
+// ZipApplyLocal runs fn(segA, segB, off) on the conformal segments of v
+// and w in parallel (for element-wise combinations such as residual
+// computation).
+func (v *DistVector) ZipApplyLocal(w *DistVector, fn func(a, b la.Vector, off int)) error {
+	if !sameGroups(v.pg, w.pg) {
+		return fmt.Errorf("dist: ZipApplyLocal: %w", ErrGroupMismatch)
+	}
+	if v.n != w.n {
+		return fmt.Errorf("dist: ZipApplyLocal %d vs %d: %w", v.n, w.n, ErrShapeMismatch)
+	}
+	return apgas.ForEachPlace(v.rt, v.pg, func(ctx *apgas.Ctx, idx int) {
+		fn(v.plh.Local(ctx), w.plh.Local(ctx), v.segOffs[idx])
+	})
+}
+
+// ZipDup runs fn(seg, dupSeg, off) on each segment of v together with the
+// corresponding slice of a duplicated vector of the same length.
+func (v *DistVector) ZipDup(w *DupVector, fn func(seg, dupSeg la.Vector, off int)) error {
+	if !sameGroups(v.pg, w.pg) {
+		return fmt.Errorf("dist: ZipDup: %w", ErrGroupMismatch)
+	}
+	if v.n != w.n {
+		return fmt.Errorf("dist: ZipDup %d vs %d: %w", v.n, w.n, ErrShapeMismatch)
+	}
+	return apgas.ForEachPlace(v.rt, v.pg, func(ctx *apgas.Ctx, idx int) {
+		off := v.segOffs[idx]
+		seg := v.plh.Local(ctx)
+		dup := w.Local(ctx)
+		fn(seg, dup[off:off+len(seg)], off)
+	})
+}
+
+// DotDup computes the inner product of v with a duplicated vector of the
+// same length and group (paper Listing 2: U.dot(P)). Per-place partial
+// products are reduced in group order for determinism.
+func (v *DistVector) DotDup(w *DupVector) (float64, error) {
+	if !sameGroups(v.pg, w.pg) {
+		return 0, fmt.Errorf("dist: DotDup: %w", ErrGroupMismatch)
+	}
+	if v.n != w.n {
+		return 0, fmt.Errorf("dist: DotDup %d vs %d: %w", v.n, w.n, ErrShapeMismatch)
+	}
+	partials := make([]float64, v.pg.Size())
+	err := apgas.ForEachPlace(v.rt, v.pg, func(ctx *apgas.Ctx, idx int) {
+		seg := v.plh.Local(ctx)
+		off := v.segOffs[idx]
+		dup := w.Local(ctx)
+		partials[idx] = seg.Dot(dup[off : off+len(seg)])
+		ctx.Transfer(v.pg[0], 8)
+	})
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for _, p := range partials {
+		sum += p
+	}
+	return sum, nil
+}
+
+// Dot computes the inner product of two conformal distributed vectors.
+func (v *DistVector) Dot(w *DistVector) (float64, error) {
+	if !sameGroups(v.pg, w.pg) {
+		return 0, fmt.Errorf("dist: Dot: %w", ErrGroupMismatch)
+	}
+	if v.n != w.n {
+		return 0, fmt.Errorf("dist: Dot %d vs %d: %w", v.n, w.n, ErrShapeMismatch)
+	}
+	partials := make([]float64, v.pg.Size())
+	err := apgas.ForEachPlace(v.rt, v.pg, func(ctx *apgas.Ctx, idx int) {
+		partials[idx] = v.plh.Local(ctx).Dot(w.plh.Local(ctx))
+		ctx.Transfer(v.pg[0], 8)
+	})
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for _, p := range partials {
+		sum += p
+	}
+	return sum, nil
+}
+
+// FoldLocal maps fn over every segment in parallel and sums the per-place
+// results in group order (a deterministic reduction, e.g. for norms and
+// objective values).
+func (v *DistVector) FoldLocal(fn func(seg la.Vector, off int) float64) (float64, error) {
+	partials := make([]float64, v.pg.Size())
+	err := apgas.ForEachPlace(v.rt, v.pg, func(ctx *apgas.Ctx, idx int) {
+		partials[idx] = fn(v.plh.Local(ctx), v.segOffs[idx])
+		ctx.Transfer(v.pg[0], 8)
+	})
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for _, p := range partials {
+		sum += p
+	}
+	return sum, nil
+}
+
+// FoldZip is FoldLocal over the conformal segments of two distributed
+// vectors.
+func (v *DistVector) FoldZip(w *DistVector, fn func(a, b la.Vector, off int) float64) (float64, error) {
+	if !sameGroups(v.pg, w.pg) {
+		return 0, fmt.Errorf("dist: FoldZip: %w", ErrGroupMismatch)
+	}
+	if v.n != w.n {
+		return 0, fmt.Errorf("dist: FoldZip %d vs %d: %w", v.n, w.n, ErrShapeMismatch)
+	}
+	partials := make([]float64, v.pg.Size())
+	err := apgas.ForEachPlace(v.rt, v.pg, func(ctx *apgas.Ctx, idx int) {
+		partials[idx] = fn(v.plh.Local(ctx), w.plh.Local(ctx), v.segOffs[idx])
+		ctx.Transfer(v.pg[0], 8)
+	})
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for _, p := range partials {
+		sum += p
+	}
+	return sum, nil
+}
+
+// GatherTo collects the segments into the root duplicate of dup (paper
+// Listing 2: GP.copyTo(P.local()) — the gather before the broadcast). The
+// caller follows up with dup.Sync().
+func (v *DistVector) GatherTo(dup *DupVector) error {
+	if v.n != dup.n {
+		return fmt.Errorf("dist: GatherTo %d into %d: %w", v.n, dup.n, ErrShapeMismatch)
+	}
+	if !sameGroups(v.pg, dup.pg) {
+		return fmt.Errorf("dist: GatherTo: %w", ErrGroupMismatch)
+	}
+	return v.rt.Finish(func(ctx *apgas.Ctx) {
+		ctx.At(v.pg[0], func(root *apgas.Ctx) {
+			dst := dup.Local(root)
+			for idx := 0; idx < v.pg.Size(); idx++ {
+				off, size := v.segOffs[idx], v.segSizes[idx]
+				seg := apgas.Eval(root, v.pg[idx], func(c *apgas.Ctx) la.Vector {
+					s := v.plh.Local(c).Clone()
+					c.Transfer(v.pg[0], s.Bytes())
+					return s
+				})
+				dst[off : off+size].CopyFrom(seg)
+			}
+		})
+	})
+}
+
+// ToVector collects the whole distributed vector into one local vector at
+// the main activity (for result extraction and tests).
+func (v *DistVector) ToVector() (la.Vector, error) {
+	out := la.NewVector(v.n)
+	err := v.rt.Finish(func(ctx *apgas.Ctx) {
+		for idx := 0; idx < v.pg.Size(); idx++ {
+			off, size := v.segOffs[idx], v.segSizes[idx]
+			seg := apgas.Eval(ctx, v.pg[idx], func(c *apgas.Ctx) la.Vector {
+				s := v.plh.Local(c).Clone()
+				c.Transfer(ctx.Here, s.Bytes())
+				return s
+			})
+			out[off : off+size].CopyFrom(seg)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Remake redistributes the vector (zeroed) over a new place group,
+// recomputing the segmentation (classes that assign one segment per place
+// must recalculate their data grid when the group changes — paper section
+// IV-A2).
+func (v *DistVector) Remake(newPG apgas.PlaceGroup) error {
+	if newPG.Size() == 0 || newPG.Size() > v.n {
+		return fmt.Errorf("dist: DistVector.Remake over %d places", newPG.Size())
+	}
+	v.plh.Destroy(v.pg)
+	segSizes := grid.Split(v.n, newPG.Size())
+	plh, err := apgas.NewPlaceLocalHandle(v.rt, newPG, func(ctx *apgas.Ctx, idx int) la.Vector {
+		return la.NewVector(segSizes[idx])
+	})
+	if err != nil {
+		return err
+	}
+	v.pg = newPG.Clone()
+	v.segSizes = segSizes
+	v.segOffs = grid.Offsets(segSizes)
+	v.plh = plh
+	return nil
+}
+
+// MakeSnapshot implements snapshot.Snapshottable: each place saves its
+// segment under its group index; the descriptor records the snapshot-time
+// segmentation.
+func (v *DistVector) MakeSnapshot() (*snapshot.Snapshot, error) {
+	s, err := snapshot.New(v.rt, v.pg)
+	if err != nil {
+		return nil, err
+	}
+	meta := codec.AppendInt(nil, v.n)
+	meta = codec.AppendInts(meta, v.segSizes)
+	s.SetMeta(meta)
+	err = apgas.ForEachPlace(v.rt, v.pg, func(ctx *apgas.Ctx, idx int) {
+		s.Save(ctx, idx, encodeVector(v.plh.Local(ctx)))
+	})
+	if err != nil {
+		s.Destroy()
+		return nil, err
+	}
+	return s, nil
+}
+
+// RestoreSnapshot implements snapshot.Snapshottable. When the current
+// segmentation matches the snapshot's (restore onto the same number of
+// places), each place loads its whole segment — the fast block-by-block
+// path. Otherwise each place reassembles its new segment from the
+// overlapping old segments (the re-partitioned path).
+func (v *DistVector) RestoreSnapshot(s *snapshot.Snapshot) error {
+	n, rest, err := codec.Int(s.Meta())
+	if err != nil {
+		return fmt.Errorf("dist: DistVector restore meta: %w", err)
+	}
+	oldSizes, _, err := codec.Ints(rest)
+	if err != nil {
+		return fmt.Errorf("dist: DistVector restore meta: %w", err)
+	}
+	if n != v.n {
+		return fmt.Errorf("dist: DistVector restore length %d, want %d: %w", n, v.n, ErrShapeMismatch)
+	}
+	oldOffs := grid.Offsets(oldSizes)
+
+	sameSeg := len(oldSizes) == v.pg.Size()
+	return apgas.ForEachPlace(v.rt, v.pg, func(ctx *apgas.Ctx, idx int) {
+		seg := v.plh.Local(ctx)
+		if sameSeg {
+			// Same segmentation: whole-segment copy.
+			data, err := s.Load(ctx, idx, idx)
+			if err != nil {
+				apgas.Throw(err)
+			}
+			old, err := decodeVector(data)
+			if err != nil {
+				apgas.Throw(err)
+			}
+			seg.CopyFrom(old)
+			return
+		}
+		// Re-segmented: copy the overlapping parts of each old segment.
+		off := v.segOffs[idx]
+		end := off + len(seg)
+		for oldIdx := 0; oldIdx < len(oldSizes); oldIdx++ {
+			o0, o1 := oldOffs[oldIdx], oldOffs[oldIdx+1]
+			lo, hi := max(off, o0), min(end, o1)
+			if hi <= lo {
+				continue
+			}
+			data, err := s.Load(ctx, oldIdx, oldIdx)
+			if err != nil {
+				apgas.Throw(err)
+			}
+			old, err := decodeVector(data)
+			if err != nil {
+				apgas.Throw(err)
+			}
+			copy(seg[lo-off:hi-off], old[lo-o0:hi-o0])
+		}
+	})
+}

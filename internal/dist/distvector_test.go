@@ -1,0 +1,264 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"github.com/rgml/rgml/internal/apgas"
+	"github.com/rgml/rgml/internal/la"
+)
+
+func TestDistVectorSegmentation(t *testing.T) {
+	rt := newRT(t, 3)
+	v, err := MakeDistVector(rt, 10, rt.World())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 over 3: segments 4,3,3 at offsets 0,4,7.
+	wantOff := []int{0, 4, 7}
+	wantSz := []int{4, 3, 3}
+	for i := 0; i < 3; i++ {
+		off, sz := v.SegmentOf(i)
+		if off != wantOff[i] || sz != wantSz[i] {
+			t.Fatalf("SegmentOf(%d) = %d,%d", i, off, sz)
+		}
+	}
+}
+
+func TestDistVectorValidation(t *testing.T) {
+	rt := newRT(t, 3)
+	if _, err := MakeDistVector(rt, 0, rt.World()); err == nil {
+		t.Error("zero length accepted")
+	}
+	if _, err := MakeDistVector(rt, 2, rt.World()); err == nil {
+		t.Error("more places than elements accepted")
+	}
+	if _, err := MakeDistVector(rt, 5, nil); err == nil {
+		t.Error("empty group accepted")
+	}
+}
+
+func TestDistVectorInitAndToVector(t *testing.T) {
+	rt := newRT(t, 3)
+	v, err := MakeDistVector(rt, 7, rt.World())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Init(func(i int) float64 { return float64(i) }); err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.ToVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualApprox(la.Vector{0, 1, 2, 3, 4, 5, 6}, 0) {
+		t.Fatalf("ToVector = %v", got)
+	}
+}
+
+func TestDistVectorScaleAndApply(t *testing.T) {
+	rt := newRT(t, 2)
+	v, err := MakeDistVector(rt, 4, rt.World())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Init(func(i int) float64 { return 1 }); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Scale(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.ApplyLocal(func(seg la.Vector, off int) { seg.CellAdd(float64(off)) }); err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.ToVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 over 2 places: offsets 0 and 2.
+	if !got.EqualApprox(la.Vector{5, 5, 7, 7}, 0) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestDistVectorDots(t *testing.T) {
+	rt := newRT(t, 3)
+	pg := rt.World()
+	v, err := MakeDistVector(rt, 6, pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := MakeDistVector(rt, 6, pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := MakeDupVector(rt, 6, pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = v.Init(func(i int) float64 { return float64(i + 1) })
+	_ = w.Init(func(i int) float64 { return 2 })
+	_ = d.Init(func(i int) float64 { return float64(i) })
+	got, err := v.Dot(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2*21 {
+		t.Errorf("Dot = %v, want 42", got)
+	}
+	got, err = v.DotDup(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sum (i+1)*i for i=0..5 = 0+2+6+12+20+30 = 70.
+	if got != 70 {
+		t.Errorf("DotDup = %v, want 70", got)
+	}
+}
+
+func TestDistVectorDotMismatch(t *testing.T) {
+	rt := newRT(t, 3)
+	pg := rt.World()
+	v, _ := MakeDistVector(rt, 6, pg)
+	w, _ := MakeDistVector(rt, 6, apgas.PlaceGroup{rt.Place(0), rt.Place(1)})
+	if _, err := v.Dot(w); err == nil {
+		t.Error("group mismatch accepted")
+	}
+	d, _ := MakeDupVector(rt, 5, pg)
+	if _, err := v.DotDup(d); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+func TestDistVectorGatherTo(t *testing.T) {
+	rt := newRT(t, 3)
+	pg := rt.World()
+	v, _ := MakeDistVector(rt, 5, pg)
+	d, _ := MakeDupVector(rt, 5, pg)
+	_ = v.Init(func(i int) float64 { return float64(i * 10) })
+	if err := v.GatherTo(d); err != nil {
+		t.Fatal(err)
+	}
+	root, err := d.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !root.EqualApprox(la.Vector{0, 10, 20, 30, 40}, 0) {
+		t.Fatalf("gathered root = %v", root)
+	}
+	// Mirrors the paper's PageRank line 15-17: gather then sync.
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readDupAt(t, d, 2); !got.EqualApprox(root, 0) {
+		t.Fatalf("after sync copy = %v", got)
+	}
+}
+
+func TestDistVectorRemakeResegments(t *testing.T) {
+	rt := newRT(t, 4)
+	v, err := MakeDistVector(rt, 8, rt.World())
+	if err != nil {
+		t.Fatal(err)
+	}
+	newPG := apgas.PlaceGroup{rt.Place(0), rt.Place(1), rt.Place(3)}
+	if err := v.Remake(newPG); err != nil {
+		t.Fatal(err)
+	}
+	// 8 over 3: 3,3,2.
+	if off, sz := v.SegmentOf(2); off != 6 || sz != 2 {
+		t.Fatalf("SegmentOf(2) = %d,%d", off, sz)
+	}
+	got, err := v.ToVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sum() != 0 {
+		t.Fatal("remade vector not zeroed")
+	}
+}
+
+func TestDistVectorSnapshotRestoreSameSegmentation(t *testing.T) {
+	rt := newRT(t, 3)
+	v, err := MakeDistVector(rt, 7, rt.World())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = v.Init(func(i int) float64 { return float64(i) * 1.5 })
+	s, err := v.MakeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Destroy()
+	_ = v.Scale(0)
+	if err := v.RestoreSnapshot(s); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := v.ToVector()
+	for i := range got {
+		if got[i] != float64(i)*1.5 {
+			t.Fatalf("restored[%d] = %v", i, got[i])
+		}
+	}
+}
+
+func TestDistVectorSnapshotRestoreResegmented(t *testing.T) {
+	rt := newRT(t, 4)
+	v, err := MakeDistVector(rt, 11, rt.World())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = v.Init(func(i int) float64 { return float64(i + 100) })
+	s, err := v.MakeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Destroy()
+	// Kill place 2 and shrink onto 3 places: segmentation 4,4,3 vs old
+	// 3,3,3,2 — the overlap path.
+	if err := rt.Kill(rt.Place(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Remake(rt.World()); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.RestoreSnapshot(s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.ToVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != float64(i+100) {
+			t.Fatalf("restored[%d] = %v", i, got[i])
+		}
+	}
+}
+
+func TestDistVectorRestoreWrongLength(t *testing.T) {
+	rt := newRT(t, 2)
+	v, _ := MakeDistVector(rt, 6, rt.World())
+	s, err := v.MakeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Destroy()
+	w, _ := MakeDistVector(rt, 7, rt.World())
+	if err := w.RestoreSnapshot(s); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestDistVectorNormViaDot(t *testing.T) {
+	rt := newRT(t, 2)
+	v, _ := MakeDistVector(rt, 4, rt.World())
+	_ = v.Init(func(i int) float64 { return 2 })
+	d2, err := v.Dot(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(math.Sqrt(d2)-4) > 1e-12 {
+		t.Errorf("norm = %v", math.Sqrt(d2))
+	}
+}

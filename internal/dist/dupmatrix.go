@@ -1,0 +1,294 @@
+package dist
+
+import (
+	"fmt"
+
+	"github.com/rgml/rgml/internal/apgas"
+	"github.com/rgml/rgml/internal/block"
+	"github.com/rgml/rgml/internal/la"
+	"github.com/rgml/rgml/internal/snapshot"
+)
+
+// DupDenseMatrix duplicates a dense matrix at every place of a group
+// (x10.matrix.dist.DupDenseMatrix).
+type DupDenseMatrix struct {
+	rt         *apgas.Runtime
+	rows, cols int
+	pg         apgas.PlaceGroup
+	plh        apgas.PlaceLocalHandle[*la.DenseMatrix]
+}
+
+// MakeDupDenseMatrix creates a zeroed duplicated rows×cols dense matrix.
+func MakeDupDenseMatrix(rt *apgas.Runtime, rows, cols int, pg apgas.PlaceGroup) (*DupDenseMatrix, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("dist: MakeDupDenseMatrix(%d, %d): %w", rows, cols, ErrShapeMismatch)
+	}
+	if pg.Size() == 0 {
+		return nil, fmt.Errorf("dist: MakeDupDenseMatrix: empty place group")
+	}
+	plh, err := apgas.NewPlaceLocalHandle(rt, pg, func(ctx *apgas.Ctx, idx int) *la.DenseMatrix {
+		return la.NewDense(rows, cols)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DupDenseMatrix{rt: rt, rows: rows, cols: cols, pg: pg.Clone(), plh: plh}, nil
+}
+
+// Rows returns the row count.
+func (m *DupDenseMatrix) Rows() int { return m.rows }
+
+// Cols returns the column count.
+func (m *DupDenseMatrix) Cols() int { return m.cols }
+
+// Group returns the place group.
+func (m *DupDenseMatrix) Group() apgas.PlaceGroup { return m.pg }
+
+// Local returns the calling place's duplicate.
+func (m *DupDenseMatrix) Local(ctx *apgas.Ctx) *la.DenseMatrix { return m.plh.Local(ctx) }
+
+// Init fills every duplicate with fn(i, j), evaluated redundantly at each
+// place.
+func (m *DupDenseMatrix) Init(fn func(i, j int) float64) error {
+	return apgas.ForEachPlace(m.rt, m.pg, func(ctx *apgas.Ctx, idx int) {
+		local := m.plh.Local(ctx)
+		for j := 0; j < m.cols; j++ {
+			for i := 0; i < m.rows; i++ {
+				local.Set(i, j, fn(i, j))
+			}
+		}
+	})
+}
+
+// AllApply runs fn on the duplicate at every place; fn must be
+// deterministic to keep the duplicates identical.
+func (m *DupDenseMatrix) AllApply(fn func(local *la.DenseMatrix)) error {
+	return apgas.ForEachPlace(m.rt, m.pg, func(ctx *apgas.Ctx, idx int) {
+		fn(m.plh.Local(ctx))
+	})
+}
+
+// Root reads the root duplicate into a fresh matrix (for result
+// extraction by the main activity).
+func (m *DupDenseMatrix) Root() (*la.DenseMatrix, error) {
+	var out *la.DenseMatrix
+	err := m.rt.Finish(func(ctx *apgas.Ctx) {
+		ctx.At(m.pg[0], func(c *apgas.Ctx) {
+			out = m.Local(c).Clone()
+		})
+	})
+	return out, err
+}
+
+// ZipAll runs fn(local, xLocal) at every place of the shared group; fn
+// must be deterministic so the duplicates stay identical.
+func (m *DupDenseMatrix) ZipAll(x *DupDenseMatrix, fn func(a, b *la.DenseMatrix)) error {
+	if !sameGroups(m.pg, x.pg) {
+		return fmt.Errorf("dist: DupDenseMatrix.ZipAll: %w", ErrGroupMismatch)
+	}
+	return apgas.ForEachPlace(m.rt, m.pg, func(ctx *apgas.Ctx, idx int) {
+		fn(m.plh.Local(ctx), x.plh.Local(ctx))
+	})
+}
+
+// ZipAll2 is ZipAll with two additional operands (the three-matrix
+// update rule of multiplicative factorizations).
+func (m *DupDenseMatrix) ZipAll2(x, y *DupDenseMatrix, fn func(a, b, c *la.DenseMatrix)) error {
+	if !sameGroups(m.pg, x.pg) || !sameGroups(m.pg, y.pg) {
+		return fmt.Errorf("dist: DupDenseMatrix.ZipAll2: %w", ErrGroupMismatch)
+	}
+	return apgas.ForEachPlace(m.rt, m.pg, func(ctx *apgas.Ctx, idx int) {
+		fn(m.plh.Local(ctx), x.plh.Local(ctx), y.plh.Local(ctx))
+	})
+}
+
+// Sync broadcasts the root duplicate to every other place.
+func (m *DupDenseMatrix) Sync() error {
+	return m.rt.Finish(func(ctx *apgas.Ctx) {
+		ctx.At(m.pg[0], func(root *apgas.Ctx) {
+			src := m.plh.Local(root).Clone()
+			for idx := 1; idx < m.pg.Size(); idx++ {
+				p := m.pg[idx]
+				root.Transfer(p, src.Bytes())
+				root.AsyncAt(p, func(c *apgas.Ctx) {
+					copy(m.plh.Local(c).Data, src.Data)
+				})
+			}
+		})
+	})
+}
+
+// Remake reallocates the duplicated matrix (zeroed) over a new group.
+func (m *DupDenseMatrix) Remake(newPG apgas.PlaceGroup) error {
+	if newPG.Size() == 0 {
+		return fmt.Errorf("dist: DupDenseMatrix.Remake: empty place group")
+	}
+	m.plh.Destroy(m.pg)
+	plh, err := apgas.NewPlaceLocalHandle(m.rt, newPG, func(ctx *apgas.Ctx, idx int) *la.DenseMatrix {
+		return la.NewDense(m.rows, m.cols)
+	})
+	if err != nil {
+		return err
+	}
+	m.pg = newPG.Clone()
+	m.plh = plh
+	return nil
+}
+
+// dupBlock wraps a duplicate as a single block for snapshot serialization.
+func dupDenseBlock(d *la.DenseMatrix) *block.MatrixBlock {
+	return &block.MatrixBlock{Rows: d.Rows, Cols: d.Cols, Dense: d}
+}
+
+func dupSparseBlock(sp *la.SparseCSC) *block.MatrixBlock {
+	return &block.MatrixBlock{Rows: sp.Rows, Cols: sp.Cols, Sparse: sp}
+}
+
+// MakeSnapshot implements snapshot.Snapshottable: one logical copy is
+// saved by the group root (all duplicates are identical; see
+// DupVector.MakeSnapshot).
+func (m *DupDenseMatrix) MakeSnapshot() (*snapshot.Snapshot, error) {
+	s, err := snapshot.New(m.rt, m.pg)
+	if err != nil {
+		return nil, err
+	}
+	err = m.rt.Finish(func(ctx *apgas.Ctx) {
+		ctx.At(m.pg[0], func(c *apgas.Ctx) {
+			s.Save(c, 0, dupDenseBlock(m.plh.Local(c)).Encode())
+		})
+	})
+	if err != nil {
+		s.Destroy()
+		return nil, err
+	}
+	return s, nil
+}
+
+// RestoreSnapshot implements snapshot.Snapshottable.
+func (m *DupDenseMatrix) RestoreSnapshot(s *snapshot.Snapshot) error {
+	return apgas.ForEachPlace(m.rt, m.pg, func(ctx *apgas.Ctx, idx int) {
+		data, err := s.Load(ctx, 0, 0)
+		if err != nil {
+			apgas.Throw(err)
+		}
+		b, err := block.Decode(data)
+		if err != nil {
+			apgas.Throw(err)
+		}
+		if b.Dense == nil || b.Rows != m.rows || b.Cols != m.cols {
+			apgas.Throw(fmt.Errorf("dist: DupDenseMatrix restore shape mismatch"))
+		}
+		copy(m.plh.Local(ctx).Data, b.Dense.Data)
+	})
+}
+
+// DupSparseMatrix duplicates a sparse matrix at every place of a group
+// (x10.matrix.dist.DupSparseMatrix).
+type DupSparseMatrix struct {
+	rt         *apgas.Runtime
+	rows, cols int
+	pg         apgas.PlaceGroup
+	plh        apgas.PlaceLocalHandle[*la.SparseCSC]
+}
+
+// MakeDupSparseMatrix creates an empty duplicated rows×cols sparse matrix.
+func MakeDupSparseMatrix(rt *apgas.Runtime, rows, cols int, pg apgas.PlaceGroup) (*DupSparseMatrix, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("dist: MakeDupSparseMatrix(%d, %d): %w", rows, cols, ErrShapeMismatch)
+	}
+	if pg.Size() == 0 {
+		return nil, fmt.Errorf("dist: MakeDupSparseMatrix: empty place group")
+	}
+	plh, err := apgas.NewPlaceLocalHandle(rt, pg, func(ctx *apgas.Ctx, idx int) *la.SparseCSC {
+		return la.NewSparseCSC(rows, cols)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DupSparseMatrix{rt: rt, rows: rows, cols: cols, pg: pg.Clone(), plh: plh}, nil
+}
+
+// Rows returns the row count.
+func (m *DupSparseMatrix) Rows() int { return m.rows }
+
+// Cols returns the column count.
+func (m *DupSparseMatrix) Cols() int { return m.cols }
+
+// Group returns the place group.
+func (m *DupSparseMatrix) Group() apgas.PlaceGroup { return m.pg }
+
+// Local returns the calling place's duplicate.
+func (m *DupSparseMatrix) Local(ctx *apgas.Ctx) *la.SparseCSC { return m.plh.Local(ctx) }
+
+// InitColumns fills every duplicate from a per-column generator (see
+// DistBlockMatrix.InitSparseColumns), evaluated redundantly at each place.
+func (m *DupSparseMatrix) InitColumns(fn func(j int) (rows []int, vals []float64)) error {
+	return apgas.ForEachPlace(m.rt, m.pg, func(ctx *apgas.Ctx, idx int) {
+		var ts []la.Triplet
+		for j := 0; j < m.cols; j++ {
+			rows, vals := fn(j)
+			for k, i := range rows {
+				ts = append(ts, la.Triplet{Row: i, Col: j, Val: vals[k]})
+			}
+		}
+		sp := la.NewSparseCSCFromTriplets(m.rows, m.cols, ts)
+		h := m.plh.Local(ctx)
+		h.ColPtr, h.RowIdx, h.Vals = sp.ColPtr, sp.RowIdx, sp.Vals
+	})
+}
+
+// Remake reallocates the duplicated matrix (empty) over a new group.
+func (m *DupSparseMatrix) Remake(newPG apgas.PlaceGroup) error {
+	if newPG.Size() == 0 {
+		return fmt.Errorf("dist: DupSparseMatrix.Remake: empty place group")
+	}
+	m.plh.Destroy(m.pg)
+	plh, err := apgas.NewPlaceLocalHandle(m.rt, newPG, func(ctx *apgas.Ctx, idx int) *la.SparseCSC {
+		return la.NewSparseCSC(m.rows, m.cols)
+	})
+	if err != nil {
+		return err
+	}
+	m.pg = newPG.Clone()
+	m.plh = plh
+	return nil
+}
+
+// MakeSnapshot implements snapshot.Snapshottable: one logical copy is
+// saved by the group root (all duplicates are identical; see
+// DupVector.MakeSnapshot).
+func (m *DupSparseMatrix) MakeSnapshot() (*snapshot.Snapshot, error) {
+	s, err := snapshot.New(m.rt, m.pg)
+	if err != nil {
+		return nil, err
+	}
+	err = m.rt.Finish(func(ctx *apgas.Ctx) {
+		ctx.At(m.pg[0], func(c *apgas.Ctx) {
+			s.Save(c, 0, dupSparseBlock(m.plh.Local(c)).Encode())
+		})
+	})
+	if err != nil {
+		s.Destroy()
+		return nil, err
+	}
+	return s, nil
+}
+
+// RestoreSnapshot implements snapshot.Snapshottable.
+func (m *DupSparseMatrix) RestoreSnapshot(s *snapshot.Snapshot) error {
+	return apgas.ForEachPlace(m.rt, m.pg, func(ctx *apgas.Ctx, idx int) {
+		data, err := s.Load(ctx, 0, 0)
+		if err != nil {
+			apgas.Throw(err)
+		}
+		b, err := block.Decode(data)
+		if err != nil {
+			apgas.Throw(err)
+		}
+		if b.Sparse == nil || b.Rows != m.rows || b.Cols != m.cols {
+			apgas.Throw(fmt.Errorf("dist: DupSparseMatrix restore shape mismatch"))
+		}
+		h := m.plh.Local(ctx)
+		h.ColPtr, h.RowIdx, h.Vals = b.Sparse.ColPtr, b.Sparse.RowIdx, b.Sparse.Vals
+	})
+}

@@ -1,0 +1,211 @@
+package dist
+
+import (
+	"testing"
+
+	"github.com/rgml/rgml/internal/apgas"
+	"github.com/rgml/rgml/internal/la"
+)
+
+func readDupDenseAt(t *testing.T, m *DupDenseMatrix, idx int) *la.DenseMatrix {
+	t.Helper()
+	var out *la.DenseMatrix
+	err := m.rt.Finish(func(ctx *apgas.Ctx) {
+		ctx.At(m.pg[idx], func(c *apgas.Ctx) {
+			out = m.Local(c).Clone()
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestDupDenseMatrixInitAndAccessors(t *testing.T) {
+	rt := newRT(t, 3)
+	m, err := MakeDupDenseMatrix(rt, 4, 3, rt.World())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 4 || m.Cols() != 3 || m.Group().Size() != 3 {
+		t.Fatal("accessors wrong")
+	}
+	if err := m.Init(func(i, j int) float64 { return float64(i*10 + j) }); err != nil {
+		t.Fatal(err)
+	}
+	for idx := 0; idx < 3; idx++ {
+		local := readDupDenseAt(t, m, idx)
+		if local.At(2, 1) != 21 {
+			t.Fatalf("duplicate %d: (2,1) = %v", idx, local.At(2, 1))
+		}
+	}
+}
+
+func TestDupDenseMatrixValidation(t *testing.T) {
+	rt := newRT(t, 2)
+	if _, err := MakeDupDenseMatrix(rt, 0, 3, rt.World()); err == nil {
+		t.Error("zero rows accepted")
+	}
+	if _, err := MakeDupDenseMatrix(rt, 3, 3, nil); err == nil {
+		t.Error("empty group accepted")
+	}
+	if _, err := MakeDupSparseMatrix(rt, 3, 0, rt.World()); err == nil {
+		t.Error("zero cols accepted")
+	}
+	if _, err := MakeDupSparseMatrix(rt, 3, 3, nil); err == nil {
+		t.Error("empty group accepted")
+	}
+}
+
+func TestDupDenseMatrixSync(t *testing.T) {
+	rt := newRT(t, 3)
+	m, err := MakeDupDenseMatrix(rt, 2, 2, rt.World())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutate only the root copy.
+	err = rt.Finish(func(ctx *apgas.Ctx) {
+		ctx.At(rt.Place(0), func(c *apgas.Ctx) {
+			m.Local(c).Set(1, 1, 9)
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := readDupDenseAt(t, m, 2); got.At(1, 1) != 0 {
+		t.Fatal("non-root changed before Sync")
+	}
+	if err := m.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readDupDenseAt(t, m, 2); got.At(1, 1) != 9 {
+		t.Fatal("Sync did not propagate")
+	}
+}
+
+func TestDupDenseMatrixSnapshotRestoreAfterFailure(t *testing.T) {
+	rt := newRT(t, 4)
+	m, err := MakeDupDenseMatrix(rt, 3, 3, rt.World())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Init(func(i, j int) float64 { return float64(i + j) }); err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.MakeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Destroy()
+	if err := rt.Kill(rt.Place(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remake(rt.World()); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RestoreSnapshot(s); err != nil {
+		t.Fatal(err)
+	}
+	for idx := 0; idx < 3; idx++ {
+		local := readDupDenseAt(t, m, idx)
+		if local.At(2, 2) != 4 {
+			t.Fatalf("duplicate %d not restored", idx)
+		}
+	}
+	// One logical copy is stored, so restoring onto a larger group works.
+	big, err := MakeDupDenseMatrix(rt, 3, 3, rt.World())
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := apgas.PlaceGroup{rt.Place(0), rt.Place(2)}
+	v, err := MakeDupDenseMatrix(rt, 3, 3, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Init(func(i, j int) float64 { return 7 }); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := v.MakeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Destroy()
+	if err := big.RestoreSnapshot(s2); err != nil {
+		t.Fatal(err)
+	}
+	if got := readDupDenseAt(t, big, 2); got.At(0, 0) != 7 {
+		t.Fatal("restore onto larger group did not propagate data")
+	}
+}
+
+func TestDupDenseMatrixAllApply(t *testing.T) {
+	rt := newRT(t, 2)
+	m, err := MakeDupDenseMatrix(rt, 2, 2, rt.World())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AllApply(func(local *la.DenseMatrix) { local.Set(0, 0, 5) }); err != nil {
+		t.Fatal(err)
+	}
+	for idx := 0; idx < 2; idx++ {
+		if readDupDenseAt(t, m, idx).At(0, 0) != 5 {
+			t.Fatal("AllApply did not reach every duplicate")
+		}
+	}
+}
+
+func TestDupSparseMatrixLifecycle(t *testing.T) {
+	rt := newRT(t, 3)
+	m, err := MakeDupSparseMatrix(rt, 6, 6, rt.World())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 6 || m.Cols() != 6 || m.Group().Size() != 3 {
+		t.Fatal("accessors wrong")
+	}
+	gen := func(j int) ([]int, []float64) {
+		return []int{j, (j + 1) % 6}, []float64{1, 2}
+	}
+	if err := m.InitColumns(gen); err != nil {
+		t.Fatal(err)
+	}
+	// Verify content at each place.
+	err = apgas.ForEachPlace(rt, rt.World(), func(ctx *apgas.Ctx, idx int) {
+		local := m.Local(ctx)
+		if local.At(3, 3) != 1 || local.At(4, 3) != 2 {
+			apgas.Throw(errDupSparseContent)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot, kill, shrink, restore.
+	s, err := m.MakeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Destroy()
+	if err := rt.Kill(rt.Place(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remake(rt.World()); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RestoreSnapshot(s); err != nil {
+		t.Fatal(err)
+	}
+	err = apgas.ForEachPlace(rt, rt.World(), func(ctx *apgas.Ctx, idx int) {
+		if m.Local(ctx).At(3, 3) != 1 {
+			apgas.Throw(errDupSparseContent)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+var errDupSparseContent = errShape("dup sparse content wrong")
+
+type errShape string
+
+func (e errShape) Error() string { return string(e) }

@@ -1,0 +1,206 @@
+package dist
+
+import (
+	"fmt"
+
+	"github.com/rgml/rgml/internal/apgas"
+	"github.com/rgml/rgml/internal/la"
+	"github.com/rgml/rgml/internal/snapshot"
+)
+
+// DupVector duplicates a length-n vector at every place of a group
+// (x10.matrix.dist.DupVector). Iterative solvers keep their small model
+// vectors duplicated so that large distributed operands can consume them
+// without communication; after local updates, Sync re-broadcasts the root
+// copy (paper Listing 2, line 17).
+type DupVector struct {
+	rt  *apgas.Runtime
+	n   int
+	pg  apgas.PlaceGroup
+	plh apgas.PlaceLocalHandle[la.Vector]
+}
+
+// MakeDupVector creates a zeroed duplicated vector of length n over pg
+// (the factory method DupVector.make).
+func MakeDupVector(rt *apgas.Runtime, n int, pg apgas.PlaceGroup) (*DupVector, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dist: MakeDupVector(%d): %w", n, ErrShapeMismatch)
+	}
+	if pg.Size() == 0 {
+		return nil, fmt.Errorf("dist: MakeDupVector: empty place group")
+	}
+	plh, err := apgas.NewPlaceLocalHandle(rt, pg, func(ctx *apgas.Ctx, idx int) la.Vector {
+		return la.NewVector(n)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DupVector{rt: rt, n: n, pg: pg.Clone(), plh: plh}, nil
+}
+
+// Size returns the vector length.
+func (v *DupVector) Size() int { return v.n }
+
+// Group returns the place group the vector is duplicated over.
+func (v *DupVector) Group() apgas.PlaceGroup { return v.pg }
+
+// Local returns the calling place's duplicate.
+func (v *DupVector) Local(ctx *apgas.Ctx) la.Vector { return v.plh.Local(ctx) }
+
+// Init sets every duplicate to the values of fn(i), identically at every
+// place (no communication: fn is evaluated redundantly, which is how GML
+// initializes duplicated objects deterministically).
+func (v *DupVector) Init(fn func(i int) float64) error {
+	return apgas.ForEachPlace(v.rt, v.pg, func(ctx *apgas.Ctx, idx int) {
+		local := v.plh.Local(ctx)
+		for i := range local {
+			local[i] = fn(i)
+		}
+	})
+}
+
+// AllApply runs fn on the duplicate at every place. fn must be
+// deterministic so the duplicates stay identical (the standard GML idiom
+// for duplicated-operand arithmetic: every place redundantly performs the
+// same cheap update instead of broadcasting).
+func (v *DupVector) AllApply(fn func(local la.Vector)) error {
+	return apgas.ForEachPlace(v.rt, v.pg, func(ctx *apgas.Ctx, idx int) {
+		fn(v.plh.Local(ctx))
+	})
+}
+
+// ZipAll runs fn(va, vb) on the duplicates of v and w at every place of
+// their shared group. Both vectors must be duplicated over the same group.
+// fn must be deterministic so the duplicates stay identical — the GML
+// idiom for duplicated-operand arithmetic (e.g. w += α·p in CG).
+func (v *DupVector) ZipAll(w *DupVector, fn func(a, b la.Vector)) error {
+	if !sameGroups(v.pg, w.pg) {
+		return fmt.Errorf("dist: ZipAll: %w", ErrGroupMismatch)
+	}
+	return apgas.ForEachPlace(v.rt, v.pg, func(ctx *apgas.Ctx, idx int) {
+		fn(v.plh.Local(ctx), w.plh.Local(ctx))
+	})
+}
+
+// Dot computes the inner product of two duplicated vectors. Because both
+// operands are duplicated, the product is evaluated locally at the group
+// root without communication.
+func (v *DupVector) Dot(w *DupVector) (float64, error) {
+	if !sameGroups(v.pg, w.pg) {
+		return 0, fmt.Errorf("dist: DupVector.Dot: %w", ErrGroupMismatch)
+	}
+	if v.n != w.n {
+		return 0, fmt.Errorf("dist: DupVector.Dot %d vs %d: %w", v.n, w.n, ErrShapeMismatch)
+	}
+	var out float64
+	err := v.rt.Finish(func(ctx *apgas.Ctx) {
+		ctx.At(v.pg[0], func(c *apgas.Ctx) {
+			out = v.plh.Local(c).Dot(w.plh.Local(c))
+		})
+	})
+	return out, err
+}
+
+// RootApply runs fn on the root (group index 0) duplicate only. Callers
+// follow up with Sync to publish the change to the other places.
+func (v *DupVector) RootApply(fn func(local la.Vector)) error {
+	return v.rt.Finish(func(ctx *apgas.Ctx) {
+		ctx.At(v.pg[0], func(c *apgas.Ctx) {
+			fn(v.plh.Local(c))
+		})
+	})
+}
+
+// Root reads the root duplicate into a fresh vector (for result
+// extraction by the main activity).
+func (v *DupVector) Root() (la.Vector, error) {
+	var out la.Vector
+	err := v.rt.Finish(func(ctx *apgas.Ctx) {
+		ctx.At(v.pg[0], func(c *apgas.Ctx) {
+			out = v.plh.Local(c).Clone()
+		})
+	})
+	return out, err
+}
+
+// Sync broadcasts the root copy to every other place of the group (paper
+// Listing 2: P.sync()). The broadcast charges the network model for one
+// full payload per destination.
+func (v *DupVector) Sync() error {
+	return v.rt.Finish(func(ctx *apgas.Ctx) {
+		ctx.At(v.pg[0], func(root *apgas.Ctx) {
+			src := v.plh.Local(root).Clone()
+			for idx := 1; idx < v.pg.Size(); idx++ {
+				p := v.pg[idx]
+				root.Transfer(p, src.Bytes())
+				root.AsyncAt(p, func(c *apgas.Ctx) {
+					v.plh.Local(c).CopyFrom(src)
+				})
+			}
+		})
+	})
+}
+
+// Remake reallocates the vector (zeroed) over a new place group (paper
+// section IV-A: remake(newPlaces)). The old storage on surviving places is
+// released.
+func (v *DupVector) Remake(newPG apgas.PlaceGroup) error {
+	if newPG.Size() == 0 {
+		return fmt.Errorf("dist: DupVector.Remake: empty place group")
+	}
+	v.plh.Destroy(v.pg)
+	plh, err := apgas.NewPlaceLocalHandle(v.rt, newPG, func(ctx *apgas.Ctx, idx int) la.Vector {
+		return la.NewVector(v.n)
+	})
+	if err != nil {
+		return err
+	}
+	v.pg = newPG.Clone()
+	v.plh = plh
+	return nil
+}
+
+// MakeSnapshot implements snapshot.Snapshottable. All duplicates are
+// identical, so one logical copy is saved: the group root stores it (with
+// the usual next-place backup). Saving P redundant copies would make
+// checkpointing a duplicated object O(P²) in data volume — the paper's
+// checkpoint times (Table III: PageRank, whose mutable state is one
+// DupVector, checkpoints in a fraction of LinReg's time) show the
+// implementation saves duplicated state once.
+func (v *DupVector) MakeSnapshot() (*snapshot.Snapshot, error) {
+	s, err := snapshot.New(v.rt, v.pg)
+	if err != nil {
+		return nil, err
+	}
+	err = v.rt.Finish(func(ctx *apgas.Ctx) {
+		ctx.At(v.pg[0], func(c *apgas.Ctx) {
+			s.Save(c, 0, encodeVector(v.plh.Local(c)))
+		})
+	})
+	if err != nil {
+		s.Destroy()
+		return nil, err
+	}
+	return s, nil
+}
+
+// RestoreSnapshot implements snapshot.Snapshottable: every place of the
+// vector's *current* group (which may be smaller, equal, or — with
+// elastic replacement — differently composed than the snapshot group)
+// concurrently loads a duplicate (paper section IV-B2).
+func (v *DupVector) RestoreSnapshot(s *snapshot.Snapshot) error {
+	return apgas.ForEachPlace(v.rt, v.pg, func(ctx *apgas.Ctx, idx int) {
+		data, err := s.Load(ctx, 0, 0)
+		if err != nil {
+			apgas.Throw(err)
+		}
+		vec, err := decodeVector(data)
+		if err != nil {
+			apgas.Throw(err)
+		}
+		if len(vec) != v.n {
+			apgas.Throw(fmt.Errorf("dist: DupVector restore length %d, want %d", len(vec), v.n))
+		}
+		v.plh.Local(ctx).CopyFrom(vec)
+	})
+}

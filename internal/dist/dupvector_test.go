@@ -1,0 +1,228 @@
+package dist
+
+import (
+	"testing"
+
+	"github.com/rgml/rgml/internal/apgas"
+	"github.com/rgml/rgml/internal/la"
+)
+
+func newRT(t *testing.T, places int) *apgas.Runtime {
+	t.Helper()
+	rt, err := apgas.NewRuntime(apgas.Config{Places: places, Resilient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Shutdown)
+	return rt
+}
+
+// readDupAt reads the duplicate of v held at group index idx.
+func readDupAt(t *testing.T, v *DupVector, idx int) la.Vector {
+	t.Helper()
+	var out la.Vector
+	err := v.rt.Finish(func(ctx *apgas.Ctx) {
+		ctx.At(v.pg[idx], func(c *apgas.Ctx) {
+			out = v.Local(c).Clone()
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestDupVectorMakeAndInit(t *testing.T) {
+	rt := newRT(t, 4)
+	v, err := MakeDupVector(rt, 5, rt.World())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Size() != 5 || v.Group().Size() != 4 {
+		t.Fatal("shape wrong")
+	}
+	if err := v.Init(func(i int) float64 { return float64(i * i) }); err != nil {
+		t.Fatal(err)
+	}
+	want := la.Vector{0, 1, 4, 9, 16}
+	for idx := 0; idx < 4; idx++ {
+		if got := readDupAt(t, v, idx); !got.EqualApprox(want, 0) {
+			t.Fatalf("duplicate at %d = %v", idx, got)
+		}
+	}
+}
+
+func TestDupVectorValidation(t *testing.T) {
+	rt := newRT(t, 2)
+	if _, err := MakeDupVector(rt, 0, rt.World()); err == nil {
+		t.Error("zero length accepted")
+	}
+	if _, err := MakeDupVector(rt, 3, nil); err == nil {
+		t.Error("empty group accepted")
+	}
+}
+
+func TestDupVectorSyncBroadcastsRoot(t *testing.T) {
+	rt := newRT(t, 3)
+	v, err := MakeDupVector(rt, 4, rt.World())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.RootApply(func(local la.Vector) { local.Fill(7) }); err != nil {
+		t.Fatal(err)
+	}
+	// Before sync, non-root copies are still zero.
+	if got := readDupAt(t, v, 1); got.Sum() != 0 {
+		t.Fatal("non-root copy changed before Sync")
+	}
+	if err := v.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for idx := 0; idx < 3; idx++ {
+		if got := readDupAt(t, v, idx); got.Sum() != 28 {
+			t.Fatalf("after Sync duplicate %d = %v", idx, got)
+		}
+	}
+}
+
+func TestDupVectorAllApply(t *testing.T) {
+	rt := newRT(t, 3)
+	v, err := MakeDupVector(rt, 2, rt.World())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.AllApply(func(local la.Vector) { local.Fill(3).Scale(2) }); err != nil {
+		t.Fatal(err)
+	}
+	for idx := 0; idx < 3; idx++ {
+		if got := readDupAt(t, v, idx); !got.EqualApprox(la.Vector{6, 6}, 0) {
+			t.Fatalf("duplicate %d = %v", idx, got)
+		}
+	}
+	root, err := v.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !root.EqualApprox(la.Vector{6, 6}, 0) {
+		t.Fatalf("Root = %v", root)
+	}
+}
+
+func TestDupVectorRemake(t *testing.T) {
+	rt := newRT(t, 4)
+	v, err := MakeDupVector(rt, 3, rt.World())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Init(func(i int) float64 { return 1 }); err != nil {
+		t.Fatal(err)
+	}
+	newPG := apgas.PlaceGroup{rt.Place(0), rt.Place(2)}
+	if err := v.Remake(newPG); err != nil {
+		t.Fatal(err)
+	}
+	if !v.Group().Equal(newPG) {
+		t.Fatal("group not updated")
+	}
+	// Remade vector is zeroed.
+	if got := readDupAt(t, v, 1); got.Sum() != 0 {
+		t.Fatalf("remade copy = %v", got)
+	}
+	if err := v.Remake(nil); err == nil {
+		t.Error("empty remake accepted")
+	}
+}
+
+func TestDupVectorSnapshotRestoreSameGroup(t *testing.T) {
+	rt := newRT(t, 3)
+	v, err := MakeDupVector(rt, 4, rt.World())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Init(func(i int) float64 { return float64(i) + 0.5 }); err != nil {
+		t.Fatal(err)
+	}
+	s, err := v.MakeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Destroy()
+	// Wreck the live data, then restore.
+	if err := v.AllApply(func(local la.Vector) { local.Fill(-1) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.RestoreSnapshot(s); err != nil {
+		t.Fatal(err)
+	}
+	want := la.Vector{0.5, 1.5, 2.5, 3.5}
+	for idx := 0; idx < 3; idx++ {
+		if got := readDupAt(t, v, idx); !got.EqualApprox(want, 0) {
+			t.Fatalf("restored duplicate %d = %v", idx, got)
+		}
+	}
+}
+
+func TestDupVectorSnapshotSurvivesFailureAndShrink(t *testing.T) {
+	rt := newRT(t, 4)
+	v, err := MakeDupVector(rt, 3, rt.World())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Init(func(i int) float64 { return float64(10 + i) }); err != nil {
+		t.Fatal(err)
+	}
+	s, err := v.MakeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Destroy()
+	victim := rt.Place(2)
+	if err := rt.Kill(victim); err != nil {
+		t.Fatal(err)
+	}
+	// Shrink onto the survivors and restore.
+	newPG := rt.World()
+	if err := v.Remake(newPG); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.RestoreSnapshot(s); err != nil {
+		t.Fatal(err)
+	}
+	want := la.Vector{10, 11, 12}
+	for idx := 0; idx < newPG.Size(); idx++ {
+		if got := readDupAt(t, v, idx); !got.EqualApprox(want, 0) {
+			t.Fatalf("restored duplicate %d = %v", idx, got)
+		}
+	}
+}
+
+func TestDupVectorRestoreOntoLargerGroup(t *testing.T) {
+	// A duplicated object stores one logical copy, so it can be restored
+	// onto a larger group than it was snapshotted from (useful when
+	// elastic places grow the computation back).
+	rt := newRT(t, 4)
+	small := apgas.PlaceGroup{rt.Place(0), rt.Place(1)}
+	v, err := MakeDupVector(rt, 3, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Init(func(i int) float64 { return float64(i) + 1 }); err != nil {
+		t.Fatal(err)
+	}
+	s, err := v.MakeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Destroy()
+	if err := v.Remake(rt.World()); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.RestoreSnapshot(s); err != nil {
+		t.Fatal(err)
+	}
+	for idx := 0; idx < 4; idx++ {
+		if got := readDupAt(t, v, idx); !got.EqualApprox(la.Vector{1, 2, 3}, 0) {
+			t.Fatalf("duplicate %d = %v", idx, got)
+		}
+	}
+}

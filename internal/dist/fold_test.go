@@ -1,0 +1,147 @@
+package dist
+
+import (
+	"testing"
+
+	"github.com/rgml/rgml/internal/apgas"
+	"github.com/rgml/rgml/internal/la"
+)
+
+func TestFoldLocal(t *testing.T) {
+	rt := newRT(t, 3)
+	v, err := MakeDistVector(rt, 9, rt.World())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = v.Init(func(i int) float64 { return float64(i) })
+	// Sum of squares via FoldLocal.
+	got, err := v.FoldLocal(func(seg la.Vector, off int) float64 {
+		var s float64
+		for _, x := range seg {
+			s += x * x
+		}
+		return s
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0
+	for i := 0; i < 9; i++ {
+		want += float64(i * i)
+	}
+	if got != want {
+		t.Fatalf("FoldLocal = %v, want %v", got, want)
+	}
+	// Offsets are passed correctly.
+	sumOff, err := v.FoldLocal(func(seg la.Vector, off int) float64 { return float64(off) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sumOff != 0+3+6 {
+		t.Fatalf("offset sum = %v", sumOff)
+	}
+}
+
+func TestFoldZip(t *testing.T) {
+	rt := newRT(t, 3)
+	pg := rt.World()
+	v, _ := MakeDistVector(rt, 7, pg)
+	w, _ := MakeDistVector(rt, 7, pg)
+	_ = v.Init(func(i int) float64 { return float64(i) })
+	_ = w.Init(func(i int) float64 { return 2 })
+	got, err := v.FoldZip(w, func(a, b la.Vector, off int) float64 {
+		var s float64
+		for i := range a {
+			s += a[i] * b[i]
+		}
+		return s
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2*21 {
+		t.Fatalf("FoldZip = %v, want 42", got)
+	}
+	// Validation paths.
+	other, _ := MakeDistVector(rt, 7, apgas.PlaceGroup{rt.Place(0), rt.Place(1)})
+	if _, err := v.FoldZip(other, func(a, b la.Vector, off int) float64 { return 0 }); err == nil {
+		t.Error("group mismatch accepted")
+	}
+	short, _ := MakeDistVector(rt, 6, pg)
+	if _, err := v.FoldZip(short, func(a, b la.Vector, off int) float64 { return 0 }); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestZipApplyLocalAndZipDup(t *testing.T) {
+	rt := newRT(t, 3)
+	pg := rt.World()
+	v, _ := MakeDistVector(rt, 6, pg)
+	w, _ := MakeDistVector(rt, 6, pg)
+	_ = v.Init(func(i int) float64 { return float64(i) })
+	_ = w.Init(func(i int) float64 { return 10 })
+	err := v.ZipApplyLocal(w, func(a, b la.Vector, off int) { a.Add(b) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := v.ToVector()
+	for i := range got {
+		if got[i] != float64(i)+10 {
+			t.Fatalf("ZipApplyLocal[%d] = %v", i, got[i])
+		}
+	}
+	d, _ := MakeDupVector(rt, 6, pg)
+	_ = d.Init(func(i int) float64 { return float64(i * 2) })
+	err = v.ZipDup(d, func(seg, dupSeg la.Vector, off int) { seg.CopyFrom(dupSeg) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ = v.ToVector()
+	for i := range got {
+		if got[i] != float64(i*2) {
+			t.Fatalf("ZipDup[%d] = %v", i, got[i])
+		}
+	}
+	// Validation.
+	bad, _ := MakeDupVector(rt, 5, pg)
+	if err := v.ZipDup(bad, func(a, b la.Vector, off int) {}); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+func TestDupVectorDotValidation(t *testing.T) {
+	rt := newRT(t, 2)
+	pg := rt.World()
+	a, _ := MakeDupVector(rt, 4, pg)
+	b, _ := MakeDupVector(rt, 5, pg)
+	if _, err := a.Dot(b); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+	c, _ := MakeDupVector(rt, 4, apgas.PlaceGroup{rt.Place(0)})
+	if _, err := a.Dot(c); err == nil {
+		t.Error("group mismatch accepted")
+	}
+	_ = a.Init(func(i int) float64 { return 2 })
+	d, _ := MakeDupVector(rt, 4, pg)
+	_ = d.Init(func(i int) float64 { return 3 })
+	got, err := a.Dot(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 24 {
+		t.Fatalf("Dot = %v", got)
+	}
+}
+
+func TestDupDenseZipAllValidation(t *testing.T) {
+	rt := newRT(t, 2)
+	pg := rt.World()
+	a, _ := MakeDupDenseMatrix(rt, 2, 2, pg)
+	b, _ := MakeDupDenseMatrix(rt, 2, 2, apgas.PlaceGroup{rt.Place(0)})
+	if err := a.ZipAll(b, func(x, y *la.DenseMatrix) {}); err == nil {
+		t.Error("group mismatch accepted")
+	}
+	if err := a.ZipAll2(b, b, func(x, y, z *la.DenseMatrix) {}); err == nil {
+		t.Error("group mismatch accepted")
+	}
+}

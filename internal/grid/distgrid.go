@@ -1,0 +1,121 @@
+package grid
+
+import "fmt"
+
+// DistGrid maps the blocks of a Grid onto the places of a place grid, the
+// counterpart of x10.matrix.distblock.DistGrid. Blocks are assigned
+// contiguously: row-block rb goes to place-grid row floor(rb·rowPlaces /
+// rowBlocks), and likewise for columns, so each place receives a
+// rectangular bundle of neighbouring blocks. The mapping targets *place
+// indices* (positions within a PlaceGroup), not place IDs, which is what
+// lets the same matrix remap onto a different group after a failure.
+type DistGrid struct {
+	RowPlaces, ColPlaces int
+	// PlaceOf[blockID] is the owning place index (column-major place grid:
+	// place index = pr + pc*RowPlaces).
+	PlaceOf []int
+	// blocksOf[placeIdx] lists the block IDs owned by each place, in
+	// ascending order.
+	blocksOf [][]int
+}
+
+// NewDistGrid maps g's blocks onto a rowPlaces×colPlaces place grid. The
+// place grid must not exceed the block grid (every place must receive at
+// least one block — the same constraint DistBlockMatrix.make enforces).
+func NewDistGrid(g *Grid, rowPlaces, colPlaces int) (*DistGrid, error) {
+	if rowPlaces < 1 || colPlaces < 1 {
+		return nil, fmt.Errorf("grid: invalid place grid %dx%d", rowPlaces, colPlaces)
+	}
+	if rowPlaces > g.RowBlocks || colPlaces > g.ColBlocks {
+		return nil, fmt.Errorf("grid: place grid %dx%d exceeds block grid %dx%d",
+			rowPlaces, colPlaces, g.RowBlocks, g.ColBlocks)
+	}
+	d := &DistGrid{
+		RowPlaces: rowPlaces,
+		ColPlaces: colPlaces,
+		PlaceOf:   make([]int, g.NumBlocks()),
+		blocksOf:  make([][]int, rowPlaces*colPlaces),
+	}
+	for cb := 0; cb < g.ColBlocks; cb++ {
+		pc := cb * colPlaces / g.ColBlocks
+		for rb := 0; rb < g.RowBlocks; rb++ {
+			pr := rb * rowPlaces / g.RowBlocks
+			id := g.BlockID(rb, cb)
+			place := pr + pc*rowPlaces
+			d.PlaceOf[id] = place
+			d.blocksOf[place] = append(d.blocksOf[place], id)
+		}
+	}
+	return d, nil
+}
+
+// NumPlaces returns the number of places in the place grid.
+func (d *DistGrid) NumPlaces() int { return d.RowPlaces * d.ColPlaces }
+
+// BlocksOf returns the block IDs owned by place index p, ascending.
+func (d *DistGrid) BlocksOf(p int) []int {
+	if p < 0 || p >= d.NumPlaces() {
+		panic(fmt.Sprintf("grid: place index %d out of %d", p, d.NumPlaces()))
+	}
+	return d.blocksOf[p]
+}
+
+// Remap returns a new DistGrid distributing the same blocks over a
+// different number of places, keeping the data grid unchanged — the
+// "shrink" restoration path for DistBlockMatrix (paper Fig. 1-b: same
+// blocks, new block-to-place mapping, possibly imbalanced). Blocks are
+// dealt to places round-robin in block-ID order over a flat 1×newPlaces
+// place grid.
+func Remap(g *Grid, newPlaces int) (*DistGrid, error) {
+	if newPlaces < 1 {
+		return nil, fmt.Errorf("grid: remap to %d places", newPlaces)
+	}
+	if newPlaces > g.NumBlocks() {
+		return nil, fmt.Errorf("grid: remap %d blocks to %d places leaves empty places",
+			g.NumBlocks(), newPlaces)
+	}
+	d := &DistGrid{
+		RowPlaces: 1,
+		ColPlaces: newPlaces,
+		PlaceOf:   make([]int, g.NumBlocks()),
+		blocksOf:  make([][]int, newPlaces),
+	}
+	for id := 0; id < g.NumBlocks(); id++ {
+		p := id % newPlaces
+		d.PlaceOf[id] = p
+		d.blocksOf[p] = append(d.blocksOf[p], id)
+	}
+	return d, nil
+}
+
+// ElementsPerPlace returns, for each place index, the number of matrix
+// elements it owns under grid g.
+func (d *DistGrid) ElementsPerPlace(g *Grid) []int {
+	out := make([]int, d.NumPlaces())
+	for id, p := range d.PlaceOf {
+		rb, cb := g.BlockCoords(id)
+		r, c := g.BlockDims(rb, cb)
+		out[p] += r * c
+	}
+	return out
+}
+
+// LoadImbalance returns max/mean elements per place, a load-balance metric
+// (1.0 is perfectly even). The paper's Fig. 1 discussion: keeping the data
+// grid while shrinking the place group trades restore speed for imbalance;
+// repartitioning restores balance at higher restore cost.
+func (d *DistGrid) LoadImbalance(g *Grid) float64 {
+	counts := d.ElementsPerPlace(g)
+	maxC, sum := 0, 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+		sum += c
+	}
+	if sum == 0 {
+		return 1
+	}
+	mean := float64(sum) / float64(len(counts))
+	return float64(maxC) / mean
+}

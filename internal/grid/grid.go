@@ -1,0 +1,210 @@
+// Package grid implements GML's block partitioning machinery: the data
+// grid (x10.matrix.block.Grid) that cuts an m×n matrix into row/column
+// blocks, the block→place mapping (x10.matrix.distblock.DistGrid), and the
+// overlap computation between two grids that drives the re-grid restore
+// path (paper section IV-B2).
+package grid
+
+import "fmt"
+
+// Grid partitions an m×n matrix into RowBlocks×ColBlocks rectangular
+// blocks. Sizes are near-even: the first (m mod RowBlocks) row-blocks get
+// one extra row, and likewise for columns — the same "even data
+// distribution" rule GML applies when repartitioning for a new place group.
+type Grid struct {
+	Rows, Cols           int
+	RowBlocks, ColBlocks int
+	// RowSizes[i] is the height of row-block i; RowOffsets has length
+	// RowBlocks+1 with RowOffsets[i] the first matrix row of row-block i.
+	RowSizes, ColSizes     []int
+	RowOffsets, ColOffsets []int
+}
+
+// New builds a grid cutting a rows×cols matrix into rowBlocks×colBlocks
+// near-even blocks.
+func New(rows, cols, rowBlocks, colBlocks int) (*Grid, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("grid: invalid matrix dims %dx%d", rows, cols)
+	}
+	if rowBlocks < 1 || colBlocks < 1 {
+		return nil, fmt.Errorf("grid: invalid block counts %dx%d", rowBlocks, colBlocks)
+	}
+	if rowBlocks > rows || colBlocks > cols {
+		return nil, fmt.Errorf("grid: more blocks (%dx%d) than elements (%dx%d)", rowBlocks, colBlocks, rows, cols)
+	}
+	g := &Grid{
+		Rows: rows, Cols: cols,
+		RowBlocks: rowBlocks, ColBlocks: colBlocks,
+		RowSizes: Split(rows, rowBlocks),
+		ColSizes: Split(cols, colBlocks),
+	}
+	g.RowOffsets = offsets(g.RowSizes)
+	g.ColOffsets = offsets(g.ColSizes)
+	return g, nil
+}
+
+// Split divides n elements into parts near-even segments (the first n mod
+// parts segments get one extra element). It is also used directly for
+// DistVector segmentation.
+func Split(n, parts int) []int {
+	sizes := make([]int, parts)
+	base, extra := n/parts, n%parts
+	for i := range sizes {
+		sizes[i] = base
+		if i < extra {
+			sizes[i]++
+		}
+	}
+	return sizes
+}
+
+// Offsets returns the prefix sums of sizes, with a trailing total: the
+// result has len(sizes)+1 entries.
+func Offsets(sizes []int) []int { return offsets(sizes) }
+
+func offsets(sizes []int) []int {
+	out := make([]int, len(sizes)+1)
+	for i, s := range sizes {
+		out[i+1] = out[i] + s
+	}
+	return out
+}
+
+// NumBlocks returns the total number of blocks.
+func (g *Grid) NumBlocks() int { return g.RowBlocks * g.ColBlocks }
+
+// BlockID maps block coordinates to a linear id, column-major (GML's
+// ordering: id = rb + cb*RowBlocks).
+func (g *Grid) BlockID(rb, cb int) int {
+	g.checkCoords(rb, cb)
+	return rb + cb*g.RowBlocks
+}
+
+// BlockCoords inverts BlockID.
+func (g *Grid) BlockCoords(id int) (rb, cb int) {
+	if id < 0 || id >= g.NumBlocks() {
+		panic(fmt.Sprintf("grid: block id %d out of %d", id, g.NumBlocks()))
+	}
+	return id % g.RowBlocks, id / g.RowBlocks
+}
+
+// BlockDims returns the dimensions of block (rb, cb).
+func (g *Grid) BlockDims(rb, cb int) (rows, cols int) {
+	g.checkCoords(rb, cb)
+	return g.RowSizes[rb], g.ColSizes[cb]
+}
+
+// BlockOrigin returns the absolute matrix coordinates of block (rb, cb)'s
+// top-left element.
+func (g *Grid) BlockOrigin(rb, cb int) (row0, col0 int) {
+	g.checkCoords(rb, cb)
+	return g.RowOffsets[rb], g.ColOffsets[cb]
+}
+
+// FindRowBlock returns the row-block containing matrix row r.
+func (g *Grid) FindRowBlock(r int) int {
+	if r < 0 || r >= g.Rows {
+		panic(fmt.Sprintf("grid: row %d out of %d", r, g.Rows))
+	}
+	return findSegment(g.RowOffsets, r)
+}
+
+// FindColBlock returns the column-block containing matrix column c.
+func (g *Grid) FindColBlock(c int) int {
+	if c < 0 || c >= g.Cols {
+		panic(fmt.Sprintf("grid: col %d out of %d", c, g.Cols))
+	}
+	return findSegment(g.ColOffsets, c)
+}
+
+// findSegment returns i such that offs[i] <= x < offs[i+1], by binary
+// search.
+func findSegment(offs []int, x int) int {
+	lo, hi := 0, len(offs)-1
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if offs[mid] <= x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Equal reports whether two grids describe the same partitioning.
+func (g *Grid) Equal(h *Grid) bool {
+	if g.Rows != h.Rows || g.Cols != h.Cols ||
+		g.RowBlocks != h.RowBlocks || g.ColBlocks != h.ColBlocks {
+		return false
+	}
+	for i := range g.RowSizes {
+		if g.RowSizes[i] != h.RowSizes[i] {
+			return false
+		}
+	}
+	for i := range g.ColSizes {
+		if g.ColSizes[i] != h.ColSizes[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String implements fmt.Stringer.
+func (g *Grid) String() string {
+	return fmt.Sprintf("Grid(%dx%d in %dx%d blocks)", g.Rows, g.Cols, g.RowBlocks, g.ColBlocks)
+}
+
+func (g *Grid) checkCoords(rb, cb int) {
+	if rb < 0 || rb >= g.RowBlocks || cb < 0 || cb >= g.ColBlocks {
+		panic(fmt.Sprintf("grid: block (%d, %d) out of %dx%d", rb, cb, g.RowBlocks, g.ColBlocks))
+	}
+}
+
+// Overlap describes the intersection of one block of an old grid with one
+// block of a new grid, in absolute matrix coordinates. The re-grid restore
+// path copies, for each new block, the data of every overlap from the old
+// blocks in the snapshot.
+type Overlap struct {
+	// OldRB and OldCB are the old grid's block coordinates.
+	OldRB, OldCB int
+	// Row0, Col0, Rows, Cols bound the intersection in matrix coordinates.
+	Row0, Col0, Rows, Cols int
+}
+
+// Overlaps returns the regions where new block (rb, cb) of g intersects
+// the blocks of old. Both grids must partition the same matrix shape. The
+// result is ordered by old block coordinates (column-major).
+func (g *Grid) Overlaps(old *Grid, rb, cb int) []Overlap {
+	if g.Rows != old.Rows || g.Cols != old.Cols {
+		panic(fmt.Sprintf("grid: Overlaps between %v and %v", g, old))
+	}
+	r0, c0 := g.BlockOrigin(rb, cb)
+	rows, cols := g.BlockDims(rb, cb)
+	r1, c1 := r0+rows, c0+cols
+	firstRB := old.FindRowBlock(r0)
+	lastRB := old.FindRowBlock(r1 - 1)
+	firstCB := old.FindColBlock(c0)
+	lastCB := old.FindColBlock(c1 - 1)
+	var out []Overlap
+	for ocb := firstCB; ocb <= lastCB; ocb++ {
+		for orb := firstRB; orb <= lastRB; orb++ {
+			or0, oc0 := old.BlockOrigin(orb, ocb)
+			orows, ocols := old.BlockDims(orb, ocb)
+			ir0 := max(r0, or0)
+			ic0 := max(c0, oc0)
+			ir1 := min(r1, or0+orows)
+			ic1 := min(c1, oc0+ocols)
+			if ir1 <= ir0 || ic1 <= ic0 {
+				continue
+			}
+			out = append(out, Overlap{
+				OldRB: orb, OldCB: ocb,
+				Row0: ir0, Col0: ic0,
+				Rows: ir1 - ir0, Cols: ic1 - ic0,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,325 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustGrid(t *testing.T, rows, cols, rb, cb int) *Grid {
+	t.Helper()
+	g, err := New(rows, cols, rb, cb)
+	if err != nil {
+		t.Fatalf("New(%d,%d,%d,%d): %v", rows, cols, rb, cb, err)
+	}
+	return g
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, bad := range [][4]int{
+		{0, 5, 1, 1}, {5, 0, 1, 1}, {5, 5, 0, 1}, {5, 5, 1, 0}, {5, 5, 6, 1}, {5, 5, 1, 6},
+	} {
+		if _, err := New(bad[0], bad[1], bad[2], bad[3]); err == nil {
+			t.Errorf("New(%v) should fail", bad)
+		}
+	}
+}
+
+func TestSplit(t *testing.T) {
+	cases := []struct {
+		n, parts int
+		want     []int
+	}{
+		{10, 3, []int{4, 3, 3}},
+		{9, 3, []int{3, 3, 3}},
+		{5, 5, []int{1, 1, 1, 1, 1}},
+		{7, 1, []int{7}},
+	}
+	for _, c := range cases {
+		got := Split(c.n, c.parts)
+		if len(got) != len(c.want) {
+			t.Fatalf("Split(%d,%d) = %v", c.n, c.parts, got)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("Split(%d,%d) = %v, want %v", c.n, c.parts, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+// Property: Split covers n exactly, near-evenly, in non-increasing order.
+func TestSplitProperty(t *testing.T) {
+	f := func(n uint16, parts uint8) bool {
+		nn := int(n)%1000 + 1
+		pp := int(parts)%nn + 1
+		sizes := Split(nn, pp)
+		sum := 0
+		for i, s := range sizes {
+			sum += s
+			if i > 0 && sizes[i-1] < s {
+				return false // must be non-increasing
+			}
+			if s < nn/pp || s > nn/pp+1 {
+				return false // near-even
+			}
+		}
+		return sum == nn
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGridBlockGeometry(t *testing.T) {
+	g := mustGrid(t, 10, 7, 3, 2)
+	if g.NumBlocks() != 6 {
+		t.Fatalf("NumBlocks = %d", g.NumBlocks())
+	}
+	// Rows split 4,3,3; cols split 4,3.
+	if r, c := g.BlockDims(0, 0); r != 4 || c != 4 {
+		t.Errorf("BlockDims(0,0) = %d,%d", r, c)
+	}
+	if r, c := g.BlockDims(2, 1); r != 3 || c != 3 {
+		t.Errorf("BlockDims(2,1) = %d,%d", r, c)
+	}
+	if r0, c0 := g.BlockOrigin(2, 1); r0 != 7 || c0 != 4 {
+		t.Errorf("BlockOrigin(2,1) = %d,%d", r0, c0)
+	}
+}
+
+func TestBlockIDRoundtrip(t *testing.T) {
+	g := mustGrid(t, 12, 12, 3, 4)
+	for rb := 0; rb < 3; rb++ {
+		for cb := 0; cb < 4; cb++ {
+			id := g.BlockID(rb, cb)
+			r2, c2 := g.BlockCoords(id)
+			if r2 != rb || c2 != cb {
+				t.Fatalf("roundtrip (%d,%d) -> %d -> (%d,%d)", rb, cb, id, r2, c2)
+			}
+		}
+	}
+	// Column-major: (1, 0) is id 1; (0, 1) is id 3.
+	if g.BlockID(1, 0) != 1 || g.BlockID(0, 1) != 3 {
+		t.Error("BlockID not column-major")
+	}
+}
+
+func TestFindBlocks(t *testing.T) {
+	g := mustGrid(t, 10, 7, 3, 2)
+	// Row blocks cover [0,4), [4,7), [7,10).
+	for r, want := range map[int]int{0: 0, 3: 0, 4: 1, 6: 1, 7: 2, 9: 2} {
+		if got := g.FindRowBlock(r); got != want {
+			t.Errorf("FindRowBlock(%d) = %d, want %d", r, got, want)
+		}
+	}
+	for c, want := range map[int]int{0: 0, 3: 0, 4: 1, 6: 1} {
+		if got := g.FindColBlock(c); got != want {
+			t.Errorf("FindColBlock(%d) = %d, want %d", c, got, want)
+		}
+	}
+}
+
+// Property: every matrix cell belongs to exactly the block FindRowBlock /
+// FindColBlock report, and block geometry tiles the matrix exactly.
+func TestGridTilesExactly(t *testing.T) {
+	f := func(seed uint32) bool {
+		rows := int(seed%50) + 1
+		cols := int(seed/50%50) + 1
+		rb := int(seed/2500%7)%rows + 1
+		cb := int(seed/17500%5)%cols + 1
+		g, err := New(rows, cols, rb, cb)
+		if err != nil {
+			return false
+		}
+		// Offsets must be monotone and end at the matrix dims.
+		if g.RowOffsets[len(g.RowOffsets)-1] != rows || g.ColOffsets[len(g.ColOffsets)-1] != cols {
+			return false
+		}
+		area := 0
+		for i := 0; i < rb; i++ {
+			for j := 0; j < cb; j++ {
+				r, c := g.BlockDims(i, j)
+				area += r * c
+				r0, c0 := g.BlockOrigin(i, j)
+				if g.FindRowBlock(r0) != i || g.FindColBlock(c0) != j {
+					return false
+				}
+				if g.FindRowBlock(r0+r-1) != i || g.FindColBlock(c0+c-1) != j {
+					return false
+				}
+			}
+		}
+		return area == rows*cols
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGridEqual(t *testing.T) {
+	a := mustGrid(t, 10, 10, 2, 5)
+	b := mustGrid(t, 10, 10, 2, 5)
+	c := mustGrid(t, 10, 10, 5, 2)
+	if !a.Equal(b) {
+		t.Error("identical grids unequal")
+	}
+	if a.Equal(c) {
+		t.Error("different grids equal")
+	}
+}
+
+func TestOverlapsSameGrid(t *testing.T) {
+	g := mustGrid(t, 10, 8, 2, 2)
+	for rb := 0; rb < 2; rb++ {
+		for cb := 0; cb < 2; cb++ {
+			ovs := g.Overlaps(g, rb, cb)
+			if len(ovs) != 1 {
+				t.Fatalf("same-grid overlaps = %d, want 1", len(ovs))
+			}
+			o := ovs[0]
+			r0, c0 := g.BlockOrigin(rb, cb)
+			r, c := g.BlockDims(rb, cb)
+			if o.OldRB != rb || o.OldCB != cb || o.Row0 != r0 || o.Col0 != c0 || o.Rows != r || o.Cols != c {
+				t.Fatalf("overlap = %+v", o)
+			}
+		}
+	}
+}
+
+// Property: for random old/new grids over the same matrix, the overlaps of
+// each new block tile that block exactly (cover every cell once).
+func TestOverlapsTileNewBlocks(t *testing.T) {
+	f := func(seed uint32) bool {
+		rows := int(seed%30) + 2
+		cols := int(seed/30%30) + 2
+		oldG, err := New(rows, cols, int(seed%uint32(rows))+1, int(seed/7%uint32(cols))+1)
+		if err != nil {
+			return true // skip invalid combos
+		}
+		newG, err := New(rows, cols, int(seed/11%uint32(rows))+1, int(seed/13%uint32(cols))+1)
+		if err != nil {
+			return true
+		}
+		covered := make([][]int, rows)
+		for i := range covered {
+			covered[i] = make([]int, cols)
+		}
+		for rb := 0; rb < newG.RowBlocks; rb++ {
+			for cb := 0; cb < newG.ColBlocks; cb++ {
+				for _, o := range newG.Overlaps(oldG, rb, cb) {
+					// The overlap must sit inside the old block it names.
+					or0, oc0 := oldG.BlockOrigin(o.OldRB, o.OldCB)
+					orr, occ := oldG.BlockDims(o.OldRB, o.OldCB)
+					if o.Row0 < or0 || o.Col0 < oc0 || o.Row0+o.Rows > or0+orr || o.Col0+o.Cols > oc0+occ {
+						return false
+					}
+					for i := o.Row0; i < o.Row0+o.Rows; i++ {
+						for j := o.Col0; j < o.Col0+o.Cols; j++ {
+							covered[i][j]++
+						}
+					}
+				}
+			}
+		}
+		for i := range covered {
+			for j := range covered[i] {
+				if covered[i][j] != 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistGridAssignsEveryBlock(t *testing.T) {
+	g := mustGrid(t, 20, 20, 4, 4)
+	d, err := NewDistGrid(g, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumPlaces() != 4 {
+		t.Fatalf("NumPlaces = %d", d.NumPlaces())
+	}
+	seen := 0
+	for p := 0; p < 4; p++ {
+		blocks := d.BlocksOf(p)
+		seen += len(blocks)
+		for _, id := range blocks {
+			if d.PlaceOf[id] != p {
+				t.Fatalf("block %d: PlaceOf %d != %d", id, d.PlaceOf[id], p)
+			}
+		}
+	}
+	if seen != g.NumBlocks() {
+		t.Fatalf("assigned %d blocks of %d", seen, g.NumBlocks())
+	}
+	// 4x4 blocks on 2x2 places: each place owns a 2x2 bundle.
+	for p := 0; p < 4; p++ {
+		if len(d.BlocksOf(p)) != 4 {
+			t.Errorf("place %d owns %d blocks", p, len(d.BlocksOf(p)))
+		}
+	}
+}
+
+func TestDistGridValidation(t *testing.T) {
+	g := mustGrid(t, 4, 4, 2, 2)
+	if _, err := NewDistGrid(g, 3, 1); err == nil {
+		t.Error("place grid larger than block grid should fail")
+	}
+	if _, err := NewDistGrid(g, 0, 1); err == nil {
+		t.Error("zero place grid should fail")
+	}
+}
+
+func TestRemapRoundRobin(t *testing.T) {
+	g := mustGrid(t, 12, 12, 2, 3) // 6 blocks
+	d, err := Remap(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blocks 0..5 dealt round-robin to 4 places: 0,1,2,3,0,1.
+	want := []int{0, 1, 2, 3, 0, 1}
+	for id, p := range d.PlaceOf {
+		if p != want[id] {
+			t.Fatalf("PlaceOf = %v, want %v", d.PlaceOf, want)
+		}
+	}
+	if _, err := Remap(g, 7); err == nil {
+		t.Error("remap with more places than blocks should fail")
+	}
+	if _, err := Remap(g, 0); err == nil {
+		t.Error("remap to zero places should fail")
+	}
+}
+
+func TestLoadImbalance(t *testing.T) {
+	g := mustGrid(t, 8, 8, 2, 2) // 4 equal 4x4 blocks
+	even, err := NewDistGrid(g, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im := even.LoadImbalance(g); im != 1 {
+		t.Errorf("even imbalance = %v, want 1", im)
+	}
+	// Remap 4 blocks onto 3 places: one place owns two blocks.
+	skew, err := Remap(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im := skew.LoadImbalance(g); im <= 1 {
+		t.Errorf("skewed imbalance = %v, want > 1", im)
+	}
+	counts := skew.ElementsPerPlace(g)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 64 {
+		t.Errorf("elements sum = %d, want 64", total)
+	}
+}

@@ -1,0 +1,180 @@
+package la
+
+import (
+	"fmt"
+	"math"
+)
+
+// DenseMatrix is a column-major dense matrix, the counterpart of
+// x10.matrix.DenseMatrix (GML stores dense data in column-major order to
+// match BLAS). Element (i, j) lives at Data[i + j*Rows].
+type DenseMatrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewDense returns a zeroed rows×cols dense matrix.
+func NewDense(rows, cols int) *DenseMatrix {
+	checkDim(rows >= 0 && cols >= 0, "NewDense(%d, %d): negative dimension", rows, cols)
+	return &DenseMatrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// NewDenseFrom wraps data (column-major) as a rows×cols matrix without
+// copying. len(data) must be rows*cols.
+func NewDenseFrom(rows, cols int, data []float64) *DenseMatrix {
+	checkDim(len(data) == rows*cols, "NewDenseFrom(%d, %d): data length %d", rows, cols, len(data))
+	return &DenseMatrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns element (i, j).
+func (m *DenseMatrix) At(i, j int) float64 {
+	checkDim(i >= 0 && i < m.Rows && j >= 0 && j < m.Cols, "At(%d, %d) out of %dx%d", i, j, m.Rows, m.Cols)
+	return m.Data[i+j*m.Rows]
+}
+
+// Set assigns element (i, j).
+func (m *DenseMatrix) Set(i, j int, v float64) {
+	checkDim(i >= 0 && i < m.Rows && j >= 0 && j < m.Cols, "Set(%d, %d) out of %dx%d", i, j, m.Rows, m.Cols)
+	m.Data[i+j*m.Rows] = v
+}
+
+// Clone returns an independent copy.
+func (m *DenseMatrix) Clone() *DenseMatrix {
+	out := NewDense(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero clears all elements.
+func (m *DenseMatrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Scale multiplies every element by a.
+func (m *DenseMatrix) Scale(a float64) *DenseMatrix {
+	for i := range m.Data {
+		m.Data[i] *= a
+	}
+	return m
+}
+
+// CellAdd accumulates b into m element-wise.
+func (m *DenseMatrix) CellAdd(b *DenseMatrix) *DenseMatrix {
+	checkDim(m.Rows == b.Rows && m.Cols == b.Cols, "CellAdd: %dx%d += %dx%d", m.Rows, m.Cols, b.Rows, b.Cols)
+	for i := range m.Data {
+		m.Data[i] += b.Data[i]
+	}
+	return m
+}
+
+// MultVec computes y = m · x (GEMV). y must have length m.Rows and is
+// overwritten; x must have length m.Cols.
+func (m *DenseMatrix) MultVec(x, y Vector) {
+	checkDim(len(x) == m.Cols, "MultVec: x len %d != cols %d", len(x), m.Cols)
+	checkDim(len(y) == m.Rows, "MultVec: y len %d != rows %d", len(y), m.Rows)
+	y.Zero()
+	// Column-major traversal: accumulate x[j] * column j.
+	for j := 0; j < m.Cols; j++ {
+		xj := x[j]
+		if xj == 0 {
+			continue
+		}
+		col := m.Data[j*m.Rows : (j+1)*m.Rows]
+		for i, v := range col {
+			y[i] += v * xj
+		}
+	}
+}
+
+// TransMultVec computes y = mᵀ · x. y must have length m.Cols and is
+// overwritten; x must have length m.Rows.
+func (m *DenseMatrix) TransMultVec(x, y Vector) {
+	checkDim(len(x) == m.Rows, "TransMultVec: x len %d != rows %d", len(x), m.Rows)
+	checkDim(len(y) == m.Cols, "TransMultVec: y len %d != cols %d", len(y), m.Cols)
+	for j := 0; j < m.Cols; j++ {
+		col := m.Data[j*m.Rows : (j+1)*m.Rows]
+		var s float64
+		for i, v := range col {
+			s += v * x[i]
+		}
+		y[j] = s
+	}
+}
+
+// Mult computes c = m · b (GEMM). c must be m.Rows × b.Cols and is
+// overwritten.
+func (m *DenseMatrix) Mult(b, c *DenseMatrix) {
+	checkDim(m.Cols == b.Rows, "Mult: inner dims %d != %d", m.Cols, b.Rows)
+	checkDim(c.Rows == m.Rows && c.Cols == b.Cols, "Mult: result %dx%d, want %dx%d", c.Rows, c.Cols, m.Rows, b.Cols)
+	c.Zero()
+	// jik order with column-major storage keeps the inner loop contiguous.
+	for j := 0; j < b.Cols; j++ {
+		cCol := c.Data[j*c.Rows : (j+1)*c.Rows]
+		for k := 0; k < m.Cols; k++ {
+			bkj := b.Data[k+j*b.Rows]
+			if bkj == 0 {
+				continue
+			}
+			aCol := m.Data[k*m.Rows : (k+1)*m.Rows]
+			for i, v := range aCol {
+				cCol[i] += v * bkj
+			}
+		}
+	}
+}
+
+// ExtractSub copies the rows×cols submatrix anchored at (r0, c0) into a new
+// matrix. It is the building block of the re-grid restore path (copying the
+// overlap of an old block into a new block).
+func (m *DenseMatrix) ExtractSub(r0, c0, rows, cols int) *DenseMatrix {
+	checkDim(r0 >= 0 && c0 >= 0 && r0+rows <= m.Rows && c0+cols <= m.Cols,
+		"ExtractSub(%d, %d, %d, %d) out of %dx%d", r0, c0, rows, cols, m.Rows, m.Cols)
+	out := NewDense(rows, cols)
+	for j := 0; j < cols; j++ {
+		src := m.Data[r0+(c0+j)*m.Rows:]
+		copy(out.Data[j*rows:(j+1)*rows], src[:rows])
+	}
+	return out
+}
+
+// PasteSub copies sub into m with its top-left corner at (r0, c0).
+func (m *DenseMatrix) PasteSub(r0, c0 int, sub *DenseMatrix) {
+	checkDim(r0 >= 0 && c0 >= 0 && r0+sub.Rows <= m.Rows && c0+sub.Cols <= m.Cols,
+		"PasteSub(%d, %d) of %dx%d into %dx%d", r0, c0, sub.Rows, sub.Cols, m.Rows, m.Cols)
+	for j := 0; j < sub.Cols; j++ {
+		dst := m.Data[r0+(c0+j)*m.Rows:]
+		copy(dst[:sub.Rows], sub.Data[j*sub.Rows:(j+1)*sub.Rows])
+	}
+}
+
+// FrobNorm returns the Frobenius norm of m.
+func (m *DenseMatrix) FrobNorm() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// EqualApprox reports whether m and b agree element-wise within tol.
+func (m *DenseMatrix) EqualApprox(b *DenseMatrix, tol float64) bool {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		return false
+	}
+	for i := range m.Data {
+		if math.Abs(m.Data[i]-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Bytes returns the serialized payload size, for network-cost accounting.
+func (m *DenseMatrix) Bytes() int { return 8 * len(m.Data) }
+
+// String implements fmt.Stringer with a compact shape description.
+func (m *DenseMatrix) String() string {
+	return fmt.Sprintf("DenseMatrix(%dx%d)", m.Rows, m.Cols)
+}

@@ -1,0 +1,64 @@
+package la
+
+// Mixed dense/sparse accumulation kernels used by the distributed
+// matrix-matrix operations (the GNMF factorization needs AᵀB, AᵀA, S·Bᵀ
+// products between the sparse data matrix and the dense factors).
+
+// AccumTransDenseSparse computes out += aᵀ·s, where a is rows×k dense and
+// s is rows×m sparse; out is k×m and must be pre-allocated.
+func AccumTransDenseSparse(a *DenseMatrix, s *SparseCSC, out *DenseMatrix) {
+	checkDim(a.Rows == s.Rows, "AccumTransDenseSparse: a rows %d != s rows %d", a.Rows, s.Rows)
+	checkDim(out.Rows == a.Cols && out.Cols == s.Cols,
+		"AccumTransDenseSparse: out %dx%d, want %dx%d", out.Rows, out.Cols, a.Cols, s.Cols)
+	k := a.Cols
+	for j := 0; j < s.Cols; j++ {
+		outCol := out.Data[j*k : (j+1)*k]
+		for p := s.ColPtr[j]; p < s.ColPtr[j+1]; p++ {
+			i, v := s.RowIdx[p], s.Vals[p]
+			// out[:, j] += v · a[i, :]ᵀ (a is column-major: stride a.Rows).
+			for kk := 0; kk < k; kk++ {
+				outCol[kk] += v * a.Data[i+kk*a.Rows]
+			}
+		}
+	}
+}
+
+// AccumSparseMultDenseT computes out += s·hᵀ, where s is rows×m sparse and
+// h is k×m dense; out is rows×k and must be pre-allocated.
+func AccumSparseMultDenseT(s *SparseCSC, h *DenseMatrix, out *DenseMatrix) {
+	checkDim(h.Cols == s.Cols, "AccumSparseMultDenseT: h cols %d != s cols %d", h.Cols, s.Cols)
+	checkDim(out.Rows == s.Rows && out.Cols == h.Rows,
+		"AccumSparseMultDenseT: out %dx%d, want %dx%d", out.Rows, out.Cols, s.Rows, h.Rows)
+	k := h.Rows
+	for j := 0; j < s.Cols; j++ {
+		hCol := h.Data[j*k : (j+1)*k] // h[:, j], contiguous
+		for p := s.ColPtr[j]; p < s.ColPtr[j+1]; p++ {
+			i, v := s.RowIdx[p], s.Vals[p]
+			// out[i, :] += v · h[:, j]ᵀ (out is column-major: stride out.Rows).
+			for kk := 0; kk < k; kk++ {
+				out.Data[i+kk*out.Rows] += v * hCol[kk]
+			}
+		}
+	}
+}
+
+// AccumTransDenseDense computes out += aᵀ·b for dense a (rows×k) and b
+// (rows×m); out is k×m and must be pre-allocated. With b == a this is the
+// Gram matrix AᵀA.
+func AccumTransDenseDense(a, b *DenseMatrix, out *DenseMatrix) {
+	checkDim(a.Rows == b.Rows, "AccumTransDenseDense: a rows %d != b rows %d", a.Rows, b.Rows)
+	checkDim(out.Rows == a.Cols && out.Cols == b.Cols,
+		"AccumTransDenseDense: out %dx%d, want %dx%d", out.Rows, out.Cols, a.Cols, b.Cols)
+	for j := 0; j < b.Cols; j++ {
+		bCol := b.Data[j*b.Rows : (j+1)*b.Rows]
+		outCol := out.Data[j*out.Rows : (j+1)*out.Rows]
+		for kk := 0; kk < a.Cols; kk++ {
+			aCol := a.Data[kk*a.Rows : (kk+1)*a.Rows]
+			var sum float64
+			for i := range aCol {
+				sum += aCol[i] * bCol[i]
+			}
+			outCol[kk] += sum
+		}
+	}
+}

@@ -1,0 +1,23 @@
+// Package la provides the single-place linear algebra kernels underlying
+// the GML reproduction: dense column-major matrices, compressed sparse
+// column/row matrices, vectors, and deterministic random builders.
+//
+// It corresponds to GML's single-place classes (x10.matrix.DenseMatrix,
+// x10.matrix.sparse.SparseCSC / SparseCSR, x10.matrix.Vector) plus the
+// BLAS-like kernels the paper delegated to OpenBLAS. Everything here is
+// pure Go, single-threaded per call (matching the paper's
+// OPENBLAS_NUM_THREADS=1), and deterministic, which the resilience tests
+// rely on: a computation replayed after recovery must reproduce the
+// failure-free result bit for bit.
+package la
+
+import "fmt"
+
+// checkDim panics with a descriptive message when a dimension precondition
+// is violated. Dimension mismatches are programming errors, not runtime
+// conditions, so they panic rather than return errors (as in gonum and GML).
+func checkDim(ok bool, format string, args ...any) {
+	if !ok {
+		panic("la: " + fmt.Sprintf(format, args...))
+	}
+}

@@ -1,0 +1,139 @@
+package la
+
+import "math"
+
+// Vector is a dense column vector, the Go counterpart of x10.matrix.Vector.
+// Methods mutate the receiver in place and return it where chaining is
+// natural (GML style: GP.mult(G, P).scale(alpha)).
+type Vector []float64
+
+// NewVector returns a zero vector of length n.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// Clone returns an independent copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// CopyFrom overwrites v with src. Lengths must match.
+func (v Vector) CopyFrom(src Vector) Vector {
+	checkDim(len(v) == len(src), "CopyFrom: len %d != %d", len(v), len(src))
+	copy(v, src)
+	return v
+}
+
+// Fill sets every element to a.
+func (v Vector) Fill(a float64) Vector {
+	for i := range v {
+		v[i] = a
+	}
+	return v
+}
+
+// Zero sets every element to 0.
+func (v Vector) Zero() Vector { return v.Fill(0) }
+
+// Scale multiplies every element by a.
+func (v Vector) Scale(a float64) Vector {
+	for i := range v {
+		v[i] *= a
+	}
+	return v
+}
+
+// CellAdd adds scalar a to every element (GML's cellAdd).
+func (v Vector) CellAdd(a float64) Vector {
+	for i := range v {
+		v[i] += a
+	}
+	return v
+}
+
+// Add accumulates w into v element-wise.
+func (v Vector) Add(w Vector) Vector {
+	checkDim(len(v) == len(w), "Add: len %d != %d", len(v), len(w))
+	for i := range v {
+		v[i] += w[i]
+	}
+	return v
+}
+
+// Sub subtracts w from v element-wise.
+func (v Vector) Sub(w Vector) Vector {
+	checkDim(len(v) == len(w), "Sub: len %d != %d", len(v), len(w))
+	for i := range v {
+		v[i] -= w[i]
+	}
+	return v
+}
+
+// MulElem multiplies v by w element-wise.
+func (v Vector) MulElem(w Vector) Vector {
+	checkDim(len(v) == len(w), "MulElem: len %d != %d", len(v), len(w))
+	for i := range v {
+		v[i] *= w[i]
+	}
+	return v
+}
+
+// Axpy computes v += a*w.
+func (v Vector) Axpy(a float64, w Vector) Vector {
+	checkDim(len(v) == len(w), "Axpy: len %d != %d", len(v), len(w))
+	for i := range v {
+		v[i] += a * w[i]
+	}
+	return v
+}
+
+// Dot returns the inner product of v and w.
+func (v Vector) Dot(w Vector) float64 {
+	checkDim(len(v) == len(w), "Dot: len %d != %d", len(v), len(w))
+	var s float64
+	for i := range v {
+		s += v[i] * w[i]
+	}
+	return s
+}
+
+// Sum returns the sum of the elements.
+func (v Vector) Sum() float64 {
+	var s float64
+	for i := range v {
+		s += v[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func (v Vector) Norm2() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Apply replaces each element x by f(x) (element-wise map, used for
+// sigmoids and other link functions).
+func (v Vector) Apply(f func(float64) float64) Vector {
+	for i := range v {
+		v[i] = f(v[i])
+	}
+	return v
+}
+
+// EqualApprox reports whether v and w agree element-wise within tol.
+func (v Vector) EqualApprox(w Vector, tol float64) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if math.Abs(v[i]-w[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Bytes returns the serialized payload size of the vector, used for
+// network-cost accounting.
+func (v Vector) Bytes() int { return 8 * len(v) }
+
+// Sigmoid is the logistic function, exported for the LogReg application.
+func Sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }

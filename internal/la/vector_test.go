@@ -1,0 +1,151 @@
+package la
+
+import (
+	"math"
+	"testing"
+)
+
+func TestVectorBasics(t *testing.T) {
+	v := NewVector(3)
+	if len(v) != 3 || v[0] != 0 {
+		t.Fatal("NewVector not zeroed")
+	}
+	v.Fill(2)
+	if v[1] != 2 {
+		t.Error("Fill failed")
+	}
+	v.Scale(3)
+	if v[2] != 6 {
+		t.Error("Scale failed")
+	}
+	v.CellAdd(1)
+	if v[0] != 7 {
+		t.Error("CellAdd failed")
+	}
+	v.Zero()
+	if v.Sum() != 0 {
+		t.Error("Zero failed")
+	}
+}
+
+func TestVectorArithmetic(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := Vector{4, 5, 6}
+	if got := v.Clone().Add(w); !got.EqualApprox(Vector{5, 7, 9}, 0) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := v.Clone().Sub(w); !got.EqualApprox(Vector{-3, -3, -3}, 0) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := v.Clone().MulElem(w); !got.EqualApprox(Vector{4, 10, 18}, 0) {
+		t.Errorf("MulElem = %v", got)
+	}
+	if got := v.Clone().Axpy(2, w); !got.EqualApprox(Vector{9, 12, 15}, 0) {
+		t.Errorf("Axpy = %v", got)
+	}
+	if got := v.Dot(w); got != 32 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := v.Sum(); got != 6 {
+		t.Errorf("Sum = %v", got)
+	}
+	if got := v.Norm2(); math.Abs(got-math.Sqrt(14)) > 1e-15 {
+		t.Errorf("Norm2 = %v", got)
+	}
+}
+
+func TestVectorCloneIndependent(t *testing.T) {
+	v := Vector{1, 2}
+	c := v.Clone()
+	c[0] = 9
+	if v[0] != 1 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestVectorCopyFrom(t *testing.T) {
+	v := NewVector(2)
+	v.CopyFrom(Vector{3, 4})
+	if !v.EqualApprox(Vector{3, 4}, 0) {
+		t.Errorf("CopyFrom = %v", v)
+	}
+}
+
+func TestVectorApply(t *testing.T) {
+	v := Vector{-1, 0, 1}
+	v.Apply(math.Abs)
+	if !v.EqualApprox(Vector{1, 0, 1}, 0) {
+		t.Errorf("Apply = %v", v)
+	}
+}
+
+func TestVectorDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected dimension panic")
+		}
+	}()
+	Vector{1}.Dot(Vector{1, 2})
+}
+
+func TestVectorEqualApprox(t *testing.T) {
+	if !(Vector{1, 2}).EqualApprox(Vector{1.0001, 2}, 0.001) {
+		t.Error("within tol should be equal")
+	}
+	if (Vector{1, 2}).EqualApprox(Vector{1.1, 2}, 0.001) {
+		t.Error("outside tol should differ")
+	}
+	if (Vector{1}).EqualApprox(Vector{1, 2}, 1) {
+		t.Error("length mismatch should differ")
+	}
+}
+
+func TestSigmoid(t *testing.T) {
+	if Sigmoid(0) != 0.5 {
+		t.Errorf("Sigmoid(0) = %v", Sigmoid(0))
+	}
+	if s := Sigmoid(100); math.Abs(s-1) > 1e-12 {
+		t.Errorf("Sigmoid(100) = %v", s)
+	}
+	if s := Sigmoid(-100); s > 1e-12 {
+		t.Errorf("Sigmoid(-100) = %v", s)
+	}
+}
+
+func TestVectorBytes(t *testing.T) {
+	if NewVector(10).Bytes() != 80 {
+		t.Error("Bytes wrong")
+	}
+}
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	if NewRNG(1).Uint64() == NewRNG(2).Uint64() {
+		t.Error("different seeds should diverge")
+	}
+}
+
+func TestRNGRanges(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+		if n := r.Intn(10); n < 0 || n >= 10 {
+			t.Fatalf("Intn(10) = %d", n)
+		}
+	}
+	// NormFloat64 should be roughly centered.
+	var s float64
+	for i := 0; i < 10000; i++ {
+		s += r.NormFloat64()
+	}
+	if mean := s / 10000; math.Abs(mean) > 0.1 {
+		t.Errorf("NormFloat64 mean = %v", mean)
+	}
+}

@@ -1,0 +1,26 @@
+package snapshot
+
+import "github.com/rgml/rgml/internal/apgas"
+
+// corruptAt flips a byte of the replica stored for key at place p,
+// simulating silent memory corruption, for the integrity tests.
+func (s *Snapshot) corruptAt(t interface{ Fatal(...any) }, p apgas.Place, key int) {
+	err := s.rt.Finish(func(ctx *apgas.Ctx) {
+		ctx.At(p, func(c *apgas.Ctx) {
+			ps := s.plh.Local(c)
+			ps.mu.Lock()
+			defer ps.mu.Unlock()
+			e, ok := ps.entries[key]
+			if !ok || len(e.data) == 0 {
+				apgas.Throw(ErrNotFound)
+			}
+			// Copy before flipping: replicas may share the byte slice.
+			mut := append([]byte(nil), e.data...)
+			mut[0] ^= 0xff
+			ps.entries[key] = entry{data: mut, sum: e.sum}
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,102 @@
+package snapshot
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/rgml/rgml/internal/apgas"
+)
+
+func TestCorruptOwnerFallsBackToBackup(t *testing.T) {
+	rt := newRT(t, 3)
+	pg := rt.World()
+	s, err := New(rt, pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saveAll(t, rt, s, pg)
+	// Corrupt the owner replica of entry 1 (at place 1); the backup at
+	// place 2 must serve the load.
+	s.corruptAt(t, rt.Place(1), 1)
+	err = rt.Finish(func(ctx *apgas.Ctx) {
+		data, err := s.Load(ctx, 1, 1)
+		if err != nil {
+			apgas.Throw(err)
+		}
+		if string(data) != "data-1" {
+			apgas.Throw(errors.New("wrong data from backup"))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBothReplicasCorruptReported(t *testing.T) {
+	rt := newRT(t, 3)
+	pg := rt.World()
+	s, err := New(rt, pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saveAll(t, rt, s, pg)
+	s.corruptAt(t, rt.Place(1), 1) // owner replica
+	s.corruptAt(t, rt.Place(2), 1) // backup replica
+	var loadErr error
+	err = rt.Finish(func(ctx *apgas.Ctx) {
+		_, loadErr = s.Load(ctx, 1, 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(loadErr, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", loadErr)
+	}
+}
+
+func TestCorruptBackupStillServedByOwner(t *testing.T) {
+	rt := newRT(t, 3)
+	pg := rt.World()
+	s, err := New(rt, pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saveAll(t, rt, s, pg)
+	s.corruptAt(t, rt.Place(2), 1) // backup of entry 1
+	err = rt.Finish(func(ctx *apgas.Ctx) {
+		data, err := s.Load(ctx, 1, 1)
+		if err != nil {
+			apgas.Throw(err)
+		}
+		if string(data) != "data-1" {
+			apgas.Throw(errors.New("wrong data"))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptOwnerAndDeadBackup(t *testing.T) {
+	rt := newRT(t, 4)
+	pg := rt.World()
+	s, err := New(rt, pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saveAll(t, rt, s, pg)
+	s.corruptAt(t, rt.Place(1), 1)
+	if err := rt.Kill(rt.Place(2)); err != nil { // backup of entry 1
+		t.Fatal(err)
+	}
+	var loadErr error
+	err = rt.Finish(func(ctx *apgas.Ctx) {
+		_, loadErr = s.Load(ctx, 1, 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(loadErr, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", loadErr)
+	}
+}

@@ -1,0 +1,243 @@
+// Package snapshot implements the resilient in-memory store behind GML's
+// Snapshottable interface (paper section IV-B). A Snapshot holds key/value
+// pairs with *double storage*: each entry is kept at the place that saved
+// it and at the next place of the snapshot-time place group, so the loss of
+// any single place leaves every entry recoverable. Saving costs the same
+// from every place (one local put plus one remote put); loading is cheap
+// when the data is local and costs a transfer otherwise — exactly the cost
+// asymmetry the paper describes.
+package snapshot
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"github.com/rgml/rgml/internal/apgas"
+)
+
+// Snapshottable is implemented by every GML object that can be saved to
+// and restored from a Snapshot (paper Listing 3).
+type Snapshottable interface {
+	// MakeSnapshot captures the object's distributed state into a new
+	// Snapshot.
+	MakeSnapshot() (*Snapshot, error)
+	// RestoreSnapshot re-populates the object (over its *current* place
+	// group and partitioning, which may differ from the snapshot's) from
+	// the saved state.
+	RestoreSnapshot(s *Snapshot) error
+}
+
+// ErrDataLost reports that both replicas of an entry were lost — double
+// in-memory storage survives any single failure, but not the loss of two
+// adjacent places in the snapshot group between checkpoints.
+var ErrDataLost = errors.New("snapshot: entry lost (owner and backup both failed)")
+
+// ErrNotFound reports that an entry was never saved under the given key.
+var ErrNotFound = errors.New("snapshot: no entry for key")
+
+// ErrCorrupt reports that an entry failed its integrity check. Load skips
+// corrupt replicas and falls back to the other copy, so a single corrupted
+// replica is recoverable just like a failed place.
+var ErrCorrupt = errors.New("snapshot: entry failed integrity check")
+
+// Options tunes snapshot behaviour.
+type Options struct {
+	// DisableBackup turns off the second (next-place) copy. The snapshot
+	// then cannot survive the owner's failure; it exists for the ablation
+	// benchmark quantifying the price of double storage.
+	DisableBackup bool
+}
+
+// entry is one stored value plus its integrity checksum, computed at save
+// time so a corrupted replica is detected at load time and the other copy
+// used instead.
+type entry struct {
+	data []byte
+	sum  uint32
+}
+
+// placeStore is one place's fragment of a Snapshot. Concurrent savers
+// (neighbouring places writing their backups) share it, hence the lock.
+type placeStore struct {
+	mu      sync.Mutex
+	entries map[int]entry
+}
+
+func (ps *placeStore) put(key int, e entry) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	ps.entries[key] = e
+}
+
+func (ps *placeStore) get(key int) (entry, bool) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	e, ok := ps.entries[key]
+	return e, ok
+}
+
+// Snapshot is a resilient key/value capture of one GML object's state.
+// Keys are small integers chosen by the object (place indices for
+// duplicated/segmented objects, block IDs for block matrices); values are
+// serialized fragments. The descriptor (Meta) travels with the Snapshot
+// struct itself, which lives on the immortal place zero alongside the
+// application store.
+type Snapshot struct {
+	rt   *apgas.Runtime
+	pg   apgas.PlaceGroup
+	opts Options
+	plh  apgas.PlaceLocalHandle[*placeStore]
+	meta []byte
+}
+
+// New allocates an empty snapshot whose storage is distributed over pg.
+func New(rt *apgas.Runtime, pg apgas.PlaceGroup) (*Snapshot, error) {
+	return NewWithOptions(rt, pg, Options{})
+}
+
+// NewWithOptions is New with explicit Options.
+func NewWithOptions(rt *apgas.Runtime, pg apgas.PlaceGroup, opts Options) (*Snapshot, error) {
+	if pg.Size() == 0 {
+		return nil, errors.New("snapshot: empty place group")
+	}
+	plh, err := apgas.NewPlaceLocalHandle(rt, pg, func(ctx *apgas.Ctx, idx int) *placeStore {
+		return &placeStore{entries: make(map[int]entry)}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: allocating stores: %w", err)
+	}
+	return &Snapshot{rt: rt, pg: pg.Clone(), opts: opts, plh: plh}, nil
+}
+
+// Group returns the place group the snapshot was taken over.
+func (s *Snapshot) Group() apgas.PlaceGroup { return s.pg }
+
+// SetMeta attaches the object descriptor (e.g. its serialized grid and
+// distribution) to the snapshot.
+func (s *Snapshot) SetMeta(meta []byte) { s.meta = meta }
+
+// Meta returns the attached descriptor.
+func (s *Snapshot) Meta() []byte { return s.meta }
+
+// Save stores data under key with double storage: a local copy at the
+// calling task's place and a backup at the next place of the snapshot
+// group. It must be called from a task running at a member of the group
+// (each place saves its own portion, as in the paper). A CRC-32C checksum
+// is computed at save time and verified on every load, so silent
+// corruption of one replica degrades into the same recovery path as a
+// failed place. The byte slice is retained; callers must not mutate it
+// afterwards.
+func (s *Snapshot) Save(ctx *apgas.Ctx, key int, data []byte) {
+	idx := s.pg.IndexOf(ctx.Here)
+	if idx < 0 {
+		panic(fmt.Sprintf("snapshot: Save from %v, not a member of %v", ctx.Here, s.pg))
+	}
+	e := entry{data: data, sum: crc32.Checksum(data, castagnoli)}
+	s.plh.Local(ctx).put(key, e)
+	if s.opts.DisableBackup || s.pg.Size() == 1 {
+		return
+	}
+	next := s.pg[(idx+1)%s.pg.Size()]
+	ctx.Transfer(next, len(data))
+	ctx.At(next, func(c *apgas.Ctx) {
+		s.plh.Local(c).put(key, e)
+	})
+}
+
+// castagnoli is the CRC-32C polynomial table used for entry checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Load retrieves the entry for key. ownerIdx is the index (within the
+// snapshot-time group) of the place that saved the entry; the object's
+// restore logic knows it from the snapshot's descriptor. Load prefers the
+// owner's copy and falls back to the backup at owner+1 when the owner has
+// failed. Reading a remote replica charges the network model for the
+// payload.
+func (s *Snapshot) Load(ctx *apgas.Ctx, key, ownerIdx int) ([]byte, error) {
+	if ownerIdx < 0 || ownerIdx >= s.pg.Size() {
+		return nil, fmt.Errorf("snapshot: owner index %d out of %d", ownerIdx, s.pg.Size())
+	}
+	replicas := []apgas.Place{s.pg[ownerIdx]}
+	if !s.opts.DisableBackup && s.pg.Size() > 1 {
+		replicas = append(replicas, s.pg[(ownerIdx+1)%s.pg.Size()])
+	}
+	anyAlive := false
+	sawCorrupt := false
+	for _, p := range replicas {
+		if s.rt.IsDead(p) {
+			continue
+		}
+		anyAlive = true
+		var (
+			e     entry
+			found bool
+		)
+		if p.ID == ctx.Here.ID {
+			e, found = s.plh.Local(ctx).get(key)
+		} else {
+			origin := ctx.Here
+			ctx.At(p, func(c *apgas.Ctx) {
+				e, found = s.plh.Local(c).get(key)
+				if found {
+					c.Transfer(origin, len(e.data))
+				}
+			})
+		}
+		if !found {
+			continue
+		}
+		if crc32.Checksum(e.data, castagnoli) != e.sum {
+			// A corrupted replica is as good as a lost one: fall through
+			// to the other copy.
+			sawCorrupt = true
+			continue
+		}
+		return e.data, nil
+	}
+	switch {
+	case sawCorrupt:
+		return nil, fmt.Errorf("snapshot: key %d owner %d: %w", key, ownerIdx, ErrCorrupt)
+	case !anyAlive:
+		return nil, fmt.Errorf("snapshot: key %d owner %d: %w", key, ownerIdx, ErrDataLost)
+	default:
+		return nil, fmt.Errorf("snapshot: key %d owner %d: %w", key, ownerIdx, ErrNotFound)
+	}
+}
+
+// Destroy releases the snapshot's storage on every surviving place of its
+// group. The application store calls this when a newer checkpoint commits
+// (coordinated checkpointing keeps only one snapshot alive).
+func (s *Snapshot) Destroy() {
+	if s == nil || !s.plh.Valid() {
+		return
+	}
+	s.plh.Destroy(s.pg)
+}
+
+// Bytes returns the total payload bytes stored on live places (both
+// replicas counted), for tests and capacity accounting.
+func (s *Snapshot) Bytes() (int, error) {
+	total := 0
+	for _, p := range s.pg {
+		if s.rt.IsDead(p) {
+			continue
+		}
+		p := p
+		err := s.rt.Finish(func(ctx *apgas.Ctx) {
+			ctx.At(p, func(c *apgas.Ctx) {
+				ps := s.plh.Local(c)
+				ps.mu.Lock()
+				defer ps.mu.Unlock()
+				for _, e := range ps.entries {
+					total += len(e.data)
+				}
+			})
+		})
+		if err != nil {
+			return 0, err
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,233 @@
+// Package rgml is a Go reproduction of "A Resilient Framework for
+// Iterative Linear Algebra Applications in X10" (Hamouda, Milthorpe,
+// Strazdins, Saraswat; IPDPS Workshops 2015): the X10 Global Matrix
+// Library's resilience extension, rebuilt from scratch on an emulated
+// APGAS runtime.
+//
+// The package is a facade re-exporting the public surface of the internal
+// packages:
+//
+//   - the APGAS substrate (places, finish, failure injection) from
+//     internal/apgas;
+//   - single-place linear algebra from internal/la;
+//   - the multi-place GML classes (DupVector, DistVector,
+//     DistBlockMatrix, …) from internal/dist;
+//   - snapshot/restore from internal/snapshot;
+//   - the resilient iterative framework (AppResilientStore, Executor,
+//     restoration modes) from internal/core;
+//   - the three benchmark applications from internal/apps.
+//
+// See the examples/ directory for runnable programs and DESIGN.md for the
+// architecture and the paper-to-package mapping.
+package rgml
+
+import (
+	"github.com/rgml/rgml/internal/apgas"
+	"github.com/rgml/rgml/internal/apps"
+	"github.com/rgml/rgml/internal/block"
+	"github.com/rgml/rgml/internal/core"
+	"github.com/rgml/rgml/internal/dist"
+	"github.com/rgml/rgml/internal/la"
+	"github.com/rgml/rgml/internal/snapshot"
+)
+
+// APGAS runtime surface.
+type (
+	// Runtime is the emulated APGAS runtime (a set of places plus the
+	// finish machinery and failure injector).
+	Runtime = apgas.Runtime
+	// RuntimeConfig parameterizes NewRuntime.
+	RuntimeConfig = apgas.Config
+	// Place identifies one place (an emulated process).
+	Place = apgas.Place
+	// PlaceGroup is an ordered collection of places.
+	PlaceGroup = apgas.PlaceGroup
+	// Ctx is a task's execution context.
+	Ctx = apgas.Ctx
+	// NetModel charges simulated interconnect time.
+	NetModel = apgas.NetModel
+	// DeadPlaceError reports a failed place (x10.lang.DeadPlaceException).
+	DeadPlaceError = apgas.DeadPlaceError
+)
+
+// NewRuntime creates an emulated APGAS runtime.
+func NewRuntime(cfg RuntimeConfig) (*Runtime, error) { return apgas.NewRuntime(cfg) }
+
+// IsDeadPlace reports whether err contains a DeadPlaceError.
+func IsDeadPlace(err error) bool { return apgas.IsDeadPlace(err) }
+
+// DeadPlaces extracts the places reported dead by err.
+func DeadPlaces(err error) []Place { return apgas.DeadPlaces(err) }
+
+// ForEachPlace runs fn concurrently at every place of g under a finish.
+func ForEachPlace(rt *Runtime, g PlaceGroup, fn func(ctx *Ctx, idx int)) error {
+	return apgas.ForEachPlace(rt, g, fn)
+}
+
+// Single-place linear algebra surface.
+type (
+	// Vector is a dense column vector.
+	Vector = la.Vector
+	// DenseMatrix is a column-major dense matrix.
+	DenseMatrix = la.DenseMatrix
+	// SparseCSC is a compressed-sparse-column matrix.
+	SparseCSC = la.SparseCSC
+	// SparseCSR is a compressed-sparse-row matrix.
+	SparseCSR = la.SparseCSR
+	// RNG is a deterministic random generator for workload synthesis.
+	RNG = la.RNG
+)
+
+// NewVector returns a zero vector of length n.
+func NewVector(n int) Vector { return la.NewVector(n) }
+
+// NewDense returns a zeroed rows×cols dense matrix.
+func NewDense(rows, cols int) *DenseMatrix { return la.NewDense(rows, cols) }
+
+// NewRNG returns a deterministic generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return la.NewRNG(seed) }
+
+// BlockKind discriminates dense and sparse block storage.
+type BlockKind = block.Kind
+
+// Block storage kinds.
+const (
+	DenseBlocks  = block.Dense
+	SparseBlocks = block.Sparse
+)
+
+// Multi-place GML classes (paper Table I).
+type (
+	// DupVector is a vector duplicated at every place of a group.
+	DupVector = dist.DupVector
+	// DistVector is a vector partitioned into per-place segments.
+	DistVector = dist.DistVector
+	// DupDenseMatrix is a dense matrix duplicated at every place.
+	DupDenseMatrix = dist.DupDenseMatrix
+	// DupSparseMatrix is a sparse matrix duplicated at every place.
+	DupSparseMatrix = dist.DupSparseMatrix
+	// DistDenseMatrix assigns one dense block to each place.
+	DistDenseMatrix = dist.DistDenseMatrix
+	// DistSparseMatrix assigns one sparse block to each place.
+	DistSparseMatrix = dist.DistSparseMatrix
+	// DistBlockMatrix assigns one or more blocks to each place.
+	DistBlockMatrix = dist.DistBlockMatrix
+)
+
+// MakeDupVector creates a zeroed duplicated vector of length n over pg.
+func MakeDupVector(rt *Runtime, n int, pg PlaceGroup) (*DupVector, error) {
+	return dist.MakeDupVector(rt, n, pg)
+}
+
+// MakeDistVector creates a zeroed distributed vector of length n over pg.
+func MakeDistVector(rt *Runtime, n int, pg PlaceGroup) (*DistVector, error) {
+	return dist.MakeDistVector(rt, n, pg)
+}
+
+// MakeDistBlockMatrix creates a distributed block matrix (the factory of
+// paper Listing 2, with an arbitrary place group).
+func MakeDistBlockMatrix(rt *Runtime, kind BlockKind, rows, cols, rowBlocks, colBlocks, rowPlaces, colPlaces int, pg PlaceGroup) (*DistBlockMatrix, error) {
+	return dist.MakeDistBlockMatrix(rt, kind, rows, cols, rowBlocks, colBlocks, rowPlaces, colPlaces, pg)
+}
+
+// MakeDistDenseMatrix creates a dense matrix with one block per place.
+func MakeDistDenseMatrix(rt *Runtime, rows, cols int, pg PlaceGroup) (*DistDenseMatrix, error) {
+	return dist.MakeDistDenseMatrix(rt, rows, cols, pg)
+}
+
+// MakeDistSparseMatrix creates a sparse matrix with one block per place.
+func MakeDistSparseMatrix(rt *Runtime, rows, cols int, pg PlaceGroup) (*DistSparseMatrix, error) {
+	return dist.MakeDistSparseMatrix(rt, rows, cols, pg)
+}
+
+// MakeDupDenseMatrix creates a duplicated dense matrix over pg.
+func MakeDupDenseMatrix(rt *Runtime, rows, cols int, pg PlaceGroup) (*DupDenseMatrix, error) {
+	return dist.MakeDupDenseMatrix(rt, rows, cols, pg)
+}
+
+// MakeDupSparseMatrix creates a duplicated sparse matrix over pg.
+func MakeDupSparseMatrix(rt *Runtime, rows, cols int, pg PlaceGroup) (*DupSparseMatrix, error) {
+	return dist.MakeDupSparseMatrix(rt, rows, cols, pg)
+}
+
+// Snapshot/restore surface (paper section IV-B).
+type (
+	// Snapshot is a resilient key/value capture of one object's state
+	// with local + next-place double storage.
+	Snapshot = snapshot.Snapshot
+	// Snapshottable is implemented by every GML object that supports
+	// snapshot/restore (paper Listing 3).
+	Snapshottable = snapshot.Snapshottable
+)
+
+// Resilient iterative framework surface (paper section V).
+type (
+	// IterativeApp is the 4-method resilient programming model.
+	IterativeApp = core.IterativeApp
+	// AppResilientStore builds atomic application checkpoints.
+	AppResilientStore = core.AppResilientStore
+	// Executor drives an IterativeApp with checkpoint/restart.
+	Executor = core.Executor
+	// ExecutorConfig parameterizes NewExecutor.
+	ExecutorConfig = core.Config
+	// RestoreMode selects how the application adapts to place loss.
+	RestoreMode = core.RestoreMode
+)
+
+// Restoration modes (paper section V-B, plus the future-work elastic mode).
+const (
+	Shrink           = core.Shrink
+	ShrinkRebalance  = core.ShrinkRebalance
+	ReplaceRedundant = core.ReplaceRedundant
+	ReplaceElastic   = core.ReplaceElastic
+)
+
+// NewExecutor builds a resilient executor over rt's initial world.
+func NewExecutor(rt *Runtime, cfg ExecutorConfig) (*Executor, error) {
+	return core.NewExecutor(rt, cfg)
+}
+
+// NewAppResilientStore returns an empty application store.
+func NewAppResilientStore() *AppResilientStore { return core.NewAppResilientStore() }
+
+// Benchmark applications (paper section VII).
+type (
+	// LinRegConfig parameterizes the Linear Regression benchmark.
+	LinRegConfig = apps.LinRegConfig
+	// LinRegApp is the resilient Linear Regression application.
+	LinRegApp = apps.LinReg
+	// LogRegConfig parameterizes the Logistic Regression benchmark.
+	LogRegConfig = apps.LogRegConfig
+	// LogRegApp is the resilient Logistic Regression application.
+	LogRegApp = apps.LogReg
+	// PageRankConfig parameterizes the PageRank benchmark.
+	PageRankConfig = apps.PageRankConfig
+	// PageRankApp is the resilient PageRank application.
+	PageRankApp = apps.PageRank
+	// GNMFConfig parameterizes the non-negative matrix factorization
+	// benchmark (an extension beyond the paper's three applications).
+	GNMFConfig = apps.GNMFConfig
+	// GNMFApp is the resilient GNMF application.
+	GNMFApp = apps.GNMF
+)
+
+// NewLinReg builds the resilient Linear Regression application.
+func NewLinReg(rt *Runtime, cfg LinRegConfig, pg PlaceGroup) (*LinRegApp, error) {
+	return apps.NewLinReg(rt, cfg, pg)
+}
+
+// NewLogReg builds the resilient Logistic Regression application.
+func NewLogReg(rt *Runtime, cfg LogRegConfig, pg PlaceGroup) (*LogRegApp, error) {
+	return apps.NewLogReg(rt, cfg, pg)
+}
+
+// NewPageRank builds the resilient PageRank application.
+func NewPageRank(rt *Runtime, cfg PageRankConfig, pg PlaceGroup) (*PageRankApp, error) {
+	return apps.NewPageRank(rt, cfg, pg)
+}
+
+// NewGNMF builds the resilient non-negative matrix factorization
+// application.
+func NewGNMF(rt *Runtime, cfg GNMFConfig, pg PlaceGroup) (*GNMFApp, error) {
+	return apps.NewGNMF(rt, cfg, pg)
+}

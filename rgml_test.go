@@ -1,0 +1,183 @@
+package rgml_test
+
+import (
+	"testing"
+
+	"github.com/rgml/rgml"
+)
+
+// TestFacadeEndToEnd exercises the public API exactly as a downstream user
+// would: build a runtime, distribute a matrix, compute, checkpoint through
+// the executor, survive a failure, and check the result.
+func TestFacadeEndToEnd(t *testing.T) {
+	rt, err := rgml.NewRuntime(rgml.RuntimeConfig{Places: 4, Resilient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+
+	killed := false
+	exec, err := rgml.NewExecutor(rt, rgml.ExecutorConfig{
+		CheckpointInterval: 3,
+		Mode:               rgml.Shrink,
+		AfterStep: func(iter int64) {
+			if !killed && iter == 4 {
+				killed = true
+				if err := rt.Kill(rt.Place(2)); err != nil {
+					t.Errorf("Kill: %v", err)
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := rgml.NewPageRank(rt, rgml.PageRankConfig{
+		Nodes: 80, OutDegree: 4, Iterations: 10, Seed: 3,
+	}, exec.ActiveGroup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exec.Run(app); err != nil {
+		t.Fatal(err)
+	}
+	ranks, err := app.Ranks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranks) != 80 {
+		t.Fatalf("ranks len = %d", len(ranks))
+	}
+	sum := 0.0
+	for _, r := range ranks {
+		if r <= 0 {
+			t.Fatal("non-positive rank")
+		}
+		sum += r
+	}
+	if sum < 0.5 || sum > 1.5 {
+		t.Fatalf("rank mass = %v", sum)
+	}
+	if exec.Metrics().Restores != 1 {
+		t.Fatalf("Restores = %d", exec.Metrics().Restores)
+	}
+}
+
+// TestFacadeGMLObjects covers the matrix/vector factory surface.
+func TestFacadeGMLObjects(t *testing.T) {
+	rt, err := rgml.NewRuntime(rgml.RuntimeConfig{Places: 3, Resilient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	pg := rt.World()
+
+	m, err := rgml.MakeDistBlockMatrix(rt, rgml.DenseBlocks, 9, 4, 3, 1, 3, 1, pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InitDense(func(i, j int) float64 { return float64(i - j) }); err != nil {
+		t.Fatal(err)
+	}
+	x, err := rgml.MakeDupVector(rt, 4, pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Init(func(int) float64 { return 2 }); err != nil {
+		t.Fatal(err)
+	}
+	y, err := rgml.MakeDistVector(rt, 9, pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.MultVec(x, y); err != nil {
+		t.Fatal(err)
+	}
+	got, err := y.ToVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row i: sum over j of (i-j)*2 = 2*(4i - 6).
+	for i, v := range got {
+		want := 2 * float64(4*i-6)
+		if v != want {
+			t.Fatalf("y[%d] = %v, want %v", i, v, want)
+		}
+	}
+
+	// The one-block-per-place and duplicated classes construct too.
+	if _, err := rgml.MakeDistDenseMatrix(rt, 9, 4, pg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rgml.MakeDistSparseMatrix(rt, 9, 4, pg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rgml.MakeDupDenseMatrix(rt, 3, 3, pg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rgml.MakeDupSparseMatrix(rt, 3, 3, pg); err != nil {
+		t.Fatal(err)
+	}
+	if v := rgml.NewVector(5); len(v) != 5 {
+		t.Fatal("NewVector")
+	}
+	if d := rgml.NewDense(2, 3); d.Rows != 2 {
+		t.Fatal("NewDense")
+	}
+	if rgml.NewRNG(1).Float64() < 0 {
+		t.Fatal("NewRNG")
+	}
+}
+
+// TestFacadeGNMF drives the extension application through the facade.
+func TestFacadeGNMF(t *testing.T) {
+	rt, err := rgml.NewRuntime(rgml.RuntimeConfig{Places: 3, Resilient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	exec, err := rgml.NewExecutor(rt, rgml.ExecutorConfig{CheckpointInterval: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := rgml.NewGNMF(rt, rgml.GNMFConfig{
+		Rows: 30, Cols: 12, NNZPerCol: 3, Rank: 2, Iterations: 6, Seed: 5,
+	}, exec.ActiveGroup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := app.Objective()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exec.Run(app); err != nil {
+		t.Fatal(err)
+	}
+	after, err := app.Objective()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before {
+		t.Fatalf("objective did not decrease: %v -> %v", before, after)
+	}
+}
+
+// TestFacadeErrors covers the error-inspection helpers.
+func TestFacadeErrors(t *testing.T) {
+	rt, err := rgml.NewRuntime(rgml.RuntimeConfig{Places: 3, Resilient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	if err := rt.Kill(rt.Place(1)); err != nil {
+		t.Fatal(err)
+	}
+	err = rgml.ForEachPlace(rt, rgml.PlaceGroup{rt.Place(0), rt.Place(1)}, func(ctx *rgml.Ctx, idx int) {})
+	if !rgml.IsDeadPlace(err) {
+		t.Fatalf("IsDeadPlace = false for %v", err)
+	}
+	dead := rgml.DeadPlaces(err)
+	if len(dead) != 1 || dead[0].ID != 1 {
+		t.Fatalf("DeadPlaces = %v", dead)
+	}
+}
