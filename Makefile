@@ -1,0 +1,36 @@
+# Development gates. `make ci` is the full pre-merge pipeline; the
+# individual targets exist so the expensive steps can be run alone.
+
+GO ?= go
+
+.PHONY: ci vet build test race fuzz bench bench-checkpoint
+
+ci: vet build race bench-checkpoint
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz pass over the snapshot wire-format decoders (the committed
+# f.Add seeds always run as part of `make test`; this explores further).
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzFloat64s -fuzztime=30s ./internal/codec/
+	$(GO) test -run=NONE -fuzz=FuzzInts -fuzztime=30s ./internal/codec/
+	$(GO) test -run=NONE -fuzz=FuzzDecode -fuzztime=30s ./internal/block/
+
+# Full benchmark sweep (paper figures/tables + ablations).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# The checkpoint fast-path benchmarks backing BENCH_checkpoint.json.
+bench-checkpoint:
+	$(GO) test -run=NONE -bench='BenchmarkCodec(Encode|Decode)' -benchmem ./internal/codec/
+	$(GO) test -run=NONE -bench='BenchmarkSnapshotSave' -benchmem ./internal/dist/

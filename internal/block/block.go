@@ -153,25 +153,44 @@ func (b *MatrixBlock) String() string {
 	return fmt.Sprintf("block(%d,%d %dx%d@%d,%d %s)", b.RB, b.CB, b.Rows, b.Cols, b.Row0, b.Col0, b.Kind())
 }
 
-// Encode serializes the block to the snapshot wire format.
-func (b *MatrixBlock) Encode() []byte {
-	size := 7*8 + 8 + b.Bytes() + 3*8
-	out := make([]byte, 0, size)
-	out = codec.AppendInt(out, int(b.Kind()))
-	out = codec.AppendInt(out, b.RB)
-	out = codec.AppendInt(out, b.CB)
-	out = codec.AppendInt(out, b.Row0)
-	out = codec.AppendInt(out, b.Col0)
-	out = codec.AppendInt(out, b.Rows)
-	out = codec.AppendInt(out, b.Cols)
+// EncodedSize returns the exact wire size of the block, so encode buffers
+// can be allocated (or drawn from the pool) pre-sized with no regrowth.
+func (b *MatrixBlock) EncodedSize() int {
+	n := 7 * codec.SizeInt
 	if b.Dense != nil {
-		out = codec.AppendFloat64s(out, b.Dense.Data)
-	} else {
-		out = codec.AppendInts(out, b.Sparse.ColPtr)
-		out = codec.AppendInts(out, b.Sparse.RowIdx)
-		out = codec.AppendFloat64s(out, b.Sparse.Vals)
+		return n + codec.SizeFloat64s(len(b.Dense.Data))
 	}
-	return out
+	return n + codec.SizeInts(len(b.Sparse.ColPtr)) +
+		codec.SizeInts(len(b.Sparse.RowIdx)) +
+		codec.SizeFloat64s(len(b.Sparse.Vals))
+}
+
+// EncodeInto serializes the block to the snapshot wire format through e,
+// which folds the CRC-32C of the payload into the same pass (the snapshot
+// fast path: one traversal serializes and checksums).
+func (b *MatrixBlock) EncodeInto(e *codec.Encoder) {
+	e.PutInt(int(b.Kind()))
+	e.PutInt(b.RB)
+	e.PutInt(b.CB)
+	e.PutInt(b.Row0)
+	e.PutInt(b.Col0)
+	e.PutInt(b.Rows)
+	e.PutInt(b.Cols)
+	if b.Dense != nil {
+		e.PutFloat64s(b.Dense.Data)
+	} else {
+		e.PutInts(b.Sparse.ColPtr)
+		e.PutInts(b.Sparse.RowIdx)
+		e.PutFloat64s(b.Sparse.Vals)
+	}
+}
+
+// Encode serializes the block to the snapshot wire format into a fresh
+// exactly-sized buffer.
+func (b *MatrixBlock) Encode() []byte {
+	e := codec.WrapEncoder(make([]byte, 0, b.EncodedSize()))
+	b.EncodeInto(&e)
+	return e.Bytes()
 }
 
 // Decode deserializes a block from the snapshot wire format.

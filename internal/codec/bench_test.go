@@ -1,0 +1,71 @@
+package codec
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchN is the payload length used by the codec benchmarks: 64k words
+// (512 KiB) approximates one 256x256 dense block column set and is large
+// enough that per-call overhead vanishes behind the copy loop.
+const benchN = 1 << 16
+
+func benchFloats() []float64 {
+	vs := make([]float64, benchN)
+	for i := range vs {
+		vs[i] = float64(i) * 1.5
+	}
+	return vs
+}
+
+func benchInts() []int {
+	vs := make([]int, benchN)
+	for i := range vs {
+		vs[i] = i * 3
+	}
+	return vs
+}
+
+func BenchmarkCodecEncode(b *testing.B) {
+	fs := benchFloats()
+	is := benchInts()
+	b.Run(fmt.Sprintf("float64s-%d", benchN), func(b *testing.B) {
+		buf := make([]byte, 0, 8+8*benchN)
+		b.SetBytes(8 * benchN)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = AppendFloat64s(buf[:0], fs)
+		}
+	})
+	b.Run(fmt.Sprintf("ints-%d", benchN), func(b *testing.B) {
+		buf := make([]byte, 0, 8+8*benchN)
+		b.SetBytes(8 * benchN)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = AppendInts(buf[:0], is)
+		}
+	})
+}
+
+func BenchmarkCodecDecode(b *testing.B) {
+	encF := AppendFloat64s(nil, benchFloats())
+	encI := AppendInts(nil, benchInts())
+	b.Run(fmt.Sprintf("float64s-%d", benchN), func(b *testing.B) {
+		b.SetBytes(8 * benchN)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := Float64s(encF); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("ints-%d", benchN), func(b *testing.B) {
+		b.SetBytes(8 * benchN)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := Ints(encI); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,145 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// referenceFloat64s is the element-wise encoding the bulk path replaced: a
+// length header followed by one little-endian PutUint64 per value. The wire
+// format is defined by this loop; AppendFloat64s must match it byte for
+// byte on every host.
+func referenceFloat64s(b []byte, vs []float64) []byte {
+	b = binary.LittleEndian.AppendUint64(b, uint64(int64(len(vs))))
+	for _, v := range vs {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+	}
+	return b
+}
+
+func referenceInts(b []byte, vs []int) []byte {
+	b = binary.LittleEndian.AppendUint64(b, uint64(int64(len(vs))))
+	for _, v := range vs {
+		b = binary.LittleEndian.AppendUint64(b, uint64(int64(v)))
+	}
+	return b
+}
+
+// floatCases covers the unroll boundaries (0..5, 7..9) and a large slice,
+// with payloads exercising every special float encoding.
+func floatCases() [][]float64 {
+	specials := []float64{0, math.Copysign(0, -1), 1, -1, math.Pi,
+		math.Inf(1), math.Inf(-1), math.NaN(), math.MaxFloat64,
+		math.SmallestNonzeroFloat64, 1e-300}
+	lens := []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 1000}
+	cases := make([][]float64, 0, len(lens))
+	for _, n := range lens {
+		vs := make([]float64, n)
+		for i := range vs {
+			vs[i] = specials[i%len(specials)] * float64(1+i/len(specials))
+		}
+		cases = append(cases, vs)
+	}
+	return cases
+}
+
+func intCases() [][]int {
+	specials := []int{0, 1, -1, math.MaxInt64, math.MinInt64, 1 << 40, -(1 << 40)}
+	lens := []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 1000}
+	cases := make([][]int, 0, len(lens))
+	for _, n := range lens {
+		vs := make([]int, n)
+		for i := range vs {
+			vs[i] = specials[i%len(specials)] + i
+		}
+		cases = append(cases, vs)
+	}
+	return cases
+}
+
+// TestBulkFloat64sByteIdentical pins the bulk encode path (memmove on
+// little-endian hosts, unrolled loop elsewhere) to the element-wise
+// reference, and checks the decoder inverts it exactly.
+func TestBulkFloat64sByteIdentical(t *testing.T) {
+	for _, vs := range floatCases() {
+		want := referenceFloat64s(nil, vs)
+		got := AppendFloat64s(nil, vs)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("len=%d: bulk encoding differs from element-wise reference", len(vs))
+		}
+		// Appending after existing bytes must not disturb the prefix.
+		prefix := []byte{0xde, 0xad}
+		got2 := AppendFloat64s(append([]byte(nil), prefix...), vs)
+		if !bytes.Equal(got2, append(append([]byte(nil), prefix...), want...)) {
+			t.Fatalf("len=%d: bulk encoding with prefix differs", len(vs))
+		}
+		dec, rest, err := Float64s(got)
+		if err != nil {
+			t.Fatalf("len=%d: decode: %v", len(vs), err)
+		}
+		if len(rest) != 0 || len(dec) != len(vs) {
+			t.Fatalf("len=%d: decode consumed wrong amount", len(vs))
+		}
+		for i := range vs {
+			if math.Float64bits(dec[i]) != math.Float64bits(vs[i]) {
+				t.Fatalf("len=%d: value %d: got %x want %x", len(vs), i,
+					math.Float64bits(dec[i]), math.Float64bits(vs[i]))
+			}
+		}
+	}
+}
+
+func TestBulkIntsByteIdentical(t *testing.T) {
+	for _, vs := range intCases() {
+		want := referenceInts(nil, vs)
+		got := AppendInts(nil, vs)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("len=%d: bulk encoding differs from element-wise reference", len(vs))
+		}
+		dec, rest, err := Ints(got)
+		if err != nil {
+			t.Fatalf("len=%d: decode: %v", len(vs), err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("len=%d: decode left %d bytes", len(vs), len(rest))
+		}
+		for i := range vs {
+			if dec[i] != vs[i] {
+				t.Fatalf("len=%d: value %d: got %d want %d", len(vs), i, dec[i], vs[i])
+			}
+		}
+	}
+}
+
+// TestEncoderMatchesAppend pins the Encoder (which folds CRC-32C into the
+// encode pass) to the Append* functions: same bytes, and a running sum
+// equal to a one-shot checksum of the final buffer.
+func TestEncoderMatchesAppend(t *testing.T) {
+	for _, vs := range floatCases() {
+		var e Encoder
+		e.PutInt(42)
+		e.PutFloat64s(vs)
+		e.PutInts([]int{7, -7})
+		e.PutUint64(99)
+		e.PutFloat64(math.Pi)
+
+		want := AppendInt(nil, 42)
+		want = AppendFloat64s(want, vs)
+		want = AppendInts(want, []int{7, -7})
+		want = AppendUint64(want, 99)
+		want = AppendFloat64(want, math.Pi)
+
+		if !bytes.Equal(e.Bytes(), want) {
+			t.Fatalf("len=%d: Encoder bytes differ from Append* bytes", len(vs))
+		}
+		if e.Len() != len(want) {
+			t.Fatalf("len=%d: Encoder.Len()=%d want %d", len(vs), e.Len(), len(want))
+		}
+		if e.Sum() != Checksum(want) {
+			t.Fatalf("len=%d: incremental CRC %#x != one-shot CRC %#x",
+				len(vs), e.Sum(), Checksum(want))
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package codec
+
+import "hash/crc32"
+
+// castagnoli is the CRC-32C polynomial table used for snapshot integrity
+// checksums (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum returns the CRC-32C of data in one pass, for callers that
+// receive a pre-built buffer (snapshot verification at load time).
+func Checksum(data []byte) uint32 {
+	return crc32.Checksum(data, castagnoli)
+}
+
+// Encoder accumulates an encoded payload while folding the CRC-32C of the
+// emitted bytes into the same pass: each Put* appends to the buffer and
+// immediately extends the running checksum over the new bytes while they
+// are still cache-hot, so no separate full-buffer hashing pass is needed
+// at save time. The zero value is ready to use with a nil buffer;
+// NewEncoder draws a pre-sized buffer from the pool so that steady-state
+// checkpoints are allocation-free.
+type Encoder struct {
+	buf []byte
+	sum uint32
+}
+
+// NewEncoder returns an Encoder whose buffer comes from the pool with at
+// least sizeHint capacity. Pair with snapshot.SaveEncoded (which takes
+// ownership and recycles the buffer on Destroy) or with PutBuffer.
+func NewEncoder(sizeHint int) Encoder {
+	return Encoder{buf: GetBuffer(sizeHint)}
+}
+
+// WrapEncoder returns an Encoder that appends to the caller's buffer
+// (which is not pool-managed).
+func WrapEncoder(buf []byte) Encoder {
+	return Encoder{buf: buf}
+}
+
+// Bytes returns the encoded payload.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Sum returns the CRC-32C of everything emitted so far.
+func (e *Encoder) Sum() uint32 { return e.sum }
+
+// Len returns the number of bytes emitted so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// update extends the running checksum over bytes appended past off.
+func (e *Encoder) update(off int) {
+	e.sum = crc32.Update(e.sum, castagnoli, e.buf[off:])
+}
+
+// PutUint64 emits v in little-endian order.
+func (e *Encoder) PutUint64(v uint64) {
+	off := len(e.buf)
+	e.buf = AppendUint64(e.buf, v)
+	e.update(off)
+}
+
+// PutInt emits an int as a uint64.
+func (e *Encoder) PutInt(v int) {
+	e.PutUint64(uint64(int64(v)))
+}
+
+// PutFloat64 emits the IEEE-754 bits of v.
+func (e *Encoder) PutFloat64(v float64) {
+	off := len(e.buf)
+	e.buf = AppendFloat64(e.buf, v)
+	e.update(off)
+}
+
+// PutFloat64s emits a length-prefixed float slice through the bulk path.
+func (e *Encoder) PutFloat64s(vs []float64) {
+	off := len(e.buf)
+	e.buf = AppendFloat64s(e.buf, vs)
+	e.update(off)
+}
+
+// PutInts emits a length-prefixed int slice through the bulk path.
+func (e *Encoder) PutInts(vs []int) {
+	off := len(e.buf)
+	e.buf = AppendInts(e.buf, vs)
+	e.update(off)
+}

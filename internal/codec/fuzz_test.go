@@ -1,0 +1,66 @@
+package codec
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// Seed corpus helpers: valid encodings plus adversarial headers. The fuzz
+// targets assert the decoders never panic and that a successful decode is
+// exact: re-encoding the decoded values reproduces the consumed bytes
+// byte-for-byte (the bulk paths must be lossless and canonical).
+
+func FuzzFloat64s(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendFloat64s(nil, nil))
+	f.Add(AppendFloat64s(nil, []float64{1.5, -2.25, math.Pi}))
+	f.Add(AppendFloat64s(nil, []float64{math.Inf(1), math.Inf(-1), math.Copysign(0, -1), math.NaN()}))
+	// Truncated payload: header promises 3 values, buffer holds 1.
+	f.Add(AppendFloat64s(nil, []float64{1, 2, 3})[:16])
+	// Truncated header.
+	f.Add(AppendInt(nil, 2)[:5])
+	// Length header far past the buffer, and one crafted to overflow 8*n.
+	f.Add(AppendInt(nil, 1<<40))
+	f.Add(AppendInt(nil, math.MaxInt64/4))
+	// Negative length.
+	f.Add(AppendInt(nil, -1))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vs, rest, err := Float64s(data)
+		if err != nil {
+			return
+		}
+		consumed := len(data) - len(rest)
+		if consumed != SizeFloat64s(len(vs)) {
+			t.Fatalf("decoded %d values but consumed %d bytes", len(vs), consumed)
+		}
+		re := AppendFloat64s(nil, vs)
+		if !bytes.Equal(re, data[:consumed]) {
+			t.Fatalf("re-encode of %d values is not byte-identical to input", len(vs))
+		}
+	})
+}
+
+func FuzzInts(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendInts(nil, nil))
+	f.Add(AppendInts(nil, []int{0, 1, -1, math.MaxInt64, math.MinInt64}))
+	f.Add(AppendInts(nil, []int{7, 8, 9})[:12])
+	f.Add(AppendInt(nil, 1<<40))
+	f.Add(AppendInt(nil, math.MaxInt64/4))
+	f.Add(AppendInt(nil, -1))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vs, rest, err := Ints(data)
+		if err != nil {
+			return
+		}
+		consumed := len(data) - len(rest)
+		if consumed != SizeInts(len(vs)) {
+			t.Fatalf("decoded %d values but consumed %d bytes", len(vs), consumed)
+		}
+		re := AppendInts(nil, vs)
+		if !bytes.Equal(re, data[:consumed]) {
+			t.Fatalf("re-encode of %d values is not byte-identical to input", len(vs))
+		}
+	})
+}

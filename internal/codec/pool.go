@@ -1,0 +1,81 @@
+package codec
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// The checkpoint buffer pool. Snapshot payload buffers cycle through it:
+// NewEncoder draws one, the snapshot store owns it while the checkpoint is
+// live, and Snapshot.Destroy returns it when the next checkpoint commits
+// (coordinated checkpointing keeps exactly one committed checkpoint plus
+// at most one under construction, so a steady-state application touches a
+// bounded working set of buffers and re-checkpoints allocation-free).
+//
+// Buffers are size-bucketed by power-of-two capacity so a Get never
+// returns a too-small buffer and a freed buffer is always reusable by the
+// same block geometry. The pool stores raw pointers: with the capacity
+// implied by the bucket, Put/Get do not allocate slice headers.
+const (
+	minPoolClass = 6  // 64 B — below this, allocation is cheaper than pooling
+	maxPoolClass = 26 // 64 MiB — beyond this, let the GC reclaim promptly
+)
+
+var bufPools [maxPoolClass + 1]sync.Pool
+
+// Pool telemetry, for the reuse tests and benchmark reports.
+var poolGets, poolHits, poolPuts atomic.Uint64
+
+// poolClass returns the bucket whose buffers have capacity >= size, or -1
+// if the size is outside the pooled range.
+func poolClass(size int) int {
+	if size < 0 {
+		return -1
+	}
+	c := bits.Len(uint(max(size, 1) - 1))
+	if c < minPoolClass {
+		c = minPoolClass
+	}
+	if c > maxPoolClass {
+		return -1
+	}
+	return c
+}
+
+// GetBuffer returns a zero-length buffer with capacity >= size, reusing a
+// pooled buffer when one is available.
+func GetBuffer(size int) []byte {
+	poolGets.Add(1)
+	c := poolClass(size)
+	if c < 0 {
+		return make([]byte, 0, size)
+	}
+	if p, _ := bufPools[c].Get().(unsafe.Pointer); p != nil {
+		poolHits.Add(1)
+		return unsafe.Slice((*byte)(p), 1<<c)[:0]
+	}
+	return make([]byte, 0, 1<<c)
+}
+
+// PutBuffer returns a buffer obtained from GetBuffer to its bucket. Buffers
+// whose capacity is not an exact bucket size (grown past the hint, or not
+// pool-born) are dropped for the GC rather than misfiled.
+func PutBuffer(b []byte) {
+	c := cap(b)
+	if c == 0 || c&(c-1) != 0 {
+		return
+	}
+	class := bits.Len(uint(c)) - 1
+	if class < minPoolClass || class > maxPoolClass {
+		return
+	}
+	poolPuts.Add(1)
+	bufPools[class].Put(unsafe.Pointer(unsafe.SliceData(b[:1])))
+}
+
+// PoolStats reports the buffer pool's cumulative gets, pool hits, and puts.
+func PoolStats() (gets, hits, puts uint64) {
+	return poolGets.Load(), poolHits.Load(), poolPuts.Load()
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"runtime/debug"
+	"testing"
+
+	"github.com/rgml/rgml/internal/apgas"
+	"github.com/rgml/rgml/internal/block"
+	"github.com/rgml/rgml/internal/codec"
+	"github.com/rgml/rgml/internal/dist"
+)
+
+// TestCheckpointCycleReusesBuffers pins the buffer-recycling contract of
+// the double-buffered checkpoint cycle: Commit destroys the superseded
+// snapshot, which returns its payload buffers to the codec pool, and the
+// next checkpoint's encoders draw those buffers back out. GC is paused so
+// sync.Pool cannot drop buffers mid-test.
+func TestCheckpointCycleReusesBuffers(t *testing.T) {
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+
+	rt, err := apgas.NewRuntime(apgas.Config{Places: 4, Resilient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	m, err := dist.MakeDistBlockMatrix(rt, block.Dense, 256, 256, 2, 2, 2, 2, rt.World())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InitDense(func(i, j int) float64 { return float64(i + j) }); err != nil {
+		t.Fatal(err)
+	}
+
+	st := NewAppResilientStore()
+	checkpoint := func() {
+		t.Helper()
+		if err := st.StartNewSnapshot(); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Save(m); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Checkpoints 1 and 2 populate both slots of the double buffer; from
+	// checkpoint 3 on, every Commit returns the superseded snapshot's four
+	// block buffers and every Save reuses them.
+	checkpoint()
+	checkpoint()
+	gets0, hits0, puts0 := codec.PoolStats()
+	const steady = 4
+	for i := 0; i < steady; i++ {
+		checkpoint()
+	}
+	gets, hits, puts := codec.PoolStats()
+
+	blocks := uint64(m.Grid().NumBlocks())
+	if wantGets := steady * blocks; gets-gets0 != wantGets {
+		t.Fatalf("steady-state checkpoints drew %d buffers, want %d", gets-gets0, wantGets)
+	}
+	if puts-puts0 < steady*blocks {
+		t.Fatalf("steady-state commits returned %d buffers, want >= %d", puts-puts0, steady*blocks)
+	}
+	if hits-hits0 < blocks {
+		t.Fatalf("steady-state checkpoints hit the pool %d times, want >= %d", hits-hits0, blocks)
+	}
+}

@@ -140,7 +140,12 @@ func (s *AppResilientStore) SaveReadOnly(obj snapshot.Snapshottable) error {
 
 // Commit atomically promotes the pending checkpoint to the recovery point
 // and destroys the storage of the superseded one (read-only snapshots are
-// shared between checkpoints and survive).
+// shared between checkpoints and survive). Destroying the superseded
+// snapshot also returns its payload buffers to the codec buffer pool, so
+// the cycle is double-buffered in storage terms: from the second Commit on,
+// each Save re-encodes into the buffers the previous Commit released and
+// steady-state checkpoints allocate nothing for block payloads (see
+// TestCheckpointCycleReusesBuffers).
 func (s *AppResilientStore) Commit() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -170,7 +175,8 @@ func (s *AppResilientStore) CancelSnapshot() {
 }
 
 // destroyUnshared releases the snapshots of set that are not read-only
-// caches and not part of the committed checkpoint. Callers hold s.mu.
+// caches and not part of the committed checkpoint, recycling their pooled
+// payload buffers for the next checkpoint. Callers hold s.mu.
 func (s *AppResilientStore) destroyUnshared(set map[snapshot.Snapshottable]*snapshot.Snapshot) {
 	for obj, snap := range set {
 		if s.readOnly[obj] == snap {

@@ -27,6 +27,7 @@ import (
 	"github.com/rgml/rgml/internal/apgas"
 	"github.com/rgml/rgml/internal/codec"
 	"github.com/rgml/rgml/internal/la"
+	"github.com/rgml/rgml/internal/snapshot"
 )
 
 // ErrGroupMismatch reports an operation between objects distributed over
@@ -39,7 +40,16 @@ var ErrShapeMismatch = errors.New("dist: shape mismatch")
 
 // encodeVector serializes a vector fragment for snapshot storage.
 func encodeVector(v la.Vector) []byte {
-	return codec.AppendFloat64s(make([]byte, 0, 8+v.Bytes()), v)
+	return codec.AppendFloat64s(make([]byte, 0, codec.SizeFloat64s(len(v))), v)
+}
+
+// saveVector runs the checkpoint fast path for one vector fragment:
+// encode into a pooled, exactly-sized buffer with the CRC-32C folded into
+// the encode pass, then hand the buffer to the snapshot store.
+func saveVector(ctx *apgas.Ctx, s *snapshot.Snapshot, key int, v la.Vector) {
+	enc := codec.NewEncoder(codec.SizeFloat64s(len(v)))
+	enc.PutFloat64s(v)
+	s.SaveEncoded(ctx, key, &enc)
 }
 
 // decodeVector deserializes a vector fragment.

@@ -291,7 +291,7 @@ func (v *DistVector) MakeSnapshot() (*snapshot.Snapshot, error) {
 	meta = codec.AppendInts(meta, v.segSizes)
 	s.SetMeta(meta)
 	err = apgas.ForEachPlace(v.rt, v.pg, func(ctx *apgas.Ctx, idx int) {
-		s.Save(ctx, idx, encodeVector(v.plh.Local(ctx)))
+		saveVector(ctx, s, idx, v.plh.Local(ctx))
 	})
 	if err != nil {
 		s.Destroy()

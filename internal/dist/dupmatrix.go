@@ -154,7 +154,7 @@ func (m *DupDenseMatrix) MakeSnapshot() (*snapshot.Snapshot, error) {
 	}
 	err = m.rt.Finish(func(ctx *apgas.Ctx) {
 		ctx.At(m.pg[0], func(c *apgas.Ctx) {
-			s.Save(c, 0, dupDenseBlock(m.plh.Local(c)).Encode())
+			saveBlock(c, s, 0, dupDenseBlock(m.plh.Local(c)))
 		})
 	})
 	if err != nil {
@@ -264,7 +264,7 @@ func (m *DupSparseMatrix) MakeSnapshot() (*snapshot.Snapshot, error) {
 	}
 	err = m.rt.Finish(func(ctx *apgas.Ctx) {
 		ctx.At(m.pg[0], func(c *apgas.Ctx) {
-			s.Save(c, 0, dupSparseBlock(m.plh.Local(c)).Encode())
+			saveBlock(c, s, 0, dupSparseBlock(m.plh.Local(c)))
 		})
 	})
 	if err != nil {

@@ -174,7 +174,7 @@ func (v *DupVector) MakeSnapshot() (*snapshot.Snapshot, error) {
 	}
 	err = v.rt.Finish(func(ctx *apgas.Ctx) {
 		ctx.At(v.pg[0], func(c *apgas.Ctx) {
-			s.Save(c, 0, encodeVector(v.plh.Local(c)))
+			saveVector(c, s, 0, v.plh.Local(c))
 		})
 	})
 	if err != nil {

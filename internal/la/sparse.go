@@ -162,7 +162,13 @@ func (m *SparseCSC) CountSubNNZ(r0, c0, rows, cols int) int {
 // ExtractSub copies the rows×cols region anchored at (r0, c0) into a new
 // CSC matrix (with indices rebased to the region's origin).
 func (m *SparseCSC) ExtractSub(r0, c0, rows, cols int) *SparseCSC {
-	nnz := m.CountSubNNZ(r0, c0, rows, cols)
+	return m.ExtractSubPresized(r0, c0, rows, cols, m.CountSubNNZ(r0, c0, rows, cols))
+}
+
+// ExtractSubPresized is ExtractSub with the region's nonzero count already
+// known (from an earlier CountSubNNZ pass), so the regrid restore path
+// counts each overlap once instead of re-counting inside the extraction.
+func (m *SparseCSC) ExtractSubPresized(r0, c0, rows, cols, nnz int) *SparseCSC {
 	out := NewSparseCSC(rows, cols)
 	out.RowIdx = make([]int, 0, nnz)
 	out.Vals = make([]float64, 0, nnz)

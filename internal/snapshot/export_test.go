@@ -14,10 +14,12 @@ func (s *Snapshot) corruptAt(t interface{ Fatal(...any) }, p apgas.Place, key in
 			if !ok || len(e.data) == 0 {
 				apgas.Throw(ErrNotFound)
 			}
-			// Copy before flipping: replicas may share the byte slice.
+			// Copy before flipping: replicas share the entry, and the
+			// replacement must start unverified so the memoized CRC state
+			// cannot vouch for the corrupted bytes.
 			mut := append([]byte(nil), e.data...)
 			mut[0] ^= 0xff
-			ps.entries[key] = entry{data: mut, sum: e.sum}
+			ps.entries[key] = &entry{data: mut, sum: e.sum}
 		})
 	})
 	if err != nil {

@@ -6,15 +6,25 @@
 // from every place (one local put plus one remote put); loading is cheap
 // when the data is local and costs a transfer otherwise — exactly the cost
 // asymmetry the paper describes.
+//
+// The save path is built for throughput: the backup put runs as an async
+// task overlapping the saver's remaining work (the enclosing finish still
+// guarantees it lands before the checkpoint is considered taken), entries
+// saved through SaveEncoded carry a CRC-32C folded into the encode pass
+// instead of a separate hashing traversal, successful verifications are
+// memoized per entry so repeated loads do not re-hash, and payload buffers
+// plus per-place stores are recycled through pools when a superseded
+// checkpoint is destroyed.
 package snapshot
 
 import (
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"sync"
+	"sync/atomic"
 
 	"github.com/rgml/rgml/internal/apgas"
+	"github.com/rgml/rgml/internal/codec"
 )
 
 // Snapshottable is implemented by every GML object that can be saved to
@@ -52,30 +62,90 @@ type Options struct {
 
 // entry is one stored value plus its integrity checksum, computed at save
 // time so a corrupted replica is detected at load time and the other copy
-// used instead.
+// used instead. The owner and backup replicas share one entry (the
+// emulation's two map slots point at the same bytes), so the flags below
+// use atomics.
 type entry struct {
 	data []byte
 	sum  uint32
+	// pooled marks data as drawn from the codec buffer pool; Destroy
+	// recycles it (exactly once, via recycled) instead of dropping it.
+	pooled   bool
+	recycled atomic.Bool
+	// verified memoizes a successful integrity check so repeated loads of
+	// the same replica skip re-hashing. Corruption tests swap the whole
+	// entry, so a memoized verdict never outlives the bytes it vouches
+	// for.
+	verified atomic.Bool
+}
+
+// verify checks the entry's integrity, memoizing success.
+func (e *entry) verify() bool {
+	if e.verified.Load() {
+		return true
+	}
+	if codec.Checksum(e.data) != e.sum {
+		return false
+	}
+	e.verified.Store(true)
+	return true
 }
 
 // placeStore is one place's fragment of a Snapshot. Concurrent savers
 // (neighbouring places writing their backups) share it, hence the lock.
 type placeStore struct {
 	mu      sync.Mutex
-	entries map[int]entry
+	entries map[int]*entry
 }
 
-func (ps *placeStore) put(key int, e entry) {
+func (ps *placeStore) put(key int, e *entry) {
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
 	ps.entries[key] = e
 }
 
-func (ps *placeStore) get(key int) (entry, bool) {
+func (ps *placeStore) get(key int) (*entry, bool) {
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
 	e, ok := ps.entries[key]
 	return e, ok
+}
+
+// bytes sums the stored payload sizes.
+func (ps *placeStore) bytes() int {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	n := 0
+	for _, e := range ps.entries {
+		n += len(e.data)
+	}
+	return n
+}
+
+// storePool recycles placeStore shells (and their cleared maps) across
+// checkpoints, alongside the payload buffer pool.
+var storePool sync.Pool
+
+func getPlaceStore() *placeStore {
+	if v, _ := storePool.Get().(*placeStore); v != nil {
+		return v
+	}
+	return &placeStore{entries: make(map[int]*entry, 4)}
+}
+
+// recycle returns pooled payload buffers to the codec pool (once per
+// entry, though owner and backup stores share entries) and the cleared
+// store shell to the store pool.
+func (ps *placeStore) recycle() {
+	ps.mu.Lock()
+	for _, e := range ps.entries {
+		if e.pooled && e.recycled.CompareAndSwap(false, true) {
+			codec.PutBuffer(e.data)
+		}
+	}
+	clear(ps.entries)
+	ps.mu.Unlock()
+	storePool.Put(ps)
 }
 
 // Snapshot is a resilient key/value capture of one GML object's state.
@@ -89,7 +159,11 @@ type Snapshot struct {
 	pg   apgas.PlaceGroup
 	opts Options
 	plh  apgas.PlaceLocalHandle[*placeStore]
-	meta []byte
+	// stores aliases the per-place stores by group index for Destroy-time
+	// recycling (mirroring PlaceLocalHandle.Destroy's direct teardown).
+	stores    []*placeStore
+	meta      []byte
+	destroyed atomic.Bool
 }
 
 // New allocates an empty snapshot whose storage is distributed over pg.
@@ -102,13 +176,16 @@ func NewWithOptions(rt *apgas.Runtime, pg apgas.PlaceGroup, opts Options) (*Snap
 	if pg.Size() == 0 {
 		return nil, errors.New("snapshot: empty place group")
 	}
+	stores := make([]*placeStore, pg.Size())
 	plh, err := apgas.NewPlaceLocalHandle(rt, pg, func(ctx *apgas.Ctx, idx int) *placeStore {
-		return &placeStore{entries: make(map[int]entry)}
+		ps := getPlaceStore()
+		stores[idx] = ps
+		return ps
 	})
 	if err != nil {
 		return nil, fmt.Errorf("snapshot: allocating stores: %w", err)
 	}
-	return &Snapshot{rt: rt, pg: pg.Clone(), opts: opts, plh: plh}, nil
+	return &Snapshot{rt: rt, pg: pg.Clone(), opts: opts, plh: plh, stores: stores}, nil
 }
 
 // Group returns the place group the snapshot was taken over.
@@ -130,31 +207,47 @@ func (s *Snapshot) Meta() []byte { return s.meta }
 // failed place. The byte slice is retained; callers must not mutate it
 // afterwards.
 func (s *Snapshot) Save(ctx *apgas.Ctx, key int, data []byte) {
+	s.save(ctx, key, &entry{data: data, sum: codec.Checksum(data)})
+}
+
+// SaveEncoded stores an Encoder's payload under key without re-hashing:
+// the CRC-32C was folded into the encode pass, so the bytes are traversed
+// exactly once on the save path. The snapshot takes ownership of the
+// buffer (which NewEncoder drew from the codec pool) and recycles it when
+// the snapshot is destroyed.
+func (s *Snapshot) SaveEncoded(ctx *apgas.Ctx, key int, e *codec.Encoder) {
+	s.save(ctx, key, &entry{data: e.Bytes(), sum: e.Sum(), pooled: true})
+}
+
+// save places e locally and asynchronously at the backup place. The backup
+// put overlaps the saver's remaining work (encoding of its next block);
+// the enclosing finish waits for it, so the checkpoint's completion still
+// implies both replicas are in place. The network model is charged
+// identically to a synchronous put: one payload transfer to the neighbour.
+func (s *Snapshot) save(ctx *apgas.Ctx, key int, e *entry) {
 	idx := s.pg.IndexOf(ctx.Here)
 	if idx < 0 {
 		panic(fmt.Sprintf("snapshot: Save from %v, not a member of %v", ctx.Here, s.pg))
 	}
-	e := entry{data: data, sum: crc32.Checksum(data, castagnoli)}
 	s.plh.Local(ctx).put(key, e)
 	if s.opts.DisableBackup || s.pg.Size() == 1 {
 		return
 	}
 	next := s.pg[(idx+1)%s.pg.Size()]
-	ctx.Transfer(next, len(data))
-	ctx.At(next, func(c *apgas.Ctx) {
+	ctx.Transfer(next, len(e.data))
+	ctx.AsyncAt(next, func(c *apgas.Ctx) {
 		s.plh.Local(c).put(key, e)
 	})
 }
-
-// castagnoli is the CRC-32C polynomial table used for entry checksums.
-var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Load retrieves the entry for key. ownerIdx is the index (within the
 // snapshot-time group) of the place that saved the entry; the object's
 // restore logic knows it from the snapshot's descriptor. Load prefers the
 // owner's copy and falls back to the backup at owner+1 when the owner has
 // failed. Reading a remote replica charges the network model for the
-// payload.
+// payload. Integrity verification is memoized per replica, so re-loading
+// an already-verified entry (e.g. many new blocks reading one old block
+// during a regrid restore) does not re-hash it.
 func (s *Snapshot) Load(ctx *apgas.Ctx, key, ownerIdx int) ([]byte, error) {
 	if ownerIdx < 0 || ownerIdx >= s.pg.Size() {
 		return nil, fmt.Errorf("snapshot: owner index %d out of %d", ownerIdx, s.pg.Size())
@@ -171,7 +264,7 @@ func (s *Snapshot) Load(ctx *apgas.Ctx, key, ownerIdx int) ([]byte, error) {
 		}
 		anyAlive = true
 		var (
-			e     entry
+			e     *entry
 			found bool
 		)
 		if p.ID == ctx.Here.ID {
@@ -188,7 +281,7 @@ func (s *Snapshot) Load(ctx *apgas.Ctx, key, ownerIdx int) ([]byte, error) {
 		if !found {
 			continue
 		}
-		if crc32.Checksum(e.data, castagnoli) != e.sum {
+		if !e.verify() {
 			// A corrupted replica is as good as a lost one: fall through
 			// to the other copy.
 			sawCorrupt = true
@@ -207,37 +300,47 @@ func (s *Snapshot) Load(ctx *apgas.Ctx, key, ownerIdx int) ([]byte, error) {
 }
 
 // Destroy releases the snapshot's storage on every surviving place of its
-// group. The application store calls this when a newer checkpoint commits
-// (coordinated checkpointing keeps only one snapshot alive).
+// group, recycling pooled payload buffers and store shells for the next
+// checkpoint. The application store calls this when a newer checkpoint
+// commits (coordinated checkpointing keeps only one snapshot alive), which
+// is what makes steady-state checkpointing allocation-free: checkpoint
+// N+1 re-encodes into the buffers checkpoint N-1 released.
 func (s *Snapshot) Destroy() {
-	if s == nil || !s.plh.Valid() {
+	if s == nil || !s.plh.Valid() || !s.destroyed.CompareAndSwap(false, true) {
 		return
 	}
+	for _, ps := range s.stores {
+		if ps != nil {
+			ps.recycle()
+		}
+	}
+	s.stores = nil
 	s.plh.Destroy(s.pg)
 }
 
 // Bytes returns the total payload bytes stored on live places (both
-// replicas counted), for tests and capacity accounting.
+// replicas counted), for tests and capacity accounting. All places are
+// visited concurrently under a single finish (one AsyncAt per live place)
+// rather than one finish round-trip per place.
 func (s *Snapshot) Bytes() (int, error) {
-	total := 0
-	for _, p := range s.pg {
-		if s.rt.IsDead(p) {
-			continue
-		}
-		p := p
-		err := s.rt.Finish(func(ctx *apgas.Ctx) {
-			ctx.At(p, func(c *apgas.Ctx) {
-				ps := s.plh.Local(c)
-				ps.mu.Lock()
-				defer ps.mu.Unlock()
-				for _, e := range ps.entries {
-					total += len(e.data)
-				}
+	sizes := make([]int, s.pg.Size())
+	err := s.rt.Finish(func(ctx *apgas.Ctx) {
+		for i, p := range s.pg {
+			if s.rt.IsDead(p) {
+				continue
+			}
+			i, p := i, p
+			ctx.AsyncAt(p, func(c *apgas.Ctx) {
+				sizes[i] = s.plh.Local(c).bytes()
 			})
-		})
-		if err != nil {
-			return 0, err
 		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, n := range sizes {
+		total += n
 	}
 	return total, nil
 }
