@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race fuzz bench bench-checkpoint
+.PHONY: ci vet build test race race-recovery fuzz bench bench-checkpoint
 
-ci: vet build race bench-checkpoint
+ci: vet build race race-recovery bench-checkpoint
 
 vet:
 	$(GO) vet ./...
@@ -18,6 +18,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Extra -race iterations over the recovery-critical packages: the
+# executor's multi-failure paths, the application store's checkpoint
+# window, and the runtime's ledger/instrumentation are where the
+# interleavings live.
+race-recovery:
+	$(GO) test -race -count=2 ./internal/core/ ./internal/apgas/ ./internal/snapshot/
 
 # Short fuzz pass over the snapshot wire-format decoders (the committed
 # f.Add seeds always run as part of `make test`; this explores further).

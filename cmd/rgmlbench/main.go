@@ -46,6 +46,7 @@ func run(args []string) error {
 		latency    = fs.Duration("latency", 0, "simulated per-message latency (sleep-based; leave 0 on hosts with coarse timers)")
 		bytePeriod = fs.Duration("byte-period", 0, "simulated per-byte transfer time")
 		ledgerWork = fs.Int("ledger-work", bench.DefaultConfig().LedgerWork, "resilient-finish ledger work units per event")
+		metricsDir = fs.String("metrics", "", "directory for per-restore-run JSON metrics exports (empty: none)")
 		quiet      = fs.Bool("q", false, "suppress progress output")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -60,6 +61,7 @@ func run(args []string) error {
 	cfg.Latency = *latency
 	cfg.BytePeriod = *bytePeriod
 	cfg.LedgerWork = *ledgerWork
+	cfg.MetricsDir = *metricsDir
 	if !*quiet {
 		cfg.Progress = os.Stderr
 	}

@@ -16,6 +16,7 @@ import (
 	"github.com/rgml/rgml/internal/apgas"
 	"github.com/rgml/rgml/internal/apps"
 	"github.com/rgml/rgml/internal/core"
+	"github.com/rgml/rgml/internal/obs"
 )
 
 func main() {
@@ -36,6 +37,7 @@ func run() error {
 		size     = flag.Int("size", 1000, "per-place problem size (examples or nodes)")
 		seed     = flag.Uint64("seed", 42, "dataset seed")
 		latency  = flag.Duration("latency", 0, "simulated per-message latency")
+		metrics  = flag.String("metrics", "", "export the run's metrics registry: \"-\" for text on stdout, else a JSON file path")
 	)
 	flag.Parse()
 
@@ -59,10 +61,14 @@ func run() error {
 		total++
 	}
 
+	// One registry collects runtime, snapshot and executor metrics so the
+	// -metrics export is a single coherent document.
+	reg := obs.NewRegistry()
 	rt, err := apgas.NewRuntime(apgas.Config{
 		Places:    total,
 		Resilient: true,
 		Net:       apgas.NetModel{Latency: *latency},
+		Obs:       reg,
 	})
 	if err != nil {
 		return err
@@ -75,6 +81,7 @@ func run() error {
 		CheckpointInterval: *ckpt,
 		Mode:               mode,
 		Spares:             spares,
+		Obs:                reg,
 		AfterStep: func(iter int64) {
 			if *killIter > 0 && !killed && iter == int64(*killIter) {
 				killed = true
@@ -132,5 +139,27 @@ func run() error {
 	st := rt.Stats()
 	fmt.Printf("  runtime:      %d tasks, %d messages, %d ledger events, %d places killed\n",
 		st.TasksSpawned, st.Messages, st.LedgerEvents, st.PlacesKilled)
-	return nil
+	return exportMetrics(reg, *metrics)
+}
+
+// exportMetrics writes the registry to dest: nothing for "", a text dump on
+// stdout for "-", otherwise an indented JSON file.
+func exportMetrics(reg *obs.Registry, dest string) error {
+	switch dest {
+	case "":
+		return nil
+	case "-":
+		fmt.Println()
+		return reg.WriteText(os.Stdout)
+	default:
+		f, err := os.Create(dest)
+		if err != nil {
+			return fmt.Errorf("metrics export: %w", err)
+		}
+		defer f.Close()
+		if err := reg.WriteJSON(f); err != nil {
+			return fmt.Errorf("metrics export: %w", err)
+		}
+		return nil
+	}
 }

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"log"
 	"sort"
+	"time"
 
 	"github.com/rgml/rgml"
 )
@@ -52,7 +53,11 @@ func main() {
 // run executes PageRank on its own runtime, optionally killing a place
 // after iteration killIter, and returns the final ranks.
 func run(cfg rgml.PageRankConfig, places, killIter int) rgml.Vector {
-	rt, err := rgml.NewRuntime(rgml.RuntimeConfig{Places: places, Resilient: true})
+	// One registry observes the runtime and the executor; after a failure
+	// run it holds the whole story: kills, restore attempts, snapshot
+	// replica traffic.
+	reg := rgml.NewMetricsRegistry()
+	rt, err := rgml.NewRuntime(rgml.RuntimeConfig{Places: places, Resilient: true, Obs: reg})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,6 +66,7 @@ func run(cfg rgml.PageRankConfig, places, killIter int) rgml.Vector {
 	exec, err := rgml.NewExecutor(rt, rgml.ExecutorConfig{
 		CheckpointInterval: 10,
 		Mode:               rgml.Shrink,
+		Obs:                reg,
 		AfterStep: func(iter int64) {
 			if killIter > 0 && !killed && iter == int64(killIter) {
 				killed = true
@@ -84,8 +90,13 @@ func run(cfg rgml.PageRankConfig, places, killIter int) rgml.Vector {
 	}
 	if killIter > 0 {
 		m := exec.Metrics()
-		fmt.Printf("recovered: %d restore(s), %d iterations replayed, finished on %v\n",
-			m.Restores, m.ReplayedSteps, exec.ActiveGroup())
+		fmt.Printf("recovered: %d restore(s) in %d attempt(s), %d iterations replayed, finished on %v\n",
+			m.Restores, m.RestoreAttempts, m.ReplayedSteps, exec.ActiveGroup())
+		// The trace ring records the recovery timeline event by event.
+		fmt.Println("recovery trace:")
+		for _, ev := range reg.TraceEvents() {
+			fmt.Printf("  %8v %s (%d, %d)\n", ev.At.Round(time.Microsecond), ev.Name, ev.A, ev.B)
+		}
 	}
 	ranks, err := app.Ranks()
 	if err != nil {

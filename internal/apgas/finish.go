@@ -90,8 +90,8 @@ func (c *Ctx) AsyncAt(p Place, fn func(ctx *Ctx)) {
 	}
 	rt := c.rt
 	rt.stats.TasksSpawned.Add(1)
-	rt.stats.countMessage(c.Here, p, 0)
-	rt.cfg.Net.charge(c.Here, p, 0)
+	rt.instr.tasks.Inc()
+	rt.hop(c.Here, p, 0)
 
 	if !rt.cfg.Resilient {
 		// Non-resilient places never fail (Kill is rejected), so no

@@ -75,8 +75,7 @@ func newLedger(rt *Runtime) *ledger {
 // send delivers a bookkeeping event to the ledger, charging the network
 // model for the hop to place zero.
 func (l *ledger) send(ev ledgerEvent) {
-	l.rt.cfg.Net.charge(ev.from, Place{ID: 0}, 0)
-	l.rt.stats.countMessage(ev.from, Place{ID: 0}, 0)
+	l.rt.hop(ev.from, Place{ID: 0}, 0)
 	l.ch <- ev
 }
 
@@ -97,6 +96,7 @@ func (l *ledger) run() {
 			return
 		}
 		l.rt.stats.LedgerEvents.Add(1)
+		l.rt.instr.ledgerEvents.Inc()
 		if cost := l.rt.cfg.LedgerCost; cost != nil {
 			cost(l.live)
 		}

@@ -1,0 +1,92 @@
+package apgas
+
+import (
+	"testing"
+
+	"github.com/rgml/rgml/internal/obs"
+)
+
+// TestInstrumentationMatchesStats cross-checks the obs registry against the
+// legacy Stats counters: both observe the same events, so after any
+// workload they must agree exactly.
+func TestInstrumentationMatchesStats(t *testing.T) {
+	reg := obs.NewRegistry()
+	rt, err := NewRuntime(Config{Places: 4, Resilient: true, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	err = rt.Finish(func(ctx *Ctx) {
+		for i := 1; i < 4; i++ {
+			p := rt.Place(i)
+			ctx.AsyncAt(p, func(c *Ctx) {
+				c.Transfer(Place{ID: 0}, 1000)
+			})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Kill(rt.Place(2)); err != nil {
+		t.Fatal(err)
+	}
+	// Stop the ledger so its event counter is final.
+	rt.Shutdown()
+
+	st := rt.Stats()
+	checks := []struct {
+		name string
+		want int64
+	}{
+		{"apgas.tasks.spawned", st.TasksSpawned},
+		{"apgas.net.messages", st.Messages},
+		{"apgas.net.bytes", st.Bytes},
+		{"apgas.ledger.events", st.LedgerEvents},
+		{"apgas.kills.observed", st.PlacesKilled},
+	}
+	for _, c := range checks {
+		if got := reg.Counter(c.name).Value(); got != c.want {
+			t.Errorf("%s = %d, want %d (stats)", c.name, got, c.want)
+		}
+	}
+	if got := reg.Gauge("apgas.places.live").Value(); got != 3 {
+		t.Errorf("apgas.places.live = %d, want 3", got)
+	}
+	if got := reg.Histogram("apgas.finish.duration").Count(); got != 1 {
+		t.Errorf("apgas.finish.duration count = %d, want 1", got)
+	}
+	killTraces := 0
+	for _, ev := range reg.TraceEvents() {
+		if ev.Name == "apgas.place.killed" {
+			killTraces++
+			if ev.A != 2 {
+				t.Errorf("kill trace names place %d, want 2", ev.A)
+			}
+		}
+	}
+	if killTraces != 1 {
+		t.Errorf("apgas.place.killed events = %d, want 1", killTraces)
+	}
+}
+
+// TestUninstrumentedRuntime checks that a runtime without a registry runs
+// the same workload with every instrument call a no-op.
+func TestUninstrumentedRuntime(t *testing.T) {
+	rt, err := NewRuntime(Config{Places: 2, Resilient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	if rt.Obs() != nil {
+		t.Fatal("unexpected registry")
+	}
+	err = rt.Finish(func(ctx *Ctx) {
+		ctx.AsyncAt(rt.Place(1), func(c *Ctx) { c.Transfer(Place{ID: 0}, 10) })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Stats().TasksSpawned != 1 {
+		t.Errorf("TasksSpawned = %d", rt.Stats().TasksSpawned)
+	}
+}

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"github.com/rgml/rgml/internal/obs"
 )
 
 // Config parameterizes a Runtime.
@@ -28,6 +31,13 @@ type Config struct {
 	// as the scalability bottleneck. Events are processed serially, so
 	// this cost is not parallelizable.
 	LedgerCost func(liveTasks int)
+	// Obs, when non-nil, receives runtime instrumentation: task spawns,
+	// place-crossing messages and bytes, ledger events, observed kills,
+	// simulated network time, and finish latencies. The same registry is
+	// typically shared with the snapshot layer and the executor so one
+	// run exports as a single document. Nil disables instrumentation at
+	// the cost of one branch per event.
+	Obs *obs.Registry
 }
 
 // Runtime is the emulated APGAS runtime: a fixed-at-startup (but elastically
@@ -46,6 +56,37 @@ type Runtime struct {
 	nextFinish atomic.Uint64
 
 	stats Stats
+	instr rtInstr
+}
+
+// rtInstr holds the runtime's observability handles, resolved once at
+// NewRuntime so hot paths update them with single atomic operations. With
+// no registry configured every handle is nil and each update is a no-op
+// branch (see internal/obs).
+type rtInstr struct {
+	tasks        *obs.Counter   // apgas.tasks.spawned
+	messages     *obs.Counter   // apgas.net.messages
+	bytes        *obs.Counter   // apgas.net.bytes
+	netTime      *obs.Counter   // apgas.net.simulated_ns
+	ledgerEvents *obs.Counter   // apgas.ledger.events
+	kills        *obs.Counter   // apgas.kills.observed
+	placesAdded  *obs.Counter   // apgas.places.added
+	livePlaces   *obs.Gauge     // apgas.places.live
+	finishes     *obs.Histogram // apgas.finish.duration
+}
+
+func newRTInstr(reg *obs.Registry) rtInstr {
+	return rtInstr{
+		tasks:        reg.Counter("apgas.tasks.spawned"),
+		messages:     reg.Counter("apgas.net.messages"),
+		bytes:        reg.Counter("apgas.net.bytes"),
+		netTime:      reg.Counter("apgas.net.simulated_ns"),
+		ledgerEvents: reg.Counter("apgas.ledger.events"),
+		kills:        reg.Counter("apgas.kills.observed"),
+		placesAdded:  reg.Counter("apgas.places.added"),
+		livePlaces:   reg.Gauge("apgas.places.live"),
+		finishes:     reg.Histogram("apgas.finish.duration"),
+	}
 }
 
 // NewRuntime creates a runtime with cfg.Places live places.
@@ -53,15 +94,49 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	if cfg.Places < 1 {
 		return nil, fmt.Errorf("apgas: Config.Places must be >= 1, got %d", cfg.Places)
 	}
-	rt := &Runtime{cfg: cfg}
+	rt := &Runtime{cfg: cfg, instr: newRTInstr(cfg.Obs)}
 	rt.places = make([]*place, cfg.Places)
 	for i := range rt.places {
 		rt.places[i] = newPlace(i)
 	}
+	rt.instr.livePlaces.Set(int64(cfg.Places))
 	if cfg.Resilient {
 		rt.ledger = newLedger(rt)
 	}
 	return rt, nil
+}
+
+// Obs returns the observability registry the runtime was configured with
+// (nil when uninstrumented). The snapshot and executor layers pick it up
+// from here so one registry covers a whole run.
+func (rt *Runtime) Obs() *obs.Registry { return rt.cfg.Obs }
+
+// hop records one place-crossing message of the given payload size in the
+// activity counters and charges the simulated network. Intra-place moves
+// are free and uncounted, matching the emulation's cost model.
+func (rt *Runtime) hop(from, to Place, bytes int) {
+	if from.ID == to.ID {
+		return
+	}
+	rt.stats.countMessage(from, to, bytes)
+	rt.instr.messages.Inc()
+	if bytes > 0 {
+		rt.instr.bytes.Add(int64(bytes))
+	}
+	rt.chargeNet(from, to, bytes)
+}
+
+// chargeNet blocks for the simulated transfer time of a message and
+// accounts it, without counting a message (used for the return leg of an
+// "at", which the stats model treats as part of the same hop).
+func (rt *Runtime) chargeNet(from, to Place, bytes int) {
+	if from.ID == to.ID {
+		return
+	}
+	if d := rt.cfg.Net.delay(bytes); d > 0 {
+		rt.instr.netTime.Add(int64(d))
+		time.Sleep(d)
+	}
 }
 
 // Resilient reports whether the runtime uses resilient finish semantics.
@@ -163,6 +238,9 @@ func (rt *Runtime) AddPlaces(n int) (PlaceGroup, error) {
 		added = append(added, Place{ID: id})
 	}
 	rt.stats.PlacesAdded.Add(int64(n))
+	rt.instr.placesAdded.Add(int64(n))
+	rt.instr.livePlaces.Add(int64(n))
+	rt.cfg.Obs.Trace("apgas.places.added", int64(n), int64(len(rt.places)))
 	return added, nil
 }
 
@@ -183,6 +261,9 @@ func (rt *Runtime) Kill(p Place) error {
 	}
 	pl.kill()
 	rt.stats.PlacesKilled.Add(1)
+	rt.instr.kills.Inc()
+	rt.instr.livePlaces.Add(-1)
+	rt.cfg.Obs.Trace("apgas.place.killed", int64(p.ID), 0)
 	// The failure detector notifies the ledger, which adopts and terminates
 	// the dead place's tasks.
 	rt.ledger.placeDied(p)
@@ -223,8 +304,7 @@ func (c *Ctx) CheckAlive() {
 // around bulk data movement so the simulated interconnect sees realistic
 // volumes.
 func (c *Ctx) Transfer(to Place, bytes int) {
-	c.rt.stats.countMessage(c.Here, to, bytes)
-	c.rt.cfg.Net.charge(c.Here, to, bytes)
+	c.rt.hop(c.Here, to, bytes)
 }
 
 // At runs fn synchronously at place p, like X10's "at (p) S" executed from
@@ -234,13 +314,12 @@ func (c *Ctx) Transfer(to Place, bytes int) {
 func (c *Ctx) At(p Place, fn func(ctx *Ctx)) {
 	rt := c.rt
 	pl := rt.placeState(p)
-	rt.stats.countMessage(c.Here, p, 0)
-	rt.cfg.Net.charge(c.Here, p, 0)
+	rt.hop(c.Here, p, 0)
 	pl.checkAlive()
 	sub := &Ctx{rt: rt, Here: p, fin: c.fin}
 	fn(sub)
 	// Returning from "at" is itself a message back to the origin.
-	rt.cfg.Net.charge(p, c.Here, 0)
+	rt.chargeNet(p, c.Here, 0)
 	pl.checkAlive()
 }
 
@@ -276,6 +355,10 @@ func (c *Ctx) FinishFrom(body func(ctx *Ctx)) error {
 func (rt *Runtime) finishFrom(parent *Ctx, body func(ctx *Ctx)) error {
 	f := rt.newFinish(parent.Here)
 	ctx := &Ctx{rt: rt, Here: parent.Here, fin: f}
+	var t0 time.Time
+	if rt.instr.finishes != nil {
+		t0 = time.Now()
+	}
 	func() {
 		defer func() {
 			if err := recoverTaskError(recover()); err != nil {
@@ -284,5 +367,9 @@ func (rt *Runtime) finishFrom(parent *Ctx, body func(ctx *Ctx)) error {
 		}()
 		body(ctx)
 	}()
-	return f.wait()
+	err := f.wait()
+	if rt.instr.finishes != nil {
+		rt.instr.finishes.Observe(time.Since(t0))
+	}
+	return err
 }

@@ -50,7 +50,7 @@ func (c Config) Ablations() ([]AblationRow, error) {
 	fanout := func(resilient bool, work int) (time.Duration, error) {
 		cfg := c
 		cfg.LedgerWork = work
-		rt, err := cfg.newRuntime(places, resilient)
+		rt, err := cfg.newRuntime(places, resilient, nil)
 		if err != nil {
 			return 0, err
 		}
@@ -79,7 +79,7 @@ func (c Config) Ablations() ([]AblationRow, error) {
 
 	// --- backup-copy ---
 	saveVec := func(backup bool) (time.Duration, error) {
-		rt, err := c.newRuntime(places, true)
+		rt, err := c.newRuntime(places, true, nil)
 		if err != nil {
 			return 0, err
 		}
@@ -117,7 +117,7 @@ func (c Config) Ablations() ([]AblationRow, error) {
 
 	// --- read-only ---
 	checkpoint3 := func(readOnly bool) (time.Duration, error) {
-		rt, err := c.newRuntime(places, true)
+		rt, err := c.newRuntime(places, true, nil)
 		if err != nil {
 			return 0, err
 		}
@@ -163,7 +163,7 @@ func (c Config) Ablations() ([]AblationRow, error) {
 
 	// --- regrid-sparse ---
 	restoreSparse := func(regrid bool) (time.Duration, error) {
-		rt, err := c.newRuntime(places, true)
+		rt, err := c.newRuntime(places, true, nil)
 		if err != nil {
 			return 0, err
 		}

@@ -23,6 +23,7 @@ import (
 	"github.com/rgml/rgml/internal/apgas"
 	"github.com/rgml/rgml/internal/apps"
 	"github.com/rgml/rgml/internal/core"
+	"github.com/rgml/rgml/internal/obs"
 )
 
 // Scale sets the workload sizes. The paper's sizes (50 000 examples/place
@@ -108,6 +109,13 @@ type Config struct {
 	LedgerWork int
 	// Progress, when non-nil, receives progress lines.
 	Progress io.Writer
+	// MetricsDir, when non-empty, receives one JSON metrics export per
+	// restore run (the obs registry shared by the runtime and the
+	// executor), named <app>_<mode>_p<places>.json. Table IV's percentages
+	// derive from the same registry, so the exports let the dropped detail
+	// (per-attempt traces, network bytes, pool hit rates) be inspected
+	// after the fact.
+	MetricsDir string
 }
 
 // DefaultConfig returns the configuration used for the checked-in outputs.
@@ -145,12 +153,15 @@ func (c Config) ledgerCost() func(live int) {
 // ledgerSink defeats dead-code elimination of the busy work.
 var ledgerSink uint64
 
-// newRuntime builds a runtime for one experiment run.
-func (c Config) newRuntime(places int, resilient bool) (*apgas.Runtime, error) {
+// newRuntime builds a runtime for one experiment run. reg, when non-nil,
+// instruments the runtime; restore runs share it with the executor so one
+// export describes the whole run.
+func (c Config) newRuntime(places int, resilient bool, reg *obs.Registry) (*apgas.Runtime, error) {
 	return apgas.NewRuntime(apgas.Config{
 		Places:    places,
 		Resilient: resilient,
 		Net:       apgas.NetModel{Latency: c.Latency, BytePeriod: c.BytePeriod},
+		Obs:       reg,
 		LedgerCost: func() func(live int) {
 			if !resilient {
 				return nil

@@ -166,7 +166,7 @@ func TestLedgerCostHook(t *testing.T) {
 
 func TestNewRuntimeRespectsResilience(t *testing.T) {
 	c := smokeConfig()
-	rt, err := c.newRuntime(2, true)
+	rt, err := c.newRuntime(2, true, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +174,7 @@ func TestNewRuntimeRespectsResilience(t *testing.T) {
 	if !rt.Resilient() {
 		t.Error("expected resilient runtime")
 	}
-	nrt, err := c.newRuntime(2, false)
+	nrt, err := c.newRuntime(2, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

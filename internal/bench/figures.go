@@ -2,10 +2,33 @@ package bench
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"time"
 
 	"github.com/rgml/rgml/internal/core"
+	"github.com/rgml/rgml/internal/obs"
 )
+
+// exportMetrics writes reg as JSON into Config.MetricsDir under name, or
+// does nothing when no directory is configured.
+func (c Config) exportMetrics(reg *obs.Registry, name string) error {
+	if c.MetricsDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(c.MetricsDir, 0o755); err != nil {
+		return fmt.Errorf("bench: metrics dir: %w", err)
+	}
+	f, err := os.Create(filepath.Join(c.MetricsDir, name))
+	if err != nil {
+		return fmt.Errorf("bench: metrics export: %w", err)
+	}
+	defer f.Close()
+	if err := reg.WriteJSON(f); err != nil {
+		return fmt.Errorf("bench: metrics export: %w", err)
+	}
+	return nil
+}
 
 // Point is one measurement of a series.
 type Point struct {
@@ -70,7 +93,7 @@ func (c Config) FinishOverheadFigure(app AppName) (*Figure, error) {
 	for _, places := range c.Scale.PlaceCounts {
 		for si, resilient := range []bool{true, false} {
 			pt, err := c.timeRuns(func(run int) (float64, error) {
-				rt, err := c.newRuntime(places, resilient)
+				rt, err := c.newRuntime(places, resilient, nil)
 				if err != nil {
 					return 0, err
 				}
@@ -158,7 +181,7 @@ func (c Config) RestoreFigure(app AppName) (*Figure, []RestoreRun, error) {
 		}
 		// Baseline: non-resilient runtime, plain loop, no failure.
 		pt, err := c.timeRuns(func(run int) (float64, error) {
-			rt, err := c.newRuntime(places, false)
+			rt, err := c.newRuntime(places, false, nil)
 			if err != nil {
 				return 0, err
 			}
@@ -196,7 +219,11 @@ func (c Config) restoreRun(app AppName, places int, mode core.RestoreMode) (Rest
 		total = places + 1
 		spares = 1
 	}
-	rt, err := c.newRuntime(total, true)
+	// One registry instruments the runtime, the snapshot layer and the
+	// executor, so the Table IV percentages and the optional JSON export
+	// come from a single coherent document.
+	reg := obs.NewRegistry()
+	rt, err := c.newRuntime(total, true, reg)
 	if err != nil {
 		return RestoreRun{}, err
 	}
@@ -208,6 +235,7 @@ func (c Config) restoreRun(app AppName, places int, mode core.RestoreMode) (Rest
 		CheckpointInterval: c.Scale.CheckpointInterval,
 		Mode:               mode,
 		Spares:             spares,
+		Obs:                reg,
 		AfterStep: func(iter int64) {
 			if !killed && iter == int64(c.Scale.FailureIteration) {
 				killed = true
@@ -228,6 +256,9 @@ func (c Config) restoreRun(app AppName, places int, mode core.RestoreMode) (Rest
 	m := exec.Metrics()
 	if m.Restores == 0 {
 		return RestoreRun{}, fmt.Errorf("bench: no restore happened (places=%d mode=%v)", places, mode)
+	}
+	if err := c.exportMetrics(reg, fmt.Sprintf("%s_%s_p%d.json", app, mode, places)); err != nil {
+		return RestoreRun{}, err
 	}
 	totalMS := float64(m.Total.Microseconds()) / 1000
 	return RestoreRun{

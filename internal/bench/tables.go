@@ -27,7 +27,7 @@ func (c Config) CheckpointTable() ([]CheckpointRow, error) {
 		for _, app := range Apps {
 			var meanMS float64
 			_, err := c.timeRuns(func(run int) (float64, error) {
-				rt, err := c.newRuntime(places, true)
+				rt, err := c.newRuntime(places, true, nil)
 				if err != nil {
 					return 0, err
 				}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/rgml/rgml/internal/apgas"
+	"github.com/rgml/rgml/internal/obs"
 )
 
 // RestoreMode selects how the executor adapts the application to the loss
@@ -78,14 +79,39 @@ type Config struct {
 	// the 1-based count of completed iterations. Benchmarks use it to
 	// inject failures at a chosen iteration.
 	AfterStep func(iter int64)
+	// Obs, when non-nil, is the observability registry the executor
+	// records into. When nil, the executor uses the runtime's registry
+	// (apgas.Config.Obs) if one was configured, and otherwise creates a
+	// private registry — Metrics is always a live view over a registry.
+	Obs *obs.Registry
 }
 
-// Metrics accumulates where the executor spent its time; the benchmark
-// harness derives Table IV's checkpoint/restore percentages from it.
+// Metrics reports where the executor spent its time; the benchmark
+// harness derives Table IV's checkpoint/restore percentages from it. It is
+// a point-in-time view over the executor's observability registry (the
+// "core.*" instruments), not an independent set of fields.
+//
+// Accounting semantics:
+//
+//   - StepTime, CheckpointTime and RestoreTime are wall-clock time spent
+//     in the three phases and are mutually non-overlapping; their sum is
+//     at most Total. A recovery that needs several attempts (failures
+//     during restore) charges RestoreTime once for the whole recovery —
+//     nested attempts are never double-counted.
+//   - Restores counts recoveries that succeeded; RestoreAttempts counts
+//     every attempt, including ones aborted by a further failure, so
+//     RestoreAttempts ≥ Restores. Each attempt also emits one
+//     "core.restore.attempt" trace event.
+//   - StepTime includes the partial time of steps aborted by a failure;
+//     Steps counts only completed steps.
 type Metrics struct {
 	Steps       int64
 	Checkpoints int64
-	Restores    int64
+	// Restores counts recoveries that completed successfully.
+	Restores int64
+	// RestoreAttempts counts individual restore attempts, including those
+	// interrupted by further failures and retried.
+	RestoreAttempts int64
 	// ReplayedSteps counts iterations re-executed after rollbacks.
 	ReplayedSteps  int64
 	StepTime       time.Duration
@@ -99,16 +125,57 @@ type Metrics struct {
 // and restores from the latest checkpoint when a place failure is
 // detected.
 type Executor struct {
-	rt      *apgas.Runtime
-	cfg     Config
-	store   *AppResilientStore
-	active  apgas.PlaceGroup
-	spares  apgas.PlaceGroup
-	iter    int64
-	metrics Metrics
+	rt     *apgas.Runtime
+	cfg    Config
+	store  *AppResilientStore
+	active apgas.PlaceGroup
+	spares apgas.PlaceGroup
+	iter   int64
+	reg    *obs.Registry
+	in     execInstr
 	// lastCkpt and autoIters drive the Young-formula automatic interval.
 	lastCkpt  int64
 	autoIters int64
+}
+
+// execInstr holds the executor's observability handles (the "core.*"
+// namespace), resolved once at construction.
+type execInstr struct {
+	steps           *obs.Counter   // core.steps
+	replayed        *obs.Counter   // core.steps.replayed
+	checkpoints     *obs.Counter   // core.checkpoints
+	ckptFailures    *obs.Counter   // core.checkpoints.failed
+	restores        *obs.Counter   // core.restores
+	restoreAttempts *obs.Counter   // core.restore.attempts
+	failedAttempts  *obs.Counter   // core.restore.attempts.failed
+	stepDur         *obs.Histogram // core.step.duration
+	ckptDur         *obs.Histogram // core.checkpoint.duration
+	restoreDur      *obs.Histogram // core.restore.duration
+	runNS           *obs.Counter   // core.run.ns
+	youngRecals     *obs.Counter   // core.young.recalibrations
+	youngIters      *obs.Gauge     // core.young.interval_iters
+	sparesFree      *obs.Gauge     // core.spares.available
+	activeSize      *obs.Gauge     // core.places.active
+}
+
+func newExecInstr(reg *obs.Registry) execInstr {
+	return execInstr{
+		steps:           reg.Counter("core.steps"),
+		replayed:        reg.Counter("core.steps.replayed"),
+		checkpoints:     reg.Counter("core.checkpoints"),
+		ckptFailures:    reg.Counter("core.checkpoints.failed"),
+		restores:        reg.Counter("core.restores"),
+		restoreAttempts: reg.Counter("core.restore.attempts"),
+		failedAttempts:  reg.Counter("core.restore.attempts.failed"),
+		stepDur:         reg.Histogram("core.step.duration"),
+		ckptDur:         reg.Histogram("core.checkpoint.duration"),
+		restoreDur:      reg.Histogram("core.restore.duration"),
+		runNS:           reg.Counter("core.run.ns"),
+		youngRecals:     reg.Counter("core.young.recalibrations"),
+		youngIters:      reg.Gauge("core.young.interval_iters"),
+		sparesFree:      reg.Gauge("core.spares.available"),
+		activeSize:      reg.Gauge("core.places.active"),
+	}
 }
 
 // NewExecutor builds an executor over rt's initial world, reserving
@@ -129,14 +196,29 @@ func NewExecutor(rt *apgas.Runtime, cfg Config) (*Executor, error) {
 	if cfg.MaxRestores == 0 {
 		cfg.MaxRestores = 16
 	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = rt.Obs()
+	}
+	if reg == nil {
+		// Metrics is a view over the registry, so the executor always has
+		// one, even when the caller did not ask for instrumentation.
+		reg = obs.NewRegistry()
+	}
 	split := world.Size() - cfg.Spares
-	return &Executor{
+	e := &Executor{
 		rt:     rt,
 		cfg:    cfg,
 		store:  NewAppResilientStore(),
 		active: apgas.PlaceGroup(world[:split]).Clone(),
 		spares: apgas.PlaceGroup(world[split:]).Clone(),
-	}, nil
+		reg:    reg,
+		in:     newExecInstr(reg),
+	}
+	e.store.instrument(reg)
+	e.in.sparesFree.Set(int64(cfg.Spares))
+	e.in.activeSize.Set(int64(split))
+	return e, nil
 }
 
 // ActiveGroup returns the places the application currently runs on.
@@ -146,23 +228,41 @@ func (e *Executor) ActiveGroup() apgas.PlaceGroup { return e.active.Clone() }
 // Store returns the executor's application resilient store.
 func (e *Executor) Store() *AppResilientStore { return e.store }
 
-// Metrics returns a copy of the executor's accumulated timings.
-func (e *Executor) Metrics() Metrics { return e.metrics }
+// Registry returns the observability registry the executor records into:
+// the one from Config.Obs, else the runtime's, else a private registry.
+// The benchmark harness derives Table IV's percentages from it and the
+// -metrics flag of rgmlrun/rgmlbench exports it.
+func (e *Executor) Registry() *obs.Registry { return e.reg }
+
+// Metrics returns a point-in-time view over the executor's registry (see
+// the Metrics type for the accounting semantics).
+func (e *Executor) Metrics() Metrics {
+	return Metrics{
+		Steps:           e.in.steps.Value(),
+		Checkpoints:     e.in.checkpoints.Value(),
+		Restores:        e.in.restores.Value(),
+		RestoreAttempts: e.in.restoreAttempts.Value(),
+		ReplayedSteps:   e.in.replayed.Value(),
+		StepTime:        e.in.stepDur.Sum(),
+		CheckpointTime:  e.in.ckptDur.Sum(),
+		RestoreTime:     e.in.restoreDur.Sum(),
+		Total:           time.Duration(e.in.runNS.Value()),
+	}
+}
 
 // Run drives app until IsFinished, surviving place failures when
 // checkpointing is enabled. It returns the first unrecoverable error.
 func (e *Executor) Run(app IterativeApp) error {
 	start := time.Now()
-	defer func() { e.metrics.Total = time.Since(start) }()
-	restores := 0
+	defer func() { e.in.runNS.Add(int64(time.Since(start))) }()
+	attempts := 0
 	for !app.IsFinished() {
 		if e.shouldCheckpoint() {
 			if err := e.checkpoint(app); err != nil {
 				if !apgas.IsDeadPlace(err) {
 					return fmt.Errorf("core: checkpoint at iteration %d: %w", e.iter, err)
 				}
-				restores++
-				if err := e.recover(app, restores); err != nil {
+				if err := e.recover(app, &attempts); err != nil {
 					return err
 				}
 				continue
@@ -170,19 +270,18 @@ func (e *Executor) Run(app IterativeApp) error {
 		}
 		t0 := time.Now()
 		err := app.Step()
-		e.metrics.StepTime += time.Since(t0)
+		e.in.stepDur.Observe(time.Since(t0))
 		if err != nil {
 			if !apgas.IsDeadPlace(err) {
 				return fmt.Errorf("core: step at iteration %d: %w", e.iter, err)
 			}
-			restores++
-			if err := e.recover(app, restores); err != nil {
+			if err := e.recover(app, &attempts); err != nil {
 				return err
 			}
 			continue
 		}
 		e.iter++
-		e.metrics.Steps++
+		e.in.steps.Inc()
 		if e.cfg.AfterStep != nil {
 			e.cfg.AfterStep(e.iter)
 		}
@@ -200,7 +299,7 @@ func (e *Executor) shouldCheckpoint() bool {
 	if e.cfg.MTTF <= 0 {
 		return false
 	}
-	if e.metrics.Checkpoints == 0 {
+	if e.in.checkpoints.Value() == 0 {
 		return true // always secure an initial recovery point
 	}
 	// Recalibrate at decision time, once step timings exist.
@@ -215,12 +314,21 @@ func (e *Executor) AutoInterval() int64 { return e.autoIters }
 // updateAutoInterval recalibrates the Young interval from the measured
 // mean checkpoint and step costs.
 func (e *Executor) updateAutoInterval() {
-	if e.cfg.MTTF <= 0 || e.metrics.Steps == 0 || e.metrics.Checkpoints == 0 {
+	prev := e.autoIters
+	defer func() {
+		e.in.youngIters.Set(e.autoIters)
+		if e.autoIters != prev {
+			e.in.youngRecals.Inc()
+			e.reg.Trace("core.young.recalibrated", e.autoIters, prev)
+		}
+	}()
+	steps, ckpts := e.in.steps.Value(), e.in.checkpoints.Value()
+	if e.cfg.MTTF <= 0 || steps == 0 || ckpts == 0 {
 		e.autoIters = 1
 		return
 	}
-	avgStep := e.metrics.StepTime / time.Duration(e.metrics.Steps)
-	avgCkpt := e.metrics.CheckpointTime / time.Duration(e.metrics.Checkpoints)
+	avgStep := e.in.stepDur.Sum() / time.Duration(steps)
+	avgCkpt := e.in.ckptDur.Sum() / time.Duration(ckpts)
 	opt := YoungInterval(avgCkpt, e.cfg.MTTF)
 	if avgStep <= 0 {
 		e.autoIters = 1
@@ -236,53 +344,86 @@ func (e *Executor) updateAutoInterval() {
 // checkpoint takes one application checkpoint, cancelling it on failure.
 func (e *Executor) checkpoint(app IterativeApp) error {
 	t0 := time.Now()
-	defer func() { e.metrics.CheckpointTime += time.Since(t0) }()
+	defer func() { e.in.ckptDur.Observe(time.Since(t0)) }()
 	e.store.SetIteration(e.iter)
 	if err := app.Checkpoint(e.store); err != nil {
 		e.store.CancelSnapshot()
+		e.in.ckptFailures.Inc()
+		e.reg.Trace("core.checkpoint.failed", e.iter, 0)
 		return err
 	}
-	e.metrics.Checkpoints++
+	e.in.checkpoints.Inc()
 	e.lastCkpt = e.iter
+	e.reg.Trace("core.checkpoint", e.iter, e.in.checkpoints.Value())
 	return nil
 }
 
 // recover rolls the application back to the committed checkpoint on a new
 // place group chosen by the restoration mode. Additional failures during
-// recovery trigger further attempts up to MaxRestores.
-func (e *Executor) recover(app IterativeApp, attempt int) error {
-	if attempt > e.cfg.MaxRestores {
-		return fmt.Errorf("core: giving up after %d restore attempts", e.cfg.MaxRestores)
-	}
+// recovery trigger further attempts, iteratively, up to MaxRestores across
+// the whole run (attempts is shared with Run). The recovery's wall time is
+// charged to RestoreTime exactly once, no matter how many attempts it
+// takes; every attempt increments RestoreAttempts and emits one
+// "core.restore.attempt" trace event.
+func (e *Executor) recover(app IterativeApp, attempts *int) error {
 	if !e.store.HasSnapshot() {
 		return ErrNoSnapshot
 	}
 	t0 := time.Now()
-	defer func() { e.metrics.RestoreTime += time.Since(t0) }()
+	defer func() { e.in.restoreDur.Observe(time.Since(t0)) }()
 
-	newPG, rebalance, err := e.nextGroup()
-	if err != nil {
-		return err
-	}
 	snapIter := e.store.SnapshotIter()
-	if err := app.Restore(newPG, e.store, snapIter, rebalance); err != nil {
-		if apgas.IsDeadPlace(err) {
-			// Another place died during recovery: try again.
-			return e.recover(app, attempt+1)
+	for {
+		*attempts++
+		if *attempts > e.cfg.MaxRestores {
+			return fmt.Errorf("core: giving up after %d restore attempts", e.cfg.MaxRestores)
 		}
-		return fmt.Errorf("core: restore at iteration %d: %w", snapIter, err)
+		e.in.restoreAttempts.Inc()
+		e.reg.Trace("core.restore.attempt", int64(*attempts), snapIter)
+		plan, err := e.nextGroup()
+		if err != nil {
+			return err
+		}
+		if err := app.Restore(plan.active, e.store, snapIter, plan.rebalance); err != nil {
+			if apgas.IsDeadPlace(err) {
+				// Another place died during recovery: try again. The plan
+				// is discarded without being committed, so any spares it
+				// would have consumed stay in the pool for the retry
+				// (minus those that themselves died, which the next
+				// nextGroup filters out).
+				e.in.failedAttempts.Inc()
+				e.reg.Trace("core.restore.attempt.failed", int64(*attempts), snapIter)
+				continue
+			}
+			return fmt.Errorf("core: restore at iteration %d: %w", snapIter, err)
+		}
+		e.active = plan.active
+		e.spares = plan.spares
+		e.in.sparesFree.Set(int64(e.rt.Live(e.spares).Size()))
+		e.in.activeSize.Set(int64(e.active.Size()))
+		e.in.replayed.Add(e.iter - snapIter)
+		e.iter = snapIter
+		e.lastCkpt = snapIter
+		e.in.restores.Inc()
+		e.reg.Trace("core.restore.success", int64(*attempts), snapIter)
+		return nil
 	}
-	e.active = newPG
-	e.metrics.ReplayedSteps += e.iter - snapIter
-	e.iter = snapIter
-	e.lastCkpt = snapIter
-	e.metrics.Restores++
-	return nil
 }
 
-// nextGroup computes the new active group per the restoration mode and
-// reports whether the application should repartition for even load.
-func (e *Executor) nextGroup() (apgas.PlaceGroup, bool, error) {
+// groupPlan is the outcome of one restoration-mode decision: the group to
+// restore onto, the spare pool as it should look if the restore succeeds,
+// and whether the application should repartition. Nothing in the plan is
+// applied to the executor until the restore attempt actually succeeds —
+// in particular, spares named in active are not removed from the pool by
+// planning alone, so a failed attempt cannot leak them.
+type groupPlan struct {
+	active    apgas.PlaceGroup
+	spares    apgas.PlaceGroup
+	rebalance bool
+}
+
+// nextGroup computes the new active group per the restoration mode.
+func (e *Executor) nextGroup() (groupPlan, error) {
 	dead := make([]apgas.Place, 0, 1)
 	for _, p := range e.active {
 		if e.rt.IsDead(p) {
@@ -292,7 +433,7 @@ func (e *Executor) nextGroup() (apgas.PlaceGroup, bool, error) {
 	if len(dead) == 0 {
 		// The failure hit a place outside the active group (e.g. a spare):
 		// the data distribution is unaffected; restore in place.
-		return e.active.Clone(), false, nil
+		return groupPlan{active: e.active.Clone(), spares: e.spares}, nil
 	}
 	mode := e.cfg.Mode
 	switch mode {
@@ -300,23 +441,22 @@ func (e *Executor) nextGroup() (apgas.PlaceGroup, bool, error) {
 		alive := e.rt.Live(e.spares)
 		if len(alive) >= len(dead) {
 			taken := alive[:len(dead)]
-			e.spares = alive[len(dead):]
 			newPG, err := e.active.Replace(dead, taken)
-			return newPG, false, err
+			return groupPlan{active: newPG, spares: alive[len(dead):]}, err
 		}
 		// Spare pool exhausted: fall back (paper section V-B3).
 		mode = e.cfg.Fallback
 	case ReplaceElastic:
 		added, err := e.rt.AddPlaces(len(dead))
 		if err != nil {
-			return nil, false, fmt.Errorf("core: elastic place creation: %w", err)
+			return groupPlan{}, fmt.Errorf("core: elastic place creation: %w", err)
 		}
 		newPG, err := e.active.Replace(dead, added)
-		return newPG, false, err
+		return groupPlan{active: newPG, spares: e.spares}, err
 	}
 	survivors := e.active.Without(dead...)
 	if survivors.Size() == 0 {
-		return nil, false, errors.New("core: no surviving places")
+		return groupPlan{}, errors.New("core: no surviving places")
 	}
-	return survivors, mode == ShrinkRebalance, nil
+	return groupPlan{active: survivors, spares: e.spares, rebalance: mode == ShrinkRebalance}, nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"github.com/rgml/rgml/internal/obs"
 	"github.com/rgml/rgml/internal/snapshot"
 )
 
@@ -33,6 +34,23 @@ type AppResilientStore struct {
 	// ("if there is an existing snapshot for a read-only object,
 	// saveReadOnly will reuse this snapshot").
 	readOnly map[snapshot.Snapshottable]*snapshot.Snapshot
+
+	// Observability handles (nil-safe; see instrument).
+	saves    *obs.Counter // core.store.saves
+	roReuses *obs.Counter // core.store.readonly_reuses
+	commits  *obs.Counter // core.store.commits
+	cancels  *obs.Counter // core.store.cancels
+}
+
+// instrument wires the store's counters into reg. The executor calls it
+// for the store it owns; stand-alone stores stay uninstrumented.
+func (s *AppResilientStore) instrument(reg *obs.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.saves = reg.Counter("core.store.saves")
+	s.roReuses = reg.Counter("core.store.readonly_reuses")
+	s.commits = reg.Counter("core.store.commits")
+	s.cancels = reg.Counter("core.store.cancels")
 }
 
 // NewAppResilientStore returns an empty store.
@@ -82,7 +100,11 @@ func (s *AppResilientStore) StartNewSnapshot() error {
 	return nil
 }
 
-// Save captures obj's state into the pending checkpoint.
+// Save captures obj's state into the pending checkpoint. The snapshot is
+// taken outside the store's lock (it is a distributed operation), so a
+// concurrent Commit or CancelSnapshot can end the checkpoint window while
+// the snapshot is in flight; Save then destroys the orphaned snapshot and
+// reports ErrNoSnapshotStarted instead of writing into a closed window.
 func (s *AppResilientStore) Save(obj snapshot.Snapshottable) error {
 	s.mu.Lock()
 	if !s.inProgress {
@@ -95,8 +117,17 @@ func (s *AppResilientStore) Save(obj snapshot.Snapshottable) error {
 		return fmt.Errorf("core: saving object: %w", err)
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	if !s.inProgress {
+		// The window closed while the snapshot was being taken (e.g. the
+		// executor cancelled the checkpoint after a failure). The pending
+		// map is gone; destroy the snapshot we can no longer hand over.
+		s.mu.Unlock()
+		snap.Destroy()
+		return ErrNoSnapshotStarted
+	}
 	s.pending[obj] = snap
+	s.saves.Inc()
+	s.mu.Unlock()
 	return nil
 }
 
@@ -112,6 +143,9 @@ func (s *AppResilientStore) SaveReadOnly(obj snapshot.Snapshottable) error {
 	}
 	cached := s.readOnly[obj]
 	s.mu.Unlock()
+	if cached != nil {
+		s.roReuses.Inc()
+	}
 	if cached == nil {
 		snap, err := obj.MakeSnapshot()
 		if err != nil {
@@ -157,6 +191,7 @@ func (s *AppResilientStore) Commit() error {
 	s.committedIter = s.pendingIter
 	s.pending = nil
 	s.inProgress = false
+	s.commits.Inc()
 	s.destroyUnshared(old)
 	return nil
 }
@@ -172,6 +207,7 @@ func (s *AppResilientStore) CancelSnapshot() {
 	s.destroyUnshared(s.pending)
 	s.pending = nil
 	s.inProgress = false
+	s.cancels.Inc()
 }
 
 // destroyUnshared releases the snapshots of set that are not read-only

@@ -78,6 +78,84 @@ func TestStoreRestoreWithoutCommit(t *testing.T) {
 	}
 }
 
+// slowObj stalls MakeSnapshot so a concurrent Commit/CancelSnapshot can
+// close the checkpoint window while the snapshot is in flight.
+type slowObj struct {
+	fakeObj
+	delay time.Duration
+}
+
+func (o *slowObj) MakeSnapshot() (*snapshot.Snapshot, error) {
+	time.Sleep(o.delay)
+	return o.fakeObj.MakeSnapshot()
+}
+
+// TestStoreSaveCancelRace is the regression test for the lost-window race:
+// Save used to drop the mutex while snapshotting and then write into
+// s.pending unconditionally, panicking on the nil map left behind by a
+// concurrent CancelSnapshot. A late Save must either land in the window or
+// report ErrNoSnapshotStarted — never panic.
+func TestStoreSaveCancelRace(t *testing.T) {
+	s := NewAppResilientStore()
+	obj := &slowObj{delay: 100 * time.Microsecond}
+	for i := 0; i < 200; i++ {
+		if err := s.StartNewSnapshot(); err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- s.Save(obj) }()
+		s.CancelSnapshot()
+		if err := <-done; err != nil && !errors.Is(err, ErrNoSnapshotStarted) {
+			t.Fatalf("Save = %v", err)
+		}
+		// Drain a window the Save may have won, so the next round starts
+		// clean.
+		s.CancelSnapshot()
+	}
+}
+
+// TestStoreConcurrentSaveStress hammers one checkpoint window with
+// concurrent Save/SaveReadOnly from many goroutines racing a Commit, under
+// -race. Every error must be ErrNoSnapshotStarted (a cleanly refused late
+// save).
+func TestStoreConcurrentSaveStress(t *testing.T) {
+	s := NewAppResilientStore()
+	const savers = 8
+	for round := 0; round < 50; round++ {
+		if err := s.StartNewSnapshot(); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		errs := make(chan error, savers)
+		for i := 0; i < savers; i++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				obj := &slowObj{delay: time.Duration(i%3) * 10 * time.Microsecond}
+				if i%2 == 0 {
+					errs <- s.Save(obj)
+				} else {
+					errs <- s.SaveReadOnly(obj)
+				}
+			}()
+		}
+		if round%2 == 0 {
+			s.CancelSnapshot()
+		} else if err := s.Commit(); err != nil && !errors.Is(err, ErrNoSnapshotStarted) {
+			t.Fatal(err)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			if err != nil && !errors.Is(err, ErrNoSnapshotStarted) {
+				t.Fatalf("save = %v", err)
+			}
+		}
+		s.CancelSnapshot()
+	}
+}
+
 func TestStoreCancel(t *testing.T) {
 	s := NewAppResilientStore()
 	obj := &fakeObj{}

@@ -329,5 +329,15 @@ func (m *DistBlockMatrix) Remake(newPG apgas.PlaceGroup, keepGrid bool) error {
 		m.dg = dg
 	}
 	m.pg = newPG.Clone()
-	return m.alloc()
+	if err := m.alloc(); err != nil {
+		return err
+	}
+	reg := m.rt.Obs()
+	reg.Counter("dist.matrix.remakes").Inc()
+	kept := int64(0)
+	if keepGrid {
+		kept = 1
+	}
+	reg.Trace("dist.matrix.remake", int64(newPG.Size()), kept)
+	return nil
 }

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// histogramJSON is the wire form of one histogram in the JSON export.
+type histogramJSON struct {
+	Count  int64 `json:"count"`
+	SumNS  int64 `json:"sum_ns"`
+	MinNS  int64 `json:"min_ns"`
+	MaxNS  int64 `json:"max_ns"`
+	MeanNS int64 `json:"mean_ns"`
+}
+
+// eventJSON is the wire form of one trace event.
+type eventJSON struct {
+	Seq  uint64 `json:"seq"`
+	AtNS int64  `json:"at_ns"`
+	Name string `json:"name"`
+	A    int64  `json:"a"`
+	B    int64  `json:"b"`
+}
+
+// exportJSON is the top-level JSON export document.
+type exportJSON struct {
+	Counters   map[string]int64         `json:"counters"`
+	Gauges     map[string]int64         `json:"gauges"`
+	Histograms map[string]histogramJSON `json:"histograms"`
+	Trace      []eventJSON              `json:"trace"`
+}
+
+// WriteJSON writes the registry's instruments and trace buffer as one
+// indented JSON document. A nil registry writes an empty document.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	doc := exportJSON{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]histogramJSON{},
+		Trace:      []eventJSON{},
+	}
+	if r != nil {
+		for _, name := range r.counterNames() {
+			doc.Counters[name] = r.Counter(name).Value()
+		}
+		for _, name := range r.gaugeNames() {
+			doc.Gauges[name] = r.Gauge(name).Value()
+		}
+		for _, name := range r.histogramNames() {
+			h := r.Histogram(name)
+			doc.Histograms[name] = histogramJSON{
+				Count:  h.Count(),
+				SumNS:  int64(h.Sum()),
+				MinNS:  int64(h.Min()),
+				MaxNS:  int64(h.Max()),
+				MeanNS: int64(h.Mean()),
+			}
+		}
+		for _, ev := range r.TraceEvents() {
+			doc.Trace = append(doc.Trace, eventJSON{
+				Seq: ev.Seq, AtNS: int64(ev.At), Name: ev.Name, A: ev.A, B: ev.B,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// WriteText writes a human-readable rendering of the registry: sorted
+// counters and gauges, histogram summaries, and the trace buffer. A nil
+// registry writes nothing.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	if names := r.counterNames(); len(names) > 0 {
+		if _, err := fmt.Fprintln(w, "counters:"); err != nil {
+			return err
+		}
+		for _, name := range names {
+			if _, err := fmt.Fprintf(w, "  %-36s %d\n", name, r.Counter(name).Value()); err != nil {
+				return err
+			}
+		}
+	}
+	if names := r.gaugeNames(); len(names) > 0 {
+		if _, err := fmt.Fprintln(w, "gauges:"); err != nil {
+			return err
+		}
+		for _, name := range names {
+			if _, err := fmt.Fprintf(w, "  %-36s %d\n", name, r.Gauge(name).Value()); err != nil {
+				return err
+			}
+		}
+	}
+	if names := r.histogramNames(); len(names) > 0 {
+		if _, err := fmt.Fprintln(w, "histograms:"); err != nil {
+			return err
+		}
+		for _, name := range names {
+			h := r.Histogram(name)
+			if _, err := fmt.Fprintf(w, "  %-36s n=%d sum=%v mean=%v min=%v max=%v\n",
+				name, h.Count(), round(h.Sum()), round(h.Mean()), round(h.Min()), round(h.Max())); err != nil {
+				return err
+			}
+		}
+	}
+	if events := r.TraceEvents(); len(events) > 0 {
+		if _, err := fmt.Fprintln(w, "trace:"); err != nil {
+			return err
+		}
+		for _, ev := range events {
+			if _, err := fmt.Fprintf(w, "  %6d %12v %-28s a=%d b=%d\n",
+				ev.Seq, round(ev.At), ev.Name, ev.A, ev.B); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// round trims durations to microseconds for display.
+func round(d time.Duration) time.Duration { return d.Round(time.Microsecond) }

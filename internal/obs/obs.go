@@ -1,0 +1,325 @@
+// Package obs is the framework's observability layer: a lightweight,
+// allocation-conscious metrics registry (counters, gauges, duration
+// histograms) plus a structured trace-event ring buffer.
+//
+// Design constraints, in order:
+//
+//   - Hot-path cost. Instrument handles are resolved once (at construction
+//     time) and updated with single atomic operations; no map lookup, no
+//     allocation, no formatting happens on the paths the paper measures
+//     (per-task bookkeeping, per-block snapshot saves, per-iteration
+//     steps).
+//   - Optionality. Every instrument method is nil-receiver safe, so an
+//     uninstrumented runtime pays one predictable branch per event and
+//     layers can be wired unconditionally (`reg.Counter(...)` on a nil
+//     registry yields a nil, no-op counter).
+//   - One registry per run. The runtime, snapshot store, and executor all
+//     record into the registry passed through their configs, so a whole
+//     failure-and-recovery run exports as one coherent document (the
+//     `-metrics` flag of rgmlrun/rgmlbench) and the evaluation's Table IV
+//     percentages are derived from it rather than ad-hoc struct fields.
+package obs
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready to
+// use; a nil *Counter is a no-op.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (nil-safe).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one (nil-safe).
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down. A nil *Gauge is a no-op.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge's current value (nil-safe).
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add moves the gauge by delta (nil-safe).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the gauge's value (0 for a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// HistBuckets is the number of duration histogram buckets. Bucket 0 holds
+// sub-microsecond observations; bucket i (i ≥ 1) holds durations in
+// [2^(i-1), 2^i) microseconds, so the top bucket starts around 17 minutes —
+// far beyond any single phase of an emulated run.
+const HistBuckets = 31
+
+// Histogram records a distribution of durations in power-of-two
+// microsecond buckets, with exact count/sum/min/max. The zero value is
+// ready to use; a nil *Histogram is a no-op.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	min     atomic.Int64 // nanoseconds; valid when count > 0
+	max     atomic.Int64 // nanoseconds
+	buckets [HistBuckets]atomic.Int64
+}
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d time.Duration) int {
+	us := d.Microseconds()
+	if us <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(us))
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	return b
+}
+
+// Observe records one duration (nil-safe).
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	ns := int64(d)
+	h.sum.Add(ns)
+	h.buckets[bucketOf(d)].Add(1)
+	if h.count.Add(1) == 1 {
+		// First observation seeds min; concurrent observers converge via
+		// the CAS loops below.
+		h.min.Store(ns)
+	}
+	for {
+		cur := h.min.Load()
+		if ns >= cur || h.min.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total of all observed durations (0 for nil).
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
+// Min returns the smallest observation (0 when empty or nil).
+func (h *Histogram) Min() time.Duration {
+	if h == nil || h.count.Load() == 0 {
+		return 0
+	}
+	return time.Duration(h.min.Load())
+}
+
+// Max returns the largest observation (0 when empty or nil).
+func (h *Histogram) Max() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.max.Load())
+}
+
+// Mean returns the average observation (0 when empty or nil).
+func (h *Histogram) Mean() time.Duration {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / time.Duration(n)
+}
+
+// Buckets returns a copy of the bucket counts.
+func (h *Histogram) Buckets() [HistBuckets]int64 {
+	var out [HistBuckets]int64
+	if h == nil {
+		return out
+	}
+	for i := range out {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// Registry is a named collection of instruments plus a trace ring. Lookups
+// are get-or-create and intended for construction time; the returned
+// handles are then updated lock-free. A nil *Registry hands out nil
+// (no-op) instruments, so callers wire instrumentation unconditionally.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	ring       *TraceRing
+	start      time.Time
+}
+
+// DefaultTraceCapacity is the trace ring size used by NewRegistry.
+const DefaultTraceCapacity = 1024
+
+// NewRegistry returns an empty registry with a DefaultTraceCapacity-event
+// trace ring.
+func NewRegistry() *Registry { return NewRegistryWithTraceCap(DefaultTraceCapacity) }
+
+// NewRegistryWithTraceCap returns an empty registry whose trace ring holds
+// the last n events (n < 1 disables tracing).
+func NewRegistryWithTraceCap(n int) *Registry {
+	r := &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+		start:      time.Now(),
+	}
+	if n > 0 {
+		r.ring = newTraceRing(n)
+	}
+	return r
+}
+
+// Counter returns the counter registered under name, creating it if
+// needed. A nil registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it if
+// needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.histograms[name]
+	if h == nil {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Trace appends a structured event to the trace ring (nil-safe, no-op when
+// tracing is disabled). a and b are event-specific numeric arguments —
+// fixed arity keeps the recording path allocation-free.
+func (r *Registry) Trace(name string, a, b int64) {
+	if r == nil || r.ring == nil {
+		return
+	}
+	r.ring.append(Event{At: time.Since(r.start), Name: name, A: a, B: b})
+}
+
+// TraceEvents returns the buffered trace events, oldest first.
+func (r *Registry) TraceEvents() []Event {
+	if r == nil || r.ring == nil {
+		return nil
+	}
+	return r.ring.Snapshot()
+}
+
+// counterNames returns the registered counter names, sorted. Callers hold
+// no locks; used by the exporters.
+func (r *Registry) counterNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return sortedKeys(r.counters)
+}
+
+func (r *Registry) gaugeNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return sortedKeys(r.gauges)
+}
+
+func (r *Registry) histogramNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return sortedKeys(r.histograms)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

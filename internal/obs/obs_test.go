@@ -1,0 +1,230 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x")
+	c.Add(3)
+	c.Inc()
+	g.Set(5)
+	g.Add(1)
+	h.Observe(time.Second)
+	r.Trace("x", 1, 2)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments must be no-ops")
+	}
+	if r.TraceEvents() != nil {
+		t.Fatal("nil registry must have no trace")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounterGaugeIdentity(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.b")
+	c.Add(2)
+	if r.Counter("a.b") != c {
+		t.Fatal("Counter must return the same instrument per name")
+	}
+	if got := r.Counter("a.b").Value(); got != 2 {
+		t.Fatalf("Value = %d, want 2", got)
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d, want 5", g.Value())
+	}
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Fatal("Histogram must return the same instrument per name")
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("d")
+	obs := []time.Duration{3 * time.Microsecond, 50 * time.Microsecond, time.Millisecond}
+	var sum time.Duration
+	for _, d := range obs {
+		h.Observe(d)
+		sum += d
+	}
+	if h.Count() != 3 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Sum() != sum {
+		t.Errorf("Sum = %v, want %v", h.Sum(), sum)
+	}
+	if h.Min() != 3*time.Microsecond {
+		t.Errorf("Min = %v", h.Min())
+	}
+	if h.Max() != time.Millisecond {
+		t.Errorf("Max = %v", h.Max())
+	}
+	if h.Mean() != sum/3 {
+		t.Errorf("Mean = %v", h.Mean())
+	}
+	var total int64
+	for _, n := range h.Buckets() {
+		total += n
+	}
+	if total != 3 {
+		t.Errorf("bucket total = %d", total)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{500 * time.Nanosecond, 0},
+		{time.Microsecond, 1},
+		{3 * time.Microsecond, 2},
+		{1024 * time.Microsecond, 11},
+		{time.Hour, HistBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.d); got != c.want {
+			t.Errorf("bucketOf(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestTraceRingWraparound(t *testing.T) {
+	r := NewRegistryWithTraceCap(4)
+	for i := int64(1); i <= 10; i++ {
+		r.Trace("ev", i, -i)
+	}
+	events := r.TraceEvents()
+	if len(events) != 4 {
+		t.Fatalf("len = %d, want 4", len(events))
+	}
+	// The ring holds the most recent window, oldest first.
+	for i, ev := range events {
+		wantA := int64(7 + i)
+		if ev.A != wantA || ev.Seq != uint64(wantA) {
+			t.Errorf("event %d = %+v, want A=Seq=%d", i, ev, wantA)
+		}
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].At < events[i-1].At {
+			t.Errorf("events out of time order: %v after %v", events[i].At, events[i-1].At)
+		}
+	}
+}
+
+func TestTraceDisabled(t *testing.T) {
+	r := NewRegistryWithTraceCap(0)
+	r.Trace("ev", 1, 2)
+	if got := r.TraceEvents(); got != nil {
+		t.Fatalf("trace events = %v, want none", got)
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c.one").Add(11)
+	r.Gauge("g.one").Set(-3)
+	r.Histogram("h.one").Observe(2 * time.Millisecond)
+	r.Trace("t.one", 1, 2)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Counters   map[string]int64 `json:"counters"`
+		Gauges     map[string]int64 `json:"gauges"`
+		Histograms map[string]struct {
+			Count int64 `json:"count"`
+			SumNS int64 `json:"sum_ns"`
+		} `json:"histograms"`
+		Trace []struct {
+			Name string `json:"name"`
+			A    int64  `json:"a"`
+		} `json:"trace"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.Counters["c.one"] != 11 {
+		t.Errorf("counter = %d", doc.Counters["c.one"])
+	}
+	if doc.Gauges["g.one"] != -3 {
+		t.Errorf("gauge = %d", doc.Gauges["g.one"])
+	}
+	if h := doc.Histograms["h.one"]; h.Count != 1 || h.SumNS != int64(2*time.Millisecond) {
+		t.Errorf("histogram = %+v", h)
+	}
+	if len(doc.Trace) != 1 || doc.Trace[0].Name != "t.one" || doc.Trace[0].A != 1 {
+		t.Errorf("trace = %+v", doc.Trace)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("steps").Add(30)
+	r.Histogram("step.duration").Observe(time.Millisecond)
+	r.Trace("restore.attempt", 1, 10)
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"steps", "30", "step.duration", "restore.attempt"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text export missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestConcurrentUse exercises every instrument from many goroutines; run
+// under -race it is the registry's thread-safety regression test.
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistryWithTraceCap(64)
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared")
+			h := r.Histogram("shared.h")
+			g := r.Gauge("shared.g")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Observe(time.Duration(i) * time.Microsecond)
+				g.Set(int64(i))
+				r.Trace("ev", int64(i), 0)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("shared.h").Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	if got := len(r.TraceEvents()); got != 64 {
+		t.Fatalf("trace len = %d, want 64", got)
+	}
+}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is one structured trace record: a name plus two event-specific
+// numeric arguments (e.g. the restore attempt number and the snapshot
+// iteration being rolled back to). Events are timestamped relative to the
+// registry's creation, which orders them within a run without the cost or
+// non-monotonicity of wall-clock stamps.
+type Event struct {
+	// Seq is the event's global sequence number (1-based, assigned at
+	// append time); gaps in a Snapshot indicate events overwritten by ring
+	// wraparound.
+	Seq uint64
+	// At is the time elapsed since the registry was created.
+	At time.Duration
+	// Name identifies the event kind, e.g. "core.restore.attempt".
+	Name string
+	// A and B are event-specific arguments.
+	A, B int64
+}
+
+// TraceRing is a fixed-capacity ring buffer of Events. Appends overwrite
+// the oldest event once the ring is full, so the buffer always holds the
+// most recent window — the part that matters when diagnosing why a
+// recovery went sideways.
+type TraceRing struct {
+	mu   sync.Mutex
+	buf  []Event
+	next uint64 // total events ever appended
+}
+
+func newTraceRing(capacity int) *TraceRing {
+	return &TraceRing{buf: make([]Event, capacity)}
+}
+
+// append stores ev, assigning its sequence number.
+func (t *TraceRing) append(ev Event) {
+	t.mu.Lock()
+	t.next++
+	ev.Seq = t.next
+	t.buf[(t.next-1)%uint64(len(t.buf))] = ev
+	t.mu.Unlock()
+}
+
+// Len returns the number of buffered events (≤ capacity).
+func (t *TraceRing) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.next < uint64(len(t.buf)) {
+		return int(t.next)
+	}
+	return len(t.buf)
+}
+
+// Snapshot returns the buffered events, oldest first.
+func (t *TraceRing) Snapshot() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := uint64(len(t.buf))
+	count := t.next
+	if count > n {
+		count = n
+	}
+	out := make([]Event, 0, count)
+	for i := uint64(0); i < count; i++ {
+		// Oldest buffered event is t.next-count; read in append order.
+		seq := t.next - count + i
+		out = append(out, t.buf[seq%n])
+	}
+	return out
+}

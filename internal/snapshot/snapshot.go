@@ -25,6 +25,7 @@ import (
 
 	"github.com/rgml/rgml/internal/apgas"
 	"github.com/rgml/rgml/internal/codec"
+	"github.com/rgml/rgml/internal/obs"
 )
 
 // Snapshottable is implemented by every GML object that can be saved to
@@ -126,11 +127,11 @@ func (ps *placeStore) bytes() int {
 // checkpoints, alongside the payload buffer pool.
 var storePool sync.Pool
 
-func getPlaceStore() *placeStore {
+func getPlaceStore() (ps *placeStore, pooled bool) {
 	if v, _ := storePool.Get().(*placeStore); v != nil {
-		return v
+		return v, true
 	}
-	return &placeStore{entries: make(map[int]*entry, 4)}
+	return &placeStore{entries: make(map[int]*entry, 4)}, false
 }
 
 // recycle returns pooled payload buffers to the codec pool (once per
@@ -164,6 +165,46 @@ type Snapshot struct {
 	stores    []*placeStore
 	meta      []byte
 	destroyed atomic.Bool
+	instr     snapInstr
+}
+
+// snapInstr holds the snapshot layer's observability handles, resolved
+// from the runtime's registry at snapshot creation. All handles are
+// nil-safe, so an uninstrumented runtime pays one branch per update.
+type snapInstr struct {
+	saves       *obs.Counter // snapshot.saves
+	saveBytes   *obs.Counter // snapshot.save.bytes
+	replicas    *obs.Counter // snapshot.replicas.placed (backup puts)
+	backupBytes *obs.Counter // snapshot.replicas.bytes
+	loads       *obs.Counter // snapshot.loads
+	loadLocal   *obs.Counter // snapshot.load.local
+	loadRemote  *obs.Counter // snapshot.load.remote
+	loadBytes   *obs.Counter // snapshot.load.bytes
+	crcFailures *obs.Counter // snapshot.crc.failures
+	fallbacks   *obs.Counter // snapshot.replica.fallbacks
+	lost        *obs.Counter // snapshot.entries.lost
+	poolHits    *obs.Counter // snapshot.pool.hits
+	poolMisses  *obs.Counter // snapshot.pool.misses
+	destroys    *obs.Counter // snapshot.destroys
+}
+
+func newSnapInstr(reg *obs.Registry) snapInstr {
+	return snapInstr{
+		saves:       reg.Counter("snapshot.saves"),
+		saveBytes:   reg.Counter("snapshot.save.bytes"),
+		replicas:    reg.Counter("snapshot.replicas.placed"),
+		backupBytes: reg.Counter("snapshot.replicas.bytes"),
+		loads:       reg.Counter("snapshot.loads"),
+		loadLocal:   reg.Counter("snapshot.load.local"),
+		loadRemote:  reg.Counter("snapshot.load.remote"),
+		loadBytes:   reg.Counter("snapshot.load.bytes"),
+		crcFailures: reg.Counter("snapshot.crc.failures"),
+		fallbacks:   reg.Counter("snapshot.replica.fallbacks"),
+		lost:        reg.Counter("snapshot.entries.lost"),
+		poolHits:    reg.Counter("snapshot.pool.hits"),
+		poolMisses:  reg.Counter("snapshot.pool.misses"),
+		destroys:    reg.Counter("snapshot.destroys"),
+	}
 }
 
 // New allocates an empty snapshot whose storage is distributed over pg.
@@ -176,16 +217,22 @@ func NewWithOptions(rt *apgas.Runtime, pg apgas.PlaceGroup, opts Options) (*Snap
 	if pg.Size() == 0 {
 		return nil, errors.New("snapshot: empty place group")
 	}
+	instr := newSnapInstr(rt.Obs())
 	stores := make([]*placeStore, pg.Size())
 	plh, err := apgas.NewPlaceLocalHandle(rt, pg, func(ctx *apgas.Ctx, idx int) *placeStore {
-		ps := getPlaceStore()
+		ps, pooled := getPlaceStore()
+		if pooled {
+			instr.poolHits.Inc()
+		} else {
+			instr.poolMisses.Inc()
+		}
 		stores[idx] = ps
 		return ps
 	})
 	if err != nil {
 		return nil, fmt.Errorf("snapshot: allocating stores: %w", err)
 	}
-	return &Snapshot{rt: rt, pg: pg.Clone(), opts: opts, plh: plh, stores: stores}, nil
+	return &Snapshot{rt: rt, pg: pg.Clone(), opts: opts, plh: plh, stores: stores, instr: instr}, nil
 }
 
 // Group returns the place group the snapshot was taken over.
@@ -230,10 +277,14 @@ func (s *Snapshot) save(ctx *apgas.Ctx, key int, e *entry) {
 		panic(fmt.Sprintf("snapshot: Save from %v, not a member of %v", ctx.Here, s.pg))
 	}
 	s.plh.Local(ctx).put(key, e)
+	s.instr.saves.Inc()
+	s.instr.saveBytes.Add(int64(len(e.data)))
 	if s.opts.DisableBackup || s.pg.Size() == 1 {
 		return
 	}
 	next := s.pg[(idx+1)%s.pg.Size()]
+	s.instr.replicas.Inc()
+	s.instr.backupBytes.Add(int64(len(e.data)))
 	ctx.Transfer(next, len(e.data))
 	ctx.AsyncAt(next, func(c *apgas.Ctx) {
 		s.plh.Local(c).put(key, e)
@@ -256,9 +307,10 @@ func (s *Snapshot) Load(ctx *apgas.Ctx, key, ownerIdx int) ([]byte, error) {
 	if !s.opts.DisableBackup && s.pg.Size() > 1 {
 		replicas = append(replicas, s.pg[(ownerIdx+1)%s.pg.Size()])
 	}
+	s.instr.loads.Inc()
 	anyAlive := false
 	sawCorrupt := false
-	for _, p := range replicas {
+	for ri, p := range replicas {
 		if s.rt.IsDead(p) {
 			continue
 		}
@@ -267,7 +319,8 @@ func (s *Snapshot) Load(ctx *apgas.Ctx, key, ownerIdx int) ([]byte, error) {
 			e     *entry
 			found bool
 		)
-		if p.ID == ctx.Here.ID {
+		local := p.ID == ctx.Here.ID
+		if local {
 			e, found = s.plh.Local(ctx).get(key)
 		} else {
 			origin := ctx.Here
@@ -284,15 +337,30 @@ func (s *Snapshot) Load(ctx *apgas.Ctx, key, ownerIdx int) ([]byte, error) {
 		if !e.verify() {
 			// A corrupted replica is as good as a lost one: fall through
 			// to the other copy.
+			s.instr.crcFailures.Inc()
+			s.rt.Obs().Trace("snapshot.replica.corrupt", int64(key), int64(ownerIdx))
 			sawCorrupt = true
 			continue
 		}
+		if local {
+			s.instr.loadLocal.Inc()
+		} else {
+			s.instr.loadRemote.Inc()
+		}
+		if ri > 0 {
+			// Served from the backup replica because the owner's copy was
+			// dead, missing, or corrupt.
+			s.instr.fallbacks.Inc()
+		}
+		s.instr.loadBytes.Add(int64(len(e.data)))
 		return e.data, nil
 	}
 	switch {
 	case sawCorrupt:
 		return nil, fmt.Errorf("snapshot: key %d owner %d: %w", key, ownerIdx, ErrCorrupt)
 	case !anyAlive:
+		s.instr.lost.Inc()
+		s.rt.Obs().Trace("snapshot.entry.lost", int64(key), int64(ownerIdx))
 		return nil, fmt.Errorf("snapshot: key %d owner %d: %w", key, ownerIdx, ErrDataLost)
 	default:
 		return nil, fmt.Errorf("snapshot: key %d owner %d: %w", key, ownerIdx, ErrNotFound)
@@ -309,6 +377,7 @@ func (s *Snapshot) Destroy() {
 	if s == nil || !s.plh.Valid() || !s.destroyed.CompareAndSwap(false, true) {
 		return
 	}
+	s.instr.destroys.Inc()
 	for _, ps := range s.stores {
 		if ps != nil {
 			ps.recycle()

@@ -28,6 +28,7 @@ import (
 	"github.com/rgml/rgml/internal/core"
 	"github.com/rgml/rgml/internal/dist"
 	"github.com/rgml/rgml/internal/la"
+	"github.com/rgml/rgml/internal/obs"
 	"github.com/rgml/rgml/internal/snapshot"
 )
 
@@ -186,6 +187,22 @@ const (
 func NewExecutor(rt *Runtime, cfg ExecutorConfig) (*Executor, error) {
 	return core.NewExecutor(rt, cfg)
 }
+
+// Observability surface (internal/obs).
+type (
+	// MetricsRegistry is the named-instrument registry (counters, gauges,
+	// duration histograms, trace events) that the runtime, the snapshot
+	// layer and the executor report into. Share one registry between
+	// RuntimeConfig.Obs and ExecutorConfig.Obs to get a single coherent
+	// export for a run.
+	MetricsRegistry = obs.Registry
+	// TraceEvent is one entry of a registry's trace ring.
+	TraceEvent = obs.Event
+)
+
+// NewMetricsRegistry returns an empty registry with the default trace
+// capacity.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 
 // NewAppResilientStore returns an empty application store.
 func NewAppResilientStore() *AppResilientStore { return core.NewAppResilientStore() }
