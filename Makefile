@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race race-recovery fuzz bench bench-checkpoint
+.PHONY: ci vet build test race race-recovery race-chaos chaos-smoke fuzz bench bench-checkpoint
 
-ci: vet build race race-recovery bench-checkpoint
+ci: vet build race race-recovery race-chaos chaos-smoke bench-checkpoint
 
 vet:
 	$(GO) vet ./...
@@ -25,6 +25,22 @@ race:
 # interleavings live.
 race-recovery:
 	$(GO) test -race -count=2 ./internal/core/ ./internal/apgas/ ./internal/snapshot/
+
+# The chaos campaign tests again under -race: the burst kills and the
+# commit/restore-window kills drive the recovery machinery from injection
+# points that run concurrently with the ledger and the replica writes.
+race-chaos:
+	$(GO) test -race -count=2 -run 'TestChaos' ./internal/bench/
+	$(GO) test -race -count=2 ./internal/chaos/
+
+# A short fixed-seed chaos campaign over every benchmark application:
+# one kill inside a checkpoint commit plus one during the restore that
+# follows. -chaos-strict fails the target if any run does not recover
+# and reproduce the failure-free iterate.
+chaos-smoke:
+	$(GO) run ./cmd/rgmlbench -q -iters 6 -ckpt 2 -scale 0.05 -seeds 7 -chaos-strict \
+		-chaos "kill(point=commit,iter=2,place=1);kill(point=restore,place=3)" chaos > /dev/null
+	@echo "chaos-smoke: all campaigns survived and verified"
 
 # Short fuzz pass over the snapshot wire-format decoders (the committed
 # f.Add seeds always run as part of `make test`; this explores further).

@@ -6,8 +6,12 @@
 //
 //	rgmlbench [flags] <experiment>...
 //	rgmlbench all
+//	rgmlbench -chaos "kill(point=commit,iter=10,place=1)" -seeds 1,2,3 chaos
 //
-// Experiments: table2, fig2, fig3, fig4, table3, fig5, fig6, fig7, table4.
+// Experiments: table2, fig2, fig3, fig4, table3, fig5, fig6, fig7, table4,
+// ablations, and chaos — a fault-injection campaign that sweeps the -seeds
+// list over the -chaos schedule for each benchmark application and emits a
+// per-campaign survival/recovery JSON report.
 //
 // The workload sizes default to laptop scale (see -scale and the
 // per-workload flags); EXPERIMENTS.md records how they map to the paper's
@@ -24,6 +28,7 @@ import (
 	"strings"
 
 	"github.com/rgml/rgml/internal/bench"
+	"github.com/rgml/rgml/internal/core"
 )
 
 func main() {
@@ -48,6 +53,13 @@ func run(args []string) error {
 		ledgerWork = fs.Int("ledger-work", bench.DefaultConfig().LedgerWork, "resilient-finish ledger work units per event")
 		metricsDir = fs.String("metrics", "", "directory for per-restore-run JSON metrics exports (empty: none)")
 		quiet      = fs.Bool("q", false, "suppress progress output")
+
+		chaosSched  = fs.String("chaos", "", "chaos schedule for the chaos experiment (default: one random kill at the failure iteration)")
+		seedsCSV    = fs.String("seeds", "1,2,3", "comma-separated chaos engine seeds to sweep")
+		chaosPlaces = fs.Int("chaos-places", 4, "active places per chaos run")
+		chaosMode   = fs.String("chaos-mode", "shrink", "restore mode for chaos runs: shrink, shrink-rebalance, replace-redundant, replace-elastic")
+		chaosSpares = fs.Int("chaos-spares", 0, "spare places reserved per chaos run")
+		chaosStrict = fs.Bool("chaos-strict", false, "exit non-zero when any chaos run fails to survive or verify")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -96,11 +108,120 @@ func run(args []string) error {
 		experiments = []string{"table2", "fig2", "fig3", "fig4", "table3", "fig5", "fig6", "fig7", "table4", "ablations"}
 	}
 	for _, exp := range experiments {
+		if exp == "chaos" {
+			co := chaosOptions{
+				schedule: *chaosSched,
+				seedsCSV: *seedsCSV,
+				places:   *chaosPlaces,
+				mode:     *chaosMode,
+				spares:   *chaosSpares,
+				strict:   *chaosStrict,
+			}
+			if err := runChaosCampaigns(cfg, co, *outDir); err != nil {
+				return fmt.Errorf("chaos: %w", err)
+			}
+			continue
+		}
 		if err := runExperiment(cfg, exp, *outDir); err != nil {
 			return fmt.Errorf("%s: %w", exp, err)
 		}
 	}
 	return nil
+}
+
+// chaosOptions carries the chaos experiment's flag values.
+type chaosOptions struct {
+	schedule string
+	seedsCSV string
+	places   int
+	mode     string
+	spares   int
+	strict   bool
+}
+
+// runChaosCampaigns sweeps the seed list over the schedule for every
+// benchmark application, writing one JSON report per campaign to stdout
+// and, with -out, to <out>/chaos_<app>.json.
+func runChaosCampaigns(cfg bench.Config, co chaosOptions, outDir string) error {
+	mode, err := parseRestoreMode(co.mode)
+	if err != nil {
+		return err
+	}
+	seeds, err := parseSeeds(co.seedsCSV)
+	if err != nil {
+		return fmt.Errorf("-seeds: %w", err)
+	}
+	schedule := co.schedule
+	if schedule == "" {
+		// Default: one random-victim kill at the evaluation's canonical
+		// failure iteration — any single failure is survivable under
+		// double in-memory storage.
+		schedule = fmt.Sprintf("kill(iter=%d)", cfg.Scale.FailureIteration)
+	}
+	failed := false
+	for _, app := range bench.Apps {
+		rep, err := cfg.ChaosCampaign(bench.ChaosSpec{
+			App:      app,
+			Places:   co.places,
+			Schedule: schedule,
+			Seeds:    seeds,
+			Mode:     mode,
+			Spares:   co.spares,
+		})
+		if err != nil {
+			return err
+		}
+		if rep.Failed() {
+			failed = true
+		}
+		writers := []io.Writer{os.Stdout}
+		if outDir != "" {
+			if err := os.MkdirAll(outDir, 0o755); err != nil {
+				return err
+			}
+			f, err := os.Create(filepath.Join(outDir, fmt.Sprintf("chaos_%s.json", app)))
+			if err != nil {
+				return err
+			}
+			writers = append(writers, f)
+			defer f.Close()
+		}
+		if err := bench.WriteChaosReport(io.MultiWriter(writers...), rep); err != nil {
+			return err
+		}
+	}
+	if failed && co.strict {
+		return fmt.Errorf("at least one run did not survive or verify")
+	}
+	return nil
+}
+
+// parseRestoreMode maps a mode flag value to its RestoreMode.
+func parseRestoreMode(name string) (core.RestoreMode, error) {
+	switch name {
+	case "shrink":
+		return core.Shrink, nil
+	case "shrink-rebalance":
+		return core.ShrinkRebalance, nil
+	case "replace-redundant":
+		return core.ReplaceRedundant, nil
+	case "replace-elastic":
+		return core.ReplaceElastic, nil
+	}
+	return 0, fmt.Errorf("unknown restore mode %q", name)
+}
+
+// parseSeeds parses the comma-separated seed list.
+func parseSeeds(csv string) ([]uint64, error) {
+	var out []uint64
+	for _, part := range strings.Split(csv, ",") {
+		n, err := strconv.ParseUint(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 // output tees an experiment's rendering to stdout and the result file.

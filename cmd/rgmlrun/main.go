@@ -1,13 +1,15 @@
 // Command rgmlrun executes one benchmark application once under the
-// resilient executor, optionally injecting a place failure, and prints a
+// resilient executor, optionally injecting place failures, and prints a
 // run summary — a quick way to watch the framework recover.
 //
 // Usage:
 //
 //	rgmlrun -app pagerank -places 8 -mode shrink -kill-iter 15
+//	rgmlrun -app linreg -places 4 -ckpt 2 -chaos "kill(point=commit,iter=4,place=1)"
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -15,6 +17,7 @@ import (
 
 	"github.com/rgml/rgml/internal/apgas"
 	"github.com/rgml/rgml/internal/apps"
+	"github.com/rgml/rgml/internal/chaos"
 	"github.com/rgml/rgml/internal/core"
 	"github.com/rgml/rgml/internal/obs"
 )
@@ -38,6 +41,9 @@ func run() error {
 		seed     = flag.Uint64("seed", 42, "dataset seed")
 		latency  = flag.Duration("latency", 0, "simulated per-message latency")
 		metrics  = flag.String("metrics", "", "export the run's metrics registry: \"-\" for text on stdout, else a JSON file path")
+		chaosStr = flag.String("chaos", "", "chaos schedule driving seed-reproducible fault injection, e.g. \"kill(point=commit,iter=4,place=1)\"")
+		chaosSd  = flag.Uint64("chaos-seed", 1, "chaos engine seed")
+		timeout  = flag.Duration("timeout", 0, "cancel the run after this long (0: no bound)")
 	)
 	flag.Parse()
 
@@ -64,12 +70,12 @@ func run() error {
 	// One registry collects runtime, snapshot and executor metrics so the
 	// -metrics export is a single coherent document.
 	reg := obs.NewRegistry()
-	rt, err := apgas.NewRuntime(apgas.Config{
-		Places:    total,
-		Resilient: true,
-		Net:       apgas.NetModel{Latency: *latency},
-		Obs:       reg,
-	})
+	rt, err := apgas.New(
+		apgas.WithPlaces(total),
+		apgas.WithResilient(true),
+		apgas.WithNet(apgas.NetModel{Latency: *latency}),
+		apgas.WithObs(reg),
+	)
 	if err != nil {
 		return err
 	}
@@ -77,12 +83,12 @@ func run() error {
 
 	killed := false
 	victim := rt.Place(*places / 2)
-	exec, err := core.NewExecutor(rt, core.Config{
-		CheckpointInterval: *ckpt,
-		Mode:               mode,
-		Spares:             spares,
-		Obs:                reg,
-		AfterStep: func(iter int64) {
+	opts := []core.Option{
+		core.WithCheckpointInterval(*ckpt),
+		core.WithRestoreMode(mode),
+		core.WithSpares(spares),
+		core.WithObs(reg),
+		core.WithAfterStep(func(iter int64) {
 			if *killIter > 0 && !killed && iter == int64(*killIter) {
 				killed = true
 				fmt.Printf("iteration %d: killing %v\n", iter, victim)
@@ -90,8 +96,21 @@ func run() error {
 					fmt.Fprintln(os.Stderr, "kill:", err)
 				}
 			}
-		},
-	})
+		}),
+	}
+	var eng *chaos.Engine
+	if *chaosStr != "" {
+		sched, err := chaos.Parse(*chaosStr)
+		if err != nil {
+			return err
+		}
+		eng, err = chaos.New(rt, sched, chaos.WithSeed(*chaosSd))
+		if err != nil {
+			return err
+		}
+		opts = append(opts, core.WithChaos(eng))
+	}
+	exec, err := core.New(rt, opts...)
 	if err != nil {
 		return err
 	}
@@ -124,14 +143,24 @@ func run() error {
 
 	fmt.Printf("running %s: %d iterations on %d places (mode %v, checkpoint every %d)\n",
 		*appName, *iters, *places, mode, *ckpt)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	start := time.Now()
-	if err := exec.Run(app); err != nil {
+	if err := exec.RunContext(ctx, app); err != nil {
 		return err
 	}
 	elapsed := time.Since(start)
 
 	m := exec.Metrics()
 	fmt.Printf("done in %v\n", elapsed.Round(time.Millisecond))
+	if eng != nil {
+		fmt.Printf("  chaos:        seed %d, %d kills [%s], %d transient faults\n",
+			eng.Seed(), len(eng.Kills()), eng.Signature(), eng.Flakes())
+	}
 	fmt.Printf("  steps:        %d (%d replayed after rollback)\n", m.Steps, m.ReplayedSteps)
 	fmt.Printf("  checkpoints:  %d (%v total)\n", m.Checkpoints, m.CheckpointTime.Round(time.Millisecond))
 	fmt.Printf("  restores:     %d (%v total)\n", m.Restores, m.RestoreTime.Round(time.Millisecond))

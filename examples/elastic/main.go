@@ -18,17 +18,17 @@ func main() {
 		features = 32
 		iters    = 25
 	)
-	rt, err := rgml.NewRuntime(rgml.RuntimeConfig{Places: places, Resilient: true})
+	rt, err := rgml.NewRuntimeWith(rgml.WithPlaces(places), rgml.WithResilient(true))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer rt.Shutdown()
 
 	killed := 0
-	exec, err := rgml.NewExecutor(rt, rgml.ExecutorConfig{
-		CheckpointInterval: 5,
-		Mode:               rgml.ReplaceElastic,
-		AfterStep: func(iter int64) {
+	exec, err := rgml.NewExecutorWith(rt,
+		rgml.WithCheckpointInterval(5),
+		rgml.WithRestoreMode(rgml.ReplaceElastic),
+		rgml.WithAfterStep(func(iter int64) {
 			// Two separate failures: both victims are replaced by places
 			// created on the fly.
 			if (iter == 8 && killed == 0) || (iter == 17 && killed == 1) {
@@ -39,8 +39,8 @@ func main() {
 					log.Fatal(err)
 				}
 			}
-		},
-	})
+		}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

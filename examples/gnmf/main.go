@@ -15,17 +15,17 @@ import (
 
 func main() {
 	const places = 6
-	rt, err := rgml.NewRuntime(rgml.RuntimeConfig{Places: places, Resilient: true})
+	rt, err := rgml.NewRuntimeWith(rgml.WithPlaces(places), rgml.WithResilient(true))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer rt.Shutdown()
 
 	killed := false
-	exec, err := rgml.NewExecutor(rt, rgml.ExecutorConfig{
-		CheckpointInterval: 5,
-		Mode:               rgml.Shrink,
-		AfterStep: func(iter int64) {
+	exec, err := rgml.NewExecutorWith(rt,
+		rgml.WithCheckpointInterval(5),
+		rgml.WithRestoreMode(rgml.Shrink),
+		rgml.WithAfterStep(func(iter int64) {
 			if !killed && iter == 8 {
 				killed = true
 				victim := rt.Place(3)
@@ -34,8 +34,8 @@ func main() {
 					log.Fatal(err)
 				}
 			}
-		},
-	})
+		}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -19,21 +19,21 @@ func main() {
 		features     = 32
 		iters        = 25
 	)
-	rt, err := rgml.NewRuntime(rgml.RuntimeConfig{
-		Places:    activePlaces + spares,
-		Resilient: true,
-	})
+	rt, err := rgml.NewRuntimeWith(
+		rgml.WithPlaces(activePlaces+spares),
+		rgml.WithResilient(true),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer rt.Shutdown()
 
 	killed := false
-	exec, err := rgml.NewExecutor(rt, rgml.ExecutorConfig{
-		CheckpointInterval: 5,
-		Mode:               rgml.ReplaceRedundant,
-		Spares:             spares,
-		AfterStep: func(iter int64) {
+	exec, err := rgml.NewExecutorWith(rt,
+		rgml.WithCheckpointInterval(5),
+		rgml.WithRestoreMode(rgml.ReplaceRedundant),
+		rgml.WithSpares(spares),
+		rgml.WithAfterStep(func(iter int64) {
 			if !killed && iter == 12 {
 				killed = true
 				victim := rt.Place(3)
@@ -42,8 +42,8 @@ func main() {
 					log.Fatal(err)
 				}
 			}
-		},
-	})
+		}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

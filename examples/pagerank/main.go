@@ -57,17 +57,21 @@ func run(cfg rgml.PageRankConfig, places, killIter int) rgml.Vector {
 	// run it holds the whole story: kills, restore attempts, snapshot
 	// replica traffic.
 	reg := rgml.NewMetricsRegistry()
-	rt, err := rgml.NewRuntime(rgml.RuntimeConfig{Places: places, Resilient: true, Obs: reg})
+	rt, err := rgml.NewRuntimeWith(
+		rgml.WithPlaces(places),
+		rgml.WithResilient(true),
+		rgml.WithRuntimeObs(reg),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer rt.Shutdown()
 	killed := false
-	exec, err := rgml.NewExecutor(rt, rgml.ExecutorConfig{
-		CheckpointInterval: 10,
-		Mode:               rgml.Shrink,
-		Obs:                reg,
-		AfterStep: func(iter int64) {
+	exec, err := rgml.NewExecutorWith(rt,
+		rgml.WithCheckpointInterval(10),
+		rgml.WithRestoreMode(rgml.Shrink),
+		rgml.WithExecutorObs(reg),
+		rgml.WithAfterStep(func(iter int64) {
 			if killIter > 0 && !killed && iter == int64(killIter) {
 				killed = true
 				victim := rt.Place(places / 2)
@@ -76,8 +80,8 @@ func run(cfg rgml.PageRankConfig, places, killIter int) rgml.Vector {
 					log.Fatal(err)
 				}
 			}
-		},
-	})
+		}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,7 +12,7 @@ import (
 
 func main() {
 	// An emulated APGAS runtime with 4 places and resilient finish.
-	rt, err := rgml.NewRuntime(rgml.RuntimeConfig{Places: 4, Resilient: true})
+	rt, err := rgml.NewRuntimeWith(rgml.WithPlaces(4), rgml.WithResilient(true))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,95 @@
+package apgas_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/rgml/rgml/internal/apgas"
+)
+
+// TestNewOptionsConstruction checks the functional-options constructor
+// against the Config shim's behaviour.
+func TestNewOptionsConstruction(t *testing.T) {
+	rt, err := apgas.New(apgas.WithPlaces(3), apgas.WithResilient(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	if rt.NumPlaces() != 3 {
+		t.Errorf("NumPlaces = %d, want 3", rt.NumPlaces())
+	}
+	if !rt.Resilient() {
+		t.Error("WithResilient(true) not applied")
+	}
+	// Zero options: a single non-resilient place, same as Config{Places: 1}.
+	rt2, err := apgas.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt2.Shutdown()
+	if rt2.NumPlaces() != 1 || rt2.Resilient() {
+		t.Errorf("zero-option runtime: places=%d resilient=%v", rt2.NumPlaces(), rt2.Resilient())
+	}
+}
+
+// TestFinishContextBackground checks that a context that can never be
+// canceled takes the plain Finish path.
+func TestFinishContextBackground(t *testing.T) {
+	rt, err := apgas.New(apgas.WithPlaces(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	ran := false
+	if err := rt.FinishContext(context.Background(), func(c *apgas.Ctx) { ran = true }); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("body did not run")
+	}
+}
+
+// TestFinishContextCancel checks that cancellation surfaces as a typed
+// ErrCanceled instead of a hang, while the finish itself drains in the
+// background.
+func TestFinishContextCancel(t *testing.T) {
+	rt, err := apgas.New(apgas.WithPlaces(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	ctx, cancel := context.WithCancel(context.Background())
+	release := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() {
+		errc <- rt.FinishContext(ctx, func(c *apgas.Ctx) {
+			c.AsyncAt(rt.Place(1), func(c2 *apgas.Ctx) { <-release })
+		})
+	}()
+	cancel()
+	err = <-errc
+	if !errors.Is(err, apgas.ErrCanceled) {
+		t.Fatalf("FinishContext = %v, want ErrCanceled", err)
+	}
+	close(release) // let the abandoned finish drain before Shutdown
+}
+
+// TestFinishContextPreCanceled checks the dead-on-arrival fast path.
+func TestFinishContextPreCanceled(t *testing.T) {
+	rt, err := apgas.New(apgas.WithPlaces(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err = rt.FinishContext(ctx, func(c *apgas.Ctx) { ran = true })
+	if !errors.Is(err, apgas.ErrCanceled) {
+		t.Fatalf("FinishContext = %v, want ErrCanceled", err)
+	}
+	if ran {
+		t.Fatal("body ran despite pre-canceled context")
+	}
+}

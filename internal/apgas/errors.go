@@ -102,6 +102,12 @@ func DeadPlaces(err error) []Place {
 // ErrShutdown is returned by operations on a runtime that has been shut down.
 var ErrShutdown = errors.New("apgas: runtime is shut down")
 
+// ErrCanceled is the typed cancellation error: FinishContext (and, one
+// layer up, Executor.RunContext) wrap it when the caller's context is
+// canceled or times out, so callers distinguish "you asked me to stop"
+// from a real failure with errors.Is(err, ErrCanceled).
+var ErrCanceled = errors.New("apgas: canceled by context")
+
 // ErrPlaceZeroImmortal is returned by Runtime.Kill(place 0): the paper's
 // resilient X10 assumes place zero never fails (its failure would be fatal
 // to the whole application), so the failure injector refuses to kill it.

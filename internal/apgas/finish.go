@@ -91,6 +91,10 @@ func (c *Ctx) AsyncAt(p Place, fn func(ctx *Ctx)) {
 	rt := c.rt
 	rt.stats.TasksSpawned.Add(1)
 	rt.instr.tasks.Inc()
+	// Spawn fault point: an installed injector may kill a place here (the
+	// spawn itself then lands on a corpse and throws DeadPlaceError). Any
+	// transient-fault return is ignored — spawns are not retryable.
+	_ = rt.InjectFault(FaultPointSpawn, p)
 	rt.hop(c.Here, p, 0)
 
 	if !rt.cfg.Resilient {

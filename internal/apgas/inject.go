@@ -1,0 +1,63 @@
+package apgas
+
+import "sync/atomic"
+
+// Fault-point names instrumented by the runtime and the layers above it.
+// They are plain strings (not a closed enum) so higher layers can add
+// points without touching the substrate; internal/chaos mirrors them as
+// typed chaos.Point constants.
+const (
+	// FaultPointSpawn fires on every task spawn (AsyncAt), before the
+	// task starts. The subject is the place the task targets.
+	FaultPointSpawn = "spawn"
+	// FaultPointReplica fires on every snapshot backup (replica) put. The
+	// subject is the backup place. A non-nil injector return value is
+	// treated by the snapshot layer as a transient write failure and
+	// retried with bounded backoff.
+	FaultPointReplica = "replica"
+)
+
+// FaultInjector receives fault-point notifications from the runtime and
+// the layers built on it. An injector may act on a notification out of
+// band (typically by calling Runtime.Kill, the fail-stop model) and/or
+// return a non-nil error to inject a *transient* fault into the operation
+// at that point. Which return values are honoured is up to the
+// instrumented site: the task spawn path ignores them (only kills matter
+// there), while the snapshot replica-write path retries the put.
+//
+// Implementations must be safe for concurrent use: spawn and replica
+// points fire from many tasks at once.
+type FaultInjector interface {
+	Fault(point string, subject Place) error
+}
+
+// injectorHolder boxes the interface so it can live in an atomic.Pointer
+// (interfaces are not directly atomically storable).
+type injectorHolder struct{ inj FaultInjector }
+
+// SetInjector installs (or, with nil, removes) the runtime's fault
+// injector. The injector is consulted on every instrumented fault point;
+// with none installed each point costs one atomic load. internal/chaos
+// installs its engine here at construction.
+func (rt *Runtime) SetInjector(inj FaultInjector) {
+	if inj == nil {
+		rt.injector.Store(nil)
+		return
+	}
+	rt.injector.Store(&injectorHolder{inj: inj})
+}
+
+// InjectFault consults the installed fault injector at the named point,
+// returning the transient fault it injected, if any. Instrumented sites
+// in the runtime and in the layers above (snapshot replica writes) call
+// this; it is exported because those layers live in other packages.
+func (rt *Runtime) InjectFault(point string, subject Place) error {
+	h := rt.injector.Load()
+	if h == nil {
+		return nil
+	}
+	return h.inj.Fault(point, subject)
+}
+
+// faultInjectorRef is the atomic slot Runtime carries (see runtime.go).
+type faultInjectorRef = atomic.Pointer[injectorHolder]

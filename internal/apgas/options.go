@@ -1,0 +1,51 @@
+package apgas
+
+import "github.com/rgml/rgml/internal/obs"
+
+// Option configures a Runtime under construction. Options are the
+// preferred construction surface; the positional Config literal accepted
+// by NewRuntime remains as a compatibility shim.
+type Option func(*Config)
+
+// WithPlaces sets the number of places to create (at least 1).
+func WithPlaces(n int) Option {
+	return func(c *Config) { c.Places = n }
+}
+
+// WithResilient selects resilient finish semantics: task forks and joins
+// are tracked by the place-zero ledger, place failures are detected, and
+// affected finishes observe DeadPlaceError. Failure injection (Kill, and
+// therefore the chaos engine) requires it.
+func WithResilient(on bool) Option {
+	return func(c *Config) { c.Resilient = on }
+}
+
+// WithNet sets the simulated interconnect model.
+func WithNet(m NetModel) Option {
+	return func(c *Config) { c.Net = m }
+}
+
+// WithLedgerCost sets the modeled per-event bookkeeping work of the
+// place-zero resilient-finish ledger (see Config.LedgerCost).
+func WithLedgerCost(fn func(liveTasks int)) Option {
+	return func(c *Config) { c.LedgerCost = fn }
+}
+
+// WithObs wires the runtime's instrumentation into reg (see Config.Obs).
+func WithObs(reg *obs.Registry) Option {
+	return func(c *Config) { c.Obs = reg }
+}
+
+// New creates an emulated APGAS runtime from functional options:
+//
+//	rt, err := apgas.New(apgas.WithPlaces(8), apgas.WithResilient(true))
+//
+// Unset options keep their zero defaults, except Places, which defaults
+// to 1 (a runtime needs at least one place to exist).
+func New(opts ...Option) (*Runtime, error) {
+	cfg := Config{Places: 1}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return NewRuntime(cfg)
+}

@@ -1,6 +1,7 @@
 package apgas
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -51,6 +52,10 @@ type Runtime struct {
 
 	ledger *ledger // non-nil iff cfg.Resilient
 
+	// injector, when set, is consulted at every instrumented fault point
+	// (see inject.go); internal/chaos installs its engine here.
+	injector faultInjectorRef
+
 	nextHandle atomic.Uint64
 	nextTask   atomic.Uint64
 	nextFinish atomic.Uint64
@@ -90,6 +95,10 @@ func newRTInstr(reg *obs.Registry) rtInstr {
 }
 
 // NewRuntime creates a runtime with cfg.Places live places.
+//
+// Deprecated: prefer New with functional options (WithPlaces,
+// WithResilient, …). NewRuntime is kept so positional-Config callers
+// continue to compile; both constructors share the same validation.
 func NewRuntime(cfg Config) (*Runtime, error) {
 	if cfg.Places < 1 {
 		return nil, fmt.Errorf("apgas: Config.Places must be >= 1, got %d", cfg.Places)
@@ -344,6 +353,31 @@ func (rt *Runtime) root() *Ctx {
 // values (possibly inside a MultiError).
 func (rt *Runtime) Finish(body func(ctx *Ctx)) error {
 	return rt.finishFrom(rt.root(), body)
+}
+
+// FinishContext is Finish with cancellation: when ctx is canceled (or its
+// deadline passes) before the finish quiesces, it stops waiting and
+// returns an error wrapping ErrCanceled instead of hanging. The finish
+// scope itself cannot be revoked — its tasks keep draining on background
+// goroutines and their results are discarded — so cancellation is a way
+// for the *caller* to give up on a wedged or slow scope, not a way to
+// abort the emulated computation mid-flight. A nil or never-canceled
+// context degenerates to plain Finish.
+func (rt *Runtime) FinishContext(ctx context.Context, body func(c *Ctx)) error {
+	if ctx == nil || ctx.Done() == nil {
+		return rt.Finish(body)
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %v", ErrCanceled, err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- rt.Finish(body) }()
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		return fmt.Errorf("%w: %v", ErrCanceled, ctx.Err())
+	}
 }
 
 // FinishFrom is like Finish but runs body at an arbitrary place. It is the

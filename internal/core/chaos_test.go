@@ -1,0 +1,173 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/rgml/rgml/internal/chaos"
+	"github.com/rgml/rgml/internal/core"
+)
+
+// TestOptionsBuildMatchesConfig checks that the functional-options
+// constructor behaves exactly like the Config shim it fronts.
+func TestOptionsBuildMatchesConfig(t *testing.T) {
+	rt := newRT(t, 4)
+	exec, err := core.New(rt, core.WithCheckpointInterval(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := newCounterApp(t, rt, exec.ActiveGroup(), 20, 30)
+	if err := exec.Run(app); err != nil {
+		t.Fatal(err)
+	}
+	verify(t, app)
+	m := exec.Metrics()
+	if m.Steps != 30 || m.Checkpoints != 3 {
+		t.Errorf("Steps = %d, Checkpoints = %d, want 30, 3", m.Steps, m.Checkpoints)
+	}
+}
+
+// TestOptionsValidation checks that option-built executors hit the same
+// validation as Config-built ones.
+func TestOptionsValidation(t *testing.T) {
+	rt := newRT(t, 3)
+	if _, err := core.New(rt, core.WithSpares(3)); err == nil {
+		t.Error("WithSpares(world size) must fail")
+	}
+	if _, err := core.New(rt, core.WithFallback(core.ReplaceRedundant)); err == nil {
+		t.Error("replace-redundant fallback must fail")
+	}
+}
+
+// TestChaosCommitKillRecovers drives a schedule that kills a place inside
+// the checkpoint commit window: the commit still promotes (it is a
+// place-zero-local operation), the next step observes the death, and the
+// run recovers from the checkpoint that was just committed.
+func TestChaosCommitKillRecovers(t *testing.T) {
+	rt := newRT(t, 4)
+	eng, err := chaos.New(rt, chaos.MustParse("kill(point=commit,iter=2,place=1)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := core.New(rt,
+		core.WithCheckpointInterval(2),
+		core.WithRestoreMode(core.Shrink),
+		core.WithChaos(eng),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := newCounterApp(t, rt, exec.ActiveGroup(), 12, 6)
+	if err := exec.Run(app); err != nil {
+		t.Fatal(err)
+	}
+	verify(t, app)
+	kills := eng.Kills()
+	if len(kills) != 1 || kills[0].Point != chaos.PointCommit || kills[0].Iteration != 2 {
+		t.Fatalf("kills = %v, want one commit kill at iteration 2", kills)
+	}
+	m := exec.Metrics()
+	if m.Restores != 1 {
+		t.Errorf("Restores = %d, want 1", m.Restores)
+	}
+	if app.pg.Size() != 3 {
+		t.Errorf("final group = %v, want 3 survivors", app.pg)
+	}
+}
+
+// TestChaosRestoreKillForcesRetry layers a mid-restore kill on top of a
+// step kill: the first recovery attempt plans a group that the restore
+// rule then breaks, so the attempt fails and the retry completes on the
+// remaining survivors. Victims 1 and 3 are non-adjacent, so every
+// snapshot entry keeps a live replica throughout.
+func TestChaosRestoreKillForcesRetry(t *testing.T) {
+	rt := newRT(t, 4)
+	eng, err := chaos.New(rt, chaos.MustParse("kill(place=1,iter=3);kill(point=restore,place=3)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := core.New(rt,
+		core.WithCheckpointInterval(2),
+		core.WithRestoreMode(core.Shrink),
+		core.WithChaos(eng),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := newCounterApp(t, rt, exec.ActiveGroup(), 12, 6)
+	if err := exec.Run(app); err != nil {
+		t.Fatal(err)
+	}
+	verify(t, app)
+	if got := eng.Signature(); got != "3@step:p1,3@restore:p3" {
+		t.Fatalf("signature = %q", got)
+	}
+	m := exec.Metrics()
+	if m.RestoreAttempts != 2 || m.Restores != 1 {
+		t.Errorf("RestoreAttempts = %d, Restores = %d, want 2, 1", m.RestoreAttempts, m.Restores)
+	}
+	if app.pg.Size() != 2 {
+		t.Errorf("final group = %v, want 2 survivors", app.pg)
+	}
+}
+
+// TestChaosDisarmedAfterRun checks the engine's arming is scoped to the
+// run: once RunContext returns, schedule rules with remaining budget can
+// no longer fire.
+func TestChaosDisarmedAfterRun(t *testing.T) {
+	rt := newRT(t, 3)
+	eng, err := chaos.New(rt, chaos.MustParse("kill(place=1,iter=100)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := core.New(rt, core.WithCheckpointInterval(5), core.WithChaos(eng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := newCounterApp(t, rt, exec.ActiveGroup(), 6, 4)
+	if err := exec.Run(app); err != nil {
+		t.Fatal(err)
+	}
+	// The rule never matched (run was 4 iterations) and the engine is now
+	// disarmed, so its fault points are inert.
+	if err := eng.At(chaos.PointStep); err != nil {
+		t.Fatal(err)
+	}
+	if len(eng.Kills()) != 0 {
+		t.Fatalf("kills after run = %v, want none", eng.Kills())
+	}
+}
+
+// TestErrorTaxonomy checks that the facade's sentinels are matched with
+// errors.Is through the store's and executor's real failure paths.
+func TestErrorTaxonomy(t *testing.T) {
+	store := core.NewAppResilientStore()
+	if err := store.Commit(); !errors.Is(err, core.ErrNoSnapshotStarted) {
+		t.Errorf("Commit outside window = %v, want ErrNoSnapshotStarted", err)
+	}
+	if err := store.StartNewSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.StartNewSnapshot(); !errors.Is(err, core.ErrSnapshotInProgress) {
+		t.Errorf("double StartNewSnapshot = %v, want ErrSnapshotInProgress", err)
+	}
+	if err := store.Restore(); !errors.Is(err, core.ErrNoSnapshot) {
+		t.Errorf("Restore without commit = %v, want ErrNoSnapshot", err)
+	}
+
+	// With checkpointing disabled a failure is unrecoverable, typed as
+	// ErrNoSnapshot.
+	rt := newRT(t, 3)
+	exec, err := core.New(rt, core.WithAfterStep(func(iter int64) {
+		if iter == 2 {
+			_ = rt.Kill(rt.Place(1))
+		}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := newCounterApp(t, rt, exec.ActiveGroup(), 6, 8)
+	if err := exec.Run(app); !errors.Is(err, core.ErrNoSnapshot) {
+		t.Errorf("unrecoverable run = %v, want ErrNoSnapshot", err)
+	}
+}

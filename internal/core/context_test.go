@@ -1,0 +1,88 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/rgml/rgml/internal/apgas"
+	"github.com/rgml/rgml/internal/core"
+)
+
+// TestRunContextCancelStopsBetweenIterations checks that cancellation
+// surfaces as a typed ErrCanceled between iterations instead of the run
+// continuing to completion (or hanging).
+func TestRunContextCancelStopsBetweenIterations(t *testing.T) {
+	rt := newRT(t, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	exec, err := core.New(rt,
+		core.WithCheckpointInterval(100),
+		core.WithAfterStep(func(iter int64) {
+			if iter == 3 {
+				cancel()
+			}
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := newCounterApp(t, rt, exec.ActiveGroup(), 12, 1000)
+	err = exec.RunContext(ctx, app)
+	if !errors.Is(err, core.ErrCanceled) {
+		t.Fatalf("RunContext = %v, want ErrCanceled", err)
+	}
+	// core.ErrCanceled aliases the runtime's sentinel; both must match.
+	if !errors.Is(err, apgas.ErrCanceled) {
+		t.Fatalf("RunContext = %v, want apgas.ErrCanceled too", err)
+	}
+	if got := exec.Metrics().Steps; got != 3 {
+		t.Fatalf("Steps = %d, want 3 (cancel observed before step 4)", got)
+	}
+}
+
+// TestRunContextAlreadyCanceled checks that a dead-on-arrival context does
+// no work at all.
+func TestRunContextAlreadyCanceled(t *testing.T) {
+	rt := newRT(t, 2)
+	exec, err := core.New(rt, core.WithCheckpointInterval(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	app := newCounterApp(t, rt, exec.ActiveGroup(), 4, 10)
+	if err := exec.RunContext(ctx, app); !errors.Is(err, core.ErrCanceled) {
+		t.Fatalf("RunContext = %v, want ErrCanceled", err)
+	}
+	if got := exec.Metrics().Steps; got != 0 {
+		t.Fatalf("Steps = %d, want 0", got)
+	}
+}
+
+// TestRunContextDeadline checks the timeout form, the one campaign runs
+// use to bound each chaos run.
+func TestRunContextDeadline(t *testing.T) {
+	rt := newRT(t, 2)
+	exec, err := core.New(rt, core.WithCheckpointInterval(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	app := &slowApp{counterApp: newCounterApp(t, rt, exec.ActiveGroup(), 4, 1_000_000)}
+	if err := exec.RunContext(ctx, app); !errors.Is(err, core.ErrCanceled) {
+		t.Fatalf("RunContext = %v, want ErrCanceled", err)
+	}
+}
+
+// slowApp pads each step so a short deadline expires mid-run.
+type slowApp struct {
+	*counterApp
+}
+
+func (a *slowApp) Step() error {
+	time.Sleep(time.Millisecond)
+	return a.counterApp.Step()
+}

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"errors"
+
+	"github.com/rgml/rgml/internal/apgas"
+)
+
+// The package's error taxonomy. Callers branch on these with errors.Is;
+// every error the store and executor return wraps exactly one of them (or
+// an apgas error such as DeadPlaceError), never a bare formatted string.
+var (
+	// ErrNoSnapshot is returned by Restore — and by a recovery attempt —
+	// when no checkpoint has been committed yet.
+	ErrNoSnapshot = errors.New("core: no committed application snapshot")
+
+	// ErrSnapshotInProgress is returned when StartNewSnapshot is called
+	// twice without an intervening Commit or CancelSnapshot.
+	ErrSnapshotInProgress = errors.New("core: a snapshot is already in progress")
+
+	// ErrNoSnapshotStarted is returned by Save/SaveReadOnly/Commit outside
+	// a StartNewSnapshot..Commit window.
+	ErrNoSnapshotStarted = errors.New("core: StartNewSnapshot has not been called")
+
+	// ErrGroupExhausted reports that a restoration plan found no surviving
+	// non-spare place to restore onto: the schedule of failures ate the
+	// whole group and recovery is impossible.
+	ErrGroupExhausted = errors.New("core: no surviving places")
+
+	// ErrRestoreBudget reports that recovery was abandoned because the
+	// per-run restore attempt budget (Config.MaxRestores) was exhausted by
+	// a failure storm.
+	ErrRestoreBudget = errors.New("core: restore attempt budget exhausted")
+
+	// ErrCanceled reports that RunContext stopped because its context was
+	// canceled. It aliases apgas.ErrCanceled, so errors.Is matches either
+	// package's sentinel.
+	ErrCanceled = apgas.ErrCanceled
+)

@@ -1,11 +1,12 @@
 package core
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"time"
 
 	"github.com/rgml/rgml/internal/apgas"
+	"github.com/rgml/rgml/internal/chaos"
 	"github.com/rgml/rgml/internal/obs"
 )
 
@@ -84,6 +85,11 @@ type Config struct {
 	// (apgas.Config.Obs) if one was configured, and otherwise creates a
 	// private registry — Metrics is always a live view over a registry.
 	Obs *obs.Registry
+	// Chaos, when non-nil, is the fault-injection engine the executor
+	// drives: armed for the duration of each run (and disarmed again when
+	// the run returns), advanced to the executor's iteration once per loop
+	// pass, and consulted at the step, commit and restore fault points.
+	Chaos *chaos.Engine
 }
 
 // Metrics reports where the executor spent its time; the benchmark
@@ -180,6 +186,10 @@ func newExecInstr(reg *obs.Registry) execInstr {
 
 // NewExecutor builds an executor over rt's initial world, reserving
 // cfg.Spares places for ReplaceRedundant.
+//
+// Deprecated: prefer New with functional options (WithCheckpointInterval,
+// WithRestoreMode, WithSpares, WithChaos, …). NewExecutor remains so
+// existing Config-literal callers keep compiling.
 func NewExecutor(rt *apgas.Runtime, cfg Config) (*Executor, error) {
 	world := rt.World()
 	if cfg.Spares < 0 || cfg.Spares >= world.Size() {
@@ -216,6 +226,9 @@ func NewExecutor(rt *apgas.Runtime, cfg Config) (*Executor, error) {
 		in:     newExecInstr(reg),
 	}
 	e.store.instrument(reg)
+	if eng := cfg.Chaos; eng != nil {
+		e.store.setCommitHook(func() { _ = eng.At(chaos.PointCommit) })
+	}
 	e.in.sparesFree.Set(int64(cfg.Spares))
 	e.in.activeSize.Set(int64(split))
 	return e, nil
@@ -251,12 +264,31 @@ func (e *Executor) Metrics() Metrics {
 }
 
 // Run drives app until IsFinished, surviving place failures when
-// checkpointing is enabled. It returns the first unrecoverable error.
+// checkpointing is enabled. It returns the first unrecoverable error. It
+// is RunContext with a background context.
 func (e *Executor) Run(app IterativeApp) error {
+	return e.RunContext(context.Background(), app)
+}
+
+// RunContext is Run under a context: cancellation is observed between
+// iterations (a step in flight completes first — the framework never
+// abandons a distributed operation halfway) and surfaces as an error
+// wrapping ErrCanceled. When a chaos engine is configured it is armed for
+// exactly the duration of this call, so schedules cannot shoot down
+// application construction or post-run teardown.
+func (e *Executor) RunContext(ctx context.Context, app IterativeApp) error {
 	start := time.Now()
 	defer func() { e.in.runNS.Add(int64(time.Since(start))) }()
+	if eng := e.cfg.Chaos; eng != nil {
+		eng.Arm()
+		defer eng.Disarm()
+	}
 	attempts := 0
 	for !app.IsFinished() {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("core: run canceled at iteration %d: %w", e.iter, ErrCanceled)
+		}
+		e.chaosAdvance()
 		if e.shouldCheckpoint() {
 			if err := e.checkpoint(app); err != nil {
 				if !apgas.IsDeadPlace(err) {
@@ -268,6 +300,7 @@ func (e *Executor) Run(app IterativeApp) error {
 				continue
 			}
 		}
+		e.chaosAt(chaos.PointStep)
 		t0 := time.Now()
 		err := app.Step()
 		e.in.stepDur.Observe(time.Since(t0))
@@ -287,6 +320,24 @@ func (e *Executor) Run(app IterativeApp) error {
 		}
 	}
 	return nil
+}
+
+// chaosAdvance moves the configured chaos engine's iteration clock to the
+// executor's; a no-op without an engine.
+func (e *Executor) chaosAdvance() {
+	if eng := e.cfg.Chaos; eng != nil {
+		eng.Advance(e.iter)
+	}
+}
+
+// chaosAt fires one of the executor-serialized chaos points. The injected
+// transient error (flake rules) is deliberately dropped: at these points a
+// fault only matters if it kills a place, which the next distributed
+// operation detects on its own.
+func (e *Executor) chaosAt(p chaos.Point) {
+	if eng := e.cfg.Chaos; eng != nil {
+		_ = eng.At(p)
+	}
 }
 
 // shouldCheckpoint decides whether to checkpoint before the next step:
@@ -376,7 +427,7 @@ func (e *Executor) recover(app IterativeApp, attempts *int) error {
 	for {
 		*attempts++
 		if *attempts > e.cfg.MaxRestores {
-			return fmt.Errorf("core: giving up after %d restore attempts", e.cfg.MaxRestores)
+			return fmt.Errorf("core: giving up after %d restore attempts: %w", e.cfg.MaxRestores, ErrRestoreBudget)
 		}
 		e.in.restoreAttempts.Inc()
 		e.reg.Trace("core.restore.attempt", int64(*attempts), snapIter)
@@ -384,6 +435,10 @@ func (e *Executor) recover(app IterativeApp, attempts *int) error {
 		if err != nil {
 			return err
 		}
+		// Restore fault point: the plan is final but the application has
+		// not restored yet, so a kill here lands on a group member
+		// mid-restore and forces a further attempt.
+		e.chaosAt(chaos.PointRestore)
 		if err := app.Restore(plan.active, e.store, snapIter, plan.rebalance); err != nil {
 			if apgas.IsDeadPlace(err) {
 				// Another place died during recovery: try again. The plan
@@ -444,7 +499,27 @@ func (e *Executor) nextGroup() (groupPlan, error) {
 			newPG, err := e.active.Replace(dead, taken)
 			return groupPlan{active: newPG, spares: alive[len(dead):]}, err
 		}
-		// Spare pool exhausted: fall back (paper section V-B3).
+		if len(alive) > 0 {
+			// Partial coverage: the schedule killed more places than spares
+			// remain. Degrade gracefully instead of abandoning the spares —
+			// replace as many dead places as the pool covers (preserving
+			// those data positions) and shrink away the rest, repartitioning
+			// per the configured fallback.
+			part, err := e.active.Replace(dead[:len(alive)], alive)
+			if err != nil {
+				return groupPlan{}, err
+			}
+			survivors := part.Without(dead[len(alive):]...)
+			if survivors.Size() == 0 {
+				return groupPlan{}, ErrGroupExhausted
+			}
+			return groupPlan{
+				active:    survivors,
+				spares:    nil,
+				rebalance: e.cfg.Fallback == ShrinkRebalance,
+			}, nil
+		}
+		// Spare pool fully exhausted: fall back (paper section V-B3).
 		mode = e.cfg.Fallback
 	case ReplaceElastic:
 		added, err := e.rt.AddPlaces(len(dead))
@@ -456,7 +531,7 @@ func (e *Executor) nextGroup() (groupPlan, error) {
 	}
 	survivors := e.active.Without(dead...)
 	if survivors.Size() == 0 {
-		return groupPlan{}, errors.New("core: no surviving places")
+		return groupPlan{}, ErrGroupExhausted
 	}
 	return groupPlan{active: survivors, spares: e.spares, rebalance: mode == ShrinkRebalance}, nil
 }

@@ -200,10 +200,11 @@ func TestExecutorReplaceRedundantFallback(t *testing.T) {
 	var once sync.Once
 	killed := false
 	// Kill two active places at once: one spare cannot cover both, so the
-	// executor falls back to shrink. The victims are non-adjacent in the
-	// group (1 and 3) so the double in-memory storage still covers every
-	// snapshot entry — adjacent double failures are a genuine data-loss
-	// case, tested separately in the snapshot package.
+	// executor degrades gracefully — the spare replaces one victim
+	// in-position and the uncoverable one is shrunk away. The victims are
+	// non-adjacent in the group (1 and 3) so the double in-memory storage
+	// still covers every snapshot entry — adjacent double failures are a
+	// genuine data-loss case, tested separately in the snapshot package.
 	hook := func(iter int64) {
 		if iter == 6 {
 			once.Do(func() {
@@ -231,9 +232,18 @@ func TestExecutorReplaceRedundantFallback(t *testing.T) {
 	if !killed {
 		t.Fatal("failure was never injected")
 	}
-	// 4 active - 2 dead = 2 survivors (shrink fallback).
-	if app.pg.Size() != 2 {
+	// 4 active - 2 dead + 1 spare = 3 places: the spare (4) takes the
+	// first victim's slot, the second victim is shrunk away.
+	if app.pg.Size() != 3 {
 		t.Fatalf("final group = %v", app.pg)
+	}
+	if app.pg.IndexOf(rt.Place(4)) < 0 {
+		t.Fatalf("spare place 4 not drafted into %v", app.pg)
+	}
+	for _, dead := range []int{1, 3} {
+		if app.pg.IndexOf(rt.Place(dead)) >= 0 {
+			t.Fatalf("dead place %d still in %v", dead, app.pg)
+		}
 	}
 }
 

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"time"
+
+	"github.com/rgml/rgml/internal/apgas"
+	"github.com/rgml/rgml/internal/chaos"
+	"github.com/rgml/rgml/internal/obs"
+)
+
+// Option configures an Executor built with New. Options replace positional
+// Config literal construction: zero options give the same executor as a
+// zero Config, and every Config knob has a corresponding With* option.
+type Option func(*Config)
+
+// WithCheckpointInterval checkpoints before iterations 0, k, 2k, ….
+func WithCheckpointInterval(k int) Option {
+	return func(c *Config) { c.CheckpointInterval = k }
+}
+
+// WithMTTF enables automatic checkpoint intervals from Young's formula for
+// the given mean time to failure (used when no fixed interval is set).
+func WithMTTF(mttf time.Duration) Option {
+	return func(c *Config) { c.MTTF = mttf }
+}
+
+// WithRestoreMode selects the restoration mode applied on failure.
+func WithRestoreMode(m RestoreMode) Option {
+	return func(c *Config) { c.Mode = m }
+}
+
+// WithFallback selects the mode ReplaceRedundant degrades to when the
+// spare pool is exhausted; it must be Shrink or ShrinkRebalance.
+func WithFallback(m RestoreMode) Option {
+	return func(c *Config) { c.Fallback = m }
+}
+
+// WithSpares reserves the last n places of the runtime's initial world as
+// replacements for ReplaceRedundant.
+func WithSpares(n int) Option {
+	return func(c *Config) { c.Spares = n }
+}
+
+// WithMaxRestores bounds recovery attempts per run.
+func WithMaxRestores(n int) Option {
+	return func(c *Config) { c.MaxRestores = n }
+}
+
+// WithAfterStep installs a hook running after each successful iteration
+// with the 1-based count of completed iterations.
+func WithAfterStep(fn func(iter int64)) Option {
+	return func(c *Config) { c.AfterStep = fn }
+}
+
+// WithObs directs the executor's instruments into reg instead of the
+// runtime's (or a private) registry.
+func WithObs(reg *obs.Registry) Option {
+	return func(c *Config) { c.Obs = reg }
+}
+
+// WithChaos attaches a fault-injection engine: the executor arms it for
+// the duration of each run, drives its iteration clock, and fires the
+// step/commit/restore points the engine's schedule can match.
+func WithChaos(eng *chaos.Engine) Option {
+	return func(c *Config) { c.Chaos = eng }
+}
+
+// New builds an executor over rt's initial world from functional options.
+// It is the preferred constructor; NewExecutor remains as the Config-based
+// shim for existing callers.
+func New(rt *apgas.Runtime, opts ...Option) (*Executor, error) {
+	var cfg Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return NewExecutor(rt, cfg)
+}

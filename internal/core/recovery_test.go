@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"errors"
 	"strings"
 	"sync"
 	"testing"
@@ -184,6 +185,9 @@ func TestExecutorRestoreAttemptExhaustion(t *testing.T) {
 	err = exec.Run(app)
 	if err == nil || !strings.Contains(err.Error(), "giving up after 3 restore attempts") {
 		t.Fatalf("Run = %v, want attempt exhaustion", err)
+	}
+	if !errors.Is(err, core.ErrRestoreBudget) {
+		t.Fatalf("Run = %v, want errors.Is ErrRestoreBudget", err)
 	}
 	m := exec.Metrics()
 	if m.RestoreAttempts != 3 || m.Restores != 0 {

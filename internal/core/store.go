@@ -40,6 +40,13 @@ type AppResilientStore struct {
 	roReuses *obs.Counter // core.store.readonly_reuses
 	commits  *obs.Counter // core.store.commits
 	cancels  *obs.Counter // core.store.cancels
+
+	// commitHook, when set, runs at the start of every Commit, after the
+	// pending checkpoint's objects have all been saved but before the
+	// checkpoint is promoted to the recovery point. The executor points it
+	// at the chaos engine's commit fault point, which is how schedules kill
+	// places inside the commit window.
+	commitHook func()
 }
 
 // instrument wires the store's counters into reg. The executor calls it
@@ -53,24 +60,20 @@ func (s *AppResilientStore) instrument(reg *obs.Registry) {
 	s.cancels = reg.Counter("core.store.cancels")
 }
 
+// setCommitHook installs the function Commit runs at its entry (see the
+// commitHook field). The executor owns this; nil clears it.
+func (s *AppResilientStore) setCommitHook(fn func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.commitHook = fn
+}
+
 // NewAppResilientStore returns an empty store.
 func NewAppResilientStore() *AppResilientStore {
 	return &AppResilientStore{
 		readOnly: make(map[snapshot.Snapshottable]*snapshot.Snapshot),
 	}
 }
-
-// ErrNoSnapshot is returned by Restore when no checkpoint has been
-// committed yet.
-var ErrNoSnapshot = errors.New("core: no committed application snapshot")
-
-// ErrSnapshotInProgress is returned when StartNewSnapshot is called twice
-// without an intervening Commit or CancelSnapshot.
-var ErrSnapshotInProgress = errors.New("core: a snapshot is already in progress")
-
-// ErrNoSnapshotStarted is returned by Save/SaveReadOnly/Commit outside a
-// StartNewSnapshot..Commit window.
-var ErrNoSnapshotStarted = errors.New("core: StartNewSnapshot has not been called")
 
 // SetIteration records the application iteration the next checkpoint will
 // capture. The executor calls it before invoking the application's
@@ -181,6 +184,18 @@ func (s *AppResilientStore) SaveReadOnly(obj snapshot.Snapshottable) error {
 // steady-state checkpoints allocate nothing for block payloads (see
 // TestCheckpointCycleReusesBuffers).
 func (s *AppResilientStore) Commit() error {
+	s.mu.Lock()
+	hook := s.commitHook
+	active := s.inProgress
+	s.mu.Unlock()
+	if hook != nil && active {
+		// Fire the commit fault point outside the lock: the hook may kill a
+		// place, and the resulting ledger activity must not run under the
+		// store's mutex. The commit itself is a place-zero-local promotion,
+		// so it still succeeds; the next distributed operation observes the
+		// death and triggers recovery from the just-committed checkpoint.
+		hook()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.inProgress {

@@ -1,0 +1,158 @@
+package snapshot
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/rgml/rgml/internal/apgas"
+)
+
+// flakyInjector fails the first `failures` replica puts it sees and lets
+// everything else through. It stands in for the chaos engine's flake rules
+// so the snapshot package can test its retry loop without importing chaos.
+type flakyInjector struct {
+	mu       sync.Mutex
+	failures int
+	seen     int
+}
+
+func (fi *flakyInjector) Fault(point string, subject apgas.Place) error {
+	if point != apgas.FaultPointReplica {
+		return nil
+	}
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	fi.seen++
+	if fi.failures != 0 {
+		if fi.failures > 0 {
+			fi.failures--
+		}
+		return errors.New("injected transient replica failure")
+	}
+	return nil
+}
+
+func fastRetry(attempts int) RetryPolicy {
+	return RetryPolicy{MaxAttempts: attempts, Backoff: 50 * time.Microsecond}
+}
+
+// TestReplicaRetryLandsBackupAfterTransientFaults checks that a put that
+// flakes a few times still lands the backup replica, so a later owner
+// failure is survivable exactly as if nothing had been injected.
+func TestReplicaRetryLandsBackupAfterTransientFaults(t *testing.T) {
+	rt, reg := newInstrumentedRT(t, 3)
+	inj := &flakyInjector{failures: 2}
+	rt.SetInjector(inj)
+	defer rt.SetInjector(nil)
+
+	pg := rt.World()
+	s, err := NewWithOptions(rt, pg, Options{Retry: fastRetry(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	saveAll(t, rt, s, pg)
+
+	if got := reg.Counter("snapshot.replicas.retries").Value(); got != 2 {
+		t.Errorf("snapshot.replicas.retries = %d, want 2", got)
+	}
+	if got := reg.Counter("snapshot.replicas.dropped").Value(); got != 0 {
+		t.Errorf("snapshot.replicas.dropped = %d, want 0", got)
+	}
+
+	// The owner of entry 1 dies; its backup (retried into place 2) serves.
+	if err := rt.Kill(rt.Place(1)); err != nil {
+		t.Fatal(err)
+	}
+	err = rt.Finish(func(ctx *apgas.Ctx) {
+		data, err := s.Load(ctx, 1, 1)
+		if err != nil {
+			apgas.Throw(err)
+		}
+		if string(data) != "data-1" {
+			apgas.Throw(fmt.Errorf("got %q", data))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplicaRetryExhaustionDegradesToOwnerOnly checks the graceful
+// degradation path: a put whose retry budget is exhausted drops the backup
+// (counted and traced) but the checkpoint still completes and owner copies
+// still load.
+func TestReplicaRetryExhaustionDegradesToOwnerOnly(t *testing.T) {
+	rt, reg := newInstrumentedRT(t, 3)
+	rt.SetInjector(&flakyInjector{failures: -1}) // never recovers
+	defer rt.SetInjector(nil)
+
+	pg := rt.World()
+	s, err := NewWithOptions(rt, pg, Options{Retry: fastRetry(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	saveAll(t, rt, s, pg) // must not fail: degradation, not checkpoint abort
+
+	if got := reg.Counter("snapshot.replicas.dropped").Value(); got != 3 {
+		t.Errorf("snapshot.replicas.dropped = %d, want 3", got)
+	}
+	// MaxAttempts=2 means one retry per put before giving up.
+	if got := reg.Counter("snapshot.replicas.retries").Value(); got != 3 {
+		t.Errorf("snapshot.replicas.retries = %d, want 3", got)
+	}
+	dropTraces := 0
+	for _, ev := range reg.TraceEvents() {
+		if ev.Name == "snapshot.replica.dropped" {
+			dropTraces++
+		}
+	}
+	if dropTraces != 3 {
+		t.Errorf("snapshot.replica.dropped traces = %d, want 3", dropTraces)
+	}
+
+	// Owner copies are intact.
+	err = apgas.ForEachPlace(rt, pg, func(ctx *apgas.Ctx, idx int) {
+		data, err := s.Load(ctx, idx, idx)
+		if err != nil {
+			apgas.Throw(err)
+		}
+		if string(data) != fmt.Sprintf("data-%d", idx) {
+			apgas.Throw(fmt.Errorf("got %q", data))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// But the degraded entry no longer survives its owner: that is the
+	// documented trade-off of dropping the replica instead of failing the
+	// whole checkpoint. The backup place is alive yet holds nothing, so the
+	// loss surfaces as ErrNotFound rather than ErrDataLost.
+	if err := rt.Kill(rt.Place(1)); err != nil {
+		t.Fatal(err)
+	}
+	err = rt.Finish(func(ctx *apgas.Ctx) {
+		if _, err := s.Load(ctx, 1, 1); !errors.Is(err, ErrNotFound) {
+			apgas.Throw(fmt.Errorf("want ErrNotFound, got %v", err))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRetryPolicyDefaults pins the normalized defaults so option plumbing
+// can rely on the zero value meaning "sane bounded retry".
+func TestRetryPolicyDefaults(t *testing.T) {
+	p := RetryPolicy{}.normalize()
+	if p.MaxAttempts != 4 || p.Backoff != 200*time.Microsecond || p.AttemptTimeout != 25*time.Millisecond {
+		t.Fatalf("unexpected defaults %+v", p)
+	}
+	one := RetryPolicy{MaxAttempts: 1}.normalize()
+	if one.MaxAttempts != 1 {
+		t.Fatalf("MaxAttempts=1 must disable retries, got %+v", one)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/rgml/rgml/internal/apgas"
 	"github.com/rgml/rgml/internal/codec"
@@ -59,6 +60,42 @@ type Options struct {
 	// then cannot survive the owner's failure; it exists for the ablation
 	// benchmark quantifying the price of double storage.
 	DisableBackup bool
+	// Retry tunes the bounded retry applied to backup (replica) puts when
+	// the runtime's fault injector reports a transient write failure. The
+	// zero value means the defaults (see RetryPolicy).
+	Retry RetryPolicy
+}
+
+// RetryPolicy bounds how hard the snapshot layer tries to land a backup
+// replica under transient-failure injection. A put that still fails after
+// MaxAttempts degrades gracefully to an owner-only entry (counted as
+// snapshot.replicas.dropped) rather than failing the checkpoint: double
+// storage is an availability optimisation, and a missing backup only
+// matters if the owner also dies before the next checkpoint.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of put attempts, including the
+	// first. 0 means the default (4); 1 disables retries.
+	MaxAttempts int
+	// Backoff is the wait before the second attempt, doubling on each
+	// further attempt. 0 means the default (200µs).
+	Backoff time.Duration
+	// AttemptTimeout caps the time budget of any single attempt (its
+	// backoff wait included), keeping a hostile injector from stalling a
+	// checkpoint. 0 means the default (25ms).
+	AttemptTimeout time.Duration
+}
+
+func (p RetryPolicy) normalize() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = 200 * time.Microsecond
+	}
+	if p.AttemptTimeout <= 0 {
+		p.AttemptTimeout = 25 * time.Millisecond
+	}
+	return p
 }
 
 // entry is one stored value plus its integrity checksum, computed at save
@@ -181,6 +218,8 @@ type snapInstr struct {
 	loadRemote  *obs.Counter // snapshot.load.remote
 	loadBytes   *obs.Counter // snapshot.load.bytes
 	crcFailures *obs.Counter // snapshot.crc.failures
+	retries     *obs.Counter // snapshot.replicas.retries (re-attempted backup puts)
+	dropped     *obs.Counter // snapshot.replicas.dropped (degraded to owner-only)
 	fallbacks   *obs.Counter // snapshot.replica.fallbacks
 	lost        *obs.Counter // snapshot.entries.lost
 	poolHits    *obs.Counter // snapshot.pool.hits
@@ -199,6 +238,8 @@ func newSnapInstr(reg *obs.Registry) snapInstr {
 		loadRemote:  reg.Counter("snapshot.load.remote"),
 		loadBytes:   reg.Counter("snapshot.load.bytes"),
 		crcFailures: reg.Counter("snapshot.crc.failures"),
+		retries:     reg.Counter("snapshot.replicas.retries"),
+		dropped:     reg.Counter("snapshot.replicas.dropped"),
 		fallbacks:   reg.Counter("snapshot.replica.fallbacks"),
 		lost:        reg.Counter("snapshot.entries.lost"),
 		poolHits:    reg.Counter("snapshot.pool.hits"),
@@ -232,6 +273,7 @@ func NewWithOptions(rt *apgas.Runtime, pg apgas.PlaceGroup, opts Options) (*Snap
 	if err != nil {
 		return nil, fmt.Errorf("snapshot: allocating stores: %w", err)
 	}
+	opts.Retry = opts.Retry.normalize()
 	return &Snapshot{rt: rt, pg: pg.Clone(), opts: opts, plh: plh, stores: stores, instr: instr}, nil
 }
 
@@ -287,8 +329,41 @@ func (s *Snapshot) save(ctx *apgas.Ctx, key int, e *entry) {
 	s.instr.backupBytes.Add(int64(len(e.data)))
 	ctx.Transfer(next, len(e.data))
 	ctx.AsyncAt(next, func(c *apgas.Ctx) {
-		s.plh.Local(c).put(key, e)
+		s.putReplica(c, key, e)
 	})
+}
+
+// putReplica lands the backup copy at the backup place, retrying with
+// doubling backoff when the runtime's fault injector reports a transient
+// write failure (the chaos engine's flake rules). With no injector
+// installed the first attempt costs one atomic load and succeeds, so the
+// checkpoint fast path is unchanged. Exhausting the retry budget degrades
+// the entry to owner-only instead of failing the checkpoint.
+func (s *Snapshot) putReplica(c *apgas.Ctx, key int, e *entry) {
+	pol := s.opts.Retry
+	backoff := pol.Backoff
+	for attempt := 1; ; attempt++ {
+		if err := s.rt.InjectFault(apgas.FaultPointReplica, c.Here); err == nil {
+			s.plh.Local(c).put(key, e)
+			return
+		}
+		if attempt >= pol.MaxAttempts {
+			break
+		}
+		s.instr.retries.Inc()
+		s.rt.Obs().Trace("snapshot.replica.retry", int64(key), int64(attempt))
+		wait := backoff
+		if wait > pol.AttemptTimeout {
+			wait = pol.AttemptTimeout
+		}
+		time.Sleep(wait)
+		backoff *= 2
+		// A backup place killed while we were backing off must abort the
+		// task as a place death, not keep writing into a dead store.
+		c.CheckAlive()
+	}
+	s.instr.dropped.Inc()
+	s.rt.Obs().Trace("snapshot.replica.dropped", int64(key), int64(c.Here.ID))
 }
 
 // Load retrieves the entry for key. ownerIdx is the index (within the

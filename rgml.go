@@ -22,9 +22,12 @@
 package rgml
 
 import (
+	"time"
+
 	"github.com/rgml/rgml/internal/apgas"
 	"github.com/rgml/rgml/internal/apps"
 	"github.com/rgml/rgml/internal/block"
+	"github.com/rgml/rgml/internal/chaos"
 	"github.com/rgml/rgml/internal/core"
 	"github.com/rgml/rgml/internal/dist"
 	"github.com/rgml/rgml/internal/la"
@@ -51,8 +54,35 @@ type (
 	DeadPlaceError = apgas.DeadPlaceError
 )
 
-// NewRuntime creates an emulated APGAS runtime.
+// RuntimeOption configures a runtime built with NewRuntimeWith.
+type RuntimeOption = apgas.Option
+
+// NewRuntimeWith creates an emulated APGAS runtime from functional
+// options — the preferred constructor:
+//
+//	rt, err := rgml.NewRuntimeWith(rgml.WithPlaces(8), rgml.WithResilient(true))
+//
+// Zero options give a single non-resilient place.
+func NewRuntimeWith(opts ...RuntimeOption) (*Runtime, error) { return apgas.New(opts...) }
+
+// NewRuntime creates an emulated APGAS runtime from a Config literal.
+//
+// Deprecated: use NewRuntimeWith with functional options.
 func NewRuntime(cfg RuntimeConfig) (*Runtime, error) { return apgas.NewRuntime(cfg) }
+
+// WithPlaces sets the number of places to create (at least 1).
+func WithPlaces(n int) RuntimeOption { return apgas.WithPlaces(n) }
+
+// WithResilient selects resilient finish semantics (required for failure
+// injection, and therefore for chaos schedules).
+func WithResilient(on bool) RuntimeOption { return apgas.WithResilient(on) }
+
+// WithNet sets the simulated interconnect model.
+func WithNet(m NetModel) RuntimeOption { return apgas.WithNet(m) }
+
+// WithRuntimeObs wires the runtime's instrumentation into reg. Pass the
+// same registry to WithExecutorObs for a single coherent export per run.
+func WithRuntimeObs(reg *MetricsRegistry) RuntimeOption { return apgas.WithObs(reg) }
 
 // IsDeadPlace reports whether err contains a DeadPlaceError.
 func IsDeadPlace(err error) bool { return apgas.IsDeadPlace(err) }
@@ -183,10 +213,116 @@ const (
 	ReplaceElastic   = core.ReplaceElastic
 )
 
-// NewExecutor builds a resilient executor over rt's initial world.
+// ExecutorOption configures an executor built with NewExecutorWith.
+type ExecutorOption = core.Option
+
+// NewExecutorWith builds a resilient executor over rt's initial world from
+// functional options — the preferred constructor:
+//
+//	exec, err := rgml.NewExecutorWith(rt,
+//	    rgml.WithCheckpointInterval(10),
+//	    rgml.WithRestoreMode(rgml.Shrink),
+//	)
+//
+// Run it with Executor.Run, or Executor.RunContext to bound the run with a
+// context (cancellation surfaces as ErrCanceled).
+func NewExecutorWith(rt *Runtime, opts ...ExecutorOption) (*Executor, error) {
+	return core.New(rt, opts...)
+}
+
+// NewExecutor builds a resilient executor from a Config literal.
+//
+// Deprecated: use NewExecutorWith with functional options.
 func NewExecutor(rt *Runtime, cfg ExecutorConfig) (*Executor, error) {
 	return core.NewExecutor(rt, cfg)
 }
+
+// WithCheckpointInterval checkpoints before iterations 0, k, 2k, ….
+func WithCheckpointInterval(k int) ExecutorOption { return core.WithCheckpointInterval(k) }
+
+// WithMTTF enables automatic checkpoint intervals from Young's formula.
+func WithMTTF(mttf time.Duration) ExecutorOption { return core.WithMTTF(mttf) }
+
+// WithRestoreMode selects the restoration mode applied on failure.
+func WithRestoreMode(m RestoreMode) ExecutorOption { return core.WithRestoreMode(m) }
+
+// WithFallback selects the mode ReplaceRedundant degrades to when the
+// spare pool is exhausted; it must be Shrink or ShrinkRebalance.
+func WithFallback(m RestoreMode) ExecutorOption { return core.WithFallback(m) }
+
+// WithSpares reserves the last n places of the runtime's initial world as
+// replacements for ReplaceRedundant.
+func WithSpares(n int) ExecutorOption { return core.WithSpares(n) }
+
+// WithMaxRestores bounds recovery attempts per run.
+func WithMaxRestores(n int) ExecutorOption { return core.WithMaxRestores(n) }
+
+// WithAfterStep installs a hook running after each successful iteration.
+func WithAfterStep(fn func(iter int64)) ExecutorOption { return core.WithAfterStep(fn) }
+
+// WithExecutorObs directs the executor's instruments into reg.
+func WithExecutorObs(reg *MetricsRegistry) ExecutorOption { return core.WithObs(reg) }
+
+// WithChaos attaches a fault-injection engine to the executor: armed for
+// the duration of each run, driven by the executor's iteration clock.
+func WithChaos(eng *ChaosEngine) ExecutorOption { return core.WithChaos(eng) }
+
+// Chaos fault-injection surface (internal/chaos): deterministic,
+// seed-reproducible failure schedules driving the runtime's Kill and
+// transient-fault hooks from declarative rules.
+type (
+	// ChaosEngine evaluates a schedule against injection points while a
+	// run is armed; same seed + schedule ⇒ identical kill sequence.
+	ChaosEngine = chaos.Engine
+	// ChaosSchedule is an ordered list of fault rules.
+	ChaosSchedule = chaos.Schedule
+	// ChaosRule is one declarative fault rule.
+	ChaosRule = chaos.Rule
+	// ChaosPoint names an injection point (step, commit, restore, spawn,
+	// replica).
+	ChaosPoint = chaos.Point
+	// ChaosOption configures an engine built with NewChaosEngine.
+	ChaosOption = chaos.Option
+)
+
+// Chaos injection points.
+const (
+	ChaosPointStep    = chaos.PointStep
+	ChaosPointCommit  = chaos.PointCommit
+	ChaosPointRestore = chaos.PointRestore
+	ChaosPointSpawn   = chaos.PointSpawn
+	ChaosPointReplica = chaos.PointReplica
+)
+
+// NewChaosEngine builds a fault-injection engine over rt (which must be
+// resilient). Attach it to an executor with WithChaos.
+func NewChaosEngine(rt *Runtime, sched ChaosSchedule, opts ...ChaosOption) (*ChaosEngine, error) {
+	return chaos.New(rt, sched, opts...)
+}
+
+// WithChaosSeed seeds the engine's deterministic random draws.
+func WithChaosSeed(seed uint64) ChaosOption { return chaos.WithSeed(seed) }
+
+// ParseChaosSchedule parses the schedule DSL, e.g.
+// "kill(point=commit,iter=2,place=1);flake(times=3)".
+func ParseChaosSchedule(s string) (ChaosSchedule, error) { return chaos.Parse(s) }
+
+// Typed framework errors, for errors.Is against results of Executor.Run,
+// Executor.RunContext and the store operations.
+var (
+	// ErrNoSnapshot: recovery was needed but no checkpoint was ever
+	// committed (checkpointing disabled or first interval not reached).
+	ErrNoSnapshot = core.ErrNoSnapshot
+	// ErrSnapshotInProgress: a new snapshot was started while one was
+	// already open.
+	ErrSnapshotInProgress = core.ErrSnapshotInProgress
+	// ErrGroupExhausted: a failure left no usable surviving places.
+	ErrGroupExhausted = core.ErrGroupExhausted
+	// ErrRestoreBudget: recovery was abandoned after MaxRestores attempts.
+	ErrRestoreBudget = core.ErrRestoreBudget
+	// ErrCanceled: the run's context was canceled or timed out.
+	ErrCanceled = core.ErrCanceled
+)
 
 // Observability surface (internal/obs).
 type (

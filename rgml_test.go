@@ -1,6 +1,8 @@
 package rgml_test
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"github.com/rgml/rgml"
@@ -159,6 +161,83 @@ func TestFacadeGNMF(t *testing.T) {
 	}
 	if after >= before {
 		t.Fatalf("objective did not decrease: %v -> %v", before, after)
+	}
+}
+
+// TestFacadeOptionsAndChaos exercises the functional-options constructors
+// and the chaos surface end to end: a seeded schedule kills a place inside
+// a checkpoint commit and the run recovers under RunContext.
+func TestFacadeOptionsAndChaos(t *testing.T) {
+	reg := rgml.NewMetricsRegistry()
+	rt, err := rgml.NewRuntimeWith(
+		rgml.WithPlaces(4),
+		rgml.WithResilient(true),
+		rgml.WithRuntimeObs(reg),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+
+	sched, err := rgml.ParseChaosSchedule("kill(point=commit,iter=2,place=1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := rgml.NewChaosEngine(rt, sched, rgml.WithChaosSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := rgml.NewExecutorWith(rt,
+		rgml.WithCheckpointInterval(2),
+		rgml.WithRestoreMode(rgml.Shrink),
+		rgml.WithExecutorObs(reg),
+		rgml.WithChaos(eng),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := rgml.NewLinReg(rt, rgml.LinRegConfig{
+		Examples: 64, Features: 8, Iterations: 6, Seed: 1,
+	}, exec.ActiveGroup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exec.RunContext(context.Background(), app); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Signature(); got != "2@commit:p1" {
+		t.Errorf("chaos signature = %q, want 2@commit:p1", got)
+	}
+	if exec.Metrics().Restores != 1 {
+		t.Errorf("Restores = %d, want 1", exec.Metrics().Restores)
+	}
+	if _, err := app.Weights(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFacadeContextCancel checks that a canceled run surfaces the typed
+// ErrCanceled through the facade.
+func TestFacadeContextCancel(t *testing.T) {
+	rt, err := rgml.NewRuntimeWith(rgml.WithPlaces(2), rgml.WithResilient(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	exec, err := rgml.NewExecutorWith(rt, rgml.WithCheckpointInterval(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := rgml.NewLinReg(rt, rgml.LinRegConfig{
+		Examples: 32, Features: 4, Iterations: 4, Seed: 1,
+	}, exec.ActiveGroup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := exec.RunContext(ctx, app); !errors.Is(err, rgml.ErrCanceled) {
+		t.Fatalf("RunContext = %v, want ErrCanceled", err)
 	}
 }
 
