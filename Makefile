@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race race-recovery race-chaos chaos-smoke fuzz bench bench-checkpoint
+.PHONY: ci vet build test race race-recovery race-chaos chaos-smoke workers-seq fuzz bench bench-checkpoint bench-kernels
 
-ci: vet build race race-recovery race-chaos chaos-smoke bench-checkpoint
+ci: vet build race race-recovery race-chaos chaos-smoke workers-seq bench-checkpoint bench-kernels
 
 vet:
 	$(GO) vet ./...
@@ -42,6 +42,13 @@ chaos-smoke:
 		-chaos "kill(point=commit,iter=2,place=1);kill(point=restore,place=3)" chaos > /dev/null
 	@echo "chaos-smoke: all campaigns survived and verified"
 
+# The whole suite again with the kernel worker pool pinned to one worker:
+# every parallel kernel and tree collective degenerates to its serial
+# schedule, so any result drift or pool-only bug shows up as a diff
+# against the default-worker run above.
+workers-seq:
+	RGML_WORKERS=1 $(GO) test -count=1 ./...
+
 # Short fuzz pass over the snapshot wire-format decoders (the committed
 # f.Add seeds always run as part of `make test`; this explores further).
 fuzz:
@@ -57,3 +64,7 @@ bench:
 bench-checkpoint:
 	$(GO) test -run=NONE -bench='BenchmarkCodec(Encode|Decode)' -benchmem ./internal/codec/
 	$(GO) test -run=NONE -bench='BenchmarkSnapshotSave' -benchmem ./internal/dist/
+
+# The parallel kernel-engine benchmarks backing BENCH_kernels.json.
+bench-kernels:
+	$(GO) test -run=NONE -bench='BenchmarkKernel' -benchmem ./internal/la/ ./internal/dist/

@@ -24,11 +24,14 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
 	"github.com/rgml/rgml/internal/bench"
 	"github.com/rgml/rgml/internal/core"
+	"github.com/rgml/rgml/internal/par"
 )
 
 func main() {
@@ -52,6 +55,9 @@ func run(args []string) error {
 		bytePeriod = fs.Duration("byte-period", 0, "simulated per-byte transfer time")
 		ledgerWork = fs.Int("ledger-work", bench.DefaultConfig().LedgerWork, "resilient-finish ledger work units per event")
 		metricsDir = fs.String("metrics", "", "directory for per-restore-run JSON metrics exports (empty: none)")
+		workers    = fs.Int("workers", 0, "intra-place kernel worker pool size (0: RGML_WORKERS or CPU count)")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile covering all experiments to this file")
+		memProfile = fs.String("memprofile", "", "write an allocation profile after all experiments to this file")
 		quiet      = fs.Bool("q", false, "suppress progress output")
 
 		chaosSched  = fs.String("chaos", "", "chaos schedule for the chaos experiment (default: one random kill at the failure iteration)")
@@ -67,6 +73,34 @@ func run(args []string) error {
 	if fs.NArg() == 0 {
 		fs.Usage()
 		return fmt.Errorf("no experiments given (try: rgmlbench all)")
+	}
+	if *workers > 0 {
+		par.SetWorkers(*workers)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rgmlbench: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "rgmlbench: -memprofile:", err)
+			}
+		}()
 	}
 
 	cfg := bench.DefaultConfig()

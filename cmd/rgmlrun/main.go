@@ -40,6 +40,7 @@ func run() error {
 		size     = flag.Int("size", 1000, "per-place problem size (examples or nodes)")
 		seed     = flag.Uint64("seed", 42, "dataset seed")
 		latency  = flag.Duration("latency", 0, "simulated per-message latency")
+		workers  = flag.Int("workers", 0, "intra-place kernel worker pool size (0: RGML_WORKERS or CPU count)")
 		metrics  = flag.String("metrics", "", "export the run's metrics registry: \"-\" for text on stdout, else a JSON file path")
 		chaosStr = flag.String("chaos", "", "chaos schedule driving seed-reproducible fault injection, e.g. \"kill(point=commit,iter=4,place=1)\"")
 		chaosSd  = flag.Uint64("chaos-seed", 1, "chaos engine seed")
@@ -75,6 +76,7 @@ func run() error {
 		apgas.WithResilient(true),
 		apgas.WithNet(apgas.NetModel{Latency: *latency}),
 		apgas.WithObs(reg),
+		apgas.WithKernelWorkers(*workers),
 	)
 	if err != nil {
 		return err

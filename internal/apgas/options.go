@@ -36,6 +36,14 @@ func WithObs(reg *obs.Registry) Option {
 	return func(c *Config) { c.Obs = reg }
 }
 
+// WithKernelWorkers sets the intra-place kernel worker pool size (see
+// Config.KernelWorkers). n < 1 resets the pool to its default
+// (RGML_WORKERS or runtime.NumCPU()). Kernel results are bit-identical
+// at every worker count, so this is purely a throughput knob.
+func WithKernelWorkers(n int) Option {
+	return func(c *Config) { c.KernelWorkers = n }
+}
+
 // New creates an emulated APGAS runtime from functional options:
 //
 //	rt, err := apgas.New(apgas.WithPlaces(8), apgas.WithResilient(true))

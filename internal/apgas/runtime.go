@@ -7,7 +7,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/rgml/rgml/internal/la"
 	"github.com/rgml/rgml/internal/obs"
+	"github.com/rgml/rgml/internal/par"
 )
 
 // Config parameterizes a Runtime.
@@ -39,6 +41,13 @@ type Config struct {
 	// run exports as a single document. Nil disables instrumentation at
 	// the cost of one branch per event.
 	Obs *obs.Registry
+	// KernelWorkers, when positive, sets the size of the process-wide
+	// intra-place kernel worker pool (internal/par) that the la kernels
+	// and per-place block fans run on. Zero leaves the pool at its
+	// current setting (default: RGML_WORKERS or runtime.NumCPU()). The
+	// deterministic chunking contract makes kernel results bit-identical
+	// at every worker count, so the knob only affects throughput.
+	KernelWorkers int
 }
 
 // Runtime is the emulated APGAS runtime: a fixed-at-startup (but elastically
@@ -111,6 +120,13 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	rt.instr.livePlaces.Set(int64(cfg.Places))
 	if cfg.Resilient {
 		rt.ledger = newLedger(rt)
+	}
+	if cfg.KernelWorkers > 0 {
+		par.SetWorkers(cfg.KernelWorkers)
+	}
+	if cfg.Obs != nil {
+		par.SetObs(cfg.Obs)
+		la.SetObs(cfg.Obs)
 	}
 	return rt, nil
 }

@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"github.com/rgml/rgml/internal/apps"
+	"github.com/rgml/rgml/internal/chaos"
+	"github.com/rgml/rgml/internal/core"
+	"github.com/rgml/rgml/internal/la"
+	"github.com/rgml/rgml/internal/obs"
+	"github.com/rgml/rgml/internal/par"
+)
+
+// TestChaosWorkerInvariance runs the acceptance chaos schedule — a kill
+// inside a checkpoint commit plus a kill mid-restore — under several
+// kernel worker counts and requires the engine's kill fingerprint AND the
+// final iterate to be bit-identical to the workers=1 run. This is the
+// end-to-end form of the kernel engine's determinism contract: parallel
+// kernels must not perturb recovery paths or floating-point results.
+func TestChaosWorkerInvariance(t *testing.T) {
+	c := smokeConfig()
+	one := func() (string, la.Vector) {
+		rt, err := c.newRuntime(4, true, obs.NewRegistry())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rt.Shutdown()
+		eng, err := chaos.New(rt, chaos.MustParse(acceptanceSchedule), chaos.WithSeed(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		exec, err := core.New(rt,
+			core.WithCheckpointInterval(c.Scale.CheckpointInterval),
+			core.WithChaos(eng),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		app, err := apps.NewLinReg(rt, apps.LinRegConfig{
+			Examples: 64, Features: 8, Iterations: 6, Seed: 1,
+		}, exec.ActiveGroup())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := exec.Run(app); err != nil {
+			t.Fatal(err)
+		}
+		w, err := app.Weights()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng.Signature(), append(la.Vector(nil), w...)
+	}
+
+	old := par.Workers()
+	defer par.SetWorkers(old)
+
+	par.SetWorkers(1)
+	sigRef, wRef := one()
+	if sigRef != "2@commit:p1,2@restore:p3" {
+		t.Fatalf("workers=1 signature = %q", sigRef)
+	}
+	for _, workers := range []int{2, 7, runtime.NumCPU()} {
+		par.SetWorkers(workers)
+		sig, w := one()
+		if sig != sigRef {
+			t.Errorf("workers=%d kill fingerprint diverged: %q vs %q", workers, sig, sigRef)
+		}
+		if len(w) != len(wRef) {
+			t.Fatalf("workers=%d weight length diverged: %d vs %d", workers, len(w), len(wRef))
+		}
+		for i := range w {
+			if math.Float64bits(w[i]) != math.Float64bits(wRef[i]) {
+				t.Errorf("workers=%d weights[%d] diverged: %v vs %v", workers, i, w[i], wRef[i])
+				break
+			}
+		}
+	}
+}

@@ -139,6 +139,31 @@ func (b *MatrixBlock) TransMultVecInto(x la.Vector, yLocal la.Vector) {
 	ySeg.Add(tmp)
 }
 
+// MultVecAssign computes dst = B · x[Col0:Col0+Cols], overwriting dst
+// (length b.Rows). Unlike MultVecInto it neither allocates a temporary
+// nor accumulates, so hot iteration paths can reuse per-block scratch
+// vectors across calls.
+func (b *MatrixBlock) MultVecAssign(x, dst la.Vector) {
+	xSeg := x[b.Col0 : b.Col0+b.Cols]
+	if b.Dense != nil {
+		b.Dense.MultVec(xSeg, dst)
+	} else {
+		b.Sparse.MultVec(xSeg, dst)
+	}
+}
+
+// TransMultVecAssign computes dst = Bᵀ · x[Row0:Row0+Rows], overwriting
+// dst (length b.Cols); the allocation-free counterpart of
+// TransMultVecInto.
+func (b *MatrixBlock) TransMultVecAssign(x, dst la.Vector) {
+	xSeg := x[b.Row0 : b.Row0+b.Rows]
+	if b.Dense != nil {
+		b.Dense.TransMultVec(xSeg, dst)
+	} else {
+		b.Sparse.TransMultVec(xSeg, dst)
+	}
+}
+
 // Scale multiplies the block's payload by a.
 func (b *MatrixBlock) Scale(a float64) {
 	if b.Dense != nil {

@@ -3,6 +3,8 @@ package block
 import (
 	"fmt"
 	"sort"
+
+	"github.com/rgml/rgml/internal/par"
 )
 
 // BlockSet is the container for the blocks a single place holds, the
@@ -50,6 +52,19 @@ func (s *BlockSet) Each(fn func(id int, b *MatrixBlock)) {
 	for i, b := range s.blocks {
 		fn(s.ids[i], b)
 	}
+}
+
+// EachPar calls fn for every block, fanning the blocks across the kernel
+// worker pool (internal/par); with one worker it degenerates to Each.
+// Invocations may run concurrently and in any order, so fn must write
+// only state owned by its block and must not mutate the set. Callers that
+// need the deterministic ascending-ID combine order keep using Each.
+func (s *BlockSet) EachPar(fn func(id int, b *MatrixBlock)) {
+	par.For(len(s.blocks), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(s.ids[i], s.blocks[i])
+		}
+	})
 }
 
 // IDs returns the block IDs in ascending order.

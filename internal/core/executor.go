@@ -8,6 +8,7 @@ import (
 	"github.com/rgml/rgml/internal/apgas"
 	"github.com/rgml/rgml/internal/chaos"
 	"github.com/rgml/rgml/internal/obs"
+	"github.com/rgml/rgml/internal/par"
 )
 
 // RestoreMode selects how the executor adapts the application to the loss
@@ -90,6 +91,10 @@ type Config struct {
 	// the run returns), advanced to the executor's iteration once per loop
 	// pass, and consulted at the step, commit and restore fault points.
 	Chaos *chaos.Engine
+	// KernelWorkers, when positive, sets the intra-place kernel worker
+	// pool size (see apgas.Config.KernelWorkers); zero leaves the pool
+	// unchanged. Kernel results are bit-identical at every worker count.
+	KernelWorkers int
 }
 
 // Metrics reports where the executor spent its time; the benchmark
@@ -205,6 +210,9 @@ func NewExecutor(rt *apgas.Runtime, cfg Config) (*Executor, error) {
 	}
 	if cfg.MaxRestores == 0 {
 		cfg.MaxRestores = 16
+	}
+	if cfg.KernelWorkers > 0 {
+		par.SetWorkers(cfg.KernelWorkers)
 	}
 	reg := cfg.Obs
 	if reg == nil {

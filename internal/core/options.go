@@ -65,6 +65,12 @@ func WithChaos(eng *chaos.Engine) Option {
 	return func(c *Config) { c.Chaos = eng }
 }
 
+// WithKernelWorkers sets the intra-place kernel worker pool size (see
+// Config.KernelWorkers); n < 1 leaves the pool unchanged.
+func WithKernelWorkers(n int) Option {
+	return func(c *Config) { c.KernelWorkers = n }
+}
+
 // New builds an executor over rt's initial world from functional options.
 // It is the preferred constructor; NewExecutor remains as the Config-based
 // shim for existing callers.

@@ -59,6 +59,12 @@ func (m *DistBlockMatrix) matScratch() (apgas.PlaceLocalHandle[map[int]*la.Dense
 // per-row-block partial products in canonical block order and broadcasting
 // the K×M result to every duplicate of out. m must be dense (the factor);
 // other may be dense or sparse (the data).
+//
+// Phase 1 fans each place's row blocks across the kernel pool, writing
+// into scratch matrices reused across calls. Phase 2 concatenates the
+// per-block partials up a binomial tree to the group root (no arithmetic
+// on the way up), which then adds them in canonical row-block order and
+// broadcasts via the tree Sync — O(log P) critical-path rounds each way.
 func (m *DistBlockMatrix) TransMultMatrix(other *DistBlockMatrix, out *DupDenseMatrix) error {
 	if m.kind != block.Dense {
 		return fmt.Errorf("dist: TransMultMatrix: left operand must be dense")
@@ -77,47 +83,83 @@ func (m *DistBlockMatrix) TransMultMatrix(other *DistBlockMatrix, out *DupDenseM
 	if err != nil {
 		return err
 	}
-	// Phase 1: per-row-block partials Aᵣᵀ·Bᵣ at each owner.
+	gath, err := m.matGatherScratch()
+	if err != nil {
+		return err
+	}
+	// Phase 1: per-row-block partials Aᵣᵀ·Bᵣ at each owner, fanned across
+	// the kernel pool into reused scratch matrices, then registered in the
+	// gather map for phase 2.
 	err = apgas.ForEachPlace(m.rt, m.pg, func(ctx *apgas.Ctx, idx int) {
+		gm := gath.Local(ctx)
+		clear(gm)
 		part := scratch.Local(ctx)
 		mine := m.plh.Local(ctx)
 		theirs := other.plh.Local(ctx)
 		mine.Each(func(id int, a *block.MatrixBlock) {
+			if p := part[id]; p == nil || p.Rows != m.cols || p.Cols != other.cols {
+				part[id] = la.NewDense(m.cols, other.cols)
+			}
+		})
+		mine.EachPar(func(id int, a *block.MatrixBlock) {
 			b := theirs.Find(id)
 			if b == nil {
 				apgas.Throw(fmt.Errorf("dist: TransMultMatrix: block %d missing in right operand", id))
 			}
-			p := la.NewDense(m.cols, other.cols)
+			p := part[id]
+			p.Zero()
 			if b.Dense != nil {
 				la.AccumTransDenseDense(a.Dense, b.Dense, p)
 			} else {
 				la.AccumTransDenseSparse(a.Dense, b.Sparse, p)
 			}
-			part[id] = p
+		})
+		mine.Each(func(id int, a *block.MatrixBlock) {
+			gm[id] = part[id]
 		})
 	})
 	if err != nil {
 		return err
 	}
-	// Phase 2: canonical-order reduction at the group root, then broadcast.
+	// Phase 2a: binomial up-sweep of the partial maps (see
+	// DistBlockMatrix.TransMultVec).
+	p := m.pg.Size()
+	for stride := 1; stride < p; stride *= 2 {
+		st := stride
+		err = apgas.ForEachPlace(m.rt, m.pg, func(ctx *apgas.Ctx, idx int) {
+			if idx%(2*st) != 0 || idx+st >= p {
+				return
+			}
+			src := m.pg[idx+st]
+			origin := ctx.Here
+			got := apgas.Eval(ctx, src, func(c *apgas.Ctx) map[int]*la.DenseMatrix {
+				sub := gath.Local(c)
+				out := make(map[int]*la.DenseMatrix, len(sub))
+				bytes := 0
+				for id, v := range sub {
+					out[id] = v.Clone()
+					bytes += v.Bytes()
+				}
+				c.Transfer(origin, bytes)
+				return out
+			})
+			gm := gath.Local(ctx)
+			for id, v := range got {
+				gm[id] = v
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	// Phase 2b: canonical-order reduction at the group root, then broadcast.
 	err = m.rt.Finish(func(ctx *apgas.Ctx) {
 		ctx.At(m.pg[0], func(root *apgas.Ctx) {
 			dst := out.Local(root)
 			dst.Zero()
+			gm := gath.Local(root)
 			for rb := 0; rb < m.g.RowBlocks; rb++ {
-				id := m.g.BlockID(rb, 0)
-				owner := m.pg[m.dg.PlaceOf[id]]
-				var p *la.DenseMatrix
-				if owner.ID == root.Here.ID {
-					p = scratch.Local(root)[id]
-				} else {
-					p = apgas.Eval(root, owner, func(c *apgas.Ctx) *la.DenseMatrix {
-						cp := scratch.Local(c)[id].Clone()
-						c.Transfer(m.pg[0], cp.Bytes())
-						return cp
-					})
-				}
-				dst.CellAdd(p)
+				dst.CellAdd(gm[m.g.BlockID(rb, 0)])
 			}
 		})
 	})
@@ -148,7 +190,7 @@ func (m *DistBlockMatrix) MultDupMatrix(h *DupDenseMatrix, out *DistBlockMatrix)
 	return apgas.ForEachPlace(m.rt, m.pg, func(ctx *apgas.Ctx, idx int) {
 		hl := h.Local(ctx)
 		outs := out.plh.Local(ctx)
-		m.plh.Local(ctx).Each(func(id int, a *block.MatrixBlock) {
+		m.plh.Local(ctx).EachPar(func(id int, a *block.MatrixBlock) {
 			o := outs.Find(id)
 			if o == nil {
 				apgas.Throw(fmt.Errorf("dist: MultDupMatrix: block %d missing in out", id))
@@ -178,7 +220,7 @@ func (m *DistBlockMatrix) MultDupTranspose(h *DupDenseMatrix, out *DistBlockMatr
 	return apgas.ForEachPlace(m.rt, m.pg, func(ctx *apgas.Ctx, idx int) {
 		hl := h.Local(ctx)
 		outs := out.plh.Local(ctx)
-		m.plh.Local(ctx).Each(func(id int, v *block.MatrixBlock) {
+		m.plh.Local(ctx).EachPar(func(id int, v *block.MatrixBlock) {
 			o := outs.Find(id)
 			if o == nil {
 				apgas.Throw(fmt.Errorf("dist: MultDupTranspose: block %d missing in out", id))

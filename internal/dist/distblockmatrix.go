@@ -38,6 +38,13 @@ type DistBlockMatrix struct {
 	// matScratchH is the matrix-product analogue used by TransMultMatrix.
 	matScratchH  apgas.PlaceLocalHandle[map[int]*la.DenseMatrix]
 	matScratchOK bool
+	// gatherH holds each place's per-block aggregation map for the
+	// binomial tree gather of TransMultVec phase 2; matGatherH is the
+	// matrix analogue for TransMultMatrix.
+	gatherH     apgas.PlaceLocalHandle[map[int]la.Vector]
+	gatherOK    bool
+	matGatherH  apgas.PlaceLocalHandle[map[int]*la.DenseMatrix]
+	matGatherOK bool
 }
 
 // MakeDistBlockMatrix creates a zeroed rows×cols matrix cut into
@@ -197,10 +204,11 @@ func (m *DistBlockMatrix) InitSparseColumns(fn func(j int) (rows []int, vals []f
 	})
 }
 
-// Scale multiplies every element by a.
+// Scale multiplies every element by a, fanning each place's blocks
+// across the kernel worker pool.
 func (m *DistBlockMatrix) Scale(a float64) error {
 	return apgas.ForEachPlace(m.rt, m.pg, func(ctx *apgas.Ctx, idx int) {
-		m.plh.Local(ctx).Each(func(id int, b *block.MatrixBlock) { b.Scale(a) })
+		m.plh.Local(ctx).EachPar(func(id int, b *block.MatrixBlock) { b.Scale(a) })
 	})
 }
 
@@ -252,21 +260,51 @@ func (m *DistBlockMatrix) scratchPartials() (apgas.PlaceLocalHandle[map[int]la.V
 	return m.scratch, nil
 }
 
+// gatherScratch returns the cached per-place tree-gather maps, allocating
+// them on first use.
+func (m *DistBlockMatrix) gatherScratch() (apgas.PlaceLocalHandle[map[int]la.Vector], error) {
+	if !m.gatherOK {
+		plh, err := apgas.NewPlaceLocalHandle(m.rt, m.pg, func(ctx *apgas.Ctx, idx int) map[int]la.Vector {
+			return make(map[int]la.Vector)
+		})
+		if err != nil {
+			return apgas.PlaceLocalHandle[map[int]la.Vector]{}, err
+		}
+		m.gatherH = plh
+		m.gatherOK = true
+	}
+	return m.gatherH, nil
+}
+
+// matGatherScratch returns the cached per-place tree-gather maps for
+// matrix partials, allocating them on first use.
+func (m *DistBlockMatrix) matGatherScratch() (apgas.PlaceLocalHandle[map[int]*la.DenseMatrix], error) {
+	if !m.matGatherOK {
+		plh, err := apgas.NewPlaceLocalHandle(m.rt, m.pg, func(ctx *apgas.Ctx, idx int) map[int]*la.DenseMatrix {
+			return make(map[int]*la.DenseMatrix)
+		})
+		if err != nil {
+			return apgas.PlaceLocalHandle[map[int]*la.DenseMatrix]{}, err
+		}
+		m.matGatherH = plh
+		m.matGatherOK = true
+	}
+	return m.matGatherH, nil
+}
+
 // FrobNorm returns the Frobenius norm, with per-block partial sums reduced
-// in canonical block order (deterministic across redistributions).
+// in canonical block order (deterministic across redistributions). The
+// per-block sums of squares run on the kernel engine, and the blocks of
+// one place fan across it.
 func (m *DistBlockMatrix) FrobNorm() (float64, error) {
 	partials := make([]float64, m.g.NumBlocks())
 	err := apgas.ForEachPlace(m.rt, m.pg, func(ctx *apgas.Ctx, idx int) {
-		m.plh.Local(ctx).Each(func(id int, b *block.MatrixBlock) {
+		m.plh.Local(ctx).EachPar(func(id int, b *block.MatrixBlock) {
 			var s float64
 			if b.Dense != nil {
-				for _, v := range b.Dense.Data {
-					s += v * v
-				}
+				s = la.SumSquares(b.Dense.Data)
 			} else {
-				for _, v := range b.Sparse.Vals {
-					s += v * v
-				}
+				s = la.SumSquares(b.Sparse.Vals)
 			}
 			partials[id] = s
 			ctx.Transfer(m.pg[0], 8)
@@ -302,6 +340,14 @@ func (m *DistBlockMatrix) Remake(newPG apgas.PlaceGroup, keepGrid bool) error {
 	if m.matScratchOK {
 		m.matScratchH.Destroy(m.pg)
 		m.matScratchOK = false
+	}
+	if m.gatherOK {
+		m.gatherH.Destroy(m.pg)
+		m.gatherOK = false
+	}
+	if m.matGatherOK {
+		m.matGatherH.Destroy(m.pg)
+		m.matGatherOK = false
 	}
 	if keepGrid {
 		dg, err := grid.Remap(m.g, newPG.Size())

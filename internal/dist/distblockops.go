@@ -17,6 +17,24 @@ import (
 // floating-point summation order independent of the block→place mapping,
 // so a matrix redistributed by any restoration mode still produces
 // bit-identical results. The recovery tests verify exactly that.
+//
+// Phase 1 fans each place's blocks across the intra-place kernel pool
+// (block partials are disjoint, so any interleaving yields the same
+// bits), and the per-block scratch vectors live in a place-local map
+// reused across calls. The map serves both collectives: MultVec partials
+// (length block-rows) sit under even keys, TransMultVec partials (length
+// block-cols) under odd keys, and the gathered-x buffer under xbufKey,
+// so the per-iteration MultVec/TransMultVec pair of the solvers never
+// reallocates.
+
+// rowPartKey returns block id's scratch key for M·x partials.
+func rowPartKey(id int) int { return 2 * id }
+
+// colPartKey returns block id's scratch key for Mᵀ·x partials.
+func colPartKey(id int) int { return 2*id + 1 }
+
+// xbufKey indexes the place-local gathered-x buffer of TransMultVec.
+const xbufKey = -1
 
 // MultVec computes y = M·x where x is duplicated and y is distributed over
 // the same group (paper Listing 2: GP.mult(G, P)).
@@ -33,13 +51,19 @@ func (m *DistBlockMatrix) MultVec(x *DupVector, y *DistVector) error {
 	}
 
 	// Phase 1: per-block partials B_{rb,cb} · x[cols(cb)] at each owner.
+	// Scratch vectors are sized serially (map writes), then the blocks fan
+	// across the kernel pool, each overwriting its own partial.
 	err = apgas.ForEachPlace(m.rt, m.pg, func(ctx *apgas.Ctx, idx int) {
 		xloc := x.Local(ctx)
 		part := scratch.Local(ctx)
-		m.plh.Local(ctx).Each(func(id int, b *block.MatrixBlock) {
-			pv := la.NewVector(b.Rows)
-			b.MultVecInto(xloc, pv, b.Row0)
-			part[id] = pv
+		bs := m.plh.Local(ctx)
+		bs.Each(func(id int, b *block.MatrixBlock) {
+			if len(part[rowPartKey(id)]) != b.Rows {
+				part[rowPartKey(id)] = la.NewVector(b.Rows)
+			}
+		})
+		bs.EachPar(func(id int, b *block.MatrixBlock) {
+			b.MultVecAssign(xloc, part[rowPartKey(id)])
 		})
 	})
 	if err != nil {
@@ -66,10 +90,10 @@ func (m *DistBlockMatrix) MultVec(x *DupVector, y *DistVector) error {
 				origin := ctx.Here
 				var slice la.Vector
 				if owner.ID == ctx.Here.ID {
-					slice = scratch.Local(ctx)[id][lo-rbOff : hi-rbOff]
+					slice = scratch.Local(ctx)[rowPartKey(id)][lo-rbOff : hi-rbOff]
 				} else {
 					slice = apgas.Eval(ctx, owner, func(c *apgas.Ctx) la.Vector {
-						s := scratch.Local(c)[id][lo-rbOff : hi-rbOff].Clone()
+						s := scratch.Local(c)[rowPartKey(id)][lo-rbOff : hi-rbOff].Clone()
 						c.Transfer(origin, s.Bytes())
 						return s
 					})
@@ -82,9 +106,11 @@ func (m *DistBlockMatrix) MultVec(x *DupVector, y *DistVector) error {
 
 // TransMultVec computes z = Mᵀ·x where x is distributed and z is
 // duplicated over the same group (the X·w / Xᵀ·r pattern of the LinReg and
-// LogReg benchmarks). The per-block partials are reduced at the group root
-// in canonical order and the result is broadcast, leaving every duplicate
-// of z consistent.
+// LogReg benchmarks). The per-block partials climb a binomial tree to the
+// group root — concatenation only, no arithmetic, so the combine order
+// stays canonical and redistribution-independent — where they are reduced
+// in canonical block order; the result is then broadcast (another
+// binomial tree, inside Sync), leaving every duplicate of z consistent.
 func (m *DistBlockMatrix) TransMultVec(x *DistVector, z *DupVector) error {
 	if x.Size() != m.rows || z.Size() != m.cols {
 		return fmt.Errorf("dist: TransMultVec (%dx%d)ᵀ·%d -> %d: %w", m.rows, m.cols, x.Size(), z.Size(), ErrShapeMismatch)
@@ -96,10 +122,17 @@ func (m *DistBlockMatrix) TransMultVec(x *DistVector, z *DupVector) error {
 	if err != nil {
 		return err
 	}
+	gath, err := m.gatherScratch()
+	if err != nil {
+		return err
+	}
 
 	// Phase 1: gather the needed x rows, then compute per-block partials
-	// B_{rb,cb}ᵀ · x[rows(rb)].
+	// B_{rb,cb}ᵀ · x[rows(rb)], fanned across the kernel pool. The place's
+	// gather map is seeded with its own partials for phase 2.
 	err = apgas.ForEachPlace(m.rt, m.pg, func(ctx *apgas.Ctx, idx int) {
+		gm := gath.Local(ctx)
+		clear(gm)
 		bs := m.plh.Local(ctx)
 		if bs.Len() == 0 {
 			return
@@ -114,7 +147,12 @@ func (m *DistBlockMatrix) TransMultVec(x *DistVector, z *DupVector) error {
 				maxR = b.Row0 + b.Rows
 			}
 		})
-		xbuf := la.NewVector(m.rows)
+		part := scratch.Local(ctx)
+		xbuf := part[xbufKey]
+		if len(xbuf) != m.rows {
+			xbuf = la.NewVector(m.rows)
+			part[xbufKey] = xbuf
+		}
 		for segIdx := 0; segIdx < x.Group().Size(); segIdx++ {
 			s0, sz := x.SegmentOf(segIdx)
 			lo, hi := max(s0, minR), min(s0+sz, maxR)
@@ -123,57 +161,81 @@ func (m *DistBlockMatrix) TransMultVec(x *DistVector, z *DupVector) error {
 			}
 			owner := x.Group()[segIdx]
 			origin := ctx.Here
-			var part la.Vector
+			var seg la.Vector
 			if owner.ID == ctx.Here.ID {
-				part = x.Local(ctx)[lo-s0 : hi-s0]
+				seg = x.Local(ctx)[lo-s0 : hi-s0]
 			} else {
-				part = apgas.Eval(ctx, owner, func(c *apgas.Ctx) la.Vector {
+				seg = apgas.Eval(ctx, owner, func(c *apgas.Ctx) la.Vector {
 					s := x.Local(c)[lo-s0 : hi-s0].Clone()
 					c.Transfer(origin, s.Bytes())
 					return s
 				})
 			}
-			copy(xbuf[lo:hi], part)
+			copy(xbuf[lo:hi], seg)
 		}
-		part := scratch.Local(ctx)
 		bs.Each(func(id int, b *block.MatrixBlock) {
-			pv := la.NewVector(b.Cols)
-			xSeg := xbuf[b.Row0 : b.Row0+b.Rows]
-			if b.Dense != nil {
-				b.Dense.TransMultVec(xSeg, pv)
-			} else {
-				b.Sparse.TransMultVec(xSeg, pv)
+			if len(part[colPartKey(id)]) != b.Cols {
+				part[colPartKey(id)] = la.NewVector(b.Cols)
 			}
-			part[id] = pv
+		})
+		bs.EachPar(func(id int, b *block.MatrixBlock) {
+			b.TransMultVecAssign(xbuf, part[colPartKey(id)])
+		})
+		bs.Each(func(id int, b *block.MatrixBlock) {
+			gm[id] = part[colPartKey(id)]
 		})
 	})
 	if err != nil {
 		return err
 	}
 
-	// Phase 2: canonical-order reduction at the group root, then broadcast.
+	// Phase 2a: binomial up-sweep. At stride s every group index divisible
+	// by 2s pulls the aggregated partial map of index+s; after ⌈log₂P⌉
+	// rounds the root holds every block's partial. Entries are only
+	// concatenated on the way up, so the arithmetic below stays in
+	// canonical block order.
+	p := m.pg.Size()
+	for stride := 1; stride < p; stride *= 2 {
+		st := stride
+		err = apgas.ForEachPlace(m.rt, m.pg, func(ctx *apgas.Ctx, idx int) {
+			if idx%(2*st) != 0 || idx+st >= p {
+				return
+			}
+			src := m.pg[idx+st]
+			origin := ctx.Here
+			got := apgas.Eval(ctx, src, func(c *apgas.Ctx) map[int]la.Vector {
+				sub := gath.Local(c)
+				out := make(map[int]la.Vector, len(sub))
+				bytes := 0
+				for id, v := range sub {
+					out[id] = v.Clone()
+					bytes += v.Bytes()
+				}
+				c.Transfer(origin, bytes)
+				return out
+			})
+			gm := gath.Local(ctx)
+			for id, v := range got {
+				gm[id] = v
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	// Phase 2b: canonical-order reduction at the group root, then
+	// broadcast.
 	g := m.g
 	err = m.rt.Finish(func(ctx *apgas.Ctx) {
 		ctx.At(m.pg[0], func(root *apgas.Ctx) {
 			dst := z.Local(root).Zero()
+			gm := gath.Local(root)
 			for cb := 0; cb < g.ColBlocks; cb++ {
 				cOff := g.ColOffsets[cb]
 				cSz := g.ColSizes[cb]
 				for rb := 0; rb < g.RowBlocks; rb++ {
-					id := g.BlockID(rb, cb)
-					ownerIdx := m.dg.PlaceOf[id]
-					owner := m.pg[ownerIdx]
-					var pv la.Vector
-					if owner.ID == root.Here.ID {
-						pv = scratch.Local(root)[id]
-					} else {
-						pv = apgas.Eval(root, owner, func(c *apgas.Ctx) la.Vector {
-							s := scratch.Local(c)[id].Clone()
-							c.Transfer(m.pg[0], s.Bytes())
-							return s
-						})
-					}
-					dst[cOff : cOff+cSz].Add(pv)
+					dst[cOff : cOff+cSz].Add(gm[g.BlockID(rb, cb)])
 				}
 			}
 		})

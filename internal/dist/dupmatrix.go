@@ -102,20 +102,37 @@ func (m *DupDenseMatrix) ZipAll2(x, y *DupDenseMatrix, fn func(a, b, c *la.Dense
 	})
 }
 
-// Sync broadcasts the root duplicate to every other place.
+// Sync broadcasts the root duplicate to every other place along a
+// binomial tree over the group index (the DupVector.Sync scheme): same
+// total volume as the flat broadcast, O(log P) critical-path sends.
 func (m *DupDenseMatrix) Sync() error {
+	if m.pg.Size() <= 1 {
+		return nil
+	}
 	return m.rt.Finish(func(ctx *apgas.Ctx) {
 		ctx.At(m.pg[0], func(root *apgas.Ctx) {
 			src := m.plh.Local(root).Clone()
-			for idx := 1; idx < m.pg.Size(); idx++ {
-				p := m.pg[idx]
-				root.Transfer(p, src.Bytes())
-				root.AsyncAt(p, func(c *apgas.Ctx) {
-					copy(m.plh.Local(c).Data, src.Data)
-				})
-			}
+			m.bcast(root, 0, m.pg.Size(), src)
 		})
 	})
+}
+
+// bcast relays src — already present at group index idx — to the group
+// index range [idx, idx+span); see DupVector.bcast.
+func (m *DupDenseMatrix) bcast(c *apgas.Ctx, idx, span int, src *la.DenseMatrix) {
+	for span > 1 {
+		h := span / 2
+		mid := idx + span - h
+		p := m.pg[mid]
+		sub := src
+		c.Transfer(p, sub.Bytes())
+		c.AsyncAt(p, func(cc *apgas.Ctx) {
+			local := m.plh.Local(cc)
+			copy(local.Data, sub.Data)
+			m.bcast(cc, mid, h, local)
+		})
+		span -= h
+	}
 }
 
 // Remake reallocates the duplicated matrix (zeroed) over a new group.

@@ -124,21 +124,41 @@ func (v *DupVector) Root() (la.Vector, error) {
 }
 
 // Sync broadcasts the root copy to every other place of the group (paper
-// Listing 2: P.sync()). The broadcast charges the network model for one
-// full payload per destination.
+// Listing 2: P.sync()) along a binomial tree over the group index: the
+// root hands the upper half of the index range to its midpoint, which
+// relays within that half concurrently while the root recurses on the
+// lower half. Every edge charges the network model for one full payload,
+// so the total volume matches the flat broadcast but the critical path is
+// O(log P) sends instead of O(P).
 func (v *DupVector) Sync() error {
+	if v.pg.Size() <= 1 {
+		return nil
+	}
 	return v.rt.Finish(func(ctx *apgas.Ctx) {
 		ctx.At(v.pg[0], func(root *apgas.Ctx) {
 			src := v.plh.Local(root).Clone()
-			for idx := 1; idx < v.pg.Size(); idx++ {
-				p := v.pg[idx]
-				root.Transfer(p, src.Bytes())
-				root.AsyncAt(p, func(c *apgas.Ctx) {
-					v.plh.Local(c).CopyFrom(src)
-				})
-			}
+			v.bcast(root, 0, v.pg.Size(), src)
 		})
 	})
+}
+
+// bcast relays src — already present at group index idx — to the group
+// index range [idx, idx+span). Each iteration peels off the upper half of
+// the remaining range and forwards it to that half's first index, whose
+// async relays the sub-range in parallel with the sender's next peels.
+func (v *DupVector) bcast(c *apgas.Ctx, idx, span int, src la.Vector) {
+	for span > 1 {
+		h := span / 2
+		mid := idx + span - h
+		p := v.pg[mid]
+		sub := src
+		c.Transfer(p, sub.Bytes())
+		c.AsyncAt(p, func(cc *apgas.Ctx) {
+			local := v.plh.Local(cc).CopyFrom(sub)
+			v.bcast(cc, mid, h, local)
+		})
+		span -= h
+	}
 }
 
 // Remake reallocates the vector (zeroed) over a new place group (paper

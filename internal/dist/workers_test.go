@@ -1,0 +1,257 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"testing"
+
+	"github.com/rgml/rgml/internal/apgas"
+	"github.com/rgml/rgml/internal/block"
+	"github.com/rgml/rgml/internal/la"
+	"github.com/rgml/rgml/internal/par"
+)
+
+// distWorkerCounts exercises the deterministic-kernel contract at the
+// distributed level: serial, even, odd, prime, and the machine's default.
+var distWorkerCounts = []int{1, 2, 3, 7, runtime.NumCPU()}
+
+// underWorkers runs compute at every worker count and asserts the result
+// is bit-identical to the workers=1 reference. compute must rebuild its
+// state from scratch each call (fresh runtime, fresh data).
+func underWorkers(t *testing.T, compute func(t *testing.T) la.Vector) {
+	t.Helper()
+	old := par.Workers()
+	defer par.SetWorkers(old)
+
+	par.SetWorkers(1)
+	want := compute(t)
+	for _, w := range distWorkerCounts[1:] {
+		par.SetWorkers(w)
+		got := compute(t)
+		if !bitsEqualVec(got, want) {
+			t.Fatalf("workers=%d result differs from workers=1", w)
+		}
+	}
+}
+
+// bitsEqualVec compares two vectors for exact bit equality — the kernel
+// engine's contract is bitwise reproducibility, not approximate equality.
+func bitsEqualVec(a, b la.Vector) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDistMultVecWorkerInvariance(t *testing.T) {
+	for _, cfg := range []struct {
+		name               string
+		rows, cols, rb, cb int
+		rp, cp             int
+	}{
+		{"row-striped", 40, 16, 4, 1, 4, 1},
+		{"2d-grid", 36, 20, 4, 2, 2, 2},
+	} {
+		t.Run(cfg.name, func(t *testing.T) {
+			underWorkers(t, func(t *testing.T) la.Vector {
+				rt := newRT(t, 4)
+				pg := rt.World()
+				m := makeDenseDBM(t, rt, cfg.rows, cfg.cols, cfg.rb, cfg.cb, cfg.rp, cfg.cp, pg)
+				x, err := MakeDupVector(rt, cfg.cols, pg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				_ = x.Init(func(i int) float64 { return float64(i)*0.375 + 1 })
+				y, err := MakeDistVector(rt, cfg.rows, pg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := m.MultVec(x, y); err != nil {
+					t.Fatal(err)
+				}
+				out, err := y.ToVector()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return out
+			})
+		})
+	}
+}
+
+func TestDistMultVecSparseWorkerInvariance(t *testing.T) {
+	underWorkers(t, func(t *testing.T) la.Vector {
+		rt := newRT(t, 4)
+		pg := rt.World()
+		n := 48
+		m, err := MakeDistBlockMatrix(rt, block.Sparse, n, n, 4, 2, 2, 2, pg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.InitSparseColumns(sparseColInit(n)); err != nil {
+			t.Fatal(err)
+		}
+		x, _ := MakeDupVector(rt, n, pg)
+		_ = x.Init(func(i int) float64 { return float64(i%9) - 2.5 })
+		y, _ := MakeDistVector(rt, n, pg)
+		if err := m.MultVec(x, y); err != nil {
+			t.Fatal(err)
+		}
+		out, err := y.ToVector()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	})
+}
+
+func TestDistTransMultVecWorkerInvariance(t *testing.T) {
+	// The result is duplicated; every copy at every worker count must be
+	// bit-identical to the workers=1 root.
+	underWorkers(t, func(t *testing.T) la.Vector {
+		rt := newRT(t, 4)
+		pg := rt.World()
+		m := makeDenseDBM(t, rt, 32, 12, 4, 2, 2, 2, pg)
+		x, _ := MakeDistVector(rt, 32, pg)
+		_ = x.Init(func(i int) float64 { return float64(i%7) - 3 })
+		z, _ := MakeDupVector(rt, 12, pg)
+		if err := m.TransMultVec(x, z); err != nil {
+			t.Fatal(err)
+		}
+		ref := readDupAt(t, z, 0)
+		for idx := 1; idx < pg.Size(); idx++ {
+			if !bitsEqualVec(readDupAt(t, z, idx), ref) {
+				t.Fatalf("duplicate %d differs from root", idx)
+			}
+		}
+		return ref
+	})
+}
+
+func TestTransMultMatrixWorkerInvariance(t *testing.T) {
+	underWorkers(t, func(t *testing.T) la.Vector {
+		rt := newRT(t, 4)
+		n, mcols, k := 28, 9, 4
+		v, w, _ := gemmFixture(t, rt, n, mcols, k)
+		out, err := MakeDupDenseMatrix(rt, k, mcols, rt.World())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.TransMultMatrix(v, out); err != nil {
+			t.Fatal(err)
+		}
+		root, err := out.Root()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return la.Vector(root.Data).Clone()
+	})
+}
+
+func TestFrobNormWorkerInvariance(t *testing.T) {
+	underWorkers(t, func(t *testing.T) la.Vector {
+		rt := newRT(t, 4)
+		pg := rt.World()
+		dense := makeDenseDBM(t, rt, 36, 20, 4, 2, 2, 2, pg)
+		sparse, err := MakeDistBlockMatrix(rt, block.Sparse, 40, 40, 4, 2, 2, 2, pg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sparse.InitSparseColumns(sparseColInit(40)); err != nil {
+			t.Fatal(err)
+		}
+		dn, err := dense.FrobNorm()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sn, err := sparse.FrobNorm()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return la.Vector{dn, sn}
+	})
+}
+
+// TestDupVectorTreeSyncOddGroups drives the binomial broadcast through
+// group sizes that exercise uneven tree splits: every duplicate must hold
+// the root's exact bytes after Sync.
+func TestDupVectorTreeSyncOddGroups(t *testing.T) {
+	for _, places := range []int{2, 3, 5, 7} {
+		t.Run(fmt.Sprintf("places=%d", places), func(t *testing.T) {
+			rt := newRT(t, places)
+			v, err := MakeDupVector(rt, 13, rt.World())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := v.RootApply(func(local la.Vector) {
+				for i := range local {
+					local[i] = float64(i)*1.0625 + 0.3
+				}
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if err := v.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			want := readDupAt(t, v, 0)
+			for idx := 1; idx < places; idx++ {
+				if got := readDupAt(t, v, idx); !bitsEqualVec(got, want) {
+					t.Fatalf("duplicate %d = %v, want %v", idx, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestDupMatrixTreeSyncOddGroups is the matrix-broadcast analogue.
+func TestDupMatrixTreeSyncOddGroups(t *testing.T) {
+	for _, places := range []int{2, 3, 5, 7} {
+		t.Run(fmt.Sprintf("places=%d", places), func(t *testing.T) {
+			rt := newRT(t, places)
+			m, err := MakeDupDenseMatrix(rt, 5, 4, rt.World())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := rt.Finish(func(ctx *apgas.Ctx) {
+				ctx.At(m.Group()[0], func(c *apgas.Ctx) {
+					local := m.Local(c)
+					for i := range local.Data {
+						local.Data[i] = float64(i)*0.875 - 2
+					}
+				})
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			var want la.Vector
+			if err := rt.Finish(func(ctx *apgas.Ctx) {
+				ctx.At(m.Group()[0], func(c *apgas.Ctx) {
+					want = la.Vector(m.Local(c).Data).Clone()
+				})
+			}); err != nil {
+				t.Fatal(err)
+			}
+			for idx := 1; idx < places; idx++ {
+				var got la.Vector
+				if err := rt.Finish(func(ctx *apgas.Ctx) {
+					ctx.At(m.Group()[idx], func(c *apgas.Ctx) {
+						got = la.Vector(m.Local(c).Data).Clone()
+					})
+				}); err != nil {
+					t.Fatal(err)
+				}
+				if !bitsEqualVec(got, want) {
+					t.Fatalf("duplicate %d differs from root", idx)
+				}
+			}
+		})
+	}
+}

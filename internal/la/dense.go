@@ -3,6 +3,9 @@ package la
 import (
 	"fmt"
 	"math"
+
+	"github.com/rgml/rgml/internal/obs"
+	"github.com/rgml/rgml/internal/par"
 )
 
 // DenseMatrix is a column-major dense matrix, the counterpart of
@@ -47,82 +50,191 @@ func (m *DenseMatrix) Clone() *DenseMatrix {
 
 // Zero clears all elements.
 func (m *DenseMatrix) Zero() {
-	for i := range m.Data {
-		m.Data[i] = 0
-	}
+	par.For(len(m.Data), vecGrain, func(lo, hi int) {
+		seg := m.Data[lo:hi]
+		for i := range seg {
+			seg[i] = 0
+		}
+	})
 }
 
 // Scale multiplies every element by a.
 func (m *DenseMatrix) Scale(a float64) *DenseMatrix {
-	for i := range m.Data {
-		m.Data[i] *= a
-	}
+	par.For(len(m.Data), vecGrain, func(lo, hi int) {
+		seg := m.Data[lo:hi]
+		for i := range seg {
+			seg[i] *= a
+		}
+	})
 	return m
 }
 
 // CellAdd accumulates b into m element-wise.
 func (m *DenseMatrix) CellAdd(b *DenseMatrix) *DenseMatrix {
 	checkDim(m.Rows == b.Rows && m.Cols == b.Cols, "CellAdd: %dx%d += %dx%d", m.Rows, m.Cols, b.Rows, b.Cols)
-	for i := range m.Data {
-		m.Data[i] += b.Data[i]
-	}
+	par.For(len(m.Data), vecGrain, func(lo, hi int) {
+		dst, src := m.Data[lo:hi], b.Data[lo:hi]
+		for i := range dst {
+			dst[i] += src[i]
+		}
+	})
 	return m
 }
 
 // MultVec computes y = m · x (GEMV). y must have length m.Rows and is
 // overwritten; x must have length m.Cols.
+//
+// The kernel is parallel over output-row chunks and register-blocked four
+// columns wide: each pass streams four columns of m against one resident
+// chunk of y, which both quarters the y traffic and keeps four
+// independent load streams in flight. Each y element still accumulates
+// its terms in ascending column order, grouped in fours — a fixed
+// structure, so results are bit-identical at every worker count.
 func (m *DenseMatrix) MultVec(x, y Vector) {
 	checkDim(len(x) == m.Cols, "MultVec: x len %d != cols %d", len(x), m.Cols)
 	checkDim(len(y) == m.Rows, "MultVec: y len %d != rows %d", len(y), m.Rows)
-	y.Zero()
-	// Column-major traversal: accumulate x[j] * column j.
-	for j := 0; j < m.Cols; j++ {
-		xj := x[j]
-		if xj == 0 {
-			continue
+	t0 := kstart()
+	rows, cols := m.Rows, m.Cols
+	par.For(rows, gemvRowGrain, func(lo, hi int) {
+		yc := y[lo:hi]
+		for i := range yc {
+			yc[i] = 0
 		}
-		col := m.Data[j*m.Rows : (j+1)*m.Rows]
-		for i, v := range col {
-			y[i] += v * xj
+		j := 0
+		for ; j+4 <= cols; j += 4 {
+			c0 := m.Data[j*rows+lo : j*rows+hi]
+			c1 := m.Data[(j+1)*rows+lo : (j+1)*rows+hi]
+			c2 := m.Data[(j+2)*rows+lo : (j+2)*rows+hi]
+			c3 := m.Data[(j+3)*rows+lo : (j+3)*rows+hi]
+			x0, x1, x2, x3 := x[j], x[j+1], x[j+2], x[j+3]
+			c1, c2, c3 = c1[:len(c0)], c2[:len(c0)], c3[:len(c0)]
+			yc := yc[:len(c0)]
+			for i := range c0 {
+				yc[i] = yc[i] + c0[i]*x0 + c1[i]*x1 + c2[i]*x2 + c3[i]*x3
+			}
 		}
-	}
+		for ; j < cols; j++ {
+			xj := x[j]
+			col := m.Data[j*rows+lo : j*rows+hi]
+			for i, v := range col {
+				yc[i] += v * xj
+			}
+		}
+	})
+	kdone(func(k *kinstr) *obs.Histogram { return k.gemv }, t0)
 }
 
 // TransMultVec computes y = mᵀ · x. y must have length m.Cols and is
-// overwritten; x must have length m.Rows.
+// overwritten; x must have length m.Rows. Parallel over output columns;
+// each column is an independent 4-accumulator dot product (dot4), whose
+// fold order is fixed by the row count alone.
 func (m *DenseMatrix) TransMultVec(x, y Vector) {
 	checkDim(len(x) == m.Rows, "TransMultVec: x len %d != rows %d", len(x), m.Rows)
 	checkDim(len(y) == m.Cols, "TransMultVec: y len %d != cols %d", len(y), m.Cols)
-	for j := 0; j < m.Cols; j++ {
-		col := m.Data[j*m.Rows : (j+1)*m.Rows]
-		var s float64
-		for i, v := range col {
-			s += v * x[i]
+	t0 := kstart()
+	rows := m.Rows
+	par.For(m.Cols, tmvColGrain, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			y[j] = dot4(m.Data[j*rows:(j+1)*rows], x)
 		}
-		y[j] = s
-	}
+	})
+	kdone(func(k *kinstr) *obs.Histogram { return k.tgemv }, t0)
 }
 
 // Mult computes c = m · b (GEMM). c must be m.Rows × b.Cols and is
 // overwritten.
+//
+// The kernel is parallel over output-column chunks and tiled two ways
+// inside a chunk: 4×4 register blocking (four C columns accumulate from
+// four A columns per pass, sixteen b scalars in registers) and
+// gemmRowTile-row cache strips, so a C strip stays in L1 across the whole
+// k loop and the matching A strip is reused from L2 across the chunk's
+// column groups. Every C element accumulates over k in ascending order
+// grouped in fours — fixed by the operand shapes, so any worker count
+// produces identical bits.
 func (m *DenseMatrix) Mult(b, c *DenseMatrix) {
 	checkDim(m.Cols == b.Rows, "Mult: inner dims %d != %d", m.Cols, b.Rows)
 	checkDim(c.Rows == m.Rows && c.Cols == b.Cols, "Mult: result %dx%d, want %dx%d", c.Rows, c.Cols, m.Rows, b.Cols)
-	c.Zero()
-	// jik order with column-major storage keeps the inner loop contiguous.
-	for j := 0; j < b.Cols; j++ {
-		cCol := c.Data[j*c.Rows : (j+1)*c.Rows]
-		for k := 0; k < m.Cols; k++ {
-			bkj := b.Data[k+j*b.Rows]
-			if bkj == 0 {
-				continue
-			}
-			aCol := m.Data[k*m.Rows : (k+1)*m.Rows]
-			for i, v := range aCol {
-				cCol[i] += v * bkj
+	t0 := kstart()
+	rows, inner, brows := m.Rows, m.Cols, b.Rows
+	par.For(b.Cols, gemmColGrain, func(jlo, jhi int) {
+		tiles := int64(0)
+		for j := jlo; j < jhi; j++ {
+			col := c.Data[j*rows : (j+1)*rows]
+			for i := range col {
+				col[i] = 0
 			}
 		}
-	}
+		for i0 := 0; i0 < rows; i0 += gemmRowTile {
+			i1 := i0 + gemmRowTile
+			if i1 > rows {
+				i1 = rows
+			}
+			j := jlo
+			for ; j+4 <= jhi; j += 4 {
+				tiles++
+				c0 := c.Data[j*rows+i0 : j*rows+i1]
+				c1 := c.Data[(j+1)*rows+i0 : (j+1)*rows+i1]
+				c2 := c.Data[(j+2)*rows+i0 : (j+2)*rows+i1]
+				c3 := c.Data[(j+3)*rows+i0 : (j+3)*rows+i1]
+				c1, c2, c3 = c1[:len(c0)], c2[:len(c0)], c3[:len(c0)]
+				k := 0
+				for ; k+4 <= inner; k += 4 {
+					a0 := m.Data[k*rows+i0 : k*rows+i1]
+					a1 := m.Data[(k+1)*rows+i0 : (k+1)*rows+i1]
+					a2 := m.Data[(k+2)*rows+i0 : (k+2)*rows+i1]
+					a3 := m.Data[(k+3)*rows+i0 : (k+3)*rows+i1]
+					a1, a2, a3 = a1[:len(a0)], a2[:len(a0)], a3[:len(a0)]
+					b00, b10, b20, b30 := b.Data[k+j*brows], b.Data[k+1+j*brows], b.Data[k+2+j*brows], b.Data[k+3+j*brows]
+					b01, b11, b21, b31 := b.Data[k+(j+1)*brows], b.Data[k+1+(j+1)*brows], b.Data[k+2+(j+1)*brows], b.Data[k+3+(j+1)*brows]
+					b02, b12, b22, b32 := b.Data[k+(j+2)*brows], b.Data[k+1+(j+2)*brows], b.Data[k+2+(j+2)*brows], b.Data[k+3+(j+2)*brows]
+					b03, b13, b23, b33 := b.Data[k+(j+3)*brows], b.Data[k+1+(j+3)*brows], b.Data[k+2+(j+3)*brows], b.Data[k+3+(j+3)*brows]
+					for i := range a0 {
+						v0, v1, v2, v3 := a0[i], a1[i], a2[i], a3[i]
+						c0[i] = c0[i] + v0*b00 + v1*b10 + v2*b20 + v3*b30
+						c1[i] = c1[i] + v0*b01 + v1*b11 + v2*b21 + v3*b31
+						c2[i] = c2[i] + v0*b02 + v1*b12 + v2*b22 + v3*b32
+						c3[i] = c3[i] + v0*b03 + v1*b13 + v2*b23 + v3*b33
+					}
+				}
+				for ; k < inner; k++ {
+					aCol := m.Data[k*rows+i0 : k*rows+i1]
+					bk0, bk1, bk2, bk3 := b.Data[k+j*brows], b.Data[k+(j+1)*brows], b.Data[k+(j+2)*brows], b.Data[k+(j+3)*brows]
+					for i, v := range aCol {
+						c0[i] += v * bk0
+						c1[i] += v * bk1
+						c2[i] += v * bk2
+						c3[i] += v * bk3
+					}
+				}
+			}
+			for ; j < jhi; j++ {
+				tiles++
+				cCol := c.Data[j*rows+i0 : j*rows+i1]
+				k := 0
+				for ; k+4 <= inner; k += 4 {
+					a0 := m.Data[k*rows+i0 : k*rows+i1]
+					a1 := m.Data[(k+1)*rows+i0 : (k+1)*rows+i1]
+					a2 := m.Data[(k+2)*rows+i0 : (k+2)*rows+i1]
+					a3 := m.Data[(k+3)*rows+i0 : (k+3)*rows+i1]
+					a1, a2, a3 = a1[:len(a0)], a2[:len(a0)], a3[:len(a0)]
+					bk0, bk1, bk2, bk3 := b.Data[k+j*brows], b.Data[k+1+j*brows], b.Data[k+2+j*brows], b.Data[k+3+j*brows]
+					for i := range a0 {
+						cCol[i] = cCol[i] + a0[i]*bk0 + a1[i]*bk1 + a2[i]*bk2 + a3[i]*bk3
+					}
+				}
+				for ; k < inner; k++ {
+					aCol := m.Data[k*rows+i0 : k*rows+i1]
+					bkj := b.Data[k+j*brows]
+					for i, v := range aCol {
+						cCol[i] += v * bkj
+					}
+				}
+			}
+		}
+		addTiles(tiles)
+	})
+	kdone(func(k *kinstr) *obs.Histogram { return k.gemm }, t0)
 }
 
 // ExtractSub copies the rows×cols submatrix anchored at (r0, c0) into a new
@@ -149,13 +261,10 @@ func (m *DenseMatrix) PasteSub(r0, c0 int, sub *DenseMatrix) {
 	}
 }
 
-// FrobNorm returns the Frobenius norm of m.
+// FrobNorm returns the Frobenius norm of m (deterministic chunked
+// reduction, see SumSquares).
 func (m *DenseMatrix) FrobNorm() float64 {
-	var s float64
-	for _, v := range m.Data {
-		s += v * v
-	}
-	return math.Sqrt(s)
+	return math.Sqrt(SumSquares(m.Data))
 }
 
 // EqualApprox reports whether m and b agree element-wise within tol.

@@ -5,10 +5,19 @@
 // It corresponds to GML's single-place classes (x10.matrix.DenseMatrix,
 // x10.matrix.sparse.SparseCSC / SparseCSR, x10.matrix.Vector) plus the
 // BLAS-like kernels the paper delegated to OpenBLAS. Everything here is
-// pure Go, single-threaded per call (matching the paper's
-// OPENBLAS_NUM_THREADS=1), and deterministic, which the resilience tests
-// rely on: a computation replayed after recovery must reproduce the
-// failure-free result bit for bit.
+// pure Go and deterministic, which the resilience tests rely on: a
+// computation replayed after recovery must reproduce the failure-free
+// result bit for bit.
+//
+// The hot kernels (GEMM, GEMV, the mixed dense/sparse accumulations, and
+// the vector reductions) are cache-tiled and run on the deterministic
+// intra-place worker pool of internal/par. Unlike a multithreaded BLAS,
+// the decomposition is a function of the problem shape only — never of
+// the worker count — and reduction partials fold in a fixed order, so
+// results are bit-identical from workers=1 to workers=N (the property a
+// multithreaded OpenBLAS would have cost the paper's framework). The
+// worker count is runtime.NumCPU() by default, configurable via
+// RGML_WORKERS, apgas.WithKernelWorkers, or the -workers CLI flags.
 package la
 
 import "fmt"

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"github.com/rgml/rgml/internal/par"
 )
 
 // Triplet is one nonzero entry in coordinate form, used when assembling
@@ -95,32 +97,53 @@ func (m *SparseCSC) Clone() *SparseCSC {
 }
 
 // MultVec computes y = m · x. y has length m.Rows and is overwritten.
+//
+// The scatter across output rows is parallelized by output-row range:
+// each chunk binary-searches every column's sorted row indices for its
+// own sub-range (the AccumSparseMultDenseT scheme), preserving the naive
+// loop's exact per-element accumulation order.
 func (m *SparseCSC) MultVec(x, y Vector) {
 	checkDim(len(x) == m.Cols, "MultVec: x len %d != cols %d", len(x), m.Cols)
 	checkDim(len(y) == m.Rows, "MultVec: y len %d != rows %d", len(y), m.Rows)
-	y.Zero()
-	for j := 0; j < m.Cols; j++ {
-		xj := x[j]
-		if xj == 0 {
-			continue
+	par.For(m.Rows, sdtRowGrain, func(lo, hi int) {
+		seg := y[lo:hi]
+		for i := range seg {
+			seg[i] = 0
 		}
-		for k := m.ColPtr[j]; k < m.ColPtr[j+1]; k++ {
-			y[m.RowIdx[k]] += m.Vals[k] * xj
+		full := lo == 0 && hi == m.Rows
+		for j := 0; j < m.Cols; j++ {
+			xj := x[j]
+			if xj == 0 {
+				continue
+			}
+			ps, pe := m.ColPtr[j], m.ColPtr[j+1]
+			if !full {
+				idx := m.RowIdx[ps:pe]
+				pe = ps + sort.SearchInts(idx, hi)
+				ps += sort.SearchInts(idx, lo)
+			}
+			for k := ps; k < pe; k++ {
+				y[m.RowIdx[k]] += m.Vals[k] * xj
+			}
 		}
-	}
+	})
 }
 
 // TransMultVec computes y = mᵀ · x. y has length m.Cols and is overwritten.
+// Parallel over columns; each column keeps the naive single-accumulator
+// gather, so the result is bit-identical to the serial loop.
 func (m *SparseCSC) TransMultVec(x, y Vector) {
 	checkDim(len(x) == m.Rows, "TransMultVec: x len %d != rows %d", len(x), m.Rows)
 	checkDim(len(y) == m.Cols, "TransMultVec: y len %d != cols %d", len(y), m.Cols)
-	for j := 0; j < m.Cols; j++ {
-		var s float64
-		for k := m.ColPtr[j]; k < m.ColPtr[j+1]; k++ {
-			s += m.Vals[k] * x[m.RowIdx[k]]
+	par.For(m.Cols, spColGrain, func(jlo, jhi int) {
+		for j := jlo; j < jhi; j++ {
+			var s float64
+			for k := m.ColPtr[j]; k < m.ColPtr[j+1]; k++ {
+				s += m.Vals[k] * x[m.RowIdx[k]]
+			}
+			y[j] = s
 		}
-		y[j] = s
-	}
+	})
 }
 
 // Scale multiplies every stored value by a.

@@ -1,0 +1,339 @@
+// Package par is the deterministic intra-place parallel kernel engine.
+//
+// All compute kernels of the framework (internal/la, and the per-place
+// block fans of internal/dist) schedule their work through this package's
+// For and Reduce. The contract that makes parallel execution safe for a
+// resilient framework whose tests pin down bit-identical replay is:
+//
+//   - Work is decomposed into chunks whose boundaries are a function of
+//     the problem size and the kernel's grain only — never of the worker
+//     count, the pool state, or timing.
+//   - For requires chunks to write disjoint outputs, so any execution
+//     order yields the same bits.
+//   - Reduce materializes one partial result per chunk and combines them
+//     in ascending chunk order on the calling goroutine.
+//
+// Under this contract the results for workers=1..N are bit-identical, and
+// the serial reference (workers=1) is the same code path minus the pool.
+// The chaos campaigns replay runs and compare iterates bitwise; the
+// workers-seq CI leg runs the whole suite with RGML_WORKERS=1 to keep the
+// serial path honest.
+//
+// The pool itself is process-wide, bounded, and lazily started: no
+// goroutine exists until a kernel actually has more than one chunk and
+// more than one worker configured. The default worker count is
+// runtime.NumCPU(), overridable by the RGML_WORKERS environment variable
+// and by SetWorkers (wired to apgas.WithKernelWorkers / the -workers
+// flags). Nested parallel regions (place task -> block fan -> chunked
+// kernel) are deadlock-free by construction: helper jobs are
+// fire-and-forget and a region only ever waits for chunks that some
+// goroutine is actively running — in the worst case the calling
+// goroutine runs every chunk itself.
+package par
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"github.com/rgml/rgml/internal/obs"
+)
+
+// workers is the configured worker count (>= 1). The count bounds how
+// many pool helpers a single For/Reduce enlists; it never influences
+// chunk geometry.
+var workers atomic.Int64
+
+func init() {
+	workers.Store(int64(defaultWorkers()))
+}
+
+// defaultWorkers resolves the initial worker count: RGML_WORKERS when set
+// and valid, else runtime.NumCPU().
+func defaultWorkers() int {
+	if n := workersFromEnv(os.Getenv("RGML_WORKERS")); n > 0 {
+		return n
+	}
+	return runtime.NumCPU()
+}
+
+// workersFromEnv parses an RGML_WORKERS value; 0 means "not set / invalid".
+func workersFromEnv(s string) int {
+	if s == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 1 {
+		return 0
+	}
+	return n
+}
+
+// Workers returns the configured worker count.
+func Workers() int { return int(workers.Load()) }
+
+// SetWorkers configures the worker count. n < 1 resets to the default
+// (RGML_WORKERS or NumCPU). The count only bounds concurrency; chunk
+// boundaries — and therefore results — do not depend on it.
+func SetWorkers(n int) {
+	if n < 1 {
+		n = defaultWorkers()
+	}
+	workers.Store(int64(n))
+	if in := instr.Load(); in != nil {
+		in.configured.Set(int64(n))
+	}
+}
+
+// jobs is the submission queue of the process-wide pool. The buffer
+// bounds how much work can be outstanding before submitters fall back to
+// running chunks themselves.
+var jobs = make(chan func(), 256)
+
+var (
+	poolMu sync.Mutex
+	live   int // workers started (they never exit)
+)
+
+// submit enqueues fn without blocking, waking a pool worker. It reports
+// false when the queue is full; the caller then runs the work itself.
+func submit(fn func()) bool {
+	select {
+	case jobs <- fn:
+		ensureWorker()
+		return true
+	default:
+		return false
+	}
+}
+
+// ensureWorker lazily starts pool workers, at most Workers()-1 of them
+// (the calling goroutine of every parallel region is always the extra
+// worker). Workers block on the queue when idle and are never torn down;
+// the bound can grow after SetWorkers.
+func ensureWorker() {
+	limit := Workers() - 1
+	poolMu.Lock()
+	if live < limit {
+		live++
+		n := live
+		poolMu.Unlock()
+		if in := instr.Load(); in != nil {
+			in.liveWorkers.Set(int64(n))
+		}
+		go workerLoop()
+		return
+	}
+	poolMu.Unlock()
+}
+
+func workerLoop() {
+	for fn := range jobs {
+		if in := instr.Load(); in != nil {
+			in.busyWorkers.Add(1)
+			fn()
+			in.busyWorkers.Add(-1)
+		} else {
+			fn()
+		}
+	}
+}
+
+// chunks returns the deterministic chunk count for (n, grain): ceil(n/g)
+// chunks of g elements each (last one short). grain < 1 is treated as 1.
+func chunks(n, grain int) (nchunks, g int) {
+	g = grain
+	if g < 1 {
+		g = 1
+	}
+	return (n + g - 1) / g, g
+}
+
+// run executes body(0..nchunks-1), each exactly once, possibly in
+// parallel. Panics from pool workers (including apgas.Throw's task
+// aborts) are re-raised on the calling goroutine so the enclosing task
+// machinery observes them exactly as in serial execution.
+//
+// Deadlock freedom under nesting: the caller waits only for claimed
+// chunks to COMPLETE, never for a queued helper job to start. Helper
+// jobs are fire-and-forget — if every pool worker is busy (e.g. itself
+// blocked inside a nested parallel region), the queued helpers simply
+// never run and the calling goroutine drains all chunks itself. A
+// helper that runs after the region finished finds no chunk left and
+// returns immediately.
+func run(nchunks int, body func(c int)) {
+	helpers := Workers() - 1
+	if helpers > nchunks-1 {
+		helpers = nchunks - 1
+	}
+	in := instr.Load()
+	if helpers <= 0 {
+		if in != nil {
+			in.runsSerial.Inc()
+			in.chunksRun.Add(int64(nchunks))
+		}
+		for c := 0; c < nchunks; c++ {
+			body(c)
+		}
+		return
+	}
+	if in != nil {
+		in.runsParallel.Inc()
+		in.chunksRun.Add(int64(nchunks))
+	}
+	st := &runState{nchunks: int64(nchunks), body: body, done: make(chan struct{})}
+	for i := 0; i < helpers; i++ {
+		if !submit(st.drain) {
+			break
+		}
+	}
+	st.drain()
+	<-st.done
+	if p := st.panic1.Load(); p != nil {
+		panic(p.val)
+	}
+}
+
+// runState is the shared state of one parallel region. Chunks are
+// claimed via next and accounted via completed; the goroutine that
+// completes the last chunk closes done.
+type runState struct {
+	next      atomic.Int64
+	completed atomic.Int64
+	nchunks   int64
+	body      func(c int)
+	done      chan struct{}
+	panic1    atomic.Pointer[panicked]
+}
+
+// drain claims and runs chunks until none remain. Safe to call from any
+// goroutine, any number of times, including after the region completed.
+func (s *runState) drain() {
+	for {
+		c := s.next.Add(1) - 1
+		if c >= s.nchunks {
+			return
+		}
+		s.runChunk(int(c))
+	}
+}
+
+// runChunk executes one chunk, capturing a panic instead of letting it
+// kill a pool worker, and counts the chunk completed either way (a
+// panicked chunk must not leave the region waiting forever).
+func (s *runState) runChunk(c int) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panic1.CompareAndSwap(nil, &panicked{val: r})
+		}
+		if s.completed.Add(1) == s.nchunks {
+			close(s.done)
+		}
+	}()
+	s.body(c)
+}
+
+// panicked carries a recovered panic value from a pool worker back to the
+// submitting goroutine.
+type panicked struct{ val any }
+
+// For runs fn over the half-open chunks of [0, n) with the given grain.
+// fn must write only outputs owned by its chunk; chunks of one call may
+// execute concurrently and in any order. The chunk boundaries depend on
+// (n, grain) only, so any per-chunk state (accumulators, tiling) produces
+// identical bits at every worker count.
+func For(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	nchunks, g := chunks(n, grain)
+	if nchunks == 1 {
+		if in := instr.Load(); in != nil {
+			in.runsSerial.Inc()
+			in.chunksRun.Inc()
+		}
+		fn(0, n)
+		return
+	}
+	run(nchunks, func(c int) {
+		lo := c * g
+		hi := lo + g
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+	})
+}
+
+// Reduce computes part over every chunk of [0, n) and folds the partial
+// results with combine in ascending chunk order on the calling goroutine:
+// combine(...combine(combine(p0, p1), p2)..., pLast). Chunk boundaries
+// depend on (n, grain) only, so the result is bit-identical for any
+// worker count. n <= 0 returns the zero value of T.
+func Reduce[T any](n, grain int, part func(lo, hi int) T, combine func(acc, v T) T) T {
+	var zero T
+	if n <= 0 {
+		return zero
+	}
+	nchunks, g := chunks(n, grain)
+	if nchunks == 1 {
+		if in := instr.Load(); in != nil {
+			in.runsSerial.Inc()
+			in.chunksRun.Inc()
+		}
+		return part(0, n)
+	}
+	parts := make([]T, nchunks)
+	run(nchunks, func(c int) {
+		lo := c * g
+		hi := lo + g
+		if hi > n {
+			hi = n
+		}
+		parts[c] = part(lo, hi)
+	})
+	acc := parts[0]
+	for _, p := range parts[1:] {
+		acc = combine(acc, p)
+	}
+	return acc
+}
+
+// instruments holds the pool's observability handles, resolved once per
+// SetObs so the hot paths pay one atomic pointer load.
+type instruments struct {
+	runsSerial   *obs.Counter // par.runs.serial
+	runsParallel *obs.Counter // par.runs.parallel
+	chunksRun    *obs.Counter // par.chunks
+	configured   *obs.Gauge   // par.workers.configured
+	liveWorkers  *obs.Gauge   // par.workers.live
+	busyWorkers  *obs.Gauge   // par.workers.busy
+}
+
+var instr atomic.Pointer[instruments]
+
+// SetObs wires the pool's instrumentation into reg: counters for serial
+// and parallel kernel runs and total chunks, gauges for the configured,
+// live and busy worker counts. The pool is process-wide, so the last
+// registry wired wins; nil disables instrumentation.
+func SetObs(reg *obs.Registry) {
+	if reg == nil {
+		instr.Store(nil)
+		return
+	}
+	in := &instruments{
+		runsSerial:   reg.Counter("par.runs.serial"),
+		runsParallel: reg.Counter("par.runs.parallel"),
+		chunksRun:    reg.Counter("par.chunks"),
+		configured:   reg.Gauge("par.workers.configured"),
+		liveWorkers:  reg.Gauge("par.workers.live"),
+		busyWorkers:  reg.Gauge("par.workers.busy"),
+	}
+	in.configured.Set(int64(Workers()))
+	poolMu.Lock()
+	in.liveWorkers.Set(int64(live))
+	poolMu.Unlock()
+	instr.Store(in)
+}

@@ -1,0 +1,208 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// workerCounts are the counts every determinism property is checked at.
+var workerCounts = []int{1, 2, 3, 7, runtime.NumCPU()}
+
+// withWorkers runs fn at each worker count and restores the default.
+func withWorkers(t *testing.T, fn func(t *testing.T, w int)) {
+	t.Helper()
+	defer SetWorkers(0)
+	for _, w := range workerCounts {
+		SetWorkers(w)
+		if got := Workers(); got != w {
+			t.Fatalf("Workers() = %d after SetWorkers(%d)", got, w)
+		}
+		fn(t, w)
+	}
+}
+
+func TestForCoversRangeOnce(t *testing.T) {
+	sizes := []struct{ n, grain int }{
+		{1, 1}, {7, 3}, {100, 1}, {100, 7}, {100, 100}, {100, 1000}, {4096, 64},
+	}
+	withWorkers(t, func(t *testing.T, w int) {
+		for _, s := range sizes {
+			hits := make([]int32, s.n)
+			For(s.n, s.grain, func(lo, hi int) {
+				if lo < 0 || hi > s.n || lo >= hi {
+					panic(fmt.Sprintf("bad chunk [%d, %d) of %d", lo, hi, s.n))
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d grain=%d: index %d visited %d times", w, s.n, s.grain, i, h)
+				}
+			}
+		}
+	})
+}
+
+func TestForZeroAndNegativeN(t *testing.T) {
+	called := false
+	For(0, 4, func(lo, hi int) { called = true })
+	For(-3, 4, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("For called fn for n <= 0")
+	}
+}
+
+// TestChunkBoundariesIndependentOfWorkers pins the determinism contract:
+// the exact multiset of (lo, hi) chunks is a function of (n, grain) only.
+func TestChunkBoundariesIndependentOfWorkers(t *testing.T) {
+	type chunk struct{ lo, hi int }
+	collect := func(n, grain int) []chunk {
+		var mu sync.Mutex
+		var out []chunk
+		For(n, grain, func(lo, hi int) {
+			mu.Lock()
+			out = append(out, chunk{lo, hi})
+			mu.Unlock()
+		})
+		sort.Slice(out, func(i, j int) bool { return out[i].lo < out[j].lo })
+		return out
+	}
+	defer SetWorkers(0)
+	SetWorkers(1)
+	want := collect(1000, 13)
+	for _, w := range workerCounts[1:] {
+		SetWorkers(w)
+		got := collect(1000, 13)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d chunks, want %d", w, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: chunk %d = %+v, want %+v", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestReduceBitIdentical checks the floating-point sum of a fixed random
+// vector is bit-identical at every worker count.
+func TestReduceBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	xs := make([]float64, 100_000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * float64(1+i%17)
+	}
+	sum := func() float64 {
+		return Reduce(len(xs), 1024, func(lo, hi int) float64 {
+			var s float64
+			for _, v := range xs[lo:hi] {
+				s += v
+			}
+			return s
+		}, func(a, b float64) float64 { return a + b })
+	}
+	defer SetWorkers(0)
+	SetWorkers(1)
+	want := sum()
+	for _, w := range workerCounts[1:] {
+		SetWorkers(w)
+		for rep := 0; rep < 10; rep++ {
+			if got := sum(); got != want {
+				t.Fatalf("workers=%d rep=%d: sum %x, want %x", w, rep, got, want)
+			}
+		}
+	}
+}
+
+// TestReduceCombineOrder uses a non-commutative combine to prove partials
+// fold in ascending chunk order.
+func TestReduceCombineOrder(t *testing.T) {
+	withWorkers(t, func(t *testing.T, w int) {
+		got := Reduce(10, 2, func(lo, hi int) string {
+			return fmt.Sprintf("[%d,%d)", lo, hi)
+		}, func(a, b string) string { return a + b })
+		want := "[0,2)[2,4)[4,6)[6,8)[8,10)"
+		if got != want {
+			t.Fatalf("workers=%d: combine order %q, want %q", w, got, want)
+		}
+	})
+}
+
+func TestReduceEmpty(t *testing.T) {
+	got := Reduce(0, 8, func(lo, hi int) int { return 1 }, func(a, b int) int { return a + b })
+	if got != 0 {
+		t.Fatalf("Reduce(0) = %d, want zero value", got)
+	}
+}
+
+// TestNestedForNoDeadlock drives nested parallel regions hard enough to
+// saturate the queue, exercising the caller-runs fallback.
+func TestNestedForNoDeadlock(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(4)
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			For(64, 1, func(lo, hi int) {
+				For(64, 4, func(l2, h2 int) {
+					total.Add(int64(h2 - l2))
+				})
+			})
+		}()
+	}
+	wg.Wait()
+	if want := int64(8 * 64 * 64); total.Load() != want {
+		t.Fatalf("nested total = %d, want %d", total.Load(), want)
+	}
+}
+
+// TestPanicPropagates checks a panic in a chunk resurfaces on the calling
+// goroutine (apgas.Throw relies on this to abort the enclosing task).
+func TestPanicPropagates(t *testing.T) {
+	defer SetWorkers(0)
+	boom := errors.New("boom")
+	for _, w := range []int{1, 4} {
+		SetWorkers(w)
+		func() {
+			defer func() {
+				if r := recover(); r != boom {
+					t.Fatalf("workers=%d: recovered %v, want %v", w, r, boom)
+				}
+			}()
+			For(100, 1, func(lo, hi int) {
+				if lo == 57 {
+					panic(boom)
+				}
+			})
+			t.Fatalf("workers=%d: For returned after panic", w)
+		}()
+	}
+}
+
+func TestWorkersFromEnv(t *testing.T) {
+	cases := map[string]int{"": 0, "x": 0, "-2": 0, "0": 0, "1": 1, "12": 12}
+	for in, want := range cases {
+		if got := workersFromEnv(in); got != want {
+			t.Errorf("workersFromEnv(%q) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestSetWorkersResetToDefault(t *testing.T) {
+	SetWorkers(5)
+	SetWorkers(0)
+	if got, want := Workers(), defaultWorkers(); got != want {
+		t.Fatalf("Workers() = %d after reset, want %d", got, want)
+	}
+}

@@ -84,6 +84,13 @@ func WithNet(m NetModel) RuntimeOption { return apgas.WithNet(m) }
 // same registry to WithExecutorObs for a single coherent export per run.
 func WithRuntimeObs(reg *MetricsRegistry) RuntimeOption { return apgas.WithObs(reg) }
 
+// WithKernelWorkers sets the intra-place kernel worker pool size that the
+// linear-algebra kernels and per-place block fans run on (default:
+// RGML_WORKERS or the CPU count). Kernel results are bit-identical at
+// every worker count — the deterministic chunking contract of
+// internal/par — so the knob only affects throughput, never results.
+func WithKernelWorkers(n int) RuntimeOption { return apgas.WithKernelWorkers(n) }
+
 // IsDeadPlace reports whether err contains a DeadPlaceError.
 func IsDeadPlace(err error) bool { return apgas.IsDeadPlace(err) }
 
@@ -266,6 +273,10 @@ func WithExecutorObs(reg *MetricsRegistry) ExecutorOption { return core.WithObs(
 // WithChaos attaches a fault-injection engine to the executor: armed for
 // the duration of each run, driven by the executor's iteration clock.
 func WithChaos(eng *ChaosEngine) ExecutorOption { return core.WithChaos(eng) }
+
+// WithExecutorKernelWorkers sets the kernel worker pool size from the
+// executor's side (see WithKernelWorkers; the pool is process-wide).
+func WithExecutorKernelWorkers(n int) ExecutorOption { return core.WithKernelWorkers(n) }
 
 // Chaos fault-injection surface (internal/chaos): deterministic,
 // seed-reproducible failure schedules driving the runtime's Kill and
