@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race race-recovery race-chaos chaos-smoke workers-seq fuzz bench bench-checkpoint bench-kernels
+.PHONY: ci vet build test race race-recovery race-chaos race-delta chaos-smoke workers-seq fuzz bench bench-checkpoint bench-kernels bench-delta
 
-ci: vet build race race-recovery race-chaos chaos-smoke workers-seq bench-checkpoint bench-kernels
+ci: vet build race race-recovery race-chaos race-delta chaos-smoke workers-seq bench-checkpoint bench-kernels bench-delta
 
 vet:
 	$(GO) vet ./...
@@ -32,6 +32,13 @@ race-recovery:
 race-chaos:
 	$(GO) test -race -count=2 -run 'TestChaos' ./internal/bench/
 	$(GO) test -race -count=2 ./internal/chaos/
+
+# Extra -race iterations over the delta-checkpointing paths: entry
+# carry-forward shares buffers across snapshots, and partial restore
+# validates survivor state concurrently with the loads — both are new
+# interleavings on top of the recovery machinery.
+race-delta:
+	$(GO) test -race -count=2 -run 'Delta|Partial|ReadOnly|Retain' ./internal/snapshot/ ./internal/core/ ./internal/dist/ ./internal/bench/
 
 # A short fixed-seed chaos campaign over every benchmark application:
 # one kill inside a checkpoint commit plus one during the restore that
@@ -68,3 +75,10 @@ bench-checkpoint:
 # The parallel kernel-engine benchmarks backing BENCH_kernels.json.
 bench-kernels:
 	$(GO) test -run=NONE -bench='BenchmarkKernel' -benchmem ./internal/la/ ./internal/dist/
+
+# The delta-checkpointing comparison backing BENCH_delta.json: full vs
+# delta checkpoint traffic and partial-restore traffic for LinReg with
+# inputs checkpointed every interval, one failure repaired by a spare.
+bench-delta:
+	$(GO) run ./cmd/rgmlbench -q -places 2,4,8 delta > BENCH_delta.json
+	@echo "bench-delta: wrote BENCH_delta.json"

@@ -9,9 +9,10 @@
 //	rgmlbench -chaos "kill(point=commit,iter=10,place=1)" -seeds 1,2,3 chaos
 //
 // Experiments: table2, fig2, fig3, fig4, table3, fig5, fig6, fig7, table4,
-// ablations, and chaos — a fault-injection campaign that sweeps the -seeds
-// list over the -chaos schedule for each benchmark application and emits a
-// per-campaign survival/recovery JSON report.
+// ablations, delta — a full-vs-delta checkpointing comparison emitting the
+// BENCH_delta.json document — and chaos — a fault-injection campaign that
+// sweeps the -seeds list over the -chaos schedule for each benchmark
+// application and emits a per-campaign survival/recovery JSON report.
 //
 // The workload sizes default to laptop scale (see -scale and the
 // per-workload flags); EXPERIMENTS.md records how they map to the paper's
@@ -342,8 +343,16 @@ func runExperiment(cfg bench.Config, exp, outDir string) error {
 		return output(outDir, "ablations", func(w io.Writer) error {
 			return bench.WriteAblations(w, rows)
 		})
+	case "delta":
+		rows, err := cfg.DeltaSweep()
+		if err != nil {
+			return err
+		}
+		return output(outDir, "delta", func(w io.Writer) error {
+			return bench.WriteDeltaReport(w, cfg, rows)
+		})
 	default:
-		return fmt.Errorf("unknown experiment (want table2, fig2-7, table3, table4, ablations, all)")
+		return fmt.Errorf("unknown experiment (want table2, fig2-7, table3, table4, ablations, delta, all)")
 	}
 }
 

@@ -36,6 +36,7 @@ func run() error {
 		iters    = flag.Int("iters", 30, "iterations")
 		ckpt     = flag.Int("ckpt", 10, "checkpoint interval (0 disables)")
 		modeName = flag.String("mode", "shrink", "restore mode: shrink, shrink-rebalance, replace-redundant, replace-elastic")
+		delta    = flag.Bool("delta", false, "delta checkpointing: re-encode and re-ship only entries changed since the committed checkpoint")
 		killIter = flag.Int("kill-iter", 0, "inject a failure after this iteration (0: none)")
 		size     = flag.Int("size", 1000, "per-place problem size (examples or nodes)")
 		seed     = flag.Uint64("seed", 42, "dataset seed")
@@ -89,6 +90,7 @@ func run() error {
 		core.WithCheckpointInterval(*ckpt),
 		core.WithRestoreMode(mode),
 		core.WithSpares(spares),
+		core.WithDelta(*delta),
 		core.WithObs(reg),
 		core.WithAfterStep(func(iter int64) {
 			if *killIter > 0 && !killed && iter == int64(*killIter) {

@@ -23,6 +23,13 @@ type LinRegConfig struct {
 	Seed uint64
 	// RowBlocksPerPlace sets the data-grid granularity.
 	RowBlocksPerPlace int
+	// CheckpointInputs saves the (immutable) training data X and y with
+	// plain Save on every checkpoint instead of the one-time SaveReadOnly.
+	// Pointless in production, but it is how the delta-checkpoint
+	// benchmark exposes the cost of redundantly re-shipping unchanged
+	// state: with delta checkpointing on, those saves collapse to
+	// carry-forwards.
+	CheckpointInputs bool
 }
 
 func (c *LinRegConfig) setDefaults() {
@@ -151,11 +158,20 @@ func (a *LinReg) Checkpoint(store *core.AppResilientStore) error {
 	if err := store.StartNewSnapshot(); err != nil {
 		return err
 	}
-	if err := store.SaveReadOnly(a.x); err != nil {
-		return err
-	}
-	if err := store.SaveReadOnly(a.y); err != nil {
-		return err
+	if a.cfg.CheckpointInputs {
+		if err := store.Save(a.x); err != nil {
+			return err
+		}
+		if err := store.Save(a.y); err != nil {
+			return err
+		}
+	} else {
+		if err := store.SaveReadOnly(a.x); err != nil {
+			return err
+		}
+		if err := store.SaveReadOnly(a.y); err != nil {
+			return err
+		}
 	}
 	for _, obj := range []*dist.DupVector{a.w, a.r, a.p} {
 		if err := store.Save(obj); err != nil {

@@ -1,0 +1,191 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"time"
+
+	"github.com/rgml/rgml/internal/apps"
+	"github.com/rgml/rgml/internal/core"
+	"github.com/rgml/rgml/internal/la"
+	"github.com/rgml/rgml/internal/obs"
+)
+
+// DeltaRow is one (mode, places) cell of the delta-checkpoint sweep: a
+// LinReg run that checkpoints its (immutable) training inputs with plain
+// Save on every interval — the worst case for full checkpointing and the
+// best case for delta carry-forward — with one failure injected and
+// repaired by a redundant spare, so the restore exercises the partial
+// (surviving-place) path.
+type DeltaRow struct {
+	Mode   string `json:"mode"` // "full" or "delta"
+	Places int    `json:"places"`
+	// Checkpoint traffic: bytes actually encoded and shipped to the
+	// snapshot stores vs bytes avoided by carry-forward, and the
+	// per-entry outcome split.
+	SaveBytes    int64 `json:"checkpoint_bytes_shipped"`
+	SkippedBytes int64 `json:"checkpoint_bytes_skipped"`
+	Carried      int64 `json:"entries_carried"`
+	Saved        int64 `json:"entries_saved"`
+	// Restore traffic: bytes loaded from the stores, and the partial
+	// path's kept/loaded split (zero for full mode, which reloads
+	// everything everywhere).
+	LoadBytes        int64 `json:"restore_bytes_loaded"`
+	PartialKept      int64 `json:"restore_entries_kept"`
+	PartialKeptBytes int64 `json:"restore_bytes_kept"`
+	PartialLoaded    int64 `json:"restore_entries_loaded"`
+	// WeightsMatch reports that the final model is bit-identical to the
+	// full-checkpoint run at the same place count.
+	WeightsMatch bool    `json:"weights_bitwise_equal"`
+	TotalMS      float64 `json:"total_ms"`
+}
+
+// DeltaSweep runs the delta-checkpointing comparison over the configured
+// place counts: for each count, one full-checkpoint run and one
+// delta-checkpoint run of the same failure-and-recovery workload. It
+// fails if the two modes do not converge to bit-identical weights.
+func (c Config) DeltaSweep() ([]DeltaRow, error) {
+	var rows []DeltaRow
+	for _, places := range c.Scale.PlaceCounts {
+		var ref la.Vector
+		for _, delta := range []bool{false, true} {
+			row, w, err := c.deltaRun(places, delta)
+			if err != nil {
+				return nil, fmt.Errorf("bench: delta places=%d delta=%v: %w", places, delta, err)
+			}
+			if ref == nil {
+				ref = w
+				row.WeightsMatch = true
+			} else {
+				row.WeightsMatch = vectorsBitEqual(ref, w)
+				if !row.WeightsMatch {
+					return nil, fmt.Errorf("bench: delta places=%d: delta-mode weights diverge from full-mode weights", places)
+				}
+			}
+			rows = append(rows, row)
+			c.progressf("delta places=%d mode=%s: shipped=%d skipped=%d loaded=%d kept=%d",
+				places, row.Mode, row.SaveBytes, row.SkippedBytes, row.LoadBytes, row.PartialKeptBytes)
+		}
+	}
+	return rows, nil
+}
+
+// deltaRun executes one LinReg failure-and-recovery run with inputs
+// checkpointed via plain Save, under full or delta checkpointing, and
+// returns the traffic counters plus the final weights.
+func (c Config) deltaRun(places int, delta bool) (DeltaRow, la.Vector, error) {
+	s := c.Scale
+	reg := obs.NewRegistry()
+	rt, err := c.newRuntime(places+1, true, reg) // one redundant spare
+	if err != nil {
+		return DeltaRow{}, nil, err
+	}
+	defer rt.Shutdown()
+	killed := false
+	victim := rt.Place(places / 2)
+	exec, err := core.NewExecutor(rt, core.Config{
+		CheckpointInterval: s.CheckpointInterval,
+		Mode:               core.ReplaceRedundant,
+		Spares:             1,
+		Obs:                reg,
+		Delta:              delta,
+		AfterStep: func(iter int64) {
+			if !killed && iter == int64(s.FailureIteration) {
+				killed = true
+				_ = rt.Kill(victim)
+			}
+		},
+	})
+	if err != nil {
+		return DeltaRow{}, nil, err
+	}
+	a, err := apps.NewLinReg(rt, apps.LinRegConfig{
+		Examples: s.LinRegExamplesPerPlace * places, Features: s.LinRegFeatures,
+		Iterations: s.Iterations, Seed: s.Seed,
+		CheckpointInputs: true,
+	}, exec.ActiveGroup())
+	if err != nil {
+		return DeltaRow{}, nil, err
+	}
+	start := time.Now()
+	if err := exec.Run(a); err != nil {
+		return DeltaRow{}, nil, err
+	}
+	totalMS := float64(time.Since(start).Microseconds()) / 1000
+	if exec.Metrics().Restores == 0 {
+		return DeltaRow{}, nil, fmt.Errorf("bench: no restore happened")
+	}
+	w, err := a.Weights()
+	if err != nil {
+		return DeltaRow{}, nil, err
+	}
+	mode := "full"
+	if delta {
+		mode = "delta"
+	}
+	return DeltaRow{
+		Mode:             mode,
+		Places:           places,
+		SaveBytes:        reg.Counter("snapshot.save.bytes").Value(),
+		SkippedBytes:     reg.Counter("snapshot.delta.bytes.skipped").Value(),
+		Carried:          reg.Counter("snapshot.delta.carried").Value(),
+		Saved:            reg.Counter("snapshot.delta.saved").Value(),
+		LoadBytes:        reg.Counter("snapshot.load.bytes").Value(),
+		PartialKept:      reg.Counter("dist.restore.partial.kept").Value(),
+		PartialKeptBytes: reg.Counter("dist.restore.partial.bytes.kept").Value(),
+		PartialLoaded:    reg.Counter("dist.restore.partial.loaded").Value(),
+		TotalMS:          totalMS,
+	}, w, nil
+}
+
+// vectorsBitEqual reports bitwise equality (NaN-safe, -0 ≠ +0 — exact
+// replay is the contract, not numeric closeness).
+func vectorsBitEqual(a, b la.Vector) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// deltaReport is the BENCH_delta.json document.
+type deltaReport struct {
+	Description string            `json:"description"`
+	Environment map[string]string `json:"environment"`
+	Workload    string            `json:"workload"`
+	Rows        []DeltaRow        `json:"rows"`
+}
+
+// WriteDeltaReport writes the sweep as the BENCH_delta.json document.
+func WriteDeltaReport(w io.Writer, c Config, rows []DeltaRow) error {
+	s := c.Scale
+	rep := deltaReport{
+		Description: "Delta checkpointing vs full checkpointing: steady-state checkpoint " +
+			"bytes shipped (unchanged entries are carried forward by reference) and " +
+			"partial-restore traffic (surviving places keep CRC-validated state; only " +
+			"dead-owner entries are loaded). Reproduce with `make bench-delta`.",
+		Environment: map[string]string{
+			"goos":   runtime.GOOS,
+			"goarch": runtime.GOARCH,
+			"go":     runtime.Version(),
+			"date":   time.Now().UTC().Format("2006-01-02"),
+		},
+		Workload: fmt.Sprintf(
+			"LinReg CG, %d examples/place x %d features, %d iterations, checkpoint every %d, "+
+				"inputs checkpointed via plain Save each interval; one place killed at iteration %d "+
+				"and replaced by a redundant spare (partial restore on the survivors)",
+			s.LinRegExamplesPerPlace, s.LinRegFeatures, s.Iterations, s.CheckpointInterval,
+			s.FailureIteration),
+		Rows: rows,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

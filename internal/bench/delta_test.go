@@ -1,0 +1,52 @@
+package bench
+
+import "testing"
+
+// TestDeltaSweepSmoke runs the delta-vs-full comparison at smoke scale and
+// pins its headline claims: delta mode ships strictly fewer checkpoint
+// bytes by carrying unchanged entries forward, both modes recover through
+// the partial path with survivors kept, and the final weights are
+// bit-identical across modes.
+func TestDeltaSweepSmoke(t *testing.T) {
+	cfg := smokeConfig()
+	rows, err := cfg.DeltaSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * len(cfg.Scale.PlaceCounts); len(rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+	for i := 0; i < len(rows); i += 2 {
+		full, delta := rows[i], rows[i+1]
+		if full.Mode != "full" || delta.Mode != "delta" || full.Places != delta.Places {
+			t.Fatalf("row pair %d mismatched: %+v / %+v", i/2, full, delta)
+		}
+		if !full.WeightsMatch || !delta.WeightsMatch {
+			t.Errorf("places=%d: weights not bitwise equal across modes", full.Places)
+		}
+		if delta.SaveBytes >= full.SaveBytes {
+			t.Errorf("places=%d: delta shipped %d checkpoint bytes, full %d: want a reduction",
+				full.Places, delta.SaveBytes, full.SaveBytes)
+		}
+		if delta.Carried <= 0 || delta.SkippedBytes <= 0 {
+			t.Errorf("places=%d: delta carried %d entries / skipped %d bytes, want both > 0",
+				full.Places, delta.Carried, delta.SkippedBytes)
+		}
+		if full.Carried != 0 || full.SkippedBytes != 0 {
+			t.Errorf("places=%d: full mode carried %d entries / skipped %d bytes, want 0",
+				full.Places, full.Carried, full.SkippedBytes)
+		}
+		// Partial restore is independent of the checkpoint mode: survivors
+		// keep validated state in both, and the load traffic is identical.
+		for _, r := range []DeltaRow{full, delta} {
+			if r.PartialKept <= 0 || r.PartialLoaded <= 0 {
+				t.Errorf("places=%d mode=%s: partial kept=%d loaded=%d, want both > 0",
+					r.Places, r.Mode, r.PartialKept, r.PartialLoaded)
+			}
+		}
+		if full.LoadBytes != delta.LoadBytes {
+			t.Errorf("places=%d: restore load bytes differ across modes: full %d, delta %d",
+				full.Places, full.LoadBytes, delta.LoadBytes)
+		}
+	}
+}

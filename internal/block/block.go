@@ -47,7 +47,23 @@ type MatrixBlock struct {
 	// Exactly one of Dense / Sparse is non-nil, per Kind.
 	Dense  *la.DenseMatrix
 	Sparse *la.SparseCSC
+
+	// Ver is the block's content version for delta checkpointing: every
+	// mutation of the payload bumps it (Touch), and a checkpoint whose
+	// previous entry recorded the same version carries the entry forward
+	// without re-encoding. Code that writes into Dense/Sparse directly
+	// must call Touch (or the owning matrix's MarkDirty); a missed bump
+	// is caught by the delta path's CRC comparison only when the version
+	// also changed, so the version is the contract, the CRC the backstop.
+	Ver uint64
+	// Retained marks a block whose payload survived a Remake on a
+	// surviving place: partial restore validates it against the snapshot
+	// digest instead of re-loading it, then clears the flag.
+	Retained bool
 }
+
+// Touch records a payload mutation for delta checkpointing.
+func (b *MatrixBlock) Touch() { b.Ver++ }
 
 // NewDenseBlock allocates a zeroed dense block for grid position (rb, cb)
 // of g.
@@ -171,6 +187,7 @@ func (b *MatrixBlock) Scale(a float64) {
 	} else {
 		b.Sparse.Scale(a)
 	}
+	b.Touch()
 }
 
 // String implements fmt.Stringer.
@@ -263,4 +280,59 @@ func Decode(data []byte) (*MatrixBlock, error) {
 		return nil, fmt.Errorf("block: unknown kind %d", kind)
 	}
 	return &b, nil
+}
+
+// DecodeInto deserializes a block of the same kind and shape as dst from
+// the snapshot wire format, overwriting dst's existing payload storage
+// instead of allocating fresh slices (sparse index arrays regrow only
+// when the decoded block holds more nonzeros than dst has capacity for).
+// Same-grid restores use it so the first checkpoint after a restore
+// re-encodes from the same allocations the previous cycle pooled.
+func DecodeInto(dst *MatrixBlock, data []byte) error {
+	var (
+		h    MatrixBlock
+		kind int
+		err  error
+	)
+	rd := data
+	for _, p := range []*int{&kind, &h.RB, &h.CB, &h.Row0, &h.Col0, &h.Rows, &h.Cols} {
+		if *p, rd, err = codec.Int(rd); err != nil {
+			return fmt.Errorf("block: decode header: %w", err)
+		}
+	}
+	if Kind(kind) != dst.Kind() || h.Rows != dst.Rows || h.Cols != dst.Cols {
+		return fmt.Errorf("block: decode %v %dx%d into %v %dx%d",
+			Kind(kind), h.Rows, h.Cols, dst.Kind(), dst.Rows, dst.Cols)
+	}
+	switch Kind(kind) {
+	case Dense:
+		vals, _, err := codec.Float64sInto(dst.Dense.Data, rd)
+		if err != nil {
+			return fmt.Errorf("block: decode dense payload: %w", err)
+		}
+		if len(vals) != dst.Rows*dst.Cols {
+			return fmt.Errorf("block: dense payload %d for %dx%d", len(vals), dst.Rows, dst.Cols)
+		}
+		dst.Dense.Data = vals
+	case Sparse:
+		sp := dst.Sparse
+		colPtr, rd, err := codec.IntsInto(sp.ColPtr, rd)
+		if err != nil {
+			return fmt.Errorf("block: decode colptr: %w", err)
+		}
+		rowIdx, rd, err := codec.IntsInto(sp.RowIdx, rd)
+		if err != nil {
+			return fmt.Errorf("block: decode rowidx: %w", err)
+		}
+		vals, _, err := codec.Float64sInto(sp.Vals, rd)
+		if err != nil {
+			return fmt.Errorf("block: decode vals: %w", err)
+		}
+		if len(colPtr) != dst.Cols+1 || len(rowIdx) != len(vals) {
+			return fmt.Errorf("block: inconsistent sparse payload")
+		}
+		sp.ColPtr, sp.RowIdx, sp.Vals = colPtr, rowIdx, vals
+	}
+	dst.Touch()
+	return nil
 }

@@ -146,6 +146,15 @@ func Float64(b []byte) (float64, []byte, error) {
 
 // Float64s decodes a length-prefixed float slice via the bulk path.
 func Float64s(b []byte) ([]float64, []byte, error) {
+	return Float64sInto(nil, b)
+}
+
+// Float64sInto is Float64s decoding into dst's backing storage when its
+// capacity suffices, so restores that overwrite an existing allocation
+// (same-grid block restore, segment restore) stay allocation-free. The
+// returned slice aliases dst only in that case; its length is always the
+// decoded element count.
+func Float64sInto(dst []float64, b []byte) ([]float64, []byte, error) {
 	n, b, err := Int(b)
 	if err != nil {
 		return nil, nil, err
@@ -153,7 +162,12 @@ func Float64s(b []byte) ([]float64, []byte, error) {
 	if n < 0 || n > len(b)/8 {
 		return nil, nil, ErrShortBuffer
 	}
-	vs := make([]float64, n)
+	var vs []float64
+	if cap(dst) >= n {
+		vs = dst[:n]
+	} else {
+		vs = make([]float64, n)
+	}
 	if n == 0 {
 		return vs, b, nil
 	}
@@ -177,6 +191,12 @@ func Float64s(b []byte) ([]float64, []byte, error) {
 
 // Ints decodes a length-prefixed int slice via the bulk path.
 func Ints(b []byte) ([]int, []byte, error) {
+	return IntsInto(nil, b)
+}
+
+// IntsInto is Ints decoding into dst's backing storage when its capacity
+// suffices (see Float64sInto).
+func IntsInto(dst []int, b []byte) ([]int, []byte, error) {
 	n, b, err := Int(b)
 	if err != nil {
 		return nil, nil, err
@@ -184,7 +204,12 @@ func Ints(b []byte) ([]int, []byte, error) {
 	if n < 0 || n > len(b)/8 {
 		return nil, nil, ErrShortBuffer
 	}
-	vs := make([]int, n)
+	var vs []int
+	if cap(dst) >= n {
+		vs = dst[:n]
+	} else {
+		vs = make([]int, n)
+	}
 	if n == 0 {
 		return vs, b, nil
 	}

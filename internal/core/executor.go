@@ -91,6 +91,11 @@ type Config struct {
 	// the run returns), advanced to the executor's iteration once per loop
 	// pass, and consulted at the step, commit and restore fault points.
 	Chaos *chaos.Engine
+	// Delta enables incremental checkpointing: objects implementing
+	// snapshot.DirtyTracker re-encode and re-ship only the fragments that
+	// changed since the committed checkpoint, carrying the rest forward
+	// by reference (see AppResilientStore.Save and Snapshot.SaveDelta).
+	Delta bool
 	// KernelWorkers, when positive, sets the intra-place kernel worker
 	// pool size (see apgas.Config.KernelWorkers); zero leaves the pool
 	// unchanged. Kernel results are bit-identical at every worker count.
@@ -234,6 +239,7 @@ func NewExecutor(rt *apgas.Runtime, cfg Config) (*Executor, error) {
 		in:     newExecInstr(reg),
 	}
 	e.store.instrument(reg)
+	e.store.SetDelta(cfg.Delta)
 	if eng := cfg.Chaos; eng != nil {
 		e.store.setCommitHook(func() { _ = eng.At(chaos.PointCommit) })
 	}
@@ -447,7 +453,12 @@ func (e *Executor) recover(app IterativeApp, attempts *int) error {
 		// not restored yet, so a kill here lands on a group member
 		// mid-restore and forces a further attempt.
 		e.chaosAt(chaos.PointRestore)
+		// Stash the failure's dead-place set so the store can hand it to
+		// PartialRestorer objects: survivors then keep their in-memory
+		// state and only the fragments lost with plan.dead are re-loaded.
+		e.store.setDead(plan.dead)
 		if err := app.Restore(plan.active, e.store, snapIter, plan.rebalance); err != nil {
+			e.store.setDead(nil)
 			if apgas.IsDeadPlace(err) {
 				// Another place died during recovery: try again. The plan
 				// is discarded without being committed, so any spares it
@@ -483,6 +494,10 @@ type groupPlan struct {
 	active    apgas.PlaceGroup
 	spares    apgas.PlaceGroup
 	rebalance bool
+	// dead lists the active-group places lost in the failure this plan
+	// recovers from; the executor stashes it in the store so partial
+	// restore knows which owners need their data re-loaded.
+	dead []apgas.Place
 }
 
 // nextGroup computes the new active group per the restoration mode.
@@ -505,7 +520,7 @@ func (e *Executor) nextGroup() (groupPlan, error) {
 		if len(alive) >= len(dead) {
 			taken := alive[:len(dead)]
 			newPG, err := e.active.Replace(dead, taken)
-			return groupPlan{active: newPG, spares: alive[len(dead):]}, err
+			return groupPlan{active: newPG, spares: alive[len(dead):], dead: dead}, err
 		}
 		if len(alive) > 0 {
 			// Partial coverage: the schedule killed more places than spares
@@ -525,6 +540,7 @@ func (e *Executor) nextGroup() (groupPlan, error) {
 				active:    survivors,
 				spares:    nil,
 				rebalance: e.cfg.Fallback == ShrinkRebalance,
+				dead:      dead,
 			}, nil
 		}
 		// Spare pool fully exhausted: fall back (paper section V-B3).
@@ -535,11 +551,11 @@ func (e *Executor) nextGroup() (groupPlan, error) {
 			return groupPlan{}, fmt.Errorf("core: elastic place creation: %w", err)
 		}
 		newPG, err := e.active.Replace(dead, added)
-		return groupPlan{active: newPG, spares: e.spares}, err
+		return groupPlan{active: newPG, spares: e.spares, dead: dead}, err
 	}
 	survivors := e.active.Without(dead...)
 	if survivors.Size() == 0 {
 		return groupPlan{}, ErrGroupExhausted
 	}
-	return groupPlan{active: survivors, spares: e.spares, rebalance: mode == ShrinkRebalance}, nil
+	return groupPlan{active: survivors, spares: e.spares, rebalance: mode == ShrinkRebalance, dead: dead}, nil
 }

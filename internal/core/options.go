@@ -71,6 +71,14 @@ func WithKernelWorkers(n int) Option {
 	return func(c *Config) { c.KernelWorkers = n }
 }
 
+// WithDelta enables incremental (delta) checkpointing: objects that
+// implement snapshot.DirtyTracker re-encode and re-ship only the
+// fragments that changed since the committed checkpoint, carrying the
+// unchanged ones forward by reference (see Config.Delta).
+func WithDelta(on bool) Option {
+	return func(c *Config) { c.Delta = on }
+}
+
 // New builds an executor over rt's initial world from functional options.
 // It is the preferred constructor; NewExecutor remains as the Config-based
 // shim for existing callers.

@@ -68,3 +68,87 @@ func TestCheckpointCycleReusesBuffers(t *testing.T) {
 		t.Fatalf("steady-state checkpoints hit the pool %d times, want >= %d", hits-hits0, blocks)
 	}
 }
+
+// TestRestoreThenCheckpointReusesBuffers extends the cycle contract across
+// a restore: the same-grid restore decodes into the blocks' existing
+// payload allocations, so it draws nothing from the pool and — crucially —
+// never installs a snapshot entry's buffer into a live block. If it
+// aliased instead of copying, the commits that follow would recycle
+// payload buffers the matrix still reads, and the final restore below
+// would see scribbled data.
+func TestRestoreThenCheckpointReusesBuffers(t *testing.T) {
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+
+	rt, err := apgas.NewRuntime(apgas.Config{Places: 4, Resilient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	m, err := dist.MakeDistBlockMatrix(rt, block.Dense, 256, 256, 2, 2, 2, 2, rt.World())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InitDense(func(i, j int) float64 { return float64(i + 2*j) }); err != nil {
+		t.Fatal(err)
+	}
+
+	st := NewAppResilientStore()
+	checkpoint := func() {
+		t.Helper()
+		if err := st.StartNewSnapshot(); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Save(m); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	checkpoint()
+	checkpoint()
+	// A full restore decodes in place: zero pool draws.
+	gets0, _, _ := codec.PoolStats()
+	if err := st.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	if gets, _, _ := codec.PoolStats(); gets != gets0 {
+		t.Fatalf("restore drew %d pooled buffers, want 0", gets-gets0)
+	}
+
+	// The checkpoint cycle after the restore is indistinguishable from the
+	// undisturbed steady state.
+	gets0, hits0, puts0 := codec.PoolStats()
+	const steady = 3
+	for i := 0; i < steady; i++ {
+		checkpoint()
+	}
+	gets, hits, puts := codec.PoolStats()
+	blocks := uint64(m.Grid().NumBlocks())
+	if wantGets := steady * blocks; gets-gets0 != wantGets {
+		t.Fatalf("post-restore checkpoints drew %d buffers, want %d", gets-gets0, wantGets)
+	}
+	if puts-puts0 < steady*blocks {
+		t.Fatalf("post-restore commits returned %d buffers, want >= %d", puts-puts0, steady*blocks)
+	}
+	if hits-hits0 < blocks {
+		t.Fatalf("post-restore checkpoints hit the pool %d times, want >= %d", hits-hits0, blocks)
+	}
+
+	// The committed snapshot still restores the original content: the
+	// recycled buffers never belonged to a live snapshot entry.
+	if err := st.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ToDense()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, probe := range [][2]int{{0, 0}, {17, 200}, {255, 255}} {
+		i, j := probe[0], probe[1]
+		if got.At(i, j) != float64(i+2*j) {
+			t.Fatalf("restored[%d,%d] = %v, want %v", i, j, got.At(i, j), float64(i+2*j))
+		}
+	}
+}

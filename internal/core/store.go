@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"github.com/rgml/rgml/internal/apgas"
 	"github.com/rgml/rgml/internal/obs"
 	"github.com/rgml/rgml/internal/snapshot"
 )
@@ -35,11 +36,26 @@ type AppResilientStore struct {
 	// saveReadOnly will reuse this snapshot").
 	readOnly map[snapshot.Snapshottable]*snapshot.Snapshot
 
+	// delta enables incremental checkpointing: Save asks DirtyTracker
+	// objects for a delta snapshot against the committed one, carrying
+	// unchanged entries forward by reference. The executor sets it from
+	// its Delta config knob.
+	delta bool
+
+	// dead is the set of places lost in the failure the executor is
+	// currently recovering from, stashed by the executor before the
+	// application's Restore runs. Restore hands it to PartialRestorer
+	// objects so survivors keep their in-memory state; it is cleared when
+	// the restore finishes.
+	dead []apgas.Place
+
 	// Observability handles (nil-safe; see instrument).
-	saves    *obs.Counter // core.store.saves
-	roReuses *obs.Counter // core.store.readonly_reuses
-	commits  *obs.Counter // core.store.commits
-	cancels  *obs.Counter // core.store.cancels
+	saves      *obs.Counter // core.store.saves
+	roReuses   *obs.Counter // core.store.readonly_reuses
+	roRefresh  *obs.Counter // core.store.readonly_refreshes
+	commits    *obs.Counter // core.store.commits
+	cancels    *obs.Counter // core.store.cancels
+	deltaSaves *obs.Counter // core.store.delta_saves
 
 	// commitHook, when set, runs at the start of every Commit, after the
 	// pending checkpoint's objects have all been saved but before the
@@ -56,8 +72,36 @@ func (s *AppResilientStore) instrument(reg *obs.Registry) {
 	defer s.mu.Unlock()
 	s.saves = reg.Counter("core.store.saves")
 	s.roReuses = reg.Counter("core.store.readonly_reuses")
+	s.roRefresh = reg.Counter("core.store.readonly_refreshes")
 	s.commits = reg.Counter("core.store.commits")
 	s.cancels = reg.Counter("core.store.cancels")
+	s.deltaSaves = reg.Counter("core.store.delta_saves")
+}
+
+// SetDelta toggles incremental checkpointing for DirtyTracker objects
+// (see Save). Safe to call between checkpoints; the executor sets it
+// once from its configuration.
+func (s *AppResilientStore) SetDelta(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.delta = on
+}
+
+// setDead stashes the places lost in the failure being recovered from;
+// the executor calls it before the application's Restore. Restore
+// consumes and clears it.
+func (s *AppResilientStore) setDead(dead []apgas.Place) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dead = dead
+}
+
+// DeadPlaces returns the places lost in the failure currently being
+// recovered from (empty outside a restore).
+func (s *AppResilientStore) DeadPlaces() []apgas.Place {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dead
 }
 
 // setCommitHook installs the function Commit runs at its entry (see the
@@ -114,8 +158,27 @@ func (s *AppResilientStore) Save(obj snapshot.Snapshottable) error {
 		s.mu.Unlock()
 		return ErrNoSnapshotStarted
 	}
+	// With delta checkpointing on, a DirtyTracker object snapshots
+	// incrementally against its committed predecessor: unchanged entries
+	// carry forward by reference instead of being re-encoded and
+	// re-shipped. The predecessor stays alive until Commit destroys the
+	// superseded checkpoint, so reading it here without pinning is safe.
+	var prev *snapshot.Snapshot
+	dt, tracks := obj.(snapshot.DirtyTracker)
+	if s.delta && tracks && s.committed != nil {
+		prev = s.committed[obj]
+	}
 	s.mu.Unlock()
-	snap, err := obj.MakeSnapshot()
+	var (
+		snap *snapshot.Snapshot
+		err  error
+	)
+	if prev != nil {
+		snap, err = dt.MakeDeltaSnapshot(prev)
+		s.deltaSaves.Inc()
+	} else {
+		snap, err = obj.MakeSnapshot()
+	}
 	if err != nil {
 		return fmt.Errorf("core: saving object: %w", err)
 	}
@@ -243,10 +306,19 @@ func (s *AppResilientStore) destroyUnshared(set map[snapshot.Snapshottable]*snap
 // Restore restores every object of the committed checkpoint in parallel
 // (paper Listing 5, line 14: one restore() call recovers all saved
 // objects). Each object must already have been remade over the new place
-// group by the application's Restore method.
+// group by the application's Restore method. When the executor has
+// stashed the failure's dead-place set (setDead), objects implementing
+// snapshot.PartialRestorer restore only the fragments whose owner died;
+// surviving places keep their in-memory state. After a successful
+// restore, cached read-only snapshots whose replica placement degraded
+// (their group names a dead place) are re-taken from the just-restored
+// objects and swapped into both the cache and the committed checkpoint,
+// so a second failure cannot hit a half-replicated input that is alive
+// and re-snapshottable.
 func (s *AppResilientStore) Restore() error {
 	s.mu.Lock()
 	committed := s.committed
+	dead := s.dead
 	s.mu.Unlock()
 	if committed == nil {
 		return ErrNoSnapshot
@@ -261,7 +333,13 @@ func (s *AppResilientStore) Restore() error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := obj.RestoreSnapshot(snap); err != nil {
+			var err error
+			if pr, ok := obj.(snapshot.PartialRestorer); ok && len(dead) > 0 {
+				err = pr.RestoreSnapshotPartial(snap, dead)
+			} else {
+				err = obj.RestoreSnapshot(snap)
+			}
+			if err != nil {
 				emu.Lock()
 				errs = append(errs, err)
 				emu.Unlock()
@@ -271,6 +349,57 @@ func (s *AppResilientStore) Restore() error {
 	wg.Wait()
 	if len(errs) > 0 {
 		return fmt.Errorf("core: restore: %w", errors.Join(errs...))
+	}
+	if err := s.refreshDegradedReadOnly(); err != nil {
+		return err
+	}
+	s.setDead(nil)
+	return nil
+}
+
+// refreshDegradedReadOnly re-replicates cached read-only snapshots whose
+// snapshot-time group now names a dead place. The cached snapshot was
+// taken once and reused in every checkpoint, so after a group shrink it
+// would otherwise keep serving (and keep being committed) with a replica
+// set that is one failure away from data loss — for an object whose
+// state was just restored and can simply be snapshotted again. The fresh
+// snapshot replaces the stale one in the read-only cache and in the
+// committed checkpoint before the old one is destroyed.
+func (s *AppResilientStore) refreshDegradedReadOnly() error {
+	s.mu.Lock()
+	type stale struct {
+		obj  snapshot.Snapshottable
+		snap *snapshot.Snapshot
+	}
+	var degraded []stale
+	for obj, snap := range s.readOnly {
+		if snap.Degraded() {
+			degraded = append(degraded, stale{obj, snap})
+		}
+	}
+	s.mu.Unlock()
+	for _, d := range degraded {
+		fresh, err := d.obj.MakeSnapshot()
+		if err != nil {
+			return fmt.Errorf("core: re-replicating read-only object: %w", err)
+		}
+		s.mu.Lock()
+		if s.readOnly[d.obj] != d.snap {
+			// Raced with another refresh; keep theirs.
+			s.mu.Unlock()
+			fresh.Destroy()
+			continue
+		}
+		s.readOnly[d.obj] = fresh
+		if s.committed != nil && s.committed[d.obj] == d.snap {
+			s.committed[d.obj] = fresh
+		}
+		if s.pending != nil && s.pending[d.obj] == d.snap {
+			s.pending[d.obj] = fresh
+		}
+		s.roRefresh.Inc()
+		s.mu.Unlock()
+		d.snap.Destroy()
 	}
 	return nil
 }

@@ -1,0 +1,421 @@
+package dist
+
+import (
+	"testing"
+
+	"github.com/rgml/rgml/internal/apgas"
+	"github.com/rgml/rgml/internal/block"
+	"github.com/rgml/rgml/internal/la"
+	"github.com/rgml/rgml/internal/obs"
+)
+
+// newInstrumentedRT is newRT with an obs registry attached, so the delta
+// and partial-restore tests can assert traffic counters.
+func newInstrumentedRT(t *testing.T, places int) (*apgas.Runtime, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	rt, err := apgas.NewRuntime(apgas.Config{Places: places, Resilient: true, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Shutdown)
+	return rt, reg
+}
+
+// TestDistBlockMatrixDeltaSnapshotPerBlock checks delta granularity is per
+// block: after touching a single block, the next delta checkpoint re-ships
+// exactly that block and carries the rest, and restoring from the delta
+// chain reproduces the current content even after the baselines are gone.
+func TestDistBlockMatrixDeltaSnapshotPerBlock(t *testing.T) {
+	rt, reg := newInstrumentedRT(t, 4)
+	m, err := MakeDistBlockMatrix(rt, block.Dense, 8, 8, 2, 2, 2, 2, rt.World())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InitDense(func(i, j int) float64 { return float64(10*i + j) }); err != nil {
+		t.Fatal(err)
+	}
+	s1, err := m.MakeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Nothing changed: all four blocks carry.
+	s2, err := m.MakeDeltaSnapshot(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("snapshot.delta.carried").Value(); got != 4 {
+		t.Fatalf("delta.carried = %d, want 4", got)
+	}
+	if got := reg.Counter("snapshot.delta.saved").Value(); got != 0 {
+		t.Fatalf("delta.saved = %d, want 0", got)
+	}
+
+	// Mutate one block (through LocalBlocks, bumping its version): the
+	// next delta re-ships only that block.
+	err = apgas.ForEachPlace(rt, m.Group(), func(ctx *apgas.Ctx, idx int) {
+		m.LocalBlocks(ctx).Each(func(id int, b *block.MatrixBlock) {
+			if id == 0 {
+				b.Dense.Set(1, 1, -99)
+				b.Touch()
+			}
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3, err := m.MakeDeltaSnapshot(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("snapshot.delta.carried").Value(); got != 7 {
+		t.Fatalf("delta.carried = %d, want 7 (4 + 3)", got)
+	}
+	if got := reg.Counter("snapshot.delta.saved").Value(); got != 1 {
+		t.Fatalf("delta.saved = %d, want 1", got)
+	}
+
+	// The delta chain stands alone: destroy the baselines, scribble over
+	// the matrix, restore from the newest snapshot.
+	s1.Destroy()
+	s2.Destroy()
+	if err := m.Scale(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RestoreSnapshot(s3); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ToDense()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			want := float64(10*i + j)
+			if i == 1 && j == 1 {
+				want = -99
+			}
+			if got.At(i, j) != want {
+				t.Fatalf("restored[%d,%d] = %v, want %v", i, j, got.At(i, j), want)
+			}
+		}
+	}
+	s3.Destroy()
+}
+
+// TestDistBlockMatrixPartialRestoreRetained checks the surviving-place
+// path: after an in-position replacement, blocks retained through Remake
+// are kept when their digest matches the checkpoint, a survivor whose
+// content moved past the checkpoint is rolled back, and only those two
+// block payloads are loaded from the store.
+func TestDistBlockMatrixPartialRestoreRetained(t *testing.T) {
+	rt, reg := newInstrumentedRT(t, 5)
+	pg := apgas.PlaceGroup{rt.Place(0), rt.Place(1), rt.Place(2), rt.Place(3)}
+	m, err := MakeDistBlockMatrix(rt, block.Dense, 8, 8, 2, 2, 2, 2, pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InitDense(func(i, j int) float64 { return float64(i + j) }); err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.MakeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Destroy()
+
+	// One survivor (place 3's block) advances past the checkpoint.
+	err = apgas.ForEachPlace(rt, pg, func(ctx *apgas.Ctx, idx int) {
+		if idx != 3 {
+			return
+		}
+		m.LocalBlocks(ctx).Each(func(id int, b *block.MatrixBlock) {
+			b.Dense.Set(0, 0, 123)
+			b.Touch()
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill place 1, replace it in-position by the spare (place 4).
+	if err := rt.Kill(rt.Place(1)); err != nil {
+		t.Fatal(err)
+	}
+	newPG := apgas.PlaceGroup{rt.Place(0), rt.Place(4), rt.Place(2), rt.Place(3)}
+	if err := m.Remake(newPG, true); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("dist.remake.blocks.retained").Value(); got != 3 {
+		t.Fatalf("remake.blocks.retained = %d, want 3", got)
+	}
+
+	loadBytes0 := reg.Counter("snapshot.load.bytes").Value()
+	if err := m.RestoreSnapshotPartial(s, []apgas.Place{rt.Place(1)}); err != nil {
+		t.Fatal(err)
+	}
+	// Places 0 and 2 keep their blocks; the spare's block and the diverged
+	// survivor's block load.
+	if got := reg.Counter("dist.restore.partial.kept").Value(); got != 2 {
+		t.Errorf("partial.kept = %d, want 2", got)
+	}
+	if got := reg.Counter("dist.restore.partial.loaded").Value(); got != 2 {
+		t.Errorf("partial.loaded = %d, want 2", got)
+	}
+	if got := reg.Counter("snapshot.load.bytes").Value() - loadBytes0; got <= 0 || got > 2*int64(4*4*8+7*8+64) {
+		t.Errorf("snapshot.load.bytes = %d, want two block payloads", got)
+	}
+
+	// The content is the checkpoint's everywhere — including the diverged
+	// survivor, whose mutation was rolled back.
+	got, err := m.ToDense()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if got.At(i, j) != float64(i+j) {
+				t.Fatalf("restored[%d,%d] = %v, want %v", i, j, got.At(i, j), float64(i+j))
+			}
+		}
+	}
+}
+
+// TestDistVectorDeltaAndPartialRestore checks the DistVector delta path
+// (object-level version) and its surviving-place partial restore.
+func TestDistVectorDeltaAndPartialRestore(t *testing.T) {
+	rt, reg := newInstrumentedRT(t, 5)
+	pg := apgas.PlaceGroup{rt.Place(0), rt.Place(1), rt.Place(2), rt.Place(3)}
+	v, err := MakeDistVector(rt, 12, pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Init(func(i int) float64 { return float64(i) + 0.5 }); err != nil {
+		t.Fatal(err)
+	}
+	s1, err := v.MakeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Unchanged vector: every segment carries.
+	s2, err := v.MakeDeltaSnapshot(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("snapshot.delta.carried").Value(); got != 4 {
+		t.Fatalf("delta.carried = %d, want 4", got)
+	}
+	// A collective mutation bumps the version: everything re-ships.
+	if err := v.Scale(2); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := v.MakeDeltaSnapshot(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("snapshot.delta.saved").Value(); got != 4 {
+		t.Fatalf("delta.saved = %d, want 4", got)
+	}
+	s1.Destroy()
+	s2.Destroy()
+	defer s3.Destroy()
+
+	// Kill place 1, replace in-position, restore partially: three
+	// survivors keep their segments, only the replacement loads.
+	if err := rt.Kill(rt.Place(1)); err != nil {
+		t.Fatal(err)
+	}
+	newPG := apgas.PlaceGroup{rt.Place(0), rt.Place(4), rt.Place(2), rt.Place(3)}
+	if err := v.Remake(newPG); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("dist.remake.segments.retained").Value(); got != 3 {
+		t.Fatalf("remake.segments.retained = %d, want 3", got)
+	}
+	if err := v.RestoreSnapshotPartial(s3, []apgas.Place{rt.Place(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("dist.restore.partial.kept").Value(); got != 3 {
+		t.Errorf("partial.kept = %d, want 3", got)
+	}
+	if got := reg.Counter("dist.restore.partial.loaded").Value(); got != 1 {
+		t.Errorf("partial.loaded = %d, want 1", got)
+	}
+	got, err := v.ToVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if want := 2 * (float64(i) + 0.5); got[i] != want {
+			t.Fatalf("restored[%d] = %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+// TestDupVectorPartialRestoreBroadcasts checks the duplicated-object
+// partial restore: one validated survivor re-broadcasts to the places
+// that lost their duplicate, with zero snapshot loads — even when the
+// dead place is the snapshot's root saver.
+func TestDupVectorPartialRestoreBroadcasts(t *testing.T) {
+	rt, reg := newInstrumentedRT(t, 5)
+	// The group starts at place 1 so the root saver (pg[0]) is mortal;
+	// place 0 stands by as the replacement.
+	pg := apgas.PlaceGroup{rt.Place(1), rt.Place(2), rt.Place(3), rt.Place(4)}
+	v, err := MakeDupVector(rt, 6, pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Init(func(i int) float64 { return float64(i * i) }); err != nil {
+		t.Fatal(err)
+	}
+	s, err := v.MakeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Destroy()
+
+	// Kill the root saver itself: validation must probe the digest via the
+	// backup replica, and the broadcast source is a surviving duplicate.
+	if err := rt.Kill(rt.Place(1)); err != nil {
+		t.Fatal(err)
+	}
+	newPG := apgas.PlaceGroup{rt.Place(0), rt.Place(2), rt.Place(3), rt.Place(4)}
+	if err := v.Remake(newPG); err != nil {
+		t.Fatal(err)
+	}
+	loads0 := reg.Counter("snapshot.loads").Value()
+	if err := v.RestoreSnapshotPartial(s, []apgas.Place{rt.Place(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("dist.restore.partial.kept").Value(); got != 3 {
+		t.Errorf("partial.kept = %d, want 3", got)
+	}
+	if got := reg.Counter("dist.restore.partial.bcast").Value(); got != 1 {
+		t.Errorf("partial.bcast = %d, want 1", got)
+	}
+	if got := reg.Counter("snapshot.loads").Value(); got != loads0 {
+		t.Errorf("partial dup restore performed %d snapshot loads, want 0", got-loads0)
+	}
+	want := la.Vector{0, 1, 4, 9, 16, 25}
+	for idx := range newPG {
+		if got := readDupAt(t, v, idx); !got.EqualApprox(want, 0) {
+			t.Fatalf("duplicate at index %d = %v, want %v", idx, got, want)
+		}
+	}
+}
+
+// TestDupVectorDeltaAndDivergedSurvivorFallback checks the DupVector delta
+// carry and that a partial restore with no valid survivor (every retained
+// duplicate diverged from the checkpoint) falls back to the full restore.
+func TestDupVectorDeltaAndDivergedSurvivorFallback(t *testing.T) {
+	rt, reg := newInstrumentedRT(t, 5)
+	pg := apgas.PlaceGroup{rt.Place(0), rt.Place(1), rt.Place(2), rt.Place(3)}
+	v, err := MakeDupVector(rt, 6, pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Init(func(i int) float64 { return float64(i + 1) }); err != nil {
+		t.Fatal(err)
+	}
+	s1, err := v.MakeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := v.MakeDeltaSnapshot(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One logical copy stored: exactly one entry carries.
+	if got := reg.Counter("snapshot.delta.carried").Value(); got != 1 {
+		t.Fatalf("delta.carried = %d, want 1", got)
+	}
+	s1.Destroy()
+	defer s2.Destroy()
+
+	// Every duplicate advances past the checkpoint, then a failure hits:
+	// no survivor validates, so the partial restore degrades to loading
+	// duplicates from the store — and still lands on the checkpoint value.
+	if err := v.AllApply(func(local la.Vector) { local.CellAdd(10) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Kill(rt.Place(1)); err != nil {
+		t.Fatal(err)
+	}
+	newPG := apgas.PlaceGroup{rt.Place(0), rt.Place(4), rt.Place(2), rt.Place(3)}
+	if err := v.Remake(newPG); err != nil {
+		t.Fatal(err)
+	}
+	kept0 := reg.Counter("dist.restore.partial.kept").Value()
+	if err := v.RestoreSnapshotPartial(s2, []apgas.Place{rt.Place(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("dist.restore.partial.kept").Value(); got != kept0 {
+		t.Errorf("partial.kept moved by %d, want 0 (no survivor validates)", got-kept0)
+	}
+	want := la.Vector{1, 2, 3, 4, 5, 6}
+	for idx := range newPG {
+		if got := readDupAt(t, v, idx); !got.EqualApprox(want, 0) {
+			t.Fatalf("duplicate at index %d = %v, want %v", idx, got, want)
+		}
+	}
+}
+
+// TestDupDenseMatrixDeltaAndPartialRestore checks the duplicated dense
+// matrix delta carry and survivor-broadcast partial restore.
+func TestDupDenseMatrixDeltaAndPartialRestore(t *testing.T) {
+	rt, reg := newInstrumentedRT(t, 5)
+	pg := apgas.PlaceGroup{rt.Place(0), rt.Place(1), rt.Place(2), rt.Place(3)}
+	m, err := MakeDupDenseMatrix(rt, 3, 2, pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Init(func(i, j int) float64 { return float64(10*i + j) }); err != nil {
+		t.Fatal(err)
+	}
+	s1, err := m.MakeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := m.MakeDeltaSnapshot(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("snapshot.delta.carried").Value(); got != 1 {
+		t.Fatalf("delta.carried = %d, want 1", got)
+	}
+	s1.Destroy()
+	defer s2.Destroy()
+
+	if err := rt.Kill(rt.Place(2)); err != nil {
+		t.Fatal(err)
+	}
+	newPG := apgas.PlaceGroup{rt.Place(0), rt.Place(1), rt.Place(4), rt.Place(3)}
+	if err := m.Remake(newPG); err != nil {
+		t.Fatal(err)
+	}
+	loads0 := reg.Counter("snapshot.loads").Value()
+	if err := m.RestoreSnapshotPartial(s2, []apgas.Place{rt.Place(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("dist.restore.partial.kept").Value(); got != 3 {
+		t.Errorf("partial.kept = %d, want 3", got)
+	}
+	if got := reg.Counter("dist.restore.partial.bcast").Value(); got != 1 {
+		t.Errorf("partial.bcast = %d, want 1", got)
+	}
+	if got := reg.Counter("snapshot.loads").Value(); got != loads0 {
+		t.Errorf("partial dup restore performed %d snapshot loads, want 0", got-loads0)
+	}
+	for idx := range newPG {
+		got := readDupDenseAt(t, m, idx)
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 2; j++ {
+				if got.At(i, j) != float64(10*i+j) {
+					t.Fatalf("duplicate %d at [%d,%d] = %v, want %v", idx, i, j, got.At(i, j), float64(10*i+j))
+				}
+			}
+		}
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"github.com/rgml/rgml/internal/apgas"
+	"github.com/rgml/rgml/internal/block"
 	"github.com/rgml/rgml/internal/codec"
 	"github.com/rgml/rgml/internal/la"
 	"github.com/rgml/rgml/internal/snapshot"
@@ -47,9 +48,63 @@ func encodeVector(v la.Vector) []byte {
 // encode into a pooled, exactly-sized buffer with the CRC-32C folded into
 // the encode pass, then hand the buffer to the snapshot store.
 func saveVector(ctx *apgas.Ctx, s *snapshot.Snapshot, key int, v la.Vector) {
+	enc := encodeVectorPooled(v)
+	s.SaveEncoded(ctx, key, enc)
+}
+
+// encodeVectorPooled encodes a vector fragment into a pooled encoder.
+func encodeVectorPooled(v la.Vector) *codec.Encoder {
 	enc := codec.NewEncoder(codec.SizeFloat64s(len(v)))
 	enc.PutFloat64s(v)
-	s.SaveEncoded(ctx, key, &enc)
+	return &enc
+}
+
+// saveVectorDelta is saveVector against a previous checkpoint (see
+// Snapshot.SaveDelta): the fragment is re-encoded and re-shipped only if
+// ver moved since prev recorded it, or its bytes actually changed.
+func saveVectorDelta(ctx *apgas.Ctx, s, prev *snapshot.Snapshot, key int, ver uint64, v la.Vector) {
+	s.SaveDelta(ctx, key, ver, prev, func() *codec.Encoder { return encodeVectorPooled(v) })
+}
+
+// validateRetainedVector checks a surviving place's in-memory fragment
+// against the snapshot digest for key: sizes first, then a local
+// re-encode whose CRC must match the stored sum. Used by the partial
+// restore paths to keep survivor state instead of re-loading it.
+func validateRetainedVector(ctx *apgas.Ctx, s *snapshot.Snapshot, key, ownerIdx int, v la.Vector) bool {
+	sum, size, err := s.Digest(ctx, key, ownerIdx)
+	if err != nil || size != codec.SizeFloat64s(len(v)) {
+		return false
+	}
+	enc := encodeVectorPooled(v)
+	ok := enc.Len() == size && enc.Sum() == sum
+	codec.PutBuffer(enc.Bytes())
+	return ok
+}
+
+// validateRetainedBlock checks a surviving place's in-memory block
+// against the snapshot digest for key: sizes first, then a local
+// re-encode whose CRC must match the stored sum.
+func validateRetainedBlock(ctx *apgas.Ctx, s *snapshot.Snapshot, key, ownerIdx int, b *block.MatrixBlock) bool {
+	sum, size, err := s.Digest(ctx, key, ownerIdx)
+	if err != nil || size != b.EncodedSize() {
+		return false
+	}
+	enc := codec.NewEncoder(b.EncodedSize())
+	b.EncodeInto(&enc)
+	ok := enc.Len() == size && enc.Sum() == sum
+	codec.PutBuffer(enc.Bytes())
+	return ok
+}
+
+// decodeVectorInto deserializes a vector fragment into dst's backing
+// storage when the lengths match (the same-segmentation restore path),
+// avoiding a fresh allocation.
+func decodeVectorInto(dst la.Vector, b []byte) (la.Vector, error) {
+	vs, _, err := codec.Float64sInto(dst, b)
+	if err != nil {
+		return nil, fmt.Errorf("dist: decode vector: %w", err)
+	}
+	return vs, nil
 }
 
 // decodeVector deserializes a vector fragment.

@@ -79,6 +79,7 @@ func (m *DistBlockMatrix) TransMultMatrix(other *DistBlockMatrix, out *DupDenseM
 	if !sameGroups(m.pg, out.Group()) {
 		return fmt.Errorf("dist: TransMultMatrix: %w", ErrGroupMismatch)
 	}
+	out.MarkDirty()
 	scratch, err := m.matScratch()
 	if err != nil {
 		return err
@@ -196,6 +197,7 @@ func (m *DistBlockMatrix) MultDupMatrix(h *DupDenseMatrix, out *DistBlockMatrix)
 				apgas.Throw(fmt.Errorf("dist: MultDupMatrix: block %d missing in out", id))
 			}
 			a.Dense.Mult(hl, o.Dense)
+			o.Touch()
 		})
 	})
 }
@@ -227,6 +229,7 @@ func (m *DistBlockMatrix) MultDupTranspose(h *DupDenseMatrix, out *DistBlockMatr
 			}
 			o.Dense.Zero()
 			la.AccumSparseMultDenseT(v.Sparse, hl, o.Dense)
+			o.Touch()
 		})
 	})
 }
@@ -251,6 +254,7 @@ func ZipBlocks(dst, a, b *DistBlockMatrix, fn func(dst, a, b *block.MatrixBlock)
 				apgas.Throw(fmt.Errorf("dist: ZipBlocks: block %d missing", id))
 			}
 			fn(d, ab, bb)
+			d.Touch()
 		})
 	})
 }

@@ -8,6 +8,7 @@ import (
 	"github.com/rgml/rgml/internal/block"
 	"github.com/rgml/rgml/internal/grid"
 	"github.com/rgml/rgml/internal/la"
+	"github.com/rgml/rgml/internal/obs"
 )
 
 // DistBlockMatrix partitions a matrix into a data grid of blocks and
@@ -84,10 +85,33 @@ func MakeDistBlockMatrix(rt *apgas.Runtime, kind block.Kind, rows, cols, rowBloc
 // alloc (re)allocates the per-place block sets for the current grid and
 // distribution.
 func (m *DistBlockMatrix) alloc() error {
+	return m.allocReusing(apgas.PlaceLocalHandle[*block.BlockSet]{}, nil)
+}
+
+// allocReusing allocates the per-place block sets, moving blocks out of
+// old (the handle from before a Remake) wherever a surviving place still
+// owns the same block of the same grid. Retained blocks keep their
+// payload allocations and are flagged for partial restore, which
+// validates them against the snapshot instead of re-loading them. Fresh
+// places, and blocks whose owner changed, get zeroed blocks as before.
+func (m *DistBlockMatrix) allocReusing(old apgas.PlaceLocalHandle[*block.BlockSet], retained *obs.Counter) error {
+	reuse := old.Valid()
 	plh, err := apgas.NewPlaceLocalHandle(m.rt, m.pg, func(ctx *apgas.Ctx, idx int) *block.BlockSet {
 		bs := block.NewBlockSet()
+		var prev *block.BlockSet
+		if reuse {
+			prev, _ = old.TryLocal(ctx)
+		}
 		for _, id := range m.dg.BlocksOf(idx) {
 			rb, cb := m.g.BlockCoords(id)
+			if prev != nil {
+				if ob := prev.Find(id); ob != nil && ob.RB == rb && ob.CB == cb {
+					ob.Retained = true
+					retained.Inc()
+					bs.Add(id, ob)
+					continue
+				}
+			}
 			if m.kind == block.Dense {
 				bs.Add(id, block.NewDenseBlock(m.g, rb, cb))
 			} else {
@@ -121,8 +145,21 @@ func (m *DistBlockMatrix) Dist() *grid.DistGrid { return m.dg }
 // Group returns the place group the matrix is distributed over.
 func (m *DistBlockMatrix) Group() apgas.PlaceGroup { return m.pg }
 
-// LocalBlocks returns the calling place's block set.
+// LocalBlocks returns the calling place's block set. Code that writes
+// into the blocks' payloads directly must bump their versions — either
+// per block via MatrixBlock.Touch or wholesale via MarkDirty — or delta
+// checkpoints fall back to (and depend on) the CRC comparison.
 func (m *DistBlockMatrix) LocalBlocks(ctx *apgas.Ctx) *block.BlockSet { return m.plh.Local(ctx) }
+
+// MarkDirty bumps every block's content version, forcing the next delta
+// checkpoint to re-examine (and, if changed, re-ship) the whole matrix.
+// It is the coarse hook for code that mutated blocks through LocalBlocks
+// without calling Touch on each one.
+func (m *DistBlockMatrix) MarkDirty() error {
+	return apgas.ForEachPlace(m.rt, m.pg, func(ctx *apgas.Ctx, idx int) {
+		m.plh.Local(ctx).Each(func(id int, b *block.MatrixBlock) { b.Touch() })
+	})
+}
 
 // Bytes returns the total payload bytes of all blocks (via the grid, not a
 // collective: dense payloads are fully determined by geometry; for sparse
@@ -157,6 +194,7 @@ func (m *DistBlockMatrix) InitDense(fn func(i, j int) float64) error {
 					b.Dense.Set(i, j, fn(b.Row0+i, b.Col0+j))
 				}
 			}
+			b.Touch()
 		})
 	})
 }
@@ -199,6 +237,7 @@ func (m *DistBlockMatrix) InitSparseColumns(fn func(j int) (rows []int, vals []f
 			}
 			for _, b := range blocks {
 				b.Sparse = la.NewSparseCSCFromTriplets(b.Rows, b.Cols, triplets[b])
+				b.Touch()
 			}
 		}
 	})
@@ -332,7 +371,16 @@ func (m *DistBlockMatrix) Remake(newPG apgas.PlaceGroup, keepGrid bool) error {
 	if newPG.Size() == 0 {
 		return fmt.Errorf("dist: DistBlockMatrix.Remake: empty place group")
 	}
-	m.plh.Destroy(m.pg)
+	// With keepGrid, blocks that stay at a surviving place are moved into
+	// the new handle instead of being re-zeroed (allocReusing): their
+	// payloads survive for partial restore to validate, and the restore
+	// that follows a Remake overwrites whatever it does not validate. The
+	// old handle is destroyed only after the new one is built.
+	oldPLH, oldPG := m.plh, m.pg
+	if !keepGrid {
+		oldPLH = apgas.PlaceLocalHandle[*block.BlockSet]{}
+		m.plh.Destroy(m.pg)
+	}
 	if m.scratchOK {
 		m.scratch.Destroy(m.pg)
 		m.scratchOK = false
@@ -375,10 +423,13 @@ func (m *DistBlockMatrix) Remake(newPG apgas.PlaceGroup, keepGrid bool) error {
 		m.dg = dg
 	}
 	m.pg = newPG.Clone()
-	if err := m.alloc(); err != nil {
+	reg := m.rt.Obs()
+	if err := m.allocReusing(oldPLH, reg.Counter("dist.remake.blocks.retained")); err != nil {
 		return err
 	}
-	reg := m.rt.Obs()
+	if oldPLH.Valid() {
+		oldPLH.Destroy(oldPG)
+	}
 	reg.Counter("dist.matrix.remakes").Inc()
 	kept := int64(0)
 	if keepGrid {

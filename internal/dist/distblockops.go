@@ -45,6 +45,7 @@ func (m *DistBlockMatrix) MultVec(x *DupVector, y *DistVector) error {
 	if !sameGroups(m.pg, x.Group()) || !sameGroups(m.pg, y.Group()) {
 		return fmt.Errorf("dist: MultVec: %w", ErrGroupMismatch)
 	}
+	y.MarkDirty()
 	scratch, err := m.scratchPartials()
 	if err != nil {
 		return err
@@ -118,6 +119,7 @@ func (m *DistBlockMatrix) TransMultVec(x *DistVector, z *DupVector) error {
 	if !sameGroups(m.pg, x.Group()) || !sameGroups(m.pg, z.Group()) {
 		return fmt.Errorf("dist: TransMultVec: %w", ErrGroupMismatch)
 	}
+	z.MarkDirty()
 	scratch, err := m.scratchPartials()
 	if err != nil {
 		return err

@@ -61,6 +61,124 @@ func saveBlock(ctx *apgas.Ctx, s *snapshot.Snapshot, id int, b *block.MatrixBloc
 	s.SaveEncoded(ctx, id, &enc)
 }
 
+// saveBlockDelta is saveBlock against a previous checkpoint: the block is
+// re-encoded (and re-shipped) only if its content version moved since
+// prev recorded it, with the store's CRC comparison as the backstop for
+// unversioned mutations.
+func saveBlockDelta(ctx *apgas.Ctx, s, prev *snapshot.Snapshot, id int, b *block.MatrixBlock) {
+	s.SaveDelta(ctx, id, b.Ver, prev, func() *codec.Encoder {
+		enc := codec.NewEncoder(b.EncodedSize())
+		b.EncodeInto(&enc)
+		return &enc
+	})
+}
+
+// MakeDeltaSnapshot implements snapshot.DirtyTracker: blocks unchanged
+// since prev (same content version, or identical bytes) are carried into
+// the new snapshot by reference instead of being re-encoded and
+// re-shipped. Applicable only when prev describes the same group, grid
+// and distribution; anything else degrades to a full MakeSnapshot.
+func (m *DistBlockMatrix) MakeDeltaSnapshot(prev *snapshot.Snapshot) (*snapshot.Snapshot, error) {
+	if !m.deltaApplicable(prev) {
+		return m.MakeSnapshot()
+	}
+	s, err := snapshot.NewWithOptions(m.rt, m.pg, snapshot.Options{})
+	if err != nil {
+		return nil, err
+	}
+	s.SetMeta(prev.Meta())
+	err = apgas.ForEachPlace(m.rt, m.pg, func(ctx *apgas.Ctx, idx int) {
+		bs := m.plh.Local(ctx)
+		if bs.Len() <= 1 {
+			bs.Each(func(id int, b *block.MatrixBlock) { saveBlockDelta(ctx, s, prev, id, b) })
+			return
+		}
+		bs.Each(func(id int, b *block.MatrixBlock) {
+			ctx.AsyncAt(ctx.Here, func(c *apgas.Ctx) { saveBlockDelta(c, s, prev, id, b) })
+		})
+	})
+	if err != nil {
+		s.Destroy()
+		return nil, err
+	}
+	return s, nil
+}
+
+// deltaApplicable reports whether prev can serve as the baseline of a
+// delta snapshot: same group, same grid, and the same block→place
+// mapping (a carried entry must keep its owner, or restores would look
+// up replicas at the wrong places).
+func (m *DistBlockMatrix) deltaApplicable(prev *snapshot.Snapshot) bool {
+	if prev == nil || !prev.Group().Equal(m.pg) {
+		return false
+	}
+	meta, err := decodeSnapMeta(prev.Meta())
+	if err != nil || meta.kind != m.kind || !meta.oldGrid.Equal(m.g) {
+		return false
+	}
+	for id, p := range meta.placeOf {
+		if p != m.dg.PlaceOf[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// RestoreSnapshotPartial implements snapshot.PartialRestorer: on the
+// same-grid path, blocks whose payload survived the Remake (retained at
+// a surviving place) are kept if a local re-encode matches the
+// snapshot's digest — only blocks owned by fresh places, or whose
+// content moved past the checkpoint, are loaded from the store. Regrid
+// restores always rebuild everything.
+func (m *DistBlockMatrix) RestoreSnapshotPartial(s *snapshot.Snapshot, dead []apgas.Place) error {
+	meta, err := decodeSnapMeta(s.Meta())
+	if err != nil {
+		return err
+	}
+	if meta.kind != m.kind || meta.rows != m.rows || meta.cols != m.cols {
+		return fmt.Errorf("dist: restore %v %dx%d from snapshot of %v %dx%d: %w",
+			m.kind, m.rows, m.cols, meta.kind, meta.rows, meta.cols, ErrShapeMismatch)
+	}
+	if !meta.oldGrid.Equal(m.g) {
+		return m.restoreRegrid(s, meta)
+	}
+	reg := m.rt.Obs()
+	kept := reg.Counter("dist.restore.partial.kept")
+	keptBytes := reg.Counter("dist.restore.partial.bytes.kept")
+	loaded := reg.Counter("dist.restore.partial.loaded")
+	return apgas.ForEachPlace(m.rt, m.pg, func(ctx *apgas.Ctx, idx int) {
+		m.plh.Local(ctx).Each(func(id int, b *block.MatrixBlock) {
+			if b.Retained && m.validateRetained(ctx, s, meta, id, b) {
+				b.Retained = false
+				kept.Inc()
+				keptBytes.Add(int64(b.EncodedSize()))
+				return
+			}
+			if err := m.loadBlock(ctx, s, meta, id, b); err != nil {
+				apgas.Throw(err)
+			}
+			b.Retained = false
+			loaded.Inc()
+		})
+	})
+}
+
+// validateRetained checks a surviving block's in-memory payload against
+// the snapshot: sizes first (free), then a local re-encode whose CRC
+// must equal the stored digest. A survivor whose state advanced past the
+// checkpoint fails the comparison and is re-loaded like any lost block.
+func (m *DistBlockMatrix) validateRetained(ctx *apgas.Ctx, s *snapshot.Snapshot, meta *snapMeta, id int, b *block.MatrixBlock) bool {
+	sum, size, err := s.Digest(ctx, id, meta.placeOf[id])
+	if err != nil || size != b.EncodedSize() {
+		return false
+	}
+	enc := codec.NewEncoder(b.EncodedSize())
+	b.EncodeInto(&enc)
+	ok := enc.Len() == size && enc.Sum() == sum
+	codec.PutBuffer(enc.Bytes())
+	return ok
+}
+
 // snapMeta is the decoded snapshot descriptor.
 type snapMeta struct {
 	kind       block.Kind
@@ -117,25 +235,34 @@ func (m *DistBlockMatrix) RestoreSnapshot(s *snapshot.Snapshot) error {
 }
 
 // restoreSameGrid copies whole blocks: each place loads every block it now
-// owns directly from the snapshot replica of the block's old owner.
+// owns directly from the snapshot replica of the block's old owner,
+// decoding into the block's existing payload allocation (DecodeInto).
+// Installing the decoded slices instead would drop the block's pooled
+// backing — the first checkpoint after every restore would then allocate
+// every payload afresh — and would alias the regrid decode cache's
+// buffers into live blocks.
 func (m *DistBlockMatrix) restoreSameGrid(s *snapshot.Snapshot, meta *snapMeta) error {
 	return apgas.ForEachPlace(m.rt, m.pg, func(ctx *apgas.Ctx, idx int) {
 		m.plh.Local(ctx).Each(func(id int, b *block.MatrixBlock) {
-			data, err := s.Load(ctx, id, meta.placeOf[id])
-			if err != nil {
+			if err := m.loadBlock(ctx, s, meta, id, b); err != nil {
 				apgas.Throw(err)
 			}
-			old, err := block.Decode(data)
-			if err != nil {
-				apgas.Throw(err)
-			}
-			if old.Rows != b.Rows || old.Cols != b.Cols {
-				apgas.Throw(fmt.Errorf("dist: restored block %d is %dx%d, want %dx%d",
-					id, old.Rows, old.Cols, b.Rows, b.Cols))
-			}
-			b.Dense, b.Sparse = old.Dense, old.Sparse
+			b.Retained = false
 		})
 	})
+}
+
+// loadBlock fetches block id from the snapshot and overwrites b's payload
+// in place.
+func (m *DistBlockMatrix) loadBlock(ctx *apgas.Ctx, s *snapshot.Snapshot, meta *snapMeta, id int, b *block.MatrixBlock) error {
+	data, err := s.Load(ctx, id, meta.placeOf[id])
+	if err != nil {
+		return err
+	}
+	if err := block.DecodeInto(b, data); err != nil {
+		return fmt.Errorf("dist: restoring block %d: %w", id, err)
+	}
+	return nil
 }
 
 // restoreRegrid reassembles each new block from the overlapping regions of
@@ -164,6 +291,8 @@ func (m *DistBlockMatrix) restoreRegrid(s *snapshot.Snapshot, meta *snapMeta) er
 			return b
 		}
 		m.plh.Local(ctx).Each(func(id int, nb *block.MatrixBlock) {
+			nb.Retained = false
+			nb.Touch()
 			overlaps := m.g.Overlaps(oldG, nb.RB, nb.CB)
 			if m.kind == block.Dense {
 				for _, ov := range overlaps {

@@ -21,6 +21,15 @@ type DistVector struct {
 	segSizes []int
 	segOffs  []int // len = pg.Size()+1
 	plh      apgas.PlaceLocalHandle[la.Vector]
+	// ver is the vector's content version for delta checkpointing: every
+	// collective that may write the segments bumps it (MarkDirty for
+	// direct Local mutation). Segments are mutated collectively, so one
+	// object-level version covers all of them.
+	ver uint64
+	// retained[idx] marks a segment whose storage survived a Remake at
+	// the same place and group index; partial restore validates it
+	// against the snapshot digest instead of re-loading it.
+	retained []bool
 }
 
 // MakeDistVector creates a zeroed distributed vector of length n over pg.
@@ -56,11 +65,19 @@ func (v *DistVector) SegmentOf(idx int) (off, size int) {
 	return v.segOffs[idx], v.segSizes[idx]
 }
 
-// Local returns the calling place's segment.
+// Local returns the calling place's segment. Code that writes into it
+// directly must call MarkDirty, or delta checkpoints fall back to (and
+// depend on) the CRC comparison.
 func (v *DistVector) Local(ctx *apgas.Ctx) la.Vector { return v.plh.Local(ctx) }
+
+// MarkDirty records that segment contents were mutated outside the
+// vector's own collectives, forcing the next delta checkpoint to
+// re-examine them.
+func (v *DistVector) MarkDirty() { v.ver++ }
 
 // Init sets element i to fn(i) at its owning place.
 func (v *DistVector) Init(fn func(i int) float64) error {
+	v.ver++
 	return apgas.ForEachPlace(v.rt, v.pg, func(ctx *apgas.Ctx, idx int) {
 		seg := v.plh.Local(ctx)
 		off := v.segOffs[idx]
@@ -73,6 +90,7 @@ func (v *DistVector) Init(fn func(i int) float64) error {
 // ApplyLocal runs fn on every segment in parallel, passing the segment's
 // global offset.
 func (v *DistVector) ApplyLocal(fn func(seg la.Vector, off int)) error {
+	v.ver++
 	return apgas.ForEachPlace(v.rt, v.pg, func(ctx *apgas.Ctx, idx int) {
 		fn(v.plh.Local(ctx), v.segOffs[idx])
 	})
@@ -93,6 +111,8 @@ func (v *DistVector) ZipApplyLocal(w *DistVector, fn func(a, b la.Vector, off in
 	if v.n != w.n {
 		return fmt.Errorf("dist: ZipApplyLocal %d vs %d: %w", v.n, w.n, ErrShapeMismatch)
 	}
+	v.ver++
+	w.ver++
 	return apgas.ForEachPlace(v.rt, v.pg, func(ctx *apgas.Ctx, idx int) {
 		fn(v.plh.Local(ctx), w.plh.Local(ctx), v.segOffs[idx])
 	})
@@ -107,6 +127,8 @@ func (v *DistVector) ZipDup(w *DupVector, fn func(seg, dupSeg la.Vector, off int
 	if v.n != w.n {
 		return fmt.Errorf("dist: ZipDup %d vs %d: %w", v.n, w.n, ErrShapeMismatch)
 	}
+	v.ver++
+	w.ver++
 	return apgas.ForEachPlace(v.rt, v.pg, func(ctx *apgas.Ctx, idx int) {
 		off := v.segOffs[idx]
 		seg := v.plh.Local(ctx)
@@ -219,6 +241,7 @@ func (v *DistVector) GatherTo(dup *DupVector) error {
 	if !sameGroups(v.pg, dup.pg) {
 		return fmt.Errorf("dist: GatherTo: %w", ErrGroupMismatch)
 	}
+	dup.ver++
 	return v.rt.Finish(func(ctx *apgas.Ctx) {
 		ctx.At(v.pg[0], func(root *apgas.Ctx) {
 			dst := dup.Local(root)
@@ -256,26 +279,43 @@ func (v *DistVector) ToVector() (la.Vector, error) {
 	return out, nil
 }
 
-// Remake redistributes the vector (zeroed) over a new place group,
-// recomputing the segmentation (classes that assign one segment per place
-// must recalculate their data grid when the group changes — paper section
-// IV-A2).
+// Remake redistributes the vector over a new place group, recomputing
+// the segmentation (classes that assign one segment per place must
+// recalculate their data grid when the group changes — paper section
+// IV-A2). When the new group has the same size, segments whose owning
+// place is unchanged are carried over with their contents and marked
+// retained, so a following partial restore can validate them against the
+// checkpoint instead of re-loading; all other segments come up zeroed.
+// The caller is expected to restore or overwrite the vector before
+// reading it.
 func (v *DistVector) Remake(newPG apgas.PlaceGroup) error {
 	if newPG.Size() == 0 || newPG.Size() > v.n {
 		return fmt.Errorf("dist: DistVector.Remake over %d places", newPG.Size())
 	}
-	v.plh.Destroy(v.pg)
+	oldPLH, oldPG := v.plh, v.pg
 	segSizes := grid.Split(v.n, newPG.Size())
+	retained := make([]bool, newPG.Size())
+	sameSize := newPG.Size() == oldPG.Size()
+	retCtr := v.rt.Obs().Counter("dist.remake.segments.retained")
 	plh, err := apgas.NewPlaceLocalHandle(v.rt, newPG, func(ctx *apgas.Ctx, idx int) la.Vector {
+		if sameSize && newPG[idx] == oldPG[idx] {
+			if old, ok := oldPLH.TryLocal(ctx); ok && len(old) == segSizes[idx] {
+				retained[idx] = true
+				retCtr.Inc()
+				return old
+			}
+		}
 		return la.NewVector(segSizes[idx])
 	})
 	if err != nil {
 		return err
 	}
+	oldPLH.Destroy(oldPG)
 	v.pg = newPG.Clone()
 	v.segSizes = segSizes
 	v.segOffs = grid.Offsets(segSizes)
 	v.plh = plh
+	v.retained = retained
 	return nil
 }
 
@@ -292,6 +332,33 @@ func (v *DistVector) MakeSnapshot() (*snapshot.Snapshot, error) {
 	s.SetMeta(meta)
 	err = apgas.ForEachPlace(v.rt, v.pg, func(ctx *apgas.Ctx, idx int) {
 		saveVector(ctx, s, idx, v.plh.Local(ctx))
+	})
+	if err != nil {
+		s.Destroy()
+		return nil, err
+	}
+	return s, nil
+}
+
+// MakeDeltaSnapshot implements snapshot.DirtyTracker: segments whose
+// version is unchanged since prev (or whose bytes compare equal) are
+// carried forward by reference instead of re-encoded and re-shipped.
+// Falls back to a full snapshot when prev does not cover the current
+// place group.
+func (v *DistVector) MakeDeltaSnapshot(prev *snapshot.Snapshot) (*snapshot.Snapshot, error) {
+	if prev == nil || !prev.Group().Equal(v.pg) {
+		return v.MakeSnapshot()
+	}
+	s, err := snapshot.New(v.rt, v.pg)
+	if err != nil {
+		return nil, err
+	}
+	meta := codec.AppendInt(nil, v.n)
+	meta = codec.AppendInts(meta, v.segSizes)
+	s.SetMeta(meta)
+	ver := v.ver
+	err = apgas.ForEachPlace(v.rt, v.pg, func(ctx *apgas.Ctx, idx int) {
+		saveVectorDelta(ctx, s, prev, idx, ver, v.plh.Local(ctx))
 	})
 	if err != nil {
 		s.Destroy()
@@ -321,14 +388,18 @@ func (v *DistVector) RestoreSnapshot(s *snapshot.Snapshot) error {
 
 	sameSeg := len(oldSizes) == v.pg.Size()
 	return apgas.ForEachPlace(v.rt, v.pg, func(ctx *apgas.Ctx, idx int) {
+		if idx < len(v.retained) {
+			v.retained[idx] = false
+		}
 		seg := v.plh.Local(ctx)
 		if sameSeg {
-			// Same segmentation: whole-segment copy.
+			// Same segmentation: decode straight into the existing
+			// segment storage.
 			data, err := s.Load(ctx, idx, idx)
 			if err != nil {
 				apgas.Throw(err)
 			}
-			old, err := decodeVector(data)
+			old, err := decodeVectorInto(seg, data)
 			if err != nil {
 				apgas.Throw(err)
 			}
@@ -354,5 +425,54 @@ func (v *DistVector) RestoreSnapshot(s *snapshot.Snapshot) error {
 			}
 			copy(seg[lo-off:hi-off], old[lo-o0:hi-o0])
 		}
+	})
+}
+
+// RestoreSnapshotPartial implements snapshot.PartialRestorer: on a
+// same-segmentation restore, segments retained through the preceding
+// Remake are validated against the checkpoint digest (a local re-encode
+// whose CRC must match the stored sum) and kept in place when they
+// match; only segments whose owner died — or whose survivor state
+// diverged from the checkpoint — are loaded from the store. Falls back
+// to the full restore when the segmentation changed.
+func (v *DistVector) RestoreSnapshotPartial(s *snapshot.Snapshot, dead []apgas.Place) error {
+	n, rest, err := codec.Int(s.Meta())
+	if err != nil {
+		return fmt.Errorf("dist: DistVector restore meta: %w", err)
+	}
+	oldSizes, _, err := codec.Ints(rest)
+	if err != nil {
+		return fmt.Errorf("dist: DistVector restore meta: %w", err)
+	}
+	if n != v.n {
+		return fmt.Errorf("dist: DistVector restore length %d, want %d: %w", n, v.n, ErrShapeMismatch)
+	}
+	if len(oldSizes) != v.pg.Size() {
+		return v.RestoreSnapshot(s)
+	}
+	reg := v.rt.Obs()
+	kept := reg.Counter("dist.restore.partial.kept")
+	keptBytes := reg.Counter("dist.restore.partial.bytes.kept")
+	loaded := reg.Counter("dist.restore.partial.loaded")
+	return apgas.ForEachPlace(v.rt, v.pg, func(ctx *apgas.Ctx, idx int) {
+		seg := v.plh.Local(ctx)
+		if idx < len(v.retained) && v.retained[idx] {
+			v.retained[idx] = false
+			if validateRetainedVector(ctx, s, idx, idx, seg) {
+				kept.Inc()
+				keptBytes.Add(int64(codec.SizeFloat64s(len(seg))))
+				return
+			}
+		}
+		data, err := s.Load(ctx, idx, idx)
+		if err != nil {
+			apgas.Throw(err)
+		}
+		old, err := decodeVectorInto(seg, data)
+		if err != nil {
+			apgas.Throw(err)
+		}
+		seg.CopyFrom(old)
+		loaded.Inc()
 	})
 }

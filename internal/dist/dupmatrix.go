@@ -5,6 +5,7 @@ import (
 
 	"github.com/rgml/rgml/internal/apgas"
 	"github.com/rgml/rgml/internal/block"
+	"github.com/rgml/rgml/internal/codec"
 	"github.com/rgml/rgml/internal/la"
 	"github.com/rgml/rgml/internal/snapshot"
 )
@@ -16,6 +17,13 @@ type DupDenseMatrix struct {
 	rows, cols int
 	pg         apgas.PlaceGroup
 	plh        apgas.PlaceLocalHandle[*la.DenseMatrix]
+	// ver is the logical content version for delta checkpointing (see
+	// DupVector: the snapshot stores one copy, so ver tracks the logical
+	// value; MarkDirty covers direct Local mutation).
+	ver uint64
+	// retained[idx] marks a duplicate whose storage survived a Remake at
+	// the same place (see DupVector.retained).
+	retained []bool
 }
 
 // MakeDupDenseMatrix creates a zeroed duplicated rows×cols dense matrix.
@@ -44,12 +52,20 @@ func (m *DupDenseMatrix) Cols() int { return m.cols }
 // Group returns the place group.
 func (m *DupDenseMatrix) Group() apgas.PlaceGroup { return m.pg }
 
-// Local returns the calling place's duplicate.
+// Local returns the calling place's duplicate. Code that writes into it
+// directly must call MarkDirty, or delta checkpoints fall back to (and
+// depend on) the CRC comparison.
 func (m *DupDenseMatrix) Local(ctx *apgas.Ctx) *la.DenseMatrix { return m.plh.Local(ctx) }
+
+// MarkDirty records that the matrix's logical value was mutated outside
+// its own collectives, forcing the next delta checkpoint to re-examine
+// it.
+func (m *DupDenseMatrix) MarkDirty() { m.ver++ }
 
 // Init fills every duplicate with fn(i, j), evaluated redundantly at each
 // place.
 func (m *DupDenseMatrix) Init(fn func(i, j int) float64) error {
+	m.ver++
 	return apgas.ForEachPlace(m.rt, m.pg, func(ctx *apgas.Ctx, idx int) {
 		local := m.plh.Local(ctx)
 		for j := 0; j < m.cols; j++ {
@@ -63,6 +79,7 @@ func (m *DupDenseMatrix) Init(fn func(i, j int) float64) error {
 // AllApply runs fn on the duplicate at every place; fn must be
 // deterministic to keep the duplicates identical.
 func (m *DupDenseMatrix) AllApply(fn func(local *la.DenseMatrix)) error {
+	m.ver++
 	return apgas.ForEachPlace(m.rt, m.pg, func(ctx *apgas.Ctx, idx int) {
 		fn(m.plh.Local(ctx))
 	})
@@ -86,6 +103,8 @@ func (m *DupDenseMatrix) ZipAll(x *DupDenseMatrix, fn func(a, b *la.DenseMatrix)
 	if !sameGroups(m.pg, x.pg) {
 		return fmt.Errorf("dist: DupDenseMatrix.ZipAll: %w", ErrGroupMismatch)
 	}
+	m.ver++
+	x.ver++
 	return apgas.ForEachPlace(m.rt, m.pg, func(ctx *apgas.Ctx, idx int) {
 		fn(m.plh.Local(ctx), x.plh.Local(ctx))
 	})
@@ -97,6 +116,9 @@ func (m *DupDenseMatrix) ZipAll2(x, y *DupDenseMatrix, fn func(a, b, c *la.Dense
 	if !sameGroups(m.pg, x.pg) || !sameGroups(m.pg, y.pg) {
 		return fmt.Errorf("dist: DupDenseMatrix.ZipAll2: %w", ErrGroupMismatch)
 	}
+	m.ver++
+	x.ver++
+	y.ver++
 	return apgas.ForEachPlace(m.rt, m.pg, func(ctx *apgas.Ctx, idx int) {
 		fn(m.plh.Local(ctx), x.plh.Local(ctx), y.plh.Local(ctx))
 	})
@@ -135,21 +157,52 @@ func (m *DupDenseMatrix) bcast(c *apgas.Ctx, idx, span int, src *la.DenseMatrix)
 	}
 }
 
-// Remake reallocates the duplicated matrix (zeroed) over a new group.
+// Remake reallocates the duplicated matrix over a new group. Duplicates
+// at places present in both groups are carried over with their contents
+// and marked retained (see DupVector.Remake); new places come up zeroed.
+// The caller is expected to restore or overwrite the matrix before
+// reading it.
 func (m *DupDenseMatrix) Remake(newPG apgas.PlaceGroup) error {
 	if newPG.Size() == 0 {
 		return fmt.Errorf("dist: DupDenseMatrix.Remake: empty place group")
 	}
-	m.plh.Destroy(m.pg)
+	oldPLH, oldPG := m.plh, m.pg
+	retained := make([]bool, newPG.Size())
+	retCtr := m.rt.Obs().Counter("dist.remake.segments.retained")
 	plh, err := apgas.NewPlaceLocalHandle(m.rt, newPG, func(ctx *apgas.Ctx, idx int) *la.DenseMatrix {
+		if old, ok := oldPLH.TryLocal(ctx); ok && old != nil && old.Rows == m.rows && old.Cols == m.cols {
+			retained[idx] = true
+			retCtr.Inc()
+			return old
+		}
 		return la.NewDense(m.rows, m.cols)
 	})
 	if err != nil {
 		return err
 	}
+	oldPLH.Destroy(oldPG)
 	m.pg = newPG.Clone()
 	m.plh = plh
+	m.retained = retained
 	return nil
+}
+
+// bcastList relays src — already present at group index idxs[0] — to the
+// remaining indices along a binomial halving (see DupVector.bcastList).
+func (m *DupDenseMatrix) bcastList(c *apgas.Ctx, idxs []int, src *la.DenseMatrix) {
+	for len(idxs) > 1 {
+		h := len(idxs) / 2
+		rest := idxs[len(idxs)-h:]
+		p := m.pg[rest[0]]
+		sub := src
+		c.Transfer(p, sub.Bytes())
+		c.AsyncAt(p, func(cc *apgas.Ctx) {
+			local := m.plh.Local(cc)
+			copy(local.Data, sub.Data)
+			m.bcastList(cc, rest, local)
+		})
+		idxs = idxs[:len(idxs)-h]
+	}
 }
 
 // dupBlock wraps a duplicate as a single block for snapshot serialization.
@@ -181,21 +234,105 @@ func (m *DupDenseMatrix) MakeSnapshot() (*snapshot.Snapshot, error) {
 	return s, nil
 }
 
+// MakeDeltaSnapshot implements snapshot.DirtyTracker: the single stored
+// copy is carried forward by reference when the matrix's version is
+// unchanged since prev (or its bytes compare equal). Falls back to a
+// full snapshot when prev does not cover the current place group.
+func (m *DupDenseMatrix) MakeDeltaSnapshot(prev *snapshot.Snapshot) (*snapshot.Snapshot, error) {
+	if prev == nil || !prev.Group().Equal(m.pg) {
+		return m.MakeSnapshot()
+	}
+	s, err := snapshot.New(m.rt, m.pg)
+	if err != nil {
+		return nil, err
+	}
+	ver := m.ver
+	err = m.rt.Finish(func(ctx *apgas.Ctx) {
+		ctx.At(m.pg[0], func(c *apgas.Ctx) {
+			saveDupBlockDelta(c, s, prev, ver, dupDenseBlock(m.plh.Local(c)))
+		})
+	})
+	if err != nil {
+		s.Destroy()
+		return nil, err
+	}
+	return s, nil
+}
+
+// saveDupBlockDelta is saveBlockDelta keyed by the duplicated object's
+// own version rather than the wrapper block's (the wrapper is rebuilt on
+// every checkpoint, so its Ver is always zero).
+func saveDupBlockDelta(ctx *apgas.Ctx, s, prev *snapshot.Snapshot, ver uint64, b *block.MatrixBlock) {
+	s.SaveDelta(ctx, 0, ver, prev, func() *codec.Encoder {
+		enc := codec.NewEncoder(b.EncodedSize())
+		b.EncodeInto(&enc)
+		return &enc
+	})
+}
+
 // RestoreSnapshot implements snapshot.Snapshottable.
 func (m *DupDenseMatrix) RestoreSnapshot(s *snapshot.Snapshot) error {
 	return apgas.ForEachPlace(m.rt, m.pg, func(ctx *apgas.Ctx, idx int) {
+		if idx < len(m.retained) {
+			m.retained[idx] = false
+		}
 		data, err := s.Load(ctx, 0, 0)
 		if err != nil {
 			apgas.Throw(err)
 		}
-		b, err := block.Decode(data)
+		if err := block.DecodeInto(dupDenseBlock(m.plh.Local(ctx)), data); err != nil {
+			apgas.Throw(fmt.Errorf("dist: DupDenseMatrix restore: %w", err))
+		}
+	})
+}
+
+// RestoreSnapshotPartial implements snapshot.PartialRestorer (see
+// DupVector.RestoreSnapshotPartial): one validated survivor supplies the
+// data, re-broadcast along a binomial tree to just the places that lost
+// it; with no valid survivor, falls back to the full restore.
+func (m *DupDenseMatrix) RestoreSnapshotPartial(s *snapshot.Snapshot, dead []apgas.Place) error {
+	valid := make([]bool, m.pg.Size())
+	if len(m.retained) == m.pg.Size() {
+		err := apgas.ForEachPlace(m.rt, m.pg, func(ctx *apgas.Ctx, idx int) {
+			if !m.retained[idx] {
+				return
+			}
+			m.retained[idx] = false
+			valid[idx] = validateRetainedBlock(ctx, s, 0, 0, dupDenseBlock(m.plh.Local(ctx)))
+		})
 		if err != nil {
-			apgas.Throw(err)
+			return err
 		}
-		if b.Dense == nil || b.Rows != m.rows || b.Cols != m.cols {
-			apgas.Throw(fmt.Errorf("dist: DupDenseMatrix restore shape mismatch"))
+	}
+	src := -1
+	for idx, ok := range valid {
+		if ok {
+			src = idx
+			break
 		}
-		copy(m.plh.Local(ctx).Data, b.Dense.Data)
+	}
+	if src < 0 {
+		return m.RestoreSnapshot(s)
+	}
+	reg := m.rt.Obs()
+	encSize := 7*codec.SizeInt + codec.SizeFloat64s(m.rows*m.cols)
+	idxs := []int{src}
+	for idx, ok := range valid {
+		if ok {
+			reg.Counter("dist.restore.partial.kept").Inc()
+			reg.Counter("dist.restore.partial.bytes.kept").Add(int64(encSize))
+		} else {
+			idxs = append(idxs, idx)
+		}
+	}
+	if len(idxs) == 1 {
+		return nil
+	}
+	reg.Counter("dist.restore.partial.bcast").Add(int64(len(idxs) - 1))
+	return m.rt.Finish(func(ctx *apgas.Ctx) {
+		ctx.At(m.pg[src], func(c *apgas.Ctx) {
+			m.bcastList(c, idxs, m.plh.Local(c).Clone())
+		})
 	})
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/rgml/rgml/internal/apgas"
+	"github.com/rgml/rgml/internal/codec"
 	"github.com/rgml/rgml/internal/la"
 	"github.com/rgml/rgml/internal/snapshot"
 )
@@ -18,6 +19,17 @@ type DupVector struct {
 	n   int
 	pg  apgas.PlaceGroup
 	plh apgas.PlaceLocalHandle[la.Vector]
+	// ver is the logical content version for delta checkpointing. The
+	// snapshot stores one copy (the root's), so ver tracks the logical
+	// value: every collective that changes it bumps ver (MarkDirty for
+	// direct Local mutation). Sync republishes the root value without
+	// changing it, so it does not bump.
+	ver uint64
+	// retained[idx] marks a duplicate whose storage survived a Remake at
+	// the same place; partial restore validates one survivor against the
+	// checkpoint digest and re-broadcasts from it instead of loading at
+	// every place.
+	retained []bool
 }
 
 // MakeDupVector creates a zeroed duplicated vector of length n over pg
@@ -44,13 +56,21 @@ func (v *DupVector) Size() int { return v.n }
 // Group returns the place group the vector is duplicated over.
 func (v *DupVector) Group() apgas.PlaceGroup { return v.pg }
 
-// Local returns the calling place's duplicate.
+// Local returns the calling place's duplicate. Code that writes into it
+// directly must call MarkDirty, or delta checkpoints fall back to (and
+// depend on) the CRC comparison.
 func (v *DupVector) Local(ctx *apgas.Ctx) la.Vector { return v.plh.Local(ctx) }
+
+// MarkDirty records that the vector's logical value was mutated outside
+// its own collectives, forcing the next delta checkpoint to re-examine
+// it.
+func (v *DupVector) MarkDirty() { v.ver++ }
 
 // Init sets every duplicate to the values of fn(i), identically at every
 // place (no communication: fn is evaluated redundantly, which is how GML
 // initializes duplicated objects deterministically).
 func (v *DupVector) Init(fn func(i int) float64) error {
+	v.ver++
 	return apgas.ForEachPlace(v.rt, v.pg, func(ctx *apgas.Ctx, idx int) {
 		local := v.plh.Local(ctx)
 		for i := range local {
@@ -64,6 +84,7 @@ func (v *DupVector) Init(fn func(i int) float64) error {
 // for duplicated-operand arithmetic: every place redundantly performs the
 // same cheap update instead of broadcasting).
 func (v *DupVector) AllApply(fn func(local la.Vector)) error {
+	v.ver++
 	return apgas.ForEachPlace(v.rt, v.pg, func(ctx *apgas.Ctx, idx int) {
 		fn(v.plh.Local(ctx))
 	})
@@ -77,6 +98,8 @@ func (v *DupVector) ZipAll(w *DupVector, fn func(a, b la.Vector)) error {
 	if !sameGroups(v.pg, w.pg) {
 		return fmt.Errorf("dist: ZipAll: %w", ErrGroupMismatch)
 	}
+	v.ver++
+	w.ver++
 	return apgas.ForEachPlace(v.rt, v.pg, func(ctx *apgas.Ctx, idx int) {
 		fn(v.plh.Local(ctx), w.plh.Local(ctx))
 	})
@@ -104,6 +127,7 @@ func (v *DupVector) Dot(w *DupVector) (float64, error) {
 // RootApply runs fn on the root (group index 0) duplicate only. Callers
 // follow up with Sync to publish the change to the other places.
 func (v *DupVector) RootApply(fn func(local la.Vector)) error {
+	v.ver++
 	return v.rt.Finish(func(ctx *apgas.Ctx) {
 		ctx.At(v.pg[0], func(c *apgas.Ctx) {
 			fn(v.plh.Local(c))
@@ -161,22 +185,55 @@ func (v *DupVector) bcast(c *apgas.Ctx, idx, span int, src la.Vector) {
 	}
 }
 
-// Remake reallocates the vector (zeroed) over a new place group (paper
-// section IV-A: remake(newPlaces)). The old storage on surviving places is
-// released.
+// bcastList is bcast over an arbitrary list of group indices: src is
+// already present at idxs[0] and is relayed to the remaining indices
+// along the same binomial halving, O(log n) critical-path rounds. Used
+// by the partial restore to reach only the places that lost their
+// duplicate.
+func (v *DupVector) bcastList(c *apgas.Ctx, idxs []int, src la.Vector) {
+	for len(idxs) > 1 {
+		h := len(idxs) / 2
+		rest := idxs[len(idxs)-h:]
+		p := v.pg[rest[0]]
+		sub := src
+		c.Transfer(p, sub.Bytes())
+		c.AsyncAt(p, func(cc *apgas.Ctx) {
+			local := v.plh.Local(cc).CopyFrom(sub)
+			v.bcastList(cc, rest, local)
+		})
+		idxs = idxs[:len(idxs)-h]
+	}
+}
+
+// Remake reallocates the vector over a new place group (paper section
+// IV-A: remake(newPlaces)). Duplicates at places present in both groups
+// are carried over with their contents and marked retained, so a
+// following partial restore can validate one survivor against the
+// checkpoint and re-broadcast from it; duplicates at new places come up
+// zeroed. The caller is expected to restore or overwrite the vector
+// before reading it.
 func (v *DupVector) Remake(newPG apgas.PlaceGroup) error {
 	if newPG.Size() == 0 {
 		return fmt.Errorf("dist: DupVector.Remake: empty place group")
 	}
-	v.plh.Destroy(v.pg)
+	oldPLH, oldPG := v.plh, v.pg
+	retained := make([]bool, newPG.Size())
+	retCtr := v.rt.Obs().Counter("dist.remake.segments.retained")
 	plh, err := apgas.NewPlaceLocalHandle(v.rt, newPG, func(ctx *apgas.Ctx, idx int) la.Vector {
+		if old, ok := oldPLH.TryLocal(ctx); ok && len(old) == v.n {
+			retained[idx] = true
+			retCtr.Inc()
+			return old
+		}
 		return la.NewVector(v.n)
 	})
 	if err != nil {
 		return err
 	}
+	oldPLH.Destroy(oldPG)
 	v.pg = newPG.Clone()
 	v.plh = plh
+	v.retained = retained
 	return nil
 }
 
@@ -204,12 +261,40 @@ func (v *DupVector) MakeSnapshot() (*snapshot.Snapshot, error) {
 	return s, nil
 }
 
+// MakeDeltaSnapshot implements snapshot.DirtyTracker: the single stored
+// copy is carried forward by reference when the vector's version is
+// unchanged since prev (or its bytes compare equal). Falls back to a
+// full snapshot when prev does not cover the current place group.
+func (v *DupVector) MakeDeltaSnapshot(prev *snapshot.Snapshot) (*snapshot.Snapshot, error) {
+	if prev == nil || !prev.Group().Equal(v.pg) {
+		return v.MakeSnapshot()
+	}
+	s, err := snapshot.New(v.rt, v.pg)
+	if err != nil {
+		return nil, err
+	}
+	ver := v.ver
+	err = v.rt.Finish(func(ctx *apgas.Ctx) {
+		ctx.At(v.pg[0], func(c *apgas.Ctx) {
+			saveVectorDelta(c, s, prev, 0, ver, v.plh.Local(c))
+		})
+	})
+	if err != nil {
+		s.Destroy()
+		return nil, err
+	}
+	return s, nil
+}
+
 // RestoreSnapshot implements snapshot.Snapshottable: every place of the
 // vector's *current* group (which may be smaller, equal, or — with
 // elastic replacement — differently composed than the snapshot group)
 // concurrently loads a duplicate (paper section IV-B2).
 func (v *DupVector) RestoreSnapshot(s *snapshot.Snapshot) error {
 	return apgas.ForEachPlace(v.rt, v.pg, func(ctx *apgas.Ctx, idx int) {
+		if idx < len(v.retained) {
+			v.retained[idx] = false
+		}
 		data, err := s.Load(ctx, 0, 0)
 		if err != nil {
 			apgas.Throw(err)
@@ -222,5 +307,57 @@ func (v *DupVector) RestoreSnapshot(s *snapshot.Snapshot) error {
 			apgas.Throw(fmt.Errorf("dist: DupVector restore length %d, want %d", len(vec), v.n))
 		}
 		v.plh.Local(ctx).CopyFrom(vec)
+	})
+}
+
+// RestoreSnapshotPartial implements snapshot.PartialRestorer: duplicates
+// retained through the preceding Remake are validated against the
+// checkpoint digest; if at least one survivor matches, it alone supplies
+// the data, re-broadcast along a binomial tree to just the places that
+// lost (or diverged from) the checkpointed value — no snapshot loads at
+// all. With no valid survivor, falls back to the full restore.
+func (v *DupVector) RestoreSnapshotPartial(s *snapshot.Snapshot, dead []apgas.Place) error {
+	valid := make([]bool, v.pg.Size())
+	if len(v.retained) == v.pg.Size() {
+		err := apgas.ForEachPlace(v.rt, v.pg, func(ctx *apgas.Ctx, idx int) {
+			if !v.retained[idx] {
+				return
+			}
+			v.retained[idx] = false
+			local := v.plh.Local(ctx)
+			valid[idx] = len(local) == v.n && validateRetainedVector(ctx, s, 0, 0, local)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	src := -1
+	for idx, ok := range valid {
+		if ok {
+			src = idx
+			break
+		}
+	}
+	if src < 0 {
+		return v.RestoreSnapshot(s)
+	}
+	reg := v.rt.Obs()
+	idxs := []int{src}
+	for idx, ok := range valid {
+		if ok {
+			reg.Counter("dist.restore.partial.kept").Inc()
+			reg.Counter("dist.restore.partial.bytes.kept").Add(int64(codec.SizeFloat64s(v.n)))
+		} else {
+			idxs = append(idxs, idx)
+		}
+	}
+	if len(idxs) == 1 {
+		return nil
+	}
+	reg.Counter("dist.restore.partial.bcast").Add(int64(len(idxs) - 1))
+	return v.rt.Finish(func(ctx *apgas.Ctx) {
+		ctx.At(v.pg[src], func(c *apgas.Ctx) {
+			v.bcastList(c, idxs, v.plh.Local(c).Clone())
+		})
 	})
 }

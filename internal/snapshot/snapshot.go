@@ -18,6 +18,7 @@
 package snapshot
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sync"
@@ -39,6 +40,31 @@ type Snapshottable interface {
 	// group and partitioning, which may differ from the snapshot's) from
 	// the saved state.
 	RestoreSnapshot(s *Snapshot) error
+}
+
+// DirtyTracker is implemented by Snapshottable objects that track which
+// of their fragments changed since the previous checkpoint and can
+// therefore capture an incremental (delta) snapshot: unchanged entries
+// are carried forward by reference from prev (see Snapshot.SaveDelta)
+// instead of being re-encoded and re-shipped. prev may be nil or taken
+// over a different group, in which case the implementation must degrade
+// to a full MakeSnapshot.
+type DirtyTracker interface {
+	Snapshottable
+	MakeDeltaSnapshot(prev *Snapshot) (*Snapshot, error)
+}
+
+// PartialRestorer is implemented by Snapshottable objects that can
+// restore only the fragments whose current owner lost them — places in
+// dead held state that died with them; surviving places keep their
+// in-memory state (integrity-validated against the snapshot digests)
+// rather than re-loading it from the store. dead lists the places that
+// failed since the snapshot's checkpoint committed. Implementations must
+// fall back to a full RestoreSnapshot whenever partial restoration is
+// not applicable (regrid, group mismatch, no retained state).
+type PartialRestorer interface {
+	Snapshottable
+	RestoreSnapshotPartial(s *Snapshot, dead []apgas.Place) error
 }
 
 // ErrDataLost reports that both replicas of an entry were lost — double
@@ -103,18 +129,39 @@ func (p RetryPolicy) normalize() RetryPolicy {
 // used instead. The owner and backup replicas share one entry (the
 // emulation's two map slots point at the same bytes), so the flags below
 // use atomics.
+//
+// Delta checkpointing shares entries *across snapshots* as well: an
+// unchanged entry is carried forward by reference into the successor
+// snapshot instead of being re-encoded. refs counts the snapshots that
+// reference the entry (not the place stores — owner and backup slots of
+// one snapshot count once), and the payload buffer returns to the codec
+// pool only when the last referencing snapshot is destroyed. This is the
+// invariant that lets Destroy run on a superseded checkpoint while the
+// live checkpoint still owns some of its buffers.
 type entry struct {
 	data []byte
 	sum  uint32
-	// pooled marks data as drawn from the codec buffer pool; Destroy
-	// recycles it (exactly once, via recycled) instead of dropping it.
-	pooled   bool
-	recycled atomic.Bool
+	// ver is the content version recorded by SaveDelta (0 for entries
+	// saved through Save/SaveEncoded). A successor snapshot whose saver
+	// reports the same non-zero version carries the entry forward without
+	// re-encoding it.
+	ver uint64
+	// pooled marks data as drawn from the codec buffer pool; the final
+	// Destroy recycles it instead of dropping it.
+	pooled bool
+	// refs counts referencing snapshots; see the type comment.
+	refs atomic.Int32
 	// verified memoizes a successful integrity check so repeated loads of
 	// the same replica skip re-hashing. Corruption tests swap the whole
 	// entry, so a memoized verdict never outlives the bytes it vouches
 	// for.
 	verified atomic.Bool
+}
+
+func newEntry(data []byte, sum uint32, pooled bool, ver uint64) *entry {
+	e := &entry{data: data, sum: sum, pooled: pooled, ver: ver}
+	e.refs.Store(1)
+	return e
 }
 
 // verify checks the entry's integrity, memoizing success.
@@ -171,19 +218,26 @@ func getPlaceStore() (ps *placeStore, pooled bool) {
 	return &placeStore{entries: make(map[int]*entry, 4)}, false
 }
 
-// recycle returns pooled payload buffers to the codec pool (once per
-// entry, though owner and backup stores share entries) and the cleared
-// store shell to the store pool.
+// recycle clears the store and returns the shell to the store pool.
+// Payload release is not done here: entries may be shared with a
+// successor snapshot (delta carry-forward), so Snapshot.Destroy drops
+// each distinct entry's reference exactly once and recycles the buffer
+// only when no snapshot references it any more.
 func (ps *placeStore) recycle() {
 	ps.mu.Lock()
-	for _, e := range ps.entries {
-		if e.pooled && e.recycled.CompareAndSwap(false, true) {
-			codec.PutBuffer(e.data)
-		}
-	}
 	clear(ps.entries)
 	ps.mu.Unlock()
 	storePool.Put(ps)
+}
+
+// distinctEntries appends the store's entries to seen, deduplicating by
+// pointer (the owner and backup slots of one snapshot share entries).
+func (ps *placeStore) distinctEntries(seen map[*entry]struct{}) {
+	ps.mu.Lock()
+	for _, e := range ps.entries {
+		seen[e] = struct{}{}
+	}
+	ps.mu.Unlock()
 }
 
 // Snapshot is a resilient key/value capture of one GML object's state.
@@ -225,6 +279,12 @@ type snapInstr struct {
 	poolHits    *obs.Counter // snapshot.pool.hits
 	poolMisses  *obs.Counter // snapshot.pool.misses
 	destroys    *obs.Counter // snapshot.destroys
+
+	// Delta checkpointing and partial restore.
+	deltaCarried *obs.Counter // snapshot.delta.carried (entries shared by reference)
+	deltaSaved   *obs.Counter // snapshot.delta.saved (delta-path entries re-encoded)
+	deltaSkipped *obs.Counter // snapshot.delta.bytes.skipped (payload bytes not re-shipped)
+	digests      *obs.Counter // snapshot.digests (metadata-only integrity probes)
 }
 
 func newSnapInstr(reg *obs.Registry) snapInstr {
@@ -245,6 +305,11 @@ func newSnapInstr(reg *obs.Registry) snapInstr {
 		poolHits:    reg.Counter("snapshot.pool.hits"),
 		poolMisses:  reg.Counter("snapshot.pool.misses"),
 		destroys:    reg.Counter("snapshot.destroys"),
+
+		deltaCarried: reg.Counter("snapshot.delta.carried"),
+		deltaSaved:   reg.Counter("snapshot.delta.saved"),
+		deltaSkipped: reg.Counter("snapshot.delta.bytes.skipped"),
+		digests:      reg.Counter("snapshot.digests"),
 	}
 }
 
@@ -296,7 +361,7 @@ func (s *Snapshot) Meta() []byte { return s.meta }
 // failed place. The byte slice is retained; callers must not mutate it
 // afterwards.
 func (s *Snapshot) Save(ctx *apgas.Ctx, key int, data []byte) {
-	s.save(ctx, key, &entry{data: data, sum: codec.Checksum(data)})
+	s.save(ctx, key, newEntry(data, codec.Checksum(data), false, 0))
 }
 
 // SaveEncoded stores an Encoder's payload under key without re-hashing:
@@ -305,7 +370,101 @@ func (s *Snapshot) Save(ctx *apgas.Ctx, key int, data []byte) {
 // buffer (which NewEncoder drew from the codec pool) and recycles it when
 // the snapshot is destroyed.
 func (s *Snapshot) SaveEncoded(ctx *apgas.Ctx, key int, e *codec.Encoder) {
-	s.save(ctx, key, &entry{data: e.Bytes(), sum: e.Sum(), pooled: true})
+	s.save(ctx, key, newEntry(e.Bytes(), e.Sum(), true, 0))
+}
+
+// SaveDelta stores the value for key incrementally against prev, the
+// previously committed snapshot of the same object. ver is the saver's
+// content version for the fragment (from its DirtyTracker bookkeeping;
+// 0 means unversioned). Three outcomes, in order of preference:
+//
+//  1. Version hit: prev holds a healthy entry for key at this owner with
+//     the same non-zero version — the entry is shared by reference into
+//     this snapshot (refcounted; no encode, no payload transfer).
+//  2. Content hit: the fragment is re-encoded via encode, but its CRC,
+//     length and bytes match prev's entry — the freshly encoded buffer
+//     is returned to the pool and prev's entry is shared as above. This
+//     is the fallback that keeps delta checkpoints correct for objects
+//     that mutate state in place without bumping versions.
+//  3. Miss: the encoded fragment is saved fresh (double storage, network
+//     charges), recording ver for the next delta.
+//
+// An entry is "healthy" for carry-forward only if prev was taken over
+// the same place group, is not destroyed, both its owner and backup
+// places are alive, and the backup slot actually holds the entry (a
+// replica dropped under fault injection must not silently propagate to
+// the successor). The carried entry's backup reference put is not
+// charged against the NetModel: the payload already resides at the
+// backup place from the previous checkpoint, and only a control message
+// crosses the network.
+//
+// It returns true when the entry was carried forward.
+func (s *Snapshot) SaveDelta(ctx *apgas.Ctx, key int, ver uint64, prev *Snapshot, encode func() *codec.Encoder) bool {
+	e := s.carryCandidate(ctx, key, prev)
+	if e != nil && ver > 0 && e.ver == ver {
+		s.carryForward(ctx, key, e)
+		return true
+	}
+	enc := encode()
+	if e != nil && enc.Len() == len(e.data) && enc.Sum() == e.sum && bytes.Equal(enc.Bytes(), e.data) {
+		codec.PutBuffer(enc.Bytes())
+		s.carryForward(ctx, key, e)
+		return true
+	}
+	s.instr.deltaSaved.Inc()
+	s.save(ctx, key, newEntry(enc.Bytes(), enc.Sum(), true, ver))
+	return false
+}
+
+// carryCandidate returns prev's entry for key when it is eligible for
+// carry-forward into s (see SaveDelta), or nil.
+func (s *Snapshot) carryCandidate(ctx *apgas.Ctx, key int, prev *Snapshot) *entry {
+	if prev == nil || prev.destroyed.Load() || !prev.pg.Equal(s.pg) ||
+		prev.opts.DisableBackup != s.opts.DisableBackup {
+		return nil
+	}
+	idx := s.pg.IndexOf(ctx.Here)
+	if idx < 0 {
+		return nil
+	}
+	e, ok := prev.plh.Local(ctx).get(key)
+	if !ok {
+		return nil
+	}
+	if !s.opts.DisableBackup && s.pg.Size() > 1 {
+		backupIdx := (idx + 1) % s.pg.Size()
+		if s.rt.IsDead(s.pg[backupIdx]) {
+			return nil
+		}
+		// In the emulation both replicas share one entry pointer, so the
+		// backup slot holding the same entry proves the payload is
+		// resident at the backup place.
+		be, ok := prev.stores[backupIdx].get(key)
+		if !ok || be != e {
+			return nil
+		}
+	}
+	return e
+}
+
+// carryForward shares e (an entry owned by the previous checkpoint) into
+// this snapshot's owner and backup slots, taking one reference for the
+// whole snapshot. Only a control message reaches the backup place — the
+// payload is already resident there — so nothing is charged against the
+// NetModel and the bytes count as skipped, not saved.
+func (s *Snapshot) carryForward(ctx *apgas.Ctx, key int, e *entry) {
+	idx := s.pg.IndexOf(ctx.Here)
+	e.refs.Add(1)
+	s.plh.Local(ctx).put(key, e)
+	s.instr.deltaCarried.Inc()
+	s.instr.deltaSkipped.Add(int64(len(e.data)))
+	if s.opts.DisableBackup || s.pg.Size() == 1 {
+		return
+	}
+	next := s.pg[(idx+1)%s.pg.Size()]
+	ctx.AsyncAt(next, func(c *apgas.Ctx) {
+		s.putReplica(c, key, e)
+	})
 }
 
 // save places e locally and asynchronously at the backup place. The backup
@@ -374,6 +533,13 @@ func (s *Snapshot) putReplica(c *apgas.Ctx, key int, e *entry) {
 // payload. Integrity verification is memoized per replica, so re-loading
 // an already-verified entry (e.g. many new blocks reading one old block
 // during a regrid restore) does not re-hash it.
+//
+// Byte accounting (snapshot.load.bytes): a remote replica is counted at
+// fetch time, alongside the NetModel Transfer charge — its payload
+// crossed the network before it could be verified, so a replica that
+// then fails CRC still cost its bytes and the obs counter agrees with
+// the simulated network time. A local replica involves no transfer and
+// is counted only when it is actually returned.
 func (s *Snapshot) Load(ctx *apgas.Ctx, key, ownerIdx int) ([]byte, error) {
 	if ownerIdx < 0 || ownerIdx >= s.pg.Size() {
 		return nil, fmt.Errorf("snapshot: owner index %d out of %d", ownerIdx, s.pg.Size())
@@ -402,7 +568,10 @@ func (s *Snapshot) Load(ctx *apgas.Ctx, key, ownerIdx int) ([]byte, error) {
 			ctx.At(p, func(c *apgas.Ctx) {
 				e, found = s.plh.Local(c).get(key)
 				if found {
+					// Charged (and counted) at fetch time; see the byte
+					// accounting note in the doc comment.
 					c.Transfer(origin, len(e.data))
+					s.instr.loadBytes.Add(int64(len(e.data)))
 				}
 			})
 		}
@@ -419,6 +588,7 @@ func (s *Snapshot) Load(ctx *apgas.Ctx, key, ownerIdx int) ([]byte, error) {
 		}
 		if local {
 			s.instr.loadLocal.Inc()
+			s.instr.loadBytes.Add(int64(len(e.data)))
 		} else {
 			s.instr.loadRemote.Inc()
 		}
@@ -427,7 +597,6 @@ func (s *Snapshot) Load(ctx *apgas.Ctx, key, ownerIdx int) ([]byte, error) {
 			// dead, missing, or corrupt.
 			s.instr.fallbacks.Inc()
 		}
-		s.instr.loadBytes.Add(int64(len(e.data)))
 		return e.data, nil
 	}
 	switch {
@@ -442,6 +611,72 @@ func (s *Snapshot) Load(ctx *apgas.Ctx, key, ownerIdx int) ([]byte, error) {
 	}
 }
 
+// Digest returns the save-time CRC-32C checksum and payload size of the
+// entry for key without transferring the payload — a metadata-only probe
+// costing one control message at most. Partial restore uses it to
+// validate a surviving place's in-memory state against the checkpoint:
+// the survivor re-encodes its fragment locally and keeps it only if the
+// digests match. Replica preference and fallback mirror Load.
+func (s *Snapshot) Digest(ctx *apgas.Ctx, key, ownerIdx int) (sum uint32, size int, err error) {
+	if ownerIdx < 0 || ownerIdx >= s.pg.Size() {
+		return 0, 0, fmt.Errorf("snapshot: owner index %d out of %d", ownerIdx, s.pg.Size())
+	}
+	replicas := []apgas.Place{s.pg[ownerIdx]}
+	if !s.opts.DisableBackup && s.pg.Size() > 1 {
+		replicas = append(replicas, s.pg[(ownerIdx+1)%s.pg.Size()])
+	}
+	s.instr.digests.Inc()
+	anyAlive := false
+	for _, p := range replicas {
+		if s.rt.IsDead(p) {
+			continue
+		}
+		anyAlive = true
+		var (
+			found bool
+			fsum  uint32
+			flen  int
+		)
+		if p.ID == ctx.Here.ID {
+			if e, ok := s.plh.Local(ctx).get(key); ok {
+				found, fsum, flen = true, e.sum, len(e.data)
+			}
+		} else {
+			ctx.At(p, func(c *apgas.Ctx) {
+				if e, ok := s.plh.Local(c).get(key); ok {
+					found, fsum, flen = true, e.sum, len(e.data)
+				}
+			})
+		}
+		if found {
+			return fsum, flen, nil
+		}
+	}
+	if !anyAlive {
+		return 0, 0, fmt.Errorf("snapshot: key %d owner %d: %w", key, ownerIdx, ErrDataLost)
+	}
+	return 0, 0, fmt.Errorf("snapshot: key %d owner %d: %w", key, ownerIdx, ErrNotFound)
+}
+
+// Degraded reports whether the snapshot's replica placement has lost
+// redundancy: some place of its snapshot-time group is dead, so entries
+// owned (or backed up) there are down to a single copy — or already
+// lost, if backups are disabled. A degraded snapshot still restores, but
+// one more failure can make it unrecoverable; the application store uses
+// this after a restore to re-replicate cached read-only snapshots whose
+// group shrank under them.
+func (s *Snapshot) Degraded() bool {
+	if s == nil || s.destroyed.Load() {
+		return false
+	}
+	for _, p := range s.pg {
+		if s.rt.IsDead(p) {
+			return true
+		}
+	}
+	return false
+}
+
 // Destroy releases the snapshot's storage on every surviving place of its
 // group, recycling pooled payload buffers and store shells for the next
 // checkpoint. The application store calls this when a newer checkpoint
@@ -453,6 +688,20 @@ func (s *Snapshot) Destroy() {
 		return
 	}
 	s.instr.destroys.Inc()
+	// Release this snapshot's reference on each distinct entry (owner and
+	// backup slots share entries, and carried-forward entries also live in
+	// the successor snapshot); only the last reference recycles the buffer.
+	seen := make(map[*entry]struct{})
+	for _, ps := range s.stores {
+		if ps != nil {
+			ps.distinctEntries(seen)
+		}
+	}
+	for e := range seen {
+		if e.refs.Add(-1) == 0 && e.pooled {
+			codec.PutBuffer(e.data)
+		}
+	}
 	for _, ps := range s.stores {
 		if ps != nil {
 			ps.recycle()

@@ -196,6 +196,12 @@ type (
 	// Snapshottable is implemented by every GML object that supports
 	// snapshot/restore (paper Listing 3).
 	Snapshottable = snapshot.Snapshottable
+	// DirtyTracker marks Snapshottables that can build delta snapshots
+	// against the committed checkpoint (see WithDelta).
+	DirtyTracker = snapshot.DirtyTracker
+	// PartialRestorer marks Snapshottables that can restore only the
+	// state lost with the dead places (see WithDelta).
+	PartialRestorer = snapshot.PartialRestorer
 )
 
 // Resilient iterative framework surface (paper section V).
@@ -263,6 +269,14 @@ func WithSpares(n int) ExecutorOption { return core.WithSpares(n) }
 
 // WithMaxRestores bounds recovery attempts per run.
 func WithMaxRestores(n int) ExecutorOption { return core.WithMaxRestores(n) }
+
+// WithDelta enables delta checkpointing: objects implementing
+// DirtyTracker re-encode and re-ship only entries whose content changed
+// since the committed checkpoint; unchanged entries are carried forward
+// by reference. On recovery, objects implementing PartialRestorer keep
+// CRC-validated surviving-place state and load only what the dead places
+// owned.
+func WithDelta(on bool) ExecutorOption { return core.WithDelta(on) }
 
 // WithAfterStep installs a hook running after each successful iteration.
 func WithAfterStep(fn func(iter int64)) ExecutorOption { return core.WithAfterStep(fn) }
