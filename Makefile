@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race race-recovery race-chaos race-delta chaos-smoke workers-seq fuzz bench bench-checkpoint bench-kernels bench-delta
+.PHONY: ci vet build test race race-recovery race-chaos race-delta race-finish chaos-smoke workers-seq fuzz bench bench-checkpoint bench-kernels bench-delta bench-finish
 
-ci: vet build race race-recovery race-chaos race-delta chaos-smoke workers-seq bench-checkpoint bench-kernels bench-delta
+ci: vet build race race-recovery race-chaos race-delta race-finish chaos-smoke workers-seq bench-checkpoint bench-kernels bench-delta bench-finish
 
 vet:
 	$(GO) vet ./...
@@ -39,6 +39,16 @@ race-chaos:
 # interleavings on top of the recovery machinery.
 race-delta:
 	$(GO) test -race -count=2 -run 'Delta|Partial|ReadOnly|Retain' ./internal/snapshot/ ./internal/core/ ./internal/dist/ ./internal/bench/
+
+# Extra -race iterations over the sharded resilient-finish paths: the
+# per-place shard goroutines, the local fast-path counters, the batched
+# fork delivery, and place death broadcast across shards all interleave
+# with overlapping finishes — plus the central-vs-sharded fingerprint
+# invariance check under the same seeds.
+race-finish:
+	$(GO) test -race -count=2 -run 'FinishMode|Sharded|LedgerQueue|Refused' ./internal/apgas/
+	$(GO) test -race -count=2 -run 'TestKillFingerprintFinishModeInvariance' ./internal/chaos/
+	$(GO) test -race -count=2 -run 'TestFinishBenchSmoke' ./internal/bench/
 
 # A short fixed-seed chaos campaign over every benchmark application:
 # one kill inside a checkpoint commit plus one during the restore that
@@ -82,3 +92,11 @@ bench-kernels:
 bench-delta:
 	$(GO) run ./cmd/rgmlbench -q -places 2,4,8 delta > BENCH_delta.json
 	@echo "bench-delta: wrote BENCH_delta.json"
+
+# The resilient-finish architecture comparison backing BENCH_finish.json:
+# central place-zero ledger vs sharded home-based bookkeeping — fork/join
+# throughput, finish-barrier latency, resilient overhead vs place count,
+# and the cross-mode chaos fingerprint/weights invariance oracle.
+bench-finish:
+	$(GO) run ./cmd/rgmlbench -q finish > BENCH_finish.json
+	@echo "bench-finish: wrote BENCH_finish.json"

@@ -1,6 +1,6 @@
 // Benchmarks regenerating the paper's evaluation artifacts in testing.B
 // form, one benchmark family per table and figure, plus the ablations
-// listed in DESIGN.md section 6. The cmd/rgmlbench harness produces the
+// listed in DESIGN.md section 9. The cmd/rgmlbench harness produces the
 // full weak-scaling sweeps; these benches keep workloads small so
 // `go test -bench=.` finishes quickly while preserving the comparisons
 // (resilient vs non-resilient, mode vs mode, with vs without an
@@ -148,7 +148,7 @@ func BenchmarkTable4Percentages(b *testing.B) {
 	}
 }
 
-// --- Ablations (DESIGN.md section 6) ----------------------------------------
+// --- Ablations (DESIGN.md section 9) ----------------------------------------
 
 // BenchmarkAblationLedgerCost isolates the resilient-finish ledger's
 // serialized processing cost: identical fan-outs with and without ledger

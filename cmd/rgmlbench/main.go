@@ -10,9 +10,11 @@
 //
 // Experiments: table2, fig2, fig3, fig4, table3, fig5, fig6, fig7, table4,
 // ablations, delta — a full-vs-delta checkpointing comparison emitting the
-// BENCH_delta.json document — and chaos — a fault-injection campaign that
-// sweeps the -seeds list over the -chaos schedule for each benchmark
-// application and emits a per-campaign survival/recovery JSON report.
+// BENCH_delta.json document — finish — a central-vs-sharded resilient-finish
+// architecture comparison emitting the BENCH_finish.json document — and
+// chaos — a fault-injection campaign that sweeps the -seeds list over the
+// -chaos schedule for each benchmark application and emits a per-campaign
+// survival/recovery JSON report.
 //
 // The workload sizes default to laptop scale (see -scale and the
 // per-workload flags); EXPERIMENTS.md records how they map to the paper's
@@ -30,6 +32,7 @@ import (
 	"strconv"
 	"strings"
 
+	"github.com/rgml/rgml/internal/apgas"
 	"github.com/rgml/rgml/internal/bench"
 	"github.com/rgml/rgml/internal/core"
 	"github.com/rgml/rgml/internal/par"
@@ -55,6 +58,7 @@ func run(args []string) error {
 		latency    = fs.Duration("latency", 0, "simulated per-message latency (sleep-based; leave 0 on hosts with coarse timers)")
 		bytePeriod = fs.Duration("byte-period", 0, "simulated per-byte transfer time")
 		ledgerWork = fs.Int("ledger-work", bench.DefaultConfig().LedgerWork, "resilient-finish ledger work units per event")
+		finishArch = fs.String("finish", "central", "resilient-finish architecture for every resilient run: central or sharded")
 		metricsDir = fs.String("metrics", "", "directory for per-restore-run JSON metrics exports (empty: none)")
 		workers    = fs.Int("workers", 0, "intra-place kernel worker pool size (0: RGML_WORKERS or CPU count)")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile covering all experiments to this file")
@@ -109,6 +113,11 @@ func run(args []string) error {
 	cfg.BytePeriod = *bytePeriod
 	cfg.LedgerWork = *ledgerWork
 	cfg.MetricsDir = *metricsDir
+	mode, err := apgas.ParseFinishMode(*finishArch)
+	if err != nil {
+		return fmt.Errorf("-finish: %w", err)
+	}
+	cfg.FinishMode = mode
 	if !*quiet {
 		cfg.Progress = os.Stderr
 	}
@@ -351,8 +360,16 @@ func runExperiment(cfg bench.Config, exp, outDir string) error {
 		return output(outDir, "delta", func(w io.Writer) error {
 			return bench.WriteDeltaReport(w, cfg, rows)
 		})
+	case "finish":
+		rep, err := cfg.FinishBench()
+		if err != nil {
+			return err
+		}
+		return output(outDir, "finish", func(w io.Writer) error {
+			return bench.WriteFinishReport(w, rep)
+		})
 	default:
-		return fmt.Errorf("unknown experiment (want table2, fig2-7, table3, table4, ablations, delta, all)")
+		return fmt.Errorf("unknown experiment (want table2, fig2-7, table3, table4, ablations, delta, finish, all)")
 	}
 }
 

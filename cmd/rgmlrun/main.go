@@ -37,6 +37,7 @@ func run() error {
 		ckpt     = flag.Int("ckpt", 10, "checkpoint interval (0 disables)")
 		modeName = flag.String("mode", "shrink", "restore mode: shrink, shrink-rebalance, replace-redundant, replace-elastic")
 		delta    = flag.Bool("delta", false, "delta checkpointing: re-encode and re-ship only entries changed since the committed checkpoint")
+		finish   = flag.String("finish", "central", "resilient-finish architecture: central (place-zero ledger) or sharded (home-based shards with a local fast path)")
 		killIter = flag.Int("kill-iter", 0, "inject a failure after this iteration (0: none)")
 		size     = flag.Int("size", 1000, "per-place problem size (examples or nodes)")
 		seed     = flag.Uint64("seed", 42, "dataset seed")
@@ -69,12 +70,18 @@ func run() error {
 		total++
 	}
 
+	finishMode, err := apgas.ParseFinishMode(*finish)
+	if err != nil {
+		return err
+	}
+
 	// One registry collects runtime, snapshot and executor metrics so the
 	// -metrics export is a single coherent document.
 	reg := obs.NewRegistry()
 	rt, err := apgas.New(
 		apgas.WithPlaces(total),
 		apgas.WithResilient(true),
+		apgas.WithFinishMode(finishMode),
 		apgas.WithNet(apgas.NetModel{Latency: *latency}),
 		apgas.WithObs(reg),
 		apgas.WithKernelWorkers(*workers),
@@ -172,6 +179,10 @@ func run() error {
 	st := rt.Stats()
 	fmt.Printf("  runtime:      %d tasks, %d messages, %d ledger events, %d places killed\n",
 		st.TasksSpawned, st.Messages, st.LedgerEvents, st.PlacesKilled)
+	if finishMode == apgas.FinishSharded {
+		fmt.Printf("  finish:       sharded (%d local fast-path tasks, %d refused forks)\n",
+			st.LocalTasks, st.RefusedForks)
+	}
 	return exportMetrics(reg, *metrics)
 }
 

@@ -1,5 +1,7 @@
 package apgas
 
+import "fmt"
+
 // The resilient-finish ledger.
 //
 // Resilient X10 (Cunningham et al., PPoPP 2014) implements failure-aware
@@ -9,31 +11,92 @@ package apgas
 // place 0 for activity bookkeeping, which has previously been identified as
 // a scalability bottleneck for place-zero-based resilient finish."
 //
-// This ledger reproduces the design faithfully at emulation scale: a single
-// goroutine (logically at place zero) processes FORK / JOIN / WAIT /
-// PLACE-DIED events one at a time. Because the processing is serialized,
-// bookkeeping cost grows with the total number of spawned tasks — which
-// under weak scaling grows with the number of places — and sits on the
-// application's critical path at every finish barrier, just as in the
-// measured system.
+// Two bookkeeping architectures hide behind Config.FinishMode:
+//
+//   - FinishCentral reproduces the measured design faithfully at emulation
+//     scale: a single goroutine (logically at place zero) processes FORK /
+//     JOIN / WAIT / PLACE-DIED events one at a time. Because the processing
+//     is serialized, bookkeeping cost grows with the total number of
+//     spawned tasks — which under weak scaling grows with the number of
+//     places — and sits on the application's critical path at every finish
+//     barrier, just as in the measured system.
+//
+//   - FinishSharded (shard.go) is the optimization the paper's discussion
+//     points at: per-finish home-based bookkeeping (one shard goroutine
+//     per place, state partitioned by finish id), an atomic-counter fast
+//     path for tasks that never leave the finish's home place, and batched
+//     event delivery. Concurrent finishes no longer serialize against each
+//     other and bookkeeping hops are charged to each finish's home rather
+//     than always to place zero.
+
+// FinishMode selects the resilient-finish bookkeeping architecture.
+type FinishMode int
+
+const (
+	// FinishCentral is the paper-faithful default: every fork and join of
+	// every finish is an event processed serially by one ledger goroutine
+	// at place zero (the measured scalability bottleneck of Figures 2-4).
+	FinishCentral FinishMode = iota
+	// FinishSharded bookkeeps each finish at its home place's ledger
+	// shard, tracks home-place tasks with an atomic fast-path counter,
+	// and coalesces fork bursts into batched shard messages.
+	FinishSharded
+)
+
+// String implements fmt.Stringer.
+func (m FinishMode) String() string {
+	switch m {
+	case FinishCentral:
+		return "central"
+	case FinishSharded:
+		return "sharded"
+	}
+	return fmt.Sprintf("FinishMode(%d)", int(m))
+}
+
+// ParseFinishMode maps the flag spellings "central" and "sharded" to their
+// FinishMode.
+func ParseFinishMode(s string) (FinishMode, error) {
+	switch s {
+	case "central":
+		return FinishCentral, nil
+	case "sharded":
+		return FinishSharded, nil
+	}
+	return 0, fmt.Errorf("apgas: unknown finish mode %q (want central or sharded)", s)
+}
+
+// DefaultLedgerQueue is the event-channel capacity used when
+// Config.LedgerQueue is zero. A saturated channel blocks forks; the
+// apgas.ledger.queue_full counter records every send that found the
+// channel full.
+const DefaultLedgerQueue = 4096
 
 type ledgerEventKind uint8
 
 const (
 	evFork ledgerEventKind = iota
+	evForkBatch
 	evJoin
 	evWait
 	evPlaceDied
 	evStop
 )
 
+// ledgerEvent is one bookkeeping message, shared by the central ledger and
+// the per-place shards (which additionally use the batch kind and the wait
+// reply channel).
 type ledgerEvent struct {
-	kind ledgerEventKind
-	task *task
-	fin  *Finish
-	err  error
-	from Place
-	dead Place
+	kind  ledgerEventKind
+	task  *task
+	tasks []*task // evForkBatch: a burst of forks from one activity
+	fin   *Finish
+	err   error
+	from  Place
+	dead  Place
+	// reply is the per-round release channel of a sharded evWait; the
+	// central ledger uses the finish's own release channel instead.
+	reply chan struct{}
 }
 
 type ledger struct {
@@ -61,7 +124,7 @@ type ledger struct {
 func newLedger(rt *Runtime) *ledger {
 	l := &ledger{
 		rt:           rt,
-		ch:           make(chan ledgerEvent, 4096),
+		ch:           make(chan ledgerEvent, rt.cfg.ledgerQueue()),
 		done:         make(chan struct{}),
 		liveByFinish: make(map[uint64]map[uint64]*task),
 		liveByPlace:  make(map[int]map[uint64]*task),
@@ -76,16 +139,29 @@ func newLedger(rt *Runtime) *ledger {
 // model for the hop to place zero.
 func (l *ledger) send(ev ledgerEvent) {
 	l.rt.hop(ev.from, Place{ID: 0}, 0)
-	l.ch <- ev
+	l.post(ev)
+}
+
+// post enqueues without charging the network (failure detection and
+// control events). A full channel is counted before blocking, so saturated
+// bookkeeping shows up in apgas.ledger.queue_full instead of silently
+// stalling forks.
+func (l *ledger) post(ev ledgerEvent) {
+	select {
+	case l.ch <- ev:
+	default:
+		l.rt.instr.ledgerQueueFull.Inc()
+		l.ch <- ev
+	}
 }
 
 // placeDied notifies the ledger that p has failed (failure detection).
 func (l *ledger) placeDied(p Place) {
-	l.ch <- ledgerEvent{kind: evPlaceDied, dead: p, from: p}
+	l.post(ledgerEvent{kind: evPlaceDied, dead: p, from: p})
 }
 
 func (l *ledger) stop() {
-	l.ch <- ledgerEvent{kind: evStop}
+	l.post(ledgerEvent{kind: evStop})
 	<-l.done
 }
 
@@ -118,6 +194,7 @@ func (l *ledger) fork(t *task) {
 		// The task will never run usefully; report it dead immediately.
 		// Its eventual JOIN (the goroutine still executes and aborts on
 		// first store access) is ignored because the task was never live.
+		l.rt.noteRefusedFork(t.fin, t.place)
 		t.fin.record(&DeadPlaceError{Place: t.place})
 		return
 	}

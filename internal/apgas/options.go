@@ -25,10 +25,24 @@ func WithNet(m NetModel) Option {
 	return func(c *Config) { c.Net = m }
 }
 
+// WithFinishMode selects the resilient-finish bookkeeping architecture:
+// FinishCentral (the default) is the paper-faithful place-zero ledger,
+// FinishSharded the home-based sharded design with a local fast path and
+// batched event delivery (see Config.FinishMode).
+func WithFinishMode(m FinishMode) Option {
+	return func(c *Config) { c.FinishMode = m }
+}
+
 // WithLedgerCost sets the modeled per-event bookkeeping work of the
 // place-zero resilient-finish ledger (see Config.LedgerCost).
 func WithLedgerCost(fn func(liveTasks int)) Option {
 	return func(c *Config) { c.LedgerCost = fn }
+}
+
+// WithLedgerQueue sets the capacity of each bookkeeping event channel
+// (see Config.LedgerQueue). Zero keeps DefaultLedgerQueue.
+func WithLedgerQueue(n int) Option {
+	return func(c *Config) { c.LedgerQueue = n }
 }
 
 // WithObs wires the runtime's instrumentation into reg (see Config.Obs).

@@ -25,6 +25,12 @@ type Config struct {
 	Resilient bool
 	// Net is the simulated interconnect. The zero value is a free network.
 	Net NetModel
+	// FinishMode selects the resilient-finish bookkeeping architecture:
+	// FinishCentral (the default) is the paper-faithful place-zero ledger;
+	// FinishSharded bookkeeps each finish at its home place's shard with a
+	// local fast path and batched event delivery (see ledger.go and
+	// shard.go). Ignored unless Resilient is set.
+	FinishMode FinishMode
 	// LedgerCost is extra processing work performed by the place-zero
 	// ledger for each bookkeeping event, on top of the real map
 	// maintenance. It receives the ledger's current live-task count:
@@ -32,8 +38,15 @@ type Config struct {
 	// transit state whose upkeep grows with the amount of outstanding
 	// activity, which is why the paper identifies place-zero bookkeeping
 	// as the scalability bottleneck. Events are processed serially, so
-	// this cost is not parallelizable.
+	// this cost is not parallelizable. In FinishSharded mode each shard
+	// pays the cost over its own event gulps (batches), which is exactly
+	// how the sharded design escapes the bottleneck.
 	LedgerCost func(liveTasks int)
+	// LedgerQueue is the capacity of each bookkeeping event channel (the
+	// central ledger's, or every shard's). Zero means DefaultLedgerQueue;
+	// a saturated queue blocks the forking activity and increments the
+	// apgas.ledger.queue_full counter.
+	LedgerQueue int
 	// Obs, when non-nil, receives runtime instrumentation: task spawns,
 	// place-crossing messages and bytes, ledger events, observed kills,
 	// simulated network time, and finish latencies. The same registry is
@@ -59,7 +72,8 @@ type Runtime struct {
 	places []*place // indexed by place ID; never shrinks
 	down   bool
 
-	ledger *ledger // non-nil iff cfg.Resilient
+	ledger *ledger        // non-nil iff cfg.Resilient && FinishCentral
+	shards *shardedLedger // non-nil iff cfg.Resilient && FinishSharded
 
 	// injector, when set, is consulted at every instrumented fault point
 	// (see inject.go); internal/chaos installs its engine here.
@@ -78,28 +92,36 @@ type Runtime struct {
 // no registry configured every handle is nil and each update is a no-op
 // branch (see internal/obs).
 type rtInstr struct {
-	tasks        *obs.Counter   // apgas.tasks.spawned
-	messages     *obs.Counter   // apgas.net.messages
-	bytes        *obs.Counter   // apgas.net.bytes
-	netTime      *obs.Counter   // apgas.net.simulated_ns
-	ledgerEvents *obs.Counter   // apgas.ledger.events
-	kills        *obs.Counter   // apgas.kills.observed
-	placesAdded  *obs.Counter   // apgas.places.added
-	livePlaces   *obs.Gauge     // apgas.places.live
-	finishes     *obs.Histogram // apgas.finish.duration
+	tasks           *obs.Counter   // apgas.tasks.spawned
+	messages        *obs.Counter   // apgas.net.messages
+	bytes           *obs.Counter   // apgas.net.bytes
+	netTime         *obs.Counter   // apgas.net.simulated_ns
+	ledgerEvents    *obs.Counter   // apgas.ledger.events
+	ledgerQueueFull *obs.Counter   // apgas.ledger.queue_full
+	ledgerLocal     *obs.Counter   // apgas.ledger.local_fast
+	ledgerBatches   *obs.Counter   // apgas.ledger.batches
+	refusedForks    *obs.Counter   // apgas.ledger.refused_forks
+	kills           *obs.Counter   // apgas.kills.observed
+	placesAdded     *obs.Counter   // apgas.places.added
+	livePlaces      *obs.Gauge     // apgas.places.live
+	finishes        *obs.Histogram // apgas.finish.duration
 }
 
 func newRTInstr(reg *obs.Registry) rtInstr {
 	return rtInstr{
-		tasks:        reg.Counter("apgas.tasks.spawned"),
-		messages:     reg.Counter("apgas.net.messages"),
-		bytes:        reg.Counter("apgas.net.bytes"),
-		netTime:      reg.Counter("apgas.net.simulated_ns"),
-		ledgerEvents: reg.Counter("apgas.ledger.events"),
-		kills:        reg.Counter("apgas.kills.observed"),
-		placesAdded:  reg.Counter("apgas.places.added"),
-		livePlaces:   reg.Gauge("apgas.places.live"),
-		finishes:     reg.Histogram("apgas.finish.duration"),
+		tasks:           reg.Counter("apgas.tasks.spawned"),
+		messages:        reg.Counter("apgas.net.messages"),
+		bytes:           reg.Counter("apgas.net.bytes"),
+		netTime:         reg.Counter("apgas.net.simulated_ns"),
+		ledgerEvents:    reg.Counter("apgas.ledger.events"),
+		ledgerQueueFull: reg.Counter("apgas.ledger.queue_full"),
+		ledgerLocal:     reg.Counter("apgas.ledger.local_fast"),
+		ledgerBatches:   reg.Counter("apgas.ledger.batches"),
+		refusedForks:    reg.Counter("apgas.ledger.refused_forks"),
+		kills:           reg.Counter("apgas.kills.observed"),
+		placesAdded:     reg.Counter("apgas.places.added"),
+		livePlaces:      reg.Gauge("apgas.places.live"),
+		finishes:        reg.Histogram("apgas.finish.duration"),
 	}
 }
 
@@ -112,6 +134,12 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	if cfg.Places < 1 {
 		return nil, fmt.Errorf("apgas: Config.Places must be >= 1, got %d", cfg.Places)
 	}
+	if cfg.FinishMode != FinishCentral && cfg.FinishMode != FinishSharded {
+		return nil, fmt.Errorf("apgas: unknown Config.FinishMode %d", int(cfg.FinishMode))
+	}
+	if cfg.LedgerQueue < 0 {
+		return nil, fmt.Errorf("apgas: Config.LedgerQueue must be >= 0, got %d", cfg.LedgerQueue)
+	}
 	rt := &Runtime{cfg: cfg, instr: newRTInstr(cfg.Obs)}
 	rt.places = make([]*place, cfg.Places)
 	for i := range rt.places {
@@ -119,7 +147,12 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	}
 	rt.instr.livePlaces.Set(int64(cfg.Places))
 	if cfg.Resilient {
-		rt.ledger = newLedger(rt)
+		switch cfg.FinishMode {
+		case FinishSharded:
+			rt.shards = newShardedLedger(rt)
+		default:
+			rt.ledger = newLedger(rt)
+		}
 	}
 	if cfg.KernelWorkers > 0 {
 		par.SetWorkers(cfg.KernelWorkers)
@@ -164,8 +197,29 @@ func (rt *Runtime) chargeNet(from, to Place, bytes int) {
 	}
 }
 
+// ledgerQueue resolves the configured bookkeeping channel capacity.
+func (c *Config) ledgerQueue() int {
+	if c.LedgerQueue > 0 {
+		return c.LedgerQueue
+	}
+	return DefaultLedgerQueue
+}
+
+// noteRefusedFork accounts a fork refused because its target place was
+// already dead: the spawn is answered with DeadPlaceError without ever
+// becoming live. The trace-ring event records (finish id, place id).
+func (rt *Runtime) noteRefusedFork(f *Finish, p Place) {
+	rt.stats.RefusedForks.Add(1)
+	rt.instr.refusedForks.Inc()
+	rt.cfg.Obs.Trace("apgas.ledger.refused_fork", int64(f.id), int64(p.ID))
+}
+
 // Resilient reports whether the runtime uses resilient finish semantics.
 func (rt *Runtime) Resilient() bool { return rt.cfg.Resilient }
+
+// FinishMode returns the resilient-finish bookkeeping architecture the
+// runtime was configured with (meaningful only when Resilient).
+func (rt *Runtime) FinishMode() FinishMode { return rt.cfg.FinishMode }
 
 // Net returns the runtime's network model.
 func (rt *Runtime) Net() NetModel { return rt.cfg.Net }
@@ -181,6 +235,9 @@ func (rt *Runtime) Shutdown() {
 	rt.mu.Unlock()
 	if rt.ledger != nil {
 		rt.ledger.stop()
+	}
+	if rt.shards != nil {
+		rt.shards.stop()
 	}
 }
 
@@ -289,9 +346,13 @@ func (rt *Runtime) Kill(p Place) error {
 	rt.instr.kills.Inc()
 	rt.instr.livePlaces.Add(-1)
 	rt.cfg.Obs.Trace("apgas.place.killed", int64(p.ID), 0)
-	// The failure detector notifies the ledger, which adopts and terminates
-	// the dead place's tasks.
-	rt.ledger.placeDied(p)
+	// The failure detector notifies the bookkeeping layer, which adopts
+	// and terminates the dead place's tasks.
+	if rt.shards != nil {
+		rt.shards.placeDied(p)
+	} else {
+		rt.ledger.placeDied(p)
+	}
 	return nil
 }
 
@@ -305,6 +366,9 @@ type Ctx struct {
 	Here Place
 	// fin is the dynamically enclosing finish, used by nested AsyncAt.
 	fin *Finish
+	// pending buffers this activity's not-yet-flushed remote forks in
+	// FinishSharded mode (see Ctx.flushForks); always nil otherwise.
+	pending []*task
 }
 
 // Runtime returns the runtime the task is executing on.
@@ -342,6 +406,9 @@ func (c *Ctx) At(p Place, fn func(ctx *Ctx)) {
 	rt.hop(c.Here, p, 0)
 	pl.checkAlive()
 	sub := &Ctx{rt: rt, Here: p, fin: c.fin}
+	// The sub-activity's buffered forks must reach the shard even if fn
+	// unwinds with a DeadPlaceError (their tasks are already running).
+	defer sub.flushForks()
 	fn(sub)
 	// Returning from "at" is itself a message back to the origin.
 	rt.chargeNet(p, c.Here, 0)
@@ -417,6 +484,9 @@ func (rt *Runtime) finishFrom(parent *Ctx, body func(ctx *Ctx)) error {
 		}()
 		body(ctx)
 	}()
+	// Flush the main activity's buffered forks before asking the ledger
+	// for quiescence (sharded mode; no-op otherwise).
+	ctx.flushForks()
 	err := f.wait()
 	if rt.instr.finishes != nil {
 		rt.instr.finishes.Observe(time.Since(t0))

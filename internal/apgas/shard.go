@@ -1,0 +1,402 @@
+package apgas
+
+import "sync"
+
+// Sharded home-based resilient finish (Config.FinishMode ==
+// FinishSharded).
+//
+// Instead of funnelling every fork/join in the system through one place-zero
+// goroutine, each Finish is bookkept at its *home* place's ledger shard:
+// one shard goroutine per place, with state partitioned by finish id. This
+// is the decentralization the paper's place-zero discussion motivates (and
+// what HPX-style task-local resilience and GASPI-style decentralized
+// failure notification implement in real systems):
+//
+//   - Concurrent finishes with different homes no longer serialize against
+//     each other; each shard applies the LedgerCost congestion model to its
+//     own live-task population only.
+//   - Bookkeeping hops are charged from the event's origin to the finish's
+//     home, not always to place zero. A finish whose activities all run at
+//     its home pays no simulated network at all.
+//   - Local fast path: tasks spawned at the finish's own home place are
+//     tracked by a counter on the Finish itself (finish.go) and never
+//     become shard events — the classic X10/HPX optimization where only
+//     place-crossing activities pay resilient bookkeeping.
+//   - Batched delivery: an activity's burst of remote forks is coalesced
+//     into one shard message (Ctx.flushForks), charging the NetModel once
+//     per batch, and the shard drains bursts from its channel in gulps,
+//     charging the modeled per-message protocol cost once per gulp.
+//
+// # Ordering and the early-join window
+//
+// Sender-side fork batching means a task can start — and even join — before
+// its buffered FORK reaches the shard. The protocol stays correct through
+// two invariants:
+//
+//  1. Flush-before-join: every activity flushes its pending fork batch
+//     before its own JOIN is sent (runTaskErr / At / finishFrom), and a
+//     channel send that happens-before another is dequeued first. So a
+//     remote task's children are always registered before its own join is
+//     processed: the registered set cannot transiently drain while a
+//     registered task has unflushed children.
+//  2. Early joins: a JOIN for a not-yet-registered task is parked in
+//     earlyJoins; when its FORK arrives the parked outcome is recorded and
+//     the task never becomes live. Refused forks and force-terminated
+//     orphans leave a tombstone in doneTasks so their eventual JOIN is
+//     ignored, exactly like the central ledger. Both maps are bounded:
+//     every task resolves each entry it creates.
+//
+// # Quiescence
+//
+// A shard releases a waiting finish when the finish's registered set is
+// empty. That alone is not quiescence: home-place tasks bypass the shard
+// entirely (their liveness is the finish's local counter, not channel
+// events), so "registered set empty" and "local counter zero" are two
+// barriers observed at different times, and a local task can flush a batch
+// of remote forks that the shard has not yet processed when the local
+// counter hits zero. Finish.waitSharded therefore runs a fixpoint loop:
+//
+//	for {
+//	  s := spawns.Load()       // every spawn bumps this counter, last
+//	  localDrain()             // 1. local fast-path population is zero
+//	  shard wait; <-reply      // 2. then the registered set drained
+//	  if spawns.Load() == s    // 3. and nothing spawned in between
+//	    return
+//	}
+//
+// If no spawn happened across both barriers, every task of the finish was
+// spawned before the round began, and an induction over the spawn ancestry
+// (grounded at the main activity, which flushed before waiting) shows each
+// one was either visible to the local barrier or registered at the shard
+// before the set drained. A spawn that slips between the barriers —
+// a remote task forking at home, or a local task flushing remote children —
+// bumps the counter and the loop simply runs another round; finishes
+// quiesce, so the loop terminates.
+//
+// # Shard state vs place death
+//
+// Shards are bookkeeping infrastructure, not place-resident data: a shard
+// keeps running when its place dies, and place death is *broadcast* to all
+// shards, each terminating the registered orphans it tracks. (In a real
+// home-based protocol the home's finish state must itself be replicated or
+// adopted — the reason resilient X10 chose immortal place zero; the
+// emulation models the cost distribution of the optimized protocol.)
+// Home-place tasks of a finish whose home died are not force-terminated by
+// the shard: they abort cooperatively (checkAlive) and drain the local
+// counter themselves, which the emulation's task bodies always do.
+
+// forkBatchCap is the sender-side fork batch size: an activity's burst of
+// remote spawns is delivered to the home shard in messages of at most this
+// many forks, each charged one NetModel hop.
+const forkBatchCap = 32
+
+// ledgerGulp bounds how many queued events one shard drain processes under
+// a single modeled protocol-cost charge.
+const ledgerGulp = 256
+
+// shardedLedger routes bookkeeping to per-place shards by finish home.
+type shardedLedger struct {
+	rt *Runtime
+
+	mu     sync.RWMutex
+	shards []*ledgerShard // indexed by home place ID; grows lazily
+}
+
+func newShardedLedger(rt *Runtime) *shardedLedger {
+	s := &shardedLedger{rt: rt}
+	s.shards = make([]*ledgerShard, rt.cfg.Places)
+	for i := range s.shards {
+		s.shards[i] = newLedgerShard(rt, i)
+	}
+	return s
+}
+
+// shard returns the shard bookkeeping finishes homed at place id, creating
+// shards for elastically added places on first use.
+func (s *shardedLedger) shard(home int) *ledgerShard {
+	s.mu.RLock()
+	if home < len(s.shards) {
+		sh := s.shards[home]
+		s.mu.RUnlock()
+		return sh
+	}
+	s.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.shards) <= home {
+		s.shards = append(s.shards, newLedgerShard(s.rt, len(s.shards)))
+	}
+	return s.shards[home]
+}
+
+// forkBatch delivers one activity's burst of remote forks (all for the
+// same finish) to the finish's home shard, charging the network model once
+// for the whole batch.
+func (s *shardedLedger) forkBatch(f *Finish, ts []*task, from Place) {
+	s.shard(f.home.ID).send(ledgerEvent{kind: evForkBatch, fin: f, tasks: ts, from: from})
+}
+
+// join reports a remote task's termination to its finish's home shard.
+func (s *shardedLedger) join(t *task, err error, from Place) {
+	s.shard(t.fin.home.ID).send(ledgerEvent{kind: evJoin, task: t, err: err, from: from})
+}
+
+// wait asks the home shard to close reply once f's registered set is
+// empty. The waiter runs at f.home, so the hop is intra-place and free.
+func (s *shardedLedger) wait(f *Finish, reply chan struct{}) {
+	s.shard(f.home.ID).send(ledgerEvent{kind: evWait, fin: f, reply: reply, from: f.home})
+}
+
+// placeDied broadcasts a failure to every shard; each terminates the
+// registered orphans it tracks at p.
+func (s *shardedLedger) placeDied(p Place) {
+	for _, sh := range s.snapshot() {
+		sh.post(ledgerEvent{kind: evPlaceDied, dead: p, from: p})
+	}
+}
+
+func (s *shardedLedger) stop() {
+	shards := s.snapshot()
+	for _, sh := range shards {
+		sh.post(ledgerEvent{kind: evStop})
+	}
+	for _, sh := range shards {
+		<-sh.done
+	}
+}
+
+func (s *shardedLedger) snapshot() []*ledgerShard {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]*ledgerShard(nil), s.shards...)
+}
+
+// ledgerShard bookkeeps the finishes homed at one place. Its state mirrors
+// the central ledger's, restricted to its own finishes, plus the
+// out-of-order maps the batched protocol needs.
+type ledgerShard struct {
+	rt   *Runtime
+	home int
+	ch   chan ledgerEvent
+	done chan struct{}
+
+	// All state below is owned by the shard goroutine.
+
+	liveByFinish map[uint64]map[uint64]*task
+	liveByPlace  map[int]map[uint64]*task
+	// waiting maps a finish id to the reply channel of its pending wait
+	// round, closed when the finish's registered set drains.
+	waiting    map[uint64]chan struct{}
+	deadPlaces map[int]bool
+	// earlyJoins parks outcomes of tasks whose JOIN overtook their batched
+	// FORK; consumed when the fork arrives.
+	earlyJoins map[uint64]error
+	// doneTasks tombstones tasks whose fork was refused or that a place
+	// death force-terminated, so their eventual JOIN is ignored.
+	doneTasks map[uint64]struct{}
+	live      int
+}
+
+func newLedgerShard(rt *Runtime, home int) *ledgerShard {
+	sh := &ledgerShard{
+		rt:           rt,
+		home:         home,
+		ch:           make(chan ledgerEvent, rt.cfg.ledgerQueue()),
+		done:         make(chan struct{}),
+		liveByFinish: make(map[uint64]map[uint64]*task),
+		liveByPlace:  make(map[int]map[uint64]*task),
+		waiting:      make(map[uint64]chan struct{}),
+		deadPlaces:   make(map[int]bool),
+		earlyJoins:   make(map[uint64]error),
+		doneTasks:    make(map[uint64]struct{}),
+	}
+	// A shard created after a failure (elastic growth) must still refuse
+	// forks to the places already known dead. Kill marks the place dead
+	// before notifying the ledger, so seeding from place state can only
+	// learn of a death early, never miss one.
+	for i := 0; i < rt.NumPlaces(); i++ {
+		if rt.IsDead(Place{ID: i}) {
+			sh.deadPlaces[i] = true
+		}
+	}
+	go sh.run()
+	return sh
+}
+
+// send charges the network model for the hop to the shard's home place and
+// enqueues the event, counting (then waiting out) a saturated queue.
+func (sh *ledgerShard) send(ev ledgerEvent) {
+	sh.rt.hop(ev.from, Place{ID: sh.home}, 0)
+	sh.post(ev)
+}
+
+// post enqueues without charging the network.
+func (sh *ledgerShard) post(ev ledgerEvent) {
+	select {
+	case sh.ch <- ev:
+	default:
+		sh.rt.instr.ledgerQueueFull.Inc()
+		sh.ch <- ev
+	}
+}
+
+// run drains the shard's channel in gulps: each blocking receive pulls
+// whatever burst is immediately behind it (up to ledgerGulp events) and the
+// modeled protocol cost is charged once for the gulp — the amortization a
+// batching protocol buys — while the real map upkeep still happens per
+// event.
+func (sh *ledgerShard) run() {
+	defer close(sh.done)
+	batch := make([]ledgerEvent, 0, ledgerGulp)
+	for {
+		ev, ok := <-sh.ch
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], ev)
+	drain:
+		for len(batch) < ledgerGulp {
+			select {
+			case next := <-sh.ch:
+				batch = append(batch, next)
+			default:
+				break drain
+			}
+		}
+		if cost := sh.rt.cfg.LedgerCost; cost != nil {
+			cost(sh.live)
+		}
+		sh.rt.instr.ledgerBatches.Inc()
+		for _, ev := range batch {
+			if ev.kind == evStop {
+				return
+			}
+			sh.process(ev)
+		}
+	}
+}
+
+func (sh *ledgerShard) process(ev ledgerEvent) {
+	switch ev.kind {
+	case evForkBatch:
+		sh.countEvents(int64(len(ev.tasks)))
+		for _, t := range ev.tasks {
+			sh.fork(t)
+		}
+	case evJoin:
+		sh.countEvents(1)
+		sh.join(ev.task, ev.err)
+	case evWait:
+		sh.countEvents(1)
+		sh.waiting[ev.fin.id] = ev.reply
+		sh.tryRelease(ev.fin.id)
+	case evPlaceDied:
+		sh.countEvents(1)
+		sh.died(ev.dead)
+	}
+}
+
+func (sh *ledgerShard) countEvents(n int64) {
+	sh.rt.stats.LedgerEvents.Add(n)
+	sh.rt.instr.ledgerEvents.Add(n)
+}
+
+func (sh *ledgerShard) fork(t *task) {
+	if err, early := sh.earlyJoins[t.id]; early {
+		// The task already ran to completion before its batched fork
+		// arrived; its actual outcome stands and it is never live.
+		delete(sh.earlyJoins, t.id)
+		t.fin.record(err)
+		return
+	}
+	if sh.deadPlaces[t.place.ID] || sh.rt.placeState(t.place).isDead() {
+		sh.rt.noteRefusedFork(t.fin, t.place)
+		t.fin.record(&DeadPlaceError{Place: t.place})
+		sh.doneTasks[t.id] = struct{}{}
+		return
+	}
+	byFin := sh.liveByFinish[t.fin.id]
+	if byFin == nil {
+		byFin = make(map[uint64]*task)
+		sh.liveByFinish[t.fin.id] = byFin
+	}
+	byFin[t.id] = t
+	byPlace := sh.liveByPlace[t.place.ID]
+	if byPlace == nil {
+		byPlace = make(map[uint64]*task)
+		sh.liveByPlace[t.place.ID] = byPlace
+	}
+	byPlace[t.id] = t
+	sh.live++
+}
+
+func (sh *ledgerShard) join(t *task, err error) {
+	if _, tomb := sh.doneTasks[t.id]; tomb {
+		// Refused fork or force-terminated orphan: the DeadPlaceError
+		// recorded then stands; this join is the tombstone's resolution.
+		delete(sh.doneTasks, t.id)
+		return
+	}
+	byFin := sh.liveByFinish[t.fin.id]
+	if byFin == nil || byFin[t.id] == nil {
+		// The batched fork is still in flight behind us; park the outcome.
+		sh.earlyJoins[t.id] = err
+		return
+	}
+	t.fin.record(err)
+	sh.remove(t)
+	sh.tryRelease(t.fin.id)
+}
+
+// died terminates every registered task at p with a DeadPlaceError and
+// releases any wait round that was only blocked on p's orphans.
+func (sh *ledgerShard) died(p Place) {
+	sh.deadPlaces[p.ID] = true
+	orphans := sh.liveByPlace[p.ID]
+	delete(sh.liveByPlace, p.ID)
+	for _, t := range orphans {
+		sh.live--
+		t.fin.record(&DeadPlaceError{Place: p})
+		sh.doneTasks[t.id] = struct{}{}
+		if byFin := sh.liveByFinish[t.fin.id]; byFin != nil {
+			delete(byFin, t.id)
+			if len(byFin) == 0 {
+				delete(sh.liveByFinish, t.fin.id)
+			}
+		}
+		sh.tryRelease(t.fin.id)
+	}
+}
+
+func (sh *ledgerShard) remove(t *task) {
+	sh.live--
+	if byFin := sh.liveByFinish[t.fin.id]; byFin != nil {
+		delete(byFin, t.id)
+		if len(byFin) == 0 {
+			delete(sh.liveByFinish, t.fin.id)
+		}
+	}
+	if byPlace := sh.liveByPlace[t.place.ID]; byPlace != nil {
+		delete(byPlace, t.id)
+		if len(byPlace) == 0 {
+			delete(sh.liveByPlace, t.place.ID)
+		}
+	}
+}
+
+// tryRelease answers a pending wait round once the finish's registered set
+// has drained. The flush-before-join invariant guarantees the set is never
+// transiently empty while a registered task has unflushed children; the
+// waiter's fixpoint loop (Finish.waitSharded) covers home-place tasks and
+// spawns that race the barriers.
+func (sh *ledgerShard) tryRelease(fin uint64) {
+	reply, ok := sh.waiting[fin]
+	if !ok {
+		return
+	}
+	if len(sh.liveByFinish[fin]) > 0 {
+		return
+	}
+	delete(sh.waiting, fin)
+	close(reply)
+}

@@ -20,6 +20,13 @@ type Stats struct {
 	PlacesKilled atomic.Int64
 	// PlacesAdded counts elastically created places.
 	PlacesAdded atomic.Int64
+	// RefusedForks counts forks refused because the target place was
+	// already dead (answered with DeadPlaceError without becoming live).
+	RefusedForks atomic.Int64
+	// LocalTasks counts tasks that rode the sharded local fast path:
+	// spawned at their finish's home place and tracked by the finish's
+	// local counter instead of ledger events.
+	LocalTasks atomic.Int64
 }
 
 func (s *Stats) countMessage(from, to Place, bytes int) {
@@ -40,6 +47,8 @@ type StatsSnapshot struct {
 	TasksSpawned int64
 	PlacesKilled int64
 	PlacesAdded  int64
+	RefusedForks int64
+	LocalTasks   int64
 }
 
 // Stats returns a snapshot of the runtime's activity counters.
@@ -51,6 +60,8 @@ func (rt *Runtime) Stats() StatsSnapshot {
 		TasksSpawned: rt.stats.TasksSpawned.Load(),
 		PlacesKilled: rt.stats.PlacesKilled.Load(),
 		PlacesAdded:  rt.stats.PlacesAdded.Load(),
+		RefusedForks: rt.stats.RefusedForks.Load(),
+		LocalTasks:   rt.stats.LocalTasks.Load(),
 	}
 }
 
@@ -63,5 +74,7 @@ func (s StatsSnapshot) Sub(prev StatsSnapshot) StatsSnapshot {
 		TasksSpawned: s.TasksSpawned - prev.TasksSpawned,
 		PlacesKilled: s.PlacesKilled - prev.PlacesKilled,
 		PlacesAdded:  s.PlacesAdded - prev.PlacesAdded,
+		RefusedForks: s.RefusedForks - prev.RefusedForks,
+		LocalTasks:   s.LocalTasks - prev.LocalTasks,
 	}
 }

@@ -20,7 +20,7 @@ type AblationRow struct {
 	MS         float64
 }
 
-// Ablations measures the design-choice experiments of DESIGN.md section 6
+// Ablations measures the design-choice experiments of DESIGN.md section 9
 // at the largest configured place count:
 //
 //   - ledger-cost: a bare task fan-out under non-resilient finish,
@@ -47,9 +47,10 @@ func (c Config) Ablations() ([]AblationRow, error) {
 	}
 
 	// --- ledger-cost ---
-	fanout := func(resilient bool, work int) (time.Duration, error) {
+	fanout := func(resilient bool, work int, mode apgas.FinishMode) (time.Duration, error) {
 		cfg := c
 		cfg.LedgerWork = work
+		cfg.FinishMode = mode
 		rt, err := cfg.newRuntime(places, resilient, nil)
 		if err != nil {
 			return 0, err
@@ -64,16 +65,28 @@ func (c Config) Ablations() ([]AblationRow, error) {
 		}
 		return time.Since(start) / rounds, nil
 	}
-	d, err := fanout(false, 0)
+	d, err := fanout(false, 0, apgas.FinishCentral)
 	if err := add("ledger-cost", "non-resilient", d, err); err != nil {
 		return nil, err
 	}
-	d, err = fanout(true, 0)
+	d, err = fanout(true, 0, apgas.FinishCentral)
 	if err := add("ledger-cost", "resilient/free-bookkeeping", d, err); err != nil {
 		return nil, err
 	}
-	d, err = fanout(true, c.LedgerWork)
+	d, err = fanout(true, c.LedgerWork, apgas.FinishCentral)
 	if err := add("ledger-cost", "resilient/congested-ledger", d, err); err != nil {
+		return nil, err
+	}
+	// The sharded variants isolate what home-based bookkeeping buys at the
+	// same modeled congestion: batched delivery amortizes the per-event
+	// cost, so the congested sharded row should sit near the free one
+	// instead of climbing with it.
+	d, err = fanout(true, 0, apgas.FinishSharded)
+	if err := add("ledger-cost", "resilient/sharded-free", d, err); err != nil {
+		return nil, err
+	}
+	d, err = fanout(true, c.LedgerWork, apgas.FinishSharded)
+	if err := add("ledger-cost", "resilient/sharded-congested", d, err); err != nil {
 		return nil, err
 	}
 
@@ -209,7 +222,7 @@ func (c Config) Ablations() ([]AblationRow, error) {
 
 // WriteAblations renders the ablation measurements.
 func WriteAblations(w io.Writer, rows []AblationRow) error {
-	fmt.Fprintln(w, "# ablations: design-choice costs (DESIGN.md section 6)")
+	fmt.Fprintln(w, "# ablations: design-choice costs (DESIGN.md section 9)")
 	fmt.Fprintln(w, "experiment\tvariant\tms")
 	for _, r := range rows {
 		if _, err := fmt.Fprintf(w, "%s\t%s\t%.3f\n", r.Experiment, r.Variant, r.MS); err != nil {

@@ -13,8 +13,8 @@ func TestAblationsSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 3 + 2 + 2 + 2 variants.
-	if len(rows) != 9 {
+	// 5 + 2 + 2 + 2 variants.
+	if len(rows) != 11 {
 		t.Fatalf("rows = %d", len(rows))
 	}
 	byKey := map[string]float64{}

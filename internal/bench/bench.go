@@ -18,6 +18,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"sync/atomic"
 	"time"
 
 	"github.com/rgml/rgml/internal/apgas"
@@ -107,6 +108,11 @@ type Config struct {
 	// makes place-zero resilient finish the paper's scalability
 	// bottleneck). Zero disables the modeled work (the ablation).
 	LedgerWork int
+	// FinishMode selects the resilient-finish bookkeeping architecture for
+	// every resilient runtime the harness builds: apgas.FinishCentral (the
+	// paper-faithful place-zero ledger, the default) or
+	// apgas.FinishSharded (home-based shards with a local fast path).
+	FinishMode apgas.FinishMode
 	// Progress, when non-nil, receives progress lines.
 	Progress io.Writer
 	// MetricsDir, when non-empty, receives one JSON metrics export per
@@ -146,22 +152,25 @@ func (c Config) ledgerCost() func(live int) {
 			z ^= z >> 30
 			z *= 0xbf58476d1ce4e5b9
 		}
-		ledgerSink = z
+		ledgerSink.Store(z)
 	}
 }
 
-// ledgerSink defeats dead-code elimination of the busy work.
-var ledgerSink uint64
+// ledgerSink defeats dead-code elimination of the busy work. Atomic
+// because sharded-mode runtimes charge the cost from one goroutine per
+// shard, not a single ledger goroutine.
+var ledgerSink atomic.Uint64
 
 // newRuntime builds a runtime for one experiment run. reg, when non-nil,
 // instruments the runtime; restore runs share it with the executor so one
 // export describes the whole run.
 func (c Config) newRuntime(places int, resilient bool, reg *obs.Registry) (*apgas.Runtime, error) {
 	return apgas.NewRuntime(apgas.Config{
-		Places:    places,
-		Resilient: resilient,
-		Net:       apgas.NetModel{Latency: c.Latency, BytePeriod: c.BytePeriod},
-		Obs:       reg,
+		Places:     places,
+		Resilient:  resilient,
+		FinishMode: c.FinishMode,
+		Net:        apgas.NetModel{Latency: c.Latency, BytePeriod: c.BytePeriod},
+		Obs:        reg,
 		LedgerCost: func() func(live int) {
 			if !resilient {
 				return nil

@@ -1,0 +1,491 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"time"
+
+	"github.com/rgml/rgml/internal/apgas"
+	"github.com/rgml/rgml/internal/apps"
+	"github.com/rgml/rgml/internal/chaos"
+	"github.com/rgml/rgml/internal/core"
+	"github.com/rgml/rgml/internal/la"
+	"github.com/rgml/rgml/internal/obs"
+)
+
+// The resilient-finish architecture benchmark (BENCH_finish.json): the
+// central place-zero ledger (the paper's measured design and its
+// scalability bottleneck) against the sharded home-based design with the
+// local fast path and batched delivery. Three measurements plus one
+// oracle:
+//
+//   - fork/join bookkeeping throughput for concurrent finishes (the
+//     hierarchical SPMD pattern every GML collective boils down to);
+//   - finish-barrier latency (one fan-out/fan-in round trip);
+//   - per-iteration resilient overhead vs place count, for both
+//     architectures, against the same non-resilient baseline — the
+//     sharded curve must flatten where the central one keeps climbing;
+//   - a chaos seed sweep at odd place counts proving kill fingerprints
+//     and final model weights are bit-identical across the two
+//     architectures (semantics unchanged, only the cost distribution).
+
+// finishFanTasks is the inner fan-out width of the synthetic SPMD round:
+// each place's activity runs a nested finish spawning this many tasks at
+// its own place (the sharded local fast path; central ledger traffic).
+const finishFanTasks = 16
+
+// FinishThroughputRow is one (mode, places) cell of the bookkeeping
+// throughput measurement.
+type FinishThroughputRow struct {
+	Mode   string `json:"mode"`
+	Places int    `json:"places"`
+	Tasks  int64  `json:"tasks"`
+	// Bookkeeping traffic observed by the registry: serialized ledger
+	// events, cost-charged event batches (gulps), and tasks that rode the
+	// sharded local fast path without any event at all.
+	LedgerEvents  int64   `json:"ledger_events"`
+	LedgerBatches int64   `json:"ledger_batches"`
+	LocalFast     int64   `json:"local_fast_tasks"`
+	Messages      int64   `json:"messages"`
+	ElapsedMS     float64 `json:"elapsed_ms"`
+	TasksPerSec   float64 `json:"tasks_per_sec"`
+}
+
+// FinishLatencyRow is one (mode, places) cell of the finish-barrier
+// latency measurement: the mean wall time of a single fan-out/fan-in
+// finish over all places.
+type FinishLatencyRow struct {
+	Mode    string  `json:"mode"`
+	Places  int     `json:"places"`
+	Reps    int     `json:"reps"`
+	MeanUS  float64 `json:"mean_us"`
+	TotalMS float64 `json:"total_ms"`
+}
+
+// FinishOverheadRow is one (mode, places) cell of the weak-scaling
+// overhead measurement: per-iteration time of the synthetic SPMD round
+// and its overhead above the non-resilient baseline at the same place
+// count.
+type FinishOverheadRow struct {
+	Mode      string  `json:"mode"` // "nonresilient", "central", "sharded"
+	Places    int     `json:"places"`
+	PerIterMS float64 `json:"per_iter_ms"`
+	// OverheadMS is PerIterMS minus the non-resilient PerIterMS at the
+	// same place count (zero for the baseline rows).
+	OverheadMS float64 `json:"overhead_ms"`
+}
+
+// FinishInvarianceRow is one (places, seed) cell of the semantics oracle:
+// the same chaos campaign run under both architectures.
+type FinishInvarianceRow struct {
+	Places          int    `json:"places"`
+	Seed            uint64 `json:"seed"`
+	Signature       string `json:"kill_fingerprint"`
+	SignaturesMatch bool   `json:"fingerprints_match"`
+	WeightsMatch    bool   `json:"weights_bitwise_equal"`
+}
+
+// FinishSummary condenses the acceptance criteria.
+type FinishSummary struct {
+	// ThroughputGain is sharded tasks/sec over central tasks/sec at the
+	// largest measured place count.
+	ThroughputGain float64 `json:"sharded_throughput_gain"`
+	// CentralOverheadGrowth and ShardedOverheadGrowth are each mode's
+	// per-iteration overhead at the largest place count divided by its
+	// overhead at the smallest, to compare against PlacesGrowth (the
+	// place ratio itself) and RemoteTaskGrowth (the ratio of tasks that
+	// actually need bookkeeping, which grows faster than the place ratio
+	// because the outer fan-out has places-1 remote spawns). Central far
+	// exceeds both (the congested ledger's live-proportional cost makes
+	// it superlinear); sharded stays near PlacesGrowth and below
+	// RemoteTaskGrowth — constant overhead per place, shrinking overhead
+	// per bookkept task as batches fill.
+	CentralOverheadGrowth float64 `json:"central_overhead_growth"`
+	ShardedOverheadGrowth float64 `json:"sharded_overhead_growth"`
+	PlacesGrowth          float64 `json:"places_growth"`
+	RemoteTaskGrowth      float64 `json:"remote_task_growth"`
+	// CentralOverheadExponent and ShardedOverheadExponent restate the
+	// growths as powers of the place ratio (log growth / log places):
+	// 2 is quadratic, 1 is linear (flat per-place overhead), below 1 is
+	// sublinear in places.
+	CentralOverheadExponent float64 `json:"central_overhead_exponent"`
+	ShardedOverheadExponent float64 `json:"sharded_overhead_exponent"`
+	// Invariant is true when every chaos sweep cell had matching
+	// fingerprints and bit-identical weights.
+	Invariant bool `json:"semantics_invariant"`
+}
+
+// FinishReport is the BENCH_finish.json document.
+type FinishReport struct {
+	Description string                `json:"description"`
+	Environment map[string]string     `json:"environment"`
+	Workload    string                `json:"workload"`
+	Throughput  []FinishThroughputRow `json:"throughput"`
+	Latency     []FinishLatencyRow    `json:"barrier_latency"`
+	Overhead    []FinishOverheadRow   `json:"overhead_vs_places"`
+	Invariance  []FinishInvarianceRow `json:"chaos_invariance"`
+	Summary     FinishSummary         `json:"summary"`
+}
+
+// finishModes are the two architectures under test, central first.
+var finishModes = []apgas.FinishMode{apgas.FinishCentral, apgas.FinishSharded}
+
+// invariancePlaces are the odd place counts of the semantics oracle (odd
+// on purpose: uneven partitions exercise remainder-block paths).
+var invariancePlaces = []int{3, 5}
+
+// invarianceSeeds drive the chaos engine's victim and probability draws.
+var invarianceSeeds = []uint64{1, 2, 3}
+
+// invarianceSchedule is a probabilistic commit-time kill at a serialized
+// point, so each seed's kill sequence is exactly reproducible. A single
+// kill keeps every cell recoverable at the smallest odd place count
+// (two kills could take a snapshot entry's owner and backup together).
+const invarianceSchedule = "kill(point=commit,prob=0.6,times=1)"
+
+// FinishBench runs the whole comparison and assembles the report.
+func (c Config) FinishBench() (*FinishReport, error) {
+	rep := &FinishReport{
+		Description: "Resilient-finish architecture comparison: central place-zero ledger " +
+			"(the paper's measured design) vs sharded home-based bookkeeping with a local " +
+			"fork/join fast path and batched event delivery. Reproduce with `make bench-finish`.",
+		Environment: map[string]string{
+			"goos":   runtime.GOOS,
+			"goarch": runtime.GOARCH,
+			"go":     runtime.Version(),
+			"date":   time.Now().UTC().Format("2006-01-02"),
+		},
+		Workload: fmt.Sprintf(
+			"hierarchical SPMD rounds: an outer finish fans one activity out to every "+
+				"place; each activity runs a nested finish spawning %d tasks at its own "+
+				"place. %d rounds per cell, ledger work %d. Chaos oracle: LinReg under "+
+				"schedule %q at odd place counts %v, seeds %v.",
+			finishFanTasks, c.Scale.Iterations, c.LedgerWork,
+			invarianceSchedule, invariancePlaces, invarianceSeeds),
+	}
+
+	for _, places := range c.throughputPlaces() {
+		for _, mode := range finishModes {
+			row, err := c.finishThroughput(places, mode)
+			if err != nil {
+				return nil, fmt.Errorf("bench: finish throughput places=%d mode=%v: %w", places, mode, err)
+			}
+			rep.Throughput = append(rep.Throughput, row)
+			c.progressf("finish throughput places=%d mode=%s: %.0f tasks/s (%d events, %d batches, %d local)",
+				places, row.Mode, row.TasksPerSec, row.LedgerEvents, row.LedgerBatches, row.LocalFast)
+
+			lat, err := c.finishLatency(places, mode)
+			if err != nil {
+				return nil, fmt.Errorf("bench: finish latency places=%d mode=%v: %w", places, mode, err)
+			}
+			rep.Latency = append(rep.Latency, lat)
+		}
+	}
+
+	for _, places := range c.throughputPlaces() {
+		rows, err := c.finishOverhead(places)
+		if err != nil {
+			return nil, fmt.Errorf("bench: finish overhead places=%d: %w", places, err)
+		}
+		rep.Overhead = append(rep.Overhead, rows...)
+		for _, row := range rows {
+			c.progressf("finish overhead places=%d mode=%s: %.3f ms/iter (+%.3f)",
+				places, row.Mode, row.PerIterMS, row.OverheadMS)
+		}
+	}
+
+	for _, places := range invariancePlaces {
+		for _, seed := range invarianceSeeds {
+			row, err := c.finishInvariance(places, seed)
+			if err != nil {
+				return nil, fmt.Errorf("bench: finish invariance places=%d seed=%d: %w", places, seed, err)
+			}
+			rep.Invariance = append(rep.Invariance, row)
+			c.progressf("finish invariance places=%d seed=%d: %q match=%v weights=%v",
+				places, seed, row.Signature, row.SignaturesMatch, row.WeightsMatch)
+		}
+	}
+
+	rep.Summary = c.finishSummary(rep)
+	return rep, nil
+}
+
+// throughputPlaces caps the sweep: the synthetic rounds are pure
+// bookkeeping, so a handful of counts shows the scaling shape.
+func (c Config) throughputPlaces() []int {
+	pcs := c.Scale.PlaceCounts
+	if len(pcs) <= 4 {
+		return pcs
+	}
+	// First, a third in, two thirds in, last: enough for a growth curve.
+	return []int{pcs[0], pcs[len(pcs)/3], pcs[2*len(pcs)/3], pcs[len(pcs)-1]}
+}
+
+// finishRuntime builds a runtime for one cell.
+func (c Config) finishRuntime(places int, resilient bool, mode apgas.FinishMode, reg *obs.Registry) (*apgas.Runtime, error) {
+	cfg := c
+	cfg.FinishMode = mode
+	return cfg.newRuntime(places, resilient, reg)
+}
+
+// spmdRound is the workload unit: an outer fan-out to every place, each
+// activity running a nested all-local finish — the shape of one GML
+// iteration (a collective over places whose per-place work is itself
+// task-parallel).
+func spmdRound(rt *apgas.Runtime) error {
+	return apgas.ForEachPlace(rt, rt.World(), func(ctx *apgas.Ctx, _ int) {
+		_ = ctx.FinishFrom(func(inner *apgas.Ctx) {
+			for i := 0; i < finishFanTasks; i++ {
+				inner.AsyncAt(inner.Here, func(*apgas.Ctx) {})
+			}
+		})
+	})
+}
+
+// finishThroughput measures fork/join bookkeeping throughput for
+// concurrent finishes under one architecture.
+func (c Config) finishThroughput(places int, mode apgas.FinishMode) (FinishThroughputRow, error) {
+	reg := obs.NewRegistry()
+	rt, err := c.finishRuntime(places, true, mode, reg)
+	if err != nil {
+		return FinishThroughputRow{}, err
+	}
+	defer rt.Shutdown()
+	before := rt.Stats()
+	start := time.Now()
+	for r := 0; r < c.Scale.Iterations; r++ {
+		if err := spmdRound(rt); err != nil {
+			return FinishThroughputRow{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	d := rt.Stats().Sub(before)
+	row := FinishThroughputRow{
+		Mode:          mode.String(),
+		Places:        places,
+		Tasks:         d.TasksSpawned,
+		LedgerEvents:  d.LedgerEvents,
+		LocalFast:     d.LocalTasks,
+		Messages:      d.Messages,
+		LedgerBatches: reg.Counter("apgas.ledger.batches").Value(),
+		ElapsedMS:     float64(elapsed.Microseconds()) / 1000,
+	}
+	if elapsed > 0 {
+		row.TasksPerSec = float64(d.TasksSpawned) / elapsed.Seconds()
+	}
+	return row, nil
+}
+
+// finishLatency measures the round-trip latency of a single fan-out
+// finish barrier.
+func (c Config) finishLatency(places int, mode apgas.FinishMode) (FinishLatencyRow, error) {
+	rt, err := c.finishRuntime(places, true, mode, obs.NewRegistry())
+	if err != nil {
+		return FinishLatencyRow{}, err
+	}
+	defer rt.Shutdown()
+	reps := 20 * c.Scale.Iterations
+	start := time.Now()
+	for r := 0; r < reps; r++ {
+		if err := apgas.ForEachPlace(rt, rt.World(), func(*apgas.Ctx, int) {}); err != nil {
+			return FinishLatencyRow{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	return FinishLatencyRow{
+		Mode:    mode.String(),
+		Places:  places,
+		Reps:    reps,
+		MeanUS:  float64(elapsed.Microseconds()) / float64(reps),
+		TotalMS: float64(elapsed.Microseconds()) / 1000,
+	}, nil
+}
+
+// finishOverhead measures the per-iteration time of the synthetic SPMD
+// round for the non-resilient baseline and both resilient architectures
+// at one place count. The three configurations run interleaved passes
+// (warm-up, then timed, taking each configuration's minimum), so slow
+// host drift — GC state, scheduler warm-up — hits all three alike
+// instead of skewing the differences; the small-place cells are tens of
+// microseconds, where the drift would otherwise dominate. Small place
+// counts run proportionally more rounds per pass so every pass is long
+// enough to time.
+func (c Config) finishOverhead(places int) ([]FinishOverheadRow, error) {
+	maxPlaces := c.Scale.PlaceCounts[len(c.Scale.PlaceCounts)-1]
+	iters := c.Scale.Iterations * maxPlaces / places
+	configs := []struct {
+		name      string
+		resilient bool
+		mode      apgas.FinishMode
+	}{
+		{"nonresilient", false, apgas.FinishCentral},
+		{apgas.FinishCentral.String(), true, apgas.FinishCentral},
+		{apgas.FinishSharded.String(), true, apgas.FinishSharded},
+	}
+	rts := make([]*apgas.Runtime, len(configs))
+	for i, cc := range configs {
+		rt, err := c.finishRuntime(places, cc.resilient, cc.mode, obs.NewRegistry())
+		if err != nil {
+			return nil, err
+		}
+		defer rt.Shutdown()
+		rts[i] = rt
+	}
+	best := make([]float64, len(configs))
+	for pass := 0; pass < 4; pass++ {
+		for i := range configs {
+			start := time.Now()
+			for r := 0; r < iters; r++ {
+				if err := spmdRound(rts[i]); err != nil {
+					return nil, err
+				}
+			}
+			perIter := float64(time.Since(start).Microseconds()) / 1000 / float64(iters)
+			// The first pass is an untimed warm-up.
+			if pass > 0 && (best[i] == 0 || perIter < best[i]) {
+				best[i] = perIter
+			}
+		}
+	}
+	rows := make([]FinishOverheadRow, len(configs))
+	for i, cc := range configs {
+		rows[i] = FinishOverheadRow{Mode: cc.name, Places: places, PerIterMS: best[i]}
+		if i > 0 {
+			rows[i].OverheadMS = best[i] - best[0]
+			if rows[i].OverheadMS < 0 {
+				rows[i].OverheadMS = 0
+			}
+		}
+	}
+	return rows, nil
+}
+
+// finishInvariance runs the same seeded chaos campaign (LinReg with
+// checkpoint/restore) under both architectures and compares the kill
+// fingerprints and the final weights bit for bit.
+func (c Config) finishInvariance(places int, seed uint64) (FinishInvarianceRow, error) {
+	run := func(mode apgas.FinishMode) (string, la.Vector, error) {
+		reg := obs.NewRegistry()
+		rt, err := c.finishRuntime(places, true, mode, reg)
+		if err != nil {
+			return "", nil, err
+		}
+		defer rt.Shutdown()
+		eng, err := chaos.New(rt, chaos.MustParse(invarianceSchedule), chaos.WithSeed(seed))
+		if err != nil {
+			return "", nil, err
+		}
+		exec, err := core.New(rt,
+			core.WithCheckpointInterval(c.Scale.CheckpointInterval),
+			core.WithChaos(eng),
+		)
+		if err != nil {
+			return "", nil, err
+		}
+		s := c.Scale
+		app, err := apps.NewLinReg(rt, apps.LinRegConfig{
+			Examples: s.LinRegExamplesPerPlace * places, Features: s.LinRegFeatures,
+			Iterations: s.Iterations, Seed: s.Seed,
+		}, exec.ActiveGroup())
+		if err != nil {
+			return "", nil, err
+		}
+		if err := exec.Run(app); err != nil {
+			return "", nil, err
+		}
+		w, err := app.Weights()
+		if err != nil {
+			return "", nil, err
+		}
+		return eng.Signature(), append(la.Vector(nil), w...), nil
+	}
+	sigC, wC, err := run(apgas.FinishCentral)
+	if err != nil {
+		return FinishInvarianceRow{}, fmt.Errorf("central: %w", err)
+	}
+	sigS, wS, err := run(apgas.FinishSharded)
+	if err != nil {
+		return FinishInvarianceRow{}, fmt.Errorf("sharded: %w", err)
+	}
+	return FinishInvarianceRow{
+		Places:          places,
+		Seed:            seed,
+		Signature:       sigC,
+		SignaturesMatch: sigC == sigS,
+		WeightsMatch:    vectorsBitEqual(wC, wS),
+	}, nil
+}
+
+// finishSummary condenses the report against the acceptance criteria.
+func (c Config) finishSummary(rep *FinishReport) FinishSummary {
+	sum := FinishSummary{Invariant: len(rep.Invariance) > 0}
+	for _, row := range rep.Invariance {
+		if !row.SignaturesMatch || !row.WeightsMatch {
+			sum.Invariant = false
+		}
+	}
+	// Throughput gain at the largest place count.
+	perMode := func(rows []FinishThroughputRow, mode string) *FinishThroughputRow {
+		var best *FinishThroughputRow
+		for i := range rows {
+			if rows[i].Mode == mode && (best == nil || rows[i].Places > best.Places) {
+				best = &rows[i]
+			}
+		}
+		return best
+	}
+	cRow := perMode(rep.Throughput, apgas.FinishCentral.String())
+	sRow := perMode(rep.Throughput, apgas.FinishSharded.String())
+	if cRow != nil && sRow != nil && cRow.TasksPerSec > 0 {
+		sum.ThroughputGain = sRow.TasksPerSec / cRow.TasksPerSec
+	}
+	// Overhead growth: largest-places overhead over smallest-places
+	// overhead, per mode, against the place ratio.
+	growth := func(mode string) (float64, float64) {
+		var lo, hi *FinishOverheadRow
+		for i := range rep.Overhead {
+			r := &rep.Overhead[i]
+			if r.Mode != mode {
+				continue
+			}
+			if lo == nil || r.Places < lo.Places {
+				lo = r
+			}
+			if hi == nil || r.Places > hi.Places {
+				hi = r
+			}
+		}
+		if lo == nil || hi == nil || lo == hi || lo.OverheadMS <= 0 {
+			return 0, 0
+		}
+		return hi.OverheadMS / lo.OverheadMS, float64(hi.Places) / float64(lo.Places)
+	}
+	var placesGrowth float64
+	sum.CentralOverheadGrowth, placesGrowth = growth(apgas.FinishCentral.String())
+	sum.ShardedOverheadGrowth, _ = growth(apgas.FinishSharded.String())
+	sum.PlacesGrowth = placesGrowth
+	if placesGrowth > 1 {
+		pcs := c.throughputPlaces()
+		lo, hi := pcs[0], pcs[len(pcs)-1]
+		if lo > 1 {
+			sum.RemoteTaskGrowth = float64(hi-1) / float64(lo-1)
+		}
+		if sum.CentralOverheadGrowth > 0 {
+			sum.CentralOverheadExponent = math.Log(sum.CentralOverheadGrowth) / math.Log(placesGrowth)
+		}
+		if sum.ShardedOverheadGrowth > 0 {
+			sum.ShardedOverheadExponent = math.Log(sum.ShardedOverheadGrowth) / math.Log(placesGrowth)
+		}
+	}
+	return sum
+}
+
+// WriteFinishReport writes the report as the BENCH_finish.json document.
+func WriteFinishReport(w io.Writer, rep *FinishReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFinishBenchSmoke runs the finish-architecture comparison at smoke
+// scale and pins the report's structure plus the semantics oracle: every
+// chaos cell must have matching kill fingerprints and bit-identical final
+// weights across the central and sharded architectures, including at the
+// odd place counts where partitions are uneven.
+func TestFinishBenchSmoke(t *testing.T) {
+	cfg := smokeConfig()
+	cfg.LedgerWork = 50 // exercise the cost-charging path in both modes
+	rep, err := cfg.FinishBench()
+	if err != nil {
+		t.Fatal(err)
+	}
+	places := cfg.throughputPlaces()
+	if want := 2 * len(places); len(rep.Throughput) != want {
+		t.Fatalf("throughput rows = %d, want %d", len(rep.Throughput), want)
+	}
+	if want := 2 * len(places); len(rep.Latency) != want {
+		t.Fatalf("latency rows = %d, want %d", len(rep.Latency), want)
+	}
+	if want := 3 * len(places); len(rep.Overhead) != want {
+		t.Fatalf("overhead rows = %d, want %d", len(rep.Overhead), want)
+	}
+	for _, row := range rep.Throughput {
+		if row.Tasks <= 0 || row.TasksPerSec <= 0 {
+			t.Errorf("throughput %s/p%d: tasks=%d rate=%.0f, want both > 0",
+				row.Mode, row.Places, row.Tasks, row.TasksPerSec)
+		}
+		switch row.Mode {
+		case "central":
+			if row.LocalFast != 0 {
+				t.Errorf("central/p%d: local fast-path tasks = %d, want 0", row.Places, row.LocalFast)
+			}
+		case "sharded":
+			if row.LocalFast <= 0 {
+				t.Errorf("sharded/p%d: local fast-path tasks = %d, want > 0", row.Places, row.LocalFast)
+			}
+			if row.LedgerBatches <= 0 {
+				t.Errorf("sharded/p%d: ledger batches = %d, want > 0", row.Places, row.LedgerBatches)
+			}
+		default:
+			t.Errorf("unknown throughput mode %q", row.Mode)
+		}
+	}
+	if want := len(invariancePlaces) * len(invarianceSeeds); len(rep.Invariance) != want {
+		t.Fatalf("invariance rows = %d, want %d", len(rep.Invariance), want)
+	}
+	for _, row := range rep.Invariance {
+		if row.Places%2 == 0 {
+			t.Errorf("invariance cell at even place count %d, want odd", row.Places)
+		}
+		if !row.SignaturesMatch {
+			t.Errorf("places=%d seed=%d: kill fingerprints differ across finish modes", row.Places, row.Seed)
+		}
+		if !row.WeightsMatch {
+			t.Errorf("places=%d seed=%d: final weights not bitwise equal across finish modes", row.Places, row.Seed)
+		}
+	}
+	if !rep.Summary.Invariant {
+		t.Error("summary reports semantics not invariant across finish modes")
+	}
+
+	var buf bytes.Buffer
+	if err := WriteFinishReport(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"\"throughput\"", "\"chaos_invariance\"", "\"summary\"", "sharded"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

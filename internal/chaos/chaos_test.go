@@ -237,3 +237,46 @@ func TestIterationPinnedRuleNeverFiresOutsideRun(t *testing.T) {
 		t.Fatal("rule did not fire once the clock matched")
 	}
 }
+
+// TestKillFingerprintFinishModeInvariance drives the same schedule through
+// a sequential spawn pattern under both resilient-finish architectures and
+// requires identical kill fingerprints: the spawn fault point fires in
+// AsyncAt *before* the bookkeeping mode branches, so sharding the ledger
+// must not perturb when or whom a schedule kills.
+func TestKillFingerprintFinishModeInvariance(t *testing.T) {
+	run := func(mode apgas.FinishMode) string {
+		rt, err := apgas.New(
+			apgas.WithPlaces(5),
+			apgas.WithResilient(true),
+			apgas.WithFinishMode(mode),
+			apgas.WithObs(obs.NewRegistry()),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rt.Shutdown()
+		e, err := New(rt, MustParse("kill(point=spawn,prob=0.3,times=2)"), WithSeed(11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Arm()
+		e.Advance(0)
+		// Sequential spawns: each finish waits before the next spawn, so
+		// the spawn-point evaluation order is deterministic.
+		for i := 0; i < 12; i++ {
+			target := rt.Place(1 + i%4)
+			_ = rt.Finish(func(ctx *apgas.Ctx) {
+				ctx.AsyncAt(target, func(*apgas.Ctx) {})
+			})
+		}
+		return e.Signature()
+	}
+	central := run(apgas.FinishCentral)
+	sharded := run(apgas.FinishSharded)
+	if central == "" {
+		t.Fatal("schedule never fired; test is vacuous")
+	}
+	if central != sharded {
+		t.Fatalf("kill fingerprint diverged across finish modes:\n central: %q\n sharded: %q", central, sharded)
+	}
+}

@@ -52,7 +52,25 @@ type (
 	NetModel = apgas.NetModel
 	// DeadPlaceError reports a failed place (x10.lang.DeadPlaceException).
 	DeadPlaceError = apgas.DeadPlaceError
+	// FinishMode selects the resilient-finish bookkeeping architecture.
+	FinishMode = apgas.FinishMode
 )
+
+// The resilient-finish architectures.
+const (
+	// FinishCentral is the paper-faithful place-zero ledger (the default).
+	FinishCentral = apgas.FinishCentral
+	// FinishSharded bookkeeps each finish at its home place's ledger shard,
+	// with a local fork/join fast path and batched event delivery.
+	FinishSharded = apgas.FinishSharded
+)
+
+// DefaultLedgerQueue is the default capacity of each bookkeeping event
+// channel.
+const DefaultLedgerQueue = apgas.DefaultLedgerQueue
+
+// ParseFinishMode maps "central" or "sharded" to its FinishMode.
+func ParseFinishMode(s string) (FinishMode, error) { return apgas.ParseFinishMode(s) }
 
 // RuntimeOption configures a runtime built with NewRuntimeWith.
 type RuntimeOption = apgas.Option
@@ -79,6 +97,18 @@ func WithResilient(on bool) RuntimeOption { return apgas.WithResilient(on) }
 
 // WithNet sets the simulated interconnect model.
 func WithNet(m NetModel) RuntimeOption { return apgas.WithNet(m) }
+
+// WithFinishMode selects the resilient-finish bookkeeping architecture:
+// FinishCentral (the default) or FinishSharded. Both modes have identical
+// semantics — failures surface as the same DeadPlaceError and seeded chaos
+// schedules kill identically — only the bookkeeping cost distribution
+// changes.
+func WithFinishMode(m FinishMode) RuntimeOption { return apgas.WithFinishMode(m) }
+
+// WithLedgerQueue sets the capacity of each resilient-finish bookkeeping
+// event channel (default DefaultLedgerQueue). When a channel fills, event
+// posting blocks and the apgas.ledger.queue_full counter increments.
+func WithLedgerQueue(n int) RuntimeOption { return apgas.WithLedgerQueue(n) }
 
 // WithRuntimeObs wires the runtime's instrumentation into reg. Pass the
 // same registry to WithExecutorObs for a single coherent export per run.

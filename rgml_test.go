@@ -260,3 +260,33 @@ func TestFacadeErrors(t *testing.T) {
 		t.Fatalf("DeadPlaces = %v", dead)
 	}
 }
+
+// TestFacadeFinishMode exercises the finish-architecture re-exports: mode
+// parsing, the runtime options, and a sharded run reaching the same result.
+func TestFacadeFinishMode(t *testing.T) {
+	m, err := rgml.ParseFinishMode("sharded")
+	if err != nil || m != rgml.FinishSharded {
+		t.Fatalf("ParseFinishMode = %v, %v", m, err)
+	}
+	if _, err := rgml.ParseFinishMode("bogus"); err == nil {
+		t.Fatal("ParseFinishMode accepted bogus mode")
+	}
+	rt, err := rgml.NewRuntimeWith(
+		rgml.WithPlaces(3),
+		rgml.WithResilient(true),
+		rgml.WithFinishMode(rgml.FinishSharded),
+		rgml.WithLedgerQueue(rgml.DefaultLedgerQueue/2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	if err := rt.Kill(rt.Place(1)); err != nil {
+		t.Fatal(err)
+	}
+	err = rgml.ForEachPlace(rt, rgml.PlaceGroup{rt.Place(0), rt.Place(1), rt.Place(2)},
+		func(ctx *rgml.Ctx, idx int) {})
+	if !rgml.IsDeadPlace(err) {
+		t.Fatalf("IsDeadPlace = false for %v", err)
+	}
+}
