@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race race-recovery race-chaos race-delta race-finish chaos-smoke workers-seq fuzz bench bench-checkpoint bench-kernels bench-delta bench-finish
+.PHONY: ci vet build test race race-recovery race-chaos race-delta race-finish race-store chaos-smoke workers-seq fuzz bench bench-checkpoint bench-kernels bench-delta bench-finish bench-store
 
-ci: vet build race race-recovery race-chaos race-delta race-finish chaos-smoke workers-seq bench-checkpoint bench-kernels bench-delta bench-finish
+ci: vet build race race-recovery race-chaos race-delta race-finish race-store chaos-smoke workers-seq bench-checkpoint bench-kernels bench-delta bench-finish bench-store
 
 vet:
 	$(GO) vet ./...
@@ -49,6 +49,17 @@ race-finish:
 	$(GO) test -race -count=2 -run 'FinishMode|Sharded|LedgerQueue|Refused' ./internal/apgas/
 	$(GO) test -race -count=2 -run 'TestKillFingerprintFinishModeInvariance' ./internal/chaos/
 	$(GO) test -race -count=2 -run 'TestFinishBenchSmoke' ./internal/bench/
+
+# Extra -race iterations over the redundancy-policy store paths: the
+# Reed-Solomon codec's parallel shard reconstruction, replicated and
+# erasure-coded puts racing the repair pass, degraded-entry tracking
+# under injected replica drops, and the executor-level double-kill
+# sweep that pins the loud-loss/recovery contract per policy.
+race-store:
+	$(GO) test -race -count=2 -run 'TestGF|TestRS' ./internal/codec/
+	$(GO) test -race -count=2 -run 'Replicate|Erasure|Repair|Degraded|PolicyClamp|SinglePlace' ./internal/snapshot/
+	$(GO) test -race -count=2 -run 'TestExecutor(Repair|Delta|DoubleKill|NoBackup|PartialRestore|SinglePlace)' ./internal/core/
+	$(GO) test -race -count=2 -run 'Span' ./internal/chaos/
 
 # A short fixed-seed chaos campaign over every benchmark application:
 # one kill inside a checkpoint commit plus one during the restore that
@@ -100,3 +111,11 @@ bench-delta:
 bench-finish:
 	$(GO) run ./cmd/rgmlbench -q finish > BENCH_finish.json
 	@echo "bench-finish: wrote BENCH_finish.json"
+
+# The redundancy-policy comparison backing BENCH_store.json: storage
+# overhead and reconstruction throughput for replication factors vs
+# Reed-Solomon erasure geometries, plus the correlated double-kill
+# survival matrix (k=2 loses loudly; k=3 and erasure recover and verify).
+bench-store:
+	$(GO) run ./cmd/rgmlbench -q store > BENCH_store.json
+	@echo "bench-store: wrote BENCH_store.json"

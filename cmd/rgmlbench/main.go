@@ -11,10 +11,17 @@
 // Experiments: table2, fig2, fig3, fig4, table3, fig5, fig6, fig7, table4,
 // ablations, delta — a full-vs-delta checkpointing comparison emitting the
 // BENCH_delta.json document — finish — a central-vs-sharded resilient-finish
-// architecture comparison emitting the BENCH_finish.json document — and
-// chaos — a fault-injection campaign that sweeps the -seeds list over the
-// -chaos schedule for each benchmark application and emits a per-campaign
-// survival/recovery JSON report.
+// architecture comparison emitting the BENCH_finish.json document — store —
+// a redundancy-policy comparison (replication factor vs Reed-Solomon
+// erasure coding: storage overhead, reconstruction throughput, and a
+// correlated double-kill survival matrix) emitting the BENCH_store.json
+// document — and chaos — a fault-injection campaign that sweeps the -seeds
+// list over the -chaos schedule for each benchmark application and emits a
+// per-campaign survival/recovery JSON report.
+//
+// The -placement/-redundancy/-shards flags set the snapshot store's
+// redundancy policy for every resilient run (the store experiment sweeps
+// its own policies and ignores them).
 //
 // The workload sizes default to laptop scale (see -scale and the
 // per-workload flags); EXPERIMENTS.md records how they map to the paper's
@@ -59,6 +66,9 @@ func run(args []string) error {
 		bytePeriod = fs.Duration("byte-period", 0, "simulated per-byte transfer time")
 		ledgerWork = fs.Int("ledger-work", bench.DefaultConfig().LedgerWork, "resilient-finish ledger work units per event")
 		finishArch = fs.String("finish", "central", "resilient-finish architecture for every resilient run: central or sharded")
+		placement  = fs.String("placement", "", "snapshot store placement for every resilient run: replicate or erasure (default replicate)")
+		redundancy = fs.Int("redundancy", 0, "replica count k for the replicate placement (default 2, the paper's double in-memory storage)")
+		shards     = fs.String("shards", "", "erasure geometry as d,p data/parity shards (default 4,1)")
 		metricsDir = fs.String("metrics", "", "directory for per-restore-run JSON metrics exports (empty: none)")
 		workers    = fs.Int("workers", 0, "intra-place kernel worker pool size (0: RGML_WORKERS or CPU count)")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile covering all experiments to this file")
@@ -118,6 +128,11 @@ func run(args []string) error {
 		return fmt.Errorf("-finish: %w", err)
 	}
 	cfg.FinishMode = mode
+	pol, err := parseStorePolicy(*placement, *redundancy, *shards)
+	if err != nil {
+		return err
+	}
+	cfg.Store = pol
 	if !*quiet {
 		cfg.Progress = os.Stderr
 	}
@@ -238,6 +253,46 @@ func runChaosCampaigns(cfg bench.Config, co chaosOptions, outDir string) error {
 		return fmt.Errorf("at least one run did not survive or verify")
 	}
 	return nil
+}
+
+// parseStorePolicy assembles the snapshot-store redundancy policy from
+// the -placement/-redundancy/-shards flags. All unset keeps the zero
+// policy — the store's paper-faithful default (replicate, k=2).
+func parseStorePolicy(placement string, redundancy int, shards string) (apgas.StorePolicy, error) {
+	var sp apgas.StorePolicy
+	if placement == "" && redundancy == 0 && shards == "" {
+		return sp, nil
+	}
+	if placement != "" {
+		p, err := apgas.ParsePlacement(placement)
+		if err != nil {
+			return sp, fmt.Errorf("-placement: %w", err)
+		}
+		sp.Placement = p
+	} else if shards != "" {
+		// -shards alone implies erasure.
+		sp.Placement = apgas.PlacementErasure
+	}
+	if redundancy > 0 {
+		if sp.Placement == apgas.PlacementErasure {
+			return sp, fmt.Errorf("-redundancy applies to the replicate placement; size erasure with -shards d,p")
+		}
+		sp.Replicas = redundancy
+	}
+	if shards != "" {
+		if sp.Placement != apgas.PlacementErasure {
+			return sp, fmt.Errorf("-shards applies to the erasure placement (add -placement erasure)")
+		}
+		dp, err := parseInts(shards)
+		if err != nil || len(dp) != 2 {
+			return sp, fmt.Errorf("-shards: want d,p (e.g. 4,1), got %q", shards)
+		}
+		sp.DataShards, sp.ParityShards = dp[0], dp[1]
+	}
+	if err := sp.Validate(); err != nil {
+		return sp, err
+	}
+	return sp, nil
 }
 
 // parseRestoreMode maps a mode flag value to its RestoreMode.
@@ -368,8 +423,16 @@ func runExperiment(cfg bench.Config, exp, outDir string) error {
 		return output(outDir, "finish", func(w io.Writer) error {
 			return bench.WriteFinishReport(w, rep)
 		})
+	case "store":
+		rep, err := cfg.StoreBench()
+		if err != nil {
+			return err
+		}
+		return output(outDir, "store", func(w io.Writer) error {
+			return bench.WriteStoreReport(w, rep)
+		})
 	default:
-		return fmt.Errorf("unknown experiment (want table2, fig2-7, table3, table4, ablations, delta, finish, all)")
+		return fmt.Errorf("unknown experiment (want table2, fig2-7, table3, table4, ablations, delta, finish, store, all)")
 	}
 }
 

@@ -38,6 +38,9 @@ func run() error {
 		modeName = flag.String("mode", "shrink", "restore mode: shrink, shrink-rebalance, replace-redundant, replace-elastic")
 		delta    = flag.Bool("delta", false, "delta checkpointing: re-encode and re-ship only entries changed since the committed checkpoint")
 		finish   = flag.String("finish", "central", "resilient-finish architecture: central (place-zero ledger) or sharded (home-based shards with a local fast path)")
+		placeStr = flag.String("placement", "", "snapshot store placement: replicate or erasure (default replicate)")
+		redun    = flag.Int("redundancy", 0, "replica count k for the replicate placement (default 2; 1 disables backups)")
+		shards   = flag.String("shards", "", "erasure geometry as d,p data/parity shards (default 4,1)")
 		killIter = flag.Int("kill-iter", 0, "inject a failure after this iteration (0: none)")
 		size     = flag.Int("size", 1000, "per-place problem size (examples or nodes)")
 		seed     = flag.Uint64("seed", 42, "dataset seed")
@@ -74,6 +77,10 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	pol, err := storePolicy(*placeStr, *redun, *shards)
+	if err != nil {
+		return err
+	}
 
 	// One registry collects runtime, snapshot and executor metrics so the
 	// -metrics export is a single coherent document.
@@ -82,6 +89,7 @@ func run() error {
 		apgas.WithPlaces(total),
 		apgas.WithResilient(true),
 		apgas.WithFinishMode(finishMode),
+		apgas.WithStorePolicy(pol),
 		apgas.WithNet(apgas.NetModel{Latency: *latency}),
 		apgas.WithObs(reg),
 		apgas.WithKernelWorkers(*workers),
@@ -154,6 +162,9 @@ func run() error {
 
 	fmt.Printf("running %s: %d iterations on %d places (mode %v, checkpoint every %d)\n",
 		*appName, *iters, *places, mode, *ckpt)
+	if !pol.IsZero() {
+		fmt.Printf("  store policy: %v\n", pol)
+	}
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -184,6 +195,46 @@ func run() error {
 			st.LocalTasks, st.RefusedForks)
 	}
 	return exportMetrics(reg, *metrics)
+}
+
+// storePolicy assembles the snapshot-store redundancy policy from the
+// -placement/-redundancy/-shards flags. All unset keeps the zero policy —
+// the store's paper-faithful default (replicate, k=2).
+func storePolicy(placement string, redundancy int, shards string) (apgas.StorePolicy, error) {
+	var sp apgas.StorePolicy
+	if placement == "" && redundancy == 0 && shards == "" {
+		return sp, nil
+	}
+	if placement != "" {
+		p, err := apgas.ParsePlacement(placement)
+		if err != nil {
+			return sp, fmt.Errorf("-placement: %w", err)
+		}
+		sp.Placement = p
+	} else if shards != "" {
+		// -shards alone implies erasure.
+		sp.Placement = apgas.PlacementErasure
+	}
+	if redundancy > 0 {
+		if sp.Placement == apgas.PlacementErasure {
+			return sp, fmt.Errorf("-redundancy applies to the replicate placement; size erasure with -shards d,p")
+		}
+		sp.Replicas = redundancy
+	}
+	if shards != "" {
+		if sp.Placement != apgas.PlacementErasure {
+			return sp, fmt.Errorf("-shards applies to the erasure placement (add -placement erasure)")
+		}
+		var d, p int
+		if n, err := fmt.Sscanf(shards, "%d,%d", &d, &p); err != nil || n != 2 {
+			return sp, fmt.Errorf("-shards: want d,p (e.g. 4,1), got %q", shards)
+		}
+		sp.DataShards, sp.ParityShards = d, p
+	}
+	if err := sp.Validate(); err != nil {
+		return sp, err
+	}
+	return sp, nil
 }
 
 // exportMetrics writes the registry to dest: nothing for "", a text dump on

@@ -102,6 +102,15 @@ func DeadPlaces(err error) []Place {
 // ErrShutdown is returned by operations on a runtime that has been shut down.
 var ErrShutdown = errors.New("apgas: runtime is shut down")
 
+// ErrBadOption is the typed error wrapped by every functional-option
+// validation failure (WithLedgerQueue with a non-positive capacity,
+// WithFinishMode with an unknown mode, WithStorePolicy with an invalid
+// geometry, ...). The failure is recorded at option-apply time and
+// surfaced by New/NewRuntime, so a bad value fails construction loudly
+// instead of deadlocking or silently falling back to a default; callers
+// classify with errors.Is(err, apgas.ErrBadOption).
+var ErrBadOption = errors.New("apgas: invalid option")
+
 // ErrCanceled is the typed cancellation error: FinishContext (and, one
 // layer up, Executor.RunContext) wrap it when the caller's context is
 // canceled or times out, so callers distinguish "you asked me to stop"

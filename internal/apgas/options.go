@@ -1,6 +1,10 @@
 package apgas
 
-import "github.com/rgml/rgml/internal/obs"
+import (
+	"fmt"
+
+	"github.com/rgml/rgml/internal/obs"
+)
 
 // Option configures a Runtime under construction. Options are the
 // preferred construction surface; the positional Config literal accepted
@@ -28,9 +32,17 @@ func WithNet(m NetModel) Option {
 // WithFinishMode selects the resilient-finish bookkeeping architecture:
 // FinishCentral (the default) is the paper-faithful place-zero ledger,
 // FinishSharded the home-based sharded design with a local fast path and
-// batched event delivery (see Config.FinishMode).
+// batched event delivery (see Config.FinishMode). An unknown mode is a
+// construction error (wrapping ErrBadOption), recorded when the option
+// applies.
 func WithFinishMode(m FinishMode) Option {
-	return func(c *Config) { c.FinishMode = m }
+	return func(c *Config) {
+		if m != FinishCentral && m != FinishSharded {
+			c.recordErr(fmt.Errorf("apgas: WithFinishMode(%d): unknown finish mode: %w", int(m), ErrBadOption))
+			return
+		}
+		c.FinishMode = m
+	}
 }
 
 // WithLedgerCost sets the modeled per-event bookkeeping work of the
@@ -40,9 +52,44 @@ func WithLedgerCost(fn func(liveTasks int)) Option {
 }
 
 // WithLedgerQueue sets the capacity of each bookkeeping event channel
-// (see Config.LedgerQueue). Zero keeps DefaultLedgerQueue.
+// (see Config.LedgerQueue). The capacity must be positive — an
+// unbuffered or negative queue would deadlock the fork path against the
+// ledger goroutine — so a non-positive n is a construction error
+// (wrapping ErrBadOption) rather than a silent fallback to
+// DefaultLedgerQueue. Callers wanting the default simply omit the
+// option.
 func WithLedgerQueue(n int) Option {
-	return func(c *Config) { c.LedgerQueue = n }
+	return func(c *Config) {
+		if n <= 0 {
+			c.recordErr(fmt.Errorf("apgas: WithLedgerQueue(%d): queue capacity must be positive: %w", n, ErrBadOption))
+			return
+		}
+		c.LedgerQueue = n
+	}
+}
+
+// WithStorePolicy sets the snapshot store's redundancy policy (see
+// Config.Store): replication factor k via ReplicateStore(k), or
+// Reed-Solomon erasure coding via ErasureStore(d, p). An invalid policy
+// (negative counts, d+p > 255) is a construction error wrapping
+// ErrBadOption; a policy merely wider than some snapshot's place group
+// is fine — the store clamps it per group with a trace event.
+func WithStorePolicy(sp StorePolicy) Option {
+	return func(c *Config) {
+		if err := sp.Validate(); err != nil {
+			c.recordErr(err)
+			return
+		}
+		c.Store = sp
+	}
+}
+
+// recordErr keeps the first option-validation failure for NewRuntime to
+// surface.
+func (c *Config) recordErr(err error) {
+	if c.err == nil {
+		c.err = err
+	}
 }
 
 // WithObs wires the runtime's instrumentation into reg (see Config.Obs).

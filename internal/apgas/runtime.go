@@ -54,6 +54,12 @@ type Config struct {
 	// run exports as a single document. Nil disables instrumentation at
 	// the cost of one branch per event.
 	Obs *obs.Registry
+	// Store is the snapshot store's redundancy policy (replication factor
+	// or erasure geometry); the snapshot layer reads it through
+	// Runtime.StorePolicy so every snapshot of a run shares one policy.
+	// The zero value leaves the store at its paper-faithful default
+	// (replicate, k=2).
+	Store StorePolicy
 	// KernelWorkers, when positive, sets the size of the process-wide
 	// intra-place kernel worker pool (internal/par) that the la kernels
 	// and per-place block fans run on. Zero leaves the pool at its
@@ -61,6 +67,11 @@ type Config struct {
 	// deterministic chunking contract makes kernel results bit-identical
 	// at every worker count, so the knob only affects throughput.
 	KernelWorkers int
+
+	// err carries the first validation failure recorded by a functional
+	// option at apply time (see options.go); NewRuntime surfaces it. The
+	// field is unexported so positional Config literals cannot set it.
+	err error
 }
 
 // Runtime is the emulated APGAS runtime: a fixed-at-startup (but elastically
@@ -131,6 +142,12 @@ func newRTInstr(reg *obs.Registry) rtInstr {
 // WithResilient, …). NewRuntime is kept so positional-Config callers
 // continue to compile; both constructors share the same validation.
 func NewRuntime(cfg Config) (*Runtime, error) {
+	if cfg.err != nil {
+		return nil, cfg.err
+	}
+	if err := cfg.Store.Validate(); err != nil {
+		return nil, err
+	}
 	if cfg.Places < 1 {
 		return nil, fmt.Errorf("apgas: Config.Places must be >= 1, got %d", cfg.Places)
 	}

@@ -113,6 +113,10 @@ type Config struct {
 	// paper-faithful place-zero ledger, the default) or
 	// apgas.FinishSharded (home-based shards with a local fast path).
 	FinishMode apgas.FinishMode
+	// Store is the snapshot store's redundancy policy for every resilient
+	// runtime the harness builds. The zero value keeps the paper-faithful
+	// default (replicate, k=2); the store experiment overrides it per run.
+	Store apgas.StorePolicy
 	// Progress, when non-nil, receives progress lines.
 	Progress io.Writer
 	// MetricsDir, when non-empty, receives one JSON metrics export per
@@ -169,6 +173,7 @@ func (c Config) newRuntime(places int, resilient bool, reg *obs.Registry) (*apga
 		Places:     places,
 		Resilient:  resilient,
 		FinishMode: c.FinishMode,
+		Store:      c.Store,
 		Net:        apgas.NetModel{Latency: c.Latency, BytePeriod: c.BytePeriod},
 		Obs:        reg,
 		LedgerCost: func() func(live int) {

@@ -1,0 +1,281 @@
+package bench
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"github.com/rgml/rgml/internal/apgas"
+	"github.com/rgml/rgml/internal/chaos"
+	"github.com/rgml/rgml/internal/core"
+	"github.com/rgml/rgml/internal/obs"
+	"github.com/rgml/rgml/internal/snapshot"
+)
+
+// The resilient-store redundancy benchmark (BENCH_store.json): what each
+// placement policy costs in storage and reconstruction time, and which
+// correlated failures it actually survives.
+//
+// Two parts:
+//
+//   - Overhead sweep: for each policy, save a fixed payload at every
+//     place, measure the bytes resident across the group against the raw
+//     payload (k× for replication, (d+p)/d× plus shard-padding slack for
+//     erasure), then kill as many places as the policy tolerates and time
+//     the full reconstruction of every entry.
+//
+//   - Survival matrix: a LinReg run under a correlated double kill — an
+//     entry's owner and its adjacent backup in the same inter-checkpoint
+//     window. k=2 (the paper's scheme) must fail loudly with ErrDataLost;
+//     k=3 and erasure recover and converge bit-identically to the
+//     failure-free reference.
+
+// StoreOverheadRow is one policy's storage/reconstruction measurement.
+type StoreOverheadRow struct {
+	Policy    string `json:"policy"`
+	Places    int    `json:"places"`
+	Tolerance int    `json:"tolerance"`
+	RawBytes  int64  `json:"rawBytes"`
+	// StoredBytes counts every resident byte across the group: payloads
+	// plus replicas (or shards).
+	StoredBytes int64   `json:"storedBytes"`
+	Overhead    float64 `json:"overhead"`
+	// Reconstruction: with Tolerance places killed, time to load every
+	// entry (replica fallback or shard rebuild).
+	RebuildMS   float64 `json:"rebuildMS,omitempty"`
+	RebuildMBps float64 `json:"rebuildMBps,omitempty"`
+	Rebuilds    int64   `json:"shardRebuilds,omitempty"`
+}
+
+// StoreSurvivalRow is one policy's outcome under the double-kill schedule.
+type StoreSurvivalRow struct {
+	Policy   string `json:"policy"`
+	Schedule string `json:"schedule"`
+	// Survived is true when the run completed despite the schedule.
+	Survived bool `json:"survived"`
+	// LoudLoss is true when an unsurvivable run failed with ErrDataLost —
+	// the contract for unrecoverable state (never silent corruption).
+	LoudLoss bool `json:"loudLoss,omitempty"`
+	// Verified is true for survivors whose final weights are bit-identical
+	// to the failure-free reference.
+	Verified bool    `json:"verified,omitempty"`
+	Restores int64   `json:"restores"`
+	Repairs  int64   `json:"repairs"`
+	Error    string  `json:"error,omitempty"`
+	TotalMS  float64 `json:"totalMS"`
+}
+
+// StoreReport is the BENCH_store.json document.
+type StoreReport struct {
+	Description string             `json:"description"`
+	Environment map[string]string  `json:"environment"`
+	Workload    string             `json:"workload"`
+	Overhead    []StoreOverheadRow `json:"overhead"`
+	Survival    []StoreSurvivalRow `json:"survival"`
+}
+
+// storePolicies is the sweep: the ablation (k=1), the paper default
+// (k=2), the double-failure-tolerant replica count (k=3) and two erasure
+// geometries with tolerance 1 and 2 at sub-replication storage cost.
+func storePolicies() []apgas.StorePolicy {
+	return []apgas.StorePolicy{
+		apgas.ReplicateStore(1),
+		apgas.ReplicateStore(2),
+		apgas.ReplicateStore(3),
+		apgas.ErasureStore(4, 1),
+		apgas.ErasureStore(3, 2),
+	}
+}
+
+// StoreBench runs both parts at laptop scale.
+func (c Config) StoreBench() (StoreReport, error) {
+	const (
+		places  = 8
+		payload = 64 << 10 // per-place bytes
+	)
+	rep := StoreReport{
+		Description: "Resilient-store redundancy policies: storage overhead and reconstruction " +
+			"throughput per policy (replicate k copies vs Reed-Solomon d+p erasure shards), " +
+			"plus a correlated double-kill survival matrix. Tolerating f failures costs " +
+			"(k=f+1)x storage under replication but only (d+f)/d under erasure; k=2 (the " +
+			"paper's double in-memory storage) fails loudly with ErrDataLost when an entry's " +
+			"owner and backup die in one inter-checkpoint window. Reproduce with `make bench-store`.",
+		Environment: map[string]string{
+			"goos":   runtime.GOOS,
+			"goarch": runtime.GOARCH,
+			"go":     runtime.Version(),
+			"date":   time.Now().UTC().Format("2006-01-02"),
+		},
+		Workload: fmt.Sprintf(
+			"overhead: %d places x %d KiB/place, kill <tolerance> adjacent places, reload all; "+
+				"survival: LinReg CG, %d examples/place x %d features, %d iterations, checkpoint "+
+				"every %d, kill(iter=%d,place=1,span=2)",
+			places, payload>>10, c.Scale.LinRegExamplesPerPlace, c.Scale.LinRegFeatures,
+			c.Scale.Iterations, c.Scale.CheckpointInterval, c.Scale.FailureIteration),
+	}
+	for _, sp := range storePolicies() {
+		row, err := c.storeOverheadRun(sp, places, payload)
+		if err != nil {
+			return rep, err
+		}
+		rep.Overhead = append(rep.Overhead, row)
+		c.progressf("store %s: stored=%d raw=%d overhead=%.3f rebuild=%.1fMB/s",
+			row.Policy, row.StoredBytes, row.RawBytes, row.Overhead, row.RebuildMBps)
+	}
+	sched := fmt.Sprintf("kill(iter=%d,place=1,span=2)", c.Scale.FailureIteration)
+	for _, sp := range []apgas.StorePolicy{
+		apgas.ReplicateStore(2),
+		apgas.ReplicateStore(3),
+		apgas.ErasureStore(3, 2),
+	} {
+		row := c.storeSurvivalRun(sp, sched)
+		rep.Survival = append(rep.Survival, row)
+		c.progressf("store %s under %s: survived=%v loudLoss=%v verified=%v",
+			row.Policy, sched, row.Survived, row.LoudLoss, row.Verified)
+	}
+	return rep, nil
+}
+
+// storeOverheadRun measures one policy's resident bytes and, when it
+// tolerates failures, its reconstruction throughput after killing that
+// many adjacent places.
+func (c Config) storeOverheadRun(sp apgas.StorePolicy, places, payload int) (StoreOverheadRow, error) {
+	cc := c
+	cc.Store = sp
+	reg := obs.NewRegistry()
+	rt, err := cc.newRuntime(places, true, reg)
+	if err != nil {
+		return StoreOverheadRow{}, err
+	}
+	defer rt.Shutdown()
+	pg := rt.World()
+	s, err := snapshot.New(rt, pg)
+	if err != nil {
+		return StoreOverheadRow{}, err
+	}
+	err = apgas.ForEachPlace(rt, pg, func(ctx *apgas.Ctx, idx int) {
+		data := make([]byte, payload)
+		for i := range data {
+			data[i] = byte(idx*131 + i)
+		}
+		s.Save(ctx, idx, data)
+	})
+	if err != nil {
+		return StoreOverheadRow{}, err
+	}
+	stored, err := s.Bytes()
+	if err != nil {
+		return StoreOverheadRow{}, err
+	}
+	row := StoreOverheadRow{
+		Policy:      sp.String(),
+		Places:      places,
+		Tolerance:   sp.Tolerance(),
+		RawBytes:    int64(places * payload),
+		StoredBytes: int64(stored),
+	}
+	row.Overhead = float64(row.StoredBytes) / float64(row.RawBytes)
+	if row.Tolerance == 0 {
+		return row, nil
+	}
+	// Kill the worst case for adjacent placement: `tolerance` consecutive
+	// places starting at 1, then reload every entry from place zero.
+	for i := 1; i <= row.Tolerance; i++ {
+		if err := rt.Kill(rt.Place(i)); err != nil {
+			return row, err
+		}
+	}
+	start := time.Now()
+	err = rt.Finish(func(ctx *apgas.Ctx) {
+		for key := 0; key < places; key++ {
+			if _, lerr := s.Load(ctx, key, key); lerr != nil {
+				apgas.Throw(fmt.Errorf("bench: store %s: load %d after %d kills: %w",
+					row.Policy, key, row.Tolerance, lerr))
+			}
+		}
+	})
+	if err != nil {
+		return row, err
+	}
+	elapsed := time.Since(start)
+	row.RebuildMS = float64(elapsed.Microseconds()) / 1000
+	if secs := elapsed.Seconds(); secs > 0 {
+		row.RebuildMBps = float64(row.RawBytes) / (1 << 20) / secs
+	}
+	row.Rebuilds = reg.Counter("snapshot.shards.rebuilt").Value()
+	return row, nil
+}
+
+// storeSurvivalRun executes one LinReg run under the correlated
+// double-kill schedule and records whether the policy survived it —
+// and, when it could not, whether the loss was loud (ErrDataLost).
+func (c Config) storeSurvivalRun(sp apgas.StorePolicy, schedule string) StoreSurvivalRow {
+	row := StoreSurvivalRow{Policy: sp.String(), Schedule: schedule}
+	const places = 6
+	cc := c
+	cc.Store = sp
+
+	ref, err := cc.chaosReference(ChaosSpec{App: LinReg, Places: places})
+	if err != nil {
+		row.Error = err.Error()
+		return row
+	}
+	reg := obs.NewRegistry()
+	rt, err := cc.newRuntime(places, true, reg)
+	if err != nil {
+		row.Error = err.Error()
+		return row
+	}
+	defer rt.Shutdown()
+	eng, err := chaos.New(rt, chaos.MustParse(schedule))
+	if err != nil {
+		row.Error = err.Error()
+		return row
+	}
+	exec, err := core.New(rt,
+		core.WithCheckpointInterval(cc.Scale.CheckpointInterval),
+		core.WithRestoreMode(core.Shrink),
+		core.WithObs(reg),
+		core.WithChaos(eng),
+	)
+	if err != nil {
+		row.Error = err.Error()
+		return row
+	}
+	app, err := cc.newResilient(LinReg, rt, exec.ActiveGroup(), places)
+	if err != nil {
+		row.Error = err.Error()
+		return row
+	}
+	start := time.Now()
+	runErr := exec.Run(app)
+	row.TotalMS = float64(time.Since(start).Microseconds()) / 1000
+	row.Restores = exec.Metrics().Restores
+	row.Repairs = reg.Counter("core.store.repairs").Value()
+	if runErr != nil {
+		row.Error = runErr.Error()
+		row.LoudLoss = errors.Is(runErr, snapshot.ErrDataLost)
+		return row
+	}
+	row.Survived = true
+	got, err := finalIterate(app)
+	if err != nil {
+		row.Error = err.Error()
+		return row
+	}
+	row.Verified = iteratesMatch(ref, got)
+	if !row.Verified {
+		row.Error = "final weights diverged from failure-free reference"
+	}
+	return row
+}
+
+// WriteStoreReport writes the report as the BENCH_store.json document.
+func WriteStoreReport(w io.Writer, rep StoreReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

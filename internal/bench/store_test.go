@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"github.com/rgml/rgml/internal/apgas"
+)
+
+func TestStoreBenchSmoke(t *testing.T) {
+	cfg := smokeConfig()
+	rep, err := cfg.StoreBench()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(storePolicies()); len(rep.Overhead) != want {
+		t.Fatalf("overhead rows = %d, want %d", len(rep.Overhead), want)
+	}
+	for _, row := range rep.Overhead {
+		if row.StoredBytes < row.RawBytes {
+			t.Errorf("%s: stored %d < raw %d", row.Policy, row.StoredBytes, row.RawBytes)
+		}
+		sp, bound := storeBound(t, row.Policy)
+		// The acceptance bound: stored bytes within the policy's nominal
+		// redundancy factor plus 1% slack (shard padding).
+		if limit := float64(row.RawBytes) * bound * 1.01; float64(row.StoredBytes) > limit {
+			t.Errorf("%s: stored %d exceeds %.2fx bound (limit %.0f)", row.Policy, row.StoredBytes, bound, limit)
+		}
+		if row.Tolerance != sp.Tolerance() {
+			t.Errorf("%s: tolerance = %d, want %d", row.Policy, row.Tolerance, sp.Tolerance())
+		}
+		if row.Tolerance > 0 && row.RebuildMBps <= 0 {
+			t.Errorf("%s: reconstruction throughput not measured", row.Policy)
+		}
+	}
+	if len(rep.Survival) != 3 {
+		t.Fatalf("survival rows = %d, want 3", len(rep.Survival))
+	}
+	for _, row := range rep.Survival {
+		switch row.Policy {
+		case "replicate(k=2)":
+			if row.Survived || !row.LoudLoss {
+				t.Errorf("k=2 under double kill: survived=%v loudLoss=%v, want loud ErrDataLost", row.Survived, row.LoudLoss)
+			}
+		default:
+			if !row.Survived || !row.Verified {
+				t.Errorf("%s under double kill: survived=%v verified=%v (err=%q), want recovery with verified weights",
+					row.Policy, row.Survived, row.Verified, row.Error)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteStoreReport(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var decoded StoreReport
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+}
+
+// storeBound maps a report policy label back to its policy and nominal
+// storage factor (k for replication, (d+p)/d for erasure).
+func storeBound(t *testing.T, label string) (apgas.StorePolicy, float64) {
+	t.Helper()
+	for _, sp := range storePolicies() {
+		if sp.String() != label {
+			continue
+		}
+		n := sp.Normalized()
+		if n.Placement == apgas.PlacementErasure {
+			return sp, float64(n.DataShards+n.ParityShards) / float64(n.DataShards)
+		}
+		return sp, float64(n.Replicas)
+	}
+	t.Fatalf("unknown policy label %q", label)
+	return apgas.StorePolicy{}, 0
+}

@@ -224,13 +224,15 @@ func (e *Engine) at(p Point, subject apgas.Place) error {
 			if !ok {
 				break // live non-zero population exhausted
 			}
-			if err := e.rt.Kill(victim); err != nil {
-				// Races with shutdown or an already-dead victim; skip.
-				continue
+			for _, v := range e.spanVictims(victim, rs.Span) {
+				if err := e.rt.Kill(v); err != nil {
+					// Races with shutdown or an already-dead victim; skip.
+					continue
+				}
+				e.kills = append(e.kills, Kill{Iteration: e.iter, Place: v, Point: p})
+				e.killCtr.Inc()
+				e.reg.Trace("chaos.kill", e.iter, int64(v.ID))
 			}
-			e.kills = append(e.kills, Kill{Iteration: e.iter, Place: victim, Point: p})
-			e.killCtr.Inc()
-			e.reg.Trace("chaos.kill", e.iter, int64(victim.ID))
 		}
 	}
 	return transient
@@ -261,6 +263,31 @@ func (e *Engine) pickVictim(rs *ruleState) (apgas.Place, bool) {
 		return apgas.Place{}, false
 	}
 	return live[rs.rng.Intn(len(live))], true
+}
+
+// spanVictims widens one kill into a correlated failure: the victim plus
+// the next span-1 live non-zero places by ascending ID, wrapping past the
+// highest place. Consecutive places are exactly where the snapshot store
+// keeps an entry's replicas or shards, so a span >= the policy's
+// tolerance+1 defeats it — the schedule shape behind the double-failure
+// acceptance tests. Callers hold e.mu.
+func (e *Engine) spanVictims(victim apgas.Place, span int) []apgas.Place {
+	out := []apgas.Place{victim}
+	n := e.rt.NumPlaces()
+	if span <= 1 || n <= 2 {
+		return out
+	}
+	// Walk IDs 1..n-1 starting just after the victim, wrapping; each
+	// non-zero place is visited at most once.
+	for off := 1; off < n-1 && len(out) < span; off++ {
+		id := (victim.ID+off-1)%(n-1) + 1
+		p := apgas.Place{ID: id}
+		if id == victim.ID || e.rt.IsDead(p) {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
 }
 
 // Kills returns a copy of the injected-kill log, in firing order.

@@ -280,3 +280,58 @@ func TestKillFingerprintFinishModeInvariance(t *testing.T) {
 		t.Fatalf("kill fingerprint diverged across finish modes:\n central: %q\n sharded: %q", central, sharded)
 	}
 }
+
+func TestSpanKillsAdjacentPlaces(t *testing.T) {
+	rt := newTestRuntime(t, 5)
+	e, err := New(rt, MustParse("kill(place=2,iter=1,span=3)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Arm()
+	e.Advance(1)
+	if err := e.At(PointStep); err != nil {
+		t.Fatal(err)
+	}
+	// The victim plus the next two live non-zero places by ascending ID.
+	if got := e.Signature(); got != "1@step:p2,1@step:p3,1@step:p4" {
+		t.Fatalf("signature %q", got)
+	}
+}
+
+func TestSpanWrapsPastHighestPlace(t *testing.T) {
+	rt := newTestRuntime(t, 4)
+	e, err := New(rt, MustParse("kill(place=3,iter=0,span=2)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Arm()
+	e.Advance(0)
+	if err := e.At(PointStep); err != nil {
+		t.Fatal(err)
+	}
+	// Place 3 is the highest; the span wraps around to place 1 (never 0).
+	if got := e.Signature(); got != "0@step:p3,0@step:p1" {
+		t.Fatalf("signature %q", got)
+	}
+}
+
+func TestSpanSkipsDeadPlacesAndClamps(t *testing.T) {
+	rt := newTestRuntime(t, 5)
+	if err := rt.Kill(rt.Place(3)); err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(rt, MustParse("kill(place=2,iter=0,span=10)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Arm()
+	e.Advance(0)
+	if err := e.At(PointStep); err != nil {
+		t.Fatal(err)
+	}
+	// Place 3 is already dead, so the span takes 2, 4 and wraps to 1 —
+	// clamped to the live non-zero population.
+	if got := e.Signature(); got != "0@step:p2,0@step:p4,0@step:p1" {
+		t.Fatalf("signature %q", got)
+	}
+}

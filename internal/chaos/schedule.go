@@ -83,6 +83,13 @@ type Rule struct {
 	// Count is the burst size: how many places one firing kills
 	// (clamped to the live non-zero population). 0 means 1.
 	Count int
+	// Span widens each kill into a correlated failure: the victim plus
+	// the next Span-1 live non-zero places by ascending ID (wrapping) die
+	// in the same firing. Adjacent places are exactly where a k-replicated
+	// or erasure-coded entry keeps its redundancy, so span kills model the
+	// rack-level correlated failures that defeat naive placement. 0 means
+	// 1 (just the victim).
+	Span int
 	// MaxFires bounds how many times the rule fires; 0 means 1 and
 	// negative means unlimited.
 	MaxFires int
@@ -100,6 +107,9 @@ func (r Rule) normalize() Rule {
 	if r.Count <= 0 {
 		r.Count = 1
 	}
+	if r.Span <= 0 {
+		r.Span = 1
+	}
 	if r.MaxFires == 0 {
 		r.MaxFires = 1
 	}
@@ -116,6 +126,9 @@ func (r Rule) validate() error {
 	}
 	if r.Kind == KindFlake && r.Point != PointReplica {
 		return fmt.Errorf("chaos: flake rules only apply to the replica point, got %q", r.Point)
+	}
+	if r.Kind == KindFlake && r.Span > 1 {
+		return fmt.Errorf("chaos: span only applies to kill rules")
 	}
 	if r.Place == 0 {
 		return fmt.Errorf("chaos: place zero is immortal and cannot be a victim")
@@ -152,6 +165,9 @@ func (r Rule) String() string {
 	if r.Count > 1 {
 		args = append(args, "k="+strconv.Itoa(r.Count))
 	}
+	if r.Span > 1 {
+		args = append(args, "span="+strconv.Itoa(r.Span))
+	}
 	if r.MaxFires != 1 {
 		args = append(args, "times="+strconv.Itoa(r.MaxFires))
 	}
@@ -179,12 +195,15 @@ func (s Schedule) String() string {
 //	                                  a checkpoint commit, with prob 0.5
 //	kill(point=restore)               kill a random place mid-restore
 //	burst(k=3,iter=5)                 kill 3 random places at iteration 5
+//	kill(iter=3,place=1,span=2)       correlated failure: place 1 and the
+//	                                  next live place die together
 //	flake(prob=0.3,times=5)           up to 5 transient replica-write faults
 //
 // Verbs: kill, burst (kill with k>1), flake (transient replica fault).
 // Keys: point (step|commit|restore|spawn|replica), iter, place, prob,
-// k (burst size), times (max fires, -1 unlimited). Defaults: point=step
-// (flake: replica), iter=any, place=random, prob=1, k=1, times=1.
+// k (burst size), span (correlated adjacent kills per victim), times
+// (max fires, -1 unlimited). Defaults: point=step (flake: replica),
+// iter=any, place=random, prob=1, k=1, span=1, times=1.
 func Parse(text string) (Schedule, error) {
 	var sched Schedule
 	for _, clause := range strings.Split(text, ";") {
@@ -232,6 +251,8 @@ func Parse(text string) (Schedule, error) {
 				}
 			case "k", "count":
 				r.Count, err = strconv.Atoi(val)
+			case "span":
+				r.Span, err = strconv.Atoi(val)
 			case "times":
 				r.MaxFires, err = strconv.Atoi(val)
 			default:

@@ -88,3 +88,21 @@ func TestScheduleRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+func TestParseSpan(t *testing.T) {
+	s := MustParse("kill(iter=3,place=1,span=2)")
+	if s[0].Span != 2 {
+		t.Fatalf("Span = %d, want 2", s[0].Span)
+	}
+	got := s.String()
+	if got != "kill(point=step,iter=3,place=1,span=2)" {
+		t.Fatalf("String() = %q", got)
+	}
+	back := MustParse(got)
+	if back[0] != s[0] {
+		t.Fatalf("round trip changed rule: %+v vs %+v", back[0], s[0])
+	}
+	if _, err := Parse("flake(span=2)"); err == nil {
+		t.Fatal("flake with span accepted")
+	}
+}

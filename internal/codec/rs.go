@@ -1,0 +1,343 @@
+// Reed-Solomon erasure coding over GF(2^8) for the snapshot store's
+// erasure placement policy (ReStore-style redundancy: tolerating f
+// failures costs (d+f)/d storage instead of f+1 full copies).
+//
+// The code is systematic: a payload is split into d equal-length data
+// shards (the payload bytes themselves, zero-padded) plus p parity
+// shards, and any d of the d+p shards reconstruct the payload. The
+// generator matrix is a Vandermonde matrix normalized so its top d rows
+// are the identity; every d-row submatrix of a Vandermonde matrix over
+// distinct evaluation points is invertible, and right-multiplying by one
+// fixed invertible matrix preserves that, so every erasure pattern of at
+// most p shards is recoverable.
+//
+// The field is GF(2^8) with the conventional 0x11d reduction polynomial.
+// Everything is hand-rolled — the repository takes no dependencies — and
+// the hot loops (parity generation, reconstruction) run on the
+// deterministic internal/par engine: output ranges are disjoint per
+// chunk, so shard bytes are identical at every worker count.
+package codec
+
+import (
+	"fmt"
+
+	"github.com/rgml/rgml/internal/par"
+)
+
+// gfExp/gfLog are the exponential and logarithm tables of GF(2^8) with
+// generator 2 mod 0x11d. gfExp is doubled so products of two logs index
+// without a modular reduction.
+var (
+	gfExp [510]byte
+	gfLog [256]byte
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		gfExp[i] = byte(x)
+		gfExp[i+255] = byte(x)
+		gfLog[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= 0x11d
+		}
+	}
+}
+
+// gfMul multiplies in GF(2^8).
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+int(gfLog[b])]
+}
+
+// gfInv returns the multiplicative inverse of a (which must be non-zero).
+func gfInv(a byte) byte {
+	return gfExp[255-int(gfLog[a])]
+}
+
+// gfMulAdd folds c*src into dst (dst[i] ^= c*src[i]) over [lo, hi).
+func gfMulAdd(dst, src []byte, c byte, lo, hi int) {
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		for i := lo; i < hi; i++ {
+			dst[i] ^= src[i]
+		}
+		return
+	}
+	lc := int(gfLog[c])
+	for i := lo; i < hi; i++ {
+		if s := src[i]; s != 0 {
+			dst[i] ^= gfExp[lc+int(gfLog[s])]
+		}
+	}
+}
+
+// rsGrain is the per-chunk byte count for the par-engine loops: large
+// enough that chunk dispatch is noise, small enough that typical block
+// payloads split across workers.
+const rsGrain = 8 << 10
+
+// rsMatrix returns the (d+p) x d systematic generator: a Vandermonde
+// matrix over the points 2^0..2^(d+p-1) right-multiplied by the inverse
+// of its top d rows, making rows 0..d-1 the identity. d+p must be at
+// most 255 so the evaluation points stay distinct.
+func rsMatrix(d, p int) [][]byte {
+	n := d + p
+	v := make([][]byte, n)
+	for r := 0; r < n; r++ {
+		v[r] = make([]byte, d)
+		x := gfExp[r%255] // evaluation point 2^r
+		acc := byte(1)
+		for c := 0; c < d; c++ {
+			v[r][c] = acc
+			acc = gfMul(acc, x)
+		}
+	}
+	top := make([][]byte, d)
+	for r := range top {
+		top[r] = append([]byte(nil), v[r]...)
+	}
+	inv, err := gfInvert(top)
+	if err != nil {
+		// The top rows of a Vandermonde matrix over distinct points are
+		// always invertible; reaching here is a programming error.
+		panic(fmt.Sprintf("codec: non-invertible Vandermonde top: %v", err))
+	}
+	m := make([][]byte, n)
+	for r := 0; r < n; r++ {
+		m[r] = make([]byte, d)
+		for c := 0; c < d; c++ {
+			var s byte
+			for k := 0; k < d; k++ {
+				s ^= gfMul(v[r][k], inv[k][c])
+			}
+			m[r][c] = s
+		}
+	}
+	return m
+}
+
+// gfInvert returns the inverse of the square matrix a (destroying a) by
+// Gauss-Jordan elimination over GF(2^8).
+func gfInvert(a [][]byte) ([][]byte, error) {
+	n := len(a)
+	inv := make([][]byte, n)
+	for i := range inv {
+		inv[i] = make([]byte, n)
+		inv[i][i] = 1
+	}
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for r := col; r < n; r++ {
+			if a[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, fmt.Errorf("codec: singular matrix at column %d", col)
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		inv[col], inv[pivot] = inv[pivot], inv[col]
+		if pc := a[col][col]; pc != 1 {
+			ic := gfInv(pc)
+			for c := 0; c < n; c++ {
+				a[col][c] = gfMul(a[col][c], ic)
+				inv[col][c] = gfMul(inv[col][c], ic)
+			}
+		}
+		for r := 0; r < n; r++ {
+			if r == col || a[r][col] == 0 {
+				continue
+			}
+			f := a[r][col]
+			for c := 0; c < n; c++ {
+				a[r][c] ^= gfMul(f, a[col][c])
+				inv[r][c] ^= gfMul(f, inv[col][c])
+			}
+		}
+	}
+	return inv, nil
+}
+
+// RSShardLen returns the shard length for an n-byte payload split into d
+// data shards: ceil(n/d), with a floor of 1 so empty payloads still
+// produce addressable shards.
+func RSShardLen(n, d int) int {
+	l := (n + d - 1) / d
+	if l < 1 {
+		l = 1
+	}
+	return l
+}
+
+// rsCheck validates an erasure geometry.
+func rsCheck(d, p int) error {
+	if d < 1 || p < 0 || d+p > 255 {
+		return fmt.Errorf("codec: invalid erasure geometry d=%d p=%d (want d>=1, p>=0, d+p<=255)", d, p)
+	}
+	return nil
+}
+
+// RSEncode splits data into d data shards plus p parity shards, each of
+// RSShardLen(len(data), d) bytes. Shard buffers are drawn from the codec
+// buffer pool (callers recycle them with PutBuffer when the owning
+// snapshot is destroyed); data is only read. The data shards are the
+// payload bytes themselves (zero-padded), so decoding with all data
+// shards present is a plain concatenation.
+func RSEncode(data []byte, d, p int) ([][]byte, error) {
+	if err := rsCheck(d, p); err != nil {
+		return nil, err
+	}
+	sl := RSShardLen(len(data), d)
+	shards := make([][]byte, d+p)
+	for i := range shards {
+		s := GetBuffer(sl)[:sl]
+		if i >= d {
+			// Parity accumulates with XOR; the pool does not zero buffers.
+			clear(s)
+		}
+		shards[i] = s
+	}
+	for i := 0; i < d; i++ {
+		lo := i * sl
+		hi := lo + sl
+		if hi > len(data) {
+			hi = len(data)
+		}
+		n := 0
+		if hi > lo {
+			n = copy(shards[i], data[lo:hi])
+		}
+		clear(shards[i][n:])
+	}
+	if p > 0 {
+		m := rsMatrix(d, p)
+		par.For(sl, rsGrain, func(lo, hi int) {
+			for j := 0; j < p; j++ {
+				row := m[d+j]
+				for i := 0; i < d; i++ {
+					gfMulAdd(shards[d+j], shards[i], row[i], lo, hi)
+				}
+			}
+		})
+	}
+	return shards, nil
+}
+
+// RSReconstruct fills in the missing (nil) shards of a d+p shard set in
+// place, allocating each recovered shard from the codec buffer pool. At
+// least d shards must be present and all present shards must share one
+// length. It reconstructs every missing shard — data and parity — so the
+// set is back at full redundancy afterwards.
+func RSReconstruct(shards [][]byte, d, p int) error {
+	if err := rsCheck(d, p); err != nil {
+		return err
+	}
+	if len(shards) != d+p {
+		return fmt.Errorf("codec: got %d shards, want %d", len(shards), d+p)
+	}
+	present := make([]int, 0, d)
+	sl := -1
+	missing := 0
+	for i, s := range shards {
+		if s == nil {
+			missing++
+			continue
+		}
+		if sl < 0 {
+			sl = len(s)
+		} else if len(s) != sl {
+			return fmt.Errorf("codec: shard %d length %d != %d", i, len(s), sl)
+		}
+		if len(present) < d {
+			present = append(present, i)
+		}
+	}
+	if missing == 0 {
+		return nil
+	}
+	if len(present) < d {
+		return fmt.Errorf("codec: only %d of %d shards present, need %d", d+p-missing, d+p, d)
+	}
+	m := rsMatrix(d, p)
+	sub := make([][]byte, d)
+	for i, r := range present {
+		sub[i] = append([]byte(nil), m[r]...)
+	}
+	inv, err := gfInvert(sub)
+	if err != nil {
+		return fmt.Errorf("codec: reconstruction matrix: %w", err)
+	}
+	// Decode rows: data shard c = inv[c] . present shards. Only missing
+	// data shards need decoding; surviving ones are already correct.
+	data := make([][]byte, d)
+	for c := 0; c < d; c++ {
+		if shards[c] != nil {
+			data[c] = shards[c]
+		}
+	}
+	var rebuiltData []int
+	for c := 0; c < d; c++ {
+		if data[c] == nil {
+			b := GetBuffer(sl)[:sl]
+			clear(b)
+			data[c] = b
+			rebuiltData = append(rebuiltData, c)
+		}
+	}
+	var rebuiltParity []int
+	for j := 0; j < p; j++ {
+		if shards[d+j] == nil {
+			b := GetBuffer(sl)[:sl]
+			clear(b)
+			shards[d+j] = b
+			rebuiltParity = append(rebuiltParity, j)
+		}
+	}
+	par.For(sl, rsGrain, func(lo, hi int) {
+		for _, c := range rebuiltData {
+			for i, r := range present {
+				gfMulAdd(data[c], shards[r], inv[c][i], lo, hi)
+			}
+		}
+		// Missing parity rows regenerate from the (now complete) data.
+		for _, j := range rebuiltParity {
+			row := m[d+j]
+			for i := 0; i < d; i++ {
+				gfMulAdd(shards[d+j], data[i], row[i], lo, hi)
+			}
+		}
+	})
+	for _, c := range rebuiltData {
+		shards[c] = data[c]
+	}
+	return nil
+}
+
+// RSJoin concatenates the d data shards back into an n-byte payload in
+// dst (which must have capacity n). It is the decode fast path when no
+// data shard was lost, and the final assembly step after RSReconstruct.
+func RSJoin(dst []byte, shards [][]byte, d, n int) []byte {
+	dst = dst[:n]
+	sl := RSShardLen(n, d)
+	par.For(d, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			off := i * sl
+			if off >= n {
+				continue
+			}
+			end := off + sl
+			if end > n {
+				end = n
+			}
+			copy(dst[off:end], shards[i])
+		}
+	})
+	return dst
+}

@@ -1,0 +1,195 @@
+package codec
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randPayload returns n deterministic pseudo-random bytes.
+func randPayload(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+func TestGFFieldAxioms(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		if got := gfMul(byte(a), gfInv(byte(a))); got != 1 {
+			t.Fatalf("a * a^-1 = %d for a=%d, want 1", got, a)
+		}
+	}
+	// Spot-check associativity and distributivity on a pseudo-random sweep.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		a, b, c := byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))
+		if gfMul(gfMul(a, b), c) != gfMul(a, gfMul(b, c)) {
+			t.Fatalf("associativity broken at %d,%d,%d", a, b, c)
+		}
+		if gfMul(a, b^c) != gfMul(a, b)^gfMul(a, c) {
+			t.Fatalf("distributivity broken at %d,%d,%d", a, b, c)
+		}
+	}
+}
+
+func TestRSRoundTripAllErasurePatterns(t *testing.T) {
+	for _, geom := range []struct{ d, p int }{{1, 1}, {2, 1}, {2, 2}, {4, 1}, {4, 2}, {5, 3}} {
+		for _, n := range []int{0, 1, 7, 64, 1000, 4096} {
+			payload := randPayload(n, int64(n+geom.d*100+geom.p))
+			shards, err := RSEncode(payload, geom.d, geom.p)
+			if err != nil {
+				t.Fatalf("encode d=%d p=%d n=%d: %v", geom.d, geom.p, n, err)
+			}
+			// Erase every subset of up to p shards (geometries are small
+			// enough to enumerate exhaustively via bitmasks).
+			total := geom.d + geom.p
+			for mask := 0; mask < 1<<total; mask++ {
+				erased := 0
+				for i := 0; i < total; i++ {
+					if mask&(1<<i) != 0 {
+						erased++
+					}
+				}
+				if erased == 0 || erased > geom.p {
+					continue
+				}
+				work := make([][]byte, total)
+				for i := range work {
+					if mask&(1<<i) != 0 {
+						continue
+					}
+					work[i] = append([]byte(nil), shards[i]...)
+				}
+				if err := RSReconstruct(work, geom.d, geom.p); err != nil {
+					t.Fatalf("reconstruct d=%d p=%d n=%d mask=%b: %v", geom.d, geom.p, n, mask, err)
+				}
+				for i := range work {
+					if !bytes.Equal(work[i], shards[i]) {
+						t.Fatalf("shard %d differs after reconstruct (d=%d p=%d n=%d mask=%b)", i, geom.d, geom.p, n, mask)
+					}
+				}
+				got := RSJoin(make([]byte, n), work, geom.d, n)
+				if !bytes.Equal(got, payload) {
+					t.Fatalf("payload differs after reconstruct (d=%d p=%d n=%d mask=%b)", geom.d, geom.p, n, mask)
+				}
+			}
+		}
+	}
+}
+
+func TestRSTooManyErasures(t *testing.T) {
+	payload := randPayload(500, 3)
+	shards, err := RSEncode(payload, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards[0], shards[2], shards[5] = nil, nil, nil
+	if err := RSReconstruct(shards, 4, 2); err == nil {
+		t.Fatal("reconstruct with d-1 shards should fail")
+	}
+}
+
+func TestRSBadGeometry(t *testing.T) {
+	if _, err := RSEncode(nil, 0, 1); err == nil {
+		t.Fatal("d=0 accepted")
+	}
+	if _, err := RSEncode(nil, 200, 100); err == nil {
+		t.Fatal("d+p>255 accepted")
+	}
+	if err := RSReconstruct(make([][]byte, 3), 4, 2); err == nil {
+		t.Fatal("wrong shard count accepted")
+	}
+}
+
+func TestRSPerShardChecksumDetectsCorruption(t *testing.T) {
+	// The store pairs every shard with its own CRC; verify the CRCs of
+	// distinct shards differ from each other and flip under corruption, so
+	// a corrupted shard is excluded and counts as an erasure.
+	payload := randPayload(2048, 11)
+	shards, err := RSEncode(payload, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := make([]uint32, len(shards))
+	for i, s := range shards {
+		sums[i] = Checksum(s)
+	}
+	shards[1][5] ^= 0xff
+	if Checksum(shards[1]) == sums[1] {
+		t.Fatal("corruption not reflected in shard checksum")
+	}
+}
+
+func TestRSJoinFastPath(t *testing.T) {
+	payload := randPayload(777, 21)
+	shards, err := RSEncode(payload, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := RSJoin(make([]byte, len(payload)), shards[:4], 4, len(payload))
+	if !bytes.Equal(got, payload) {
+		t.Fatal("data-shard concatenation does not reproduce the payload")
+	}
+}
+
+func TestRSStorageOverhead(t *testing.T) {
+	// The acceptance bound: erasure storage <= (d+p)/d * payload * (1+eps),
+	// where eps covers the ceil-division padding of the last shard.
+	n := 10000
+	d, p := 4, 2
+	shards, err := RSEncode(randPayload(n, 5), d, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, s := range shards {
+		total += len(s)
+	}
+	bound := float64(n) * float64(d+p) / float64(d) * 1.01
+	if float64(total) > bound {
+		t.Fatalf("stored %d bytes for %d payload, exceeds (d+p)/d bound %.0f", total, n, bound)
+	}
+}
+
+func BenchmarkRSEncode(b *testing.B) {
+	for _, geom := range []struct{ d, p int }{{2, 1}, {4, 2}} {
+		payload := randPayload(1<<20, 9)
+		b.Run(fmt.Sprintf("d%d_p%d", geom.d, geom.p), func(b *testing.B) {
+			b.SetBytes(int64(len(payload)))
+			for i := 0; i < b.N; i++ {
+				shards, err := RSEncode(payload, geom.d, geom.p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, s := range shards {
+					PutBuffer(s)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkRSReconstruct(b *testing.B) {
+	for _, geom := range []struct{ d, p int }{{4, 2}} {
+		payload := randPayload(1<<20, 9)
+		shards, err := RSEncode(payload, geom.d, geom.p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("d%d_p%d", geom.d, geom.p), func(b *testing.B) {
+			b.SetBytes(int64(len(payload)))
+			for i := 0; i < b.N; i++ {
+				work := make([][]byte, len(shards))
+				copy(work, shards)
+				work[0], work[4] = nil, nil
+				if err := RSReconstruct(work, geom.d, geom.p); err != nil {
+					b.Fatal(err)
+				}
+				PutBuffer(work[0])
+				PutBuffer(work[4])
+			}
+		})
+	}
+}

@@ -1,0 +1,294 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/rgml/rgml/internal/apgas"
+	"github.com/rgml/rgml/internal/chaos"
+	"github.com/rgml/rgml/internal/core"
+	"github.com/rgml/rgml/internal/obs"
+	"github.com/rgml/rgml/internal/snapshot"
+)
+
+// newStoreRT is newObsRT with a snapshot redundancy policy installed on
+// the runtime, the way rgmlrun's -placement/-redundancy flags do it.
+func newStoreRT(t *testing.T, places int, pol apgas.StorePolicy) *apgas.Runtime {
+	t.Helper()
+	rt, err := apgas.NewRuntime(apgas.Config{
+		Places: places, Resilient: true, Obs: obs.NewRegistry(), Store: pol,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Shutdown)
+	return rt
+}
+
+// TestExecutorRepairClosesDroppedReplicaWindow is the satellite
+// regression for the double-failure hole: a transient fault storm drops
+// every backup replica of the iteration-2 checkpoint, the same commit's
+// repair pass re-replicates them, and the subsequent owner death restores
+// from the repaired copies instead of dying with ErrDataLost.
+//
+// The flake budget is exact: 4 entries × 4 put attempts = 16 transient
+// faults, so every save-path put exhausts its retries (all 4 entries
+// degrade) and the 17th injection — the first repair put — succeeds.
+func TestExecutorRepairClosesDroppedReplicaWindow(t *testing.T) {
+	rt := newObsRT(t, 4)
+	eng, err := chaos.New(rt, chaos.MustParse("flake(iter=2,times=16);kill(place=1,iter=3)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := core.New(rt,
+		core.WithCheckpointInterval(2),
+		core.WithRestoreMode(core.Shrink),
+		core.WithChaos(eng),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := newCounterApp(t, rt, exec.ActiveGroup(), 12, 6)
+	if err := exec.Run(app); err != nil {
+		t.Fatalf("run with repaired checkpoint: %v", err)
+	}
+	verify(t, app)
+
+	reg := exec.Registry()
+	if got := eng.Flakes(); got != 16 {
+		t.Fatalf("flakes = %d, want 16 (exact retry-budget drain)", got)
+	}
+	if got := reg.Counter("snapshot.replicas.dropped").Value(); got != 4 {
+		t.Fatalf("replicas.dropped = %d, want 4 (every entry degraded)", got)
+	}
+	// 6 = the 4 dropped-put heals at the iteration-2 commit, plus 2
+	// death-driven heals at restore time (the entries that held a copy at
+	// dead place 1 are re-replicated to a substitute before the run goes
+	// on).
+	if got := reg.Counter("snapshot.replicas.repaired").Value(); got != 6 {
+		t.Fatalf("replicas.repaired = %d, want 6 (4 commit + 2 restore heals)", got)
+	}
+	if got := reg.Counter("core.store.repairs").Value(); got != 6 {
+		t.Fatalf("core.store.repairs = %d, want 6", got)
+	}
+	if got := reg.Gauge("snapshot.replicas.degraded").Value(); got != 0 {
+		t.Fatalf("degraded gauge = %d, want 0 at end of run", got)
+	}
+	if m := exec.Metrics(); m.Restores != 1 {
+		t.Fatalf("Restores = %d, want 1", m.Restores)
+	}
+}
+
+// TestExecutorDeltaRefusesDegradedCarry pins the delta carry-forward rule
+// for dropped replicas end to end: the iteration-2 checkpoint degrades
+// fully (the fault storm outlasts both the save retries AND the repair
+// pass), so the iteration-4 delta checkpoint must re-save the unchanged
+// input x at full redundancy instead of carrying the owner-only entries —
+// which is what makes the iteration-5 owner kill survivable.
+func TestExecutorDeltaRefusesDegradedCarry(t *testing.T) {
+	rt := newObsRT(t, 4)
+	eng, err := chaos.New(rt, chaos.MustParse("flake(iter=2,times=-1);kill(place=1,iter=5)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := core.New(rt,
+		core.WithCheckpointInterval(2),
+		core.WithRestoreMode(core.Shrink),
+		core.WithDelta(true),
+		core.WithChaos(eng),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := newDeltaApp(t, rt, exec.ActiveGroup(), 16, 8, false)
+	if err := exec.Run(app); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	verifyDelta(t, app)
+
+	reg := exec.Registry()
+	// Checkpoint timeline: the initial (iteration-0) checkpoint is
+	// healthy, so iteration 2 carries x's 4 entries — and the fault storm
+	// drops their carry reference puts, degrading the iteration-2
+	// snapshot. Iteration 4 must therefore REFUSE to carry x (0 carries)
+	// and re-save it at full redundancy, which is what makes the
+	// iteration-5 owner kill survivable: had the degraded entries been
+	// carried, x's place-1 fragment would have no surviving copy and the
+	// restore would die with ErrDataLost. After the restore the group
+	// changes (no carry at 6), then iteration 8 carries x's 3 entries on
+	// the shrunken group. Total: 4 + 3.
+	if got := reg.Counter("snapshot.delta.carried").Value(); got != 7 {
+		t.Fatalf("delta.carried = %d, want 7 (healthy carries only)", got)
+	}
+	// 16 drops: x's 4 carry puts + v's 4 save puts at iteration 2, then
+	// the same 8 again when the commit's repair pass retries under the
+	// still-active storm and fails (the entries stay degraded, which is
+	// the refusal trigger).
+	if got := reg.Counter("snapshot.replicas.dropped").Value(); got != 16 {
+		t.Fatalf("replicas.dropped = %d, want 16", got)
+	}
+	// The restore-time repair pass heals keys 0 and 1 of both iteration-4
+	// snapshots (the entries that kept a copy at dead place 1).
+	if got := reg.Counter("snapshot.replicas.repaired").Value(); got != 4 {
+		t.Fatalf("replicas.repaired = %d, want 4 (restore-time heals)", got)
+	}
+	if m := exec.Metrics(); m.Restores != 1 {
+		t.Fatalf("Restores = %d, want 1", m.Restores)
+	}
+}
+
+// TestExecutorDoubleKillSweep is the PR's acceptance matrix: a correlated
+// kill of places 1 and 2 — an entry's owner and its adjacent backup — in
+// the same inter-checkpoint window. k=2 (the paper's pair scheme) must
+// fail loudly with ErrDataLost, never silently corrupt; k=3 and erasure
+// (d=3,p=2) must recover and converge to the exact expected state.
+func TestExecutorDoubleKillSweep(t *testing.T) {
+	const schedule = "kill(iter=3,place=1,span=2)"
+	run := func(t *testing.T, pol apgas.StorePolicy) (*counterApp, error) {
+		rt := newStoreRT(t, 6, pol)
+		eng, err := chaos.New(rt, chaos.MustParse(schedule))
+		if err != nil {
+			t.Fatal(err)
+		}
+		exec, err := core.New(rt,
+			core.WithCheckpointInterval(2),
+			core.WithRestoreMode(core.Shrink),
+			core.WithChaos(eng),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		app := newCounterApp(t, rt, exec.ActiveGroup(), 18, 10)
+		runErr := exec.Run(app)
+		if got, want := eng.Signature(), "3@step:p1,3@step:p2"; got != want {
+			t.Fatalf("kill signature = %q, want %q", got, want)
+		}
+		return app, runErr
+	}
+
+	t.Run("k2-loud-loss", func(t *testing.T) {
+		_, err := run(t, apgas.ReplicateStore(2))
+		if !errors.Is(err, snapshot.ErrDataLost) {
+			t.Fatalf("run err = %v, want ErrDataLost", err)
+		}
+	})
+	t.Run("k3-survives", func(t *testing.T) {
+		app, err := run(t, apgas.ReplicateStore(3))
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		verify(t, app)
+	})
+	t.Run("erasure-survives", func(t *testing.T) {
+		app, err := run(t, apgas.ErasureStore(3, 2))
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		verify(t, app)
+	})
+}
+
+// TestExecutorNoBackupDeltaRuns covers the DisableBackup ablation
+// (k=1 via ReplicateStore(1)) crossed with delta checkpointing: carries
+// work with zero replicas in a failure-free run, and an owner death makes
+// the next restore fail loudly with ErrDataLost rather than fabricating
+// state.
+func TestExecutorNoBackupDeltaRuns(t *testing.T) {
+	t.Run("failure-free", func(t *testing.T) {
+		rt := newStoreRT(t, 4, apgas.ReplicateStore(1))
+		exec, err := core.New(rt, core.WithCheckpointInterval(2), core.WithDelta(true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		app := newDeltaApp(t, rt, exec.ActiveGroup(), 16, 8, false)
+		if err := exec.Run(app); err != nil {
+			t.Fatal(err)
+		}
+		verifyDelta(t, app)
+		reg := exec.Registry()
+		if got := reg.Counter("snapshot.delta.carried").Value(); got == 0 {
+			t.Fatal("k=1 delta run carried nothing; carry must not require replicas")
+		}
+		if got := reg.Counter("snapshot.replicas").Value(); got != 0 {
+			t.Fatalf("replicas = %d, want 0 with backups disabled", got)
+		}
+	})
+	t.Run("owner-death-is-loud", func(t *testing.T) {
+		rt := newStoreRT(t, 4, apgas.ReplicateStore(1))
+		eng, err := chaos.New(rt, chaos.MustParse("kill(place=1,iter=3)"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		exec, err := core.New(rt,
+			core.WithCheckpointInterval(2),
+			core.WithRestoreMode(core.Shrink),
+			core.WithDelta(true),
+			core.WithChaos(eng),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		app := newDeltaApp(t, rt, exec.ActiveGroup(), 16, 8, false)
+		if err := exec.Run(app); !errors.Is(err, snapshot.ErrDataLost) {
+			t.Fatalf("run err = %v, want ErrDataLost (no redundancy to recover from)", err)
+		}
+	})
+}
+
+// TestExecutorPartialRestoreWithSpareAndDelta crosses the spare-replace
+// partial restore with delta checkpointing under a non-default policy:
+// the dead place's fragments are restored onto the spare while survivors
+// keep their state, and the run converges exactly.
+func TestExecutorPartialRestoreWithSpareAndDelta(t *testing.T) {
+	rt := newStoreRT(t, 5, apgas.ReplicateStore(3))
+	eng, err := chaos.New(rt, chaos.MustParse("kill(place=1,iter=3)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := core.NewExecutor(rt, core.Config{
+		CheckpointInterval: 2,
+		Mode:               core.ReplaceRedundant,
+		Spares:             1,
+		Delta:              true,
+		Chaos:              eng,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := newDeltaApp(t, rt, exec.ActiveGroup(), 16, 8, false)
+	if err := exec.Run(app); err != nil {
+		t.Fatal(err)
+	}
+	verifyDelta(t, app)
+	if m := exec.Metrics(); m.Restores != 1 {
+		t.Fatalf("Restores = %d, want 1", m.Restores)
+	}
+	if got := app.pg.Size(); got != 4 {
+		t.Fatalf("final group size = %d, want 4 (spare replaced the victim)", got)
+	}
+}
+
+// TestExecutorSinglePlaceRun pins the size-1 corner at the executor
+// layer: a one-place world checkpoints, carries deltas and finishes under
+// any policy (all of which clamp to a single local copy).
+func TestExecutorSinglePlaceRun(t *testing.T) {
+	for _, pol := range []apgas.StorePolicy{
+		{},
+		apgas.ReplicateStore(3),
+		apgas.ErasureStore(3, 2),
+	} {
+		rt := newStoreRT(t, 1, pol)
+		exec, err := core.New(rt, core.WithCheckpointInterval(2), core.WithDelta(true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		app := newDeltaApp(t, rt, exec.ActiveGroup(), 6, 6, false)
+		if err := exec.Run(app); err != nil {
+			t.Fatalf("policy %v: %v", pol, err)
+		}
+		verifyDelta(t, app)
+		if got := exec.Registry().Counter("snapshot.replicas").Value(); got != 0 {
+			t.Fatalf("policy %v: replicas = %d, want 0 on one place", pol, got)
+		}
+	}
+}

@@ -56,6 +56,7 @@ type AppResilientStore struct {
 	commits    *obs.Counter // core.store.commits
 	cancels    *obs.Counter // core.store.cancels
 	deltaSaves *obs.Counter // core.store.delta_saves
+	repairs    *obs.Counter // core.store.repairs (entries healed by commit-time repair)
 
 	// commitHook, when set, runs at the start of every Commit, after the
 	// pending checkpoint's objects have all been saved but before the
@@ -76,6 +77,7 @@ func (s *AppResilientStore) instrument(reg *obs.Registry) {
 	s.commits = reg.Counter("core.store.commits")
 	s.cancels = reg.Counter("core.store.cancels")
 	s.deltaSaves = reg.Counter("core.store.delta_saves")
+	s.repairs = reg.Counter("core.store.repairs")
 }
 
 // SetDelta toggles incremental checkpointing for DirtyTracker objects
@@ -271,7 +273,37 @@ func (s *AppResilientStore) Commit() error {
 	s.inProgress = false
 	s.commits.Inc()
 	s.destroyUnshared(old)
+	committed := make([]*snapshot.Snapshot, 0, len(s.committed))
+	for _, snap := range s.committed {
+		committed = append(committed, snap)
+	}
+	s.mu.Unlock()
+	// Replica repair runs outside the lock (it is a distributed
+	// operation): any entry of the just-promoted checkpoint that is below
+	// its target redundancy — a dropped replica put, a holder place lost
+	// since the snapshot was taken — is re-replicated now, so the recovery
+	// point regains its full failure tolerance at every commit. Repair
+	// failure is non-fatal: the checkpoint is already committed, the entry
+	// stays tracked as degraded, and the next commit retries.
+	s.repairCommitted(committed)
+	s.mu.Lock()
 	return nil
+}
+
+// repairCommitted runs snapshot.Repair over the given snapshots, counting
+// healed entries and tracing repair errors. Callers must not hold s.mu.
+func (s *AppResilientStore) repairCommitted(snaps []*snapshot.Snapshot) {
+	for _, snap := range snaps {
+		healed, err := snap.Repair()
+		if healed > 0 {
+			s.repairs.Add(int64(healed))
+		}
+		if err != nil {
+			// Non-fatal (see Commit); the degraded gauge keeps the entry
+			// visible until a later repair succeeds.
+			continue
+		}
+	}
 }
 
 // CancelSnapshot discards a failed in-progress checkpoint, releasing its
@@ -353,6 +385,18 @@ func (s *AppResilientStore) Restore() error {
 	if err := s.refreshDegradedReadOnly(); err != nil {
 		return err
 	}
+	// The restore may have left committed snapshots degraded — most
+	// visibly after a partial-spare replacement, where the group keeps a
+	// dead member and every entry it held is down one copy. Re-replicate
+	// from the survivors now rather than waiting for the next commit; one
+	// more failure before that commit must not lose the recovery point.
+	s.mu.Lock()
+	snaps := make([]*snapshot.Snapshot, 0, len(committed))
+	for _, snap := range committed {
+		snaps = append(snaps, snap)
+	}
+	s.mu.Unlock()
+	s.repairCommitted(snaps)
 	s.setDead(nil)
 	return nil
 }

@@ -127,16 +127,23 @@ func TestReplicaRetryExhaustionDegradesToOwnerOnly(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// But the degraded entry no longer survives its owner: that is the
-	// documented trade-off of dropping the replica instead of failing the
-	// whole checkpoint. The backup place is alive yet holds nothing, so the
-	// loss surfaces as ErrNotFound rather than ErrDataLost.
+	// The dropped puts are tracked as degraded entries awaiting repair.
+	if got := s.DegradedEntries(); got != 3 {
+		t.Errorf("DegradedEntries = %d, want 3", got)
+	}
+	if got := reg.Gauge("snapshot.replicas.degraded").Value(); got != 3 {
+		t.Errorf("snapshot.replicas.degraded = %d, want 3", got)
+	}
+
+	// A degraded entry does not survive its owner — but because the store
+	// knows the replica was dropped, the loss surfaces loudly as
+	// ErrDataLost, never as a silent missing key.
 	if err := rt.Kill(rt.Place(1)); err != nil {
 		t.Fatal(err)
 	}
 	err = rt.Finish(func(ctx *apgas.Ctx) {
-		if _, err := s.Load(ctx, 1, 1); !errors.Is(err, ErrNotFound) {
-			apgas.Throw(fmt.Errorf("want ErrNotFound, got %v", err))
+		if _, err := s.Load(ctx, 1, 1); !errors.Is(err, ErrDataLost) {
+			apgas.Throw(fmt.Errorf("want ErrDataLost, got %v", err))
 		}
 	})
 	if err != nil {

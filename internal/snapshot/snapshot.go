@@ -1,11 +1,23 @@
 // Package snapshot implements the resilient in-memory store behind GML's
 // Snapshottable interface (paper section IV-B). A Snapshot holds key/value
-// pairs with *double storage*: each entry is kept at the place that saved
-// it and at the next place of the snapshot-time place group, so the loss of
-// any single place leaves every entry recoverable. Saving costs the same
-// from every place (one local put plus one remote put); loading is cheap
-// when the data is local and costs a transfer otherwise — exactly the cost
-// asymmetry the paper describes.
+// pairs placed by a configurable redundancy policy (apgas.StorePolicy).
+// The paper-faithful default is *double storage*: each entry is kept at
+// the place that saved it and at the next place of the snapshot-time
+// place group, so the loss of any single place leaves every entry
+// recoverable. Saving costs the same from every place (one local put plus
+// one remote put); loading is cheap when the data is local and costs a
+// transfer otherwise — exactly the cost asymmetry the paper describes.
+//
+// Beyond the default, the placement layer generalizes to replication
+// factor k (k full copies at k consecutive group slots, tolerating k-1
+// failures between checkpoints) and to a Reed-Solomon erasure-coded mode
+// (d data + p parity shards at d+p consecutive slots, tolerating p
+// failures at (d+p)/d storage — the ReStore cost model). Entries that
+// fall below their target redundancy — a backup put dropped after retry
+// exhaustion, a replica place killed, a partial-spare replacement — are
+// tracked in a degraded set (exported as the snapshot.replicas.degraded
+// gauge) and re-replicated by Repair, which the application store runs
+// at every checkpoint commit.
 //
 // The save path is built for throughput: the backup put runs as an async
 // task overlapping the saver's remaining work (the enclosing finish still
@@ -67,10 +79,13 @@ type PartialRestorer interface {
 	RestoreSnapshotPartial(s *Snapshot, dead []apgas.Place) error
 }
 
-// ErrDataLost reports that both replicas of an entry were lost — double
-// in-memory storage survives any single failure, but not the loss of two
-// adjacent places in the snapshot group between checkpoints.
-var ErrDataLost = errors.New("snapshot: entry lost (owner and backup both failed)")
+// ErrDataLost reports that an entry's surviving redundancy is below what
+// reconstruction needs: every replica lost (replication), or fewer than d
+// shards left (erasure). A policy tolerating f failures survives any f
+// place deaths between checkpoints, but not f+1 — and a degraded entry
+// (a dropped backup put that repair has not yet healed) tolerates
+// correspondingly less.
+var ErrDataLost = errors.New("snapshot: entry lost (insufficient surviving replicas)")
 
 // ErrNotFound reports that an entry was never saved under the given key.
 var ErrNotFound = errors.New("snapshot: no entry for key")
@@ -82,10 +97,16 @@ var ErrCorrupt = errors.New("snapshot: entry failed integrity check")
 
 // Options tunes snapshot behaviour.
 type Options struct {
-	// DisableBackup turns off the second (next-place) copy. The snapshot
-	// then cannot survive the owner's failure; it exists for the ablation
-	// benchmark quantifying the price of double storage.
+	// DisableBackup turns off all redundancy (equivalent to a replicate
+	// k=1 policy, overriding Policy). The snapshot then cannot survive
+	// the owner's failure; it exists for the ablation benchmark
+	// quantifying the price of redundant storage.
 	DisableBackup bool
+	// Policy overrides the runtime's store-wide redundancy policy
+	// (apgas.Config.Store) for this snapshot. The zero value inherits the
+	// runtime's policy, falling back to the paper-faithful replicate k=2.
+	// A policy wider than the place group is clamped with a trace event.
+	Policy apgas.StorePolicy
 	// Retry tunes the bounded retry applied to backup (replica) puts when
 	// the runtime's fault injector reports a transient write failure. The
 	// zero value means the defaults (see RetryPolicy).
@@ -149,6 +170,16 @@ type entry struct {
 	// pooled marks data as drawn from the codec buffer pool; the final
 	// Destroy recycles it instead of dropping it.
 	pooled bool
+	// owner is the group index of the place that saved the entry, set
+	// before the entry is published to any store; repair uses it to
+	// recompute the entry's slot set.
+	owner int
+	// shardIdx and set are the erasure-mode identity: which of the d+p
+	// shards this entry holds, and the shared descriptor of the full
+	// payload the shard set reassembles. Both are zero/nil for full
+	// replicas.
+	shardIdx int
+	set      *shardSet
 	// refs counts referencing snapshots; see the type comment.
 	refs atomic.Int32
 	// verified memoizes a successful integrity check so repeated loads of
@@ -156,6 +187,17 @@ type entry struct {
 	// entry, so a memoized verdict never outlives the bytes it vouches
 	// for.
 	verified atomic.Bool
+}
+
+// shardSet is the shared descriptor of one erasure-coded payload: the
+// full payload's checksum and length (what Digest reports and Load
+// verifies after reassembly). All d+p shard entries of one save point at
+// the same shardSet, which gives delta carry-forward the same
+// pointer-identity evidence that full replicas get from sharing one
+// entry.
+type shardSet struct {
+	fullSum uint32
+	fullLen int
 }
 
 func newEntry(data []byte, sum uint32, pooled bool, ver uint64) *entry {
@@ -250,13 +292,91 @@ type Snapshot struct {
 	rt   *apgas.Runtime
 	pg   apgas.PlaceGroup
 	opts Options
-	plh  apgas.PlaceLocalHandle[*placeStore]
+	// pol is the redundancy policy resolved against pg (defaults applied,
+	// width clamped to the group size).
+	pol policy
+	plh apgas.PlaceLocalHandle[*placeStore]
 	// stores aliases the per-place stores by group index for Destroy-time
 	// recycling (mirroring PlaceLocalHandle.Destroy's direct teardown).
 	stores    []*placeStore
 	meta      []byte
 	destroyed atomic.Bool
 	instr     snapInstr
+	// deg tracks entries below target redundancy and the extra holder
+	// slots repair placed them at (see repair.go).
+	deg degradedState
+}
+
+// degradedState is the snapshot's redundancy-loss bookkeeping: which keys
+// are below their target redundancy (reflected in the
+// snapshot.replicas.degraded gauge), and which non-base slots hold
+// repaired copies or shards (consulted by Load, Digest and Repair).
+type degradedState struct {
+	mu sync.Mutex
+	// keys maps a degraded key to its owner's group index.
+	keys map[int]int
+	// extras maps a key to repair-holder group indices beyond its base
+	// slot set.
+	extras map[int][]int
+}
+
+// noteDegraded records that key (owned by ownerIdx) is below target
+// redundancy, bumping the degraded gauge on the first report.
+func (s *Snapshot) noteDegraded(key, ownerIdx int) {
+	s.deg.mu.Lock()
+	defer s.deg.mu.Unlock()
+	if _, ok := s.deg.keys[key]; ok {
+		return
+	}
+	if s.deg.keys == nil {
+		s.deg.keys = make(map[int]int)
+	}
+	s.deg.keys[key] = ownerIdx
+	s.instr.degradedG.Add(1)
+	s.rt.Obs().Trace("snapshot.replica.degraded", int64(key), int64(ownerIdx))
+}
+
+// clearDegraded removes key from the degraded set (after a successful
+// repair), decrementing the gauge if it was present.
+func (s *Snapshot) clearDegraded(key int) {
+	s.deg.mu.Lock()
+	defer s.deg.mu.Unlock()
+	if _, ok := s.deg.keys[key]; !ok {
+		return
+	}
+	delete(s.deg.keys, key)
+	s.instr.degradedG.Add(-1)
+}
+
+// isDegraded reports whether key is currently tracked as degraded.
+func (s *Snapshot) isDegraded(key int) bool {
+	s.deg.mu.Lock()
+	defer s.deg.mu.Unlock()
+	_, ok := s.deg.keys[key]
+	return ok
+}
+
+// DegradedEntries returns how many entries are tracked below their target
+// redundancy (the snapshot's contribution to the
+// snapshot.replicas.degraded gauge).
+func (s *Snapshot) DegradedEntries() int {
+	s.deg.mu.Lock()
+	defer s.deg.mu.Unlock()
+	return len(s.deg.keys)
+}
+
+// setExtras records the repair-holder group indices for key.
+func (s *Snapshot) setExtras(key int, extras []int) {
+	s.deg.mu.Lock()
+	defer s.deg.mu.Unlock()
+	if len(extras) == 0 {
+		delete(s.deg.extras, key)
+		return
+	}
+	if s.deg.extras == nil {
+		s.deg.extras = make(map[int][]int)
+	}
+	s.deg.extras[key] = extras
 }
 
 // snapInstr holds the snapshot layer's observability handles, resolved
@@ -285,6 +405,12 @@ type snapInstr struct {
 	deltaSaved   *obs.Counter // snapshot.delta.saved (delta-path entries re-encoded)
 	deltaSkipped *obs.Counter // snapshot.delta.bytes.skipped (payload bytes not re-shipped)
 	digests      *obs.Counter // snapshot.digests (metadata-only integrity probes)
+
+	// Redundancy degradation and repair.
+	degradedG *obs.Gauge   // snapshot.replicas.degraded (entries below target, now)
+	repaired  *obs.Counter // snapshot.replicas.repaired (entries healed by Repair)
+	shards    *obs.Counter // snapshot.shards.placed (erasure shard puts)
+	rebuilds  *obs.Counter // snapshot.shards.rebuilt (erasure reconstructions on load)
 }
 
 func newSnapInstr(reg *obs.Registry) snapInstr {
@@ -310,6 +436,11 @@ func newSnapInstr(reg *obs.Registry) snapInstr {
 		deltaSaved:   reg.Counter("snapshot.delta.saved"),
 		deltaSkipped: reg.Counter("snapshot.delta.bytes.skipped"),
 		digests:      reg.Counter("snapshot.digests"),
+
+		degradedG: reg.Gauge("snapshot.replicas.degraded"),
+		repaired:  reg.Counter("snapshot.replicas.repaired"),
+		shards:    reg.Counter("snapshot.shards.placed"),
+		rebuilds:  reg.Counter("snapshot.shards.rebuilt"),
 	}
 }
 
@@ -339,7 +470,8 @@ func NewWithOptions(rt *apgas.Runtime, pg apgas.PlaceGroup, opts Options) (*Snap
 		return nil, fmt.Errorf("snapshot: allocating stores: %w", err)
 	}
 	opts.Retry = opts.Retry.normalize()
-	return &Snapshot{rt: rt, pg: pg.Clone(), opts: opts, plh: plh, stores: stores, instr: instr}, nil
+	pol := resolvePolicy(rt, pg.Size(), opts)
+	return &Snapshot{rt: rt, pg: pg.Clone(), opts: opts, pol: pol, plh: plh, stores: stores, instr: instr}, nil
 }
 
 // Group returns the place group the snapshot was taken over.
@@ -352,24 +484,34 @@ func (s *Snapshot) SetMeta(meta []byte) { s.meta = meta }
 // Meta returns the attached descriptor.
 func (s *Snapshot) Meta() []byte { return s.meta }
 
-// Save stores data under key with double storage: a local copy at the
-// calling task's place and a backup at the next place of the snapshot
-// group. It must be called from a task running at a member of the group
-// (each place saves its own portion, as in the paper). A CRC-32C checksum
-// is computed at save time and verified on every load, so silent
-// corruption of one replica degrades into the same recovery path as a
-// failed place. The byte slice is retained; callers must not mutate it
-// afterwards.
+// Save stores data under key with the snapshot's redundancy policy: a
+// local copy at the calling task's place plus k-1 backups at the next
+// places of the snapshot group (replication), or d+p Reed-Solomon shards
+// across d+p consecutive places (erasure). It must be called from a task
+// running at a member of the group (each place saves its own portion, as
+// in the paper). A CRC-32C checksum is computed at save time and
+// verified on every load, so silent corruption of one replica degrades
+// into the same recovery path as a failed place. Under replication the
+// byte slice is retained; callers must not mutate it afterwards.
 func (s *Snapshot) Save(ctx *apgas.Ctx, key int, data []byte) {
+	if s.pol.erasure {
+		s.saveErasure(ctx, key, data, codec.Checksum(data), false, 0)
+		return
+	}
 	s.save(ctx, key, newEntry(data, codec.Checksum(data), false, 0))
 }
 
 // SaveEncoded stores an Encoder's payload under key without re-hashing:
 // the CRC-32C was folded into the encode pass, so the bytes are traversed
 // exactly once on the save path. The snapshot takes ownership of the
-// buffer (which NewEncoder drew from the codec pool) and recycles it when
-// the snapshot is destroyed.
+// buffer (which NewEncoder drew from the codec pool): under replication
+// it is recycled when the snapshot is destroyed, under erasure
+// immediately after sharding (only the shards are stored).
 func (s *Snapshot) SaveEncoded(ctx *apgas.Ctx, key int, e *codec.Encoder) {
+	if s.pol.erasure {
+		s.saveErasure(ctx, key, e.Bytes(), e.Sum(), true, 0)
+		return
+	}
 	s.save(ctx, key, newEntry(e.Bytes(), e.Sum(), true, 0))
 }
 
@@ -390,16 +532,19 @@ func (s *Snapshot) SaveEncoded(ctx *apgas.Ctx, key int, e *codec.Encoder) {
 //     charges), recording ver for the next delta.
 //
 // An entry is "healthy" for carry-forward only if prev was taken over
-// the same place group, is not destroyed, both its owner and backup
-// places are alive, and the backup slot actually holds the entry (a
-// replica dropped under fault injection must not silently propagate to
-// the successor). The carried entry's backup reference put is not
-// charged against the NetModel: the payload already resides at the
-// backup place from the previous checkpoint, and only a control message
-// crosses the network.
+// the same place group with the same resolved policy, is not destroyed,
+// is not tracked as degraded, every slot of the entry's placement is
+// alive, and every slot actually holds the entry (a replica dropped
+// under fault injection must not silently propagate to the successor).
+// The carried entry's replica reference puts are not charged against the
+// NetModel: the payloads already reside at their slots from the previous
+// checkpoint, and only control messages cross the network.
 //
 // It returns true when the entry was carried forward.
 func (s *Snapshot) SaveDelta(ctx *apgas.Ctx, key int, ver uint64, prev *Snapshot, encode func() *codec.Encoder) bool {
+	if s.pol.erasure {
+		return s.saveDeltaErasure(ctx, key, ver, prev, encode)
+	}
 	e := s.carryCandidate(ctx, key, prev)
 	if e != nil && ver > 0 && e.ver == ver {
 		s.carryForward(ctx, key, e)
@@ -416,31 +561,41 @@ func (s *Snapshot) SaveDelta(ctx *apgas.Ctx, key int, ver uint64, prev *Snapshot
 	return false
 }
 
+// carryEligible checks the snapshot-level carry-forward preconditions
+// shared by the replicate and erasure paths: same group, same resolved
+// policy, predecessor alive, saver a member of the group.
+func (s *Snapshot) carryEligible(ctx *apgas.Ctx, prev *Snapshot) (idx int, ok bool) {
+	if prev == nil || prev.destroyed.Load() || !prev.pg.Equal(s.pg) || prev.pol != s.pol {
+		return 0, false
+	}
+	idx = s.pg.IndexOf(ctx.Here)
+	return idx, idx >= 0
+}
+
 // carryCandidate returns prev's entry for key when it is eligible for
 // carry-forward into s (see SaveDelta), or nil.
 func (s *Snapshot) carryCandidate(ctx *apgas.Ctx, key int, prev *Snapshot) *entry {
-	if prev == nil || prev.destroyed.Load() || !prev.pg.Equal(s.pg) ||
-		prev.opts.DisableBackup != s.opts.DisableBackup {
+	idx, ok := s.carryEligible(ctx, prev)
+	if !ok || prev.isDegraded(key) {
 		return nil
 	}
-	idx := s.pg.IndexOf(ctx.Here)
-	if idx < 0 {
+	e, found := prev.plh.Local(ctx).get(key)
+	if !found {
 		return nil
 	}
-	e, ok := prev.plh.Local(ctx).get(key)
-	if !ok {
-		return nil
-	}
-	if !s.opts.DisableBackup && s.pg.Size() > 1 {
-		backupIdx := (idx + 1) % s.pg.Size()
-		if s.rt.IsDead(s.pg[backupIdx]) {
+	// Every replica slot must be alive and hold the same entry pointer
+	// (in the emulation all replicas share one entry, so a slot holding
+	// the same pointer proves the payload is resident there). A slot that
+	// lost its copy — dead place, dropped put — disqualifies the entry:
+	// carrying it forward would replicate the degradation into the new
+	// checkpoint without re-shipping the payload.
+	for i := 1; i < s.pol.k; i++ {
+		slot := s.slotOf(idx, i)
+		if s.rt.IsDead(s.pg[slot]) {
 			return nil
 		}
-		// In the emulation both replicas share one entry pointer, so the
-		// backup slot holding the same entry proves the payload is
-		// resident at the backup place.
-		be, ok := prev.stores[backupIdx].get(key)
-		if !ok || be != e {
+		be, found := prev.stores[slot].get(key)
+		if !found || be != e {
 			return nil
 		}
 	}
@@ -448,57 +603,59 @@ func (s *Snapshot) carryCandidate(ctx *apgas.Ctx, key int, prev *Snapshot) *entr
 }
 
 // carryForward shares e (an entry owned by the previous checkpoint) into
-// this snapshot's owner and backup slots, taking one reference for the
-// whole snapshot. Only a control message reaches the backup place — the
-// payload is already resident there — so nothing is charged against the
-// NetModel and the bytes count as skipped, not saved.
+// this snapshot's replica slots, taking one reference for the whole
+// snapshot. Only control messages reach the replica places — the payload
+// is already resident there — so nothing is charged against the NetModel
+// and the bytes count as skipped, not saved.
 func (s *Snapshot) carryForward(ctx *apgas.Ctx, key int, e *entry) {
 	idx := s.pg.IndexOf(ctx.Here)
 	e.refs.Add(1)
 	s.plh.Local(ctx).put(key, e)
 	s.instr.deltaCarried.Inc()
 	s.instr.deltaSkipped.Add(int64(len(e.data)))
-	if s.opts.DisableBackup || s.pg.Size() == 1 {
-		return
+	for i := 1; i < s.pol.k; i++ {
+		next := s.pg[s.slotOf(idx, i)]
+		ctx.AsyncAt(next, func(c *apgas.Ctx) {
+			s.putReplica(c, key, e, idx)
+		})
 	}
-	next := s.pg[(idx+1)%s.pg.Size()]
-	ctx.AsyncAt(next, func(c *apgas.Ctx) {
-		s.putReplica(c, key, e)
-	})
 }
 
-// save places e locally and asynchronously at the backup place. The backup
-// put overlaps the saver's remaining work (encoding of its next block);
-// the enclosing finish waits for it, so the checkpoint's completion still
-// implies both replicas are in place. The network model is charged
-// identically to a synchronous put: one payload transfer to the neighbour.
+// save places e locally and asynchronously at the k-1 replica places. The
+// replica puts overlap the saver's remaining work (encoding of its next
+// block); the enclosing finish waits for them, so the checkpoint's
+// completion still implies every replica is in place. The network model
+// is charged identically to synchronous puts: one payload transfer per
+// replica place.
 func (s *Snapshot) save(ctx *apgas.Ctx, key int, e *entry) {
 	idx := s.pg.IndexOf(ctx.Here)
 	if idx < 0 {
 		panic(fmt.Sprintf("snapshot: Save from %v, not a member of %v", ctx.Here, s.pg))
 	}
+	e.owner = idx
 	s.plh.Local(ctx).put(key, e)
 	s.instr.saves.Inc()
 	s.instr.saveBytes.Add(int64(len(e.data)))
-	if s.opts.DisableBackup || s.pg.Size() == 1 {
-		return
+	for i := 1; i < s.pol.k; i++ {
+		next := s.pg[s.slotOf(idx, i)]
+		s.instr.replicas.Inc()
+		s.instr.backupBytes.Add(int64(len(e.data)))
+		ctx.Transfer(next, len(e.data))
+		ctx.AsyncAt(next, func(c *apgas.Ctx) {
+			s.putReplica(c, key, e, idx)
+		})
 	}
-	next := s.pg[(idx+1)%s.pg.Size()]
-	s.instr.replicas.Inc()
-	s.instr.backupBytes.Add(int64(len(e.data)))
-	ctx.Transfer(next, len(e.data))
-	ctx.AsyncAt(next, func(c *apgas.Ctx) {
-		s.putReplica(c, key, e)
-	})
 }
 
-// putReplica lands the backup copy at the backup place, retrying with
-// doubling backoff when the runtime's fault injector reports a transient
-// write failure (the chaos engine's flake rules). With no injector
-// installed the first attempt costs one atomic load and succeeds, so the
-// checkpoint fast path is unchanged. Exhausting the retry budget degrades
-// the entry to owner-only instead of failing the checkpoint.
-func (s *Snapshot) putReplica(c *apgas.Ctx, key int, e *entry) {
+// putReplica lands a replica (or shard) copy at the task's place,
+// retrying with doubling backoff when the runtime's fault injector
+// reports a transient write failure (the chaos engine's flake rules).
+// With no injector installed the first attempt costs one atomic load and
+// succeeds, so the checkpoint fast path is unchanged. Exhausting the
+// retry budget records the entry in the snapshot's degraded set — the
+// snapshot.replicas.degraded gauge — instead of failing the checkpoint;
+// Repair re-replicates it at the next commit.
+func (s *Snapshot) putReplica(c *apgas.Ctx, key int, e *entry, ownerIdx int) {
 	pol := s.opts.Retry
 	backoff := pol.Backoff
 	for attempt := 1; ; attempt++ {
@@ -523,15 +680,19 @@ func (s *Snapshot) putReplica(c *apgas.Ctx, key int, e *entry) {
 	}
 	s.instr.dropped.Inc()
 	s.rt.Obs().Trace("snapshot.replica.dropped", int64(key), int64(c.Here.ID))
+	s.noteDegraded(key, ownerIdx)
 }
 
 // Load retrieves the entry for key. ownerIdx is the index (within the
 // snapshot-time group) of the place that saved the entry; the object's
-// restore logic knows it from the snapshot's descriptor. Load prefers the
-// owner's copy and falls back to the backup at owner+1 when the owner has
-// failed. Reading a remote replica charges the network model for the
-// payload. Integrity verification is memoized per replica, so re-loading
-// an already-verified entry (e.g. many new blocks reading one old block
+// restore logic knows it from the snapshot's descriptor. Under
+// replication Load prefers the owner's copy and falls back to the
+// replicas at the following slots (plus any repair-time extra holders)
+// when the owner has failed; under erasure it gathers surviving shards
+// from the slot set and reconstructs (see loadErasure). Reading a remote
+// replica charges the network model for the payload. Integrity
+// verification is memoized per replica, so re-loading an
+// already-verified entry (e.g. many new blocks reading one old block
 // during a regrid restore) does not re-hash it.
 //
 // Byte accounting (snapshot.load.bytes): a remote replica is counted at
@@ -544,14 +705,14 @@ func (s *Snapshot) Load(ctx *apgas.Ctx, key, ownerIdx int) ([]byte, error) {
 	if ownerIdx < 0 || ownerIdx >= s.pg.Size() {
 		return nil, fmt.Errorf("snapshot: owner index %d out of %d", ownerIdx, s.pg.Size())
 	}
-	replicas := []apgas.Place{s.pg[ownerIdx]}
-	if !s.opts.DisableBackup && s.pg.Size() > 1 {
-		replicas = append(replicas, s.pg[(ownerIdx+1)%s.pg.Size()])
+	if s.pol.erasure {
+		return s.loadErasure(ctx, key, ownerIdx)
 	}
 	s.instr.loads.Inc()
 	anyAlive := false
 	sawCorrupt := false
-	for ri, p := range replicas {
+	for ri, slot := range s.holderSlots(key, ownerIdx) {
+		p := s.pg[slot]
 		if s.rt.IsDead(p) {
 			continue
 		}
@@ -593,7 +754,7 @@ func (s *Snapshot) Load(ctx *apgas.Ctx, key, ownerIdx int) ([]byte, error) {
 			s.instr.loadRemote.Inc()
 		}
 		if ri > 0 {
-			// Served from the backup replica because the owner's copy was
+			// Served from a backup replica because the owner's copy was
 			// dead, missing, or corrupt.
 			s.instr.fallbacks.Inc()
 		}
@@ -602,7 +763,11 @@ func (s *Snapshot) Load(ctx *apgas.Ctx, key, ownerIdx int) ([]byte, error) {
 	switch {
 	case sawCorrupt:
 		return nil, fmt.Errorf("snapshot: key %d owner %d: %w", key, ownerIdx, ErrCorrupt)
-	case !anyAlive:
+	case !anyAlive || s.isDegraded(key):
+		// Either every holder place is dead, or the survivors never held a
+		// copy — a replica put dropped under fault injection that repair
+		// has not yet healed, with the holding places dead since. Both are
+		// data loss, reported loudly rather than as a missing key.
 		s.instr.lost.Inc()
 		s.rt.Obs().Trace("snapshot.entry.lost", int64(key), int64(ownerIdx))
 		return nil, fmt.Errorf("snapshot: key %d owner %d: %w", key, ownerIdx, ErrDataLost)
@@ -621,13 +786,10 @@ func (s *Snapshot) Digest(ctx *apgas.Ctx, key, ownerIdx int) (sum uint32, size i
 	if ownerIdx < 0 || ownerIdx >= s.pg.Size() {
 		return 0, 0, fmt.Errorf("snapshot: owner index %d out of %d", ownerIdx, s.pg.Size())
 	}
-	replicas := []apgas.Place{s.pg[ownerIdx]}
-	if !s.opts.DisableBackup && s.pg.Size() > 1 {
-		replicas = append(replicas, s.pg[(ownerIdx+1)%s.pg.Size()])
-	}
 	s.instr.digests.Inc()
 	anyAlive := false
-	for _, p := range replicas {
+	for _, slot := range s.holderSlots(key, ownerIdx) {
+		p := s.pg[slot]
 		if s.rt.IsDead(p) {
 			continue
 		}
@@ -637,22 +799,28 @@ func (s *Snapshot) Digest(ctx *apgas.Ctx, key, ownerIdx int) (sum uint32, size i
 			fsum  uint32
 			flen  int
 		)
-		if p.ID == ctx.Here.ID {
-			if e, ok := s.plh.Local(ctx).get(key); ok {
-				found, fsum, flen = true, e.sum, len(e.data)
-			}
-		} else {
-			ctx.At(p, func(c *apgas.Ctx) {
-				if e, ok := s.plh.Local(c).get(key); ok {
-					found, fsum, flen = true, e.sum, len(e.data)
+		probe := func(c *apgas.Ctx) {
+			if e, ok := s.plh.Local(c).get(key); ok {
+				found = true
+				if e.set != nil {
+					// Erasure shard: the digest describes the reassembled
+					// payload, not the shard.
+					fsum, flen = e.set.fullSum, e.set.fullLen
+				} else {
+					fsum, flen = e.sum, len(e.data)
 				}
-			})
+			}
+		}
+		if p.ID == ctx.Here.ID {
+			probe(ctx)
+		} else {
+			ctx.At(p, probe)
 		}
 		if found {
 			return fsum, flen, nil
 		}
 	}
-	if !anyAlive {
+	if !anyAlive || s.isDegraded(key) {
 		return 0, 0, fmt.Errorf("snapshot: key %d owner %d: %w", key, ownerIdx, ErrDataLost)
 	}
 	return 0, 0, fmt.Errorf("snapshot: key %d owner %d: %w", key, ownerIdx, ErrNotFound)
@@ -688,6 +856,16 @@ func (s *Snapshot) Destroy() {
 		return
 	}
 	s.instr.destroys.Inc()
+	// Entries still degraded at destruction leave the gauge with the
+	// snapshot: the gauge tracks live below-redundancy entries, and a
+	// destroyed snapshot's entries are not recoverable state any more.
+	s.deg.mu.Lock()
+	if n := len(s.deg.keys); n > 0 {
+		s.instr.degradedG.Add(int64(-n))
+	}
+	s.deg.keys = nil
+	s.deg.extras = nil
+	s.deg.mu.Unlock()
 	// Release this snapshot's reference on each distinct entry (owner and
 	// backup slots share entries, and carried-forward entries also live in
 	// the successor snapshot); only the last reference recycles the buffer.
@@ -711,8 +889,8 @@ func (s *Snapshot) Destroy() {
 	s.plh.Destroy(s.pg)
 }
 
-// Bytes returns the total payload bytes stored on live places (both
-// replicas counted), for tests and capacity accounting. All places are
+// Bytes returns the total payload bytes stored on live places (every
+// replica or shard counted), for tests and capacity accounting. All places are
 // visited concurrently under a single finish (one AsyncAt per live place)
 // rather than one finish round-trip per place.
 func (s *Snapshot) Bytes() (int, error) {

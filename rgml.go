@@ -72,6 +72,40 @@ const DefaultLedgerQueue = apgas.DefaultLedgerQueue
 // ParseFinishMode maps "central" or "sharded" to its FinishMode.
 func ParseFinishMode(s string) (FinishMode, error) { return apgas.ParseFinishMode(s) }
 
+// Snapshot-store redundancy surface.
+type (
+	// StorePolicy is the snapshot store's redundancy configuration: how
+	// many copies (or erasure shards) of each checkpoint entry exist, and
+	// where. The zero value keeps the paper-faithful default (replicate,
+	// k=2 — owner plus next place).
+	StorePolicy = apgas.StorePolicy
+	// StorePlacement selects replication vs Reed-Solomon erasure coding.
+	StorePlacement = apgas.Placement
+)
+
+// The snapshot-store placements.
+const (
+	// PlacementReplicate stores k full copies at consecutive places.
+	PlacementReplicate = apgas.PlacementReplicate
+	// PlacementErasure Reed-Solomon-encodes each entry into d data + p
+	// parity shards, tolerating p failures at (d+p)/d storage.
+	PlacementErasure = apgas.PlacementErasure
+)
+
+// ReplicateStore returns a k-copy replication policy.
+func ReplicateStore(k int) StorePolicy { return apgas.ReplicateStore(k) }
+
+// ErasureStore returns a d-data, p-parity erasure policy.
+func ErasureStore(d, p int) StorePolicy { return apgas.ErasureStore(d, p) }
+
+// ParsePlacement maps "replicate" or "erasure" to its StorePlacement.
+func ParsePlacement(s string) (StorePlacement, error) { return apgas.ParsePlacement(s) }
+
+// WithStorePolicy sets the snapshot store's redundancy policy for every
+// snapshot the runtime's objects create. Policies wider than a snapshot's
+// place group clamp with a trace event rather than failing.
+func WithStorePolicy(sp StorePolicy) RuntimeOption { return apgas.WithStorePolicy(sp) }
+
 // RuntimeOption configures a runtime built with NewRuntimeWith.
 type RuntimeOption = apgas.Option
 
@@ -377,6 +411,13 @@ var (
 	ErrRestoreBudget = core.ErrRestoreBudget
 	// ErrCanceled: the run's context was canceled or timed out.
 	ErrCanceled = core.ErrCanceled
+	// ErrBadOption: a runtime option carried an invalid value (unknown
+	// finish mode, non-positive ledger queue, malformed store policy).
+	ErrBadOption = apgas.ErrBadOption
+	// ErrDataLost: failures exceeded the store policy's tolerance — more
+	// places died between checkpoints than there were surviving replicas
+	// or parity shards for an entry. Loss is always loud, never silent.
+	ErrDataLost = snapshot.ErrDataLost
 )
 
 // Observability surface (internal/obs).
