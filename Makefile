@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race race-recovery race-chaos race-delta race-finish race-store chaos-smoke workers-seq fuzz bench bench-checkpoint bench-kernels bench-delta bench-finish bench-store
+.PHONY: ci vet build test race race-recovery race-chaos race-delta race-finish race-store race-transport chaos-smoke tcp-smoke workers-seq fuzz bench bench-checkpoint bench-kernels bench-delta bench-finish bench-store
 
-ci: vet build race race-recovery race-chaos race-delta race-finish race-store chaos-smoke workers-seq bench-checkpoint bench-kernels bench-delta bench-finish bench-store
+ci: vet build race race-recovery race-chaos race-delta race-finish race-store race-transport chaos-smoke tcp-smoke workers-seq bench-checkpoint bench-kernels bench-delta bench-finish bench-store
 
 vet:
 	$(GO) vet ./...
@@ -61,6 +61,21 @@ race-store:
 	$(GO) test -race -count=2 -run 'TestExecutor(Repair|Delta|DoubleKill|NoBackup|PartialRestore|SinglePlace)' ./internal/core/
 	$(GO) test -race -count=2 -run 'Span' ./internal/chaos/
 
+# Extra -race iterations over the transport seam: the tcp backend's
+# frame reader/heartbeat/detector goroutines racing administrative
+# kills, the runtime's transport-death broadcast racing Kill, and the
+# cross-backend invariance oracle (same chaos schedule on local and tcp
+# must give identical kill fingerprints and bitwise-equal iterates).
+# The synctest leg pins the failure detector's latency bound,
+# no-false-positive and flapping-suppression properties under virtual
+# time (asynctimerchan=0 is required by synctest until the go directive
+# passes 1.23).
+race-transport:
+	$(GO) test -race -count=2 ./internal/apgas/transport/... ./internal/cliflags/
+	$(GO) test -race -count=2 -run 'Transport' ./internal/apgas/
+	$(GO) test -race -count=2 -run 'CrossBackend|RealProcessKill' ./internal/bench/
+	GOEXPERIMENT=synctest GODEBUG=asynctimerchan=0 $(GO) test -race -run 'Synctest' ./internal/apgas/transport/
+
 # A short fixed-seed chaos campaign over every benchmark application:
 # one kill inside a checkpoint commit plus one during the restore that
 # follows. -chaos-strict fails the target if any run does not recover
@@ -69,6 +84,15 @@ chaos-smoke:
 	$(GO) run ./cmd/rgmlbench -q -iters 6 -ckpt 2 -scale 0.05 -seeds 7 -chaos-strict \
 		-chaos "kill(point=commit,iter=2,place=1);kill(point=restore,place=3)" chaos > /dev/null
 	@echo "chaos-smoke: all campaigns survived and verified"
+
+# Multi-process smoke: PageRank over the tcp transport with one worker
+# process SIGKILLed mid-run. The run must detect the death by heartbeat
+# (no administrative mark), restore from the last checkpoint, and finish;
+# rgmlrun exits non-zero if no restore happened.
+tcp-smoke:
+	$(GO) run ./cmd/rgmlrun -transport tcp -app pagerank -places 4 \
+		-size 200 -iters 8 -ckpt 2 -kill-proc-iter 4 > /dev/null
+	@echo "tcp-smoke: recovered from a real worker-process kill"
 
 # The whole suite again with the kernel worker pool pinned to one worker:
 # every parallel kernel and tree collective degenerates to its serial

@@ -39,7 +39,7 @@ func BenchmarkTable2LOC(b *testing.B) {
 // stepBench measures one application iteration under resilient vs
 // non-resilient finish (the per-point measurement of Figures 2-4).
 func stepBench(b *testing.B, app bench.AppName, places int, resilient bool) {
-	rt, err := apgas.NewRuntime(apgas.Config{Places: places, Resilient: resilient})
+	rt, err := apgas.New(apgas.WithPlaces(places), apgas.WithResilient(resilient))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -174,9 +174,11 @@ func BenchmarkAblationLedgerCost(b *testing.B) {
 	})
 	b.Run("resilient/ledger-work", func(b *testing.B) {
 		cost := bench.Config{LedgerWork: 400}
-		rt, err := apgas.NewRuntime(apgas.Config{
-			Places: 8, Resilient: true, LedgerCost: cost.LedgerCostFunc(),
-		})
+		rt, err := apgas.New(
+			apgas.WithPlaces(8),
+			apgas.WithResilient(true),
+			apgas.WithLedgerCost(cost.LedgerCostFunc()),
+		)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -322,7 +324,7 @@ func BenchmarkAblationRegridSparse(b *testing.B) {
 
 func benchRT(b *testing.B, places int, resilient bool) *apgas.Runtime {
 	b.Helper()
-	rt, err := apgas.NewRuntime(apgas.Config{Places: places, Resilient: resilient})
+	rt, err := apgas.New(apgas.WithPlaces(places), apgas.WithResilient(resilient))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -368,23 +370,23 @@ func runWithFailure(b *testing.B, appName bench.AppName, mode core.RestoreMode) 
 	if mode == core.ReplaceRedundant {
 		total, spares = places+1, 1
 	}
-	rt, err := apgas.NewRuntime(apgas.Config{Places: total, Resilient: true})
+	rt, err := apgas.New(apgas.WithPlaces(total), apgas.WithResilient(true))
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer rt.Shutdown()
 	killed := false
-	exec, err := core.NewExecutor(rt, core.Config{
-		CheckpointInterval: 4,
-		Mode:               mode,
-		Spares:             spares,
-		AfterStep: func(iter int64) {
+	exec, err := core.New(rt,
+		core.WithCheckpointInterval(4),
+		core.WithRestoreMode(mode),
+		core.WithSpares(spares),
+		core.WithAfterStep(func(iter int64) {
 			if !killed && iter == 6 {
 				killed = true
 				_ = rt.Kill(rt.Place(places / 2))
 			}
-		},
-	})
+		}),
+	)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -21,7 +21,8 @@
 //
 // The -placement/-redundancy/-shards flags set the snapshot store's
 // redundancy policy for every resilient run (the store experiment sweeps
-// its own policies and ignores them).
+// its own policies and ignores them). -transport tcp runs every place as
+// a separate OS process (heavy: each runtime spawns a process group).
 //
 // The workload sizes default to laptop scale (see -scale and the
 // per-workload flags); EXPERIMENTS.md records how they map to the paper's
@@ -36,16 +37,16 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
-	"strconv"
-	"strings"
 
-	"github.com/rgml/rgml/internal/apgas"
 	"github.com/rgml/rgml/internal/bench"
-	"github.com/rgml/rgml/internal/core"
+	"github.com/rgml/rgml/internal/cliflags"
 	"github.com/rgml/rgml/internal/par"
 )
 
 func main() {
+	// Self-spawned tcp workers re-exec this binary with the worker
+	// environment set; they serve their place and exit here.
+	cliflags.MaybeWorker()
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "rgmlbench:", err)
 		os.Exit(1)
@@ -54,6 +55,8 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("rgmlbench", flag.ContinueOnError)
+	var rf cliflags.Runtime
+	rf.Register(fs)
 	var (
 		outDir     = fs.String("out", "", "directory for result files (empty: stdout only)")
 		placesCSV  = fs.String("places", "", "comma-separated place counts (default 2,4,8,...,44)")
@@ -65,12 +68,7 @@ func run(args []string) error {
 		latency    = fs.Duration("latency", 0, "simulated per-message latency (sleep-based; leave 0 on hosts with coarse timers)")
 		bytePeriod = fs.Duration("byte-period", 0, "simulated per-byte transfer time")
 		ledgerWork = fs.Int("ledger-work", bench.DefaultConfig().LedgerWork, "resilient-finish ledger work units per event")
-		finishArch = fs.String("finish", "central", "resilient-finish architecture for every resilient run: central or sharded")
-		placement  = fs.String("placement", "", "snapshot store placement for every resilient run: replicate or erasure (default replicate)")
-		redundancy = fs.Int("redundancy", 0, "replica count k for the replicate placement (default 2, the paper's double in-memory storage)")
-		shards     = fs.String("shards", "", "erasure geometry as d,p data/parity shards (default 4,1)")
 		metricsDir = fs.String("metrics", "", "directory for per-restore-run JSON metrics exports (empty: none)")
-		workers    = fs.Int("workers", 0, "intra-place kernel worker pool size (0: RGML_WORKERS or CPU count)")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile covering all experiments to this file")
 		memProfile = fs.String("memprofile", "", "write an allocation profile after all experiments to this file")
 		quiet      = fs.Bool("q", false, "suppress progress output")
@@ -89,8 +87,8 @@ func run(args []string) error {
 		fs.Usage()
 		return fmt.Errorf("no experiments given (try: rgmlbench all)")
 	}
-	if *workers > 0 {
-		par.SetWorkers(*workers)
+	if rf.Workers > 0 {
+		par.SetWorkers(rf.Workers)
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -123,22 +121,27 @@ func run(args []string) error {
 	cfg.BytePeriod = *bytePeriod
 	cfg.LedgerWork = *ledgerWork
 	cfg.MetricsDir = *metricsDir
-	mode, err := apgas.ParseFinishMode(*finishArch)
+	mode, err := rf.FinishMode()
 	if err != nil {
-		return fmt.Errorf("-finish: %w", err)
+		return err
 	}
 	cfg.FinishMode = mode
-	pol, err := parseStorePolicy(*placement, *redundancy, *shards)
+	pol, err := rf.StorePolicy()
 	if err != nil {
 		return err
 	}
 	cfg.Store = pol
+	factory, err := rf.TransportFactory(nil)
+	if err != nil {
+		return err
+	}
+	cfg.Transport = factory
 	if !*quiet {
 		cfg.Progress = os.Stderr
 	}
 	s := &cfg.Scale
 	if *placesCSV != "" {
-		counts, err := parseInts(*placesCSV)
+		counts, err := cliflags.ParseInts(*placesCSV)
 		if err != nil {
 			return fmt.Errorf("-places: %w", err)
 		}
@@ -202,11 +205,11 @@ type chaosOptions struct {
 // benchmark application, writing one JSON report per campaign to stdout
 // and, with -out, to <out>/chaos_<app>.json.
 func runChaosCampaigns(cfg bench.Config, co chaosOptions, outDir string) error {
-	mode, err := parseRestoreMode(co.mode)
+	mode, err := cliflags.ParseRestoreMode(co.mode)
 	if err != nil {
 		return err
 	}
-	seeds, err := parseSeeds(co.seedsCSV)
+	seeds, err := cliflags.ParseSeeds(co.seedsCSV)
 	if err != nil {
 		return fmt.Errorf("-seeds: %w", err)
 	}
@@ -253,74 +256,6 @@ func runChaosCampaigns(cfg bench.Config, co chaosOptions, outDir string) error {
 		return fmt.Errorf("at least one run did not survive or verify")
 	}
 	return nil
-}
-
-// parseStorePolicy assembles the snapshot-store redundancy policy from
-// the -placement/-redundancy/-shards flags. All unset keeps the zero
-// policy — the store's paper-faithful default (replicate, k=2).
-func parseStorePolicy(placement string, redundancy int, shards string) (apgas.StorePolicy, error) {
-	var sp apgas.StorePolicy
-	if placement == "" && redundancy == 0 && shards == "" {
-		return sp, nil
-	}
-	if placement != "" {
-		p, err := apgas.ParsePlacement(placement)
-		if err != nil {
-			return sp, fmt.Errorf("-placement: %w", err)
-		}
-		sp.Placement = p
-	} else if shards != "" {
-		// -shards alone implies erasure.
-		sp.Placement = apgas.PlacementErasure
-	}
-	if redundancy > 0 {
-		if sp.Placement == apgas.PlacementErasure {
-			return sp, fmt.Errorf("-redundancy applies to the replicate placement; size erasure with -shards d,p")
-		}
-		sp.Replicas = redundancy
-	}
-	if shards != "" {
-		if sp.Placement != apgas.PlacementErasure {
-			return sp, fmt.Errorf("-shards applies to the erasure placement (add -placement erasure)")
-		}
-		dp, err := parseInts(shards)
-		if err != nil || len(dp) != 2 {
-			return sp, fmt.Errorf("-shards: want d,p (e.g. 4,1), got %q", shards)
-		}
-		sp.DataShards, sp.ParityShards = dp[0], dp[1]
-	}
-	if err := sp.Validate(); err != nil {
-		return sp, err
-	}
-	return sp, nil
-}
-
-// parseRestoreMode maps a mode flag value to its RestoreMode.
-func parseRestoreMode(name string) (core.RestoreMode, error) {
-	switch name {
-	case "shrink":
-		return core.Shrink, nil
-	case "shrink-rebalance":
-		return core.ShrinkRebalance, nil
-	case "replace-redundant":
-		return core.ReplaceRedundant, nil
-	case "replace-elastic":
-		return core.ReplaceElastic, nil
-	}
-	return 0, fmt.Errorf("unknown restore mode %q", name)
-}
-
-// parseSeeds parses the comma-separated seed list.
-func parseSeeds(csv string) ([]uint64, error) {
-	var out []uint64
-	for _, part := range strings.Split(csv, ",") {
-		n, err := strconv.ParseUint(strings.TrimSpace(part), 10, 64)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, n)
-	}
-	return out, nil
 }
 
 // output tees an experiment's rendering to stdout and the result file.
@@ -434,19 +369,4 @@ func runExperiment(cfg bench.Config, exp, outDir string) error {
 	default:
 		return fmt.Errorf("unknown experiment (want table2, fig2-7, table3, table4, ablations, delta, finish, store, all)")
 	}
-}
-
-func parseInts(csv string) ([]int, error) {
-	var out []int
-	for _, part := range strings.Split(csv, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil {
-			return nil, err
-		}
-		if n < 1 {
-			return nil, fmt.Errorf("place count %d out of range", n)
-		}
-		out = append(out, n)
-	}
-	return out, nil
 }

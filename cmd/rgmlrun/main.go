@@ -6,6 +6,13 @@
 //
 //	rgmlrun -app pagerank -places 8 -mode shrink -kill-iter 15
 //	rgmlrun -app linreg -places 4 -ckpt 2 -chaos "kill(point=commit,iter=4,place=1)"
+//	rgmlrun -transport tcp -app pagerank -places 4 -ckpt 2 -kill-proc-iter 4
+//
+// With -transport tcp every place is a separate OS process; -kill-proc-iter
+// kills a worker process outright (SIGKILL, no administrative shutdown) and
+// lets the heartbeat failure detector discover the death. A worker can also
+// be started explicitly with -serve-place for externally managed process
+// groups.
 package main
 
 import (
@@ -16,13 +23,18 @@ import (
 	"time"
 
 	"github.com/rgml/rgml/internal/apgas"
+	"github.com/rgml/rgml/internal/apgas/transport/tcp"
 	"github.com/rgml/rgml/internal/apps"
 	"github.com/rgml/rgml/internal/chaos"
+	"github.com/rgml/rgml/internal/cliflags"
 	"github.com/rgml/rgml/internal/core"
 	"github.com/rgml/rgml/internal/obs"
 )
 
 func main() {
+	// Self-spawned tcp workers re-exec this binary with the worker
+	// environment set; they serve their place and exit here.
+	cliflags.MaybeWorker()
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "rgmlrun:", err)
 		os.Exit(1)
@@ -30,6 +42,8 @@ func main() {
 }
 
 func run() error {
+	var rf cliflags.Runtime
+	rf.Register(flag.CommandLine)
 	var (
 		appName  = flag.String("app", "pagerank", "application: linreg, logreg, pagerank or gnmf")
 		places   = flag.Int("places", 8, "number of active places")
@@ -37,34 +51,32 @@ func run() error {
 		ckpt     = flag.Int("ckpt", 10, "checkpoint interval (0 disables)")
 		modeName = flag.String("mode", "shrink", "restore mode: shrink, shrink-rebalance, replace-redundant, replace-elastic")
 		delta    = flag.Bool("delta", false, "delta checkpointing: re-encode and re-ship only entries changed since the committed checkpoint")
-		finish   = flag.String("finish", "central", "resilient-finish architecture: central (place-zero ledger) or sharded (home-based shards with a local fast path)")
-		placeStr = flag.String("placement", "", "snapshot store placement: replicate or erasure (default replicate)")
-		redun    = flag.Int("redundancy", 0, "replica count k for the replicate placement (default 2; 1 disables backups)")
-		shards   = flag.String("shards", "", "erasure geometry as d,p data/parity shards (default 4,1)")
-		killIter = flag.Int("kill-iter", 0, "inject a failure after this iteration (0: none)")
+		killIter = flag.Int("kill-iter", 0, "inject an administrative failure after this iteration (0: none)")
+		killProc = flag.Int("kill-proc-iter", 0, "tcp only: SIGKILL a worker process after this iteration and let the failure detector find it (0: none)")
 		size     = flag.Int("size", 1000, "per-place problem size (examples or nodes)")
 		seed     = flag.Uint64("seed", 42, "dataset seed")
 		latency  = flag.Duration("latency", 0, "simulated per-message latency")
-		workers  = flag.Int("workers", 0, "intra-place kernel worker pool size (0: RGML_WORKERS or CPU count)")
 		metrics  = flag.String("metrics", "", "export the run's metrics registry: \"-\" for text on stdout, else a JSON file path")
 		chaosStr = flag.String("chaos", "", "chaos schedule driving seed-reproducible fault injection, e.g. \"kill(point=commit,iter=4,place=1)\"")
 		chaosSd  = flag.Uint64("chaos-seed", 1, "chaos engine seed")
 		timeout  = flag.Duration("timeout", 0, "cancel the run after this long (0: no bound)")
+
+		servePlace = flag.Bool("serve-place", false, "run as an explicit tcp transport worker: join -join as place -place-id and block")
+		joinAddr   = flag.String("join", "", "coordinator address for -serve-place")
+		placeID    = flag.Int("place-id", -1, "place to serve for -serve-place")
 	)
 	flag.Parse()
 
-	var mode core.RestoreMode
-	switch *modeName {
-	case "shrink":
-		mode = core.Shrink
-	case "shrink-rebalance":
-		mode = core.ShrinkRebalance
-	case "replace-redundant":
-		mode = core.ReplaceRedundant
-	case "replace-elastic":
-		mode = core.ReplaceElastic
-	default:
-		return fmt.Errorf("unknown mode %q", *modeName)
+	if *servePlace {
+		if *joinAddr == "" || *placeID < 0 {
+			return fmt.Errorf("-serve-place needs -join <addr> and -place-id <k>")
+		}
+		return tcp.ServeWorker(*joinAddr, *placeID, rf.HBInterval, rf.HBTimeout)
+	}
+
+	mode, err := cliflags.ParseRestoreMode(*modeName)
+	if err != nil {
+		return err
 	}
 	spares := 0
 	total := *places
@@ -73,11 +85,11 @@ func run() error {
 		total++
 	}
 
-	finishMode, err := apgas.ParseFinishMode(*finish)
+	finishMode, err := rf.FinishMode()
 	if err != nil {
 		return err
 	}
-	pol, err := storePolicy(*placeStr, *redun, *shards)
+	pol, err := rf.StorePolicy()
 	if err != nil {
 		return err
 	}
@@ -85,15 +97,32 @@ func run() error {
 	// One registry collects runtime, snapshot and executor metrics so the
 	// -metrics export is a single coherent document.
 	reg := obs.NewRegistry()
-	rt, err := apgas.New(
+	rtOpts := []apgas.Option{
 		apgas.WithPlaces(total),
 		apgas.WithResilient(true),
 		apgas.WithFinishMode(finishMode),
 		apgas.WithStorePolicy(pol),
 		apgas.WithNet(apgas.NetModel{Latency: *latency}),
 		apgas.WithObs(reg),
-		apgas.WithKernelWorkers(*workers),
-	)
+		apgas.WithKernelWorkers(rf.Workers),
+	}
+	factory, err := rf.TransportFactory(reg)
+	if err != nil {
+		return err
+	}
+	var tcpTP *tcp.Transport
+	if factory != nil {
+		tp, err := factory()
+		if err != nil {
+			return err
+		}
+		tcpTP, _ = tp.(*tcp.Transport)
+		rtOpts = append(rtOpts, apgas.WithTransport(tp))
+	}
+	if *killProc > 0 && tcpTP == nil {
+		return fmt.Errorf("-kill-proc-iter needs -transport tcp (a process to kill)")
+	}
+	rt, err := apgas.New(rtOpts...)
 	if err != nil {
 		return err
 	}
@@ -113,6 +142,13 @@ func run() error {
 				fmt.Printf("iteration %d: killing %v\n", iter, victim)
 				if err := rt.Kill(victim); err != nil {
 					fmt.Fprintln(os.Stderr, "kill:", err)
+				}
+			}
+			if *killProc > 0 && !killed && iter == int64(*killProc) {
+				killed = true
+				fmt.Printf("iteration %d: SIGKILLing the worker process of %v\n", iter, victim)
+				if err := killWorkerAndAwaitDetection(rt, tcpTP, victim); err != nil {
+					fmt.Fprintln(os.Stderr, "kill-proc:", err)
 				}
 			}
 		}),
@@ -160,8 +196,8 @@ func run() error {
 		return err
 	}
 
-	fmt.Printf("running %s: %d iterations on %d places (mode %v, checkpoint every %d)\n",
-		*appName, *iters, *places, mode, *ckpt)
+	fmt.Printf("running %s: %d iterations on %d places (transport %s, mode %v, checkpoint every %d)\n",
+		*appName, *iters, *places, rt.TransportName(), mode, *ckpt)
 	if !pol.IsZero() {
 		fmt.Printf("  store policy: %v\n", pol)
 	}
@@ -178,6 +214,9 @@ func run() error {
 	elapsed := time.Since(start)
 
 	m := exec.Metrics()
+	if *killProc > 0 && m.Restores == 0 {
+		return fmt.Errorf("process kill at iteration %d caused no restore — detection never fired", *killProc)
+	}
 	fmt.Printf("done in %v\n", elapsed.Round(time.Millisecond))
 	if eng != nil {
 		fmt.Printf("  chaos:        seed %d, %d kills [%s], %d transient faults\n",
@@ -188,8 +227,8 @@ func run() error {
 	fmt.Printf("  restores:     %d (%v total)\n", m.Restores, m.RestoreTime.Round(time.Millisecond))
 	fmt.Printf("  final places: %v\n", exec.ActiveGroup())
 	st := rt.Stats()
-	fmt.Printf("  runtime:      %d tasks, %d messages, %d ledger events, %d places killed\n",
-		st.TasksSpawned, st.Messages, st.LedgerEvents, st.PlacesKilled)
+	fmt.Printf("  runtime:      %d tasks, %d messages, %d ledger events, %d places killed, %d failed\n",
+		st.TasksSpawned, st.Messages, st.LedgerEvents, st.PlacesKilled, st.PlacesFailed)
 	if finishMode == apgas.FinishSharded {
 		fmt.Printf("  finish:       sharded (%d local fast-path tasks, %d refused forks)\n",
 			st.LocalTasks, st.RefusedForks)
@@ -197,44 +236,22 @@ func run() error {
 	return exportMetrics(reg, *metrics)
 }
 
-// storePolicy assembles the snapshot-store redundancy policy from the
-// -placement/-redundancy/-shards flags. All unset keeps the zero policy —
-// the store's paper-faithful default (replicate, k=2).
-func storePolicy(placement string, redundancy int, shards string) (apgas.StorePolicy, error) {
-	var sp apgas.StorePolicy
-	if placement == "" && redundancy == 0 && shards == "" {
-		return sp, nil
+// killWorkerAndAwaitDetection SIGKILLs the victim's worker process — no
+// administrative mark, no shutdown handshake — and blocks until the
+// heartbeat failure detector has declared the place dead, so the next
+// step's DeadPlaceError is deterministic rather than racing detection.
+func killWorkerAndAwaitDetection(rt *apgas.Runtime, tp *tcp.Transport, victim apgas.Place) error {
+	if err := tp.KillWorkerProcess(victim.ID); err != nil {
+		return err
 	}
-	if placement != "" {
-		p, err := apgas.ParsePlacement(placement)
-		if err != nil {
-			return sp, fmt.Errorf("-placement: %w", err)
+	deadline := time.Now().Add(10 * time.Second)
+	for !rt.IsDead(victim) {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("place %v not declared dead within 10s of its process dying", victim)
 		}
-		sp.Placement = p
-	} else if shards != "" {
-		// -shards alone implies erasure.
-		sp.Placement = apgas.PlacementErasure
+		time.Sleep(time.Millisecond)
 	}
-	if redundancy > 0 {
-		if sp.Placement == apgas.PlacementErasure {
-			return sp, fmt.Errorf("-redundancy applies to the replicate placement; size erasure with -shards d,p")
-		}
-		sp.Replicas = redundancy
-	}
-	if shards != "" {
-		if sp.Placement != apgas.PlacementErasure {
-			return sp, fmt.Errorf("-shards applies to the erasure placement (add -placement erasure)")
-		}
-		var d, p int
-		if n, err := fmt.Sscanf(shards, "%d,%d", &d, &p); err != nil || n != 2 {
-			return sp, fmt.Errorf("-shards: want d,p (e.g. 4,1), got %q", shards)
-		}
-		sp.DataShards, sp.ParityShards = d, p
-	}
-	if err := sp.Validate(); err != nil {
-		return sp, err
-	}
-	return sp, nil
+	return nil
 }
 
 // exportMetrics writes the registry to dest: nothing for "", a text dump on

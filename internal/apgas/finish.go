@@ -3,6 +3,8 @@ package apgas
 import (
 	"sync"
 	"sync/atomic"
+
+	"github.com/rgml/rgml/internal/apgas/transport"
 )
 
 // Finish is the synchronization scope created by Runtime.Finish. It collects
@@ -185,7 +187,7 @@ func (c *Ctx) AsyncAt(p Place, fn func(ctx *Ctx)) {
 	// spawn itself then lands on a corpse and throws DeadPlaceError). Any
 	// transient-fault return is ignored — spawns are not retryable.
 	_ = rt.InjectFault(FaultPointSpawn, p)
-	rt.hop(c.Here, p, 0)
+	rt.hop(c.Here, p, transport.ClassTask, 0, nil)
 
 	if !rt.cfg.Resilient {
 		// Non-resilient places never fail (Kill is rejected), so no

@@ -41,10 +41,10 @@ func TestParseFinishMode(t *testing.T) {
 }
 
 func TestFinishModeConfigValidation(t *testing.T) {
-	if _, err := NewRuntime(Config{Places: 1, FinishMode: FinishMode(7)}); err == nil {
+	if _, err := New(WithPlaces(1), WithFinishMode(FinishMode(7))); err == nil {
 		t.Fatal("expected error for unknown finish mode")
 	}
-	if _, err := NewRuntime(Config{Places: 1, LedgerQueue: -1}); err == nil {
+	if _, err := New(WithPlaces(1), WithLedgerQueue(-1)); err == nil {
 		t.Fatal("expected error for negative ledger queue")
 	}
 }

@@ -1,6 +1,10 @@
 package apgas
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/rgml/rgml/internal/apgas/transport"
+)
 
 // The resilient-finish ledger.
 //
@@ -138,7 +142,7 @@ func newLedger(rt *Runtime) *ledger {
 // send delivers a bookkeeping event to the ledger, charging the network
 // model for the hop to place zero.
 func (l *ledger) send(ev ledgerEvent) {
-	l.rt.hop(ev.from, Place{ID: 0}, 0)
+	l.rt.hop(ev.from, Place{ID: 0}, transport.ClassControl, 0, nil)
 	l.post(ev)
 }
 

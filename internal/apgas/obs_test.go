@@ -11,7 +11,7 @@ import (
 // workload they must agree exactly.
 func TestInstrumentationMatchesStats(t *testing.T) {
 	reg := obs.NewRegistry()
-	rt, err := NewRuntime(Config{Places: 4, Resilient: true, Obs: reg})
+	rt, err := New(WithPlaces(4), WithResilient(true), WithObs(reg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestInstrumentationMatchesStats(t *testing.T) {
 // TestUninstrumentedRuntime checks that a runtime without a registry runs
 // the same workload with every instrument call a no-op.
 func TestUninstrumentedRuntime(t *testing.T) {
-	rt, err := NewRuntime(Config{Places: 2, Resilient: true})
+	rt, err := New(WithPlaces(2), WithResilient(true))
 	if err != nil {
 		t.Fatal(err)
 	}

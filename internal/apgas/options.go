@@ -3,6 +3,7 @@ package apgas
 import (
 	"fmt"
 
+	"github.com/rgml/rgml/internal/apgas/transport"
 	"github.com/rgml/rgml/internal/obs"
 )
 
@@ -81,6 +82,22 @@ func WithStorePolicy(sp StorePolicy) Option {
 			return
 		}
 		c.Store = sp
+	}
+}
+
+// WithTransport installs a communication backend (see Config.Transport):
+// all place-crossing traffic and liveness information flows through it.
+// Omitting the option selects the default in-process backend
+// (transport/local) wired to the NetModel, which is bit-identical to the
+// pre-seam runtime. A nil backend is a construction error (wrapping
+// ErrBadOption) — callers wanting the default simply omit the option.
+func WithTransport(tp transport.Transport) Option {
+	return func(c *Config) {
+		if tp == nil {
+			c.recordErr(fmt.Errorf("apgas: WithTransport(nil): transport must be non-nil: %w", ErrBadOption))
+			return
+		}
+		c.Transport = tp
 	}
 }
 

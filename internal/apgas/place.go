@@ -69,12 +69,18 @@ func (pl *place) remove(id uint64) {
 }
 
 // kill marks the place dead and drops its store, making every object
-// fragment it held unreachable. Idempotent.
-func (pl *place) kill() {
+// fragment it held unreachable. It reports whether this call made the
+// transition, so racing killers (an administrative Kill against a
+// transport failure-detector report) account the death exactly once.
+func (pl *place) kill() bool {
 	pl.mu.Lock()
 	defer pl.mu.Unlock()
+	if pl.dead {
+		return false
+	}
 	pl.dead = true
 	pl.store = nil
+	return true
 }
 
 // isDead reports whether the place has failed.

@@ -7,6 +7,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/rgml/rgml/internal/apgas/transport"
+	"github.com/rgml/rgml/internal/apgas/transport/local"
 	"github.com/rgml/rgml/internal/la"
 	"github.com/rgml/rgml/internal/obs"
 	"github.com/rgml/rgml/internal/par"
@@ -67,6 +69,13 @@ type Config struct {
 	// deterministic chunking contract makes kernel results bit-identical
 	// at every worker count, so the knob only affects throughput.
 	KernelWorkers int
+	// Transport is the communication backend all place-crossing traffic
+	// and liveness information flows through. Nil selects the default
+	// in-process backend (transport/local) wired to Net's simulated
+	// delay, which is bit-identical to the pre-seam runtime. A non-nil
+	// backend (transport/tcp) owns place bodies: its failure detector
+	// feeds the same dead-place broadcast path used by injected kills.
+	Transport transport.Transport
 
 	// err carries the first validation failure recorded by a functional
 	// option at apply time (see options.go); NewRuntime surfaces it. The
@@ -85,6 +94,10 @@ type Runtime struct {
 
 	ledger *ledger        // non-nil iff cfg.Resilient && FinishCentral
 	shards *shardedLedger // non-nil iff cfg.Resilient && FinishSharded
+
+	// tp is the communication backend (never nil after NewRuntime): the
+	// in-process emulation by default, or a real multi-process transport.
+	tp transport.Transport
 
 	// injector, when set, is consulted at every instrumented fault point
 	// (see inject.go); internal/chaos installs its engine here.
@@ -113,13 +126,20 @@ type rtInstr struct {
 	ledgerBatches   *obs.Counter   // apgas.ledger.batches
 	refusedForks    *obs.Counter   // apgas.ledger.refused_forks
 	kills           *obs.Counter   // apgas.kills.observed
+	failures        *obs.Counter   // apgas.places.failed (transport-detected)
 	placesAdded     *obs.Counter   // apgas.places.added
 	livePlaces      *obs.Gauge     // apgas.places.live
 	finishes        *obs.Histogram // apgas.finish.duration
+
+	// Per-class transport accounting: apgas.transport.<class>.messages and
+	// apgas.transport.<class>.bytes, indexed by transport.Class. The legacy
+	// aggregate counters above keep their exact pre-seam meaning.
+	classMsgs  [transport.NumClasses]*obs.Counter
+	classBytes [transport.NumClasses]*obs.Counter
 }
 
 func newRTInstr(reg *obs.Registry) rtInstr {
-	return rtInstr{
+	in := rtInstr{
 		tasks:           reg.Counter("apgas.tasks.spawned"),
 		messages:        reg.Counter("apgas.net.messages"),
 		bytes:           reg.Counter("apgas.net.bytes"),
@@ -130,17 +150,25 @@ func newRTInstr(reg *obs.Registry) rtInstr {
 		ledgerBatches:   reg.Counter("apgas.ledger.batches"),
 		refusedForks:    reg.Counter("apgas.ledger.refused_forks"),
 		kills:           reg.Counter("apgas.kills.observed"),
+		failures:        reg.Counter("apgas.places.failed"),
 		placesAdded:     reg.Counter("apgas.places.added"),
 		livePlaces:      reg.Gauge("apgas.places.live"),
 		finishes:        reg.Histogram("apgas.finish.duration"),
 	}
+	for c := 0; c < transport.NumClasses; c++ {
+		name := transport.Class(c).String()
+		in.classMsgs[c] = reg.Counter("apgas.transport." + name + ".messages")
+		in.classBytes[c] = reg.Counter("apgas.transport." + name + ".bytes")
+	}
+	return in
 }
 
 // NewRuntime creates a runtime with cfg.Places live places.
 //
-// Deprecated: prefer New with functional options (WithPlaces,
-// WithResilient, …). NewRuntime is kept so positional-Config callers
-// continue to compile; both constructors share the same validation.
+// Deprecated: this is a compatibility-only shim for external
+// positional-Config callers; nothing inside the repo uses it anymore.
+// Use New with functional options (WithPlaces, WithResilient,
+// WithTransport, …) — both constructors share the same validation.
 func NewRuntime(cfg Config) (*Runtime, error) {
 	if cfg.err != nil {
 		return nil, cfg.err
@@ -171,6 +199,22 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 			rt.ledger = newLedger(rt)
 		}
 	}
+	rt.tp = cfg.Transport
+	if rt.tp == nil {
+		// Default backend: the in-process emulation, wired to the NetModel
+		// so Send charges exactly what the pre-seam chargeNet did.
+		net := cfg.Net
+		rt.tp = local.New(local.WithDelay(net.delay))
+	}
+	if err := rt.tp.Start(cfg.Places, transport.Handler{PlaceDead: rt.transportDeath}); err != nil {
+		if rt.ledger != nil {
+			rt.ledger.stop()
+		}
+		if rt.shards != nil {
+			rt.shards.stop()
+		}
+		return nil, fmt.Errorf("apgas: transport %q start: %w", rt.tp.Name(), err)
+	}
 	if cfg.KernelWorkers > 0 {
 		par.SetWorkers(cfg.KernelWorkers)
 	}
@@ -186,31 +230,44 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 // from here so one registry covers a whole run.
 func (rt *Runtime) Obs() *obs.Registry { return rt.cfg.Obs }
 
-// hop records one place-crossing message of the given payload size in the
-// activity counters and charges the simulated network. Intra-place moves
-// are free and uncounted, matching the emulation's cost model.
-func (rt *Runtime) hop(from, to Place, bytes int) {
+// Transport returns the runtime's communication backend.
+func (rt *Runtime) Transport() transport.Transport { return rt.tp }
+
+// TransportName returns the backend's identifier ("local", "tcp").
+func (rt *Runtime) TransportName() string { return rt.tp.Name() }
+
+// hop records one place-crossing message of the given class and payload
+// size in the activity counters and moves it through the transport.
+// Intra-place moves are free and uncounted, matching the emulation's cost
+// model. payload, when non-nil, is the real bytes to carry (checkpoint
+// replica traffic); declared-size traffic leaves it nil.
+func (rt *Runtime) hop(from, to Place, class transport.Class, bytes int, payload []byte) {
 	if from.ID == to.ID {
 		return
 	}
 	rt.stats.countMessage(from, to, bytes)
 	rt.instr.messages.Inc()
+	rt.instr.classMsgs[class].Inc()
 	if bytes > 0 {
 		rt.instr.bytes.Add(int64(bytes))
+		rt.instr.classBytes[class].Add(int64(bytes))
 	}
-	rt.chargeNet(from, to, bytes)
+	rt.charge(from, to, class, bytes, payload)
 }
 
-// chargeNet blocks for the simulated transfer time of a message and
-// accounts it, without counting a message (used for the return leg of an
-// "at", which the stats model treats as part of the same hop).
-func (rt *Runtime) chargeNet(from, to Place, bytes int) {
+// charge moves a message through the transport, blocking for its transfer
+// time and accounting it, without counting a message (used for the return
+// leg of an "at", which the stats model treats as part of the same hop).
+func (rt *Runtime) charge(from, to Place, class transport.Class, bytes int, payload []byte) {
 	if from.ID == to.ID {
 		return
 	}
-	if d := rt.cfg.Net.delay(bytes); d > 0 {
+	// Send errors are not task-visible faults: a failed send to a dying
+	// place is answered by the failure detector feeding transportDeath,
+	// after which the dead-place machinery takes over.
+	d, _ := rt.tp.Send(from.ID, to.ID, class, bytes, payload)
+	if d > 0 {
 		rt.instr.netTime.Add(int64(d))
-		time.Sleep(d)
 	}
 }
 
@@ -255,6 +312,9 @@ func (rt *Runtime) Shutdown() {
 	}
 	if rt.shards != nil {
 		rt.shards.stop()
+	}
+	if rt.tp != nil {
+		rt.tp.Close()
 	}
 }
 
@@ -330,6 +390,11 @@ func (rt *Runtime) AddPlaces(n int) (PlaceGroup, error) {
 	if rt.down {
 		return nil, ErrShutdown
 	}
+	// The backend must be able to conjure bodies for the new places before
+	// the runtime advertises them (externally-joined transports cannot).
+	if err := rt.tp.Grow(n); err != nil {
+		return nil, fmt.Errorf("apgas: AddPlaces(%d): transport %q: %w", n, rt.tp.Name(), err)
+	}
 	added := make(PlaceGroup, 0, n)
 	for i := 0; i < n; i++ {
 		id := len(rt.places)
@@ -355,10 +420,9 @@ func (rt *Runtime) Kill(p Place) error {
 		return ErrPlaceZeroImmortal
 	}
 	pl := rt.placeState(p)
-	if pl.isDead() {
+	if !pl.kill() {
 		return nil
 	}
-	pl.kill()
 	rt.stats.PlacesKilled.Add(1)
 	rt.instr.kills.Inc()
 	rt.instr.livePlaces.Add(-1)
@@ -370,7 +434,47 @@ func (rt *Runtime) Kill(p Place) error {
 	} else {
 		rt.ledger.placeDied(p)
 	}
+	// Destroy the place's external body last: the runtime has already
+	// marked and broadcast the death, so kill-driven recovery is identical
+	// across backends regardless of how fast the body actually dies. The
+	// backend suppresses the redundant detector report.
+	if err := rt.tp.Kill(p.ID); err != nil {
+		return fmt.Errorf("apgas: transport %q kill place %d: %w", rt.tp.Name(), p.ID, err)
+	}
 	return nil
+}
+
+// transportDeath is the handler the transport's failure detector reports
+// real place deaths through (heartbeat timeout, connection loss). It
+// feeds the exact dead-place broadcast path used by injected kills:
+// store drop, ledger orphan termination, DeadPlaceError delivery.
+// Administrative kills never arrive here — Runtime.Kill marks the place
+// dead before destroying its body and the backend suppresses the report —
+// so anything that does arrive is an unexpected (real) failure.
+func (rt *Runtime) transportDeath(id int, cause transport.DeathCause) {
+	rt.mu.RLock()
+	down := rt.down
+	var pl *place
+	if id >= 0 && id < len(rt.places) {
+		pl = rt.places[id]
+	}
+	rt.mu.RUnlock()
+	if down || pl == nil || id == 0 {
+		// Place zero is the coordinator itself; its death is process death.
+		return
+	}
+	if !pl.kill() {
+		return
+	}
+	rt.stats.PlacesFailed.Add(1)
+	rt.instr.failures.Inc()
+	rt.instr.livePlaces.Add(-1)
+	rt.cfg.Obs.Trace("apgas.place.failed", int64(id), int64(cause))
+	if rt.shards != nil {
+		rt.shards.placeDied(Place{ID: id})
+	} else if rt.ledger != nil {
+		rt.ledger.placeDied(Place{ID: id})
+	}
 }
 
 // Ctx is the execution context of a task: where it runs and which finish
@@ -410,7 +514,16 @@ func (c *Ctx) CheckAlive() {
 // around bulk data movement so the simulated interconnect sees realistic
 // volumes.
 func (c *Ctx) Transfer(to Place, bytes int) {
-	c.rt.hop(c.Here, to, bytes)
+	c.rt.hop(c.Here, to, transport.ClassData, bytes, nil)
+}
+
+// TransferBytes moves a real payload from the task's place to place to,
+// tagged as checkpoint redundancy traffic. The snapshot layer's replica
+// and erasure-shard writes use it so a distributed backend carries the
+// actual bytes while the local emulation charges their size exactly as
+// Transfer would.
+func (c *Ctx) TransferBytes(to Place, data []byte) {
+	c.rt.hop(c.Here, to, transport.ClassSnapshot, len(data), data)
 }
 
 // At runs fn synchronously at place p, like X10's "at (p) S" executed from
@@ -420,7 +533,7 @@ func (c *Ctx) Transfer(to Place, bytes int) {
 func (c *Ctx) At(p Place, fn func(ctx *Ctx)) {
 	rt := c.rt
 	pl := rt.placeState(p)
-	rt.hop(c.Here, p, 0)
+	rt.hop(c.Here, p, transport.ClassTask, 0, nil)
 	pl.checkAlive()
 	sub := &Ctx{rt: rt, Here: p, fin: c.fin}
 	// The sub-activity's buffered forks must reach the shard even if fn
@@ -428,7 +541,7 @@ func (c *Ctx) At(p Place, fn func(ctx *Ctx)) {
 	defer sub.flushForks()
 	fn(sub)
 	// Returning from "at" is itself a message back to the origin.
-	rt.chargeNet(p, c.Here, 0)
+	rt.charge(p, c.Here, transport.ClassTask, 0, nil)
 	pl.checkAlive()
 }
 

@@ -10,7 +10,7 @@ import (
 
 func newTestRuntime(t *testing.T, places int, resilient bool) *Runtime {
 	t.Helper()
-	rt, err := NewRuntime(Config{Places: places, Resilient: resilient})
+	rt, err := New(WithPlaces(places), WithResilient(resilient))
 	if err != nil {
 		t.Fatalf("NewRuntime: %v", err)
 	}
@@ -19,10 +19,10 @@ func newTestRuntime(t *testing.T, places int, resilient bool) *Runtime {
 }
 
 func TestNewRuntimeValidation(t *testing.T) {
-	if _, err := NewRuntime(Config{Places: 0}); err == nil {
+	if _, err := New(WithPlaces(0)); err == nil {
 		t.Fatal("expected error for 0 places")
 	}
-	if _, err := NewRuntime(Config{Places: -3}); err == nil {
+	if _, err := New(WithPlaces(-3)); err == nil {
 		t.Fatal("expected error for negative places")
 	}
 }
@@ -416,16 +416,16 @@ func TestStatsCounting(t *testing.T) {
 
 func TestLedgerCostHookRuns(t *testing.T) {
 	var calls atomic.Int64
-	rt, err := NewRuntime(Config{
-		Places:    2,
-		Resilient: true,
-		LedgerCost: func(live int) {
+	rt, err := New(
+		WithPlaces(2),
+		WithResilient(true),
+		WithLedgerCost(func(live int) {
 			if live < 0 {
 				t.Errorf("negative live count %d", live)
 			}
 			calls.Add(1)
-		},
-	})
+		}),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -451,10 +451,10 @@ func TestNetModelDelay(t *testing.T) {
 }
 
 func TestNetLatencyIsCharged(t *testing.T) {
-	rt, err := NewRuntime(Config{
-		Places: 2,
-		Net:    NetModel{Latency: 20 * time.Millisecond},
-	})
+	rt, err := New(
+		WithPlaces(2),
+		WithNet(NetModel{Latency: 20 * time.Millisecond}),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -473,7 +473,7 @@ func TestNetLatencyIsCharged(t *testing.T) {
 }
 
 func TestShutdownIdempotent(t *testing.T) {
-	rt, err := NewRuntime(Config{Places: 2, Resilient: true})
+	rt, err := New(WithPlaces(2), WithResilient(true))
 	if err != nil {
 		t.Fatal(err)
 	}

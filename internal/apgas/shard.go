@@ -1,6 +1,10 @@
 package apgas
 
-import "sync"
+import (
+	"sync"
+
+	"github.com/rgml/rgml/internal/apgas/transport"
+)
 
 // Sharded home-based resilient finish (Config.FinishMode ==
 // FinishSharded).
@@ -226,7 +230,7 @@ func newLedgerShard(rt *Runtime, home int) *ledgerShard {
 // send charges the network model for the hop to the shard's home place and
 // enqueues the event, counting (then waiting out) a saturated queue.
 func (sh *ledgerShard) send(ev ledgerEvent) {
-	sh.rt.hop(ev.from, Place{ID: sh.home}, 0)
+	sh.rt.hop(ev.from, Place{ID: sh.home}, transport.ClassControl, 0, nil)
 	sh.post(ev)
 }
 

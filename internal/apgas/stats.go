@@ -18,6 +18,10 @@ type Stats struct {
 	TasksSpawned atomic.Int64
 	// PlacesKilled counts injected failures.
 	PlacesKilled atomic.Int64
+	// PlacesFailed counts real failures reported by the transport's
+	// failure detector (heartbeat timeout, connection loss) — always zero
+	// on the local backend, where no external bodies exist.
+	PlacesFailed atomic.Int64
 	// PlacesAdded counts elastically created places.
 	PlacesAdded atomic.Int64
 	// RefusedForks counts forks refused because the target place was
@@ -46,6 +50,7 @@ type StatsSnapshot struct {
 	LedgerEvents int64
 	TasksSpawned int64
 	PlacesKilled int64
+	PlacesFailed int64
 	PlacesAdded  int64
 	RefusedForks int64
 	LocalTasks   int64
@@ -59,6 +64,7 @@ func (rt *Runtime) Stats() StatsSnapshot {
 		LedgerEvents: rt.stats.LedgerEvents.Load(),
 		TasksSpawned: rt.stats.TasksSpawned.Load(),
 		PlacesKilled: rt.stats.PlacesKilled.Load(),
+		PlacesFailed: rt.stats.PlacesFailed.Load(),
 		PlacesAdded:  rt.stats.PlacesAdded.Load(),
 		RefusedForks: rt.stats.RefusedForks.Load(),
 		LocalTasks:   rt.stats.LocalTasks.Load(),
@@ -73,6 +79,7 @@ func (s StatsSnapshot) Sub(prev StatsSnapshot) StatsSnapshot {
 		LedgerEvents: s.LedgerEvents - prev.LedgerEvents,
 		TasksSpawned: s.TasksSpawned - prev.TasksSpawned,
 		PlacesKilled: s.PlacesKilled - prev.PlacesKilled,
+		PlacesFailed: s.PlacesFailed - prev.PlacesFailed,
 		PlacesAdded:  s.PlacesAdded - prev.PlacesAdded,
 		RefusedForks: s.RefusedForks - prev.RefusedForks,
 		LocalTasks:   s.LocalTasks - prev.LocalTasks,

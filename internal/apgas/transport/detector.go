@@ -1,0 +1,174 @@
+package transport
+
+import (
+	"sync"
+	"time"
+)
+
+// Detector default timing: a worker heartbeats every DefaultHeartbeatInterval
+// and is declared dead after DefaultHeartbeatTimeout without one. The
+// timeout is several intervals wide so that a single delayed beat (GC
+// pause, scheduler hiccup) never produces a false positive — the classic
+// flapping-suppression margin of timeout-based failure detectors.
+const (
+	DefaultHeartbeatInterval = 50 * time.Millisecond
+	DefaultHeartbeatTimeout  = 250 * time.Millisecond
+)
+
+// Detector is a timeout-based failure detector over heartbeats: each
+// watched place must call Beat at least once per timeout window or it is
+// declared dead, once, through the onDead callback.
+//
+// Semantics (pinned by the synctest suite in detector_synctest_test.go):
+//
+//   - No false positives: a place that beats at least once per timeout
+//     window is never declared dead, no matter how irregular (flapping)
+//     its beats are within the window.
+//   - Detection latency: a place that stops beating is declared dead no
+//     earlier than timeout after its last beat and no later than
+//     timeout + interval (one sweep period of slack).
+//   - Fail-stop: once declared dead a place stays dead. Late beats are
+//     suppressed (Beat reports them) and never resurrect it.
+//
+// MarkDead administratively declares a place dead without the callback,
+// which is how an intentional kill suppresses the redundant timeout
+// report that would otherwise follow.
+type Detector struct {
+	interval time.Duration
+	timeout  time.Duration
+	onDead   func(place int, cause DeathCause)
+
+	mu   sync.Mutex
+	last map[int]time.Time
+	dead map[int]bool
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// NewDetector builds a detector sweeping every interval and declaring a
+// watched place dead after timeout without a beat. Non-positive durations
+// fall back to the defaults; a timeout smaller than the interval is
+// widened to it (a sub-sweep timeout could only ever fire late anyway).
+// The callback fires at most once per place, from the detector's own
+// sweep goroutine.
+func NewDetector(interval, timeout time.Duration, onDead func(place int, cause DeathCause)) *Detector {
+	if interval <= 0 {
+		interval = DefaultHeartbeatInterval
+	}
+	if timeout <= 0 {
+		timeout = DefaultHeartbeatTimeout
+	}
+	if timeout < interval {
+		timeout = interval
+	}
+	return &Detector{
+		interval: interval,
+		timeout:  timeout,
+		onDead:   onDead,
+		last:     make(map[int]time.Time),
+		dead:     make(map[int]bool),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Interval returns the sweep period.
+func (d *Detector) Interval() time.Duration { return d.interval }
+
+// Timeout returns the declare-dead window.
+func (d *Detector) Timeout() time.Duration { return d.timeout }
+
+// Start launches the sweep goroutine. Watch/Beat before Start are
+// remembered; the first sweep runs one interval after Start.
+func (d *Detector) Start() {
+	go d.run()
+}
+
+// Stop terminates the sweep goroutine. Idempotent; no callbacks fire
+// after Stop returns.
+func (d *Detector) Stop() {
+	d.once.Do(func() { close(d.stop) })
+	<-d.done
+}
+
+// Watch begins monitoring a place, treating "now" as its first beat so a
+// slow-starting body gets a full timeout window before suspicion.
+func (d *Detector) Watch(place int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.dead[place] {
+		return
+	}
+	d.last[place] = time.Now()
+}
+
+// Beat records a heartbeat from a place. It reports false — and has no
+// effect — when the place was already declared dead: late beats from a
+// zombie are suppressed, never a resurrection.
+func (d *Detector) Beat(place int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.dead[place] {
+		return false
+	}
+	if _, watched := d.last[place]; !watched {
+		return false
+	}
+	d.last[place] = time.Now()
+	return true
+}
+
+// MarkDead administratively declares a place dead without invoking the
+// callback, reporting whether this call changed its state. Used for
+// intentional kills (the runtime already broadcast the death) and for
+// connection-loss reports (the caller invokes the handler itself, and
+// MarkDead's return dedupes against a racing timeout sweep).
+func (d *Detector) MarkDead(place int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.dead[place] {
+		return false
+	}
+	d.dead[place] = true
+	delete(d.last, place)
+	return true
+}
+
+// Dead reports whether the place has been declared dead.
+func (d *Detector) Dead(place int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dead[place]
+}
+
+// run sweeps every interval, declaring dead the watched places whose last
+// beat is older than the timeout. Callbacks are invoked outside the lock.
+func (d *Detector) run() {
+	defer close(d.done)
+	ticker := time.NewTicker(d.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-ticker.C:
+		}
+		now := time.Now()
+		var expired []int
+		d.mu.Lock()
+		for place, last := range d.last {
+			if now.Sub(last) > d.timeout {
+				d.dead[place] = true
+				delete(d.last, place)
+				expired = append(expired, place)
+			}
+		}
+		d.mu.Unlock()
+		if d.onDead != nil {
+			for _, place := range expired {
+				d.onDead(place, CauseTimeout)
+			}
+		}
+	}
+}

@@ -1,0 +1,158 @@
+//go:build goexperiment.synctest
+
+package transport
+
+import (
+	"testing"
+	"testing/synctest"
+	"time"
+)
+
+// The synctest suite pins the Detector's timing contract under a paused
+// clock: sleeps advance virtual time instantly and deterministically, so
+// the bounds below are exact, not statistical. Run with:
+//
+//	GOEXPERIMENT=synctest GODEBUG=asynctimerchan=0 \
+//	    go test -run Synctest ./internal/apgas/transport/
+//
+// (the Makefile's race-transport leg includes it; asynctimerchan=0 is
+// needed because the module's go directive predates the new timer
+// semantics synctest requires).
+
+const (
+	sInterval = 50 * time.Millisecond
+	sTimeout  = 250 * time.Millisecond
+)
+
+// TestSynctestDetectionLatencyBounds verifies a silent place is declared
+// dead no earlier than timeout after its last beat and no later than
+// timeout + interval (one sweep of slack).
+func TestSynctestDetectionLatencyBounds(t *testing.T) {
+	synctest.Run(func() {
+		var rec deathRecorder
+		declared := make(chan time.Time, 1)
+		d := NewDetector(sInterval, sTimeout, func(p int, c DeathCause) {
+			rec.record(p, c)
+			declared <- time.Now()
+		})
+		d.Watch(1)
+		start := time.Now()
+		d.Start()
+		defer d.Stop()
+
+		// The place never beats after Watch. Advance past the upper bound.
+		time.Sleep(sTimeout + 2*sInterval)
+		synctest.Wait()
+
+		select {
+		case at := <-declared:
+			latency := at.Sub(start)
+			if latency <= sTimeout {
+				t.Fatalf("declared dead after %v, before the %v timeout elapsed", latency, sTimeout)
+			}
+			if latency > sTimeout+sInterval {
+				t.Fatalf("declared dead after %v, beyond timeout+interval = %v", latency, sTimeout+sInterval)
+			}
+		default:
+			t.Fatal("silent place was never declared dead")
+		}
+		got := rec.snapshot()
+		if len(got) != 1 || got[0] != 1 {
+			t.Fatalf("deaths = %v, want exactly [1]", got)
+		}
+	})
+}
+
+// TestSynctestNoFalsePositives verifies a place beating at a regular
+// interval is never declared dead, across many timeout windows of paused
+// time.
+func TestSynctestNoFalsePositives(t *testing.T) {
+	synctest.Run(func() {
+		var rec deathRecorder
+		d := NewDetector(sInterval, sTimeout, rec.record)
+		d.Watch(1)
+		d.Start()
+
+		// Beat every interval for 40 windows' worth of virtual time.
+		for i := 0; i < 200; i++ {
+			time.Sleep(sInterval)
+			if !d.Beat(1) {
+				t.Fatalf("Beat rejected at iteration %d: place declared dead", i)
+			}
+		}
+		synctest.Wait()
+		if got := rec.snapshot(); len(got) != 0 {
+			t.Fatalf("false positives: %v", got)
+		}
+		d.Stop()
+	})
+}
+
+// TestSynctestFlappingSuppression verifies irregular (flapping) beats
+// that always stay within the timeout window never trigger a death, and
+// that a single beat just inside the window resets it fully.
+func TestSynctestFlappingSuppression(t *testing.T) {
+	synctest.Run(func() {
+		var rec deathRecorder
+		d := NewDetector(sInterval, sTimeout, rec.record)
+		d.Watch(1)
+		d.Start()
+
+		// Irregular gaps, each below the timeout: bursts then near-misses.
+		gaps := []time.Duration{
+			sInterval / 5, sInterval / 5, sTimeout - sInterval/2, // near miss
+			sInterval, sTimeout - sInterval/2, // another near miss
+			sInterval / 10, sInterval / 10, sInterval / 10,
+			sTimeout - sInterval/2,
+		}
+		for round := 0; round < 20; round++ {
+			for i, g := range gaps {
+				time.Sleep(g)
+				if !d.Beat(1) {
+					t.Fatalf("flapping beat rejected (round %d, gap %d): place declared dead", round, i)
+				}
+			}
+		}
+		synctest.Wait()
+		if got := rec.snapshot(); len(got) != 0 {
+			t.Fatalf("flapping within the window produced deaths: %v", got)
+		}
+
+		// Now actually go silent: the suppression must not have weakened
+		// real detection.
+		time.Sleep(sTimeout + 2*sInterval)
+		synctest.Wait()
+		got := rec.snapshot()
+		if len(got) != 1 || got[0] != 1 {
+			t.Fatalf("after real silence, deaths = %v, want [1]", got)
+		}
+		d.Stop()
+	})
+}
+
+// TestSynctestLateBeatAfterDeclaration verifies the fail-stop contract
+// under paused time: a beat arriving after the declaration is suppressed
+// and does not resurrect the place.
+func TestSynctestLateBeatAfterDeclaration(t *testing.T) {
+	synctest.Run(func() {
+		var rec deathRecorder
+		d := NewDetector(sInterval, sTimeout, rec.record)
+		d.Watch(1)
+		d.Start()
+
+		time.Sleep(sTimeout + 2*sInterval)
+		synctest.Wait()
+		if !d.Dead(1) {
+			t.Fatal("place not declared dead after silence")
+		}
+		if d.Beat(1) {
+			t.Fatal("late beat accepted after death declaration")
+		}
+		time.Sleep(10 * sTimeout)
+		synctest.Wait()
+		if got := rec.snapshot(); len(got) != 1 {
+			t.Fatalf("deaths = %v, want exactly one", got)
+		}
+		d.Stop()
+	})
+}

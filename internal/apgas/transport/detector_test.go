@@ -1,0 +1,103 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// deathRecorder collects detector callbacks thread-safely.
+type deathRecorder struct {
+	mu     sync.Mutex
+	deaths []int
+	causes []DeathCause
+}
+
+func (r *deathRecorder) record(place int, cause DeathCause) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.deaths = append(r.deaths, place)
+	r.causes = append(r.causes, cause)
+}
+
+func (r *deathRecorder) snapshot() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]int(nil), r.deaths...)
+}
+
+func TestDetectorDefaults(t *testing.T) {
+	d := NewDetector(0, 0, nil)
+	if d.Interval() != DefaultHeartbeatInterval {
+		t.Fatalf("Interval() = %v, want default %v", d.Interval(), DefaultHeartbeatInterval)
+	}
+	if d.Timeout() != DefaultHeartbeatTimeout {
+		t.Fatalf("Timeout() = %v, want default %v", d.Timeout(), DefaultHeartbeatTimeout)
+	}
+	// A sub-interval timeout is widened to the interval.
+	d2 := NewDetector(100*time.Millisecond, 10*time.Millisecond, nil)
+	if d2.Timeout() != 100*time.Millisecond {
+		t.Fatalf("Timeout() = %v, want widened to interval", d2.Timeout())
+	}
+}
+
+func TestDetectorMarkDeadSuppressesAndSticks(t *testing.T) {
+	var rec deathRecorder
+	d := NewDetector(time.Hour, time.Hour, rec.record) // sweeps never fire
+	d.Watch(1)
+	d.Watch(2)
+
+	if !d.MarkDead(1) {
+		t.Fatal("first MarkDead(1) = false, want true")
+	}
+	if d.MarkDead(1) {
+		t.Fatal("second MarkDead(1) = true, want false (already dead)")
+	}
+	if !d.Dead(1) {
+		t.Fatal("Dead(1) = false after MarkDead")
+	}
+	if d.Beat(1) {
+		t.Fatal("Beat on a dead place = true, want suppressed")
+	}
+	if !d.Beat(2) {
+		t.Fatal("Beat on a live watched place = false")
+	}
+	if d.Beat(99) {
+		t.Fatal("Beat on an unwatched place = true, want false")
+	}
+	if got := rec.snapshot(); len(got) != 0 {
+		t.Fatalf("MarkDead leaked callbacks: %v", got)
+	}
+}
+
+func TestDetectorTimeoutFiresOnce(t *testing.T) {
+	var rec deathRecorder
+	d := NewDetector(5*time.Millisecond, 25*time.Millisecond, rec.record)
+	d.Watch(7)
+	d.Start()
+	defer d.Stop()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for len(rec.snapshot()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("silent place never declared dead")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Let several more sweeps pass; the report must not repeat.
+	time.Sleep(60 * time.Millisecond)
+	got := rec.snapshot()
+	if len(got) != 1 || got[0] != 7 {
+		t.Fatalf("deaths = %v, want exactly [7]", got)
+	}
+	if !d.Dead(7) {
+		t.Fatal("Dead(7) = false after timeout declaration")
+	}
+}
+
+func TestDetectorStopIsIdempotent(t *testing.T) {
+	d := NewDetector(time.Millisecond, time.Millisecond, nil)
+	d.Start()
+	d.Stop()
+	d.Stop()
+}

@@ -1,0 +1,575 @@
+// Package tcp is the multi-process transport backend: one place per OS
+// process, connected by loopback-default TCP carrying length-prefixed gob
+// frames (wire.go).
+//
+// Topology: place zero is the coordinator — the process that constructed
+// the runtime. It listens, and every other place is embodied by a worker
+// process holding one connection to it. Workers are either self-spawned
+// (the default: the coordinator re-executes its own binary with the
+// RGML_TCP_WORKER environment set, and tcp.MaybeWorker at the top of main
+// turns that invocation into a worker; see worker.go) or externally
+// joined (`rgmlrun -serve-place` dials in, and the coordinator waits for
+// all expected places before starting).
+//
+// Fidelity: the emulated data plane stays coordinator-resident — Go
+// cannot serialize closures, so task bodies still execute in the
+// coordinator process, and a Send puts a real class-tagged frame on the
+// worker's wire. What the workers genuinely provide is the failure
+// domain: a worker process dying (killed, crashed, unplugged) is a real
+// fail-stop detected by heartbeat timeout or connection reset and fed
+// into the runtime's dead-place broadcast path — the exact machinery the
+// local backend exercises only through injected kills. DESIGN.md §12
+// spells out this boundary.
+//
+// Failure detection: each worker heartbeats on a configurable interval;
+// the coordinator's transport.Detector declares a place dead after a
+// configurable timeout without a beat, or immediately on connection
+// error, whichever first (deduped). Administrative kills (Runtime.Kill,
+// chaos) mark the place dead in the detector before destroying the
+// worker, so no redundant report reaches the runtime and kill-driven
+// recovery stays identical to the local backend's.
+package tcp
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"github.com/rgml/rgml/internal/apgas/transport"
+	"github.com/rgml/rgml/internal/obs"
+)
+
+// workerEnv is the environment variable that turns a process into a
+// worker: "addr|place|intervalNs|timeoutNs" (see MaybeWorker).
+const workerEnv = "RGML_TCP_WORKER"
+
+// Transport is the coordinator side of the multi-process backend.
+type Transport struct {
+	addr     string
+	interval time.Duration
+	timeout  time.Duration
+	external int // expected externally-joined workers (0 = self-spawn)
+	reg      *obs.Registry
+
+	handler  transport.Handler
+	detector *transport.Detector
+	ln       net.Listener
+
+	mu       sync.Mutex
+	started  bool
+	closed   bool
+	places   int
+	workers  map[int]*worker // keyed by place ID; place 0 has no worker
+	joined   chan struct{}   // closed when all expected places have joined
+	joinOnce sync.Once
+
+	wg sync.WaitGroup // acceptor + per-connection readers
+
+	instr tcpInstr
+}
+
+// worker is the coordinator's record of one remote place body.
+type worker struct {
+	place int
+	fc    *frameConn
+	proc  *os.Process // nil for externally-joined workers
+}
+
+// tcpInstr holds the backend's observability handles (nil-safe).
+type tcpInstr struct {
+	frames     *obs.Counter // transport.tcp.frames
+	wireBytes  *obs.Counter // transport.tcp.wire_bytes
+	heartbeats *obs.Counter // transport.tcp.heartbeats
+	deaths     *obs.Counter // transport.tcp.deaths
+}
+
+// Option configures the backend.
+type Option func(*Transport)
+
+// WithAddr sets the coordinator's listen address. The default,
+// "127.0.0.1:0", binds an ephemeral loopback port — right for
+// self-spawned workers, which learn the real address from their
+// environment. Externally-joined deployments need a fixed address the
+// workers can be pointed at.
+func WithAddr(addr string) Option {
+	return func(t *Transport) { t.addr = addr }
+}
+
+// WithHeartbeat sets the failure detector's beat interval and
+// declare-dead timeout. Non-positive values keep the defaults
+// (transport.DefaultHeartbeatInterval / transport.DefaultHeartbeatTimeout).
+func WithHeartbeat(interval, timeout time.Duration) Option {
+	return func(t *Transport) {
+		t.interval = interval
+		t.timeout = timeout
+	}
+}
+
+// WithExternalWorkers switches the backend to external-join mode: instead
+// of self-spawning worker processes, Start blocks until places 1..places-1
+// have dialed in (each a separate `rgmlrun -serve-place` invocation).
+// Grow is unavailable in this mode.
+func WithExternalWorkers() Option {
+	return func(t *Transport) { t.external = 1 }
+}
+
+// WithObs wires the backend's wire-level instrumentation into reg.
+func WithObs(reg *obs.Registry) Option {
+	return func(t *Transport) { t.reg = reg }
+}
+
+// New builds a multi-process backend. Nothing starts until
+// transport.Transport.Start.
+func New(opts ...Option) *Transport {
+	t := &Transport{
+		addr:     "127.0.0.1:0",
+		interval: transport.DefaultHeartbeatInterval,
+		timeout:  transport.DefaultHeartbeatTimeout,
+		workers:  make(map[int]*worker),
+		joined:   make(chan struct{}),
+	}
+	for _, o := range opts {
+		if o != nil {
+			o(t)
+		}
+	}
+	return t
+}
+
+// Name implements transport.Transport.
+func (t *Transport) Name() string { return "tcp" }
+
+// Addr returns the coordinator's actual listen address (useful with the
+// ephemeral default). Empty before Start.
+func (t *Transport) Addr() string {
+	t.mu.Lock()
+	ln := t.ln
+	t.mu.Unlock()
+	if ln == nil {
+		return ""
+	}
+	return ln.Addr().String()
+}
+
+// Start implements transport.Transport: listen, bring up one worker body
+// per non-zero place (spawning or awaiting joins), and start the failure
+// detector.
+func (t *Transport) Start(places int, h transport.Handler) error {
+	t.mu.Lock()
+	if t.started {
+		t.mu.Unlock()
+		return errors.New("tcp: Start called twice")
+	}
+	t.started = true
+	t.places = places
+	t.handler = h
+	t.mu.Unlock()
+
+	t.instr = tcpInstr{
+		frames:     t.reg.Counter("transport.tcp.frames"),
+		wireBytes:  t.reg.Counter("transport.tcp.wire_bytes"),
+		heartbeats: t.reg.Counter("transport.tcp.heartbeats"),
+		deaths:     t.reg.Counter("transport.tcp.deaths"),
+	}
+
+	ln, err := net.Listen("tcp", t.addr)
+	if err != nil {
+		return fmt.Errorf("tcp: listen %s: %w", t.addr, err)
+	}
+	t.mu.Lock()
+	t.ln = ln
+	t.mu.Unlock()
+
+	t.detector = transport.NewDetector(t.interval, t.timeout, t.placeDead)
+
+	t.wg.Add(1)
+	go t.acceptLoop()
+
+	if t.external == 0 {
+		for p := 1; p < places; p++ {
+			if err := t.spawnWorker(p); err != nil {
+				ln.Close()
+				return err
+			}
+		}
+	}
+
+	// Wait for every expected place to complete its HELLO handshake, so
+	// the runtime never sees a place whose body is not yet reachable.
+	if places > 1 {
+		timeout := time.NewTimer(joinTimeout(places))
+		defer timeout.Stop()
+		select {
+		case <-t.joined:
+		case <-timeout.C:
+			ln.Close()
+			return fmt.Errorf("tcp: timed out waiting for %d worker(s) to join", places-1)
+		}
+	}
+
+	t.detector.Start()
+	return nil
+}
+
+// joinTimeout bounds how long Start waits for worker handshakes:
+// generous enough for process spawn under load, far from interactive
+// annoyance when a worker binary is broken.
+func joinTimeout(places int) time.Duration {
+	d := 10*time.Second + time.Duration(places)*100*time.Millisecond
+	return d
+}
+
+// spawnWorker re-executes the current binary as the body of place p.
+// The child's RGML_TCP_WORKER environment routes it into MaybeWorker
+// before any of its own main logic runs.
+func (t *Transport) spawnWorker(p int) error {
+	exe, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("tcp: resolve own executable: %w", err)
+	}
+	spec := fmt.Sprintf("%s|%d|%d|%d", t.ln.Addr().String(), p, int64(t.interval), int64(t.timeout))
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(), workerEnv+"="+spec)
+	cmd.Stdout = os.Stderr // worker noise must not corrupt coordinator stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("tcp: spawn worker for place %d: %w", p, err)
+	}
+	t.mu.Lock()
+	if w := t.workers[p]; w != nil {
+		// Handshake already landed; just attach the process handle.
+		w.proc = cmd.Process
+	} else {
+		t.workers[p] = &worker{place: p, proc: cmd.Process}
+	}
+	t.mu.Unlock()
+	// Reap on exit so dead workers never linger as zombies.
+	go cmd.Wait()
+	return nil
+}
+
+// acceptLoop admits worker connections and performs the HELLO handshake.
+func (t *Transport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed: shutdown
+		}
+		t.wg.Add(1)
+		go t.admit(conn)
+	}
+}
+
+// admit handshakes one inbound connection and, on success, registers the
+// worker and starts its read loop.
+func (t *Transport) admit(conn net.Conn) {
+	defer t.wg.Done()
+	fc := newFrameConn(conn)
+	var hello frame
+	if _, err := fc.read(&hello); err != nil || hello.Type != fHello {
+		fc.close()
+		return
+	}
+	p := int(hello.From)
+	t.mu.Lock()
+	if t.closed || p <= 0 {
+		t.mu.Unlock()
+		fc.close()
+		return
+	}
+	w := t.workers[p]
+	if w == nil {
+		w = &worker{place: p}
+		t.workers[p] = w
+	}
+	if w.fc != nil {
+		// Duplicate claim for a place that already has a live body.
+		t.mu.Unlock()
+		fc.close()
+		return
+	}
+	w.fc = fc
+	t.detector.Watch(p)
+	joined := t.allJoinedLocked()
+	t.mu.Unlock()
+	if joined {
+		t.signalJoined()
+	}
+	t.wg.Add(1)
+	go t.readLoop(w)
+}
+
+// body snapshots a place's worker handles under the lock: fc and proc
+// are each assigned once (by admit and spawnWorker, both lock-holding),
+// so a snapshot stays valid, but reading the fields without the lock
+// would race those assignments.
+func (t *Transport) body(place int) (fc *frameConn, proc *os.Process) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if w := t.workers[place]; w != nil {
+		fc, proc = w.fc, w.proc
+	}
+	return fc, proc
+}
+
+// allJoinedLocked reports whether every place below the initial count has
+// a connected body. Caller holds t.mu.
+func (t *Transport) allJoinedLocked() bool {
+	for p := 1; p < t.places; p++ {
+		w := t.workers[p]
+		if w == nil || w.fc == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// signalJoined closes the joined gate exactly once (a late re-join must
+// not close it twice).
+func (t *Transport) signalJoined() {
+	t.joinOnce.Do(func() { close(t.joined) })
+}
+
+// readLoop drains one worker's frames: heartbeats feed the detector,
+// connection errors are failure reports.
+func (t *Transport) readLoop(w *worker) {
+	defer t.wg.Done()
+	for {
+		var f frame
+		n, err := w.fc.read(&f)
+		if err != nil {
+			t.connLost(w.place)
+			return
+		}
+		t.instr.frames.Inc()
+		t.instr.wireBytes.Add(int64(n))
+		switch f.Type {
+		case fHeartbeat:
+			t.instr.heartbeats.Inc()
+			t.detector.Beat(w.place)
+		default:
+			// The coordinator-resident data plane expects no other
+			// worker-originated traffic; ignore forward-compatible frames.
+		}
+	}
+}
+
+// connLost handles a broken worker connection: faster than any heartbeat
+// timeout, and deduped against it (and against administrative kills)
+// through the detector's dead set.
+func (t *Transport) connLost(place int) {
+	t.mu.Lock()
+	closed := t.closed
+	t.mu.Unlock()
+	if closed {
+		return
+	}
+	if t.detector.MarkDead(place) {
+		t.instr.deaths.Inc()
+		if t.handler.PlaceDead != nil {
+			t.handler.PlaceDead(place, transport.CauseConn)
+		}
+	}
+}
+
+// placeDead is the detector's timeout callback.
+func (t *Transport) placeDead(place int, cause transport.DeathCause) {
+	t.instr.deaths.Inc()
+	if fc, _ := t.body(place); fc != nil {
+		fc.close()
+	}
+	if t.handler.PlaceDead != nil {
+		t.handler.PlaceDead(place, cause)
+	}
+}
+
+// Send implements transport.Transport. With the data plane
+// coordinator-resident, every logical hop between places a and b is
+// realized as one frame on the wire of the non-coordinator endpoint
+// (a↔0 traffic rides a's own wire; a↔b traffic rides b's), so wire
+// volume tracks the logical traffic a fully distributed backend would
+// carry. Sends are fire-and-forget: TCP's per-connection FIFO provides
+// the ordering guarantee for control messages, and delivery to a dying
+// place is reported by the failure detector, not the send path.
+func (t *Transport) Send(from, to int, class transport.Class, size int, payload []byte) (time.Duration, error) {
+	if from == to {
+		return 0, nil
+	}
+	ep := to
+	if ep == 0 {
+		ep = from
+	}
+	t.mu.Lock()
+	closed := t.closed
+	var fc *frameConn
+	if w := t.workers[ep]; w != nil {
+		fc = w.fc
+	}
+	t.mu.Unlock()
+	if closed {
+		return 0, errors.New("tcp: transport closed")
+	}
+	if fc == nil || t.detector.Dead(ep) {
+		return 0, fmt.Errorf("tcp: place %d has no live body", ep)
+	}
+	start := time.Now()
+	f := frame{
+		Type:    fData,
+		From:    int32(from),
+		To:      int32(to),
+		Class:   uint8(class),
+		Size:    int64(size),
+		Payload: payload,
+	}
+	if err := fc.write(&f); err != nil {
+		t.connLost(ep)
+		return 0, fmt.Errorf("tcp: send to place %d: %w", ep, err)
+	}
+	t.instr.frames.Inc()
+	t.instr.wireBytes.Add(int64(4 + size))
+	return time.Since(start), nil
+}
+
+// Kill implements transport.Transport: administratively fail-stop the
+// worker body of a place the runtime has already marked dead. The
+// detector is told first so neither the closing connection nor the
+// stopping heartbeats produce a redundant death report.
+func (t *Transport) Kill(place int) error {
+	if place == 0 {
+		return errors.New("tcp: cannot kill the coordinator (place 0)")
+	}
+	t.detector.MarkDead(place)
+	fc, proc := t.body(place)
+	if fc != nil {
+		// Best effort: ask the worker to exit, then cut the wire.
+		fc.write(&frame{Type: fKill, To: int32(place)})
+		fc.close()
+	}
+	if proc != nil {
+		proc.Kill()
+	}
+	return nil
+}
+
+// KillWorkerProcess SIGKILLs the OS process embodying a place WITHOUT
+// telling the detector — simulating a real crash that the heartbeat
+// timeout or connection reset must discover. Only meaningful for
+// self-spawned workers; tests and the tcp-smoke gate use it.
+func (t *Transport) KillWorkerProcess(place int) error {
+	_, proc := t.body(place)
+	if proc == nil {
+		return fmt.Errorf("tcp: place %d has no spawned worker process", place)
+	}
+	return proc.Kill()
+}
+
+// Grow implements transport.Transport: spawn bodies for n new places,
+// numbered densely after the existing ones. External-join mode cannot
+// conjure processes and returns an error.
+func (t *Transport) Grow(n int) error {
+	if n <= 0 {
+		return nil
+	}
+	if t.external != 0 {
+		return errors.New("tcp: cannot grow with externally-joined workers")
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return errors.New("tcp: transport closed")
+	}
+	base := t.places
+	t.places += n
+	t.mu.Unlock()
+	for p := base; p < base+n; p++ {
+		if err := t.spawnWorker(p); err != nil {
+			return err
+		}
+	}
+	// Watch begins at handshake (admit); new workers join asynchronously.
+	// The runtime's view of the place is live immediately, matching the
+	// local backend; a worker that never manages to join is eventually
+	// reported dead by the detector once its handshake lands — or stays
+	// unwatched, in which case Sends to it fail loudly.
+	return nil
+}
+
+// Close implements transport.Transport: stop detection, dismiss workers,
+// tear down the listener, and reap.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	type handles struct {
+		place int
+		fc    *frameConn
+		proc  *os.Process
+	}
+	workers := make([]handles, 0, len(t.workers))
+	for _, w := range t.workers {
+		workers = append(workers, handles{w.place, w.fc, w.proc})
+	}
+	t.mu.Unlock()
+	if t.detector != nil {
+		t.detector.Stop()
+	}
+	for _, w := range workers {
+		if w.fc != nil {
+			w.fc.write(&frame{Type: fBye, To: int32(w.place)})
+			w.fc.close()
+		}
+	}
+	if t.ln != nil {
+		t.ln.Close()
+	}
+	// Give workers a moment to exit on fBye, then force the stragglers.
+	deadline := time.Now().Add(2 * time.Second)
+	for _, w := range workers {
+		if w.proc == nil {
+			continue
+		}
+		for time.Now().Before(deadline) {
+			if err := w.proc.Signal(syscall.Signal(0)); err != nil {
+				break // already gone
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		w.proc.Kill()
+	}
+	t.wg.Wait()
+	return nil
+}
+
+// parseWorkerSpec decodes the RGML_TCP_WORKER value:
+// "addr|place|intervalNs|timeoutNs".
+func parseWorkerSpec(spec string) (addr string, place int, interval, timeout time.Duration, err error) {
+	parts := strings.Split(spec, "|")
+	if len(parts) != 4 {
+		return "", 0, 0, 0, fmt.Errorf("tcp: malformed %s=%q", workerEnv, spec)
+	}
+	addr = parts[0]
+	place, err = strconv.Atoi(parts[1])
+	if err != nil || place <= 0 {
+		return "", 0, 0, 0, fmt.Errorf("tcp: bad place in %s=%q", workerEnv, spec)
+	}
+	iv, err := strconv.ParseInt(parts[2], 10, 64)
+	if err != nil {
+		return "", 0, 0, 0, fmt.Errorf("tcp: bad interval in %s=%q", workerEnv, spec)
+	}
+	to, err := strconv.ParseInt(parts[3], 10, 64)
+	if err != nil {
+		return "", 0, 0, 0, fmt.Errorf("tcp: bad timeout in %s=%q", workerEnv, spec)
+	}
+	return addr, place, time.Duration(iv), time.Duration(to), nil
+}

@@ -1,0 +1,288 @@
+package tcp_test
+
+import (
+	"errors"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/rgml/rgml/internal/apgas"
+	"github.com/rgml/rgml/internal/apgas/transport"
+	"github.com/rgml/rgml/internal/apgas/transport/tcp"
+)
+
+// TestMain routes self-spawned invocations of this test binary into the
+// worker protocol: the coordinator under test re-executes os.Executable()
+// — which is the test binary — with RGML_TCP_WORKER set, and MaybeWorker
+// turns that copy into a place body instead of a second test run.
+func TestMain(m *testing.M) {
+	tcp.MaybeWorker()
+	os.Exit(m.Run())
+}
+
+// fastHeartbeat keeps multi-process tests snappy without flaking: the
+// timeout is 10x the interval, far above scheduler jitter.
+func fastHeartbeat() tcp.Option {
+	// A short interval keeps real-death detection snappy (SIGKILL is
+	// usually reported by connection reset anyway), while the generous
+	// timeout absorbs scheduler stalls under -race so a slow beat never
+	// becomes a spurious death.
+	return tcp.WithHeartbeat(10*time.Millisecond, 2*time.Second)
+}
+
+func TestStartSendClose(t *testing.T) {
+	tr := tcp.New(fastHeartbeat())
+	deaths := make(chan int, 8)
+	err := tr.Start(4, transport.Handler{
+		PlaceDead: func(p int, c transport.DeathCause) { deaths <- p },
+	})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer tr.Close()
+
+	if tr.Name() != "tcp" {
+		t.Fatalf("Name() = %q", tr.Name())
+	}
+	// Declared-size traffic to every worker, and the return direction.
+	for p := 1; p < 4; p++ {
+		if _, err := tr.Send(0, p, transport.ClassTask, 0, nil); err != nil {
+			t.Fatalf("Send(0->%d): %v", p, err)
+		}
+		if _, err := tr.Send(p, 0, transport.ClassControl, 64, nil); err != nil {
+			t.Fatalf("Send(%d->0): %v", p, err)
+		}
+	}
+	// Worker-to-worker traffic rides the non-coordinator endpoint's wire.
+	if _, err := tr.Send(1, 2, transport.ClassSnapshot, 5, []byte("hello")); err != nil {
+		t.Fatalf("Send(1->2): %v", err)
+	}
+	// Intra-place is free.
+	if d, err := tr.Send(2, 2, transport.ClassData, 1<<20, nil); err != nil || d != 0 {
+		t.Fatalf("Send(2->2) = %v, %v; want 0, nil", d, err)
+	}
+	select {
+	case p := <-deaths:
+		t.Fatalf("unexpected death report for place %d", p)
+	default:
+	}
+}
+
+func TestAdministrativeKillSuppressed(t *testing.T) {
+	tr := tcp.New(fastHeartbeat())
+	deaths := make(chan int, 8)
+	if err := tr.Start(3, transport.Handler{
+		PlaceDead: func(p int, c transport.DeathCause) { deaths <- p },
+	}); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer tr.Close()
+
+	if err := tr.Kill(2); err != nil {
+		t.Fatalf("Kill(2): %v", err)
+	}
+	// An administrative kill must never produce a detector report — the
+	// runtime already knows. Wait out several timeout windows.
+	select {
+	case p := <-deaths:
+		t.Fatalf("administrative kill of place 2 leaked a death report for place %d", p)
+	case <-time.After(400 * time.Millisecond):
+	}
+	if _, err := tr.Send(0, 2, transport.ClassTask, 0, nil); err == nil {
+		t.Fatal("Send to killed place succeeded; want error")
+	}
+	// The surviving worker is untouched.
+	if _, err := tr.Send(0, 1, transport.ClassTask, 0, nil); err != nil {
+		t.Fatalf("Send to surviving place 1: %v", err)
+	}
+}
+
+func TestRealProcessKillDetected(t *testing.T) {
+	tr := tcp.New(fastHeartbeat())
+	type death struct {
+		place int
+		cause transport.DeathCause
+	}
+	deaths := make(chan death, 8)
+	if err := tr.Start(3, transport.Handler{
+		PlaceDead: func(p int, c transport.DeathCause) { deaths <- death{p, c} },
+	}); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer tr.Close()
+
+	if err := tr.KillWorkerProcess(1); err != nil {
+		t.Fatalf("KillWorkerProcess(1): %v", err)
+	}
+	select {
+	case d := <-deaths:
+		if d.place != 1 {
+			t.Fatalf("death reported for place %d, want 1", d.place)
+		}
+		if d.cause != transport.CauseConn && d.cause != transport.CauseTimeout {
+			t.Fatalf("death cause = %v, want conn or timeout", d.cause)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("real process kill never detected")
+	}
+	// Exactly one report.
+	select {
+	case d := <-deaths:
+		t.Fatalf("duplicate death report: %+v", d)
+	case <-time.After(300 * time.Millisecond):
+	}
+}
+
+func TestGrow(t *testing.T) {
+	tr := tcp.New(fastHeartbeat())
+	if err := tr.Start(2, transport.Handler{}); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer tr.Close()
+	if err := tr.Grow(2); err != nil {
+		t.Fatalf("Grow(2): %v", err)
+	}
+	// New workers join asynchronously; poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err := tr.Send(0, 3, transport.ClassTask, 0, nil)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("grown place 3 never became sendable: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestExternalWorkersJoin covers the externally-managed worker mode (the
+// rgmlrun -serve-place path): the coordinator spawns nothing and waits
+// for ServeWorker joins; growth is impossible because the transport
+// cannot conjure external processes.
+func TestExternalWorkersJoin(t *testing.T) {
+	tr := tcp.New(fastHeartbeat(), tcp.WithExternalWorkers())
+	started := make(chan error, 1)
+	go func() { started <- tr.Start(3, transport.Handler{}) }()
+	// The listener is up before Start blocks on the join gate.
+	deadline := time.Now().Add(5 * time.Second)
+	for tr.Addr() == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("coordinator never started listening")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for p := 1; p < 3; p++ {
+		p := p
+		go func() {
+			if err := tcp.ServeWorker(tr.Addr(), p, 10*time.Millisecond, 2*time.Second); err != nil {
+				t.Errorf("ServeWorker(%d): %v", p, err)
+			}
+		}()
+	}
+	select {
+	case err := <-started:
+		if err != nil {
+			t.Fatalf("Start: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Start never returned after workers joined")
+	}
+	defer tr.Close()
+	for p := 1; p < 3; p++ {
+		if _, err := tr.Send(0, p, transport.ClassTask, 0, nil); err != nil {
+			t.Fatalf("Send(0->%d): %v", p, err)
+		}
+	}
+	if err := tr.Grow(1); err == nil {
+		t.Fatal("Grow succeeded in external-workers mode; want error")
+	}
+}
+
+// TestRuntimeOverTCP drives the full apgas runtime over the tcp backend:
+// finish/async across places, an administrative kill surfacing
+// DeadPlaceError, and clean shutdown.
+func TestRuntimeOverTCP(t *testing.T) {
+	rt, err := apgas.New(
+		apgas.WithPlaces(4),
+		apgas.WithResilient(true),
+		apgas.WithTransport(tcp.New(fastHeartbeat())),
+	)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer rt.Shutdown()
+
+	if rt.TransportName() != "tcp" {
+		t.Fatalf("TransportName() = %q", rt.TransportName())
+	}
+	var ran [4]bool
+	var mu sync.Mutex
+	err = rt.Finish(func(ctx *apgas.Ctx) {
+		for _, p := range rt.World() {
+			p := p
+			ctx.AsyncAt(p, func(c *apgas.Ctx) {
+				mu.Lock()
+				ran[c.Here.ID] = true
+				mu.Unlock()
+			})
+		}
+	})
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	for i, ok := range ran {
+		if !ok {
+			t.Fatalf("task never ran at place %d", i)
+		}
+	}
+
+	if err := rt.Kill(rt.Place(2)); err != nil {
+		t.Fatalf("Kill: %v", err)
+	}
+	err = rt.Finish(func(ctx *apgas.Ctx) {
+		ctx.AsyncAt(rt.Place(2), func(c *apgas.Ctx) {})
+	})
+	var dpe *apgas.DeadPlaceError
+	if !errors.As(err, &dpe) || dpe.Place.ID != 2 {
+		t.Fatalf("Finish after kill = %v, want DeadPlaceError{place 2}", err)
+	}
+}
+
+// TestRuntimeDetectsRealDeath kills a worker process behind the runtime's
+// back and verifies the failure detector feeds the dead-place broadcast
+// path: IsDead flips and tasks at the corpse observe DeadPlaceError.
+func TestRuntimeDetectsRealDeath(t *testing.T) {
+	tr := tcp.New(fastHeartbeat())
+	rt, err := apgas.New(
+		apgas.WithPlaces(3),
+		apgas.WithResilient(true),
+		apgas.WithTransport(tr),
+	)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer rt.Shutdown()
+
+	if err := tr.KillWorkerProcess(1); err != nil {
+		t.Fatalf("KillWorkerProcess: %v", err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for !rt.IsDead(rt.Place(1)) {
+		if time.Now().After(deadline) {
+			t.Fatal("runtime never observed the real worker death")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := rt.Stats().PlacesFailed; got != 1 {
+		t.Fatalf("Stats().PlacesFailed = %d, want 1", got)
+	}
+	err = rt.Finish(func(ctx *apgas.Ctx) {
+		ctx.AsyncAt(rt.Place(1), func(c *apgas.Ctx) {})
+	})
+	var dpe *apgas.DeadPlaceError
+	if !errors.As(err, &dpe) || dpe.Place.ID != 1 {
+		t.Fatalf("Finish at corpse = %v, want DeadPlaceError{place 1}", err)
+	}
+}

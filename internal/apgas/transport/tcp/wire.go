@@ -1,0 +1,144 @@
+package tcp
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Wire format: every message is one frame — a 4-byte big-endian length
+// prefix followed by that many bytes of gob-encoded frame struct. gob is
+// self-describing, so the format survives field additions; the length
+// prefix keeps framing independent of the codec and lets a reader skip a
+// frame it cannot decode. maxFrameLen bounds a single frame (a corrupt
+// or hostile length prefix must not allocate gigabytes).
+const maxFrameLen = 1 << 28 // 256 MiB
+
+// frameType discriminates the messages crossing a coordinator-worker
+// connection.
+type frameType uint8
+
+const (
+	// fHello is the handshake: the worker's first frame, announcing which
+	// place it embodies.
+	fHello frameType = iota + 1
+	// fHeartbeat is the worker's periodic liveness beacon.
+	fHeartbeat
+	// fData carries one runtime message: class-tagged, with a declared
+	// size and (for checkpoint redundancy traffic) the real payload.
+	fData
+	// fKill tells a worker to fail-stop immediately (administrative kill).
+	fKill
+	// fBye tells a worker the run is over; it exits cleanly.
+	fBye
+)
+
+// String implements fmt.Stringer.
+func (t frameType) String() string {
+	switch t {
+	case fHello:
+		return "hello"
+	case fHeartbeat:
+		return "heartbeat"
+	case fData:
+		return "data"
+	case fKill:
+		return "kill"
+	case fBye:
+		return "bye"
+	}
+	return "unknown"
+}
+
+// frame is the unit of exchange on a coordinator-worker connection.
+type frame struct {
+	Type  frameType
+	From  int32
+	To    int32
+	Class uint8
+	// Size is the declared payload volume of a data frame; most runtime
+	// traffic declares size without carrying bytes (the emulated data
+	// plane is coordinator-resident), so Size is accounting, not
+	// len(Payload).
+	Size int64
+	// Payload is the real bytes, when the message carries them
+	// (checkpoint replica traffic).
+	Payload []byte
+}
+
+// frameConn wraps one side of a connection with buffered, length-prefixed
+// gob framing. Writes are serialized by a mutex so heartbeats, data and
+// control frames from different goroutines interleave at frame
+// granularity; reads are single-goroutine by construction (one reader per
+// connection).
+type frameConn struct {
+	wmu  sync.Mutex
+	w    *bufio.Writer
+	r    *bufio.Reader
+	c    io.Closer
+	once sync.Once
+}
+
+func newFrameConn(rwc io.ReadWriteCloser) *frameConn {
+	return &frameConn{
+		w: bufio.NewWriter(rwc),
+		r: bufio.NewReader(rwc),
+		c: rwc,
+	}
+}
+
+// write encodes and sends one frame, flushing it onto the wire before
+// returning; a frame is either fully sent or the connection is broken.
+func (fc *frameConn) write(f *frame) error {
+	fc.wmu.Lock()
+	defer fc.wmu.Unlock()
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(f); err != nil {
+		return fmt.Errorf("tcp: encode %v frame: %w", f.Type, err)
+	}
+	if body.Len() > maxFrameLen {
+		return fmt.Errorf("tcp: %v frame of %d bytes exceeds limit %d", f.Type, body.Len(), maxFrameLen)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(body.Len()))
+	if _, err := fc.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := fc.w.Write(body.Bytes()); err != nil {
+		return err
+	}
+	return fc.w.Flush()
+}
+
+// read decodes the next frame, blocking until one arrives or the
+// connection breaks. It returns the frame's wire footprint (prefix +
+// body) for byte accounting.
+func (fc *frameConn) read(f *frame) (int, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(fc.r, hdr[:]); err != nil {
+		return 0, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrameLen {
+		return 0, fmt.Errorf("tcp: frame length %d exceeds limit %d", n, maxFrameLen)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(fc.r, body); err != nil {
+		return 0, err
+	}
+	*f = frame{}
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(f); err != nil {
+		return 0, fmt.Errorf("tcp: decode frame: %w", err)
+	}
+	return 4 + int(n), nil
+}
+
+// close tears the connection down. Idempotent; concurrent with reads and
+// writes (which then fail, which is the point).
+func (fc *frameConn) close() {
+	fc.once.Do(func() { fc.c.Close() })
+}

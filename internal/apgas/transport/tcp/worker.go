@@ -1,0 +1,130 @@
+package tcp
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"github.com/rgml/rgml/internal/apgas/transport"
+)
+
+// The worker side of the backend: the process embodying one non-zero
+// place. A worker's job is narrow — be a real failure domain. It dials
+// the coordinator, announces its place (fHello), heartbeats on the
+// configured interval, and drains inbound frames; it exits when told
+// (fKill, fBye) or when the coordinator disappears. Killing the process
+// is a genuine fail-stop that the coordinator's detector discovers the
+// hard way.
+
+// MaybeWorker turns the current process into a transport worker when the
+// RGML_TCP_WORKER environment variable is set, never returning in that
+// case (it serves, then os.Exits). Call it first thing in main() — and in
+// TestMain of any test binary that constructs a tcp-backed runtime —
+// so the coordinator can self-spawn the running binary as its workers:
+//
+//	func main() {
+//	    tcp.MaybeWorker()
+//	    // normal program
+//	}
+//
+// With the variable unset it is a no-op, so the call is free for every
+// other invocation of the binary.
+func MaybeWorker() {
+	spec := os.Getenv(workerEnv)
+	if spec == "" {
+		return
+	}
+	addr, place, interval, timeout, err := parseWorkerSpec(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := ServeWorker(addr, place, interval, timeout); err != nil {
+		fmt.Fprintf(os.Stderr, "rgml tcp worker (place %d): %v\n", place, err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// ServeWorker runs the worker protocol for one place against the
+// coordinator at addr: handshake, heartbeat every interval, drain frames
+// until dismissed. It returns nil on a clean dismissal (fBye, fKill, or
+// coordinator EOF) and an error for anything unexpected. `rgmlrun
+// -serve-place` calls it directly for externally-joined deployments.
+func ServeWorker(addr string, place int, interval, timeout time.Duration) error {
+	if place <= 0 {
+		return fmt.Errorf("tcp: worker place must be positive, got %d", place)
+	}
+	if interval <= 0 {
+		interval = DefaultDialInterval(timeout)
+	}
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout(timeout))
+	if err != nil {
+		return fmt.Errorf("tcp: dial coordinator %s: %w", addr, err)
+	}
+	fc := newFrameConn(conn)
+	if err := fc.write(&frame{Type: fHello, From: int32(place)}); err != nil {
+		return fmt.Errorf("tcp: hello: %w", err)
+	}
+
+	// Heartbeat writer: its own goroutine, so a long inbound read never
+	// starves the liveness beacon.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+			}
+			if err := fc.write(&frame{Type: fHeartbeat, From: int32(place)}); err != nil {
+				return // coordinator gone; the read loop is exiting too
+			}
+		}
+	}()
+
+	for {
+		var f frame
+		if _, err := fc.read(&f); err != nil {
+			// Coordinator closed the wire: for a worker that is a
+			// dismissal, not an error — the run is simply over.
+			return nil
+		}
+		switch f.Type {
+		case fKill, fBye:
+			return nil
+		case fData:
+			// The data plane is coordinator-resident: inbound frames are
+			// the wire realization of traffic addressed to this place.
+			// Draining them is the whole contract.
+		}
+	}
+}
+
+// DefaultDialInterval derives a sane heartbeat interval when none was
+// configured: a quarter of the timeout, floored at a millisecond, or the
+// package default when no timeout is known either.
+func DefaultDialInterval(timeout time.Duration) time.Duration {
+	if timeout <= 0 {
+		return transport.DefaultHeartbeatInterval
+	}
+	iv := timeout / 4
+	if iv < time.Millisecond {
+		iv = time.Millisecond
+	}
+	return iv
+}
+
+// dialTimeout bounds the coordinator dial: workers that cannot reach the
+// coordinator promptly should fail fast and loudly.
+func dialTimeout(hbTimeout time.Duration) time.Duration {
+	d := 5 * time.Second
+	if hbTimeout > d {
+		d = hbTimeout
+	}
+	return d
+}

@@ -1,0 +1,162 @@
+// Package transport defines the runtime's communication seam: the narrow
+// interface through which the emulated APGAS runtime moves place-crossing
+// messages and learns about place failures.
+//
+// Everything the runtime knows about "the network" funnels through one
+// Transport value:
+//
+//   - message send between places, tagged with a traffic Class so backends
+//     and the observability layer can account task spawns, resilient-finish
+//     bookkeeping, bulk data and checkpoint replica traffic separately;
+//   - place liveness: a backend with a real failure detector (heartbeats,
+//     connection loss) reports deaths through the Handler, which the
+//     runtime feeds into the exact same dead-place broadcast path used by
+//     injected (chaos) kills;
+//   - administrative control: fail-stopping a place's external body (Kill)
+//     and growing the place set elastically (Grow).
+//
+// Two backends implement the seam:
+//
+//   - transport/local is the default in-process emulation: every place
+//     lives in the one OS process, Send charges the configured simulated
+//     delay, and no external failures exist. It is bit-identical to the
+//     pre-seam runtime: same NetModel accounting, same deterministic chaos
+//     kill fingerprints.
+//
+//   - transport/tcp runs one place per OS process: place zero is the
+//     coordinator, every other place is paired with a worker process
+//     reached over a TCP connection carrying length-prefixed gob frames.
+//     A heartbeat failure detector with configurable interval and timeout
+//     turns real process death into Handler.PlaceDead events.
+//
+// The package deliberately speaks in plain ints for place IDs so that it
+// has no dependency on package apgas (which imports it).
+package transport
+
+import "time"
+
+// Class tags the traffic crossing the seam so backends and counters can
+// distinguish what kind of message a Send carries.
+type Class uint8
+
+const (
+	// ClassTask is task-control traffic: spawns (AsyncAt), synchronous
+	// at-hops and their return legs.
+	ClassTask Class = iota
+	// ClassControl is resilient-finish bookkeeping traffic: fork/join/wait
+	// events bound for the central ledger or a home shard.
+	ClassControl
+	// ClassData is bulk application data movement declared by size
+	// (Ctx.Transfer): collective gathers, broadcasts, reductions.
+	ClassData
+	// ClassSnapshot is checkpoint redundancy traffic: replica and erasure
+	// shard payloads moving between a snapshot's owner and its backups.
+	// Unlike the other classes it usually carries the real bytes.
+	ClassSnapshot
+
+	// NumClasses bounds the Class space for per-class counter arrays.
+	NumClasses = 4
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassTask:
+		return "task"
+	case ClassControl:
+		return "control"
+	case ClassData:
+		return "data"
+	case ClassSnapshot:
+		return "snapshot"
+	}
+	return "unknown"
+}
+
+// DeathCause says how a transport learned that a place died.
+type DeathCause uint8
+
+const (
+	// CauseKill is an administrative fail-stop: Runtime.Kill (directly or
+	// through the chaos engine) asked the transport to destroy the place's
+	// body. The runtime marks the place dead before issuing it, so a
+	// backend never reports CauseKill through the Handler.
+	CauseKill DeathCause = iota
+	// CauseTimeout is a heartbeat failure-detector timeout: the place's
+	// body stopped heartbeating for longer than the configured timeout.
+	CauseTimeout
+	// CauseConn is a transport-level connection loss detected before any
+	// heartbeat timeout (process exit resets the socket).
+	CauseConn
+)
+
+// String implements fmt.Stringer.
+func (c DeathCause) String() string {
+	switch c {
+	case CauseKill:
+		return "kill"
+	case CauseTimeout:
+		return "timeout"
+	case CauseConn:
+		return "conn"
+	}
+	return "unknown"
+}
+
+// Handler receives the transport's upcalls into the runtime. The runtime
+// installs it at Start, before any messages flow.
+type Handler struct {
+	// PlaceDead reports that the transport's failure detector declared a
+	// place dead. It may be invoked from arbitrary transport goroutines,
+	// concurrently with Sends; the runtime feeds it into the same
+	// dead-place broadcast path (store drop + ledger orphan termination)
+	// used by injected kills. Implementations dedupe: reporting an
+	// already-dead place is a no-op.
+	PlaceDead func(place int, cause DeathCause)
+}
+
+// Transport is the runtime's communication backend. The runtime owns
+// exactly one; all place-crossing traffic and all liveness information
+// flows through it.
+//
+// Implementations must be safe for concurrent use: Sends are issued from
+// many task goroutines at once, racing Kill, Grow and detector upcalls.
+type Transport interface {
+	// Name identifies the backend ("local", "tcp") for logs and reports.
+	Name() string
+
+	// Start brings the backend up for the given initial place count and
+	// installs the runtime's handler. For a distributed backend this is
+	// where worker bodies are spawned or awaited; a Start error means the
+	// runtime cannot be constructed.
+	Start(places int, h Handler) error
+
+	// Send moves one message of the given class from place from to place
+	// to, blocking the caller for the transfer's duration, and returns
+	// that duration (simulated for the local backend, measured wire time
+	// for a real one). size declares the payload volume for accounting;
+	// payload, when non-nil, is the real bytes to carry (checkpoint
+	// replica traffic supplies it; declared-size traffic leaves it nil).
+	// Intra-place sends (from == to) are free and return immediately.
+	// A Send to a dead or unknown place returns an error; callers treat
+	// that as "the failure detector will tell the runtime", not as a
+	// task-visible fault.
+	Send(from, to int, class Class, size int, payload []byte) (time.Duration, error)
+
+	// Kill administratively fail-stops the place's external body (worker
+	// process, connection). The runtime has already marked the place dead
+	// when it calls Kill, so the backend must suppress the redundant
+	// detector report. The local backend has no bodies and treats Kill as
+	// a no-op.
+	Kill(place int) error
+
+	// Grow extends the backend by n new places (elastic growth), numbered
+	// densely after the existing ones. Backends that cannot conjure new
+	// bodies (externally-joined workers) return an error, which
+	// Runtime.AddPlaces surfaces.
+	Grow(n int) error
+
+	// Close tears the backend down: stops detectors, closes connections,
+	// reaps worker processes. Called once at Runtime.Shutdown.
+	Close() error
+}

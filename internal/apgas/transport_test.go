@@ -1,0 +1,247 @@
+package apgas_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/rgml/rgml/internal/apgas"
+	"github.com/rgml/rgml/internal/apgas/transport"
+	"github.com/rgml/rgml/internal/obs"
+)
+
+// fakeTransport records traffic and hands the runtime's Handler back to
+// the test, so transport-detected deaths can be injected directly.
+type fakeTransport struct {
+	mu      sync.Mutex
+	handler transport.Handler
+	sends   []fakeSend
+	kills   []int
+	grown   int
+	closed  bool
+}
+
+type fakeSend struct {
+	from, to int
+	class    transport.Class
+	size     int
+	payload  []byte
+}
+
+func (f *fakeTransport) Name() string { return "fake" }
+
+func (f *fakeTransport) Start(places int, h transport.Handler) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.handler = h
+	return nil
+}
+
+func (f *fakeTransport) Send(from, to int, class transport.Class, size int, payload []byte) (time.Duration, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.sends = append(f.sends, fakeSend{from, to, class, size, payload})
+	return 0, nil
+}
+
+func (f *fakeTransport) Kill(place int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.kills = append(f.kills, place)
+	return nil
+}
+
+func (f *fakeTransport) Grow(n int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.grown += n
+	return nil
+}
+
+func (f *fakeTransport) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.closed = true
+	return nil
+}
+
+func (f *fakeTransport) placeDead(place int, cause transport.DeathCause) {
+	f.mu.Lock()
+	h := f.handler
+	f.mu.Unlock()
+	h.PlaceDead(place, cause)
+}
+
+func TestWithTransportNilRejected(t *testing.T) {
+	_, err := apgas.New(apgas.WithTransport(nil))
+	if !errors.Is(err, apgas.ErrBadOption) {
+		t.Fatalf("New(WithTransport(nil)) = %v, want ErrBadOption", err)
+	}
+}
+
+func TestTransportSeamTrafficAndLifecycle(t *testing.T) {
+	ft := &fakeTransport{}
+	reg := obs.NewRegistry()
+	rt, err := apgas.New(
+		apgas.WithPlaces(3),
+		apgas.WithResilient(true),
+		apgas.WithTransport(ft),
+		apgas.WithObs(reg),
+	)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if rt.TransportName() != "fake" {
+		t.Fatalf("TransportName() = %q", rt.TransportName())
+	}
+
+	err = rt.Finish(func(ctx *apgas.Ctx) {
+		ctx.AsyncAt(rt.Place(1), func(c *apgas.Ctx) {
+			c.Transfer(rt.Place(2), 512)
+			c.TransferBytes(rt.Place(2), []byte("snap"))
+		})
+	})
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+
+	ft.mu.Lock()
+	var byClass [transport.NumClasses]int
+	var sawPayload bool
+	for _, s := range ft.sends {
+		byClass[s.class]++
+		if s.class == transport.ClassSnapshot && string(s.payload) == "snap" && s.size == 4 {
+			sawPayload = true
+		}
+	}
+	ft.mu.Unlock()
+	if byClass[transport.ClassTask] == 0 {
+		t.Fatal("no ClassTask traffic crossed the seam")
+	}
+	if byClass[transport.ClassControl] == 0 {
+		t.Fatal("no ClassControl (ledger) traffic crossed the seam")
+	}
+	if byClass[transport.ClassData] != 1 {
+		t.Fatalf("ClassData sends = %d, want 1", byClass[transport.ClassData])
+	}
+	if !sawPayload {
+		t.Fatal("TransferBytes payload did not reach the transport")
+	}
+	// Per-class obs counters mirror what crossed.
+	if got := reg.Counter("apgas.transport.data.bytes").Value(); got != 512 {
+		t.Fatalf("apgas.transport.data.bytes = %d, want 512", got)
+	}
+	if got := reg.Counter("apgas.transport.snapshot.bytes").Value(); got != 4 {
+		t.Fatalf("apgas.transport.snapshot.bytes = %d, want 4", got)
+	}
+
+	// Administrative kill reaches the backend after the runtime marked
+	// the place dead.
+	if err := rt.Kill(rt.Place(2)); err != nil {
+		t.Fatalf("Kill: %v", err)
+	}
+	ft.mu.Lock()
+	kills := append([]int(nil), ft.kills...)
+	ft.mu.Unlock()
+	if len(kills) != 1 || kills[0] != 2 {
+		t.Fatalf("transport kills = %v, want [2]", kills)
+	}
+
+	// AddPlaces grows the backend.
+	if _, err := rt.AddPlaces(2); err != nil {
+		t.Fatalf("AddPlaces: %v", err)
+	}
+	ft.mu.Lock()
+	grown := ft.grown
+	ft.mu.Unlock()
+	if grown != 2 {
+		t.Fatalf("transport grown = %d, want 2", grown)
+	}
+
+	rt.Shutdown()
+	ft.mu.Lock()
+	closed := ft.closed
+	ft.mu.Unlock()
+	if !closed {
+		t.Fatal("Shutdown did not close the transport")
+	}
+}
+
+// TestTransportDeathFeedsBroadcastPath injects detector-style death
+// reports and verifies they ride the same dead-place machinery as kills:
+// IsDead flips, orphan tasks observe DeadPlaceError, stats are counted
+// once, and place zero plus duplicates are ignored.
+func TestTransportDeathFeedsBroadcastPath(t *testing.T) {
+	ft := &fakeTransport{}
+	rt, err := apgas.New(
+		apgas.WithPlaces(4),
+		apgas.WithResilient(true),
+		apgas.WithTransport(ft),
+	)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer rt.Shutdown()
+
+	ft.placeDead(3, transport.CauseTimeout)
+	if !rt.IsDead(rt.Place(3)) {
+		t.Fatal("transport-reported death did not mark the place dead")
+	}
+	s := rt.Stats()
+	if s.PlacesFailed != 1 {
+		t.Fatalf("PlacesFailed = %d, want 1", s.PlacesFailed)
+	}
+	if s.PlacesKilled != 0 {
+		t.Fatalf("PlacesKilled = %d, want 0 (real failure, not a kill)", s.PlacesKilled)
+	}
+
+	// Duplicate and bogus reports are no-ops.
+	ft.placeDead(3, transport.CauseConn)
+	ft.placeDead(0, transport.CauseTimeout)
+	ft.placeDead(99, transport.CauseTimeout)
+	s = rt.Stats()
+	if s.PlacesFailed != 1 {
+		t.Fatalf("after duplicates, PlacesFailed = %d, want 1", s.PlacesFailed)
+	}
+	if rt.IsDead(rt.Place(0)) {
+		t.Fatal("place zero marked dead by a transport report")
+	}
+
+	// The corpse delivers DeadPlaceError exactly like a killed place.
+	err = rt.Finish(func(ctx *apgas.Ctx) {
+		ctx.AsyncAt(rt.Place(3), func(c *apgas.Ctx) {})
+	})
+	var dpe *apgas.DeadPlaceError
+	if !errors.As(err, &dpe) || dpe.Place.ID != 3 {
+		t.Fatalf("Finish at failed place = %v, want DeadPlaceError{place 3}", err)
+	}
+}
+
+// TestTransportDeathRacesKill drives a concurrent administrative kill and
+// detector report at the same place: exactly one of the two accounting
+// paths must win.
+func TestTransportDeathRacesKill(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		ft := &fakeTransport{}
+		rt, err := apgas.New(
+			apgas.WithPlaces(3),
+			apgas.WithResilient(true),
+			apgas.WithTransport(ft),
+		)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); rt.Kill(rt.Place(1)) }()
+		go func() { defer wg.Done(); ft.placeDead(1, transport.CauseConn) }()
+		wg.Wait()
+		s := rt.Stats()
+		if s.PlacesKilled+s.PlacesFailed != 1 {
+			t.Fatalf("iteration %d: PlacesKilled=%d PlacesFailed=%d, want exactly one death accounted",
+				i, s.PlacesKilled, s.PlacesFailed)
+		}
+		rt.Shutdown()
+	}
+}

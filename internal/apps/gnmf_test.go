@@ -91,12 +91,12 @@ func TestGNMFRecoversInShrinkAndReplaceModes(t *testing.T) {
 				spares = 1
 			}
 			plan := core.NewFailurePlan(core.FailureEvent{AfterIteration: 6, Place: rt.Place(2)})
-			exec, err := core.NewExecutor(rt, core.Config{
-				CheckpointInterval: 4,
-				Mode:               mode,
-				Spares:             spares,
-				AfterStep:          plan.AfterStep(rt),
-			})
+			exec, err := core.New(rt,
+				core.WithCheckpointInterval(4),
+				core.WithRestoreMode(mode),
+				core.WithSpares(spares),
+				core.WithAfterStep(plan.AfterStep(rt)),
+			)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -112,12 +112,12 @@ func TestLinRegRecoveryGridPreservingModesBitwise(t *testing.T) {
 			if mode != core.ReplaceRedundant {
 				spares = 1 // keep the active group at 4 places in all runs
 			}
-			exec, err := core.NewExecutor(rt, core.Config{
-				CheckpointInterval: 4,
-				Mode:               mode,
-				Spares:             spares,
-				AfterStep:          killOnceAt(t, rt, rt.Place(2), 6),
-			})
+			exec, err := core.New(rt,
+				core.WithCheckpointInterval(4),
+				core.WithRestoreMode(mode),
+				core.WithSpares(spares),
+				core.WithAfterStep(killOnceAt(t, rt, rt.Place(2), 6)),
+			)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -150,12 +150,13 @@ func TestLinRegRecoveryGridPreservingModesBitwise(t *testing.T) {
 func TestLinRegRecoveryRebalanceApprox(t *testing.T) {
 	want := failureFreeLinRegWeights(t, 4, 12)
 	rt := newRT(t, 5)
-	exec, err := core.NewExecutor(rt, core.Config{
-		CheckpointInterval: 4,
-		Mode:               core.ShrinkRebalance,
-		Spares:             1, // active group of 4, matching the reference run
-		AfterStep:          killOnceAt(t, rt, rt.Place(2), 6),
-	})
+	exec, err := core.New(rt,
+		core.WithCheckpointInterval(4),
+		core.WithRestoreMode(core.ShrinkRebalance),
+		core.WithSpares(1),
+		// active group of 4, matching the reference run
+		core.WithAfterStep(killOnceAt(t, rt, rt.Place(2), 6)),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -111,12 +111,12 @@ func TestLogRegRecoveryShrinkBitwise(t *testing.T) {
 	want, _ := ref.Weights()
 
 	rt := newRT(t, 5)
-	exec, err := core.NewExecutor(rt, core.Config{
-		CheckpointInterval: 3,
-		Mode:               core.ReplaceRedundant,
-		Spares:             1,
-		AfterStep:          killOnceAt(t, rt, rt.Place(1), 5),
-	})
+	exec, err := core.New(rt,
+		core.WithCheckpointInterval(3),
+		core.WithRestoreMode(core.ReplaceRedundant),
+		core.WithSpares(1),
+		core.WithAfterStep(killOnceAt(t, rt, rt.Place(1), 5)),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}

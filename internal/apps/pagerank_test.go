@@ -11,7 +11,7 @@ import (
 
 func newRT(t *testing.T, places int) *apgas.Runtime {
 	t.Helper()
-	rt, err := apgas.NewRuntime(apgas.Config{Places: places, Resilient: true})
+	rt, err := apgas.New(apgas.WithPlaces(places), apgas.WithResilient(true))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,12 +127,12 @@ func TestPageRankRecoversInEveryMode(t *testing.T) {
 				spares = 1
 			}
 			victimID := 2
-			exec, err := core.NewExecutor(rt, core.Config{
-				CheckpointInterval: 4,
-				Mode:               mode,
-				Spares:             spares,
-				AfterStep:          killOnceAt(t, rt, rt.Place(victimID), 6),
-			})
+			exec, err := core.New(rt,
+				core.WithCheckpointInterval(4),
+				core.WithRestoreMode(mode),
+				core.WithSpares(spares),
+				core.WithAfterStep(killOnceAt(t, rt, rt.Place(victimID), 6)),
+			)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -165,7 +165,7 @@ func TestPageRankRecoversInEveryMode(t *testing.T) {
 func TestPageRankReplaceModesBitwise(t *testing.T) {
 	// Failure-free run on a 4-place active group.
 	refRT := newRT(t, 4)
-	refExec, err := core.NewExecutor(refRT, core.Config{CheckpointInterval: 4})
+	refExec, err := core.New(refRT, core.WithCheckpointInterval(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,12 +182,12 @@ func TestPageRankReplaceModesBitwise(t *testing.T) {
 		t.Run(mode.String(), func(t *testing.T) {
 			rt := newRT(t, 5)
 			spares := 1
-			exec, err := core.NewExecutor(rt, core.Config{
-				CheckpointInterval: 4,
-				Mode:               mode,
-				Spares:             spares,
-				AfterStep:          killOnceAt(t, rt, rt.Place(2), 6),
-			})
+			exec, err := core.New(rt,
+				core.WithCheckpointInterval(4),
+				core.WithRestoreMode(mode),
+				core.WithSpares(spares),
+				core.WithAfterStep(killOnceAt(t, rt, rt.Place(2), 6)),
+			)
 			if err != nil {
 				t.Fatal(err)
 			}

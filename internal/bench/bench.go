@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"github.com/rgml/rgml/internal/apgas"
+	"github.com/rgml/rgml/internal/apgas/transport"
 	"github.com/rgml/rgml/internal/apps"
 	"github.com/rgml/rgml/internal/core"
 	"github.com/rgml/rgml/internal/obs"
@@ -117,6 +118,11 @@ type Config struct {
 	// runtime the harness builds. The zero value keeps the paper-faithful
 	// default (replicate, k=2); the store experiment overrides it per run.
 	Store apgas.StorePolicy
+	// Transport, when non-nil, builds a fresh communication backend for
+	// each runtime the harness constructs (a transport is single-use: one
+	// Start/Close lifecycle per runtime). Nil keeps the default in-process
+	// backend. The CLIs wire the -transport flag here.
+	Transport func() (transport.Transport, error)
 	// Progress, when non-nil, receives progress lines.
 	Progress io.Writer
 	// MetricsDir, when non-empty, receives one JSON metrics export per
@@ -169,20 +175,27 @@ var ledgerSink atomic.Uint64
 // instruments the runtime; restore runs share it with the executor so one
 // export describes the whole run.
 func (c Config) newRuntime(places int, resilient bool, reg *obs.Registry) (*apgas.Runtime, error) {
-	return apgas.NewRuntime(apgas.Config{
-		Places:     places,
-		Resilient:  resilient,
-		FinishMode: c.FinishMode,
-		Store:      c.Store,
-		Net:        apgas.NetModel{Latency: c.Latency, BytePeriod: c.BytePeriod},
-		Obs:        reg,
-		LedgerCost: func() func(live int) {
-			if !resilient {
-				return nil
-			}
-			return c.ledgerCost()
-		}(),
-	})
+	opts := []apgas.Option{
+		apgas.WithPlaces(places),
+		apgas.WithResilient(resilient),
+		apgas.WithFinishMode(c.FinishMode),
+		apgas.WithStorePolicy(c.Store),
+		apgas.WithNet(apgas.NetModel{Latency: c.Latency, BytePeriod: c.BytePeriod}),
+		apgas.WithObs(reg),
+	}
+	if resilient {
+		if cost := c.ledgerCost(); cost != nil {
+			opts = append(opts, apgas.WithLedgerCost(cost))
+		}
+	}
+	if c.Transport != nil {
+		tp, err := c.Transport()
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, apgas.WithTransport(tp))
+	}
+	return apgas.New(opts...)
 }
 
 // progressf writes a progress line if configured.

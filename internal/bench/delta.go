@@ -86,19 +86,19 @@ func (c Config) deltaRun(places int, delta bool) (DeltaRow, la.Vector, error) {
 	defer rt.Shutdown()
 	killed := false
 	victim := rt.Place(places / 2)
-	exec, err := core.NewExecutor(rt, core.Config{
-		CheckpointInterval: s.CheckpointInterval,
-		Mode:               core.ReplaceRedundant,
-		Spares:             1,
-		Obs:                reg,
-		Delta:              delta,
-		AfterStep: func(iter int64) {
+	exec, err := core.New(rt,
+		core.WithCheckpointInterval(s.CheckpointInterval),
+		core.WithRestoreMode(core.ReplaceRedundant),
+		core.WithSpares(1),
+		core.WithObs(reg),
+		core.WithDelta(delta),
+		core.WithAfterStep(func(iter int64) {
 			if !killed && iter == int64(s.FailureIteration) {
 				killed = true
 				_ = rt.Kill(victim)
 			}
-		},
-	})
+		}),
+	)
 	if err != nil {
 		return DeltaRow{}, nil, err
 	}

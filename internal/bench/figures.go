@@ -231,18 +231,18 @@ func (c Config) restoreRun(app AppName, places int, mode core.RestoreMode) (Rest
 	killed := false
 	var exec *core.Executor
 	victim := rt.Place(places / 2) // a mid-group active place
-	exec, err = core.NewExecutor(rt, core.Config{
-		CheckpointInterval: c.Scale.CheckpointInterval,
-		Mode:               mode,
-		Spares:             spares,
-		Obs:                reg,
-		AfterStep: func(iter int64) {
+	exec, err = core.New(rt,
+		core.WithCheckpointInterval(c.Scale.CheckpointInterval),
+		core.WithRestoreMode(mode),
+		core.WithSpares(spares),
+		core.WithObs(reg),
+		core.WithAfterStep(func(iter int64) {
 			if !killed && iter == int64(c.Scale.FailureIteration) {
 				killed = true
 				_ = rt.Kill(victim)
 			}
-		},
-	})
+		}),
+	)
 	if err != nil {
 		return RestoreRun{}, err
 	}

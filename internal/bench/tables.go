@@ -32,9 +32,8 @@ func (c Config) CheckpointTable() ([]CheckpointRow, error) {
 					return 0, err
 				}
 				defer rt.Shutdown()
-				exec, err := core.NewExecutor(rt, core.Config{
-					CheckpointInterval: c.Scale.CheckpointInterval,
-				})
+				exec, err := core.New(rt,
+					core.WithCheckpointInterval(c.Scale.CheckpointInterval))
 				if err != nil {
 					return 0, err
 				}

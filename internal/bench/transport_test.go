@@ -1,0 +1,227 @@
+package bench
+
+import (
+	"math"
+	"os"
+	"testing"
+	"time"
+
+	"github.com/rgml/rgml/internal/apgas"
+	"github.com/rgml/rgml/internal/apgas/transport"
+	"github.com/rgml/rgml/internal/apgas/transport/tcp"
+	"github.com/rgml/rgml/internal/chaos"
+	"github.com/rgml/rgml/internal/core"
+	"github.com/rgml/rgml/internal/la"
+)
+
+// TestMain lets the tcp transport re-exec this test binary as its worker
+// processes: a worker serves its place inside MaybeWorker and never
+// reaches m.Run.
+func TestMain(m *testing.M) {
+	tcp.MaybeWorker()
+	os.Exit(m.Run())
+}
+
+// tcpFactory builds fresh tcp backends. The timeout is generous because
+// these runs execute under -race with worker processes spawning
+// concurrently — a tight timeout turns scheduler stalls into spurious
+// deaths. SIGKILL detection stays fast regardless: the connection reset
+// reports it long before the heartbeat deadline.
+func tcpFactory() (transport.Transport, error) {
+	return tcp.New(tcp.WithHeartbeat(25*time.Millisecond, 2*time.Second)), nil
+}
+
+// backendRun captures what a run must reproduce across backends: the
+// chaos engine's kill fingerprint and the bit pattern of the final
+// iterate.
+type backendRun struct {
+	signature string
+	bits      []uint64
+	killed    int64
+	failed    int64
+}
+
+// runChaosSchedule executes one seeded chaos run of LinReg at the given
+// place count over the given backend (nil factory: the default local
+// backend) and returns its fingerprint.
+func runChaosSchedule(t *testing.T, factory func() (transport.Transport, error), places int) backendRun {
+	t.Helper()
+	cfg := Config{Scale: SmokeScale()}
+	cfg.Transport = factory
+	rt, err := cfg.newRuntime(places, true, nil)
+	if err != nil {
+		t.Fatalf("newRuntime: %v", err)
+	}
+	defer rt.Shutdown()
+	sched, err := chaos.Parse("kill(point=commit,iter=2,place=1)")
+	if err != nil {
+		t.Fatalf("chaos.Parse: %v", err)
+	}
+	eng, err := chaos.New(rt, sched, chaos.WithSeed(1))
+	if err != nil {
+		t.Fatalf("chaos.New: %v", err)
+	}
+	exec, err := core.New(rt,
+		core.WithCheckpointInterval(cfg.Scale.CheckpointInterval),
+		core.WithRestoreMode(core.Shrink),
+		core.WithChaos(eng),
+	)
+	if err != nil {
+		t.Fatalf("core.New: %v", err)
+	}
+	app, err := cfg.newResilient(LinReg, rt, exec.ActiveGroup(), places)
+	if err != nil {
+		t.Fatalf("newResilient: %v", err)
+	}
+	if err := exec.Run(app); err != nil {
+		t.Fatalf("run (transport %s): %v", rt.TransportName(), err)
+	}
+	w, err := finalIterate(app)
+	if err != nil {
+		t.Fatalf("finalIterate: %v", err)
+	}
+	st := rt.Stats()
+	return backendRun{
+		signature: eng.Signature(),
+		bits:      vectorBits(w),
+		killed:    st.PlacesKilled,
+		failed:    st.PlacesFailed,
+	}
+}
+
+// vectorBits is the exact bit pattern of a vector — cross-backend
+// invariance is bitwise, not epsilon-close.
+func vectorBits(v la.Vector) []uint64 {
+	bits := make([]uint64, len(v))
+	for i, x := range v {
+		bits[i] = math.Float64bits(x)
+	}
+	return bits
+}
+
+// TestCrossBackendChaosInvariance runs the same seeded chaos schedule over
+// the local and tcp backends at several place counts: the kill
+// fingerprints must be identical and the final iterates bitwise equal —
+// the transport seam must not perturb the emulator's determinism.
+func TestCrossBackendChaosInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	for _, places := range []int{3, 5} {
+		local := runChaosSchedule(t, nil, places)
+		over := runChaosSchedule(t, tcpFactory, places)
+		if local.signature != over.signature {
+			t.Errorf("places=%d: kill fingerprints diverge: local %q, tcp %q",
+				places, local.signature, over.signature)
+		}
+		if local.killed != over.killed || over.failed != 0 {
+			t.Errorf("places=%d: death accounting diverges: local killed=%d, tcp killed=%d failed=%d",
+				places, local.killed, over.killed, over.failed)
+		}
+		if len(local.bits) != len(over.bits) {
+			t.Fatalf("places=%d: iterate lengths diverge: %d vs %d", places, len(local.bits), len(over.bits))
+		}
+		for i := range local.bits {
+			if local.bits[i] != over.bits[i] {
+				t.Fatalf("places=%d: final iterate diverges at [%d]: %#x vs %#x",
+					places, i, local.bits[i], over.bits[i])
+			}
+		}
+	}
+}
+
+// runWithKill executes one LinReg run at 4 places, killing place 1 after
+// iteration 3 with the given kill function, and returns the final
+// iterate's bits. The kill function must not return until the runtime has
+// registered the death, so both variants observe it at the same point of
+// the iteration schedule.
+func runWithKill(t *testing.T, factory func() (transport.Transport, error), kill func(rt *apgas.Runtime, victim apgas.Place)) backendRun {
+	t.Helper()
+	const places = 4
+	cfg := Config{Scale: SmokeScale()}
+	cfg.Transport = factory
+	rt, err := cfg.newRuntime(places, true, nil)
+	if err != nil {
+		t.Fatalf("newRuntime: %v", err)
+	}
+	defer rt.Shutdown()
+	killed := false
+	victim := rt.Place(1)
+	exec, err := core.New(rt,
+		core.WithCheckpointInterval(cfg.Scale.CheckpointInterval),
+		core.WithRestoreMode(core.Shrink),
+		core.WithAfterStep(func(iter int64) {
+			if !killed && iter == 3 {
+				killed = true
+				kill(rt, victim)
+			}
+		}),
+	)
+	if err != nil {
+		t.Fatalf("core.New: %v", err)
+	}
+	app, err := cfg.newResilient(LinReg, rt, exec.ActiveGroup(), places)
+	if err != nil {
+		t.Fatalf("newResilient: %v", err)
+	}
+	if err := exec.Run(app); err != nil {
+		t.Fatalf("run (transport %s): %v", rt.TransportName(), err)
+	}
+	if exec.Metrics().Restores == 0 {
+		t.Fatalf("no restore happened (transport %s)", rt.TransportName())
+	}
+	w, err := finalIterate(app)
+	if err != nil {
+		t.Fatalf("finalIterate: %v", err)
+	}
+	st := rt.Stats()
+	return backendRun{bits: vectorBits(w), killed: st.PlacesKilled, failed: st.PlacesFailed}
+}
+
+// TestRealProcessKillMatchesLocalChaosKill is the acceptance check for
+// transport fidelity: SIGKILLing a real worker process under the tcp
+// backend — death discovered by the heartbeat failure detector, not an
+// administrative mark — must recover to the same final weights as an
+// equivalent administrative kill under the local backend.
+func TestRealProcessKillMatchesLocalChaosKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and SIGKILLs worker processes")
+	}
+	local := runWithKill(t, nil, func(rt *apgas.Runtime, victim apgas.Place) {
+		if err := rt.Kill(victim); err != nil {
+			t.Errorf("kill: %v", err)
+		}
+	})
+	if local.killed != 1 || local.failed != 0 {
+		t.Fatalf("local run: killed=%d failed=%d, want 1/0", local.killed, local.failed)
+	}
+
+	over := runWithKill(t, tcpFactory, func(rt *apgas.Runtime, victim apgas.Place) {
+		tp, ok := rt.Transport().(*tcp.Transport)
+		if !ok {
+			t.Fatalf("transport is %T, want *tcp.Transport", rt.Transport())
+		}
+		if err := tp.KillWorkerProcess(victim.ID); err != nil {
+			t.Fatalf("KillWorkerProcess: %v", err)
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for !rt.IsDead(victim) {
+			if time.Now().After(deadline) {
+				t.Fatalf("place %v not declared dead within 10s of its process dying", victim)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	})
+	// The death must have come through the failure detector, not Kill.
+	if over.killed != 0 || over.failed != 1 {
+		t.Fatalf("tcp run: killed=%d failed=%d, want 0/1", over.killed, over.failed)
+	}
+	if len(local.bits) != len(over.bits) {
+		t.Fatalf("iterate lengths diverge: %d vs %d", len(local.bits), len(over.bits))
+	}
+	for i := range local.bits {
+		if local.bits[i] != over.bits[i] {
+			t.Fatalf("final iterate diverges at [%d]: %#x vs %#x", i, local.bits[i], over.bits[i])
+		}
+	}
+}

@@ -1,0 +1,192 @@
+// Package cliflags defines the runtime-construction flags shared by the
+// rgml commands (rgmlrun, rgmlbench), so a new runtime option — finish
+// architecture, snapshot-store redundancy, kernel workers, transport
+// backend — is declared and parsed in exactly one place.
+//
+// Usage:
+//
+//	var rf cliflags.Runtime
+//	rf.Register(fs)
+//	fs.Parse(args)
+//	mode, err := rf.FinishMode()
+//	pol, err := rf.StorePolicy()
+//	factory, err := rf.TransportFactory(reg)
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/rgml/rgml/internal/apgas"
+	"github.com/rgml/rgml/internal/apgas/transport"
+	"github.com/rgml/rgml/internal/apgas/transport/tcp"
+	"github.com/rgml/rgml/internal/core"
+	"github.com/rgml/rgml/internal/obs"
+)
+
+// Runtime collects the flag values that configure runtime construction.
+// Register binds them to a FlagSet; the accessor methods validate and
+// translate them into runtime types.
+type Runtime struct {
+	// Finish is the resilient-finish architecture: "central" or "sharded".
+	Finish string
+	// Placement, Redundancy and Shards assemble the snapshot store's
+	// redundancy policy (see StorePolicy).
+	Placement  string
+	Redundancy int
+	Shards     string
+	// Workers is the intra-place kernel worker pool size (0: RGML_WORKERS
+	// or the CPU count).
+	Workers int
+	// Transport selects the communication backend: "local" (in-process,
+	// deterministic — the default) or "tcp" (one place per OS process).
+	Transport string
+	// HBInterval and HBTimeout parameterize the tcp backend's heartbeat
+	// failure detector. Zero keeps the transport defaults.
+	HBInterval time.Duration
+	HBTimeout  time.Duration
+}
+
+// Register declares the shared flags on fs. Command-specific flags (such
+// as -places, whose shape differs between the commands) stay with their
+// command.
+func (r *Runtime) Register(fs *flag.FlagSet) {
+	fs.StringVar(&r.Finish, "finish", "central",
+		"resilient-finish architecture: central (place-zero ledger) or sharded (home-based shards with a local fast path)")
+	fs.StringVar(&r.Placement, "placement", "",
+		"snapshot store placement: replicate or erasure (default replicate)")
+	fs.IntVar(&r.Redundancy, "redundancy", 0,
+		"replica count k for the replicate placement (default 2; 1 disables backups)")
+	fs.StringVar(&r.Shards, "shards", "",
+		"erasure geometry as d,p data/parity shards (default 4,1)")
+	fs.IntVar(&r.Workers, "workers", 0,
+		"intra-place kernel worker pool size (0: RGML_WORKERS or CPU count)")
+	fs.StringVar(&r.Transport, "transport", "local",
+		"communication backend: local (in-process, deterministic) or tcp (one place per OS process, heartbeat failure detection)")
+	fs.DurationVar(&r.HBInterval, "hb-interval", 0,
+		"tcp transport heartbeat interval (0: transport default)")
+	fs.DurationVar(&r.HBTimeout, "hb-timeout", 0,
+		"tcp transport heartbeat silence threshold before a place is declared dead (0: transport default)")
+}
+
+// FinishMode translates the -finish flag.
+func (r *Runtime) FinishMode() (apgas.FinishMode, error) {
+	m, err := apgas.ParseFinishMode(r.Finish)
+	if err != nil {
+		return m, fmt.Errorf("-finish: %w", err)
+	}
+	return m, nil
+}
+
+// StorePolicy assembles the snapshot-store redundancy policy from the
+// -placement/-redundancy/-shards flags. All unset keeps the zero policy —
+// the store's paper-faithful default (replicate, k=2).
+func (r *Runtime) StorePolicy() (apgas.StorePolicy, error) {
+	var sp apgas.StorePolicy
+	if r.Placement == "" && r.Redundancy == 0 && r.Shards == "" {
+		return sp, nil
+	}
+	if r.Placement != "" {
+		p, err := apgas.ParsePlacement(r.Placement)
+		if err != nil {
+			return sp, fmt.Errorf("-placement: %w", err)
+		}
+		sp.Placement = p
+	} else if r.Shards != "" {
+		// -shards alone implies erasure.
+		sp.Placement = apgas.PlacementErasure
+	}
+	if r.Redundancy > 0 {
+		if sp.Placement == apgas.PlacementErasure {
+			return sp, fmt.Errorf("-redundancy applies to the replicate placement; size erasure with -shards d,p")
+		}
+		sp.Replicas = r.Redundancy
+	}
+	if r.Shards != "" {
+		if sp.Placement != apgas.PlacementErasure {
+			return sp, fmt.Errorf("-shards applies to the erasure placement (add -placement erasure)")
+		}
+		dp, err := ParseInts(r.Shards)
+		if err != nil || len(dp) != 2 {
+			return sp, fmt.Errorf("-shards: want d,p (e.g. 4,1), got %q", r.Shards)
+		}
+		sp.DataShards, sp.ParityShards = dp[0], dp[1]
+	}
+	if err := sp.Validate(); err != nil {
+		return sp, err
+	}
+	return sp, nil
+}
+
+// TransportFactory translates the -transport flag into a constructor for
+// fresh backend instances (a transport is single-use: one runtime, one
+// Start/Close lifecycle). It returns nil for "local" — the runtime's
+// default backend — and an error for unknown names. The tcp backend's
+// wire instrumentation lands in reg (which may be nil).
+func (r *Runtime) TransportFactory(reg *obs.Registry) (func() (transport.Transport, error), error) {
+	switch r.Transport {
+	case "", "local":
+		return nil, nil
+	case "tcp":
+		interval, timeout := r.HBInterval, r.HBTimeout
+		return func() (transport.Transport, error) {
+			return tcp.New(tcp.WithHeartbeat(interval, timeout), tcp.WithObs(reg)), nil
+		}, nil
+	default:
+		return nil, fmt.Errorf("-transport: unknown backend %q (want local or tcp)", r.Transport)
+	}
+}
+
+// MaybeWorker turns this process into a transport worker place and never
+// returns when a worker environment variable is set; it is a no-op
+// otherwise. Call it first in main() of every command that can create a
+// runtime over a multi-process transport.
+func MaybeWorker() { tcp.MaybeWorker() }
+
+// ParseRestoreMode maps a mode flag value to its RestoreMode.
+func ParseRestoreMode(name string) (core.RestoreMode, error) {
+	switch name {
+	case "shrink":
+		return core.Shrink, nil
+	case "shrink-rebalance":
+		return core.ShrinkRebalance, nil
+	case "replace-redundant":
+		return core.ReplaceRedundant, nil
+	case "replace-elastic":
+		return core.ReplaceElastic, nil
+	}
+	return 0, fmt.Errorf("unknown restore mode %q", name)
+}
+
+// ParseInts parses a comma-separated list of positive ints (place counts,
+// shard geometries).
+func ParseInts(csv string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(csv, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("value %d out of range", n)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// ParseSeeds parses a comma-separated seed list.
+func ParseSeeds(csv string) ([]uint64, error) {
+	var out []uint64
+	for _, part := range strings.Split(csv, ",") {
+		n, err := strconv.ParseUint(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -1,0 +1,116 @@
+package cliflags
+
+import (
+	"flag"
+	"testing"
+	"time"
+
+	"github.com/rgml/rgml/internal/apgas"
+	"github.com/rgml/rgml/internal/core"
+)
+
+// parse registers a Runtime on a fresh FlagSet and parses args into it.
+func parse(t *testing.T, args ...string) *Runtime {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var rf Runtime
+	rf.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("parse %v: %v", args, err)
+	}
+	return &rf
+}
+
+func TestDefaultsAreLocalCentralZeroPolicy(t *testing.T) {
+	rf := parse(t)
+	mode, err := rf.FinishMode()
+	if err != nil || mode != apgas.FinishCentral {
+		t.Fatalf("FinishMode() = %v, %v; want central", mode, err)
+	}
+	pol, err := rf.StorePolicy()
+	if err != nil || !pol.IsZero() {
+		t.Fatalf("StorePolicy() = %v, %v; want zero policy", pol, err)
+	}
+	factory, err := rf.TransportFactory(nil)
+	if err != nil || factory != nil {
+		t.Fatalf("TransportFactory() err=%v, factory non-nil=%v; want nil factory (local default)", err, factory != nil)
+	}
+}
+
+func TestFinishModeSharded(t *testing.T) {
+	rf := parse(t, "-finish", "sharded")
+	mode, err := rf.FinishMode()
+	if err != nil || mode != apgas.FinishSharded {
+		t.Fatalf("FinishMode() = %v, %v; want sharded", mode, err)
+	}
+	if _, err := parse(t, "-finish", "nonsense").FinishMode(); err == nil {
+		t.Fatal("unknown finish mode accepted")
+	}
+}
+
+func TestStorePolicyAssembly(t *testing.T) {
+	pol, err := parse(t, "-redundancy", "3").StorePolicy()
+	if err != nil || pol.Placement != apgas.PlacementReplicate || pol.Replicas != 3 {
+		t.Fatalf("replicate k=3: got %v, %v", pol, err)
+	}
+	pol, err = parse(t, "-shards", "3,2").StorePolicy()
+	if err != nil || pol.Placement != apgas.PlacementErasure || pol.DataShards != 3 || pol.ParityShards != 2 {
+		t.Fatalf("-shards alone should imply erasure 3+2: got %v, %v", pol, err)
+	}
+	if _, err := parse(t, "-placement", "erasure", "-redundancy", "2").StorePolicy(); err == nil {
+		t.Fatal("-redundancy with erasure accepted")
+	}
+	if _, err := parse(t, "-placement", "replicate", "-shards", "3,2").StorePolicy(); err == nil {
+		t.Fatal("-shards with replicate accepted")
+	}
+}
+
+func TestTransportFactoryTCP(t *testing.T) {
+	rf := parse(t, "-transport", "tcp", "-hb-interval", "10ms", "-hb-timeout", "100ms")
+	factory, err := rf.TransportFactory(nil)
+	if err != nil || factory == nil {
+		t.Fatalf("TransportFactory() err=%v, factory non-nil=%v; want tcp factory", err, factory != nil)
+	}
+	tp, err := factory()
+	if err != nil {
+		t.Fatalf("factory: %v", err)
+	}
+	if tp.Name() != "tcp" {
+		t.Fatalf("factory built %q, want tcp", tp.Name())
+	}
+	// Never started; Close must still be clean (single-use lifecycle).
+	if err := tp.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := parse(t, "-transport", "carrier-pigeon").TransportFactory(nil); err == nil {
+		t.Fatal("unknown transport accepted")
+	}
+}
+
+func TestParseHelpers(t *testing.T) {
+	ints, err := ParseInts(" 2, 4,8 ")
+	if err != nil || len(ints) != 3 || ints[0] != 2 || ints[2] != 8 {
+		t.Fatalf("ParseInts: %v, %v", ints, err)
+	}
+	if _, err := ParseInts("0"); err == nil {
+		t.Fatal("ParseInts accepted 0")
+	}
+	seeds, err := ParseSeeds("1, 2,3")
+	if err != nil || len(seeds) != 3 || seeds[2] != 3 {
+		t.Fatalf("ParseSeeds: %v, %v", seeds, err)
+	}
+	mode, err := ParseRestoreMode("replace-redundant")
+	if err != nil || mode != core.ReplaceRedundant {
+		t.Fatalf("ParseRestoreMode: %v, %v", mode, err)
+	}
+	if _, err := ParseRestoreMode("nope"); err == nil {
+		t.Fatal("unknown restore mode accepted")
+	}
+}
+
+func TestHeartbeatFlagsAreDurations(t *testing.T) {
+	rf := parse(t, "-hb-interval", "25ms", "-hb-timeout", "125ms")
+	if rf.HBInterval != 25*time.Millisecond || rf.HBTimeout != 125*time.Millisecond {
+		t.Fatalf("heartbeat flags: %v/%v", rf.HBInterval, rf.HBTimeout)
+	}
+}

@@ -35,7 +35,7 @@ func xVal(i int) float64 { return float64(i%7) + 1 }
 // apgas.Config.Obs) are visible through exec.Registry().
 func newObsRT(t *testing.T, places int) *apgas.Runtime {
 	t.Helper()
-	rt, err := apgas.NewRuntime(apgas.Config{Places: places, Resilient: true, Obs: obs.NewRegistry()})
+	rt, err := apgas.New(apgas.WithPlaces(places), apgas.WithResilient(true), apgas.WithObs(obs.NewRegistry()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,13 +139,13 @@ func TestExecutorDeltaCarryForwardChaosCommitKill(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		exec, err := core.NewExecutor(rt, core.Config{
-			CheckpointInterval: 3,
-			Mode:               core.ReplaceRedundant,
-			Spares:             1,
-			Delta:              delta,
-			Chaos:              eng,
-		})
+		exec, err := core.New(rt,
+			core.WithCheckpointInterval(3),
+			core.WithRestoreMode(core.ReplaceRedundant),
+			core.WithSpares(1),
+			core.WithDelta(delta),
+			core.WithChaos(eng),
+		)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -223,12 +223,12 @@ func TestExecutorDeltaCarryForwardChaosCommitKill(t *testing.T) {
 func TestExecutorPartialRestoreLoadsOnlyDeadOwner(t *testing.T) {
 	rt := newObsRT(t, 5)
 	victim := rt.Place(1)
-	exec, err := core.NewExecutor(rt, core.Config{
-		CheckpointInterval: 5,
-		Mode:               core.ReplaceRedundant,
-		Spares:             1,
-		AfterStep:          killAt(t, rt, victim, 7),
-	})
+	exec, err := core.New(rt,
+		core.WithCheckpointInterval(5),
+		core.WithRestoreMode(core.ReplaceRedundant),
+		core.WithSpares(1),
+		core.WithAfterStep(killAt(t, rt, victim, 7)),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,11 +283,11 @@ func TestExecutorReadOnlyRefreshSurvivesSecondFailure(t *testing.T) {
 			once2.Do(func() { _ = rt.Kill(rt.Place(2)) })
 		}
 	}
-	exec, err := core.NewExecutor(rt, core.Config{
-		CheckpointInterval: 3,
-		Mode:               core.Shrink,
-		AfterStep:          hook,
-	})
+	exec, err := core.New(rt,
+		core.WithCheckpointInterval(3),
+		core.WithRestoreMode(core.Shrink),
+		core.WithAfterStep(hook),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}

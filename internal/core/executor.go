@@ -197,9 +197,10 @@ func newExecInstr(reg *obs.Registry) execInstr {
 // NewExecutor builds an executor over rt's initial world, reserving
 // cfg.Spares places for ReplaceRedundant.
 //
-// Deprecated: prefer New with functional options (WithCheckpointInterval,
-// WithRestoreMode, WithSpares, WithChaos, …). NewExecutor remains so
-// existing Config-literal callers keep compiling.
+// Deprecated: this is a compatibility-only shim for external
+// Config-literal callers; nothing inside the repo uses it anymore. Use
+// New with functional options (WithCheckpointInterval, WithRestoreMode,
+// WithSpares, WithChaos, …).
 func NewExecutor(rt *apgas.Runtime, cfg Config) (*Executor, error) {
 	world := rt.World()
 	if cfg.Spares < 0 || cfg.Spares >= world.Size() {

@@ -15,10 +15,10 @@ import (
 func TestExecutorFailureDuringCheckpoint(t *testing.T) {
 	rt := newRT(t, 4)
 	var once sync.Once
-	exec, err := core.NewExecutor(rt, core.Config{
-		CheckpointInterval: 5,
-		Mode:               core.Shrink,
-		AfterStep: func(iter int64) {
+	exec, err := core.New(rt,
+		core.WithCheckpointInterval(5),
+		core.WithRestoreMode(core.Shrink),
+		core.WithAfterStep(func(iter int64) {
 			// Fires after iteration 5 completes; the checkpoint before
 			// iteration 5 already committed, so the one before iteration
 			// 10 is the first operation to hit the dead place... unless a
@@ -26,8 +26,8 @@ func TestExecutorFailureDuringCheckpoint(t *testing.T) {
 			if iter == 5 {
 				once.Do(func() { _ = rt.Kill(rt.Place(3)) })
 			}
-		},
-	})
+		}),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,14 +52,14 @@ func TestExecutorFailureDuringCheckpoint(t *testing.T) {
 func TestExecutorImmediateFailureRecoversFromInitialCheckpoint(t *testing.T) {
 	rt := newRT(t, 3)
 	var once sync.Once
-	exec, err := core.NewExecutor(rt, core.Config{
-		CheckpointInterval: 10,
-		AfterStep: func(iter int64) {
+	exec, err := core.New(rt,
+		core.WithCheckpointInterval(10),
+		core.WithAfterStep(func(iter int64) {
 			if iter == 1 {
 				once.Do(func() { _ = rt.Kill(rt.Place(1)) })
 			}
-		},
-	})
+		}),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,19 +77,19 @@ func TestExecutorImmediateFailureRecoversFromInitialCheckpoint(t *testing.T) {
 func TestExecutorGiveUpAfterMaxRestores(t *testing.T) {
 	rt := newRT(t, 6)
 	next := 1
-	exec, err := core.NewExecutor(rt, core.Config{
-		CheckpointInterval: 2,
-		Mode:               core.Shrink,
-		MaxRestores:        2,
-		AfterStep: func(iter int64) {
+	exec, err := core.New(rt,
+		core.WithCheckpointInterval(2),
+		core.WithRestoreMode(core.Shrink),
+		core.WithMaxRestores(2),
+		core.WithAfterStep(func(iter int64) {
 			// Kill another place after every iteration: recovery can never
 			// outrun the failures.
 			if next < 5 {
 				_ = rt.Kill(rt.Place(next))
 				next++
 			}
-		},
-	})
+		}),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,14 +108,14 @@ func TestExecutorGiveUpAfterMaxRestores(t *testing.T) {
 func TestExecutorMetricsTimings(t *testing.T) {
 	rt := newRT(t, 3)
 	var once sync.Once
-	exec, err := core.NewExecutor(rt, core.Config{
-		CheckpointInterval: 3,
-		AfterStep: func(iter int64) {
+	exec, err := core.New(rt,
+		core.WithCheckpointInterval(3),
+		core.WithAfterStep(func(iter int64) {
 			if iter == 4 {
 				once.Do(func() { _ = rt.Kill(rt.Place(2)) })
 			}
-		},
-	})
+		}),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -68,7 +68,7 @@ func (a *counterApp) Restore(newPG apgas.PlaceGroup, store *core.AppResilientSto
 
 func newRT(t *testing.T, places int) *apgas.Runtime {
 	t.Helper()
-	rt, err := apgas.NewRuntime(apgas.Config{Places: places, Resilient: true})
+	rt, err := apgas.New(apgas.WithPlaces(places), apgas.WithResilient(true))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +92,7 @@ func verify(t *testing.T, a *counterApp) {
 
 func TestExecutorNoFailure(t *testing.T) {
 	rt := newRT(t, 4)
-	exec, err := core.NewExecutor(rt, core.Config{CheckpointInterval: 10})
+	exec, err := core.New(rt, core.WithCheckpointInterval(10))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,11 +135,11 @@ func TestExecutorShrinkRecovery(t *testing.T) {
 		t.Run(mode.String(), func(t *testing.T) {
 			rt := newRT(t, 4)
 			victim := rt.Place(2)
-			exec, err := core.NewExecutor(rt, core.Config{
-				CheckpointInterval: 10,
-				Mode:               mode,
-				AfterStep:          killAt(t, rt, victim, 15),
-			})
+			exec, err := core.New(rt,
+				core.WithCheckpointInterval(10),
+				core.WithRestoreMode(mode),
+				core.WithAfterStep(killAt(t, rt, victim, 15)),
+			)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -168,12 +168,12 @@ func TestExecutorShrinkRecovery(t *testing.T) {
 func TestExecutorReplaceRedundant(t *testing.T) {
 	rt := newRT(t, 5)
 	victim := rt.Place(1)
-	exec, err := core.NewExecutor(rt, core.Config{
-		CheckpointInterval: 5,
-		Mode:               core.ReplaceRedundant,
-		Spares:             1,
-		AfterStep:          killAt(t, rt, victim, 7),
-	})
+	exec, err := core.New(rt,
+		core.WithCheckpointInterval(5),
+		core.WithRestoreMode(core.ReplaceRedundant),
+		core.WithSpares(1),
+		core.WithAfterStep(killAt(t, rt, victim, 7)),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,13 +214,13 @@ func TestExecutorReplaceRedundantFallback(t *testing.T) {
 			})
 		}
 	}
-	exec2, err := core.NewExecutor(rt, core.Config{
-		CheckpointInterval: 5,
-		Mode:               core.ReplaceRedundant,
-		Fallback:           core.Shrink,
-		Spares:             1,
-		AfterStep:          hook,
-	})
+	exec2, err := core.New(rt,
+		core.WithCheckpointInterval(5),
+		core.WithRestoreMode(core.ReplaceRedundant),
+		core.WithFallback(core.Shrink),
+		core.WithSpares(1),
+		core.WithAfterStep(hook),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,11 +250,11 @@ func TestExecutorReplaceRedundantFallback(t *testing.T) {
 func TestExecutorReplaceElastic(t *testing.T) {
 	rt := newRT(t, 4)
 	victim := rt.Place(3)
-	exec, err := core.NewExecutor(rt, core.Config{
-		CheckpointInterval: 5,
-		Mode:               core.ReplaceElastic,
-		AfterStep:          killAt(t, rt, victim, 6),
-	})
+	exec, err := core.New(rt,
+		core.WithCheckpointInterval(5),
+		core.WithRestoreMode(core.ReplaceElastic),
+		core.WithAfterStep(killAt(t, rt, victim, 6)),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,11 +277,11 @@ func TestExecutorReplaceElastic(t *testing.T) {
 
 func TestExecutorFailureWithoutCheckpointing(t *testing.T) {
 	rt := newRT(t, 3)
-	exec, err := core.NewExecutor(rt, core.Config{
+	exec, err := core.New(rt,
 		// No checkpoints: a failure is unrecoverable.
-		CheckpointInterval: 0,
-		AfterStep:          killAt(t, rt, rt.Place(1), 2),
-	})
+		core.WithCheckpointInterval(0),
+		core.WithAfterStep(killAt(t, rt, rt.Place(1), 2)),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,11 +303,11 @@ func TestExecutorMultipleSequentialFailures(t *testing.T) {
 			once2.Do(func() { _ = rt.Kill(rt.Place(2)) })
 		}
 	}
-	exec, err := core.NewExecutor(rt, core.Config{
-		CheckpointInterval: 3,
-		Mode:               core.ShrinkRebalance,
-		AfterStep:          hook,
-	})
+	exec, err := core.New(rt,
+		core.WithCheckpointInterval(3),
+		core.WithRestoreMode(core.ShrinkRebalance),
+		core.WithAfterStep(hook),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,16 +326,16 @@ func TestExecutorMultipleSequentialFailures(t *testing.T) {
 
 func TestNewExecutorValidation(t *testing.T) {
 	rt := newRT(t, 3)
-	if _, err := core.NewExecutor(rt, core.Config{Spares: 3}); err == nil {
+	if _, err := core.New(rt, core.WithSpares(3)); err == nil {
 		t.Error("all-spare config accepted")
 	}
-	if _, err := core.NewExecutor(rt, core.Config{Spares: -1}); err == nil {
+	if _, err := core.New(rt, core.WithSpares(-1)); err == nil {
 		t.Error("negative spares accepted")
 	}
-	if _, err := core.NewExecutor(rt, core.Config{CheckpointInterval: -1}); err == nil {
+	if _, err := core.New(rt, core.WithCheckpointInterval(-1)); err == nil {
 		t.Error("negative interval accepted")
 	}
-	if _, err := core.NewExecutor(rt, core.Config{Fallback: core.ReplaceRedundant}); err == nil {
+	if _, err := core.New(rt, core.WithFallback(core.ReplaceRedundant)); err == nil {
 		t.Error("invalid fallback accepted")
 	}
 }

@@ -15,11 +15,11 @@ func TestFailurePlanInjectsOnceEach(t *testing.T) {
 		core.FailureEvent{AfterIteration: 4, Place: rt.Place(2)},
 		core.FailureEvent{AfterIteration: 9, Place: rt.Place(4)},
 	)
-	exec, err := core.NewExecutor(rt, core.Config{
-		CheckpointInterval: 3,
-		Mode:               core.Shrink,
-		AfterStep:          plan.AfterStep(rt),
-	})
+	exec, err := core.New(rt,
+		core.WithCheckpointInterval(3),
+		core.WithRestoreMode(core.Shrink),
+		core.WithAfterStep(plan.AfterStep(rt)),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,14 +76,14 @@ func TestFailurePlanSortsEvents(t *testing.T) {
 func TestYoungAutoInterval(t *testing.T) {
 	rt := newRT(t, 4)
 	plan := core.NewFailurePlan(core.FailureEvent{AfterIteration: 10, Place: rt.Place(3)})
-	exec, err := core.NewExecutor(rt, core.Config{
+	exec, err := core.New(rt,
 		// No fixed interval: Young's formula drives the schedule. A short
 		// MTTF forces frequent checkpoints so the run exercises the
 		// recalibration path.
-		MTTF:      50 * time.Millisecond,
-		Mode:      core.Shrink,
-		AfterStep: plan.AfterStep(rt),
-	})
+		core.WithMTTF(50*time.Millisecond),
+		core.WithRestoreMode(core.Shrink),
+		core.WithAfterStep(plan.AfterStep(rt)),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +108,7 @@ func TestYoungAutoIntervalGrowsWithMTTF(t *testing.T) {
 	// With an enormous MTTF the optimal interval is huge: after the
 	// initial checkpoint the executor should not checkpoint again.
 	rt := newRT(t, 3)
-	exec, err := core.NewExecutor(rt, core.Config{MTTF: time.Hour})
+	exec, err := core.New(rt, core.WithMTTF(time.Hour))
 	if err != nil {
 		t.Fatal(err)
 	}

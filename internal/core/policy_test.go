@@ -15,9 +15,12 @@ import (
 // the runtime, the way rgmlrun's -placement/-redundancy flags do it.
 func newStoreRT(t *testing.T, places int, pol apgas.StorePolicy) *apgas.Runtime {
 	t.Helper()
-	rt, err := apgas.NewRuntime(apgas.Config{
-		Places: places, Resilient: true, Obs: obs.NewRegistry(), Store: pol,
-	})
+	rt, err := apgas.New(
+		apgas.WithPlaces(places),
+		apgas.WithResilient(true),
+		apgas.WithObs(obs.NewRegistry()),
+		apgas.WithStorePolicy(pol),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,13 +248,13 @@ func TestExecutorPartialRestoreWithSpareAndDelta(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	exec, err := core.NewExecutor(rt, core.Config{
-		CheckpointInterval: 2,
-		Mode:               core.ReplaceRedundant,
-		Spares:             1,
-		Delta:              true,
-		Chaos:              eng,
-	})
+	exec, err := core.New(rt,
+		core.WithCheckpointInterval(2),
+		core.WithRestoreMode(core.ReplaceRedundant),
+		core.WithSpares(1),
+		core.WithDelta(true),
+		core.WithChaos(eng),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -18,7 +18,7 @@ import (
 func TestCheckpointCycleReusesBuffers(t *testing.T) {
 	defer debug.SetGCPercent(debug.SetGCPercent(-1))
 
-	rt, err := apgas.NewRuntime(apgas.Config{Places: 4, Resilient: true})
+	rt, err := apgas.New(apgas.WithPlaces(4), apgas.WithResilient(true))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +79,7 @@ func TestCheckpointCycleReusesBuffers(t *testing.T) {
 func TestRestoreThenCheckpointReusesBuffers(t *testing.T) {
 	defer debug.SetGCPercent(debug.SetGCPercent(-1))
 
-	rt, err := apgas.NewRuntime(apgas.Config{Places: 4, Resilient: true})
+	rt, err := apgas.New(apgas.WithPlaces(4), apgas.WithResilient(true))
 	if err != nil {
 		t.Fatal(err)
 	}

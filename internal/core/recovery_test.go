@@ -49,12 +49,12 @@ func traceCount(reg *obs.Registry, name string) int {
 func TestExecutorFailureDuringRestore(t *testing.T) {
 	rt := newRT(t, 6)
 	plan := core.NewFailurePlan(core.FailureEvent{AfterIteration: 6, Place: rt.Place(1)})
-	exec, err := core.NewExecutor(rt, core.Config{
-		CheckpointInterval: 5,
-		Mode:               core.ReplaceRedundant,
-		Spares:             2,
-		AfterStep:          plan.AfterStep(rt),
-	})
+	exec, err := core.New(rt,
+		core.WithCheckpointInterval(5),
+		core.WithRestoreMode(core.ReplaceRedundant),
+		core.WithSpares(2),
+		core.WithAfterStep(plan.AfterStep(rt)),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,13 +138,13 @@ func TestExecutorFailureDuringRestore(t *testing.T) {
 func TestExecutorSpareExhaustionDuringRestore(t *testing.T) {
 	rt := newRT(t, 5)
 	victim := rt.Place(1)
-	exec, err := core.NewExecutor(rt, core.Config{
-		CheckpointInterval: 5,
-		Mode:               core.ReplaceRedundant,
-		Fallback:           core.Shrink,
-		Spares:             1,
-		AfterStep:          killAt(t, rt, victim, 6),
-	})
+	exec, err := core.New(rt,
+		core.WithCheckpointInterval(5),
+		core.WithRestoreMode(core.ReplaceRedundant),
+		core.WithFallback(core.Shrink),
+		core.WithSpares(1),
+		core.WithAfterStep(killAt(t, rt, victim, 6)),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,12 +172,12 @@ func TestExecutorSpareExhaustionDuringRestore(t *testing.T) {
 // spinning.
 func TestExecutorRestoreAttemptExhaustion(t *testing.T) {
 	rt := newRT(t, 4)
-	exec, err := core.NewExecutor(rt, core.Config{
-		CheckpointInterval: 2,
-		Mode:               core.Shrink,
-		MaxRestores:        3,
-		AfterStep:          killAt(t, rt, rt.Place(2), 3),
-	})
+	exec, err := core.New(rt,
+		core.WithCheckpointInterval(2),
+		core.WithRestoreMode(core.Shrink),
+		core.WithMaxRestores(3),
+		core.WithAfterStep(killAt(t, rt, rt.Place(2), 3)),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}

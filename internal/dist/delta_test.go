@@ -14,7 +14,7 @@ import (
 func newInstrumentedRT(t *testing.T, places int) (*apgas.Runtime, *obs.Registry) {
 	t.Helper()
 	reg := obs.NewRegistry()
-	rt, err := apgas.NewRuntime(apgas.Config{Places: places, Resilient: true, Obs: reg})
+	rt, err := apgas.New(apgas.WithPlaces(places), apgas.WithResilient(true), apgas.WithObs(reg))
 	if err != nil {
 		t.Fatal(err)
 	}

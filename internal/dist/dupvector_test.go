@@ -9,7 +9,7 @@ import (
 
 func newRT(t *testing.T, places int) *apgas.Runtime {
 	t.Helper()
-	rt, err := apgas.NewRuntime(apgas.Config{Places: places, Resilient: true})
+	rt, err := apgas.New(apgas.WithPlaces(places), apgas.WithResilient(true))
 	if err != nil {
 		t.Fatal(err)
 	}

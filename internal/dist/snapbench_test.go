@@ -15,7 +15,7 @@ import (
 // work. Sparse uses the same geometry with ~1% density.
 func benchBlockMatrix(b *testing.B, kind block.Kind) (*apgas.Runtime, *DistBlockMatrix) {
 	b.Helper()
-	rt, err := apgas.NewRuntime(apgas.Config{Places: 4, Resilient: true})
+	rt, err := apgas.New(apgas.WithPlaces(4), apgas.WithResilient(true))
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -640,7 +640,7 @@ func (s *Snapshot) save(ctx *apgas.Ctx, key int, e *entry) {
 		next := s.pg[s.slotOf(idx, i)]
 		s.instr.replicas.Inc()
 		s.instr.backupBytes.Add(int64(len(e.data)))
-		ctx.Transfer(next, len(e.data))
+		ctx.TransferBytes(next, e.data)
 		ctx.AsyncAt(next, func(c *apgas.Ctx) {
 			s.putReplica(c, key, e, idx)
 		})
@@ -731,7 +731,7 @@ func (s *Snapshot) Load(ctx *apgas.Ctx, key, ownerIdx int) ([]byte, error) {
 				if found {
 					// Charged (and counted) at fetch time; see the byte
 					// accounting note in the doc comment.
-					c.Transfer(origin, len(e.data))
+					c.TransferBytes(origin, e.data)
 					s.instr.loadBytes.Add(int64(len(e.data)))
 				}
 			})

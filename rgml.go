@@ -25,6 +25,8 @@ import (
 	"time"
 
 	"github.com/rgml/rgml/internal/apgas"
+	"github.com/rgml/rgml/internal/apgas/transport"
+	"github.com/rgml/rgml/internal/apgas/transport/tcp"
 	"github.com/rgml/rgml/internal/apps"
 	"github.com/rgml/rgml/internal/block"
 	"github.com/rgml/rgml/internal/chaos"
@@ -119,7 +121,8 @@ func NewRuntimeWith(opts ...RuntimeOption) (*Runtime, error) { return apgas.New(
 
 // NewRuntime creates an emulated APGAS runtime from a Config literal.
 //
-// Deprecated: use NewRuntimeWith with functional options.
+// Deprecated: compatibility-only shim for external Config-literal
+// callers. Use NewRuntimeWith with functional options.
 func NewRuntime(cfg RuntimeConfig) (*Runtime, error) { return apgas.NewRuntime(cfg) }
 
 // WithPlaces sets the number of places to create (at least 1).
@@ -154,6 +157,58 @@ func WithRuntimeObs(reg *MetricsRegistry) RuntimeOption { return apgas.WithObs(r
 // every worker count — the deterministic chunking contract of
 // internal/par — so the knob only affects throughput, never results.
 func WithKernelWorkers(n int) RuntimeOption { return apgas.WithKernelWorkers(n) }
+
+// Transport surface. The runtime's communication seam is pluggable: the
+// default in-process backend preserves the emulator's deterministic
+// single-process semantics, while the TCP backend runs one place per OS
+// process so failures are real process deaths detected by heartbeat.
+type (
+	// Transport is the runtime's communication backend: message delivery
+	// between places, administrative kills, and place-death reporting.
+	Transport = transport.Transport
+	// TransportClass tags each message with its traffic class (task,
+	// control, data or snapshot) for per-class accounting.
+	TransportClass = transport.Class
+	// TCPOption configures NewTCPTransport.
+	TCPOption = tcp.Option
+)
+
+// WithTransport plugs a communication backend into the runtime. The
+// default (nil) is the in-process local backend, which keeps runs
+// bit-identical to the pre-seam emulator.
+func WithTransport(tp Transport) RuntimeOption { return apgas.WithTransport(tp) }
+
+// NewTCPTransport returns the multi-process TCP backend: the coordinator
+// listens on a loopback address, spawns (or accepts) one worker process
+// per place, and declares places dead when their heartbeats stop or the
+// connection drops. Pair with WithTransport.
+func NewTCPTransport(opts ...TCPOption) Transport { return tcp.New(opts...) }
+
+// WithTCPAddr sets the coordinator listen address (default "127.0.0.1:0").
+func WithTCPAddr(addr string) TCPOption { return tcp.WithAddr(addr) }
+
+// WithTCPHeartbeat sets the heartbeat interval and the silence threshold
+// after which a place is declared dead.
+func WithTCPHeartbeat(interval, timeout time.Duration) TCPOption {
+	return tcp.WithHeartbeat(interval, timeout)
+}
+
+// WithTCPObs wires the TCP backend's wire-level instrumentation into reg.
+func WithTCPObs(reg *MetricsRegistry) TCPOption { return tcp.WithObs(reg) }
+
+// MaybeTCPWorker turns this process into a TCP transport worker place and
+// never returns when the worker environment variable is set; it is a
+// no-op otherwise. Call it first in main() of any binary that creates a
+// runtime over NewTCPTransport, so the backend can re-exec the binary as
+// its worker processes.
+func MaybeTCPWorker() { tcp.MaybeWorker() }
+
+// ServeTCPWorker joins a TCP transport coordinator at addr as the worker
+// body for the given place and blocks until dismissed or killed — the
+// explicit form of the worker side for externally managed processes.
+func ServeTCPWorker(addr string, place int, interval, timeout time.Duration) error {
+	return tcp.ServeWorker(addr, place, interval, timeout)
+}
 
 // IsDeadPlace reports whether err contains a DeadPlaceError.
 func IsDeadPlace(err error) bool { return apgas.IsDeadPlace(err) }
@@ -309,7 +364,8 @@ func NewExecutorWith(rt *Runtime, opts ...ExecutorOption) (*Executor, error) {
 
 // NewExecutor builds a resilient executor from a Config literal.
 //
-// Deprecated: use NewExecutorWith with functional options.
+// Deprecated: compatibility-only shim for external Config-literal
+// callers. Use NewExecutorWith with functional options.
 func NewExecutor(rt *Runtime, cfg ExecutorConfig) (*Executor, error) {
 	return core.NewExecutor(rt, cfg)
 }

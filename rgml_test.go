@@ -12,25 +12,25 @@ import (
 // would: build a runtime, distribute a matrix, compute, checkpoint through
 // the executor, survive a failure, and check the result.
 func TestFacadeEndToEnd(t *testing.T) {
-	rt, err := rgml.NewRuntime(rgml.RuntimeConfig{Places: 4, Resilient: true})
+	rt, err := rgml.NewRuntimeWith(rgml.WithPlaces(4), rgml.WithResilient(true))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer rt.Shutdown()
 
 	killed := false
-	exec, err := rgml.NewExecutor(rt, rgml.ExecutorConfig{
-		CheckpointInterval: 3,
-		Mode:               rgml.Shrink,
-		AfterStep: func(iter int64) {
+	exec, err := rgml.NewExecutorWith(rt,
+		rgml.WithCheckpointInterval(3),
+		rgml.WithRestoreMode(rgml.Shrink),
+		rgml.WithAfterStep(func(iter int64) {
 			if !killed && iter == 4 {
 				killed = true
 				if err := rt.Kill(rt.Place(2)); err != nil {
 					t.Errorf("Kill: %v", err)
 				}
 			}
-		},
-	})
+		}),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +67,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 
 // TestFacadeGMLObjects covers the matrix/vector factory surface.
 func TestFacadeGMLObjects(t *testing.T) {
-	rt, err := rgml.NewRuntime(rgml.RuntimeConfig{Places: 3, Resilient: true})
+	rt, err := rgml.NewRuntimeWith(rgml.WithPlaces(3), rgml.WithResilient(true))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,12 +133,12 @@ func TestFacadeGMLObjects(t *testing.T) {
 
 // TestFacadeGNMF drives the extension application through the facade.
 func TestFacadeGNMF(t *testing.T) {
-	rt, err := rgml.NewRuntime(rgml.RuntimeConfig{Places: 3, Resilient: true})
+	rt, err := rgml.NewRuntimeWith(rgml.WithPlaces(3), rgml.WithResilient(true))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer rt.Shutdown()
-	exec, err := rgml.NewExecutor(rt, rgml.ExecutorConfig{CheckpointInterval: 3})
+	exec, err := rgml.NewExecutorWith(rt, rgml.WithCheckpointInterval(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +243,7 @@ func TestFacadeContextCancel(t *testing.T) {
 
 // TestFacadeErrors covers the error-inspection helpers.
 func TestFacadeErrors(t *testing.T) {
-	rt, err := rgml.NewRuntime(rgml.RuntimeConfig{Places: 3, Resilient: true})
+	rt, err := rgml.NewRuntimeWith(rgml.WithPlaces(3), rgml.WithResilient(true))
 	if err != nil {
 		t.Fatal(err)
 	}
