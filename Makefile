@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race race-recovery race-chaos race-delta race-finish race-store race-transport chaos-smoke tcp-smoke workers-seq fuzz bench bench-checkpoint bench-kernels bench-delta bench-finish bench-store
+.PHONY: ci vet build test race race-recovery race-chaos race-delta race-finish race-store race-transport race-compress chaos-smoke tcp-smoke workers-seq fuzz bench bench-checkpoint bench-kernels bench-delta bench-finish bench-store bench-compress
 
-ci: vet build race race-recovery race-chaos race-delta race-finish race-store race-transport chaos-smoke tcp-smoke workers-seq bench-checkpoint bench-kernels bench-delta bench-finish bench-store
+ci: vet build race race-recovery race-chaos race-delta race-finish race-store race-transport race-compress chaos-smoke tcp-smoke workers-seq bench-checkpoint bench-kernels bench-delta bench-finish bench-store bench-compress
 
 vet:
 	$(GO) vet ./...
@@ -76,6 +76,14 @@ race-transport:
 	$(GO) test -race -count=2 -run 'CrossBackend|RealProcessKill' ./internal/bench/
 	GOEXPERIMENT=synctest GODEBUG=asynctimerchan=0 $(GO) test -race -run 'Synctest' ./internal/apgas/transport/
 
+# Extra -race iterations over the compression seam: the chunked float
+# codec compresses and inflates through the shared worker pool and the
+# flate/buffer pools, the lossy compressor's max-error tracking is a
+# CAS loop hit from every place, and the compressed chaos/delta/partial
+# paths exercise the per-snapshot compressor from concurrent places.
+race-compress:
+	$(GO) test -race -count=2 -run 'Compress|Lossy|Lossless' ./internal/codec/ ./internal/dist/ ./internal/bench/
+
 # A short fixed-seed chaos campaign over every benchmark application:
 # one kill inside a checkpoint commit plus one during the restore that
 # follows. -chaos-strict fails the target if any run does not recover
@@ -106,6 +114,8 @@ workers-seq:
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzFloat64s -fuzztime=30s ./internal/codec/
 	$(GO) test -run=NONE -fuzz=FuzzInts -fuzztime=30s ./internal/codec/
+	$(GO) test -run=NONE -fuzz=FuzzCompressFloat64s -fuzztime=30s ./internal/codec/
+	$(GO) test -run=NONE -fuzz=FuzzCompressInts -fuzztime=30s ./internal/codec/
 	$(GO) test -run=NONE -fuzz=FuzzDecode -fuzztime=30s ./internal/block/
 
 # Full benchmark sweep (paper figures/tables + ablations).
@@ -143,3 +153,13 @@ bench-finish:
 bench-store:
 	$(GO) run ./cmd/rgmlbench -q store > BENCH_store.json
 	@echo "bench-store: wrote BENCH_store.json"
+
+# The checkpoint-compression sweep backing BENCH_compress.json: shipped
+# checkpoint bytes and iterations-to-converge for none vs lossless vs
+# error-bounded lossy at several bounds, for a dense (LinReg) and a
+# sparse (PageRank) application, each run through a mid-computation kill
+# and restore. The sweep hard-fails if lossless is not bitwise-equal to
+# the uncompressed baseline or a lossy error exceeds its bound.
+bench-compress:
+	$(GO) run ./cmd/rgmlbench -q compress > BENCH_compress.json
+	@echo "bench-compress: wrote BENCH_compress.json"

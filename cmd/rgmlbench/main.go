@@ -15,9 +15,12 @@
 // a redundancy-policy comparison (replication factor vs Reed-Solomon
 // erasure coding: storage overhead, reconstruction throughput, and a
 // correlated double-kill survival matrix) emitting the BENCH_store.json
-// document — and chaos — a fault-injection campaign that sweeps the -seeds
-// list over the -chaos schedule for each benchmark application and emits a
-// per-campaign survival/recovery JSON report.
+// document — compress — a checkpoint-compression sweep (codec ×
+// error-bound: shipped bytes, save/restore time, iterations-to-converge)
+// emitting the BENCH_compress.json document — and chaos — a
+// fault-injection campaign that sweeps the -seeds list over the -chaos
+// schedule for each benchmark application and emits a per-campaign
+// survival/recovery JSON report.
 //
 // The -placement/-redundancy/-shards flags set the snapshot store's
 // redundancy policy for every resilient run (the store experiment sweeps
@@ -131,11 +134,17 @@ func run(args []string) error {
 		return err
 	}
 	cfg.Store = pol
+	spec, err := rf.Compression()
+	if err != nil {
+		return err
+	}
+	cfg.Compress = spec
 	factory, err := rf.TransportFactory(nil)
 	if err != nil {
 		return err
 	}
 	cfg.Transport = factory
+	cfg.TransportName = rf.Transport
 	if !*quiet {
 		cfg.Progress = os.Stderr
 	}
@@ -366,7 +375,15 @@ func runExperiment(cfg bench.Config, exp, outDir string) error {
 		return output(outDir, "store", func(w io.Writer) error {
 			return bench.WriteStoreReport(w, rep)
 		})
+	case "compress":
+		rows, err := cfg.CompressSweep()
+		if err != nil {
+			return err
+		}
+		return output(outDir, "compress", func(w io.Writer) error {
+			return bench.WriteCompressReport(w, cfg, rows)
+		})
 	default:
-		return fmt.Errorf("unknown experiment (want table2, fig2-7, table3, table4, ablations, delta, finish, store, all)")
+		return fmt.Errorf("unknown experiment (want table2, fig2-7, table3, table4, ablations, delta, finish, store, compress, all)")
 	}
 }

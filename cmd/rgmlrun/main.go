@@ -93,6 +93,10 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	compSpec, err := rf.Compression()
+	if err != nil {
+		return err
+	}
 
 	// One registry collects runtime, snapshot and executor metrics so the
 	// -metrics export is a single coherent document.
@@ -105,6 +109,9 @@ func run() error {
 		apgas.WithNet(apgas.NetModel{Latency: *latency}),
 		apgas.WithObs(reg),
 		apgas.WithKernelWorkers(rf.Workers),
+	}
+	if !compSpec.IsZero() {
+		rtOpts = append(rtOpts, apgas.WithCompression(compSpec))
 	}
 	factory, err := rf.TransportFactory(reg)
 	if err != nil {
@@ -201,6 +208,9 @@ func run() error {
 	if !pol.IsZero() {
 		fmt.Printf("  store policy: %v\n", pol)
 	}
+	if !compSpec.IsZero() {
+		fmt.Printf("  compression:  %v\n", compSpec)
+	}
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -225,6 +235,15 @@ func run() error {
 	fmt.Printf("  steps:        %d (%d replayed after rollback)\n", m.Steps, m.ReplayedSteps)
 	fmt.Printf("  checkpoints:  %d (%v total)\n", m.Checkpoints, m.CheckpointTime.Round(time.Millisecond))
 	fmt.Printf("  restores:     %d (%v total)\n", m.Restores, m.RestoreTime.Round(time.Millisecond))
+	if bytesIn := reg.Counter("snapshot.compress.bytes_in").Value(); bytesIn > 0 {
+		bytesOut := reg.Counter("snapshot.compress.bytes_out").Value()
+		fmt.Printf("  compression:  %d -> %d bytes (%.1f%%), %dµs encode\n",
+			bytesIn, bytesOut, 100*float64(bytesOut)/float64(bytesIn),
+			reg.Counter("snapshot.compress.time_us").Value())
+		if femto := reg.Gauge("snapshot.lossy.max_err").Value(); femto > 0 {
+			fmt.Printf("  lossy err:    max %.3g (bound %g)\n", float64(femto)*1e-15, compSpec.ErrorBound)
+		}
+	}
 	fmt.Printf("  final places: %v\n", exec.ActiveGroup())
 	st := rt.Stats()
 	fmt.Printf("  runtime:      %d tasks, %d messages, %d ledger events, %d places killed, %d failed\n",

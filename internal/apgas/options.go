@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/rgml/rgml/internal/apgas/transport"
+	"github.com/rgml/rgml/internal/codec"
 	"github.com/rgml/rgml/internal/obs"
 )
 
@@ -98,6 +99,22 @@ func WithTransport(tp transport.Transport) Option {
 			return
 		}
 		c.Transport = tp
+	}
+}
+
+// WithCompression sets the checkpoint compression policy (see
+// Config.Compress): codec.CompressNone (the default, bit-identical to
+// the uncompressed codec), codec.CompressLossless, or
+// codec.CompressLossy with a positive finite ErrorBound. An invalid
+// spec (lossy without a usable bound, or a bound on a non-lossy mode)
+// is a construction error wrapping ErrBadOption.
+func WithCompression(spec codec.Spec) Option {
+	return func(c *Config) {
+		if err := spec.Validate(); err != nil {
+			c.recordErr(fmt.Errorf("apgas: WithCompression: %w (%w)", err, ErrBadOption))
+			return
+		}
+		c.Compress = spec
 	}
 }
 

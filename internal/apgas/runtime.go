@@ -9,6 +9,7 @@ import (
 
 	"github.com/rgml/rgml/internal/apgas/transport"
 	"github.com/rgml/rgml/internal/apgas/transport/local"
+	"github.com/rgml/rgml/internal/codec"
 	"github.com/rgml/rgml/internal/la"
 	"github.com/rgml/rgml/internal/obs"
 	"github.com/rgml/rgml/internal/par"
@@ -76,6 +77,15 @@ type Config struct {
 	// backend (transport/tcp) owns place bodies: its failure detector
 	// feeds the same dead-place broadcast path used by injected kills.
 	Transport transport.Transport
+
+	// Compress selects the checkpoint compression policy applied by the
+	// dist layer when serializing snapshot payloads: none (the zero
+	// value, bit-identical to the uncompressed codec), lossless, or
+	// error-bounded lossy quantization with Compress.ErrorBound. Objects
+	// opt in to lossy individually (AllowLossyCheckpoint); everything
+	// else is transparently downgraded to lossless. Set via
+	// WithCompression, read via Runtime.Compression.
+	Compress codec.Spec
 
 	// err carries the first validation failure recorded by a functional
 	// option at apply time (see options.go); NewRuntime surfaces it. The
@@ -297,6 +307,11 @@ func (rt *Runtime) FinishMode() FinishMode { return rt.cfg.FinishMode }
 
 // Net returns the runtime's network model.
 func (rt *Runtime) Net() NetModel { return rt.cfg.Net }
+
+// Compression returns the runtime-wide checkpoint compression policy
+// (see Config.Compress). The dist layer resolves it per object at
+// snapshot time.
+func (rt *Runtime) Compression() codec.Spec { return rt.cfg.Compress }
 
 // Shutdown stops the runtime. Outstanding finishes must have completed.
 func (rt *Runtime) Shutdown() {

@@ -92,6 +92,10 @@ func (a *GNMF) build(pg apgas.PlaceGroup) error {
 	if a.w, err = dist.MakeDistBlockMatrix(a.rt, block.Dense, cfg.Rows, cfg.Rank, rowBlocks, 1, p, 1, pg); err != nil {
 		return err
 	}
+	// The factors W and H are mutable state the multiplicative updates
+	// re-converge from, so they tolerate error-bounded lossy checkpoints;
+	// the read-only input V stays lossless under any policy.
+	a.w.AllowLossyCheckpoint(true)
 	if a.vht, err = dist.MakeDistBlockMatrix(a.rt, block.Dense, cfg.Rows, cfg.Rank, rowBlocks, 1, p, 1, pg); err != nil {
 		return err
 	}
@@ -101,6 +105,7 @@ func (a *GNMF) build(pg apgas.PlaceGroup) error {
 	if a.h, err = dist.MakeDupDenseMatrix(a.rt, cfg.Rank, cfg.Cols, pg); err != nil {
 		return err
 	}
+	a.h.AllowLossyCheckpoint(true)
 	if a.wtv, err = dist.MakeDupDenseMatrix(a.rt, cfg.Rank, cfg.Cols, pg); err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package apps
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/rgml/rgml/internal/apgas"
 	"github.com/rgml/rgml/internal/block"
@@ -19,6 +20,11 @@ type LinRegConfig struct {
 	Lambda float64
 	// Iterations is the fixed CG iteration count (the paper runs 30).
 	Iterations int
+	// Tolerance, when positive, stops CG as soon as the residual norm
+	// ‖r‖ drops below it (in addition to the Iterations cap), turning
+	// the run into an iterations-to-converge measurement — the quantity
+	// lossy checkpointing trades checkpoint bytes against.
+	Tolerance float64
 	// Seed selects the synthetic training set.
 	Seed uint64
 	// RowBlocksPerPlace sets the data-grid granularity.
@@ -89,6 +95,10 @@ func NewLinReg(rt *apgas.Runtime, cfg LinRegConfig, pg apgas.PlaceGroup) (*LinRe
 		if *dv, err = dist.MakeDupVector(rt, d, pg); err != nil {
 			return nil, err
 		}
+		// The CG state is mutable model state the solver re-converges
+		// from, so it tolerates error-bounded lossy checkpoints; the
+		// read-only inputs X and y stay lossless under any policy.
+		(*dv).AllowLossyCheckpoint(true)
 	}
 	if a.xp, err = dist.MakeDistVector(rt, n, pg); err != nil {
 		return nil, err
@@ -106,8 +116,14 @@ func NewLinReg(rt *apgas.Runtime, cfg LinRegConfig, pg apgas.PlaceGroup) (*LinRe
 	return a, nil
 }
 
-// IsFinished implements core.IterativeApp.
-func (a *LinReg) IsFinished() bool { return a.iter >= int64(a.cfg.Iterations) }
+// IsFinished implements core.IterativeApp: the fixed iteration cap, or
+// residual convergence when cfg.Tolerance is set.
+func (a *LinReg) IsFinished() bool {
+	if a.iter >= int64(a.cfg.Iterations) {
+		return true
+	}
+	return a.cfg.Tolerance > 0 && math.Sqrt(a.rsOld) <= a.cfg.Tolerance
+}
 
 // Iteration returns the number of completed iterations.
 func (a *LinReg) Iteration() int64 { return a.iter }

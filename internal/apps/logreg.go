@@ -85,6 +85,10 @@ func NewLogReg(rt *apgas.Runtime, cfg LogRegConfig, pg apgas.PlaceGroup) (*LogRe
 	if a.w, err = dist.MakeDupVector(rt, d, pg); err != nil {
 		return nil, err
 	}
+	// The model is mutable state gradient descent re-converges from, so
+	// it tolerates error-bounded lossy checkpoints; the read-only inputs
+	// X and y stay lossless under any policy.
+	a.w.AllowLossyCheckpoint(true)
 	if a.grad, err = dist.MakeDupVector(rt, d, pg); err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package apps
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/rgml/rgml/internal/apgas"
 	"github.com/rgml/rgml/internal/block"
@@ -19,6 +20,11 @@ type PageRankConfig struct {
 	Alpha float64
 	// Iterations is the fixed iteration count (the paper runs 30).
 	Iterations int
+	// Tolerance, when positive, stops the power iteration as soon as the
+	// L1 change of the rank vector between iterations drops below it (in
+	// addition to the Iterations cap) — the iterations-to-converge
+	// measurement used by the compression benchmark.
+	Tolerance float64
 	// Seed selects the synthetic network.
 	Seed uint64
 	// RowBlocksPerPlace sets the data-grid granularity (1 gives one
@@ -49,13 +55,19 @@ type PageRank struct {
 	p  *dist.DupVector       // rank vector (mutable)
 	u  *dist.DistVector      // personalization vector (read-only)
 	gp *dist.DistVector      // temporary: G·P
+
+	// lastDelta is the L1 change of the rank vector over the most recent
+	// iteration, tracked only when cfg.Tolerance is set (the extra
+	// root-copy collectives would otherwise perturb the default run's
+	// network accounting).
+	lastDelta float64
 }
 
 // NewPageRank builds the PageRank application over pg, generating the
 // network deterministically from cfg.Seed.
 func NewPageRank(rt *apgas.Runtime, cfg PageRankConfig, pg apgas.PlaceGroup) (*PageRank, error) {
 	cfg.setDefaults()
-	a := &PageRank{rt: rt, cfg: cfg, pg: pg.Clone()}
+	a := &PageRank{rt: rt, cfg: cfg, pg: pg.Clone(), lastDelta: math.Inf(1)}
 	n := cfg.Nodes
 	var err error
 	rowBlocks := cfg.RowBlocksPerPlace * pg.Size()
@@ -69,6 +81,10 @@ func NewPageRank(rt *apgas.Runtime, cfg PageRankConfig, pg apgas.PlaceGroup) (*P
 	if a.p, err = dist.MakeDupVector(rt, n, pg); err != nil {
 		return nil, err
 	}
+	// The rank vector is mutable state the power iteration re-converges
+	// from, so it tolerates error-bounded lossy checkpoints; G and U
+	// stay lossless under any policy.
+	a.p.AllowLossyCheckpoint(true)
 	if err = a.p.Init(func(int) float64 { return 1 / float64(n) }); err != nil {
 		return nil, err
 	}
@@ -84,8 +100,14 @@ func NewPageRank(rt *apgas.Runtime, cfg PageRankConfig, pg apgas.PlaceGroup) (*P
 	return a, nil
 }
 
-// IsFinished implements core.IterativeApp.
-func (a *PageRank) IsFinished() bool { return a.iter >= int64(a.cfg.Iterations) }
+// IsFinished implements core.IterativeApp: the fixed iteration cap, or
+// rank-vector convergence when cfg.Tolerance is set.
+func (a *PageRank) IsFinished() bool {
+	if a.iter >= int64(a.cfg.Iterations) {
+		return true
+	}
+	return a.cfg.Tolerance > 0 && a.lastDelta <= a.cfg.Tolerance
+}
 
 // Iteration returns the number of completed iterations.
 func (a *PageRank) Iteration() int64 { return a.iter }
@@ -93,6 +115,13 @@ func (a *PageRank) Iteration() int64 { return a.iter }
 // Step implements core.IterativeApp: one power iteration
 // P = αG·P + (1−α)·E·uᵀP (paper Listing 2, lines 13-17).
 func (a *PageRank) Step() error {
+	var prev la.Vector
+	if a.cfg.Tolerance > 0 {
+		var err error
+		if prev, err = a.p.Root(); err != nil {
+			return err
+		}
+	}
 	if err := a.g.MultVec(a.p, a.gp); err != nil { // GP = G·P
 		return err
 	}
@@ -113,6 +142,17 @@ func (a *PageRank) Step() error {
 	}
 	if err := a.p.Sync(); err != nil { // broadcast
 		return err
+	}
+	if prev != nil {
+		cur, err := a.p.Root()
+		if err != nil {
+			return err
+		}
+		var delta float64
+		for i := range cur {
+			delta += math.Abs(cur[i] - prev[i])
+		}
+		a.lastDelta = delta
 	}
 	a.iter++
 	return nil
@@ -152,6 +192,8 @@ func (a *PageRank) Restore(newPG apgas.PlaceGroup, store *core.AppResilientStore
 	if err := store.Restore(); err != nil {
 		return err
 	}
+	// lastDelta described the pre-failure trajectory; replay recomputes it.
+	a.lastDelta = math.Inf(1)
 	a.pg = newPG.Clone()
 	a.iter = snapshotIter
 	return nil

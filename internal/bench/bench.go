@@ -18,12 +18,14 @@ package bench
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sync/atomic"
 	"time"
 
 	"github.com/rgml/rgml/internal/apgas"
 	"github.com/rgml/rgml/internal/apgas/transport"
 	"github.com/rgml/rgml/internal/apps"
+	"github.com/rgml/rgml/internal/codec"
 	"github.com/rgml/rgml/internal/core"
 	"github.com/rgml/rgml/internal/obs"
 )
@@ -118,11 +120,19 @@ type Config struct {
 	// runtime the harness builds. The zero value keeps the paper-faithful
 	// default (replicate, k=2); the store experiment overrides it per run.
 	Store apgas.StorePolicy
+	// Compress is the checkpoint compression policy for every resilient
+	// runtime the harness builds. The zero value keeps the bit-identical
+	// uncompressed codec; the compress experiment sweeps its own specs
+	// and ignores it.
+	Compress codec.Spec
 	// Transport, when non-nil, builds a fresh communication backend for
 	// each runtime the harness constructs (a transport is single-use: one
 	// Start/Close lifecycle per runtime). Nil keeps the default in-process
 	// backend. The CLIs wire the -transport flag here.
 	Transport func() (transport.Transport, error)
+	// TransportName records which backend Transport builds ("local" when
+	// nil), so report metadata can name it without starting one.
+	TransportName string
 	// Progress, when non-nil, receives progress lines.
 	Progress io.Writer
 	// MetricsDir, when non-empty, receives one JSON metrics export per
@@ -183,6 +193,9 @@ func (c Config) newRuntime(places int, resilient bool, reg *obs.Registry) (*apga
 		apgas.WithNet(apgas.NetModel{Latency: c.Latency, BytePeriod: c.BytePeriod}),
 		apgas.WithObs(reg),
 	}
+	if !c.Compress.IsZero() {
+		opts = append(opts, apgas.WithCompression(c.Compress))
+	}
 	if resilient {
 		if cost := c.ledgerCost(); cost != nil {
 			opts = append(opts, apgas.WithLedgerCost(cost))
@@ -196,6 +209,32 @@ func (c Config) newRuntime(places int, resilient bool, reg *obs.Registry) (*apga
 		opts = append(opts, apgas.WithTransport(tp))
 	}
 	return apgas.New(opts...)
+}
+
+// runMeta describes the host and the active runtime configuration —
+// finish architecture, store redundancy policy, transport backend and
+// checkpoint compression — so every BENCH_* document is self-describing:
+// two reports generated under different flags are distinguishable from
+// their metadata alone.
+func (c Config) runMeta() map[string]string {
+	tname := c.TransportName
+	if tname == "" {
+		tname = "local"
+	}
+	store := "replicate(k=2) [default]"
+	if !c.Store.IsZero() {
+		store = c.Store.String()
+	}
+	return map[string]string{
+		"goos":        runtime.GOOS,
+		"goarch":      runtime.GOARCH,
+		"go":          runtime.Version(),
+		"date":        time.Now().UTC().Format("2006-01-02"),
+		"finish":      c.FinishMode.String(),
+		"store":       store,
+		"transport":   tname,
+		"compression": c.Compress.String(),
+	}
 }
 
 // progressf writes a progress line if configured.

@@ -62,6 +62,10 @@ type ChaosRun struct {
 
 // ChaosReport is the per-campaign JSON document rgmlbench emits.
 type ChaosReport struct {
+	// Environment names the host and the runtime configuration the
+	// campaign ran under (finish, store, transport, compression).
+	Environment map[string]string `json:"environment"`
+
 	App      string     `json:"app"`
 	Places   int        `json:"places"`
 	Spares   int        `json:"spares,omitempty"`
@@ -102,6 +106,8 @@ func (c Config) ChaosCampaign(spec ChaosSpec) (ChaosReport, error) {
 		return ChaosReport{}, fmt.Errorf("bench: reference run: %w", err)
 	}
 	rep := ChaosReport{
+		Environment: c.runMeta(),
+
 		App:      string(spec.App),
 		Places:   spec.Places,
 		Spares:   spec.Spares,

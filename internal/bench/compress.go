@@ -1,0 +1,301 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"github.com/rgml/rgml/internal/apps"
+	"github.com/rgml/rgml/internal/codec"
+	"github.com/rgml/rgml/internal/core"
+	"github.com/rgml/rgml/internal/la"
+	"github.com/rgml/rgml/internal/obs"
+)
+
+// The checkpoint-compression benchmark (BENCH_compress.json): what each
+// codec buys in shipped checkpoint bytes and what error-bounded lossy
+// quantization costs in iterations-to-converge.
+//
+// Every run uses delta checkpointing, so the "none" rows are the
+// delta-only baseline the compressed rows are judged against: lossless
+// must ship fewer bytes than delta carry-forward alone on a dense app
+// (LinReg: all-float CG state) and a sparse one (PageRank: the link
+// matrix's index arrays are the big varint win), while converging to
+// bit-identical weights. The lossy rows sweep the error bound and record
+// the bytes-vs-iterations tradeoff curve; the codec's recorded maximum
+// per-element error must stay within the configured bound.
+//
+// Each run also kills one place mid-run and repairs it from a redundant
+// spare, so the compressed restore path — including the survivors'
+// partial-restore re-encode validation — is exercised, not just save.
+
+// compressPlaces is the fixed place count of the sweep (the comparison is
+// across codecs, not places).
+const compressPlaces = 4
+
+// compressIterCap bounds the tolerance-driven runs; it is a multiple of
+// the paper's fixed 30 so non-converging configurations fail visibly
+// (Iterations == cap) instead of hanging.
+const compressIterCap = 200
+
+// compressTolerance is the per-app convergence threshold: LinReg stops at
+// residual norm ‖r‖ ≤ tol, PageRank at L1 rank change ≤ tol. Chosen so
+// convergence lands after the failure iteration (PageRank's synthetic
+// network mixes at ~0.15x per iteration, far faster than the damping
+// factor, so its threshold sits near the float64 accumulation floor).
+var compressTolerance = map[AppName]float64{
+	LinReg:   1e-12,
+	PageRank: 1e-14,
+}
+
+// compressSpecs is the per-app codec sweep: the delta-only baseline,
+// lossless, and the lossy error-bound curve from tight to loose. The
+// bounds are scaled to each app's value range: PageRank's rank entries
+// are ~1/N and LinReg's CG residual entries are ~1e-6 near the failure
+// iteration, so each app's loosest bound stays below its smallest live
+// signal. A bound above that scale quantizes the whole frame to zero —
+// for LinReg that silently zeroes the restored residual, so the
+// tolerance check reads √(r·r) = 0 and declares false convergence with
+// bound-sized error still in the model (the classic lossy-checkpointing
+// hazard; see DESIGN.md).
+func compressSpecs(app AppName) []codec.Spec {
+	bounds := []float64{1e-10, 1e-8, 1e-6}
+	if app == PageRank {
+		bounds = []float64{1e-12, 1e-9, 1e-6}
+	}
+	specs := []codec.Spec{{}, {Mode: codec.CompressLossless}}
+	for _, eps := range bounds {
+		specs = append(specs, codec.Spec{Mode: codec.CompressLossy, ErrorBound: eps})
+	}
+	return specs
+}
+
+// CompressRow is one (app, codec) cell of the sweep.
+type CompressRow struct {
+	App   string `json:"app"`
+	Codec string `json:"codec"` // "none", "lossless" or "lossy(eps=...)"
+	// ErrorBound is the lossy quantization bound (zero otherwise).
+	ErrorBound float64 `json:"error_bound,omitempty"`
+	Places     int     `json:"places"`
+	// Iterations is the tolerance-driven iterations-to-converge count —
+	// the quantity lossy checkpointing trades bytes against.
+	Iterations int64 `json:"iterations_to_converge"`
+	// ShippedBytes is what actually reached the snapshot stores
+	// (post-compression, post-carry-forward).
+	ShippedBytes int64 `json:"checkpoint_bytes_shipped"`
+	// RawBytes/CompressedBytes/Ratio describe the compressor's own view:
+	// frame bytes in vs out (zero for the "none" rows, which never enter
+	// the compressor).
+	RawBytes        int64   `json:"compress_bytes_in,omitempty"`
+	CompressedBytes int64   `json:"compress_bytes_out,omitempty"`
+	Ratio           float64 `json:"compress_ratio,omitempty"`
+	CompressTimeUS  int64   `json:"compress_time_us,omitempty"`
+	// CheckpointMS and RestoreMS are the executor's save/restore wall
+	// time over the whole run.
+	CheckpointMS float64 `json:"checkpoint_ms"`
+	RestoreMS    float64 `json:"restore_ms"`
+	// LossyMaxErr is the codec's recorded maximum per-element error;
+	// WithinBound asserts it against ErrorBound.
+	LossyMaxErr float64 `json:"lossy_max_err,omitempty"`
+	WithinBound bool    `json:"within_bound,omitempty"`
+	// BitwiseEqualToNone compares the final iterate against the
+	// delta-only baseline run (required for lossless, diagnostic for
+	// lossy); FinalMaxDiff is the L∞ distance for the lossy rows.
+	BitwiseEqualToNone bool    `json:"weights_bitwise_equal_to_none"`
+	FinalMaxDiff       float64 `json:"final_max_abs_diff_vs_none,omitempty"`
+	TotalMS            float64 `json:"total_ms"`
+}
+
+// CompressSweep runs the codec × error-bound sweep for one dense and one
+// sparse application. It fails when lossless does not strictly reduce
+// shipped bytes below the delta-only baseline, when lossless does not
+// converge bit-identically to it, or when a lossy run's recorded error
+// exceeds its configured bound.
+func (c Config) CompressSweep() ([]CompressRow, error) {
+	var rows []CompressRow
+	for _, app := range []AppName{LinReg, PageRank} {
+		var ref la.Vector
+		var baseBytes int64
+		for _, spec := range compressSpecs(app) {
+			row, w, err := c.compressRun(app, spec)
+			if err != nil {
+				return nil, fmt.Errorf("bench: compress %s %v: %w", app, spec, err)
+			}
+			switch {
+			case spec.IsZero():
+				ref, baseBytes = w, row.ShippedBytes
+				row.BitwiseEqualToNone = true
+			default:
+				row.BitwiseEqualToNone = vectorsBitEqual(ref, w)
+				row.FinalMaxDiff = maxAbsDiff(ref, w)
+			}
+			if spec.Mode == codec.CompressLossless {
+				if !row.BitwiseEqualToNone {
+					return nil, fmt.Errorf("bench: compress %s: lossless weights diverge from the delta-only baseline", app)
+				}
+				if row.ShippedBytes >= baseBytes {
+					return nil, fmt.Errorf("bench: compress %s: lossless shipped %d bytes, baseline %d — no reduction",
+						app, row.ShippedBytes, baseBytes)
+				}
+			}
+			if spec.Mode == codec.CompressLossy {
+				if row.LossyMaxErr > spec.ErrorBound {
+					return nil, fmt.Errorf("bench: compress %s: lossy max error %g exceeds bound %g",
+						app, row.LossyMaxErr, spec.ErrorBound)
+				}
+				row.WithinBound = true
+			}
+			rows = append(rows, row)
+			c.progressf("compress %s codec=%s: shipped=%d iters=%d maxerr=%.3g eq=%v",
+				app, row.Codec, row.ShippedBytes, row.Iterations, row.LossyMaxErr, row.BitwiseEqualToNone)
+		}
+	}
+	return rows, nil
+}
+
+// compressRun executes one tolerance-driven failure-and-recovery run of
+// app under spec (delta checkpointing on) and returns the row plus the
+// final iterate.
+func (c Config) compressRun(app AppName, spec codec.Spec) (CompressRow, la.Vector, error) {
+	s := c.Scale
+	cc := c
+	cc.Compress = spec
+	reg := obs.NewRegistry()
+	rt, err := cc.newRuntime(compressPlaces+1, true, reg) // one redundant spare
+	if err != nil {
+		return CompressRow{}, nil, err
+	}
+	defer rt.Shutdown()
+	killed := false
+	victim := rt.Place(compressPlaces / 2)
+	exec, err := core.New(rt,
+		core.WithCheckpointInterval(s.CheckpointInterval),
+		core.WithRestoreMode(core.ReplaceRedundant),
+		core.WithSpares(1),
+		core.WithObs(reg),
+		core.WithDelta(true),
+		core.WithAfterStep(func(iter int64) {
+			if !killed && iter == int64(s.FailureIteration) {
+				killed = true
+				_ = rt.Kill(victim)
+			}
+		}),
+	)
+	if err != nil {
+		return CompressRow{}, nil, err
+	}
+	var (
+		iterate func() (la.Vector, error)
+		a       core.IterativeApp
+	)
+	switch app {
+	case LinReg:
+		lr, err := apps.NewLinReg(rt, apps.LinRegConfig{
+			Examples: s.LinRegExamplesPerPlace * compressPlaces, Features: s.LinRegFeatures,
+			Iterations: compressIterCap, Tolerance: compressTolerance[app], Seed: s.Seed,
+		}, exec.ActiveGroup())
+		if err != nil {
+			return CompressRow{}, nil, err
+		}
+		a, iterate = lr, lr.Weights
+	case PageRank:
+		pr, err := apps.NewPageRank(rt, apps.PageRankConfig{
+			Nodes: s.PageRankNodesPerPlace * compressPlaces, OutDegree: s.PageRankOutDegree,
+			Iterations: compressIterCap, Tolerance: compressTolerance[app], Seed: s.Seed,
+		}, exec.ActiveGroup())
+		if err != nil {
+			return CompressRow{}, nil, err
+		}
+		a, iterate = pr, pr.Ranks
+	default:
+		return CompressRow{}, nil, fmt.Errorf("bench: compress sweep has no %q workload", app)
+	}
+	start := time.Now()
+	if err := exec.Run(a); err != nil {
+		return CompressRow{}, nil, err
+	}
+	totalMS := float64(time.Since(start).Microseconds()) / 1000
+	m := exec.Metrics()
+	if m.Restores == 0 {
+		return CompressRow{}, nil, fmt.Errorf("bench: no restore happened (converged before the kill at iteration %d?)", s.FailureIteration)
+	}
+	w, err := iterate()
+	if err != nil {
+		return CompressRow{}, nil, err
+	}
+	bytesIn := reg.Counter("snapshot.compress.bytes_in").Value()
+	bytesOut := reg.Counter("snapshot.compress.bytes_out").Value()
+	row := CompressRow{
+		App:             string(app),
+		Codec:           spec.String(),
+		ErrorBound:      spec.ErrorBound,
+		Places:          compressPlaces,
+		Iterations:      m.Steps - m.ReplayedSteps,
+		ShippedBytes:    reg.Counter("snapshot.save.bytes").Value(),
+		RawBytes:        bytesIn,
+		CompressedBytes: bytesOut,
+		CompressTimeUS:  reg.Counter("snapshot.compress.time_us").Value(),
+		CheckpointMS:    float64(m.CheckpointTime.Microseconds()) / 1000,
+		RestoreMS:       float64(m.RestoreTime.Microseconds()) / 1000,
+		LossyMaxErr:     float64(reg.Gauge("snapshot.lossy.max_err").Value()) * 1e-15,
+		TotalMS:         totalMS,
+	}
+	if bytesIn > 0 {
+		row.Ratio = float64(bytesOut) / float64(bytesIn)
+	}
+	return row, w, nil
+}
+
+// maxAbsDiff returns the L∞ distance between two iterates (infinity on a
+// length mismatch).
+func maxAbsDiff(a, b la.Vector) float64 {
+	if len(a) != len(b) {
+		return math.Inf(1)
+	}
+	var max float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// compressReport is the BENCH_compress.json document.
+type compressReport struct {
+	Description string            `json:"description"`
+	Environment map[string]string `json:"environment"`
+	Workload    string            `json:"workload"`
+	Rows        []CompressRow     `json:"rows"`
+}
+
+// WriteCompressReport writes the sweep as the BENCH_compress.json document.
+func WriteCompressReport(w io.Writer, c Config, rows []CompressRow) error {
+	s := c.Scale
+	rep := compressReport{
+		Description: "Checkpoint compression: shipped bytes and iterations-to-converge per codec, " +
+			"against the delta-only baseline (every run checkpoints with delta carry-forward on). " +
+			"Lossless (varint/delta indices + byte-shuffled flate floats) must reduce shipped " +
+			"bytes and converge bit-identically; the lossy rows sweep the quantization error " +
+			"bound and trade further byte reduction against extra iterations, with the codec's " +
+			"recorded max per-element error held within the bound. One place is killed mid-run " +
+			"and repaired from a redundant spare, so every row's restore decodes compressed " +
+			"frames (survivors re-validate by re-encoding through the same codec). " +
+			"Reproduce with `make bench-compress`.",
+		Environment: c.runMeta(),
+		Workload: fmt.Sprintf(
+			"LinReg CG (dense float state), %d examples/place x %d features, tol %g; "+
+				"PageRank (sparse link matrix), %d nodes/place x out-degree %d, tol %g; "+
+				"%d places + 1 spare, checkpoint every %d, kill at iteration %d, "+
+				"iteration cap %d",
+			s.LinRegExamplesPerPlace, s.LinRegFeatures, compressTolerance[LinReg],
+			s.PageRankNodesPerPlace, s.PageRankOutDegree, compressTolerance[PageRank],
+			compressPlaces, s.CheckpointInterval, s.FailureIteration, compressIterCap),
+		Rows: rows,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/rgml/rgml/internal/apps"
+	"github.com/rgml/rgml/internal/chaos"
+	"github.com/rgml/rgml/internal/codec"
+	"github.com/rgml/rgml/internal/core"
+	"github.com/rgml/rgml/internal/la"
+	"github.com/rgml/rgml/internal/obs"
+)
+
+// chaosWeights runs the acceptance chaos schedule (kill at commit, kill
+// mid-restore) against LinReg with the given compression policy and
+// returns the final weights.
+func chaosWeights(t *testing.T, c Config, spec codec.Spec) la.Vector {
+	t.Helper()
+	cc := c
+	cc.Compress = spec
+	rt, err := cc.newRuntime(4, true, obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	eng, err := chaos.New(rt, chaos.MustParse(acceptanceSchedule), chaos.WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := core.New(rt,
+		core.WithCheckpointInterval(c.Scale.CheckpointInterval),
+		core.WithChaos(eng),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := apps.NewLinReg(rt, apps.LinRegConfig{
+		Examples: 64, Features: 8, Iterations: 6, Seed: 1,
+	}, exec.ActiveGroup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exec.Run(app); err != nil {
+		t.Fatal(err)
+	}
+	if got := exec.Metrics().Restores; got == 0 {
+		t.Fatalf("chaos run with %v finished without a restore", spec)
+	}
+	w, err := app.Weights()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(la.Vector(nil), w...)
+}
+
+// TestChaosLosslessBitwiseEqualToNone is the cross-feature acceptance
+// check: a chaos run that kills one place inside a checkpoint commit and
+// another mid-restore produces bit-identical final weights whether
+// checkpoints ship raw or lossless-compressed — compression changes the
+// wire bytes, never the restored state.
+func TestChaosLosslessBitwiseEqualToNone(t *testing.T) {
+	c := smokeConfig()
+	none := chaosWeights(t, c, codec.Spec{})
+	lossless := chaosWeights(t, c, codec.Spec{Mode: codec.CompressLossless})
+	if len(none) != len(lossless) {
+		t.Fatalf("weight lengths diverged: %d vs %d", len(none), len(lossless))
+	}
+	for i := range none {
+		if none[i] != lossless[i] {
+			t.Fatalf("weights[%d] diverged: %v (none) vs %v (lossless)", i, none[i], lossless[i])
+		}
+	}
+}
+
+// TestChaosCampaignWithCompression: the full campaign runner under a
+// lossless policy still passes its bitwise verification against the
+// failure-free reference. Under a lossy policy that verification MUST
+// fail — a restore passes through the quantized checkpoint, so the
+// replayed trajectory legitimately differs from the reference by up to
+// the error bound — but the run survives, restores, and two executions
+// of the same campaign reproduce each other exactly.
+func TestChaosCampaignWithCompression(t *testing.T) {
+	c := smokeConfig()
+	c.Compress = codec.Spec{Mode: codec.CompressLossless}
+	rep, err := c.ChaosCampaign(acceptanceSpec(LinReg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("lossless campaign failed: %+v", rep.Runs)
+	}
+	if got := rep.Environment["compression"]; got != "lossless" {
+		t.Fatalf("report compression = %q", got)
+	}
+
+	c.Compress = codec.Spec{Mode: codec.CompressLossy, ErrorBound: 1e-9}
+	first, err := c.ChaosCampaign(acceptanceSpec(LinReg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := c.ChaosCampaign(acceptanceSpec(LinReg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, rep := range map[string]ChaosReport{"first": first, "second": second} {
+		if got := rep.Environment["compression"]; got != "lossy(eps=1e-09)" {
+			t.Fatalf("%s report compression = %q", name, got)
+		}
+		run := rep.Runs[0]
+		if !run.Survived || run.Restores == 0 {
+			t.Fatalf("%s lossy run did not survive a restore: %+v", name, run)
+		}
+		if run.Verified {
+			t.Fatalf("%s lossy run passed bitwise verification — restore did not roll back to the quantized checkpoint", name)
+		}
+	}
+	a, b := first.Runs[0], second.Runs[0]
+	a.DurationMS, b.DurationMS = 0, 0
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if !bytes.Equal(aj, bj) {
+		t.Fatalf("lossy campaign not reproducible:\n%s\n%s", aj, bj)
+	}
+}
+
+// TestRunMetaRecordsConfiguration: every report's environment block
+// carries the active finish/store/transport/compression configuration,
+// so a BENCH_*.json is self-describing.
+func TestRunMetaRecordsConfiguration(t *testing.T) {
+	c := smokeConfig()
+	meta := c.runMeta()
+	for k, want := range map[string]string{
+		"finish":      "central",
+		"store":       "replicate(k=2) [default]",
+		"transport":   "local",
+		"compression": "none",
+	} {
+		if got := meta[k]; got != want {
+			t.Errorf("runMeta[%q] = %q, want %q", k, got, want)
+		}
+	}
+	c.Compress = codec.Spec{Mode: codec.CompressLossless}
+	c.TransportName = "tcp"
+	meta = c.runMeta()
+	if meta["compression"] != "lossless" || meta["transport"] != "tcp" {
+		t.Errorf("runMeta did not pick up overrides: %v", meta)
+	}
+	if !strings.Contains(meta["go"], "go") {
+		t.Errorf("runMeta go version missing: %v", meta["go"])
+	}
+}

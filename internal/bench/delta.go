@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"runtime"
 	"time"
 
 	"github.com/rgml/rgml/internal/apps"
@@ -171,12 +170,7 @@ func WriteDeltaReport(w io.Writer, c Config, rows []DeltaRow) error {
 			"bytes shipped (unchanged entries are carried forward by reference) and " +
 			"partial-restore traffic (surviving places keep CRC-validated state; only " +
 			"dead-owner entries are loaded). Reproduce with `make bench-delta`.",
-		Environment: map[string]string{
-			"goos":   runtime.GOOS,
-			"goarch": runtime.GOARCH,
-			"go":     runtime.Version(),
-			"date":   time.Now().UTC().Format("2006-01-02"),
-		},
+		Environment: c.runMeta(),
 		Workload: fmt.Sprintf(
 			"LinReg CG, %d examples/place x %d features, %d iterations, checkpoint every %d, "+
 				"inputs checkpointed via plain Save each interval; one place killed at iteration %d "+

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"runtime"
 	"time"
 
 	"github.com/rgml/rgml/internal/apgas"
@@ -152,12 +151,7 @@ func (c Config) FinishBench() (*FinishReport, error) {
 		Description: "Resilient-finish architecture comparison: central place-zero ledger " +
 			"(the paper's measured design) vs sharded home-based bookkeeping with a local " +
 			"fork/join fast path and batched event delivery. Reproduce with `make bench-finish`.",
-		Environment: map[string]string{
-			"goos":   runtime.GOOS,
-			"goarch": runtime.GOARCH,
-			"go":     runtime.Version(),
-			"date":   time.Now().UTC().Format("2006-01-02"),
-		},
+		Environment: c.runMeta(),
 		Workload: fmt.Sprintf(
 			"hierarchical SPMD rounds: an outer finish fans one activity out to every "+
 				"place; each activity runs a nested finish spawning %d tasks at its own "+

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"runtime"
 	"time"
 
 	"github.com/rgml/rgml/internal/apgas"
@@ -103,12 +102,7 @@ func (c Config) StoreBench() (StoreReport, error) {
 			"(k=f+1)x storage under replication but only (d+f)/d under erasure; k=2 (the " +
 			"paper's double in-memory storage) fails loudly with ErrDataLost when an entry's " +
 			"owner and backup die in one inter-checkpoint window. Reproduce with `make bench-store`.",
-		Environment: map[string]string{
-			"goos":   runtime.GOOS,
-			"goarch": runtime.GOARCH,
-			"go":     runtime.Version(),
-			"date":   time.Now().UTC().Format("2006-01-02"),
-		},
+		Environment: c.runMeta(),
 		Workload: fmt.Sprintf(
 			"overhead: %d places x %d KiB/place, kill <tolerance> adjacent places, reload all; "+
 				"survival: LinReg CG, %d examples/place x %d features, %d iterations, checkpoint "+

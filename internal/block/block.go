@@ -237,6 +237,13 @@ func (b *MatrixBlock) Encode() []byte {
 
 // Decode deserializes a block from the snapshot wire format.
 func Decode(data []byte) (*MatrixBlock, error) {
+	return DecodeC(data, nil)
+}
+
+// DecodeC is Decode for a snapshot whose bulk frames were written through
+// comp (nil for the legacy uncompressed format). The block header is
+// always fixed-width; only the payload frames route through comp.
+func DecodeC(data []byte, comp codec.Compressor) (*MatrixBlock, error) {
 	var (
 		b    MatrixBlock
 		kind int
@@ -250,7 +257,7 @@ func Decode(data []byte) (*MatrixBlock, error) {
 	}
 	switch Kind(kind) {
 	case Dense:
-		data, rd, err := codec.Float64s(rd)
+		data, rd, err := codec.Float64sIntoC(comp, nil, rd)
 		if err != nil {
 			return nil, fmt.Errorf("block: decode dense payload: %w", err)
 		}
@@ -260,15 +267,15 @@ func Decode(data []byte) (*MatrixBlock, error) {
 		_ = rd
 		b.Dense = la.NewDenseFrom(b.Rows, b.Cols, data)
 	case Sparse:
-		colPtr, rd, err := codec.Ints(rd)
+		colPtr, rd, err := codec.IntsIntoC(comp, nil, rd)
 		if err != nil {
 			return nil, fmt.Errorf("block: decode colptr: %w", err)
 		}
-		rowIdx, rd, err := codec.Ints(rd)
+		rowIdx, rd, err := codec.IntsIntoC(comp, nil, rd)
 		if err != nil {
 			return nil, fmt.Errorf("block: decode rowidx: %w", err)
 		}
-		vals, _, err := codec.Float64s(rd)
+		vals, _, err := codec.Float64sIntoC(comp, nil, rd)
 		if err != nil {
 			return nil, fmt.Errorf("block: decode vals: %w", err)
 		}
@@ -289,6 +296,12 @@ func Decode(data []byte) (*MatrixBlock, error) {
 // Same-grid restores use it so the first checkpoint after a restore
 // re-encodes from the same allocations the previous cycle pooled.
 func DecodeInto(dst *MatrixBlock, data []byte) error {
+	return DecodeIntoC(dst, data, nil)
+}
+
+// DecodeIntoC is DecodeInto for a snapshot whose bulk frames were written
+// through comp (nil for the legacy uncompressed format).
+func DecodeIntoC(dst *MatrixBlock, data []byte, comp codec.Compressor) error {
 	var (
 		h    MatrixBlock
 		kind int
@@ -306,7 +319,7 @@ func DecodeInto(dst *MatrixBlock, data []byte) error {
 	}
 	switch Kind(kind) {
 	case Dense:
-		vals, _, err := codec.Float64sInto(dst.Dense.Data, rd)
+		vals, _, err := codec.Float64sIntoC(comp, dst.Dense.Data, rd)
 		if err != nil {
 			return fmt.Errorf("block: decode dense payload: %w", err)
 		}
@@ -316,15 +329,15 @@ func DecodeInto(dst *MatrixBlock, data []byte) error {
 		dst.Dense.Data = vals
 	case Sparse:
 		sp := dst.Sparse
-		colPtr, rd, err := codec.IntsInto(sp.ColPtr, rd)
+		colPtr, rd, err := codec.IntsIntoC(comp, sp.ColPtr, rd)
 		if err != nil {
 			return fmt.Errorf("block: decode colptr: %w", err)
 		}
-		rowIdx, rd, err := codec.IntsInto(sp.RowIdx, rd)
+		rowIdx, rd, err := codec.IntsIntoC(comp, sp.RowIdx, rd)
 		if err != nil {
 			return fmt.Errorf("block: decode rowidx: %w", err)
 		}
-		vals, _, err := codec.Float64sInto(sp.Vals, rd)
+		vals, _, err := codec.Float64sIntoC(comp, sp.Vals, rd)
 		if err != nil {
 			return fmt.Errorf("block: decode vals: %w", err)
 		}

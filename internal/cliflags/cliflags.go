@@ -23,6 +23,7 @@ import (
 	"github.com/rgml/rgml/internal/apgas"
 	"github.com/rgml/rgml/internal/apgas/transport"
 	"github.com/rgml/rgml/internal/apgas/transport/tcp"
+	"github.com/rgml/rgml/internal/codec"
 	"github.com/rgml/rgml/internal/core"
 	"github.com/rgml/rgml/internal/obs"
 )
@@ -48,6 +49,11 @@ type Runtime struct {
 	// failure detector. Zero keeps the transport defaults.
 	HBInterval time.Duration
 	HBTimeout  time.Duration
+	// Compress selects the checkpoint compression policy ("none",
+	// "lossless" or "lossy"); ErrorBound is the per-element quantization
+	// bound required by "lossy" (see Compression).
+	Compress   string
+	ErrorBound float64
 }
 
 // Register declares the shared flags on fs. Command-specific flags (such
@@ -70,6 +76,10 @@ func (r *Runtime) Register(fs *flag.FlagSet) {
 		"tcp transport heartbeat interval (0: transport default)")
 	fs.DurationVar(&r.HBTimeout, "hb-timeout", 0,
 		"tcp transport heartbeat silence threshold before a place is declared dead (0: transport default)")
+	fs.StringVar(&r.Compress, "compress", "none",
+		"checkpoint compression: none (bit-identical codec), lossless (varint indices + shuffled flate floats), or lossy (error-bounded quantization; objects opt in, others stay lossless)")
+	fs.Float64Var(&r.ErrorBound, "error-bound", 0,
+		"per-element absolute error bound for -compress lossy (required with lossy, rejected otherwise)")
 }
 
 // FinishMode translates the -finish flag.
@@ -119,6 +129,26 @@ func (r *Runtime) StorePolicy() (apgas.StorePolicy, error) {
 		return sp, err
 	}
 	return sp, nil
+}
+
+// Compression assembles the checkpoint compression policy from the
+// -compress/-error-bound flags. The default ("none", bound 0) yields
+// the zero Spec — the bit-identical uncompressed codec.
+func (r *Runtime) Compression() (codec.Spec, error) {
+	var spec codec.Spec
+	mode, err := codec.ParseCompression(r.Compress)
+	if err != nil {
+		return spec, fmt.Errorf("-compress: %w", err)
+	}
+	spec.Mode = mode
+	spec.ErrorBound = r.ErrorBound
+	if err := spec.Validate(); err != nil {
+		if mode != codec.CompressLossy && r.ErrorBound != 0 {
+			return spec, fmt.Errorf("-error-bound applies to -compress lossy only")
+		}
+		return spec, err
+	}
+	return spec, nil
 }
 
 // TransportFactory translates the -transport flag into a constructor for

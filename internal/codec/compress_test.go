@@ -1,0 +1,425 @@
+package codec
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// testFloatSlices spans the encoder's regime boundaries: empty, below
+// flateMinFloats (raw path), above it (shuffled-flate path), and beyond
+// floatChunk (multi-chunk parallel path), plus special values that force
+// the lossy codec's whole-frame fallback.
+func testFloatSlices() map[string][]float64 {
+	rng := rand.New(rand.NewSource(42))
+	smooth := make([]float64, flateMinFloats*4)
+	for i := range smooth {
+		smooth[i] = math.Sin(float64(i) / 50)
+	}
+	multiChunk := make([]float64, floatChunk+floatChunk/2)
+	for i := range multiChunk {
+		multiChunk[i] = 1e-3 * float64(i%977)
+	}
+	noisy := make([]float64, flateMinFloats*2)
+	for i := range noisy {
+		noisy[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(40)-20))
+	}
+	return map[string][]float64{
+		"empty":      {},
+		"single":     {math.Pi},
+		"tinyRaw":    {1, -2.5, 3e300, -4e-300, 0},
+		"special":    {math.NaN(), math.Inf(1), math.Inf(-1), math.Copysign(0, -1), math.MaxFloat64, -math.SmallestNonzeroFloat64},
+		"smooth":     smooth,
+		"noisy":      noisy,
+		"multiChunk": multiChunk,
+	}
+}
+
+func testIntSlices() map[string][]int {
+	sorted := make([]int, 5000)
+	for i := range sorted {
+		sorted[i] = 3*i + i%7
+	}
+	return map[string][]int{
+		"empty":    {},
+		"sorted":   sorted,
+		"negative": {-1, -100, 50, -3, 0, 7},
+		"extremes": {math.MaxInt64, math.MinInt64, 0, math.MaxInt64, math.MinInt64},
+	}
+}
+
+// TestLosslessFloatRoundTrip: decode(encode(vs)) is bit-identical for
+// every regime, the encoding is deterministic, and decoding works both
+// into a presized destination and a fresh allocation.
+func TestLosslessFloatRoundTrip(t *testing.T) {
+	comp, err := NewCompressor(Spec{Mode: CompressLossless})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, vs := range testFloatSlices() {
+		t.Run(name, func(t *testing.T) {
+			enc := comp.AppendFloat64s(nil, vs)
+			if again := comp.AppendFloat64s(nil, vs); !bytes.Equal(enc, again) {
+				t.Fatal("encoding is not deterministic")
+			}
+			if bound := comp.SizeBound(SizeFloat64s(len(vs))); len(enc) > bound {
+				t.Fatalf("frame %d bytes exceeds SizeBound %d", len(enc), bound)
+			}
+			tail := []byte{0xEE, 0xFF}
+			for _, dst := range [][]float64{nil, make([]float64, len(vs))} {
+				got, rest, err := comp.Float64sInto(dst, append(enc[:len(enc):len(enc)], tail...))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(rest, tail) {
+					t.Fatalf("decoder consumed wrong byte count, rest=%x", rest)
+				}
+				if len(got) != len(vs) {
+					t.Fatalf("len = %d, want %d", len(got), len(vs))
+				}
+				for i := range vs {
+					if math.Float64bits(got[i]) != math.Float64bits(vs[i]) {
+						t.Fatalf("element %d: got %v (%#x), want %v (%#x)",
+							i, got[i], math.Float64bits(got[i]), vs[i], math.Float64bits(vs[i]))
+					}
+				}
+			}
+			if comp.MaxError() != 0 {
+				t.Fatalf("lossless MaxError = %g, want 0", comp.MaxError())
+			}
+		})
+	}
+}
+
+// TestLosslessIntRoundTrip is the int-frame analogue, covering the
+// zigzag-varint delta codec against sign changes and 64-bit extremes.
+func TestLosslessIntRoundTrip(t *testing.T) {
+	comp, _ := NewCompressor(Spec{Mode: CompressLossless})
+	for name, vs := range testIntSlices() {
+		t.Run(name, func(t *testing.T) {
+			enc := comp.AppendInts(nil, vs)
+			got, rest, err := comp.IntsInto(nil, enc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rest) != 0 {
+				t.Fatalf("%d bytes left over", len(rest))
+			}
+			if len(got) != len(vs) {
+				t.Fatalf("len = %d, want %d", len(got), len(vs))
+			}
+			for i := range vs {
+				if got[i] != vs[i] {
+					t.Fatalf("element %d: got %d, want %d", i, got[i], vs[i])
+				}
+			}
+		})
+	}
+}
+
+// TestLosslessShrinksCompressibleFrames pins the point of the exercise:
+// smooth float payloads and sorted index arrays come out smaller than
+// the fixed-width encoding.
+func TestLosslessShrinksCompressibleFrames(t *testing.T) {
+	comp, _ := NewCompressor(Spec{Mode: CompressLossless})
+	slices := testFloatSlices()
+	for _, name := range []string{"smooth", "multiChunk"} {
+		vs := slices[name]
+		if enc := comp.AppendFloat64s(nil, vs); len(enc) >= SizeFloat64s(len(vs)) {
+			t.Errorf("%s: compressed %d bytes >= raw %d", name, len(enc), SizeFloat64s(len(vs)))
+		}
+	}
+	ints := testIntSlices()["sorted"]
+	if enc := comp.AppendInts(nil, ints); len(enc) >= SizeInts(len(ints)) {
+		t.Errorf("sorted ints: compressed %d bytes >= raw %d", len(enc), SizeInts(len(ints)))
+	}
+}
+
+// TestLossyErrorBound is the lossy property test: for every frame and
+// every bound, |x − x'| ≤ ε element-wise, and the compressor's MaxError
+// tracks the worst reconstruction error without exceeding the bound.
+func TestLossyErrorBound(t *testing.T) {
+	for _, eps := range []float64{1e-12, 1e-6, 1e-2, 1.0} {
+		for name, vs := range testFloatSlices() {
+			comp, err := NewCompressor(Spec{Mode: CompressLossy, ErrorBound: eps})
+			if err != nil {
+				t.Fatal(err)
+			}
+			enc := comp.AppendFloat64s(nil, vs)
+			got, rest, err := comp.Float64sInto(nil, enc)
+			if err != nil {
+				t.Fatalf("%s eps=%g: %v", name, eps, err)
+			}
+			if len(rest) != 0 || len(got) != len(vs) {
+				t.Fatalf("%s eps=%g: bad shape (%d left, %d values)", name, eps, len(rest), len(got))
+			}
+			worst := 0.0
+			for i := range vs {
+				if math.IsNaN(vs[i]) || math.IsInf(vs[i], 0) {
+					// Non-finite values force the whole-frame lossless
+					// fallback, so they must round-trip bit-exactly.
+					if math.Float64bits(got[i]) != math.Float64bits(vs[i]) {
+						t.Fatalf("%s eps=%g: %v decoded as %v", name, eps, vs[i], got[i])
+					}
+					continue
+				}
+				e := math.Abs(got[i] - vs[i])
+				if !(e <= eps) {
+					t.Fatalf("%s eps=%g: element %d error %g exceeds bound (%v -> %v)",
+						name, eps, i, e, vs[i], got[i])
+				}
+				if e > worst {
+					worst = e
+				}
+			}
+			if me := comp.MaxError(); me < worst || me > eps {
+				t.Fatalf("%s eps=%g: MaxError = %g, want in [%g, %g]", name, eps, me, worst, eps)
+			}
+		}
+	}
+}
+
+// TestLossyFallbackIsExact: frames the quantizer cannot bound (special
+// values, quanta beyond the exact-integer range) fall back to lossless
+// and round-trip bit-identically, and report zero introduced error.
+func TestLossyFallbackIsExact(t *testing.T) {
+	comp, _ := NewCompressor(Spec{Mode: CompressLossy, ErrorBound: 1e-6})
+	vs := []float64{math.NaN(), math.Inf(1), math.Inf(-1), 1e300, -1e300, 0.5}
+	enc := comp.AppendFloat64s(nil, vs)
+	got, _, err := comp.Float64sInto(nil, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vs {
+		if math.Float64bits(got[i]) != math.Float64bits(vs[i]) {
+			t.Fatalf("element %d: got %v, want bit-identical %v", i, got[i], vs[i])
+		}
+	}
+	if comp.MaxError() != 0 {
+		t.Fatalf("fallback frame recorded MaxError %g, want 0", comp.MaxError())
+	}
+}
+
+// TestCompressorsCrossDecode: any compressor decodes every frame kind,
+// so a restore configured lossless reads lossy-era frames and vice
+// versa (what the per-snapshot meta prefix relies on).
+func TestCompressorsCrossDecode(t *testing.T) {
+	lossless, _ := NewCompressor(Spec{Mode: CompressLossless})
+	lossy, _ := NewCompressor(Spec{Mode: CompressLossy, ErrorBound: 1e-9})
+	vs := testFloatSlices()["smooth"]
+	for name, enc := range map[string][]byte{
+		"losslessFrame": lossless.AppendFloat64s(nil, vs),
+		"lossyFrame":    lossy.AppendFloat64s(nil, vs),
+	} {
+		for dname, dec := range map[string]Compressor{"lossless": lossless, "lossy": lossy} {
+			got, _, err := dec.Float64sInto(nil, enc)
+			if err != nil {
+				t.Fatalf("%s via %s: %v", name, dname, err)
+			}
+			for i := range vs {
+				if math.Abs(got[i]-vs[i]) > 1e-9 {
+					t.Fatalf("%s via %s: element %d off by %g", name, dname, i, got[i]-vs[i])
+				}
+			}
+		}
+	}
+}
+
+// TestCorruptFrameRejection: structural corruption — truncations, bad
+// tags, impossible counts, mangled deflate streams — must surface as an
+// error, never a panic or a silently wrong slice length.
+func TestCorruptFrameRejection(t *testing.T) {
+	comp, _ := NewCompressor(Spec{Mode: CompressLossless})
+	lossy, _ := NewCompressor(Spec{Mode: CompressLossy, ErrorBound: 1e-6})
+	smooth := testFloatSlices()["smooth"]
+	frames := map[string][]byte{
+		"raw":       comp.AppendFloat64s(nil, testFloatSlices()["tinyRaw"]),
+		"shuffled":  comp.AppendFloat64s(nil, smooth),
+		"quantized": lossy.AppendFloat64s(nil, smooth),
+		"ints":      comp.AppendInts(nil, testIntSlices()["sorted"]),
+	}
+	decode := func(name string, b []byte) error {
+		if name == "ints" {
+			_, _, err := comp.IntsInto(nil, b)
+			return err
+		}
+		_, _, err := comp.Float64sInto(nil, b)
+		return err
+	}
+	for name, frame := range frames {
+		// Sanity: the pristine frame decodes.
+		if err := decode(name, frame); err != nil {
+			t.Fatalf("%s: pristine frame failed: %v", name, err)
+		}
+		// Every truncation of the frame must error (the count header
+		// promises more payload than remains).
+		for cut := 0; cut < len(frame); cut += 1 + len(frame)/13 {
+			if err := decode(name, frame[:cut]); err == nil {
+				t.Errorf("%s: truncation to %d bytes decoded without error", name, cut)
+			}
+		}
+	}
+	// Targeted structural breaks on float frames.
+	bad := [][]byte{
+		{0x05, 0xAB}, // count 5, unknown tag
+		{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01}, // implausible count
+	}
+	// Quantized frame advertising a non-positive error bound.
+	q := lossy.AppendFloat64s(nil, []float64{0.125, 0.25})
+	if len(q) > 10 && q[1] == floatQuantized {
+		z := append([]byte(nil), q...)
+		for i := 2; i < 10; i++ {
+			z[i] = 0 // eps = +0
+		}
+		bad = append(bad, z)
+	}
+	// Shuffled frame with its deflate stream scribbled over.
+	sh := append([]byte(nil), frames["shuffled"]...)
+	if sh[1+binary_len(uint64(len(smooth)))] == floatShuffled {
+		for i := len(sh) - 20; i < len(sh); i++ {
+			sh[i] ^= 0x5A
+		}
+		bad = append(bad, sh)
+	}
+	for i, b := range bad {
+		if _, _, err := comp.Float64sInto(nil, b); err == nil {
+			t.Errorf("corrupt frame %d decoded without error", i)
+		}
+	}
+}
+
+// binary_len is the uvarint length of v (test helper).
+func binary_len(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// TestEncoderCRCOverCompressedBytes: with a compressor attached, the
+// Encoder's rolling CRC-32C covers exactly the emitted (compressed)
+// bytes — the property replica validation and erasure repair depend on.
+func TestEncoderCRCOverCompressedBytes(t *testing.T) {
+	comp, _ := NewCompressor(Spec{Mode: CompressLossless})
+	vs := testFloatSlices()["smooth"]
+	enc := NewEncoderC(SizeFloat64s(len(vs))+SizeInt, comp)
+	enc.PutInt(len(vs))
+	enc.PutFloat64s(vs)
+	if got, want := enc.Sum(), Checksum(enc.Bytes()); got != want {
+		t.Fatalf("rolling CRC %#x != checksum of emitted bytes %#x", got, want)
+	}
+	// And the emitted stream must actually be the compressed form.
+	if enc.Len() >= SizeInt+SizeFloat64s(len(vs)) {
+		t.Fatalf("encoder emitted %d bytes, raw is %d — compressor not engaged", enc.Len(), SizeInt+SizeFloat64s(len(vs)))
+	}
+}
+
+// TestParseCompressionAndSpec covers the flag parser and Spec validation
+// table driven.
+func TestParseCompressionAndSpec(t *testing.T) {
+	for s, want := range map[string]Compression{"": CompressNone, "none": CompressNone, "lossless": CompressLossless, "lossy": CompressLossy} {
+		got, err := ParseCompression(s)
+		if err != nil || got != want {
+			t.Errorf("ParseCompression(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseCompression("zstd"); err == nil {
+		t.Error("ParseCompression accepted unknown mode")
+	}
+	valid := []Spec{{}, {Mode: CompressLossless}, {Mode: CompressLossy, ErrorBound: 1e-9}}
+	for _, s := range valid {
+		if err := s.Validate(); err != nil {
+			t.Errorf("Validate(%v) = %v", s, err)
+		}
+	}
+	invalid := []Spec{
+		{Mode: CompressLossy},                          // missing bound
+		{Mode: CompressLossy, ErrorBound: -1},          // negative
+		{Mode: CompressLossy, ErrorBound: math.Inf(1)}, // infinite
+		{Mode: CompressLossy, ErrorBound: math.NaN()},  // NaN
+		{Mode: CompressLossless, ErrorBound: 1e-9},     // bound without lossy
+		{Mode: Compression(99)},                        // unknown mode
+	}
+	for _, s := range invalid {
+		if err := s.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted invalid spec", s)
+		}
+	}
+	if got := (Spec{Mode: CompressLossy, ErrorBound: 1e-6}).String(); got != "lossy(eps=1e-06)" {
+		t.Errorf("lossy Spec.String() = %q", got)
+	}
+	if !(Spec{}).IsZero() || (Spec{Mode: CompressLossless}).IsZero() {
+		t.Error("IsZero wrong")
+	}
+	// NewCompressor: nil for none, error for invalid.
+	if c, err := NewCompressor(Spec{}); c != nil || err != nil {
+		t.Errorf("NewCompressor(none) = %v, %v", c, err)
+	}
+	if _, err := NewCompressor(Spec{Mode: CompressLossy}); err == nil {
+		t.Error("NewCompressor accepted lossy spec without bound")
+	}
+}
+
+// FuzzCompressFloat64s feeds arbitrary bytes to the compressed float
+// decoder: it must never panic, and whatever it successfully decodes
+// must re-encode to a frame that decodes to the same bit pattern.
+func FuzzCompressFloat64s(f *testing.F) {
+	comp, _ := NewCompressor(Spec{Mode: CompressLossless})
+	lossy, _ := NewCompressor(Spec{Mode: CompressLossy, ErrorBound: 1e-6})
+	for _, vs := range testFloatSlices() {
+		f.Add(comp.AppendFloat64s(nil, vs))
+		f.Add(lossy.AppendFloat64s(nil, vs))
+	}
+	f.Add([]byte{0x03, floatQuantized})
+	f.Add([]byte{0x03, floatShuffled, 0x01})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0x7F, floatRaw})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vs, rest, err := comp.Float64sInto(nil, data)
+		if err != nil {
+			return
+		}
+		consumed := len(data) - len(rest)
+		re := comp.AppendFloat64s(nil, vs)
+		got, rest2, err := comp.Float64sInto(nil, re)
+		if err != nil || len(rest2) != 0 {
+			t.Fatalf("re-encode of decoded frame (consumed %d) failed: %v", consumed, err)
+		}
+		for i := range vs {
+			if math.Float64bits(got[i]) != math.Float64bits(vs[i]) {
+				t.Fatalf("re-encode changed element %d: %v -> %v", i, vs[i], got[i])
+			}
+		}
+	})
+}
+
+// FuzzCompressInts is the int-frame analogue; the varint codec is
+// canonical-per-value-set, so here the re-encode must reproduce the
+// consumed bytes exactly.
+func FuzzCompressInts(f *testing.F) {
+	comp, _ := NewCompressor(Spec{Mode: CompressLossless})
+	for _, vs := range testIntSlices() {
+		f.Add(comp.AppendInts(nil, vs))
+	}
+	f.Add([]byte{0xFF, 0xFF, 0x7F})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vs, rest, err := comp.IntsInto(nil, data)
+		if err != nil {
+			return
+		}
+		consumed := len(data) - len(rest)
+		// Overlong (non-minimal) varints decode but do not re-encode
+		// identically; values do.
+		got, rest2, err := comp.IntsInto(nil, comp.AppendInts(nil, vs))
+		if err != nil || len(rest2) != 0 {
+			t.Fatalf("re-encode of decoded frame (consumed %d) failed: %v", consumed, err)
+		}
+		for i := range vs {
+			if got[i] != vs[i] {
+				t.Fatalf("re-encode changed element %d: %d -> %d", i, vs[i], got[i])
+			}
+		}
+	})
+}

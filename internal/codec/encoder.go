@@ -20,8 +20,9 @@ func Checksum(data []byte) uint32 {
 // NewEncoder draws a pre-sized buffer from the pool so that steady-state
 // checkpoints are allocation-free.
 type Encoder struct {
-	buf []byte
-	sum uint32
+	buf  []byte
+	sum  uint32
+	comp Compressor
 }
 
 // NewEncoder returns an Encoder whose buffer comes from the pool with at
@@ -29,6 +30,18 @@ type Encoder struct {
 // ownership and recycles the buffer on Destroy) or with PutBuffer.
 func NewEncoder(sizeHint int) Encoder {
 	return Encoder{buf: GetBuffer(sizeHint)}
+}
+
+// NewEncoderC is NewEncoder with a compression stage: the bulk slice
+// frames (PutFloat64s, PutInts) route through comp, and the running
+// CRC-32C covers the compressed bytes. A nil comp is exactly NewEncoder.
+// sizeHint is the legacy fixed-width payload size; the buffer is sized for
+// the compressor's worst case so incompressible payloads do not regrow it.
+func NewEncoderC(sizeHint int, comp Compressor) Encoder {
+	if comp != nil {
+		sizeHint = comp.SizeBound(sizeHint)
+	}
+	return Encoder{buf: GetBuffer(sizeHint), comp: comp}
 }
 
 // WrapEncoder returns an Encoder that appends to the caller's buffer
@@ -70,16 +83,18 @@ func (e *Encoder) PutFloat64(v float64) {
 	e.update(off)
 }
 
-// PutFloat64s emits a length-prefixed float slice through the bulk path.
+// PutFloat64s emits a length-prefixed float slice through the bulk path,
+// compressed when the Encoder carries a Compressor.
 func (e *Encoder) PutFloat64s(vs []float64) {
 	off := len(e.buf)
-	e.buf = AppendFloat64s(e.buf, vs)
+	e.buf = AppendFloat64sC(e.comp, e.buf, vs)
 	e.update(off)
 }
 
-// PutInts emits a length-prefixed int slice through the bulk path.
+// PutInts emits a length-prefixed int slice through the bulk path,
+// compressed when the Encoder carries a Compressor.
 func (e *Encoder) PutInts(vs []int) {
 	off := len(e.buf)
-	e.buf = AppendInts(e.buf, vs)
+	e.buf = AppendIntsC(e.comp, e.buf, vs)
 	e.update(off)
 }

@@ -1,0 +1,140 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/rgml/rgml/internal/apgas"
+	"github.com/rgml/rgml/internal/codec"
+	"github.com/rgml/rgml/internal/snapshot"
+)
+
+// compressMetaSentinel prefixes a snapshot descriptor whose payloads
+// were written through a compressor. Every legacy descriptor either is
+// empty or begins with a non-negative count/dimension, so a negative
+// sentinel can never collide with one: old snapshots decode unchanged,
+// and `-compress none` writes byte-identical descriptors.
+const compressMetaSentinel = -0x434F4D50 // "COMP"
+
+// compressible is embedded by every snapshottable dist class. It holds
+// the object's checkpoint-compression override and its lossy opt-in;
+// the runtime-wide policy (apgas.WithCompression) applies when no
+// override is set. Lossy compression is strictly opt-in per object:
+// without AllowLossyCheckpoint(true), a lossy policy is transparently
+// downgraded to lossless, so read-only inputs and index structures are
+// never quantized.
+type compressible struct {
+	spec    codec.Spec
+	specSet bool
+	lossyOK bool
+}
+
+// SetCompression overrides the runtime-wide checkpoint compression
+// policy for this object. The zero Spec selects no compression.
+func (c *compressible) SetCompression(spec codec.Spec) error {
+	if err := spec.Validate(); err != nil {
+		return fmt.Errorf("dist: SetCompression: %w", err)
+	}
+	c.spec, c.specSet = spec, true
+	return nil
+}
+
+// AllowLossyCheckpoint marks the object as tolerating error-bounded
+// lossy checkpoints. Solvers set it on mutable model state they can
+// re-converge from (à la lossy checkpointing for iterative methods);
+// anything not marked is checkpointed losslessly even under a lossy
+// policy.
+func (c *compressible) AllowLossyCheckpoint(on bool) { c.lossyOK = on }
+
+// resolveSpec computes the effective compression policy for a
+// checkpoint of this object: per-object override beats the runtime
+// default, and lossy degrades to lossless unless the object opted in.
+func (c *compressible) resolveSpec(rt *apgas.Runtime) codec.Spec {
+	spec := rt.Compression()
+	if c.specSet {
+		spec = c.spec
+	}
+	if spec.Mode == codec.CompressLossy && !c.lossyOK {
+		spec = codec.Spec{Mode: codec.CompressLossless}
+	}
+	return spec
+}
+
+// newCompressor builds the save-side compressor for one checkpoint of
+// this object (nil for an uncompressed checkpoint). A fresh compressor
+// per snapshot keeps the lossy error tracking scoped to that snapshot.
+func (c *compressible) newCompressor(rt *apgas.Runtime) (codec.Compressor, codec.Spec) {
+	spec := c.resolveSpec(rt)
+	comp, err := codec.NewCompressor(spec)
+	if err != nil {
+		// resolveSpec only yields validated specs; degrade to
+		// uncompressed rather than failing the checkpoint.
+		return nil, codec.Spec{}
+	}
+	return comp, spec
+}
+
+// appendCompressMeta prepends the compression descriptor prefix for
+// spec. CompressNone appends nothing, keeping default-mode descriptors
+// byte-identical to the pre-compression format.
+func appendCompressMeta(meta []byte, spec codec.Spec) []byte {
+	if spec.Mode == codec.CompressNone {
+		return meta
+	}
+	meta = codec.AppendInt(meta, compressMetaSentinel)
+	meta = codec.AppendInt(meta, int(spec.Mode))
+	meta = codec.AppendUint64(meta, math.Float64bits(spec.ErrorBound))
+	return meta
+}
+
+// splitCompressMeta peels the compression prefix off a snapshot
+// descriptor, returning the recorded spec (zero for a legacy or
+// uncompressed descriptor) and the remaining object metadata.
+func splitCompressMeta(meta []byte) (codec.Spec, []byte, error) {
+	if len(meta) < codec.SizeInt {
+		return codec.Spec{}, meta, nil
+	}
+	v, rest, err := codec.Int(meta)
+	if err != nil || v != compressMetaSentinel {
+		return codec.Spec{}, meta, nil
+	}
+	mode, rest, err := codec.Int(rest)
+	if err != nil {
+		return codec.Spec{}, nil, fmt.Errorf("dist: compression meta: %w", err)
+	}
+	bits, rest, err := codec.Uint64(rest)
+	if err != nil {
+		return codec.Spec{}, nil, fmt.Errorf("dist: compression meta: %w", err)
+	}
+	spec := codec.Spec{Mode: codec.Compression(mode), ErrorBound: math.Float64frombits(bits)}
+	if err := spec.Validate(); err != nil {
+		return codec.Spec{}, nil, fmt.Errorf("dist: compression meta: %w", err)
+	}
+	if spec.Mode == codec.CompressNone {
+		return codec.Spec{}, nil, fmt.Errorf("dist: compression meta: prefixed descriptor with mode none")
+	}
+	return spec, rest, nil
+}
+
+// compressorForMeta builds the decode-side compressor recorded in a
+// snapshot descriptor (nil when the snapshot is uncompressed) and
+// returns the remaining object metadata.
+func compressorForMeta(meta []byte) (codec.Compressor, []byte, error) {
+	spec, rest, err := splitCompressMeta(meta)
+	if err != nil {
+		return nil, nil, err
+	}
+	comp, err := codec.NewCompressor(spec)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dist: compression meta: %w", err)
+	}
+	return comp, rest, nil
+}
+
+// noteLossyErr folds the compressor's observed quantization error into
+// the snapshot's lossy-error gauge after a successful save pass.
+func noteLossyErr(s *snapshot.Snapshot, comp codec.Compressor) {
+	if comp != nil {
+		s.NoteLossyMaxError(comp.MaxError())
+	}
+}

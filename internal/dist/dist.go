@@ -23,6 +23,7 @@ package dist
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"github.com/rgml/rgml/internal/apgas"
 	"github.com/rgml/rgml/internal/block"
@@ -46,50 +47,84 @@ func encodeVector(v la.Vector) []byte {
 
 // saveVector runs the checkpoint fast path for one vector fragment:
 // encode into a pooled, exactly-sized buffer with the CRC-32C folded into
-// the encode pass, then hand the buffer to the snapshot store.
-func saveVector(ctx *apgas.Ctx, s *snapshot.Snapshot, key int, v la.Vector) {
-	enc := encodeVectorPooled(v)
+// the encode pass (over the compressed bytes when comp is set), then hand
+// the buffer to the snapshot store.
+func saveVector(ctx *apgas.Ctx, s *snapshot.Snapshot, key int, v la.Vector, comp codec.Compressor) {
+	if comp == nil {
+		enc := encodeVectorPooled(v, nil)
+		s.SaveEncoded(ctx, key, enc)
+		return
+	}
+	start := time.Now()
+	enc := encodeVectorPooled(v, comp)
+	s.NoteCompression(codec.SizeFloat64s(len(v)), enc.Len(), time.Since(start))
 	s.SaveEncoded(ctx, key, enc)
 }
 
 // encodeVectorPooled encodes a vector fragment into a pooled encoder.
-func encodeVectorPooled(v la.Vector) *codec.Encoder {
-	enc := codec.NewEncoder(codec.SizeFloat64s(len(v)))
+func encodeVectorPooled(v la.Vector, comp codec.Compressor) *codec.Encoder {
+	enc := codec.NewEncoderC(codec.SizeFloat64s(len(v)), comp)
 	enc.PutFloat64s(v)
 	return &enc
 }
 
 // saveVectorDelta is saveVector against a previous checkpoint (see
 // Snapshot.SaveDelta): the fragment is re-encoded and re-shipped only if
-// ver moved since prev recorded it, or its bytes actually changed.
-func saveVectorDelta(ctx *apgas.Ctx, s, prev *snapshot.Snapshot, key int, ver uint64, v la.Vector) {
-	s.SaveDelta(ctx, key, ver, prev, func() *codec.Encoder { return encodeVectorPooled(v) })
+// ver moved since prev recorded it, or its bytes actually changed. With a
+// deterministic compressor, the store's byte comparison operates on
+// compressed frames and stays exact.
+func saveVectorDelta(ctx *apgas.Ctx, s, prev *snapshot.Snapshot, key int, ver uint64, v la.Vector, comp codec.Compressor) {
+	s.SaveDelta(ctx, key, ver, prev, func() *codec.Encoder {
+		if comp == nil {
+			return encodeVectorPooled(v, nil)
+		}
+		start := time.Now()
+		enc := encodeVectorPooled(v, comp)
+		s.NoteCompression(codec.SizeFloat64s(len(v)), enc.Len(), time.Since(start))
+		return enc
+	})
 }
 
 // validateRetainedVector checks a surviving place's in-memory fragment
 // against the snapshot digest for key: sizes first, then a local
 // re-encode whose CRC must match the stored sum. Used by the partial
-// restore paths to keep survivor state instead of re-loading it.
-func validateRetainedVector(ctx *apgas.Ctx, s *snapshot.Snapshot, key, ownerIdx int, v la.Vector) bool {
-	sum, size, err := s.Digest(ctx, key, ownerIdx)
-	if err != nil || size != codec.SizeFloat64s(len(v)) {
+// restore paths to keep survivor state instead of re-loading it. With a
+// lossless compressor the size precheck is skipped (compressed sizes are
+// not predictable from the shape) and the deterministic re-encode carries
+// the comparison alone. A lossy compressor rejects outright: its
+// re-encode cannot distinguish the checkpointed value from any later
+// value in the same quantization bucket, so content validation would let
+// survivors keep post-checkpoint state and dodge the rollback — under a
+// lossy codec every place reloads, keeping the post-restore state the
+// checkpoint state (up to the error bound), never a mixture of
+// checkpoint and newer survivor state.
+func validateRetainedVector(ctx *apgas.Ctx, s *snapshot.Snapshot, key, ownerIdx int, v la.Vector, comp codec.Compressor) bool {
+	if comp != nil && comp.Spec().Mode == codec.CompressLossy {
 		return false
 	}
-	enc := encodeVectorPooled(v)
+	sum, size, err := s.Digest(ctx, key, ownerIdx)
+	if err != nil || (comp == nil && size != codec.SizeFloat64s(len(v))) {
+		return false
+	}
+	enc := encodeVectorPooled(v, comp)
 	ok := enc.Len() == size && enc.Sum() == sum
 	codec.PutBuffer(enc.Bytes())
 	return ok
 }
 
 // validateRetainedBlock checks a surviving place's in-memory block
-// against the snapshot digest for key: sizes first, then a local
-// re-encode whose CRC must match the stored sum.
-func validateRetainedBlock(ctx *apgas.Ctx, s *snapshot.Snapshot, key, ownerIdx int, b *block.MatrixBlock) bool {
-	sum, size, err := s.Digest(ctx, key, ownerIdx)
-	if err != nil || size != b.EncodedSize() {
+// against the snapshot digest for key: sizes first (skipped under
+// compression), then a local re-encode whose CRC must match the stored
+// sum. Lossy codecs reject outright — see validateRetainedVector.
+func validateRetainedBlock(ctx *apgas.Ctx, s *snapshot.Snapshot, key, ownerIdx int, b *block.MatrixBlock, comp codec.Compressor) bool {
+	if comp != nil && comp.Spec().Mode == codec.CompressLossy {
 		return false
 	}
-	enc := codec.NewEncoder(b.EncodedSize())
+	sum, size, err := s.Digest(ctx, key, ownerIdx)
+	if err != nil || (comp == nil && size != b.EncodedSize()) {
+		return false
+	}
+	enc := codec.NewEncoderC(b.EncodedSize(), comp)
 	b.EncodeInto(&enc)
 	ok := enc.Len() == size && enc.Sum() == sum
 	codec.PutBuffer(enc.Bytes())
@@ -99,8 +134,8 @@ func validateRetainedBlock(ctx *apgas.Ctx, s *snapshot.Snapshot, key, ownerIdx i
 // decodeVectorInto deserializes a vector fragment into dst's backing
 // storage when the lengths match (the same-segmentation restore path),
 // avoiding a fresh allocation.
-func decodeVectorInto(dst la.Vector, b []byte) (la.Vector, error) {
-	vs, _, err := codec.Float64sInto(dst, b)
+func decodeVectorInto(dst la.Vector, b []byte, comp codec.Compressor) (la.Vector, error) {
+	vs, _, err := codec.Float64sIntoC(comp, dst, b)
 	if err != nil {
 		return nil, fmt.Errorf("dist: decode vector: %w", err)
 	}
@@ -108,8 +143,8 @@ func decodeVectorInto(dst la.Vector, b []byte) (la.Vector, error) {
 }
 
 // decodeVector deserializes a vector fragment.
-func decodeVector(b []byte) (la.Vector, error) {
-	vs, _, err := codec.Float64s(b)
+func decodeVector(b []byte, comp codec.Compressor) (la.Vector, error) {
+	vs, _, err := codec.Float64sIntoC(comp, nil, b)
 	if err != nil {
 		return nil, fmt.Errorf("dist: decode vector: %w", err)
 	}

@@ -46,6 +46,10 @@ type DistBlockMatrix struct {
 	gatherOK    bool
 	matGatherH  apgas.PlaceLocalHandle[map[int]*la.DenseMatrix]
 	matGatherOK bool
+
+	// compressible carries the per-object checkpoint-compression
+	// override and lossy opt-in (SetCompression, AllowLossyCheckpoint).
+	compressible
 }
 
 // MakeDistBlockMatrix creates a zeroed rows×cols matrix cut into

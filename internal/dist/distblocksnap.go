@@ -2,6 +2,7 @@ package dist
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/rgml/rgml/internal/apgas"
 	"github.com/rgml/rgml/internal/block"
@@ -26,7 +27,9 @@ func (m *DistBlockMatrix) MakeSnapshotWithOptions(opts snapshot.Options) (*snaps
 	if err != nil {
 		return nil, err
 	}
-	meta := codec.AppendInt(make([]byte, 0, 5*codec.SizeInt+codec.SizeInts(len(m.dg.PlaceOf))), int(m.kind))
+	comp, spec := m.newCompressor(m.rt)
+	meta := appendCompressMeta(make([]byte, 0, 8*codec.SizeInt+codec.SizeInts(len(m.dg.PlaceOf))), spec)
+	meta = codec.AppendInt(meta, int(m.kind))
 	meta = codec.AppendInt(meta, m.rows)
 	meta = codec.AppendInt(meta, m.cols)
 	meta = codec.AppendInt(meta, m.g.RowBlocks)
@@ -36,50 +39,67 @@ func (m *DistBlockMatrix) MakeSnapshotWithOptions(opts snapshot.Options) (*snaps
 	err = apgas.ForEachPlace(m.rt, m.pg, func(ctx *apgas.Ctx, idx int) {
 		bs := m.plh.Local(ctx)
 		if bs.Len() <= 1 {
-			bs.Each(func(id int, b *block.MatrixBlock) { saveBlock(ctx, s, id, b) })
+			bs.Each(func(id int, b *block.MatrixBlock) { saveBlock(ctx, s, id, b, comp) })
 			return
 		}
 		// A place holding several blocks encodes them in parallel tasks;
 		// each task's backup put overlaps the other encodes.
 		bs.Each(func(id int, b *block.MatrixBlock) {
-			ctx.AsyncAt(ctx.Here, func(c *apgas.Ctx) { saveBlock(c, s, id, b) })
+			ctx.AsyncAt(ctx.Here, func(c *apgas.Ctx) { saveBlock(c, s, id, b, comp) })
 		})
 	})
 	if err != nil {
 		s.Destroy()
 		return nil, err
 	}
+	noteLossyErr(s, comp)
 	return s, nil
+}
+
+// encodeBlock encodes one block into a pooled encoder, through comp when
+// set (the CRC-32C then covers the compressed frame), recording the
+// compression instrumentation on s.
+func encodeBlock(s *snapshot.Snapshot, b *block.MatrixBlock, comp codec.Compressor) *codec.Encoder {
+	if comp == nil {
+		enc := codec.NewEncoder(b.EncodedSize())
+		b.EncodeInto(&enc)
+		return &enc
+	}
+	start := time.Now()
+	enc := codec.NewEncoderC(b.EncodedSize(), comp)
+	b.EncodeInto(&enc)
+	s.NoteCompression(b.EncodedSize(), enc.Len(), time.Since(start))
+	return &enc
 }
 
 // saveBlock runs the checkpoint fast path for one block: encode into a
 // pooled, exactly-sized buffer with the CRC-32C folded into the encode
 // pass, then hand the buffer to the snapshot store.
-func saveBlock(ctx *apgas.Ctx, s *snapshot.Snapshot, id int, b *block.MatrixBlock) {
-	enc := codec.NewEncoder(b.EncodedSize())
-	b.EncodeInto(&enc)
-	s.SaveEncoded(ctx, id, &enc)
+func saveBlock(ctx *apgas.Ctx, s *snapshot.Snapshot, id int, b *block.MatrixBlock, comp codec.Compressor) {
+	enc := encodeBlock(s, b, comp)
+	s.SaveEncoded(ctx, id, enc)
 }
 
 // saveBlockDelta is saveBlock against a previous checkpoint: the block is
 // re-encoded (and re-shipped) only if its content version moved since
 // prev recorded it, with the store's CRC comparison as the backstop for
 // unversioned mutations.
-func saveBlockDelta(ctx *apgas.Ctx, s, prev *snapshot.Snapshot, id int, b *block.MatrixBlock) {
+func saveBlockDelta(ctx *apgas.Ctx, s, prev *snapshot.Snapshot, id int, b *block.MatrixBlock, comp codec.Compressor) {
 	s.SaveDelta(ctx, id, b.Ver, prev, func() *codec.Encoder {
-		enc := codec.NewEncoder(b.EncodedSize())
-		b.EncodeInto(&enc)
-		return &enc
+		return encodeBlock(s, b, comp)
 	})
 }
 
 // MakeDeltaSnapshot implements snapshot.DirtyTracker: blocks unchanged
 // since prev (same content version, or identical bytes) are carried into
 // the new snapshot by reference instead of being re-encoded and
-// re-shipped. Applicable only when prev describes the same group, grid
-// and distribution; anything else degrades to a full MakeSnapshot.
+// re-shipped. Applicable only when prev describes the same group, grid,
+// distribution, and compression policy (carried-forward frames must
+// decode under this snapshot's codec); anything else degrades to a full
+// MakeSnapshot.
 func (m *DistBlockMatrix) MakeDeltaSnapshot(prev *snapshot.Snapshot) (*snapshot.Snapshot, error) {
-	if !m.deltaApplicable(prev) {
+	comp, spec := m.newCompressor(m.rt)
+	if !m.deltaApplicable(prev, spec) {
 		return m.MakeSnapshot()
 	}
 	s, err := snapshot.NewWithOptions(m.rt, m.pg, snapshot.Options{})
@@ -90,30 +110,32 @@ func (m *DistBlockMatrix) MakeDeltaSnapshot(prev *snapshot.Snapshot) (*snapshot.
 	err = apgas.ForEachPlace(m.rt, m.pg, func(ctx *apgas.Ctx, idx int) {
 		bs := m.plh.Local(ctx)
 		if bs.Len() <= 1 {
-			bs.Each(func(id int, b *block.MatrixBlock) { saveBlockDelta(ctx, s, prev, id, b) })
+			bs.Each(func(id int, b *block.MatrixBlock) { saveBlockDelta(ctx, s, prev, id, b, comp) })
 			return
 		}
 		bs.Each(func(id int, b *block.MatrixBlock) {
-			ctx.AsyncAt(ctx.Here, func(c *apgas.Ctx) { saveBlockDelta(c, s, prev, id, b) })
+			ctx.AsyncAt(ctx.Here, func(c *apgas.Ctx) { saveBlockDelta(c, s, prev, id, b, comp) })
 		})
 	})
 	if err != nil {
 		s.Destroy()
 		return nil, err
 	}
+	noteLossyErr(s, comp)
 	return s, nil
 }
 
 // deltaApplicable reports whether prev can serve as the baseline of a
-// delta snapshot: same group, same grid, and the same block→place
-// mapping (a carried entry must keep its owner, or restores would look
-// up replicas at the wrong places).
-func (m *DistBlockMatrix) deltaApplicable(prev *snapshot.Snapshot) bool {
+// delta snapshot under the resolved compression spec: same group, same
+// grid, the same block→place mapping (a carried entry must keep its
+// owner, or restores would look up replicas at the wrong places), and
+// the same compression policy.
+func (m *DistBlockMatrix) deltaApplicable(prev *snapshot.Snapshot, spec codec.Spec) bool {
 	if prev == nil || !prev.Group().Equal(m.pg) {
 		return false
 	}
 	meta, err := decodeSnapMeta(prev.Meta())
-	if err != nil || meta.kind != m.kind || !meta.oldGrid.Equal(m.g) {
+	if err != nil || meta.kind != m.kind || !meta.oldGrid.Equal(m.g) || meta.spec != spec {
 		return false
 	}
 	for id, p := range meta.placeOf {
@@ -164,15 +186,22 @@ func (m *DistBlockMatrix) RestoreSnapshotPartial(s *snapshot.Snapshot, dead []ap
 }
 
 // validateRetained checks a surviving block's in-memory payload against
-// the snapshot: sizes first (free), then a local re-encode whose CRC
-// must equal the stored digest. A survivor whose state advanced past the
-// checkpoint fails the comparison and is re-loaded like any lost block.
+// the snapshot: sizes first (free; skipped under compression, whose
+// frame sizes are not predictable from the shape), then a local
+// re-encode whose CRC must equal the stored digest. A survivor whose
+// state advanced past the checkpoint fails the comparison and is
+// re-loaded like any lost block. A lossy codec rejects outright (see
+// validateRetainedVector): a quantizing re-encode cannot tell the
+// checkpointed payload from newer state in the same bucket.
 func (m *DistBlockMatrix) validateRetained(ctx *apgas.Ctx, s *snapshot.Snapshot, meta *snapMeta, id int, b *block.MatrixBlock) bool {
-	sum, size, err := s.Digest(ctx, id, meta.placeOf[id])
-	if err != nil || size != b.EncodedSize() {
+	if meta.spec.Mode == codec.CompressLossy {
 		return false
 	}
-	enc := codec.NewEncoder(b.EncodedSize())
+	sum, size, err := s.Digest(ctx, id, meta.placeOf[id])
+	if err != nil || (meta.comp == nil && size != b.EncodedSize()) {
+		return false
+	}
+	enc := codec.NewEncoderC(b.EncodedSize(), meta.comp)
 	b.EncodeInto(&enc)
 	ok := enc.Len() == size && enc.Sum() == sum
 	codec.PutBuffer(enc.Bytes())
@@ -185,14 +214,22 @@ type snapMeta struct {
 	rows, cols int
 	oldGrid    *grid.Grid
 	placeOf    []int
+	// spec and comp record the compression policy the snapshot's frames
+	// were written under (zero/nil for an uncompressed snapshot).
+	spec codec.Spec
+	comp codec.Compressor
 }
 
 func decodeSnapMeta(meta []byte) (*snapMeta, error) {
-	var (
-		kind, rows, cols, rb, cb int
-		err                      error
-	)
-	rd := meta
+	spec, rd, err := splitCompressMeta(meta)
+	if err != nil {
+		return nil, err
+	}
+	comp, err := codec.NewCompressor(spec)
+	if err != nil {
+		return nil, fmt.Errorf("dist: snapshot meta: %w", err)
+	}
+	var kind, rows, cols, rb, cb int
 	for _, dst := range []*int{&kind, &rows, &cols, &rb, &cb} {
 		if *dst, rd, err = codec.Int(rd); err != nil {
 			return nil, fmt.Errorf("dist: snapshot meta: %w", err)
@@ -209,7 +246,7 @@ func decodeSnapMeta(meta []byte) (*snapMeta, error) {
 	if len(placeOf) != g.NumBlocks() {
 		return nil, fmt.Errorf("dist: snapshot meta: %d owners for %d blocks", len(placeOf), g.NumBlocks())
 	}
-	return &snapMeta{kind: block.Kind(kind), rows: rows, cols: cols, oldGrid: g, placeOf: placeOf}, nil
+	return &snapMeta{kind: block.Kind(kind), rows: rows, cols: cols, oldGrid: g, placeOf: placeOf, spec: spec, comp: comp}, nil
 }
 
 // RestoreSnapshot implements snapshot.Snapshottable. If the current data
@@ -259,7 +296,7 @@ func (m *DistBlockMatrix) loadBlock(ctx *apgas.Ctx, s *snapshot.Snapshot, meta *
 	if err != nil {
 		return err
 	}
-	if err := block.DecodeInto(b, data); err != nil {
+	if err := block.DecodeIntoC(b, data, meta.comp); err != nil {
 		return fmt.Errorf("dist: restoring block %d: %w", id, err)
 	}
 	return nil
@@ -283,7 +320,7 @@ func (m *DistBlockMatrix) restoreRegrid(s *snapshot.Snapshot, meta *snapMeta) er
 			if err != nil {
 				apgas.Throw(err)
 			}
-			b, err := block.Decode(data)
+			b, err := block.DecodeC(data, meta.comp)
 			if err != nil {
 				apgas.Throw(err)
 			}

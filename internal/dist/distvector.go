@@ -30,6 +30,9 @@ type DistVector struct {
 	// the same place and group index; partial restore validates it
 	// against the snapshot digest instead of re-loading it.
 	retained []bool
+	// compressible carries the per-object checkpoint-compression
+	// override and lossy opt-in (SetCompression, AllowLossyCheckpoint).
+	compressible
 }
 
 // MakeDistVector creates a zeroed distributed vector of length n over pg.
@@ -327,16 +330,19 @@ func (v *DistVector) MakeSnapshot() (*snapshot.Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
-	meta := codec.AppendInt(nil, v.n)
+	comp, spec := v.newCompressor(v.rt)
+	meta := appendCompressMeta(nil, spec)
+	meta = codec.AppendInt(meta, v.n)
 	meta = codec.AppendInts(meta, v.segSizes)
 	s.SetMeta(meta)
 	err = apgas.ForEachPlace(v.rt, v.pg, func(ctx *apgas.Ctx, idx int) {
-		saveVector(ctx, s, idx, v.plh.Local(ctx))
+		saveVector(ctx, s, idx, v.plh.Local(ctx), comp)
 	})
 	if err != nil {
 		s.Destroy()
 		return nil, err
 	}
+	noteLossyErr(s, comp)
 	return s, nil
 }
 
@@ -344,26 +350,33 @@ func (v *DistVector) MakeSnapshot() (*snapshot.Snapshot, error) {
 // version is unchanged since prev (or whose bytes compare equal) are
 // carried forward by reference instead of re-encoded and re-shipped.
 // Falls back to a full snapshot when prev does not cover the current
-// place group.
+// place group, or was written under a different compression policy
+// (carried-forward frames must decode under this snapshot's codec).
 func (v *DistVector) MakeDeltaSnapshot(prev *snapshot.Snapshot) (*snapshot.Snapshot, error) {
 	if prev == nil || !prev.Group().Equal(v.pg) {
+		return v.MakeSnapshot()
+	}
+	comp, spec := v.newCompressor(v.rt)
+	if prevSpec, _, err := splitCompressMeta(prev.Meta()); err != nil || prevSpec != spec {
 		return v.MakeSnapshot()
 	}
 	s, err := snapshot.New(v.rt, v.pg)
 	if err != nil {
 		return nil, err
 	}
-	meta := codec.AppendInt(nil, v.n)
+	meta := appendCompressMeta(nil, spec)
+	meta = codec.AppendInt(meta, v.n)
 	meta = codec.AppendInts(meta, v.segSizes)
 	s.SetMeta(meta)
 	ver := v.ver
 	err = apgas.ForEachPlace(v.rt, v.pg, func(ctx *apgas.Ctx, idx int) {
-		saveVectorDelta(ctx, s, prev, idx, ver, v.plh.Local(ctx))
+		saveVectorDelta(ctx, s, prev, idx, ver, v.plh.Local(ctx), comp)
 	})
 	if err != nil {
 		s.Destroy()
 		return nil, err
 	}
+	noteLossyErr(s, comp)
 	return s, nil
 }
 
@@ -373,7 +386,11 @@ func (v *DistVector) MakeDeltaSnapshot(prev *snapshot.Snapshot) (*snapshot.Snaps
 // path. Otherwise each place reassembles its new segment from the
 // overlapping old segments (the re-partitioned path).
 func (v *DistVector) RestoreSnapshot(s *snapshot.Snapshot) error {
-	n, rest, err := codec.Int(s.Meta())
+	comp, objMeta, err := compressorForMeta(s.Meta())
+	if err != nil {
+		return fmt.Errorf("dist: DistVector restore meta: %w", err)
+	}
+	n, rest, err := codec.Int(objMeta)
 	if err != nil {
 		return fmt.Errorf("dist: DistVector restore meta: %w", err)
 	}
@@ -399,7 +416,7 @@ func (v *DistVector) RestoreSnapshot(s *snapshot.Snapshot) error {
 			if err != nil {
 				apgas.Throw(err)
 			}
-			old, err := decodeVectorInto(seg, data)
+			old, err := decodeVectorInto(seg, data, comp)
 			if err != nil {
 				apgas.Throw(err)
 			}
@@ -419,7 +436,7 @@ func (v *DistVector) RestoreSnapshot(s *snapshot.Snapshot) error {
 			if err != nil {
 				apgas.Throw(err)
 			}
-			old, err := decodeVector(data)
+			old, err := decodeVector(data, comp)
 			if err != nil {
 				apgas.Throw(err)
 			}
@@ -436,7 +453,11 @@ func (v *DistVector) RestoreSnapshot(s *snapshot.Snapshot) error {
 // diverged from the checkpoint — are loaded from the store. Falls back
 // to the full restore when the segmentation changed.
 func (v *DistVector) RestoreSnapshotPartial(s *snapshot.Snapshot, dead []apgas.Place) error {
-	n, rest, err := codec.Int(s.Meta())
+	comp, objMeta, err := compressorForMeta(s.Meta())
+	if err != nil {
+		return fmt.Errorf("dist: DistVector restore meta: %w", err)
+	}
+	n, rest, err := codec.Int(objMeta)
 	if err != nil {
 		return fmt.Errorf("dist: DistVector restore meta: %w", err)
 	}
@@ -458,7 +479,7 @@ func (v *DistVector) RestoreSnapshotPartial(s *snapshot.Snapshot, dead []apgas.P
 		seg := v.plh.Local(ctx)
 		if idx < len(v.retained) && v.retained[idx] {
 			v.retained[idx] = false
-			if validateRetainedVector(ctx, s, idx, idx, seg) {
+			if validateRetainedVector(ctx, s, idx, idx, seg, comp) {
 				kept.Inc()
 				keptBytes.Add(int64(codec.SizeFloat64s(len(seg))))
 				return
@@ -468,7 +489,7 @@ func (v *DistVector) RestoreSnapshotPartial(s *snapshot.Snapshot, dead []apgas.P
 		if err != nil {
 			apgas.Throw(err)
 		}
-		old, err := decodeVectorInto(seg, data)
+		old, err := decodeVectorInto(seg, data, comp)
 		if err != nil {
 			apgas.Throw(err)
 		}

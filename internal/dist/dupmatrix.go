@@ -24,6 +24,9 @@ type DupDenseMatrix struct {
 	// retained[idx] marks a duplicate whose storage survived a Remake at
 	// the same place (see DupVector.retained).
 	retained []bool
+	// compressible carries the per-object checkpoint-compression
+	// override and lossy opt-in (SetCompression, AllowLossyCheckpoint).
+	compressible
 }
 
 // MakeDupDenseMatrix creates a zeroed duplicated rows×cols dense matrix.
@@ -222,56 +225,72 @@ func (m *DupDenseMatrix) MakeSnapshot() (*snapshot.Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
+	comp, spec := m.newCompressor(m.rt)
+	if meta := appendCompressMeta(nil, spec); len(meta) > 0 {
+		s.SetMeta(meta)
+	}
 	err = m.rt.Finish(func(ctx *apgas.Ctx) {
 		ctx.At(m.pg[0], func(c *apgas.Ctx) {
-			saveBlock(c, s, 0, dupDenseBlock(m.plh.Local(c)))
+			saveBlock(c, s, 0, dupDenseBlock(m.plh.Local(c)), comp)
 		})
 	})
 	if err != nil {
 		s.Destroy()
 		return nil, err
 	}
+	noteLossyErr(s, comp)
 	return s, nil
 }
 
 // MakeDeltaSnapshot implements snapshot.DirtyTracker: the single stored
 // copy is carried forward by reference when the matrix's version is
 // unchanged since prev (or its bytes compare equal). Falls back to a
-// full snapshot when prev does not cover the current place group.
+// full snapshot when prev does not cover the current place group, or
+// was written under a different compression policy.
 func (m *DupDenseMatrix) MakeDeltaSnapshot(prev *snapshot.Snapshot) (*snapshot.Snapshot, error) {
 	if prev == nil || !prev.Group().Equal(m.pg) {
+		return m.MakeSnapshot()
+	}
+	comp, spec := m.newCompressor(m.rt)
+	if prevSpec, _, err := splitCompressMeta(prev.Meta()); err != nil || prevSpec != spec {
 		return m.MakeSnapshot()
 	}
 	s, err := snapshot.New(m.rt, m.pg)
 	if err != nil {
 		return nil, err
 	}
+	if meta := appendCompressMeta(nil, spec); len(meta) > 0 {
+		s.SetMeta(meta)
+	}
 	ver := m.ver
 	err = m.rt.Finish(func(ctx *apgas.Ctx) {
 		ctx.At(m.pg[0], func(c *apgas.Ctx) {
-			saveDupBlockDelta(c, s, prev, ver, dupDenseBlock(m.plh.Local(c)))
+			saveDupBlockDelta(c, s, prev, ver, dupDenseBlock(m.plh.Local(c)), comp)
 		})
 	})
 	if err != nil {
 		s.Destroy()
 		return nil, err
 	}
+	noteLossyErr(s, comp)
 	return s, nil
 }
 
 // saveDupBlockDelta is saveBlockDelta keyed by the duplicated object's
 // own version rather than the wrapper block's (the wrapper is rebuilt on
 // every checkpoint, so its Ver is always zero).
-func saveDupBlockDelta(ctx *apgas.Ctx, s, prev *snapshot.Snapshot, ver uint64, b *block.MatrixBlock) {
+func saveDupBlockDelta(ctx *apgas.Ctx, s, prev *snapshot.Snapshot, ver uint64, b *block.MatrixBlock, comp codec.Compressor) {
 	s.SaveDelta(ctx, 0, ver, prev, func() *codec.Encoder {
-		enc := codec.NewEncoder(b.EncodedSize())
-		b.EncodeInto(&enc)
-		return &enc
+		return encodeBlock(s, b, comp)
 	})
 }
 
 // RestoreSnapshot implements snapshot.Snapshottable.
 func (m *DupDenseMatrix) RestoreSnapshot(s *snapshot.Snapshot) error {
+	comp, _, err := compressorForMeta(s.Meta())
+	if err != nil {
+		return fmt.Errorf("dist: DupDenseMatrix restore meta: %w", err)
+	}
 	return apgas.ForEachPlace(m.rt, m.pg, func(ctx *apgas.Ctx, idx int) {
 		if idx < len(m.retained) {
 			m.retained[idx] = false
@@ -280,7 +299,7 @@ func (m *DupDenseMatrix) RestoreSnapshot(s *snapshot.Snapshot) error {
 		if err != nil {
 			apgas.Throw(err)
 		}
-		if err := block.DecodeInto(dupDenseBlock(m.plh.Local(ctx)), data); err != nil {
+		if err := block.DecodeIntoC(dupDenseBlock(m.plh.Local(ctx)), data, comp); err != nil {
 			apgas.Throw(fmt.Errorf("dist: DupDenseMatrix restore: %w", err))
 		}
 	})
@@ -291,6 +310,10 @@ func (m *DupDenseMatrix) RestoreSnapshot(s *snapshot.Snapshot) error {
 // data, re-broadcast along a binomial tree to just the places that lost
 // it; with no valid survivor, falls back to the full restore.
 func (m *DupDenseMatrix) RestoreSnapshotPartial(s *snapshot.Snapshot, dead []apgas.Place) error {
+	comp, _, err := compressorForMeta(s.Meta())
+	if err != nil {
+		return fmt.Errorf("dist: DupDenseMatrix restore meta: %w", err)
+	}
 	valid := make([]bool, m.pg.Size())
 	if len(m.retained) == m.pg.Size() {
 		err := apgas.ForEachPlace(m.rt, m.pg, func(ctx *apgas.Ctx, idx int) {
@@ -298,7 +321,7 @@ func (m *DupDenseMatrix) RestoreSnapshotPartial(s *snapshot.Snapshot, dead []apg
 				return
 			}
 			m.retained[idx] = false
-			valid[idx] = validateRetainedBlock(ctx, s, 0, 0, dupDenseBlock(m.plh.Local(ctx)))
+			valid[idx] = validateRetainedBlock(ctx, s, 0, 0, dupDenseBlock(m.plh.Local(ctx)), comp)
 		})
 		if err != nil {
 			return err
@@ -343,6 +366,9 @@ type DupSparseMatrix struct {
 	rows, cols int
 	pg         apgas.PlaceGroup
 	plh        apgas.PlaceLocalHandle[*la.SparseCSC]
+	// compressible carries the per-object checkpoint-compression
+	// override and lossy opt-in (SetCompression, AllowLossyCheckpoint).
+	compressible
 }
 
 // MakeDupSparseMatrix creates an empty duplicated rows×cols sparse matrix.
@@ -416,26 +442,35 @@ func (m *DupSparseMatrix) MakeSnapshot() (*snapshot.Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
+	comp, spec := m.newCompressor(m.rt)
+	if meta := appendCompressMeta(nil, spec); len(meta) > 0 {
+		s.SetMeta(meta)
+	}
 	err = m.rt.Finish(func(ctx *apgas.Ctx) {
 		ctx.At(m.pg[0], func(c *apgas.Ctx) {
-			saveBlock(c, s, 0, dupSparseBlock(m.plh.Local(c)))
+			saveBlock(c, s, 0, dupSparseBlock(m.plh.Local(c)), comp)
 		})
 	})
 	if err != nil {
 		s.Destroy()
 		return nil, err
 	}
+	noteLossyErr(s, comp)
 	return s, nil
 }
 
 // RestoreSnapshot implements snapshot.Snapshottable.
 func (m *DupSparseMatrix) RestoreSnapshot(s *snapshot.Snapshot) error {
+	comp, _, err := compressorForMeta(s.Meta())
+	if err != nil {
+		return fmt.Errorf("dist: DupSparseMatrix restore meta: %w", err)
+	}
 	return apgas.ForEachPlace(m.rt, m.pg, func(ctx *apgas.Ctx, idx int) {
 		data, err := s.Load(ctx, 0, 0)
 		if err != nil {
 			apgas.Throw(err)
 		}
-		b, err := block.Decode(data)
+		b, err := block.DecodeC(data, comp)
 		if err != nil {
 			apgas.Throw(err)
 		}

@@ -30,6 +30,9 @@ type DupVector struct {
 	// checkpoint digest and re-broadcasts from it instead of loading at
 	// every place.
 	retained []bool
+	// compressible carries the per-object checkpoint-compression
+	// override and lossy opt-in (SetCompression, AllowLossyCheckpoint).
+	compressible
 }
 
 // MakeDupVector creates a zeroed duplicated vector of length n over pg
@@ -249,40 +252,54 @@ func (v *DupVector) MakeSnapshot() (*snapshot.Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
+	comp, spec := v.newCompressor(v.rt)
+	if meta := appendCompressMeta(nil, spec); len(meta) > 0 {
+		s.SetMeta(meta)
+	}
 	err = v.rt.Finish(func(ctx *apgas.Ctx) {
 		ctx.At(v.pg[0], func(c *apgas.Ctx) {
-			saveVector(c, s, 0, v.plh.Local(c))
+			saveVector(c, s, 0, v.plh.Local(c), comp)
 		})
 	})
 	if err != nil {
 		s.Destroy()
 		return nil, err
 	}
+	noteLossyErr(s, comp)
 	return s, nil
 }
 
 // MakeDeltaSnapshot implements snapshot.DirtyTracker: the single stored
 // copy is carried forward by reference when the vector's version is
 // unchanged since prev (or its bytes compare equal). Falls back to a
-// full snapshot when prev does not cover the current place group.
+// full snapshot when prev does not cover the current place group, or
+// was written under a different compression policy.
 func (v *DupVector) MakeDeltaSnapshot(prev *snapshot.Snapshot) (*snapshot.Snapshot, error) {
 	if prev == nil || !prev.Group().Equal(v.pg) {
+		return v.MakeSnapshot()
+	}
+	comp, spec := v.newCompressor(v.rt)
+	if prevSpec, _, err := splitCompressMeta(prev.Meta()); err != nil || prevSpec != spec {
 		return v.MakeSnapshot()
 	}
 	s, err := snapshot.New(v.rt, v.pg)
 	if err != nil {
 		return nil, err
 	}
+	if meta := appendCompressMeta(nil, spec); len(meta) > 0 {
+		s.SetMeta(meta)
+	}
 	ver := v.ver
 	err = v.rt.Finish(func(ctx *apgas.Ctx) {
 		ctx.At(v.pg[0], func(c *apgas.Ctx) {
-			saveVectorDelta(c, s, prev, 0, ver, v.plh.Local(c))
+			saveVectorDelta(c, s, prev, 0, ver, v.plh.Local(c), comp)
 		})
 	})
 	if err != nil {
 		s.Destroy()
 		return nil, err
 	}
+	noteLossyErr(s, comp)
 	return s, nil
 }
 
@@ -291,6 +308,10 @@ func (v *DupVector) MakeDeltaSnapshot(prev *snapshot.Snapshot) (*snapshot.Snapsh
 // elastic replacement — differently composed than the snapshot group)
 // concurrently loads a duplicate (paper section IV-B2).
 func (v *DupVector) RestoreSnapshot(s *snapshot.Snapshot) error {
+	comp, _, err := compressorForMeta(s.Meta())
+	if err != nil {
+		return fmt.Errorf("dist: DupVector restore meta: %w", err)
+	}
 	return apgas.ForEachPlace(v.rt, v.pg, func(ctx *apgas.Ctx, idx int) {
 		if idx < len(v.retained) {
 			v.retained[idx] = false
@@ -299,7 +320,7 @@ func (v *DupVector) RestoreSnapshot(s *snapshot.Snapshot) error {
 		if err != nil {
 			apgas.Throw(err)
 		}
-		vec, err := decodeVector(data)
+		vec, err := decodeVector(data, comp)
 		if err != nil {
 			apgas.Throw(err)
 		}
@@ -317,6 +338,10 @@ func (v *DupVector) RestoreSnapshot(s *snapshot.Snapshot) error {
 // lost (or diverged from) the checkpointed value — no snapshot loads at
 // all. With no valid survivor, falls back to the full restore.
 func (v *DupVector) RestoreSnapshotPartial(s *snapshot.Snapshot, dead []apgas.Place) error {
+	comp, _, err := compressorForMeta(s.Meta())
+	if err != nil {
+		return fmt.Errorf("dist: DupVector restore meta: %w", err)
+	}
 	valid := make([]bool, v.pg.Size())
 	if len(v.retained) == v.pg.Size() {
 		err := apgas.ForEachPlace(v.rt, v.pg, func(ctx *apgas.Ctx, idx int) {
@@ -325,7 +350,7 @@ func (v *DupVector) RestoreSnapshotPartial(s *snapshot.Snapshot, dead []apgas.Pl
 			}
 			v.retained[idx] = false
 			local := v.plh.Local(ctx)
-			valid[idx] = len(local) == v.n && validateRetainedVector(ctx, s, 0, 0, local)
+			valid[idx] = len(local) == v.n && validateRetainedVector(ctx, s, 0, 0, local, comp)
 		})
 		if err != nil {
 			return err

@@ -33,6 +33,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -411,6 +412,13 @@ type snapInstr struct {
 	repaired  *obs.Counter // snapshot.replicas.repaired (entries healed by Repair)
 	shards    *obs.Counter // snapshot.shards.placed (erasure shard puts)
 	rebuilds  *obs.Counter // snapshot.shards.rebuilt (erasure reconstructions on load)
+
+	// Checkpoint compression.
+	compIn    *obs.Counter // snapshot.compress.bytes_in (raw payload bytes)
+	compOut   *obs.Counter // snapshot.compress.bytes_out (compressed frame bytes)
+	compRatio *obs.Gauge   // snapshot.compress.ratio (cumulative out/in, permille)
+	compTime  *obs.Counter // snapshot.compress.time_us (encode time inside compressed saves)
+	lossyErrG *obs.Gauge   // snapshot.lossy.max_err (largest per-element error, femto units)
 }
 
 func newSnapInstr(reg *obs.Registry) snapInstr {
@@ -441,6 +449,12 @@ func newSnapInstr(reg *obs.Registry) snapInstr {
 		repaired:  reg.Counter("snapshot.replicas.repaired"),
 		shards:    reg.Counter("snapshot.shards.placed"),
 		rebuilds:  reg.Counter("snapshot.shards.rebuilt"),
+
+		compIn:    reg.Counter("snapshot.compress.bytes_in"),
+		compOut:   reg.Counter("snapshot.compress.bytes_out"),
+		compRatio: reg.Gauge("snapshot.compress.ratio"),
+		compTime:  reg.Counter("snapshot.compress.time_us"),
+		lossyErrG: reg.Gauge("snapshot.lossy.max_err"),
 	}
 }
 
@@ -483,6 +497,39 @@ func (s *Snapshot) SetMeta(meta []byte) { s.meta = meta }
 
 // Meta returns the attached descriptor.
 func (s *Snapshot) Meta() []byte { return s.meta }
+
+// NoteCompression records one compressed save: rawBytes is the payload's
+// legacy fixed-width size, compBytes the bytes actually emitted, and d the
+// encode (compress + checksum) time. The ratio gauge tracks the cumulative
+// shipped/raw proportion in permille, so a registry dump shows at a glance
+// how much the compression stage is buying.
+func (s *Snapshot) NoteCompression(rawBytes, compBytes int, d time.Duration) {
+	in := s.instr.compIn
+	in.Add(int64(rawBytes))
+	s.instr.compOut.Add(int64(compBytes))
+	s.instr.compTime.Add(d.Microseconds())
+	if total := in.Value(); total > 0 {
+		s.instr.compRatio.Set(s.instr.compOut.Value() * 1000 / total)
+	}
+}
+
+// NoteLossyMaxError publishes the largest per-element reconstruction
+// error the lossy codec has introduced so far, in femto units (1e-15), so
+// the bounded quantity survives the registry's integer gauges. Errors
+// beyond the gauge's range clamp to MaxInt64.
+func (s *Snapshot) NoteLossyMaxError(maxErr float64) {
+	if maxErr <= 0 {
+		return
+	}
+	femto := maxErr * 1e15
+	v := int64(math.MaxInt64)
+	if femto < math.MaxInt64 {
+		v = int64(femto)
+	}
+	if v > s.instr.lossyErrG.Value() {
+		s.instr.lossyErrG.Set(v)
+	}
+}
 
 // Save stores data under key with the snapshot's redundancy policy: a
 // local copy at the calling task's place plus k-1 backups at the next

@@ -30,6 +30,7 @@ import (
 	"github.com/rgml/rgml/internal/apps"
 	"github.com/rgml/rgml/internal/block"
 	"github.com/rgml/rgml/internal/chaos"
+	"github.com/rgml/rgml/internal/codec"
 	"github.com/rgml/rgml/internal/core"
 	"github.com/rgml/rgml/internal/dist"
 	"github.com/rgml/rgml/internal/la"
@@ -107,6 +108,48 @@ func ParsePlacement(s string) (StorePlacement, error) { return apgas.ParsePlacem
 // snapshot the runtime's objects create. Policies wider than a snapshot's
 // place group clamp with a trace event rather than failing.
 func WithStorePolicy(sp StorePolicy) RuntimeOption { return apgas.WithStorePolicy(sp) }
+
+// Checkpoint-compression surface.
+type (
+	// CompressionMode selects the checkpoint compression codec: none,
+	// lossless, or error-bounded lossy quantization.
+	CompressionMode = codec.Compression
+	// CompressionSpec pairs a CompressionMode with the lossy error bound.
+	// The zero value means no compression (the bit-identical codec).
+	CompressionSpec = codec.Spec
+)
+
+// The checkpoint compression modes.
+const (
+	// CompressNone writes the uncompressed fixed-width codec (default).
+	CompressNone = codec.CompressNone
+	// CompressLossless varint/delta-encodes index arrays and
+	// byte-shuffle+flate-compresses float payloads; round-trips are exact.
+	CompressLossless = codec.CompressLossless
+	// CompressLossy quantizes float payloads relative to a per-object
+	// error bound; every element restores within ±ErrorBound. Objects
+	// opt in per instance (AllowLossyCheckpoint); everything else is
+	// downgraded to lossless.
+	CompressLossy = codec.CompressLossy
+)
+
+// ParseCompression maps "none", "lossless" or "lossy" to its mode.
+func ParseCompression(s string) (CompressionMode, error) { return codec.ParseCompression(s) }
+
+// LossyCompression returns a lossy spec with the given absolute
+// per-element error bound.
+func LossyCompression(errorBound float64) CompressionSpec {
+	return codec.Spec{Mode: codec.CompressLossy, ErrorBound: errorBound}
+}
+
+// LosslessCompression returns the lossless spec.
+func LosslessCompression() CompressionSpec { return codec.Spec{Mode: codec.CompressLossless} }
+
+// WithCompression sets the runtime-wide checkpoint compression policy
+// applied when the dist classes serialize snapshot payloads. Individual
+// objects can override it with SetCompression; lossy mode additionally
+// requires the object's AllowLossyCheckpoint opt-in.
+func WithCompression(spec CompressionSpec) RuntimeOption { return apgas.WithCompression(spec) }
 
 // RuntimeOption configures a runtime built with NewRuntimeWith.
 type RuntimeOption = apgas.Option
