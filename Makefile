@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race race-recovery race-chaos race-delta race-finish race-store race-transport race-compress chaos-smoke tcp-smoke workers-seq fuzz bench bench-checkpoint bench-kernels bench-delta bench-finish bench-store bench-compress
+.PHONY: ci vet build test race race-recovery race-chaos race-delta race-finish race-store race-transport race-dataplane race-compress chaos-smoke tcp-smoke workers-seq fuzz bench bench-checkpoint bench-kernels bench-delta bench-finish bench-store bench-compress
 
-ci: vet build race race-recovery race-chaos race-delta race-finish race-store race-transport race-compress chaos-smoke tcp-smoke workers-seq bench-checkpoint bench-kernels bench-delta bench-finish bench-store bench-compress
+ci: vet build race race-recovery race-chaos race-delta race-finish race-store race-transport race-dataplane race-compress chaos-smoke tcp-smoke workers-seq bench-checkpoint bench-kernels bench-delta bench-finish bench-store bench-compress
 
 vet:
 	$(GO) vet ./...
@@ -76,6 +76,17 @@ race-transport:
 	$(GO) test -race -count=2 -run 'CrossBackend|RealProcessKill' ./internal/bench/
 	GOEXPERIMENT=synctest GODEBUG=asynctimerchan=0 $(GO) test -race -run 'Synctest' ./internal/apgas/transport/
 
+# Extra -race iterations over the registered-kernel data plane: the
+# kernel registry/store, coordinator-side dispatch (mirror, fallback,
+# forced puts) racing kills, the tcp executor loop with a real worker
+# SIGKILLed mid-dispatch, and the dist kernels' ship-once and
+# bitwise-equality contracts.
+race-dataplane:
+	$(GO) test -race -count=2 ./internal/apgas/kernel/
+	$(GO) test -race -count=2 -run 'KernelDispatch' ./internal/apgas/
+	$(GO) test -race -count=2 -run 'Exec|Wire|PersistentCodec|Hello|RaceGrow' ./internal/apgas/transport/tcp/
+	$(GO) test -race -count=2 -run 'MultVecKernel|RestoreBumps' ./internal/dist/
+
 # Extra -race iterations over the compression seam: the chunked float
 # codec compresses and inflates through the shared worker pool and the
 # flate/buffer pools, the lossy compressor's max-error tracking is a
@@ -93,14 +104,17 @@ chaos-smoke:
 		-chaos "kill(point=commit,iter=2,place=1);kill(point=restore,place=3)" chaos > /dev/null
 	@echo "chaos-smoke: all campaigns survived and verified"
 
-# Multi-process smoke: PageRank over the tcp transport with one worker
-# process SIGKILLed mid-run. The run must detect the death by heartbeat
-# (no administrative mark), restore from the last checkpoint, and finish;
-# rgmlrun exits non-zero if no restore happened.
+# Multi-process smoke: PageRank over the tcp transport (3 worker
+# processes) with one worker SIGKILLed mid-run. The run must detect the
+# death by heartbeat (no administrative mark), restore from the last
+# checkpoint, and finish; rgmlrun exits non-zero if no restore happened
+# or if no registered kernel executed inside a worker process
+# (-min-worker-tasks: the distributed data plane must actually engage,
+# not silently fall back to coordinator-resident execution).
 tcp-smoke:
 	$(GO) run ./cmd/rgmlrun -transport tcp -app pagerank -places 4 \
-		-size 200 -iters 8 -ckpt 2 -kill-proc-iter 4 > /dev/null
-	@echo "tcp-smoke: recovered from a real worker-process kill"
+		-size 200 -iters 8 -ckpt 2 -kill-proc-iter 4 -min-worker-tasks 1 > /dev/null
+	@echo "tcp-smoke: recovered from a real worker-process kill with worker-side compute"
 
 # The whole suite again with the kernel worker pool pinned to one worker:
 # every parallel kernel and tree collective degenerates to its serial

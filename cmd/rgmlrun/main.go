@@ -45,21 +45,22 @@ func run() error {
 	var rf cliflags.Runtime
 	rf.Register(flag.CommandLine)
 	var (
-		appName  = flag.String("app", "pagerank", "application: linreg, logreg, pagerank or gnmf")
-		places   = flag.Int("places", 8, "number of active places")
-		iters    = flag.Int("iters", 30, "iterations")
-		ckpt     = flag.Int("ckpt", 10, "checkpoint interval (0 disables)")
-		modeName = flag.String("mode", "shrink", "restore mode: shrink, shrink-rebalance, replace-redundant, replace-elastic")
-		delta    = flag.Bool("delta", false, "delta checkpointing: re-encode and re-ship only entries changed since the committed checkpoint")
-		killIter = flag.Int("kill-iter", 0, "inject an administrative failure after this iteration (0: none)")
-		killProc = flag.Int("kill-proc-iter", 0, "tcp only: SIGKILL a worker process after this iteration and let the failure detector find it (0: none)")
-		size     = flag.Int("size", 1000, "per-place problem size (examples or nodes)")
-		seed     = flag.Uint64("seed", 42, "dataset seed")
-		latency  = flag.Duration("latency", 0, "simulated per-message latency")
-		metrics  = flag.String("metrics", "", "export the run's metrics registry: \"-\" for text on stdout, else a JSON file path")
-		chaosStr = flag.String("chaos", "", "chaos schedule driving seed-reproducible fault injection, e.g. \"kill(point=commit,iter=4,place=1)\"")
-		chaosSd  = flag.Uint64("chaos-seed", 1, "chaos engine seed")
-		timeout  = flag.Duration("timeout", 0, "cancel the run after this long (0: no bound)")
+		appName        = flag.String("app", "pagerank", "application: linreg, logreg, pagerank or gnmf")
+		places         = flag.Int("places", 8, "number of active places")
+		iters          = flag.Int("iters", 30, "iterations")
+		ckpt           = flag.Int("ckpt", 10, "checkpoint interval (0 disables)")
+		modeName       = flag.String("mode", "shrink", "restore mode: shrink, shrink-rebalance, replace-redundant, replace-elastic")
+		delta          = flag.Bool("delta", false, "delta checkpointing: re-encode and re-ship only entries changed since the committed checkpoint")
+		killIter       = flag.Int("kill-iter", 0, "inject an administrative failure after this iteration (0: none)")
+		killProc       = flag.Int("kill-proc-iter", 0, "tcp only: SIGKILL a worker process after this iteration and let the failure detector find it (0: none)")
+		minWorkerTasks = flag.Int("min-worker-tasks", 0, "tcp only: fail unless at least this many registered kernels executed inside worker processes (0: no assertion)")
+		size           = flag.Int("size", 1000, "per-place problem size (examples or nodes)")
+		seed           = flag.Uint64("seed", 42, "dataset seed")
+		latency        = flag.Duration("latency", 0, "simulated per-message latency")
+		metrics        = flag.String("metrics", "", "export the run's metrics registry: \"-\" for text on stdout, else a JSON file path")
+		chaosStr       = flag.String("chaos", "", "chaos schedule driving seed-reproducible fault injection, e.g. \"kill(point=commit,iter=4,place=1)\"")
+		chaosSd        = flag.Uint64("chaos-seed", 1, "chaos engine seed")
+		timeout        = flag.Duration("timeout", 0, "cancel the run after this long (0: no bound)")
 
 		servePlace = flag.Bool("serve-place", false, "run as an explicit tcp transport worker: join -join as place -place-id and block")
 		joinAddr   = flag.String("join", "", "coordinator address for -serve-place")
@@ -128,6 +129,9 @@ func run() error {
 	}
 	if *killProc > 0 && tcpTP == nil {
 		return fmt.Errorf("-kill-proc-iter needs -transport tcp (a process to kill)")
+	}
+	if *minWorkerTasks > 0 && tcpTP == nil {
+		return fmt.Errorf("-min-worker-tasks needs -transport tcp (only a data-plane backend executes kernels in workers)")
 	}
 	rt, err := apgas.New(rtOpts...)
 	if err != nil {
@@ -227,6 +231,11 @@ func run() error {
 	if *killProc > 0 && m.Restores == 0 {
 		return fmt.Errorf("process kill at iteration %d caused no restore — detection never fired", *killProc)
 	}
+	if *minWorkerTasks > 0 {
+		if got := rt.Stats().WorkerTasks; got < int64(*minWorkerTasks) {
+			return fmt.Errorf("only %d kernels executed inside worker processes, want at least %d — the distributed data plane never engaged", got, *minWorkerTasks)
+		}
+	}
 	fmt.Printf("done in %v\n", elapsed.Round(time.Millisecond))
 	if eng != nil {
 		fmt.Printf("  chaos:        seed %d, %d kills [%s], %d transient faults\n",
@@ -248,6 +257,10 @@ func run() error {
 	st := rt.Stats()
 	fmt.Printf("  runtime:      %d tasks, %d messages, %d ledger events, %d places killed, %d failed\n",
 		st.TasksSpawned, st.Messages, st.LedgerEvents, st.PlacesKilled, st.PlacesFailed)
+	if tcpTP != nil {
+		fmt.Printf("  data plane:   %d kernels executed in workers (%d fell back to the coordinator)\n",
+			st.WorkerTasks, reg.CounterValue("apgas.tasks.kernel_fallback"))
+	}
 	if finishMode == apgas.FinishSharded {
 		fmt.Printf("  finish:       sharded (%d local fast-path tasks, %d refused forks)\n",
 			st.LocalTasks, st.RefusedForks)

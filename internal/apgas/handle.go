@@ -33,6 +33,14 @@ func NewPlaceLocalHandle[T any](rt *Runtime, g PlaceGroup, init func(ctx *Ctx, i
 // Valid reports whether the handle has been initialized.
 func (h PlaceLocalHandle[T]) Valid() bool { return h.rt != nil }
 
+// Handle returns the handle's runtime-unique numeric identity. The
+// registered-kernel data plane uses it as the store namespace for the
+// object's per-place kernel-visible data (kernel.Input.Handle): handle
+// IDs are never reused within a runtime, so a remade object — new
+// PlaceLocalHandle — can never collide with stale cached entries of the
+// one it replaced.
+func (h PlaceLocalHandle[T]) Handle() uint64 { return h.id }
+
 // Local resolves the handle at the task's current place, like applying the
 // () operator on a PlaceLocalHandle in X10. It throws DeadPlaceError if the
 // place has failed and panics if the handle was never initialized there

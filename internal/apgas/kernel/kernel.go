@@ -1,0 +1,321 @@
+// Package kernel is the task IR of the distributed data plane: a
+// process-global registry of named compute kernels, a gob-encodable task
+// descriptor that references them, and the per-place data store a kernel
+// executes against.
+//
+// Go cannot serialize closures, so the transport seam's multi-process
+// backend (transport/tcp) could historically only mirror traffic — every
+// task body still ran in the coordinator process. A registered kernel is
+// the serializable alternative: a function registered under a stable
+// string name at package-init time, so the coordinator's re-exec'd worker
+// binary (same executable, RGML_TCP_WORKER set) resolves the exact same
+// name to the exact same code. A Task names a kernel and carries its
+// inputs — scalars, one payload, and references into the executing
+// place's Store (with the bytes to install when the place does not hold
+// them yet) — and a Result carries its outputs back. Both are plain gob
+// values; nothing in this package depends on the apgas runtime or the
+// transport, so both can import it.
+//
+// Determinism contract: a kernel must be a pure function of its task and
+// the store entries it references, and must perform bit-identical
+// floating-point arithmetic wherever it executes. The runtime relies on
+// this to fall back to coordinator-resident execution (local backend, or
+// a worker dying mid-dispatch) without perturbing results.
+package kernel
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Task describes one registered-kernel invocation. It is the unit the
+// tcp backend ships to a worker process (an fTask frame) and the unit the
+// coordinator-resident fallback executes directly.
+type Task struct {
+	// Name resolves the kernel in the process-global registry. Names must
+	// be stable across re-exec: register at package init, never from
+	// per-run state.
+	Name string
+	// Place is the place the task executes at (the runtime sets it at
+	// dispatch).
+	Place int32
+	// I64 and F64 carry scalar arguments.
+	I64 []int64
+	F64 []float64
+	// Payload carries one opaque per-call input.
+	Payload []byte
+	// Refs name the store entries the kernel reads, in the order the
+	// kernel expects them. The dispatcher guarantees the executing store
+	// holds every ref at exactly the referenced version, shipping Puts
+	// for the ones it does not.
+	Refs []Ref
+	// Puts are store installs applied before the kernel runs: the subset
+	// of Refs the target place did not already hold (plus any
+	// unconditional installs a call site adds itself).
+	Puts []Blob
+}
+
+// Ref identifies one store entry at an exact content version.
+type Ref struct {
+	Handle uint64
+	Key    int64
+	Ver    uint64
+}
+
+// Blob is a store install: the bytes backing a Ref.
+type Blob struct {
+	Handle uint64
+	Key    int64
+	Ver    uint64
+	Data   []byte
+}
+
+// Result carries a kernel's outputs back to the dispatcher.
+type Result struct {
+	// F64 carries scalar results.
+	F64 []float64
+	// Payload carries one opaque output.
+	Payload []byte
+	// Frames carries one output per task ref for fan-shaped kernels
+	// (e.g. one partial vector per matrix block).
+	Frames [][]byte
+	// Err, when non-empty, reports a kernel-level failure (unknown
+	// kernel, missing store entry, kernel error or panic). The dispatcher
+	// treats a remote Err as a data-plane fault and re-executes at the
+	// coordinator; kernels must therefore be pure, so the re-execution is
+	// equivalent.
+	Err string
+}
+
+// Input is a call-site declaration of one store-resident kernel input:
+// the identity and version the kernel needs, plus an Encode that
+// materializes the bytes only when the target store does not hold that
+// exact version. The dispatcher (apgas.Ctx.ExecKernel) turns Inputs into
+// Refs and, for the stale or missing ones, Puts.
+type Input struct {
+	Handle uint64
+	Key    int64
+	Ver    uint64
+	Encode func() []byte
+}
+
+// Func is a registered kernel body. It runs inside the executing place's
+// body (worker process) or the coordinator (fallback); ex gives it the
+// place's store, t its arguments. Returning an error — or panicking — is
+// reported as Result.Err.
+type Func func(ex *Exec, t *Task) (*Result, error)
+
+// registry is the process-global kernel table. Registration happens at
+// package init, before any runtime (or worker loop) starts, so no lock
+// contention matters; the mutex only guards racy test registration.
+var registry = struct {
+	mu sync.RWMutex
+	m  map[string]Func
+}{m: make(map[string]Func)}
+
+// Register adds fn under name. Call it from package init of the package
+// owning the kernel, so every binary that links the package — including
+// the re-exec'd worker — has an identical registry. Registering a
+// duplicate name panics: silent replacement would let two packages fight
+// over a name and diverge across processes.
+func Register(name string, fn Func) {
+	if name == "" || fn == nil {
+		panic("kernel: Register with empty name or nil func")
+	}
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if _, dup := registry.m[name]; dup {
+		panic(fmt.Sprintf("kernel: duplicate registration of %q", name))
+	}
+	registry.m[name] = fn
+}
+
+// Lookup resolves a registered kernel.
+func Lookup(name string) (Func, bool) {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	fn, ok := registry.m[name]
+	return fn, ok
+}
+
+// Names returns the registered kernel names, sorted (diagnostics).
+func Names() []string {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	out := make([]string, 0, len(registry.m))
+	for n := range registry.m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// storeKey identifies a store entry.
+type storeKey struct {
+	handle uint64
+	key    int64
+}
+
+// Entry is one versioned store value: the installed bytes plus a
+// decode-once cache for the kernel-side object decoded from them.
+type Entry struct {
+	ver  uint64
+	data []byte
+
+	mu  sync.Mutex
+	obj any
+}
+
+// Ver returns the entry's content version.
+func (e *Entry) Ver() uint64 { return e.ver }
+
+// Bytes returns the installed bytes. Kernels must treat them as
+// read-only.
+func (e *Entry) Bytes() []byte { return e.data }
+
+// Obj returns the decoded object for the entry, building it with decode
+// on first use and caching it for subsequent kernels: a matrix block
+// shipped once is decoded once, not once per task.
+func (e *Entry) Obj(decode func(data []byte) (any, error)) (any, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.obj != nil {
+		return e.obj, nil
+	}
+	obj, err := decode(e.data)
+	if err != nil {
+		return nil, err
+	}
+	e.obj = obj
+	return obj, nil
+}
+
+// Store is one place's kernel-visible data: entries installed by task
+// Puts, keyed by (handle, key). Worker processes own one per place;
+// the coordinator keeps one per place for fallback execution. Safe for
+// concurrent use (the coordinator executes fallbacks from many task
+// goroutines).
+type Store struct {
+	mu sync.RWMutex
+	m  map[storeKey]*Entry
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{m: make(map[storeKey]*Entry)} }
+
+// Put installs data under (handle, key) at version ver, replacing any
+// previous version (and its decoded object).
+func (s *Store) Put(handle uint64, key int64, ver uint64, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[storeKey{handle, key}] = &Entry{ver: ver, data: data}
+}
+
+// Get returns the entry for (handle, key).
+func (s *Store) Get(handle uint64, key int64) (*Entry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.m[storeKey{handle, key}]
+	return e, ok
+}
+
+// Holds reports whether the store has (handle, key) at exactly ver.
+func (s *Store) Holds(handle uint64, key int64, ver uint64) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.m[storeKey{handle, key}]
+	return ok && e.ver == ver
+}
+
+// Drop removes every entry under handle (the owning object was destroyed
+// or remade).
+func (s *Store) Drop(handle uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k := range s.m {
+		if k.handle == handle {
+			delete(s.m, k)
+		}
+	}
+}
+
+// Len returns the number of installed entries.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
+
+// Exec is the environment a kernel executes in: which place it embodies
+// and that place's store.
+type Exec struct {
+	Place int
+	Store *Store
+}
+
+// Ref resolves one of the task's refs against the executing store,
+// failing loudly when the dispatcher's install contract was violated
+// (missing entry, or an interleaved install moved the version).
+func (ex *Exec) Ref(r Ref) (*Entry, error) {
+	e, ok := ex.Store.Get(r.Handle, r.Key)
+	if !ok {
+		return nil, fmt.Errorf("kernel: store has no entry (handle %d, key %d)", r.Handle, r.Key)
+	}
+	if e.ver != r.Ver {
+		return nil, fmt.Errorf("kernel: store entry (handle %d, key %d) at version %d, task needs %d",
+			r.Handle, r.Key, e.ver, r.Ver)
+	}
+	return e, nil
+}
+
+// Run executes t against ex: install the task's Puts, resolve the
+// kernel, run it, and fold every failure mode — unknown name, kernel
+// error, kernel panic — into Result.Err so the caller has exactly one
+// error channel whether the run was local or remote.
+func Run(ex *Exec, t *Task) *Result {
+	for _, b := range t.Puts {
+		ex.Store.Put(b.Handle, b.Key, b.Ver, b.Data)
+	}
+	fn, ok := Lookup(t.Name)
+	if !ok {
+		return &Result{Err: fmt.Sprintf("unknown kernel %q (registered: %v)", t.Name, Names())}
+	}
+	res, err := runSafe(fn, ex, t)
+	if err != nil {
+		return &Result{Err: err.Error()}
+	}
+	if res == nil {
+		res = &Result{}
+	}
+	return res
+}
+
+// runSafe converts a kernel panic into an error: a worker must survive a
+// broken kernel and report it, not die and trigger failure detection.
+func runSafe(fn Func, ex *Exec, t *Task) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("kernel %q panicked: %v", t.Name, r)
+		}
+	}()
+	return fn(ex, t)
+}
+
+// PutName is the built-in cache-install kernel: it has no body of its
+// own — the work is the task's Puts, which Run installs before any
+// kernel executes — but it verifies its refs landed. Call sites use it
+// to push data to a place's body ahead of need (a Sync'd model vector,
+// a checkpoint replica) so later kernels find their inputs cached.
+const PutName = "kernel.put"
+
+func init() {
+	Register(PutName, func(ex *Exec, t *Task) (*Result, error) {
+		for _, r := range t.Refs {
+			if _, err := ex.Ref(r); err != nil {
+				return nil, err
+			}
+		}
+		return &Result{}, nil
+	})
+}

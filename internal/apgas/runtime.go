@@ -117,6 +117,10 @@ type Runtime struct {
 	nextTask   atomic.Uint64
 	nextFinish atomic.Uint64
 
+	// kern is the registered-kernel dispatch state (see kerneldispatch.go);
+	// kern.ex is non-nil iff the transport has a distributed data plane.
+	kern kernDispatch
+
 	stats Stats
 	instr rtInstr
 }
@@ -140,6 +144,9 @@ type rtInstr struct {
 	placesAdded     *obs.Counter   // apgas.places.added
 	livePlaces      *obs.Gauge     // apgas.places.live
 	finishes        *obs.Histogram // apgas.finish.duration
+	workerExec      *obs.Counter   // apgas.tasks.worker_executed (kernels run in worker bodies)
+	kernelLocal     *obs.Counter   // apgas.tasks.kernel_local (kernels run coordinator-resident)
+	kernelFallback  *obs.Counter   // apgas.tasks.kernel_fallback (remote dispatches degraded)
 
 	// Per-class transport accounting: apgas.transport.<class>.messages and
 	// apgas.transport.<class>.bytes, indexed by transport.Class. The legacy
@@ -164,6 +171,9 @@ func newRTInstr(reg *obs.Registry) rtInstr {
 		placesAdded:     reg.Counter("apgas.places.added"),
 		livePlaces:      reg.Gauge("apgas.places.live"),
 		finishes:        reg.Histogram("apgas.finish.duration"),
+		workerExec:      reg.Counter("apgas.tasks.worker_executed"),
+		kernelLocal:     reg.Counter("apgas.tasks.kernel_local"),
+		kernelFallback:  reg.Counter("apgas.tasks.kernel_fallback"),
 	}
 	for c := 0; c < transport.NumClasses; c++ {
 		name := transport.Class(c).String()
@@ -225,6 +235,16 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		}
 		return nil, fmt.Errorf("apgas: transport %q start: %w", rt.tp.Name(), err)
 	}
+	// Probe the backend's distributed-data-plane capability: Exec(nil) is
+	// a pure capability check, answered (nil, nil) by a backend that
+	// dispatches kernels into worker bodies and ErrNoDataPlane otherwise.
+	var ex transport.Executor
+	if cand, ok := rt.tp.(transport.Executor); ok {
+		if _, err := cand.Exec(nil); err == nil {
+			ex = cand
+		}
+	}
+	rt.kern.init(ex)
 	if cfg.KernelWorkers > 0 {
 		par.SetWorkers(cfg.KernelWorkers)
 	}
@@ -441,6 +461,7 @@ func (rt *Runtime) Kill(p Place) error {
 	rt.stats.PlacesKilled.Add(1)
 	rt.instr.kills.Inc()
 	rt.instr.livePlaces.Add(-1)
+	rt.kern.placeDead(p.ID)
 	rt.cfg.Obs.Trace("apgas.place.killed", int64(p.ID), 0)
 	// The failure detector notifies the bookkeeping layer, which adopts
 	// and terminates the dead place's tasks.
@@ -484,6 +505,7 @@ func (rt *Runtime) transportDeath(id int, cause transport.DeathCause) {
 	rt.stats.PlacesFailed.Add(1)
 	rt.instr.failures.Inc()
 	rt.instr.livePlaces.Add(-1)
+	rt.kern.placeDead(id)
 	rt.cfg.Obs.Trace("apgas.place.failed", int64(id), int64(cause))
 	if rt.shards != nil {
 		rt.shards.placeDied(Place{ID: id})
@@ -539,6 +561,17 @@ func (c *Ctx) Transfer(to Place, bytes int) {
 // Transfer would.
 func (c *Ctx) TransferBytes(to Place, data []byte) {
 	c.rt.hop(c.Here, to, transport.ClassSnapshot, len(data), data)
+}
+
+// TransferSnapshot charges checkpoint redundancy traffic by declared
+// size without handing the transport a payload. The snapshot layer's
+// kernel-dispatch save path uses it when the replica bytes ride a kernel
+// task into the worker process instead of a data frame: the apgas-level
+// accounting (message count, bytes, snapshot class) stays exactly what
+// TransferBytes would have charged, so NetModel numbers are invariant to
+// which wire the payload physically took.
+func (c *Ctx) TransferSnapshot(to Place, bytes int) {
+	c.rt.hop(c.Here, to, transport.ClassSnapshot, bytes, nil)
 }
 
 // At runs fn synchronously at place p, like X10's "at (p) S" executed from

@@ -31,6 +31,10 @@ type Stats struct {
 	// spawned at their finish's home place and tracked by the finish's
 	// local counter instead of ledger events.
 	LocalTasks atomic.Int64
+	// WorkerTasks counts registered-kernel tasks that executed inside a
+	// worker process body (distributed data plane) rather than at the
+	// coordinator — always zero on the local backend.
+	WorkerTasks atomic.Int64
 }
 
 func (s *Stats) countMessage(from, to Place, bytes int) {
@@ -54,6 +58,7 @@ type StatsSnapshot struct {
 	PlacesAdded  int64
 	RefusedForks int64
 	LocalTasks   int64
+	WorkerTasks  int64
 }
 
 // Stats returns a snapshot of the runtime's activity counters.
@@ -68,6 +73,7 @@ func (rt *Runtime) Stats() StatsSnapshot {
 		PlacesAdded:  rt.stats.PlacesAdded.Load(),
 		RefusedForks: rt.stats.RefusedForks.Load(),
 		LocalTasks:   rt.stats.LocalTasks.Load(),
+		WorkerTasks:  rt.stats.WorkerTasks.Load(),
 	}
 }
 
@@ -83,5 +89,6 @@ func (s StatsSnapshot) Sub(prev StatsSnapshot) StatsSnapshot {
 		PlacesAdded:  s.PlacesAdded - prev.PlacesAdded,
 		RefusedForks: s.RefusedForks - prev.RefusedForks,
 		LocalTasks:   s.LocalTasks - prev.LocalTasks,
+		WorkerTasks:  s.WorkerTasks - prev.WorkerTasks,
 	}
 }

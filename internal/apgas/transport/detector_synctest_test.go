@@ -130,6 +130,98 @@ func TestSynctestFlappingSuppression(t *testing.T) {
 	})
 }
 
+// TestSynctestGrownPlaceFullWindow verifies the Grow interaction: a place
+// Watch-ed long after Start — mid-sweep-schedule, the way tcp.Grow admits
+// a freshly spawned worker — gets its own full timeout window measured
+// from the Watch, not from Start or from any sweep boundary. The worker's
+// process may take most of the window to re-exec and send its hello, so a
+// detector that aged grown places from an earlier epoch would kill every
+// slow join.
+func TestSynctestGrownPlaceFullWindow(t *testing.T) {
+	synctest.Run(func() {
+		var rec deathRecorder
+		declared := make(chan time.Time, 1)
+		d := NewDetector(sInterval, sTimeout, func(p int, c DeathCause) {
+			rec.record(p, c)
+			declared <- time.Now()
+		})
+		d.Start()
+		defer d.Stop()
+
+		// Sweeps have been running for a while, deliberately offset from
+		// any window boundary, before the place is grown.
+		time.Sleep(3*sTimeout + sInterval/3)
+		watched := time.Now()
+		d.Watch(7)
+
+		// Just shy of the timeout after Watch: still alive, even though
+		// many sweeps have fired since Start.
+		time.Sleep(sTimeout - sInterval/2)
+		synctest.Wait()
+		if d.Dead(7) {
+			t.Fatal("grown place declared dead before its own timeout window elapsed")
+		}
+
+		// It never beats (died between Grow and its first heartbeat). It
+		// must be declared dead within (timeout, timeout+interval] of the
+		// Watch — detection is not deferred to some later epoch either.
+		time.Sleep(3 * sInterval)
+		synctest.Wait()
+		select {
+		case at := <-declared:
+			latency := at.Sub(watched)
+			if latency <= sTimeout {
+				t.Fatalf("declared dead %v after Watch, before the %v timeout", latency, sTimeout)
+			}
+			if latency > sTimeout+sInterval {
+				t.Fatalf("declared dead %v after Watch, beyond timeout+interval = %v", latency, sTimeout+sInterval)
+			}
+		default:
+			t.Fatal("grown place that never beat was not declared dead")
+		}
+		if got := rec.snapshot(); len(got) != 1 || got[0] != 7 {
+			t.Fatalf("deaths = %v, want exactly [7]", got)
+		}
+	})
+}
+
+// TestSynctestGrownPlaceBeatsSurvive verifies the complementary Grow
+// interaction: a place Watch-ed mid-run whose first beat arrives late in
+// its window (a slow process spawn) survives, and keeps surviving on a
+// normal beat cadence afterwards, while an established silent place dies
+// on schedule — growth must not mask unrelated detections.
+func TestSynctestGrownPlaceBeatsSurvive(t *testing.T) {
+	synctest.Run(func() {
+		var rec deathRecorder
+		d := NewDetector(sInterval, sTimeout, rec.record)
+		d.Watch(1) // established place, will go silent
+		d.Start()
+		defer d.Stop()
+
+		time.Sleep(2 * sInterval)
+		d.Watch(2) // grown place
+		// Its hello/first beat lands only just inside its window...
+		time.Sleep(sTimeout - sInterval/2)
+		if !d.Beat(2) {
+			t.Fatal("first beat of grown place rejected: declared dead inside its window")
+		}
+		// ...and it beats normally from then on, across several windows.
+		for i := 0; i < 40; i++ {
+			time.Sleep(sInterval)
+			if !d.Beat(2) {
+				t.Fatalf("grown place declared dead at steady-state beat %d", i)
+			}
+		}
+		synctest.Wait()
+		// Place 1 went silent at Start and must have died on its own
+		// schedule; the grown place must not appear.
+		got := rec.snapshot()
+		if len(got) != 1 || got[0] != 1 {
+			t.Fatalf("deaths = %v, want exactly [1]", got)
+		}
+	})
+}
+
 // TestSynctestLateBeatAfterDeclaration verifies the fail-stop contract
 // under paused time: a beat arriving after the declaration is suppressed
 // and does not resurrect the place.

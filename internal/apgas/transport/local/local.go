@@ -14,6 +14,7 @@ package local
 import (
 	"time"
 
+	"github.com/rgml/rgml/internal/apgas/kernel"
 	"github.com/rgml/rgml/internal/apgas/transport"
 )
 
@@ -64,6 +65,16 @@ func (t *Transport) Send(from, to int, class transport.Class, size int, payload 
 		return d, nil
 	}
 	return 0, nil
+}
+
+// Exec implements transport.Executor by declining: every place lives in
+// the coordinator process, so there is no "remote body" to run a kernel
+// in, and the runtime's coordinator-resident execution IS the place's
+// execution. Declining (rather than omitting the interface) pins the
+// decision in code: the local backend must keep the exact pre-dispatch
+// closure path, bit-identical and with zero kernel-encode overhead.
+func (t *Transport) Exec(task *kernel.Task) (*kernel.Result, error) {
+	return nil, transport.ErrNoDataPlane
 }
 
 // Kill implements transport.Transport. Places have no external bodies in

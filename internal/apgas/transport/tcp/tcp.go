@@ -11,15 +11,24 @@
 // joined (`rgmlrun -serve-place` dials in, and the coordinator waits for
 // all expected places before starting).
 //
-// Fidelity: the emulated data plane stays coordinator-resident — Go
-// cannot serialize closures, so task bodies still execute in the
-// coordinator process, and a Send puts a real class-tagged frame on the
-// worker's wire. What the workers genuinely provide is the failure
-// domain: a worker process dying (killed, crashed, unplugged) is a real
-// fail-stop detected by heartbeat timeout or connection reset and fed
-// into the runtime's dead-place broadcast path — the exact machinery the
-// local backend exercises only through injected kills. DESIGN.md §12
-// spells out this boundary.
+// Data plane: workers compute. Go cannot serialize closures, but named
+// registered kernels (apgas.RegisterKernel + internal/apgas/kernel)
+// travel as gob task descriptors: Exec ships a TASK frame to the worker
+// owning the place, the worker's executor loop runs the kernel against
+// its per-place blob store, and a RESULT frame carries the answer back.
+// Operand blobs cross once per version (the coordinator mirrors what
+// each worker holds); any dispatch failure — unregistered kernel, dead
+// worker, mid-flight connection loss — falls back silently to
+// coordinator-resident execution, which is bit-identical because
+// kernels are pure. Closure-based tasks that never registered a kernel
+// still execute at the coordinator with a footprint-only DATA frame on
+// the wire. DESIGN.md §14 spells out this boundary.
+//
+// The workers also provide the real failure domain: a worker process
+// dying (killed, crashed, unplugged) is a genuine fail-stop detected by
+// heartbeat timeout or connection reset and fed into the runtime's
+// dead-place broadcast path — the exact machinery the local backend
+// exercises only through injected kills (DESIGN.md §12).
 //
 // Failure detection: each worker heartbeats on a configurable interval;
 // the coordinator's transport.Detector declares a place dead after a
@@ -39,9 +48,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"github.com/rgml/rgml/internal/apgas/kernel"
 	"github.com/rgml/rgml/internal/apgas/transport"
 	"github.com/rgml/rgml/internal/obs"
 )
@@ -72,7 +83,19 @@ type Transport struct {
 
 	wg sync.WaitGroup // acceptor + per-connection readers
 
+	// In-flight kernel dispatches awaiting fResult frames, keyed by Seq.
+	// Failing a pending entry (worker death, shutdown) sends nil.
+	pmu     sync.Mutex
+	pending map[uint64]*pendingTask
+	nextSeq atomic.Uint64
+
 	instr tcpInstr
+}
+
+// pendingTask is one dispatched kernel awaiting its result.
+type pendingTask struct {
+	place int
+	ch    chan *kernel.Result // buffered(1): resolver never blocks
 }
 
 // worker is the coordinator's record of one remote place body.
@@ -84,10 +107,15 @@ type worker struct {
 
 // tcpInstr holds the backend's observability handles (nil-safe).
 type tcpInstr struct {
-	frames     *obs.Counter // transport.tcp.frames
-	wireBytes  *obs.Counter // transport.tcp.wire_bytes
-	heartbeats *obs.Counter // transport.tcp.heartbeats
-	deaths     *obs.Counter // transport.tcp.deaths
+	frames        *obs.Counter // transport.tcp.frames
+	wireBytes     *obs.Counter // transport.tcp.wire_bytes (real footprint: prefix + gob body)
+	logicalBytes  *obs.Counter // transport.tcp.logical_bytes (declared size, NetModel-comparable)
+	heartbeats    *obs.Counter // transport.tcp.heartbeats
+	deaths        *obs.Counter // transport.tcp.deaths
+	tasks         *obs.Counter // transport.tcp.tasks (kernel dispatches put on a wire)
+	taskFailures  *obs.Counter // transport.tcp.task_failures (dispatches failed by death/shutdown)
+	helloRejected *obs.Counter // transport.tcp.hello_rejected (wire-version mismatches)
+	killWriteErrs *obs.Counter // transport.tcp.kill_write_errors (best-effort fKill writes that failed)
 }
 
 // Option configures the backend.
@@ -134,6 +162,7 @@ func New(opts ...Option) *Transport {
 		timeout:  transport.DefaultHeartbeatTimeout,
 		workers:  make(map[int]*worker),
 		joined:   make(chan struct{}),
+		pending:  make(map[uint64]*pendingTask),
 	}
 	for _, o := range opts {
 		if o != nil {
@@ -173,10 +202,15 @@ func (t *Transport) Start(places int, h transport.Handler) error {
 	t.mu.Unlock()
 
 	t.instr = tcpInstr{
-		frames:     t.reg.Counter("transport.tcp.frames"),
-		wireBytes:  t.reg.Counter("transport.tcp.wire_bytes"),
-		heartbeats: t.reg.Counter("transport.tcp.heartbeats"),
-		deaths:     t.reg.Counter("transport.tcp.deaths"),
+		frames:        t.reg.Counter("transport.tcp.frames"),
+		wireBytes:     t.reg.Counter("transport.tcp.wire_bytes"),
+		logicalBytes:  t.reg.Counter("transport.tcp.logical_bytes"),
+		heartbeats:    t.reg.Counter("transport.tcp.heartbeats"),
+		deaths:        t.reg.Counter("transport.tcp.deaths"),
+		tasks:         t.reg.Counter("transport.tcp.tasks"),
+		taskFailures:  t.reg.Counter("transport.tcp.task_failures"),
+		helloRejected: t.reg.Counter("transport.tcp.hello_rejected"),
+		killWriteErrs: t.reg.Counter("transport.tcp.kill_write_errors"),
 	}
 
 	ln, err := net.Listen("tcp", t.addr)
@@ -278,6 +312,15 @@ func (t *Transport) admit(conn net.Conn) {
 		fc.close()
 		return
 	}
+	if hello.Ver != wireVersion {
+		// A peer speaking another stream format would desync the
+		// persistent codec after this very frame; reject it loudly rather
+		// than misdecode later.
+		t.instr.helloRejected.Inc()
+		t.reg.Trace("tcp.hello_rejected", int64(hello.From), int64(hello.Ver))
+		fc.close()
+		return
+	}
 	p := int(hello.From)
 	t.mu.Lock()
 	if t.closed || p <= 0 {
@@ -355,10 +398,45 @@ func (t *Transport) readLoop(w *worker) {
 		case fHeartbeat:
 			t.instr.heartbeats.Inc()
 			t.detector.Beat(w.place)
+		case fResult:
+			t.resolve(f.Seq, f.Result)
 		default:
-			// The coordinator-resident data plane expects no other
-			// worker-originated traffic; ignore forward-compatible frames.
+			// No other worker-originated traffic exists; ignore
+			// forward-compatible frames.
 		}
+	}
+}
+
+// resolve delivers a result (nil = dispatch failed) to the pending
+// kernel dispatch it answers. Unknown seqs are ignored: the dispatch may
+// already have been failed by a death racing the result.
+func (t *Transport) resolve(seq uint64, res *kernel.Result) {
+	t.pmu.Lock()
+	p := t.pending[seq]
+	delete(t.pending, seq)
+	t.pmu.Unlock()
+	if p != nil {
+		p.ch <- res
+	}
+}
+
+// failPending fails every in-flight kernel dispatch, or — when place is
+// non-negative — only those targeting that place. Exec's waiters observe
+// a nil result and surface a transport error, which the runtime answers
+// with coordinator-resident re-execution.
+func (t *Transport) failPending(place int) {
+	t.pmu.Lock()
+	var victims []*pendingTask
+	for seq, p := range t.pending {
+		if place < 0 || p.place == place {
+			victims = append(victims, p)
+			delete(t.pending, seq)
+		}
+	}
+	t.pmu.Unlock()
+	for _, p := range victims {
+		t.instr.taskFailures.Inc()
+		p.ch <- nil
 	}
 }
 
@@ -372,6 +450,7 @@ func (t *Transport) connLost(place int) {
 	if closed {
 		return
 	}
+	t.failPending(place)
 	if t.detector.MarkDead(place) {
 		t.instr.deaths.Inc()
 		if t.handler.PlaceDead != nil {
@@ -383,6 +462,7 @@ func (t *Transport) connLost(place int) {
 // placeDead is the detector's timeout callback.
 func (t *Transport) placeDead(place int, cause transport.DeathCause) {
 	t.instr.deaths.Inc()
+	t.failPending(place)
 	if fc, _ := t.body(place); fc != nil {
 		fc.close()
 	}
@@ -429,13 +509,66 @@ func (t *Transport) Send(from, to int, class transport.Class, size int, payload 
 		Size:    int64(size),
 		Payload: payload,
 	}
-	if err := fc.write(&f); err != nil {
+	n, err := fc.write(&f)
+	if err != nil {
 		t.connLost(ep)
 		return 0, fmt.Errorf("tcp: send to place %d: %w", ep, err)
 	}
 	t.instr.frames.Inc()
-	t.instr.wireBytes.Add(int64(4 + size))
+	// wireBytes is the frame's real footprint (prefix + gob body, which
+	// also carries From/To/Class/Size and any payload) as reported by
+	// write; the declared logical size — what the NetModel accounts —
+	// lands in its own counter so the two stay comparable but distinct.
+	t.instr.wireBytes.Add(int64(n))
+	t.instr.logicalBytes.Add(int64(4 + size))
 	return time.Since(start), nil
+}
+
+// Exec implements transport.Executor: ship t to the worker process
+// embodying t.Place as an fTask frame and block until its fResult (or
+// the place's death) resolves it. Exec(nil) is the runtime's capability
+// probe and succeeds without touching any wire.
+func (t *Transport) Exec(task *kernel.Task) (*kernel.Result, error) {
+	if task == nil {
+		return nil, nil
+	}
+	place := int(task.Place)
+	t.mu.Lock()
+	closed := t.closed
+	var fc *frameConn
+	if w := t.workers[place]; w != nil {
+		fc = w.fc
+	}
+	t.mu.Unlock()
+	if closed {
+		return nil, errors.New("tcp: transport closed")
+	}
+	if place <= 0 || fc == nil || t.detector.Dead(place) {
+		return nil, fmt.Errorf("tcp: place %d has no live body", place)
+	}
+	seq := t.nextSeq.Add(1)
+	p := &pendingTask{place: place, ch: make(chan *kernel.Result, 1)}
+	// Register before writing: the result (or a death report) may land
+	// before write even returns.
+	t.pmu.Lock()
+	t.pending[seq] = p
+	t.pmu.Unlock()
+	n, err := fc.write(&frame{Type: fTask, To: int32(place), Seq: seq, Task: task})
+	if err != nil {
+		t.pmu.Lock()
+		delete(t.pending, seq)
+		t.pmu.Unlock()
+		t.connLost(place)
+		return nil, fmt.Errorf("tcp: dispatch to place %d: %w", place, err)
+	}
+	t.instr.frames.Inc()
+	t.instr.wireBytes.Add(int64(n))
+	t.instr.tasks.Inc()
+	res := <-p.ch
+	if res == nil {
+		return nil, fmt.Errorf("tcp: place %d died before returning kernel %q", place, task.Name)
+	}
+	return res, nil
 }
 
 // Kill implements transport.Transport: administratively fail-stop the
@@ -447,10 +580,16 @@ func (t *Transport) Kill(place int) error {
 		return errors.New("tcp: cannot kill the coordinator (place 0)")
 	}
 	t.detector.MarkDead(place)
+	t.failPending(place)
 	fc, proc := t.body(place)
 	if fc != nil {
-		// Best effort: ask the worker to exit, then cut the wire.
-		fc.write(&frame{Type: fKill, To: int32(place)})
+		// Best effort: ask the worker to exit, then cut the wire. A
+		// failed ask still ends in proc.Kill, but record it — a run whose
+		// kills all degrade to SIGKILL is telling us something.
+		if _, err := fc.write(&frame{Type: fKill, To: int32(place)}); err != nil {
+			t.instr.killWriteErrs.Inc()
+			t.reg.Trace("tcp.kill_write_error", int64(place), 0)
+		}
 		fc.close()
 	}
 	if proc != nil {
@@ -524,6 +663,7 @@ func (t *Transport) Close() error {
 	if t.detector != nil {
 		t.detector.Stop()
 	}
+	t.failPending(-1)
 	for _, w := range workers {
 		if w.fc != nil {
 			w.fc.write(&frame{Type: fBye, To: int32(w.place)})

@@ -6,16 +6,19 @@ import (
 	"os"
 	"time"
 
+	"github.com/rgml/rgml/internal/apgas/kernel"
 	"github.com/rgml/rgml/internal/apgas/transport"
 )
 
 // The worker side of the backend: the process embodying one non-zero
-// place. A worker's job is narrow — be a real failure domain. It dials
-// the coordinator, announces its place (fHello), heartbeats on the
-// configured interval, and drains inbound frames; it exits when told
-// (fKill, fBye) or when the coordinator disappears. Killing the process
-// is a genuine fail-stop that the coordinator's detector discovers the
-// hard way.
+// place. A worker is a real failure domain and — since the registered-
+// kernel data plane — a real compute server. It dials the coordinator,
+// announces its place and wire version (fHello), heartbeats on the
+// configured interval, executes inbound kernel tasks (fTask) against its
+// place-local kernel.Store and answers with fResult frames, and exits
+// when told (fKill, fBye) or when the coordinator disappears. Killing
+// the process is a genuine fail-stop that the coordinator's detector
+// discovers the hard way.
 
 // MaybeWorker turns the current process into a transport worker when the
 // RGML_TCP_WORKER environment variable is set, never returning in that
@@ -29,7 +32,9 @@ import (
 //	}
 //
 // With the variable unset it is a no-op, so the call is free for every
-// other invocation of the binary.
+// other invocation of the binary. Kernel registration happens at package
+// init, which runs before main — so by the time MaybeWorker serves, the
+// worker resolves exactly the names the coordinator registered.
 func MaybeWorker() {
 	spec := os.Getenv(workerEnv)
 	if spec == "" {
@@ -48,10 +53,11 @@ func MaybeWorker() {
 }
 
 // ServeWorker runs the worker protocol for one place against the
-// coordinator at addr: handshake, heartbeat every interval, drain frames
-// until dismissed. It returns nil on a clean dismissal (fBye, fKill, or
-// coordinator EOF) and an error for anything unexpected. `rgmlrun
-// -serve-place` calls it directly for externally-joined deployments.
+// coordinator at addr: handshake, heartbeat every interval, execute
+// kernel tasks and drain other frames until dismissed. It returns nil on
+// a clean dismissal (fBye, fKill, or coordinator EOF) and an error for
+// anything unexpected. `rgmlrun -serve-place` calls it directly for
+// externally-joined deployments.
 func ServeWorker(addr string, place int, interval, timeout time.Duration) error {
 	if place <= 0 {
 		return fmt.Errorf("tcp: worker place must be positive, got %d", place)
@@ -64,12 +70,12 @@ func ServeWorker(addr string, place int, interval, timeout time.Duration) error 
 		return fmt.Errorf("tcp: dial coordinator %s: %w", addr, err)
 	}
 	fc := newFrameConn(conn)
-	if err := fc.write(&frame{Type: fHello, From: int32(place)}); err != nil {
+	if _, err := fc.write(&frame{Type: fHello, From: int32(place), Ver: wireVersion}); err != nil {
 		return fmt.Errorf("tcp: hello: %w", err)
 	}
 
-	// Heartbeat writer: its own goroutine, so a long inbound read never
-	// starves the liveness beacon.
+	// Heartbeat writer: its own goroutine, so a long inbound read — or a
+	// long-running kernel — never starves the liveness beacon.
 	stop := make(chan struct{})
 	defer close(stop)
 	go func() {
@@ -81,15 +87,25 @@ func ServeWorker(addr string, place int, interval, timeout time.Duration) error 
 				return
 			case <-ticker.C:
 			}
-			if err := fc.write(&frame{Type: fHeartbeat, From: int32(place)}); err != nil {
+			if _, err := fc.write(&frame{Type: fHeartbeat, From: int32(place)}); err != nil {
 				return // coordinator gone; the read loop is exiting too
 			}
 		}
 	}()
 
+	// Kernel executor: ONE goroutine owning the place's store, consuming
+	// tasks in arrival order — the serial-per-place execution the
+	// coordinator's dispatch contract assumes (a task's Refs name exact
+	// store versions; concurrent execution could interleave installs).
+	// It is separate from the read loop so a long kernel never blocks
+	// frame draining (an fKill must get through mid-GEMV).
+	tasks := make(chan *frame, 256)
+	defer close(tasks)
+	go runKernels(fc, place, tasks)
+
 	for {
-		var f frame
-		if _, err := fc.read(&f); err != nil {
+		f := new(frame)
+		if _, err := fc.read(f); err != nil {
 			// Coordinator closed the wire: for a worker that is a
 			// dismissal, not an error — the run is simply over.
 			return nil
@@ -97,10 +113,32 @@ func ServeWorker(addr string, place int, interval, timeout time.Duration) error 
 		switch f.Type {
 		case fKill, fBye:
 			return nil
+		case fTask:
+			tasks <- f
 		case fData:
-			// The data plane is coordinator-resident: inbound frames are
-			// the wire realization of traffic addressed to this place.
-			// Draining them is the whole contract.
+			// Traffic addressed to this place that carries no kernel:
+			// the wire realization of coordinator-resident task bodies.
+			// Draining it is the whole contract.
+		}
+	}
+}
+
+// runKernels executes inbound tasks against the worker's place-local
+// store and writes their results back. Every outcome — including a
+// kernel panic, folded into Result.Err by kernel.Run — produces exactly
+// one fResult for its fTask's Seq; write errors end the loop early
+// (coordinator gone, and the read loop is tearing everything down).
+func runKernels(fc *frameConn, place int, tasks <-chan *frame) {
+	ex := &kernel.Exec{Place: place, Store: kernel.NewStore()}
+	for f := range tasks {
+		res := kernel.Run(ex, f.Task)
+		if _, err := fc.write(&frame{Type: fResult, From: int32(place), Seq: f.Seq, Result: res}); err != nil {
+			// Coordinator unreachable. Keep draining (without executing)
+			// until the read loop closes the channel, so it never blocks
+			// on a full buffer while trying to reach its own exit.
+			for range tasks {
+			}
+			return
 		}
 	}
 }

@@ -33,7 +33,12 @@
 // has no dependency on package apgas (which imports it).
 package transport
 
-import "time"
+import (
+	"errors"
+	"time"
+
+	"github.com/rgml/rgml/internal/apgas/kernel"
+)
 
 // Class tags the traffic crossing the seam so backends and counters can
 // distinguish what kind of message a Send carries.
@@ -159,4 +164,25 @@ type Transport interface {
 	// Close tears the backend down: stops detectors, closes connections,
 	// reaps worker processes. Called once at Runtime.Shutdown.
 	Close() error
+}
+
+// ErrNoDataPlane is an Executor's answer when it cannot execute kernels
+// remotely: the runtime then keeps task bodies coordinator-resident,
+// which is always correct (registered kernels are pure).
+var ErrNoDataPlane = errors.New("transport: backend has no distributed data plane")
+
+// Executor is the optional distributed-data-plane capability: a backend
+// that can execute a registered kernel inside the place's own body
+// (worker process) implements it alongside Transport. The runtime probes
+// with Exec(nil) at construction — a nil task is a capability check,
+// answered (nil, nil) by a backend that dispatches remotely and
+// ErrNoDataPlane by one that does not — so the base Transport interface,
+// and every existing fake implementing it, stays unchanged.
+type Executor interface {
+	// Exec runs t at the place t.Place names and blocks until the result
+	// returns. A transport-level failure (dead place, broken wire,
+	// backend closed) is the error; a kernel-level failure travels inside
+	// Result.Err. Callers treat either as "re-execute at the
+	// coordinator", never as a task-visible fault.
+	Exec(t *kernel.Task) (*kernel.Result, error)
 }

@@ -39,6 +39,15 @@ type backendRun struct {
 	bits      []uint64
 	killed    int64
 	failed    int64
+	// workerTasks counts registered kernels executed inside worker
+	// processes: zero by definition on the local backend, nonzero on a
+	// data-plane backend — the invariance contract is that this is the
+	// ONLY place the backends may differ.
+	workerTasks int64
+	// workerTasksAtKill is the count captured right after the mid-run
+	// kill, for asserting dispatch re-establishes itself on the shrunken
+	// group (runWithKill only).
+	workerTasksAtKill int64
 }
 
 // runChaosSchedule executes one seeded chaos run of LinReg at the given
@@ -82,10 +91,11 @@ func runChaosSchedule(t *testing.T, factory func() (transport.Transport, error),
 	}
 	st := rt.Stats()
 	return backendRun{
-		signature: eng.Signature(),
-		bits:      vectorBits(w),
-		killed:    st.PlacesKilled,
-		failed:    st.PlacesFailed,
+		signature:   eng.Signature(),
+		bits:        vectorBits(w),
+		killed:      st.PlacesKilled,
+		failed:      st.PlacesFailed,
+		workerTasks: st.WorkerTasks,
 	}
 }
 
@@ -118,6 +128,13 @@ func TestCrossBackendChaosInvariance(t *testing.T) {
 			t.Errorf("places=%d: death accounting diverges: local killed=%d, tcp killed=%d failed=%d",
 				places, local.killed, over.killed, over.failed)
 		}
+		// The one permitted difference: where the kernels physically ran.
+		if local.workerTasks != 0 {
+			t.Errorf("places=%d: local backend executed %d worker tasks, want 0", places, local.workerTasks)
+		}
+		if over.workerTasks == 0 {
+			t.Errorf("places=%d: tcp backend executed no worker-side kernels — the data plane never engaged", places)
+		}
 		if len(local.bits) != len(over.bits) {
 			t.Fatalf("places=%d: iterate lengths diverge: %d vs %d", places, len(local.bits), len(over.bits))
 		}
@@ -147,6 +164,7 @@ func runWithKill(t *testing.T, factory func() (transport.Transport, error), kill
 	defer rt.Shutdown()
 	killed := false
 	victim := rt.Place(1)
+	var atKill int64
 	exec, err := core.New(rt,
 		core.WithCheckpointInterval(cfg.Scale.CheckpointInterval),
 		core.WithRestoreMode(core.Shrink),
@@ -154,6 +172,7 @@ func runWithKill(t *testing.T, factory func() (transport.Transport, error), kill
 			if !killed && iter == 3 {
 				killed = true
 				kill(rt, victim)
+				atKill = rt.Stats().WorkerTasks
 			}
 		}),
 	)
@@ -175,7 +194,13 @@ func runWithKill(t *testing.T, factory func() (transport.Transport, error), kill
 		t.Fatalf("finalIterate: %v", err)
 	}
 	st := rt.Stats()
-	return backendRun{bits: vectorBits(w), killed: st.PlacesKilled, failed: st.PlacesFailed}
+	return backendRun{
+		bits:              vectorBits(w),
+		killed:            st.PlacesKilled,
+		failed:            st.PlacesFailed,
+		workerTasks:       st.WorkerTasks,
+		workerTasksAtKill: atKill,
+	}
 }
 
 // TestRealProcessKillMatchesLocalChaosKill is the acceptance check for
@@ -215,6 +240,19 @@ func TestRealProcessKillMatchesLocalChaosKill(t *testing.T) {
 	// The death must have come through the failure detector, not Kill.
 	if over.killed != 0 || over.failed != 1 {
 		t.Fatalf("tcp run: killed=%d failed=%d, want 0/1", over.killed, over.failed)
+	}
+	// Worker-side execution must have been live before the SIGKILL and
+	// re-established on the shrunken group after the restore — the
+	// replacement workers' cold caches refill and dispatch resumes.
+	if over.workerTasksAtKill == 0 {
+		t.Fatal("tcp run: no worker-side kernels before the kill")
+	}
+	if over.workerTasks <= over.workerTasksAtKill {
+		t.Fatalf("tcp run: worker tasks stuck at %d after the kill (total %d) — dispatch never recovered",
+			over.workerTasksAtKill, over.workerTasks)
+	}
+	if local.workerTasks != 0 {
+		t.Fatalf("local run executed %d worker tasks, want 0", local.workerTasks)
 	}
 	if len(local.bits) != len(over.bits) {
 		t.Fatalf("iterate lengths diverge: %d vs %d", len(local.bits), len(over.bits))

@@ -63,6 +63,9 @@ func (m *DistBlockMatrix) MultVec(x *DupVector, y *DistVector) error {
 				part[rowPartKey(id)] = la.NewVector(b.Rows)
 			}
 		})
+		if ctx.KernelDispatch() && m.multVecKernel(ctx, x, xloc, part, bs) {
+			return
+		}
 		bs.EachPar(func(id int, b *block.MatrixBlock) {
 			b.MultVecAssign(xloc, part[rowPartKey(id)])
 		})

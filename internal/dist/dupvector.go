@@ -182,6 +182,7 @@ func (v *DupVector) bcast(c *apgas.Ctx, idx, span int, src la.Vector) {
 		c.Transfer(p, sub.Bytes())
 		c.AsyncAt(p, func(cc *apgas.Ctx) {
 			local := v.plh.Local(cc).CopyFrom(sub)
+			v.warm(cc, local)
 			v.bcast(cc, mid, h, local)
 		})
 		span -= h
@@ -308,6 +309,11 @@ func (v *DupVector) MakeDeltaSnapshot(prev *snapshot.Snapshot) (*snapshot.Snapsh
 // elastic replacement — differently composed than the snapshot group)
 // concurrently loads a duplicate (paper section IV-B2).
 func (v *DupVector) RestoreSnapshot(s *snapshot.Snapshot) error {
+	// The logical value rewinds to the checkpoint, so the version must move:
+	// worker-side kernel caches may hold the diverged pre-restore content
+	// under the current version, and the next delta checkpoint must
+	// re-examine the vector either way.
+	v.ver++
 	comp, _, err := compressorForMeta(s.Meta())
 	if err != nil {
 		return fmt.Errorf("dist: DupVector restore meta: %w", err)
@@ -338,6 +344,10 @@ func (v *DupVector) RestoreSnapshot(s *snapshot.Snapshot) error {
 // lost (or diverged from) the checkpointed value — no snapshot loads at
 // all. With no valid survivor, falls back to the full restore.
 func (v *DupVector) RestoreSnapshotPartial(s *snapshot.Snapshot, dead []apgas.Place) error {
+	// Same version bump as RestoreSnapshot (which this may fall back to):
+	// the rewind invalidates any kernel-cache entry shipped at the old
+	// version.
+	v.ver++
 	comp, _, err := compressorForMeta(s.Meta())
 	if err != nil {
 		return fmt.Errorf("dist: DupVector restore meta: %w", err)

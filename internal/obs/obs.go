@@ -246,6 +246,20 @@ func (r *Registry) Counter(name string) *Counter {
 	return c
 }
 
+// CounterValue returns the current value of the counter registered under
+// name WITHOUT creating it: zero for an absent name (or a nil registry).
+// Assertions and report emitters use it to peek at counters they do not
+// own without polluting the registry's name space.
+func (r *Registry) CounterValue(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	c := r.counters[name]
+	r.mu.Unlock()
+	return c.Value()
+}
+
 // Gauge returns the gauge registered under name, creating it if needed.
 func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
